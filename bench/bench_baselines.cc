@@ -1,0 +1,182 @@
+// Baseline comparison across the frequency and quantile algorithm families
+// the paper's related work surveys (§2.1): deterministic window-based
+// (Manku-Motwani lossy counting — the paper's choice), deterministic
+// counter-based (Misra-Gries), probabilistic sampling (sticky sampling),
+// hash-based (Count-Min), and for quantiles the window-based GK +
+// exponential histogram vs the single-element adaptive GK01.
+//
+// Reports accuracy (max observed error), space, and host wall time on a
+// common Zipf stream.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "sketch/count_min.h"
+#include "sketch/exact.h"
+#include "sketch/exponential_histogram.h"
+#include "sketch/gk_adaptive.h"
+#include "sketch/gk_summary.h"
+#include "sketch/histogram.h"
+#include "sketch/lossy_counting.h"
+#include "sketch/misra_gries.h"
+#include "sketch/sticky_sampling.h"
+#include "stream/generator.h"
+
+namespace {
+
+using namespace streamgpu;
+
+struct FreqRow {
+  const char* name;
+  std::uint64_t max_error = 0;
+  std::size_t space = 0;
+  double wall_ms = 0;
+  bool no_false_negatives = true;
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Baselines: frequency & quantile algorithm families (Sec. 2.1)",
+                     "all meet their epsilon guarantees; space/time trade-offs differ");
+
+  const std::size_t n = bench::Scaled(1 << 20);
+  const double epsilon = 0.001;
+  const double support = 0.01;
+
+  stream::StreamGenerator gen({.distribution = stream::Distribution::kZipf,
+                               .seed = 77,
+                               .domain_size = 2000});
+  const auto stream = gen.Take(n);
+  const auto exact = sketch::ExactCounts(stream);
+  const auto true_hitters = sketch::ExactHeavyHitters(stream, support);
+
+  std::vector<FreqRow> rows;
+
+  const auto check = [&](const char* name, auto estimate, std::size_t space,
+                         double wall_ms, const auto& reported) {
+    FreqRow row{name};
+    row.space = space;
+    row.wall_ms = wall_ms;
+    for (const auto& [value, truth] : exact) {
+      const std::uint64_t est = estimate(value);
+      const std::uint64_t err = est > truth ? est - truth : truth - est;
+      row.max_error = std::max(row.max_error, err);
+    }
+    for (const auto& [value, f] : true_hitters) {
+      const bool found = std::any_of(reported.begin(), reported.end(),
+                                     [v = value](const auto& r) { return r.first == v; });
+      if (!found) row.no_false_negatives = false;
+    }
+    rows.push_back(row);
+  };
+
+  {
+    Timer t;
+    sketch::LossyCounting lc(epsilon);
+    const std::uint64_t w = lc.window_width();
+    for (std::size_t off = 0; off < stream.size(); off += w) {
+      const std::size_t len = std::min<std::size_t>(w, stream.size() - off);
+      std::vector<float> window(stream.begin() + off, stream.begin() + off + len);
+      std::sort(window.begin(), window.end());
+      lc.AddWindowHistogram(sketch::BuildHistogram(window), len);
+    }
+    const double ms = t.ElapsedMillis();
+    check("lossy-counting", [&](float v) { return lc.EstimateCount(v); },
+          lc.summary_size(), ms, lc.HeavyHitters(support));
+  }
+  {
+    Timer t;
+    sketch::MisraGries mg(epsilon);
+    mg.ObserveBatch(stream);
+    const double ms = t.ElapsedMillis();
+    check("misra-gries", [&](float v) { return mg.EstimateCount(v); },
+          mg.summary_size(), ms, mg.HeavyHitters(support));
+  }
+  {
+    Timer t;
+    sketch::StickySampling ss(epsilon, support, 0.01);
+    ss.ObserveBatch(stream);
+    const double ms = t.ElapsedMillis();
+    check("sticky-sampling", [&](float v) { return ss.EstimateCount(v); },
+          ss.summary_size(), ms, ss.HeavyHitters(support));
+  }
+  {
+    Timer t;
+    sketch::CountMinSketch cm(epsilon, 0.01);
+    cm.ObserveBatch(stream);
+    const double ms = t.ElapsedMillis();
+    // Count-Min has no item list; report the exact hitters' presence via
+    // estimates (it cannot miss since it never undercounts).
+    std::vector<std::pair<float, std::uint64_t>> reported;
+    for (const auto& [value, f] : true_hitters) {
+      if (cm.EstimateCount(value) >=
+          static_cast<std::int64_t>((support - epsilon) * static_cast<double>(n))) {
+        reported.emplace_back(value, static_cast<std::uint64_t>(cm.EstimateCount(value)));
+      }
+    }
+    check("count-min",
+          [&](float v) { return static_cast<std::uint64_t>(cm.EstimateCount(v)); },
+          cm.width() * cm.depth(), ms, reported);
+  }
+
+  std::printf("frequencies: N=%zu, epsilon=%g, support=%g (allowed error %.0f)\n", n,
+              epsilon, support, epsilon * static_cast<double>(n));
+  std::printf("%-16s %12s %12s %12s %18s\n", "algorithm", "max-error", "space",
+              "wall(ms)", "all-hitters-found");
+  for (const FreqRow& r : rows) {
+    std::printf("%-16s %12llu %12zu %12.1f %18s\n", r.name,
+                static_cast<unsigned long long>(r.max_error), r.space, r.wall_ms,
+                r.no_false_negatives ? "yes" : "NO");
+  }
+
+  // --- Quantiles: window-based GK+EH (the paper's) vs adaptive GK01. ---
+  std::printf("\nquantiles: max rank deviation over phi in {0.01..0.99}\n");
+  std::printf("%-16s %12s %12s %12s\n", "algorithm", "max-rankdev", "space",
+              "wall(ms)");
+
+  std::vector<float> sorted(stream);
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank_dev = [&](float q, double phi) {
+    const auto lo = std::lower_bound(sorted.begin(), sorted.end(), q);
+    const auto hi = std::upper_bound(sorted.begin(), sorted.end(), q);
+    const double target = std::ceil(phi * static_cast<double>(n));
+    const double rank_lo = static_cast<double>(lo - sorted.begin()) + 1;
+    const double rank_hi = static_cast<double>(hi - sorted.begin());
+    if (target < rank_lo) return rank_lo - target;
+    if (target > rank_hi) return target - rank_hi;
+    return 0.0;
+  };
+  const double phis[] = {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99};
+
+  {
+    Timer t;
+    const std::uint64_t w = static_cast<std::uint64_t>(1.0 / epsilon);
+    sketch::EhQuantileSummary eh(epsilon, w, n);
+    for (std::size_t off = 0; off < stream.size(); off += w) {
+      const std::size_t len = std::min<std::size_t>(w, stream.size() - off);
+      std::vector<float> window(stream.begin() + off, stream.begin() + off + len);
+      std::sort(window.begin(), window.end());
+      eh.AddWindowSummary(sketch::GkSummary::FromSorted(window, epsilon / 2.0));
+    }
+    double dev = 0;
+    for (double phi : phis) dev = std::max(dev, rank_dev(eh.Query(phi), phi));
+    std::printf("%-16s %12.0f %12zu %12.1f\n", "gk-window-eh", dev, eh.TotalTuples(),
+                t.ElapsedMillis());
+  }
+  {
+    Timer t;
+    sketch::GkAdaptive gk(epsilon);
+    gk.ObserveBatch(stream);
+    double dev = 0;
+    for (double phi : phis) dev = std::max(dev, rank_dev(gk.Quantile(phi), phi));
+    std::printf("%-16s %12.0f %12zu %12.1f\n", "gk01-adaptive", dev, gk.summary_size(),
+                t.ElapsedMillis());
+  }
+  std::printf("\nallowed rank deviation: %.0f\n\n", epsilon * static_cast<double>(n));
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 3: sorting time vs input size — our GPU PBSN sort against the
+// prior GPU bitonic sort [40] and CPU quicksort built with two compilers.
+//
+// Expected shape (§4.5): the GPU PBSN sort is comparable to the
+// Intel-compiler quicksort, clearly faster than the MSVC qsort for
+// reasonably large n, almost an order of magnitude faster than the GPU
+// bitonic baseline, and ~3x slower than the CPU below n = 16K.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "gpu/device.h"
+#include "hwmodel/hardware_profiles.h"
+#include "sort/bitonic_gpu.h"
+#include "sort/cpu_sort.h"
+#include "sort/pbsn_gpu.h"
+#include "stream/generator.h"
+
+namespace {
+
+using namespace streamgpu;
+
+double SortSimMs(sort::Sorter& sorter, const std::vector<float>& data,
+                 double* wall_ms = nullptr) {
+  std::vector<float> copy = data;
+  Timer t;
+  sorter.Sort(copy);
+  if (wall_ms != nullptr) *wall_ms = t.ElapsedMillis();
+  return sorter.last_run().simulated_seconds * 1e3;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Figure 3: sorting performance, GPU PBSN vs GPU bitonic vs CPU quicksort",
+      "GPU PBSN ~ Intel quicksort; beats MSVC qsort and is ~10x faster than "
+      "GPU bitonic at large n; ~3x slower than CPU below 16K");
+
+  // The paper sweeps up to 8M elements; default scale covers 16K..1M.
+  std::vector<std::size_t> sizes;
+  for (std::size_t n = 16384; n <= bench::Scaled(1 << 20); n *= 4) sizes.push_back(n);
+  const std::size_t bitonic_cap = bench::Scaled(1 << 17);
+
+  std::printf("%10s %14s %16s %16s %15s %14s\n", "n", "gpu-pbsn(ms)", "gpu-bitonic(ms)",
+              "cpu-intel(ms)", "cpu-msvc(ms)", "pbsn-wall(ms)");
+
+  for (std::size_t n : sizes) {
+    stream::StreamGenerator gen({.distribution = stream::Distribution::kUniformReal,
+                                 .seed = 42});
+    const auto data = gen.Take(n);
+
+    gpu::GpuDevice device;
+    sort::PbsnOptions pbsn_opt;
+    pbsn_opt.format = gpu::Format::kFloat16;  // the paper's 16-bit buffers
+    sort::PbsnGpuSorter pbsn(&device, hwmodel::kGeForce6800Ultra,
+                             hwmodel::kPentium4_3400, pbsn_opt);
+    sort::BitonicGpuSorter bitonic(&device, hwmodel::kGeForce6800Ultra,
+                                   gpu::Format::kFloat16);
+    sort::QuicksortSorter intel(hwmodel::kPentium4_3400);
+    sort::QuicksortSorter msvc(hwmodel::kPentium4_3400Msvc);
+
+    double pbsn_wall = 0;
+    const double pbsn_ms = SortSimMs(pbsn, data, &pbsn_wall);
+    const double bitonic_ms = n <= bitonic_cap ? SortSimMs(bitonic, data) : -1.0;
+    const double intel_ms = SortSimMs(intel, data);
+    const double msvc_ms = SortSimMs(msvc, data);
+
+    if (bitonic_ms >= 0) {
+      std::printf("%10zu %14.2f %16.2f %16.2f %15.2f %14.1f\n", n, pbsn_ms, bitonic_ms,
+                  intel_ms, msvc_ms, pbsn_wall);
+    } else {
+      std::printf("%10zu %14.2f %16s %16.2f %15.2f %14.1f\n", n, pbsn_ms, "(skipped)",
+                  intel_ms, msvc_ms, pbsn_wall);
+    }
+  }
+  std::printf("\nNote: gpu timings include CPU<->GPU transfer, as in the paper. "
+              "Set STREAMGPU_SCALE=8 for the paper's full 8M sweep.\n\n");
+  return 0;
+}

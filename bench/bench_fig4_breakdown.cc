@@ -1,0 +1,71 @@
+// Figure 4: breakdown of the GPU PBSN sort into on-device sorting time and
+// CPU<->GPU data-transfer time, plus the O(n log^2 n) extrapolation check.
+//
+// Expected shape: "the data transfer times are not significant in comparison
+// to the time spent in performing comparisons and sorting", and timings
+// estimated from the largest size with the n log^2(n) model match the
+// observed timings within a few milliseconds.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "gpu/device.h"
+#include "hwmodel/hardware_profiles.h"
+#include "sort/cpu_sort.h"
+#include "sort/pbsn_gpu.h"
+#include "sort/pbsn_network.h"
+#include "stream/generator.h"
+
+int main() {
+  using namespace streamgpu;
+  bench::PrintHeader(
+      "Figure 4: GPU sort time breakdown (compute vs transfer) and O(n log^2 n) fit",
+      "transfer time is a small, flat fraction; times follow n log^2(n/4) scaling");
+
+  std::vector<std::size_t> sizes;
+  for (std::size_t n = 16384; n <= bench::Scaled(1 << 20); n *= 2) sizes.push_back(n);
+
+  struct Row {
+    std::size_t n;
+    double sort_ms;
+    double transfer_ms;
+    double total_ms;
+  };
+  std::vector<Row> rows;
+
+  for (std::size_t n : sizes) {
+    stream::StreamGenerator gen({.distribution = stream::Distribution::kUniformReal,
+                                 .seed = 7});
+    auto data = gen.Take(n);
+    gpu::GpuDevice device;
+    sort::PbsnOptions opt;
+    opt.format = gpu::Format::kFloat16;
+    sort::PbsnGpuSorter pbsn(&device, hwmodel::kGeForce6800Ultra,
+                             hwmodel::kPentium4_3400, opt);
+    pbsn.Sort(data);
+    const auto& run = pbsn.last_run();
+    rows.push_back({n, run.sim_device_seconds * 1e3, run.sim_transfer_seconds * 1e3,
+                    run.simulated_seconds * 1e3});
+  }
+
+  // The paper uses its largest input as the reference and estimates the rest
+  // with the n log^2(n/4) comparison model.
+  const Row& ref = rows.back();
+  const double ref_work = static_cast<double>(ref.n) *
+                          std::pow(std::log2(static_cast<double>(ref.n) / 4.0), 2.0);
+
+  std::printf("%10s %13s %15s %13s %18s %10s\n", "n", "sort(ms)", "transfer(ms)",
+              "total(ms)", "nlog2-estimate(ms)", "delta(ms)");
+  for (const Row& r : rows) {
+    const double work = static_cast<double>(r.n) *
+                        std::pow(std::log2(static_cast<double>(r.n) / 4.0), 2.0);
+    const double estimate = ref.sort_ms * work / ref_work;
+    std::printf("%10zu %13.2f %15.2f %13.2f %18.2f %10.2f\n", r.n, r.sort_ms,
+                r.transfer_ms, r.total_ms, estimate, r.sort_ms - estimate);
+  }
+  std::printf("\nNote: estimates are extrapolated from n=%zu, as the paper extrapolates "
+              "from its 8M reference.\n\n", ref.n);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 6: cost split of the epsilon-approximate frequency summary
+// operations (sort vs merge vs compress, plus the histogram scan) across
+// epsilon values, on the CPU pipeline.
+//
+// Expected shape: "the majority of the computational time is spent in
+// sorting the window values" — 80-90% (§5.1), 70-95% (§3.2).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/frequency_estimator.h"
+#include "hwmodel/cpu_model.h"
+#include "hwmodel/hardware_profiles.h"
+#include "stream/generator.h"
+
+int main() {
+  using namespace streamgpu;
+  bench::PrintHeader(
+      "Figure 6: cost of summary operations (sort / histogram / merge / compress)",
+      "sorting takes 80-90% of the total running time");
+
+  const std::size_t stream_length = bench::Scaled(1 << 20);
+  const hwmodel::CpuModel p4(hwmodel::kPentium4_3400);
+
+  std::printf("%12s %10s | %9s %9s %9s %9s | %12s\n", "epsilon", "window", "sort%",
+              "hist%", "merge%", "compress%", "total(ms)");
+
+  for (std::size_t window : {1u << 10, 1u << 12, 1u << 14, 1u << 16, 1u << 18}) {
+    if (window * 4 > stream_length) break;
+    const double epsilon = 1.0 / static_cast<double>(window);
+    stream::StreamGenerator gen(
+        {.distribution = stream::Distribution::kUniform, .seed = 17, .domain_size = 2000});
+    core::Options opt;
+    opt.epsilon = epsilon;
+    opt.backend = core::Backend::kCpuQuicksort;
+    core::FrequencyEstimator fe(opt);
+    for (std::size_t i = 0; i < stream_length; ++i) fe.Observe(gen.Next());
+    fe.Flush();
+
+    const core::PipelineCosts& costs = fe.costs();
+    const double sort_s = costs.sort.simulated_seconds;
+    const double hist_s = costs.SimulatedHistogramSeconds(p4);
+    const double merge_s = costs.SimulatedMergeSeconds(p4);
+    const double compress_s = costs.SimulatedCompressSeconds(p4);
+    const double total = sort_s + hist_s + merge_s + compress_s;
+
+    std::printf("%12.2e %10zu | %8.1f%% %8.1f%% %8.1f%% %8.1f%% | %12.1f\n", epsilon,
+                window, 100 * sort_s / total, 100 * hist_s / total, 100 * merge_s / total,
+                100 * compress_s / total, total * 1e3);
+  }
+  std::printf("\n");
+  return 0;
+}

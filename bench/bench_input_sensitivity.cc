@@ -1,0 +1,62 @@
+// Input-order sensitivity: a sorting network performs exactly the same
+// comparator schedule on every input (data-oblivious — the property that
+// lets the GPU pipeline guarantee throughput for bursty streams, §1's
+// real-time requirement), while quicksort's cost and branch behavior vary
+// with input order. Simulated times across input distributions.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "gpu/device.h"
+#include "hwmodel/hardware_profiles.h"
+#include "sort/cpu_sort.h"
+#include "sort/pbsn_gpu.h"
+#include "stream/generator.h"
+
+int main() {
+  using namespace streamgpu;
+  bench::PrintHeader(
+      "Input-order sensitivity of the sorting backends",
+      "the PBSN network is data-oblivious (identical cost on every input); "
+      "quicksort's comparisons vary with input order");
+
+  const std::size_t n = bench::Scaled(1 << 18);
+
+  std::printf("%-16s | %14s %18s | %14s %18s\n", "distribution", "gpu-pbsn(ms)",
+              "gpu-comparisons", "cpu-qsort(ms)", "cpu-comparisons");
+
+  const std::pair<stream::Distribution, const char*> cases[] = {
+      {stream::Distribution::kUniformReal, "random"},
+      {stream::Distribution::kSorted, "sorted"},
+      {stream::Distribution::kReverseSorted, "reverse-sorted"},
+      {stream::Distribution::kNearlySorted, "nearly-sorted"},
+      {stream::Distribution::kNetworkFlows, "bursty-duplicates"},
+  };
+
+  for (const auto& [dist, name] : cases) {
+    stream::StreamGenerator gen({.distribution = dist, .seed = 3});
+    const auto data = gen.Take(n);
+
+    gpu::GpuDevice device;
+    sort::PbsnOptions opt;
+    opt.format = gpu::Format::kFloat16;
+    sort::PbsnGpuSorter pbsn(&device, hwmodel::kGeForce6800Ultra,
+                             hwmodel::kPentium4_3400, opt);
+    auto a = data;
+    pbsn.Sort(a);
+
+    sort::QuicksortSorter qs(hwmodel::kPentium4_3400);
+    auto b = data;
+    qs.Sort(b);
+
+    std::printf("%-16s | %14.2f %18llu | %14.2f %18llu\n", name,
+                pbsn.last_run().simulated_seconds * 1e3,
+                static_cast<unsigned long long>(pbsn.last_stats().ScalarComparisons()),
+                qs.last_run().simulated_seconds * 1e3,
+                static_cast<unsigned long long>(qs.last_run().comparisons));
+  }
+  std::printf("\nNote: the GPU columns are identical by construction — the network's "
+              "schedule depends only on n.\n\n");
+  return 0;
+}

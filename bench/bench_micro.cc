@@ -1,0 +1,161 @@
+// Microbenchmarks (google-benchmark) of the building blocks: simulator
+// rasterization throughput, half conversion, histogram construction, summary
+// merges, and the CPU sorts. These measure the *simulator's host
+// performance* (useful when tuning the simulator itself), not simulated
+// 2005-hardware time.
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "gpu/device.h"
+#include "gpu/half.h"
+#include "hwmodel/hardware_profiles.h"
+#include "sketch/gk_summary.h"
+#include "sketch/histogram.h"
+#include "sketch/lossy_counting.h"
+#include "sort/cpu_sort.h"
+#include "sort/merge.h"
+#include "sort/pbsn_network.h"
+
+namespace {
+
+using namespace streamgpu;
+
+std::vector<float> RandomData(std::size_t n, int domain = 0) {
+  std::mt19937 rng(5);
+  std::vector<float> v(n);
+  if (domain > 0) {
+    std::uniform_int_distribution<int> d(0, domain - 1);
+    for (float& x : v) x = static_cast<float>(d(rng));
+  } else {
+    std::uniform_real_distribution<float> d(0.0f, 1e4f);
+    for (float& x : v) x = d(rng);
+  }
+  return v;
+}
+
+void BM_HalfRoundTrip(benchmark::State& state) {
+  const auto data = RandomData(4096);
+  for (auto _ : state) {
+    for (float v : data) benchmark::DoNotOptimize(gpu::QuantizeToHalf(v));
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_HalfRoundTrip);
+
+void BM_RasterizerCopyPass(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  gpu::GpuDevice device;
+  const auto tex = device.CreateTexture(side, side, gpu::Format::kFloat32);
+  device.BindFramebuffer(side, side, gpu::Format::kFloat32);
+  device.SetBlend(gpu::BlendOp::kReplace);
+  for (auto _ : state) {
+    device.DrawQuad(tex, gpu::Quad::Identity(0, 0, static_cast<float>(side),
+                                             static_cast<float>(side)));
+  }
+  state.SetItemsProcessed(state.iterations() * side * side);
+}
+BENCHMARK(BM_RasterizerCopyPass)->Arg(128)->Arg(512)->Arg(1024);
+
+void BM_RasterizerBlendPass(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  gpu::GpuDevice device;
+  const auto tex = device.CreateTexture(side, side, gpu::Format::kFloat32);
+  device.BindFramebuffer(side, side, gpu::Format::kFloat32);
+  device.SetBlend(gpu::BlendOp::kMin);
+  // Mirrored mapping, as a PBSN step issues.
+  const auto quad = gpu::Quad::Make(0, 0, static_cast<float>(side),
+                                    static_cast<float>(side), static_cast<float>(side),
+                                    0, 0, 0, 0, static_cast<float>(side),
+                                    static_cast<float>(side), static_cast<float>(side));
+  for (auto _ : state) device.DrawQuad(tex, quad);
+  state.SetItemsProcessed(state.iterations() * side * side);
+}
+BENCHMARK(BM_RasterizerBlendPass)->Arg(128)->Arg(512)->Arg(1024);
+
+void BM_PbsnNetworkCpu(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto data = RandomData(n);
+  for (auto _ : state) {
+    auto copy = data;
+    sort::PbsnSortCpu(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PbsnNetworkCpu)->Arg(1024)->Arg(16384);
+
+void BM_QuicksortInstrumented(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto data = RandomData(n);
+  for (auto _ : state) {
+    auto copy = data;
+    sort::CpuSortCounters counters;
+    sort::QuicksortInstrumented(copy, &counters);
+    benchmark::DoNotOptimize(counters.comparisons);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_QuicksortInstrumented)->Arg(16384)->Arg(262144);
+
+void BM_FourWayMerge(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::array<std::vector<float>, 4> runs;
+  for (auto& r : runs) {
+    r = RandomData(n / 4);
+    std::sort(r.begin(), r.end());
+  }
+  std::vector<float> out(runs[0].size() * 4);
+  const std::array<std::span<const float>, 4> views{runs[0], runs[1], runs[2], runs[3]};
+  for (auto _ : state) {
+    sort::FourWayMerge(views, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FourWayMerge)->Arg(65536)->Arg(1048576);
+
+void BM_BuildHistogram(benchmark::State& state) {
+  auto data = RandomData(static_cast<std::size_t>(state.range(0)), 2000);
+  std::sort(data.begin(), data.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch::BuildHistogram(data));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildHistogram)->Arg(4096)->Arg(65536);
+
+void BM_LossyCountingWindow(benchmark::State& state) {
+  const double epsilon = 1.0 / static_cast<double>(state.range(0));
+  auto window = RandomData(static_cast<std::size_t>(state.range(0)), 2000);
+  std::sort(window.begin(), window.end());
+  const auto hist = sketch::BuildHistogram(window);
+  for (auto _ : state) {
+    sketch::LossyCounting lc(epsilon);
+    lc.AddWindowHistogram(hist, window.size());
+    benchmark::DoNotOptimize(lc.summary_size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LossyCountingWindow)->Arg(1024)->Arg(16384);
+
+void BM_GkMerge(benchmark::State& state) {
+  auto a = RandomData(static_cast<std::size_t>(state.range(0)));
+  auto b = RandomData(static_cast<std::size_t>(state.range(0)));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const auto sa = sketch::GkSummary::FromSorted(a, 0.01);
+  const auto sb = sketch::GkSummary::FromSorted(b, 0.01);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch::GkSummary::Merge(sa, sb).size());
+  }
+  state.SetItemsProcessed(state.iterations() * (sa.size() + sb.size()));
+}
+BENCHMARK(BM_GkMerge)->Arg(16384)->Arg(262144);
+
+}  // namespace
+
+BENCHMARK_MAIN();

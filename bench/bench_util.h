@@ -1,0 +1,42 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Each binary regenerates one figure of the paper's evaluation as aligned
+// text rows: simulated 2005-hardware milliseconds (the apples-to-apples
+// numbers, produced by the hwmodel layer from exact operation counts) plus
+// host wall-clock of the simulator itself for reference.
+//
+// STREAMGPU_SCALE (default 1) scales stream/input sizes toward the paper's
+// full scale (8M-element sorts, 100M-element streams). The default sizes are
+// chosen so every binary finishes in tens of seconds on one core.
+
+#ifndef STREAMGPU_BENCH_BENCH_UTIL_H_
+#define STREAMGPU_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/env.h"
+
+namespace streamgpu::bench {
+
+/// Scales `base` by STREAMGPU_SCALE, keeping at least `base`... values below
+/// 1 shrink (useful for quick smoke runs).
+inline std::size_t Scaled(std::size_t base) {
+  const double s = BenchScale();
+  const auto scaled = static_cast<std::size_t>(static_cast<double>(base) * s);
+  return scaled < 16 ? 16 : scaled;
+}
+
+/// Prints the standard figure header.
+inline void PrintHeader(const char* figure, const char* claim) {
+  std::printf("==============================================================================\n");
+  std::printf("%s\n", figure);
+  std::printf("Paper's qualitative claim: %s\n", claim);
+  std::printf("(simulated hardware: GeForce FX 6800 Ultra vs 3.4 GHz Pentium IV; scale=%g)\n",
+              BenchScale());
+  std::printf("==============================================================================\n");
+}
+
+}  // namespace streamgpu::bench
+
+#endif  // STREAMGPU_BENCH_BENCH_UTIL_H_

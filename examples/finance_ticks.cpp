@@ -1,0 +1,69 @@
+// Finance-log example (§1's finance motivation): maintain running quantiles
+// of tick prices — median, quartiles, and tail percentiles — over both the
+// full session and a sliding intraday window, and use them to flag outlier
+// prints.
+//
+//   $ ./examples/finance_ticks
+
+#include <cstdio>
+#include <vector>
+
+#include "core/quantile_estimator.h"
+#include "stream/generator.h"
+
+int main() {
+  using namespace streamgpu;
+
+  // Whole-session quantiles at tight accuracy, plus a 100K-tick sliding view.
+  core::Options session_opt;
+  session_opt.epsilon = 1e-3;
+  session_opt.backend = core::Backend::kGpuPbsn;
+  core::QuantileEstimator session(session_opt);
+
+  core::Options window_opt = session_opt;
+  window_opt.epsilon = 5e-3;
+  window_opt.sliding_window = 100'000;
+  core::QuantileEstimator recent(window_opt);
+
+  stream::StreamGenerator ticks({.distribution = stream::Distribution::kFinanceTicks,
+                                 .seed = 314,
+                                 .start_price = 100.0,
+                                 .volatility = 0.08});
+
+  constexpr std::size_t kTicks = 800'000;
+  std::size_t outliers = 0;
+  for (std::size_t i = 0; i < kTicks; ++i) {
+    const float price = ticks.Next();
+    session.Observe(price);
+    recent.Observe(price);
+
+    // Flag prints outside the recent 1st..99th percentile band (checked
+    // every 10K ticks once enough history exists).
+    if (i >= 200'000 && i % 10'000 == 0) {
+      const float lo = recent.Quantile(0.01);
+      const float hi = recent.Quantile(0.99);
+      if (price < lo || price > hi) ++outliers;
+    }
+  }
+  session.Flush();
+  recent.Flush();
+
+  std::printf("ticks processed: %llu\n",
+              static_cast<unsigned long long>(session.processed_length()));
+  std::printf("%-28s %10s %10s\n", "", "session", "last-100K");
+  for (const auto& [label, phi] :
+       std::vector<std::pair<const char*, double>>{{"1st percentile", 0.01},
+                                                   {"lower quartile", 0.25},
+                                                   {"median", 0.50},
+                                                   {"upper quartile", 0.75},
+                                                   {"99th percentile", 0.99}}) {
+    std::printf("%-28s %10.2f %10.2f\n", label, session.Quantile(phi),
+                recent.Quantile(phi));
+  }
+  std::printf("outlier prints flagged during session: %zu\n", outliers);
+  std::printf("memory: %zu tuples (session) + %zu tuples (sliding)\n",
+              session.summary_size(), recent.summary_size());
+  std::printf("simulated pipeline time: %.1f ms (session), %.1f ms (sliding)\n",
+              session.SimulatedSeconds() * 1e3, recent.SimulatedSeconds() * 1e3);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Lightweight runtime assertion macros, in the spirit of Arrow's DCHECK family.
+//
+// The library is exception-free (Google style); invariant violations are
+// programming errors and abort with a diagnostic rather than unwinding.
+
+#ifndef STREAMGPU_COMMON_CHECK_H_
+#define STREAMGPU_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace streamgpu {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "streamgpu: CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace streamgpu
+
+/// Aborts with a diagnostic when `expr` evaluates to false. Always enabled.
+#define STREAMGPU_CHECK(expr)                                        \
+  do {                                                               \
+    if (!(expr)) ::streamgpu::CheckFailed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Like STREAMGPU_CHECK but with a human-readable explanation.
+#define STREAMGPU_CHECK_MSG(expr, msg)                                \
+  do {                                                                \
+    if (!(expr)) ::streamgpu::CheckFailed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+/// Debug-only check; compiled out in release builds (NDEBUG).
+#ifdef NDEBUG
+#define STREAMGPU_DCHECK(expr) \
+  do {                         \
+  } while (0)
+#else
+#define STREAMGPU_DCHECK(expr) STREAMGPU_CHECK(expr)
+#endif
+
+#endif  // STREAMGPU_COMMON_CHECK_H_

@@ -1,0 +1,34 @@
+// Wall-clock timing helper used by the benchmark harness and the pipeline's
+// per-operation cost accounting.
+
+#ifndef STREAMGPU_COMMON_TIMER_H_
+#define STREAMGPU_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace streamgpu {
+
+/// Monotonic wall-clock stopwatch with millisecond/second readouts.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset(), in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time since construction or the last Reset(), in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace streamgpu
+
+#endif  // STREAMGPU_COMMON_TIMER_H_

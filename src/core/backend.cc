@@ -1,0 +1,37 @@
+#include "core/backend.h"
+
+#include "common/check.h"
+#include "hwmodel/hardware_profiles.h"
+#include "sort/bitonic_gpu.h"
+#include "sort/cpu_sort.h"
+#include "sort/pbsn_gpu.h"
+
+namespace streamgpu::core {
+
+SortEngine::SortEngine(const Options& options) {
+  switch (options.backend) {
+    case Backend::kGpuPbsn: {
+      device_ = std::make_unique<gpu::GpuDevice>();
+      sort::PbsnOptions pbsn;
+      pbsn.format = options.gpu_format;
+      sorter_ = std::make_unique<sort::PbsnGpuSorter>(
+          device_.get(), hwmodel::kGeForce6800Ultra, hwmodel::kPentium4_3400, pbsn);
+      batch_windows_ = gpu::kNumChannels;
+      break;
+    }
+    case Backend::kGpuBitonic:
+      device_ = std::make_unique<gpu::GpuDevice>();
+      sorter_ = std::make_unique<sort::BitonicGpuSorter>(
+          device_.get(), hwmodel::kGeForce6800Ultra, options.gpu_format);
+      break;
+    case Backend::kCpuQuicksort:
+      sorter_ = std::make_unique<sort::QuicksortSorter>(hwmodel::kPentium4_3400);
+      break;
+    case Backend::kCpuStdSort:
+      sorter_ = std::make_unique<sort::StdSortSorter>(hwmodel::kPentium4_3400);
+      break;
+  }
+  STREAMGPU_CHECK(sorter_ != nullptr);
+}
+
+}  // namespace streamgpu::core

@@ -1,0 +1,44 @@
+// Backend factory: owns the simulated GPU device (for the GPU backends) and
+// the Sorter instance the estimators drive.
+
+#ifndef STREAMGPU_CORE_BACKEND_H_
+#define STREAMGPU_CORE_BACKEND_H_
+
+#include <memory>
+
+#include "core/options.h"
+#include "gpu/device.h"
+#include "sort/sorter.h"
+
+namespace streamgpu::core {
+
+/// A ready-to-use sorting engine for one estimator.
+class SortEngine {
+ public:
+  /// Builds the sorter (and, for GPU backends, the simulated device) for
+  /// `options`. Hardware profiles are the paper's testbed (GeForce 6800
+  /// Ultra / 3.4 GHz Pentium IV).
+  explicit SortEngine(const Options& options);
+
+  sort::Sorter& sorter() { return *sorter_; }
+  const sort::Sorter& sorter() const { return *sorter_; }
+
+  /// True for the GPU-backed configurations.
+  bool is_gpu() const { return device_ != nullptr; }
+
+  /// The simulated device (GPU backends only; nullptr otherwise).
+  gpu::GpuDevice* device() { return device_.get(); }
+
+  /// Number of windows worth buffering per sort batch: four for the PBSN
+  /// backend (one per RGBA channel, §4.1), one otherwise.
+  int batch_windows() const { return batch_windows_; }
+
+ private:
+  std::unique_ptr<gpu::GpuDevice> device_;
+  std::unique_ptr<sort::Sorter> sorter_;
+  int batch_windows_ = 1;
+};
+
+}  // namespace streamgpu::core
+
+#endif  // STREAMGPU_CORE_BACKEND_H_

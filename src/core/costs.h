@@ -1,0 +1,60 @@
+// Per-operation cost accounting for a whole estimator pipeline: the
+// sort / merge / compress split that Fig. 6 reports, in both host wall-clock
+// and simulated 2005-hardware time.
+
+#ifndef STREAMGPU_CORE_COSTS_H_
+#define STREAMGPU_CORE_COSTS_H_
+
+#include <cstdint>
+
+#include "hwmodel/cpu_model.h"
+#include "sort/sorter.h"
+
+namespace streamgpu::core {
+
+/// Accumulated cost record of one estimator.
+struct PipelineCosts {
+  /// Sorting work (GPU or CPU depending on backend), accumulated over every
+  /// window.
+  sort::SortRunInfo sort;
+
+  /// Host wall-clock of the non-sort summary operations.
+  double histogram_wall_seconds = 0;
+  double merge_wall_seconds = 0;
+  double compress_wall_seconds = 0;
+
+  /// Operation counts feeding the P4 model for the non-sort operations
+  /// (these always run on the CPU, in both backend configurations).
+  std::uint64_t histogram_elements = 0;
+  std::uint64_t merged_entries = 0;
+  std::uint64_t compressed_entries = 0;
+
+  /// Simulated P4 time of the histogram scan (linear pass over each sorted
+  /// window).
+  double SimulatedHistogramSeconds(const hwmodel::CpuModel& model) const {
+    return model.LinearPassSeconds(histogram_elements, sizeof(float),
+                                   /*cycles_per_element=*/3.0);
+  }
+
+  /// Simulated P4 time of summary merges (linear merge of sorted entry
+  /// lists; an entry is ~16 bytes).
+  double SimulatedMergeSeconds(const hwmodel::CpuModel& model) const {
+    return model.LinearPassSeconds(merged_entries, 16, /*cycles_per_element=*/8.0);
+  }
+
+  /// Simulated P4 time of compress passes.
+  double SimulatedCompressSeconds(const hwmodel::CpuModel& model) const {
+    return model.LinearPassSeconds(compressed_entries, 16, /*cycles_per_element=*/4.0);
+  }
+
+  /// End-to-end simulated time: sort (backend hardware) + summary
+  /// operations (always CPU).
+  double SimulatedTotalSeconds(const hwmodel::CpuModel& model) const {
+    return sort.simulated_seconds + SimulatedHistogramSeconds(model) +
+           SimulatedMergeSeconds(model) + SimulatedCompressSeconds(model);
+  }
+};
+
+}  // namespace streamgpu::core
+
+#endif  // STREAMGPU_CORE_COSTS_H_

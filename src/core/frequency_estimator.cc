@@ -1,0 +1,143 @@
+#include "core/frequency_estimator.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "gpu/half.h"
+#include "hwmodel/hardware_profiles.h"
+#include "sketch/histogram.h"
+
+namespace streamgpu::core {
+
+namespace {
+
+// Validates user-provided options at the API boundary.
+const Options& ValidatedOptions(const Options& options) {
+  STREAMGPU_CHECK_MSG(options.epsilon > 0.0 && options.epsilon < 1.0,
+                      "epsilon must be in (0, 1)");
+  return options;
+}
+
+std::uint64_t NaturalWindow(const Options& options) {
+  if (options.window_size != 0) return options.window_size;
+  if (options.sliding_window != 0) {
+    // Sliding mode chunks the stream into the block size of the
+    // block-decomposition structure.
+    return sketch::SlidingWindowFrequency(options.epsilon, options.sliding_window)
+        .block_size();
+  }
+  // Whole-history mode: the Manku-Motwani bucket width ceil(1/epsilon).
+  return static_cast<std::uint64_t>(std::ceil(1.0 / options.epsilon));
+}
+
+}  // namespace
+
+FrequencyEstimator::FrequencyEstimator(const Options& options)
+    : options_(ValidatedOptions(options)),
+      engine_(options),
+      // engine_ is declared (and therefore initialized) before batcher_.
+      batcher_(NaturalWindow(options), engine_.batch_windows()),
+      cpu_model_(hwmodel::kPentium4_3400) {
+  if (options.sliding_window != 0) {
+    sliding_.emplace(options.epsilon, options.sliding_window);
+    STREAMGPU_CHECK_MSG(batcher_.window_size() <= sliding_->block_size(),
+                        "window_size must not exceed the sliding block size");
+  } else {
+    whole_.emplace(options.epsilon);
+    STREAMGPU_CHECK_MSG(batcher_.window_size() <= whole_->window_width(),
+                        "window_size must not exceed ceil(1/epsilon)");
+  }
+}
+
+void FrequencyEstimator::Observe(float value) {
+  ++observed_;
+  if (engine_.is_gpu() && options_.gpu_format == gpu::Format::kFloat16) {
+    // The paper streams 16-bit floating point data (§5); the GPU pipeline
+    // quantizes on ingestion so summaries and queries agree bit-exactly.
+    value = gpu::QuantizeToHalf(value);
+  }
+  if (batcher_.Push(value)) ProcessBuffered();
+}
+
+void FrequencyEstimator::ObserveBatch(std::span<const float> values) {
+  for (float v : values) Observe(v);
+}
+
+void FrequencyEstimator::Flush() {
+  if (!batcher_.empty()) ProcessBuffered();
+}
+
+void FrequencyEstimator::ProcessBuffered() {
+  std::vector<std::span<float>> windows = batcher_.Windows();
+
+  // Sort every buffered window with the configured backend (four at a time
+  // through the RGBA channels on the PBSN path).
+  engine_.sorter().SortRuns(windows);
+  costs_.sort += engine_.sorter().last_run();
+
+  for (std::span<float> window : windows) {
+    Timer hist_timer;
+    const std::vector<sketch::HistogramEntry> histogram = sketch::BuildHistogram(window);
+    costs_.histogram_wall_seconds += hist_timer.ElapsedSeconds();
+    costs_.histogram_elements += window.size();
+
+    if (whole_.has_value()) {
+      whole_->AddWindowHistogram(histogram, window.size());
+    } else {
+      sliding_->AddBlockHistogram(histogram, window.size());
+    }
+    processed_ += window.size();
+  }
+  batcher_.Clear();
+}
+
+std::vector<std::pair<float, std::uint64_t>> FrequencyEstimator::HeavyHitters(
+    double support, std::uint64_t window) const {
+  if (whole_.has_value()) return whole_->HeavyHitters(support);
+  return sliding_->HeavyHitters(support, window);
+}
+
+std::uint64_t FrequencyEstimator::EstimateCount(float value, std::uint64_t window) const {
+  if (engine_.is_gpu() && options_.gpu_format == gpu::Format::kFloat16) {
+    // Queries live in the same quantized value universe as ingestion.
+    value = gpu::QuantizeToHalf(value);
+  }
+  if (whole_.has_value()) return whole_->EstimateCount(value);
+  return sliding_->EstimateCount(value, window);
+}
+
+std::vector<std::pair<float, std::uint64_t>> FrequencyEstimator::TopK(
+    std::size_t k, std::uint64_t window) const {
+  // HeavyHitters at support 0 returns every retained entry, sorted by
+  // descending estimate; truncate to k.
+  auto all = whole_.has_value() ? whole_->HeavyHitters(0.0)
+                                : sliding_->HeavyHitters(0.0, window);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+std::uint64_t FrequencyEstimator::processed_length() const { return processed_; }
+
+std::size_t FrequencyEstimator::summary_size() const {
+  return whole_.has_value() ? whole_->summary_size() : sliding_->summary_size();
+}
+
+const PipelineCosts& FrequencyEstimator::costs() const {
+  if (whole_.has_value()) {
+    // The Manku-Motwani summary tracks its own merge/compress costs;
+    // mirror them into the pipeline record.
+    const sketch::SummaryOpCosts& ops = whole_->op_costs();
+    costs_.merge_wall_seconds = ops.merge_seconds;
+    costs_.compress_wall_seconds = ops.compress_seconds;
+    costs_.merged_entries = ops.merged_entries;
+    costs_.compressed_entries = ops.compressed_entries;
+  }
+  return costs_;
+}
+
+double FrequencyEstimator::SimulatedSeconds() const {
+  return costs().SimulatedTotalSeconds(cpu_model_);
+}
+
+}  // namespace streamgpu::core

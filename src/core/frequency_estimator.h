@@ -1,0 +1,104 @@
+// Public API: epsilon-approximate frequency estimation over a data stream,
+// GPU-accelerated per §5.1 — the stream is chunked into windows, each window
+// is sorted by the configured backend, reduced to a histogram, and merged
+// into a Manku-Motwani summary (whole history) or a block-decomposed
+// sliding-window summary (§5.3).
+
+#ifndef STREAMGPU_CORE_FREQUENCY_ESTIMATOR_H_
+#define STREAMGPU_CORE_FREQUENCY_ESTIMATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/costs.h"
+#include "core/options.h"
+#include "sketch/lossy_counting.h"
+#include "sketch/sliding_window.h"
+#include "stream/window_buffer.h"
+
+namespace streamgpu::core {
+
+/// Streaming epsilon-approximate frequency estimator.
+///
+/// Usage:
+///   Options opt;
+///   opt.epsilon = 1e-4;
+///   FrequencyEstimator fe(opt);
+///   for (float v : stream) fe.Observe(v);
+///   fe.Flush();
+///   auto hitters = fe.HeavyHitters(0.01);
+///
+/// Queries reflect the windows processed so far; up to
+/// batch-size * window-size recent elements may still be buffered until the
+/// next batch boundary or Flush(). Flush() finalizes a partial window and is
+/// intended for end-of-stream (whole-history mode's error guarantee assumes
+/// full windows in the interior of the stream).
+class FrequencyEstimator {
+ public:
+  explicit FrequencyEstimator(const Options& options);
+
+  /// Processes one stream element.
+  void Observe(float value);
+
+  /// Processes a batch of stream elements.
+  void ObserveBatch(std::span<const float> values);
+
+  /// Processes any buffered windows, including a final partial one.
+  void Flush();
+
+  /// Heavy hitters at `support` over the whole history, or — in sliding
+  /// mode — over the most recent `window` elements (0 = full sliding
+  /// window). No false negatives among processed elements.
+  std::vector<std::pair<float, std::uint64_t>> HeavyHitters(
+      double support, std::uint64_t window = 0) const;
+
+  /// Estimated frequency of `value` (undercounts by at most epsilon * N).
+  std::uint64_t EstimateCount(float value, std::uint64_t window = 0) const;
+
+  /// The k values with the highest estimated frequencies (descending). With
+  /// estimates within epsilon * N of truth, this is the true top-k whenever
+  /// the k-th and (k+1)-th true frequencies are more than 2 * epsilon * N
+  /// apart.
+  std::vector<std::pair<float, std::uint64_t>> TopK(std::size_t k,
+                                                    std::uint64_t window = 0) const;
+
+  /// Elements already folded into the summary.
+  std::uint64_t processed_length() const;
+
+  /// Elements observed, including still-buffered ones.
+  std::uint64_t observed_length() const { return observed_; }
+
+  /// Current summary entries (space usage).
+  std::size_t summary_size() const;
+
+  /// Accumulated per-operation costs (Fig. 5/6 source data).
+  const PipelineCosts& costs() const;
+
+  /// Simulated end-to-end 2005-hardware seconds for everything processed.
+  double SimulatedSeconds() const;
+
+  const Options& options() const { return options_; }
+  bool sliding() const { return sliding_.has_value(); }
+
+ private:
+  /// Sorts the buffered windows with the backend and merges each into the
+  /// summary.
+  void ProcessBuffered();
+
+  Options options_;
+  SortEngine engine_;
+  stream::WindowBatcher batcher_;
+  std::optional<sketch::LossyCounting> whole_;
+  std::optional<sketch::SlidingWindowFrequency> sliding_;
+  hwmodel::CpuModel cpu_model_;
+  mutable PipelineCosts costs_;
+  std::uint64_t observed_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace streamgpu::core
+
+#endif  // STREAMGPU_CORE_FREQUENCY_ESTIMATOR_H_

@@ -1,0 +1,67 @@
+// Configuration of the public stream-mining estimators.
+
+#ifndef STREAMGPU_CORE_OPTIONS_H_
+#define STREAMGPU_CORE_OPTIONS_H_
+
+#include <cstdint>
+
+#include "gpu/surface.h"
+
+namespace streamgpu::core {
+
+/// Sorting backend used for the per-window histogram computation — the
+/// operation that dominates runtime (70-95%, §3.2) and that the paper
+/// offloads to the GPU.
+enum class Backend {
+  kGpuPbsn,       ///< the paper's GPU PBSN sort (§4.4)
+  kGpuBitonic,    ///< prior GPU bitonic sort baseline [40]
+  kCpuQuicksort,  ///< instrumented CPU quicksort (Intel-compiler class)
+  kCpuStdSort,    ///< std::sort (introsort)
+};
+
+/// Human-readable backend name.
+inline const char* BackendName(Backend b) {
+  switch (b) {
+    case Backend::kGpuPbsn:
+      return "gpu-pbsn";
+    case Backend::kGpuBitonic:
+      return "gpu-bitonic";
+    case Backend::kCpuQuicksort:
+      return "cpu-quicksort";
+    case Backend::kCpuStdSort:
+      return "cpu-std-sort";
+  }
+  return "?";
+}
+
+/// Estimator configuration.
+struct Options {
+  /// Approximation parameter: rank error (quantiles) or frequency error
+  /// (heavy hitters) is at most epsilon * N.
+  double epsilon = 0.001;
+
+  /// Sorting backend for the histogram step.
+  Backend backend = Backend::kGpuPbsn;
+
+  /// Texture/render-target precision for the GPU backends. The paper's
+  /// optimized configuration streams 16-bit floating point data through
+  /// 16-bit offscreen buffers (§4.5, §5); with kFloat16 every observed value
+  /// is quantized through binary16 on ingestion.
+  gpu::Format gpu_format = gpu::Format::kFloat16;
+
+  /// Elements per processing window. 0 = the natural width ceil(1/epsilon)
+  /// (whole-history mode) or the block size epsilon*W/2 (sliding mode).
+  std::uint64_t window_size = 0;
+
+  /// Width W of the sliding window; 0 = queries cover the entire past
+  /// history (§3.1's two query manners).
+  std::uint64_t sliding_window = 0;
+
+  /// A-priori stream length N for the whole-history quantile structure
+  /// (§5.2 assumes N known). 0 = provision generously (2^32 windows).
+  std::uint64_t expected_stream_length = 0;
+};
+
+}  // namespace streamgpu::core
+
+#endif  // STREAMGPU_CORE_OPTIONS_H_

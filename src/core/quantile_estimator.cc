@@ -1,0 +1,121 @@
+#include "core/quantile_estimator.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "gpu/half.h"
+#include "hwmodel/hardware_profiles.h"
+
+namespace streamgpu::core {
+
+namespace {
+
+// Validates user-provided options at the API boundary.
+const Options& ValidatedOptions(const Options& options) {
+  STREAMGPU_CHECK_MSG(options.epsilon > 0.0 && options.epsilon < 1.0,
+                      "epsilon must be in (0, 1)");
+  return options;
+}
+
+std::uint64_t NaturalWindow(const Options& options) {
+  if (options.window_size != 0) return options.window_size;
+  if (options.sliding_window != 0) {
+    return sketch::SlidingWindowQuantile(options.epsilon, options.sliding_window)
+        .block_size();
+  }
+  // Whole-history mode: windows of ceil(1/epsilon) give (epsilon/2)-summaries
+  // of about 1/epsilon tuples, mirroring the frequency path's bucket width.
+  return static_cast<std::uint64_t>(std::ceil(1.0 / options.epsilon));
+}
+
+std::uint64_t ExpectedLength(const Options& options, std::uint64_t window) {
+  if (options.expected_stream_length != 0) return options.expected_stream_length;
+  // Provision generously: 2^32 windows cover any realistic session.
+  return window << 32;
+}
+
+}  // namespace
+
+QuantileEstimator::QuantileEstimator(const Options& options)
+    : options_(ValidatedOptions(options)),
+      engine_(options),
+      // engine_ is declared (and therefore initialized) before batcher_.
+      batcher_(NaturalWindow(options), engine_.batch_windows()),
+      cpu_model_(hwmodel::kPentium4_3400) {
+  if (options.sliding_window != 0) {
+    sliding_.emplace(options.epsilon, options.sliding_window);
+    STREAMGPU_CHECK_MSG(batcher_.window_size() <= sliding_->block_size(),
+                        "window_size must not exceed the sliding block size");
+  } else {
+    whole_.emplace(options.epsilon, batcher_.window_size(),
+                   ExpectedLength(options, batcher_.window_size()));
+  }
+}
+
+void QuantileEstimator::Observe(float value) {
+  ++observed_;
+  if (engine_.is_gpu() && options_.gpu_format == gpu::Format::kFloat16) {
+    value = gpu::QuantizeToHalf(value);
+  }
+  if (batcher_.Push(value)) ProcessBuffered();
+}
+
+void QuantileEstimator::ObserveBatch(std::span<const float> values) {
+  for (float v : values) Observe(v);
+}
+
+void QuantileEstimator::Flush() {
+  if (!batcher_.empty()) ProcessBuffered();
+}
+
+void QuantileEstimator::ProcessBuffered() {
+  std::vector<std::span<float>> windows = batcher_.Windows();
+
+  engine_.sorter().SortRuns(windows);
+  costs_.sort += engine_.sorter().last_run();
+
+  for (std::span<float> window : windows) {
+    // Rank-sample the sorted window into an (epsilon/2)-approximate summary
+    // (the "histogram subset" of §3.2's quantile path).
+    Timer hist_timer;
+    const double target = whole_.has_value() ? options_.epsilon / 2.0
+                                             : sliding_->block_epsilon();
+    sketch::GkSummary summary = sketch::GkSummary::FromSorted(window, target);
+    costs_.histogram_wall_seconds += hist_timer.ElapsedSeconds();
+    costs_.histogram_elements += window.size();
+
+    if (whole_.has_value()) {
+      whole_->AddWindowSummary(std::move(summary));
+    } else {
+      sliding_->AddBlockSummary(std::move(summary));
+    }
+    processed_ += window.size();
+  }
+  batcher_.Clear();
+}
+
+float QuantileEstimator::Quantile(double phi, std::uint64_t window) const {
+  if (whole_.has_value()) return whole_->Query(phi);
+  return sliding_->Query(phi, window);
+}
+
+std::size_t QuantileEstimator::summary_size() const {
+  return whole_.has_value() ? whole_->TotalTuples() : sliding_->summary_size();
+}
+
+const PipelineCosts& QuantileEstimator::costs() const {
+  if (whole_.has_value()) {
+    costs_.merge_wall_seconds = whole_->merge_seconds();
+    costs_.compress_wall_seconds = whole_->compress_seconds();
+    costs_.merged_entries = whole_->merged_tuples();
+    costs_.compressed_entries = whole_->pruned_tuples();
+  }
+  return costs_;
+}
+
+double QuantileEstimator::SimulatedSeconds() const {
+  return costs().SimulatedTotalSeconds(cpu_model_);
+}
+
+}  // namespace streamgpu::core

@@ -1,0 +1,87 @@
+// Public API: epsilon-approximate quantile estimation over a data stream,
+// GPU-accelerated per §5.2 — each window is sorted by the configured
+// backend, rank-sampled into a Greenwald-Khanna summary, and maintained in
+// an exponential histogram (whole history) or a block-decomposed
+// sliding-window structure (§5.3).
+
+#ifndef STREAMGPU_CORE_QUANTILE_ESTIMATOR_H_
+#define STREAMGPU_CORE_QUANTILE_ESTIMATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "core/backend.h"
+#include "core/costs.h"
+#include "core/options.h"
+#include "sketch/exponential_histogram.h"
+#include "sketch/sliding_window.h"
+#include "stream/window_buffer.h"
+
+namespace streamgpu::core {
+
+/// Streaming epsilon-approximate quantile estimator.
+///
+/// Usage:
+///   Options opt;
+///   opt.epsilon = 1e-3;
+///   QuantileEstimator qe(opt);
+///   for (float v : stream) qe.Observe(v);
+///   qe.Flush();
+///   float median = qe.Quantile(0.5);
+///
+/// The returned element's rank among the processed elements is within
+/// epsilon * N of phi * N.
+class QuantileEstimator {
+ public:
+  explicit QuantileEstimator(const Options& options);
+
+  /// Processes one stream element.
+  void Observe(float value);
+
+  /// Processes a batch of stream elements.
+  void ObserveBatch(std::span<const float> values);
+
+  /// Processes any buffered windows, including a final partial one.
+  void Flush();
+
+  /// The phi-quantile (phi in (0, 1]) over the whole history, or — in
+  /// sliding mode — over the most recent `window` elements (0 = full
+  /// sliding window).
+  float Quantile(double phi, std::uint64_t window = 0) const;
+
+  /// Elements already folded into the summary.
+  std::uint64_t processed_length() const { return processed_; }
+
+  /// Elements observed, including still-buffered ones.
+  std::uint64_t observed_length() const { return observed_; }
+
+  /// Current summary tuples (space usage).
+  std::size_t summary_size() const;
+
+  /// Accumulated per-operation costs (Fig. 7 source data).
+  const PipelineCosts& costs() const;
+
+  /// Simulated end-to-end 2005-hardware seconds for everything processed.
+  double SimulatedSeconds() const;
+
+  const Options& options() const { return options_; }
+  bool sliding() const { return sliding_.has_value(); }
+
+ private:
+  void ProcessBuffered();
+
+  Options options_;
+  SortEngine engine_;
+  stream::WindowBatcher batcher_;
+  std::optional<sketch::EhQuantileSummary> whole_;
+  std::optional<sketch::SlidingWindowQuantile> sliding_;
+  hwmodel::CpuModel cpu_model_;
+  mutable PipelineCosts costs_;
+  std::uint64_t observed_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace streamgpu::core
+
+#endif  // STREAMGPU_CORE_QUANTILE_ESTIMATOR_H_

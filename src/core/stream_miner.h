@@ -1,0 +1,52 @@
+// Public API facade: one object that maintains both the frequency and the
+// quantile summary over a single stream — the "numerical statistics
+// co-processor" configuration of the paper's abstract.
+
+#ifndef STREAMGPU_CORE_STREAM_MINER_H_
+#define STREAMGPU_CORE_STREAM_MINER_H_
+
+#include "core/frequency_estimator.h"
+#include "core/quantile_estimator.h"
+
+namespace streamgpu::core {
+
+/// Maintains frequency and quantile summaries side by side. Each estimator
+/// owns its own backend engine (and, for GPU backends, its own simulated
+/// device), so their cost records stay separable.
+class StreamMiner {
+ public:
+  explicit StreamMiner(const Options& options)
+      : frequencies_(options), quantiles_(options) {}
+
+  /// Processes one stream element through both summaries.
+  void Observe(float value) {
+    frequencies_.Observe(value);
+    quantiles_.Observe(value);
+  }
+
+  /// Processes a batch of stream elements.
+  void ObserveBatch(std::span<const float> values) {
+    frequencies_.ObserveBatch(values);
+    quantiles_.ObserveBatch(values);
+  }
+
+  /// Finalizes buffered windows in both summaries (end of stream).
+  void Flush() {
+    frequencies_.Flush();
+    quantiles_.Flush();
+  }
+
+  FrequencyEstimator& frequencies() { return frequencies_; }
+  const FrequencyEstimator& frequencies() const { return frequencies_; }
+
+  QuantileEstimator& quantiles() { return quantiles_; }
+  const QuantileEstimator& quantiles() const { return quantiles_; }
+
+ private:
+  FrequencyEstimator frequencies_;
+  QuantileEstimator quantiles_;
+};
+
+}  // namespace streamgpu::core
+
+#endif  // STREAMGPU_CORE_STREAM_MINER_H_

@@ -1,0 +1,76 @@
+// Depth testing state.
+//
+// The companion work the paper builds on (§2.2, Govindaraju et al. [20])
+// implements database predicates, range queries and k-th largest selection
+// with the depth-test hardware: attribute values are loaded into the depth
+// buffer, screen-aligned quads are rendered at a test depth, and occlusion
+// queries count the fragments that pass. The simulator models exactly that
+// fixed-function path.
+
+#ifndef STREAMGPU_GPU_DEPTH_H_
+#define STREAMGPU_GPU_DEPTH_H_
+
+namespace streamgpu::gpu {
+
+/// Depth comparison function (glDepthFunc).
+enum class DepthFunc {
+  kNever,
+  kLess,
+  kLessEqual,
+  kGreater,
+  kGreaterEqual,
+  kEqual,
+  kNotEqual,
+  kAlways,
+};
+
+/// Applies the depth comparison: true when the incoming fragment depth
+/// passes against the stored depth.
+inline bool DepthTestPasses(DepthFunc func, float incoming, float stored) {
+  switch (func) {
+    case DepthFunc::kNever:
+      return false;
+    case DepthFunc::kLess:
+      return incoming < stored;
+    case DepthFunc::kLessEqual:
+      return incoming <= stored;
+    case DepthFunc::kGreater:
+      return incoming > stored;
+    case DepthFunc::kGreaterEqual:
+      return incoming >= stored;
+    case DepthFunc::kEqual:
+      return incoming == stored;
+    case DepthFunc::kNotEqual:
+      return incoming != stored;
+    case DepthFunc::kAlways:
+      return true;
+  }
+  return false;
+}
+
+/// Human-readable name, for logs and test failures.
+inline const char* DepthFuncName(DepthFunc func) {
+  switch (func) {
+    case DepthFunc::kNever:
+      return "NEVER";
+    case DepthFunc::kLess:
+      return "LESS";
+    case DepthFunc::kLessEqual:
+      return "LEQUAL";
+    case DepthFunc::kGreater:
+      return "GREATER";
+    case DepthFunc::kGreaterEqual:
+      return "GEQUAL";
+    case DepthFunc::kEqual:
+      return "EQUAL";
+    case DepthFunc::kNotEqual:
+      return "NOTEQUAL";
+    case DepthFunc::kAlways:
+      return "ALWAYS";
+  }
+  return "?";
+}
+
+}  // namespace streamgpu::gpu
+
+#endif  // STREAMGPU_GPU_DEPTH_H_

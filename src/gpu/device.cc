@@ -1,0 +1,213 @@
+#include "gpu/device.h"
+
+#include <cstring>
+
+namespace streamgpu::gpu {
+
+TextureHandle GpuDevice::CreateTexture(int width, int height, Format format) {
+  textures_.push_back(std::make_unique<Surface>(width, height, format));
+  return static_cast<TextureHandle>(textures_.size()) - 1;
+}
+
+const Surface& GpuDevice::Texture(TextureHandle tex) const {
+  STREAMGPU_CHECK(tex >= 0 && static_cast<std::size_t>(tex) < textures_.size());
+  return *textures_[tex];
+}
+
+Surface& GpuDevice::MutableTexture(TextureHandle tex) {
+  STREAMGPU_CHECK(tex >= 0 && static_cast<std::size_t>(tex) < textures_.size());
+  return *textures_[tex];
+}
+
+void GpuDevice::UploadChannel(TextureHandle tex, int channel, std::span<const float> data) {
+  Surface& t = MutableTexture(tex);
+  STREAMGPU_CHECK(channel >= 0 && channel < kNumChannels);
+  STREAMGPU_CHECK_MSG(data.size() == t.num_texels(),
+                      "UploadChannel size must match texture dimensions");
+  float* dst = t.ChannelData(channel);
+  if (t.format() == Format::kFloat16) {
+    for (std::size_t i = 0; i < data.size(); ++i) dst[i] = QuantizeToHalf(data[i]);
+  } else {
+    std::memcpy(dst, data.data(), data.size() * sizeof(float));
+  }
+  stats_.bytes_uploaded += t.num_texels() * BytesPerChannel(t.format());
+  // Uploads also land in video memory.
+  stats_.bytes_vram += t.num_texels() * BytesPerChannel(t.format());
+}
+
+void GpuDevice::ReadbackChannel(int channel, std::span<float> out) {
+  STREAMGPU_CHECK(channel >= 0 && channel < kNumChannels);
+  STREAMGPU_CHECK_MSG(out.size() == framebuffer_.num_texels(),
+                      "ReadbackChannel size must match framebuffer dimensions");
+  std::memcpy(out.data(), framebuffer_.ChannelData(channel), out.size() * sizeof(float));
+  stats_.bytes_readback += framebuffer_.num_texels() * BytesPerChannel(framebuffer_.format());
+  stats_.bytes_vram += framebuffer_.num_texels() * BytesPerChannel(framebuffer_.format());
+}
+
+void GpuDevice::BindFramebuffer(int width, int height, Format format) {
+  framebuffer_.Reset(width, height, format);
+  stats_.framebuffer_binds += 1;
+}
+
+void GpuDevice::DrawQuad(TextureHandle tex, const Quad& quad) {
+  Rasterizer::DrawQuad(Texture(tex), quad, blend_op_, &framebuffer_, &stats_);
+}
+
+void GpuDevice::BindDepthBuffer(int width, int height, float clear_value) {
+  STREAMGPU_CHECK(width > 0 && height > 0);
+  depth_width_ = width;
+  depth_height_ = height;
+  depth_buffer_.assign(static_cast<std::size_t>(width) * height, clear_value);
+  stats_.framebuffer_binds += 1;
+}
+
+void GpuDevice::LoadDepthFromTexture(TextureHandle tex, int channel) {
+  const Surface& t = Texture(tex);
+  STREAMGPU_CHECK(channel >= 0 && channel < kNumChannels);
+  STREAMGPU_CHECK_MSG(t.width() == depth_width_ && t.height() == depth_height_,
+                      "LoadDepthFromTexture requires matching dimensions");
+  const float* src = t.ChannelData(channel);
+  const std::size_t n = t.num_texels();
+  for (std::size_t i = 0; i < n; ++i) depth_buffer_[i] = src[i];
+  stats_.draw_calls += 1;
+  stats_.fragments_shaded += n;
+  stats_.texture_fetches += n;
+  stats_.depth_test_fragments += n;
+  // One texel fetch plus one depth write per fragment.
+  stats_.bytes_vram += n * (BytesPerTexel(t.format()) + sizeof(float));
+}
+
+void GpuDevice::LoadDepthFromFramebuffer(int channel) {
+  STREAMGPU_CHECK(channel >= 0 && channel < kNumChannels);
+  STREAMGPU_CHECK_MSG(
+      framebuffer_.width() == depth_width_ && framebuffer_.height() == depth_height_,
+      "LoadDepthFromFramebuffer requires matching dimensions");
+  const float* src = framebuffer_.ChannelData(channel);
+  const std::size_t n = framebuffer_.num_texels();
+  for (std::size_t i = 0; i < n; ++i) depth_buffer_[i] = src[i];
+  stats_.draw_calls += 1;
+  stats_.fragments_shaded += n;
+  stats_.depth_test_fragments += n;
+  stats_.bytes_vram += n * (BytesPerChannel(framebuffer_.format()) + sizeof(float));
+}
+
+void GpuDevice::SetDepthTest(DepthFunc func, bool write_depth) {
+  depth_func_ = func;
+  depth_write_ = write_depth;
+}
+
+void GpuDevice::BeginOcclusionQuery() {
+  STREAMGPU_CHECK_MSG(!occlusion_active_, "occlusion query already active");
+  occlusion_active_ = true;
+  occlusion_passed_ = 0;
+}
+
+std::uint64_t GpuDevice::EndOcclusionQuery() {
+  STREAMGPU_CHECK_MSG(occlusion_active_, "no occlusion query active");
+  occlusion_active_ = false;
+  stats_.occlusion_queries += 1;
+  stats_.bytes_readback += sizeof(std::uint64_t);
+  return occlusion_passed_;
+}
+
+void GpuDevice::BindStencilBuffer(int width, int height, std::uint8_t clear_value) {
+  STREAMGPU_CHECK(width > 0 && height > 0);
+  stencil_width_ = width;
+  stencil_height_ = height;
+  stencil_buffer_.assign(static_cast<std::size_t>(width) * height, clear_value);
+}
+
+void GpuDevice::SetStencilTest(bool enabled, StencilFunc func, std::uint8_t reference,
+                               StencilOp on_pass) {
+  stencil_enabled_ = enabled;
+  stencil_func_ = func;
+  stencil_ref_ = reference;
+  stencil_on_pass_ = on_pass;
+}
+
+std::uint8_t GpuDevice::StencilAt(int x, int y) const {
+  STREAMGPU_CHECK(x >= 0 && x < stencil_width_ && y >= 0 && y < stencil_height_);
+  return stencil_buffer_[static_cast<std::size_t>(y) * stencil_width_ + x];
+}
+
+void GpuDevice::DrawDepthOnlyQuad(float x0, float y0, float x1, float y1, float depth) {
+  STREAMGPU_CHECK_MSG(depth_width_ > 0, "no depth buffer bound");
+  if (stencil_enabled_) {
+    STREAMGPU_CHECK_MSG(
+        stencil_width_ == depth_width_ && stencil_height_ == depth_height_,
+        "stencil and depth buffers must match");
+  }
+  const int px0 = std::max(0, static_cast<int>(std::ceil(x0 - 0.5f)));
+  const int py0 = std::max(0, static_cast<int>(std::ceil(y0 - 0.5f)));
+  const int px1 = std::min(depth_width_, static_cast<int>(std::ceil(x1 - 0.5f)));
+  const int py1 = std::min(depth_height_, static_cast<int>(std::ceil(y1 - 0.5f)));
+  stats_.draw_calls += 1;
+  if (px0 >= px1 || py0 >= py1) return;
+
+  std::uint64_t passed = 0;
+  for (int y = py0; y < py1; ++y) {
+    float* row = depth_buffer_.data() + static_cast<std::size_t>(y) * depth_width_;
+    std::uint8_t* srow =
+        stencil_enabled_
+            ? stencil_buffer_.data() + static_cast<std::size_t>(y) * stencil_width_
+            : nullptr;
+    for (int x = px0; x < px1; ++x) {
+      if (stencil_enabled_ && stencil_func_ == StencilFunc::kEqual &&
+          srow[x] != stencil_ref_) {
+        continue;  // stencil-fail: fragment discarded before the depth test
+      }
+      if (DepthTestPasses(depth_func_, depth, row[x])) {
+        ++passed;
+        if (depth_write_) row[x] = depth;
+        if (stencil_enabled_) {
+          switch (stencil_on_pass_) {
+            case StencilOp::kKeep:
+              break;
+            case StencilOp::kIncrement:
+              if (srow[x] != 0xFF) ++srow[x];
+              break;
+            case StencilOp::kZero:
+              srow[x] = 0;
+              break;
+          }
+        }
+      }
+    }
+  }
+  const std::uint64_t fragments =
+      static_cast<std::uint64_t>(px1 - px0) * static_cast<std::uint64_t>(py1 - py0);
+  stats_.fragments_shaded += fragments;
+  stats_.depth_test_fragments += fragments;
+  // One depth read per fragment; one write per passing fragment with depth
+  // writes enabled; stencil reads/writes ride the same ROP path (1 B each).
+  stats_.bytes_vram += fragments * sizeof(float) +
+                       (depth_write_ ? passed * sizeof(float) : 0) +
+                       (stencil_enabled_ ? fragments + passed : 0);
+  if (occlusion_active_) occlusion_passed_ += passed;
+}
+
+float GpuDevice::DepthAt(int x, int y) const {
+  STREAMGPU_CHECK(x >= 0 && x < depth_width_ && y >= 0 && y < depth_height_);
+  return depth_buffer_[static_cast<std::size_t>(y) * depth_width_ + x];
+}
+
+void GpuDevice::CopyFramebufferToTexture(TextureHandle tex) {
+  Surface& t = MutableTexture(tex);
+  STREAMGPU_CHECK_MSG(
+      t.width() == framebuffer_.width() && t.height() == framebuffer_.height(),
+      "CopyFramebufferToTexture requires matching dimensions");
+  for (int c = 0; c < kNumChannels; ++c) {
+    const float* src = framebuffer_.ChannelData(c);
+    float* dst = t.ChannelData(c);
+    if (t.format() == Format::kFloat16 && framebuffer_.format() != Format::kFloat16) {
+      for (std::size_t i = 0; i < t.num_texels(); ++i) dst[i] = QuantizeToHalf(src[i]);
+    } else {
+      std::memcpy(dst, src, t.num_texels() * sizeof(float));
+    }
+  }
+  // Read the framebuffer once, write the texture once.
+  stats_.bytes_vram += framebuffer_.SizeBytes() + t.SizeBytes();
+  stats_.fb_to_texture_copies += 1;
+}
+
+}  // namespace streamgpu::gpu

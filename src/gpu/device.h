@@ -1,0 +1,178 @@
+// The simulated graphics device: texture objects, a framebuffer, render
+// state, host<->device transfers with bus-byte accounting, and cumulative
+// work counters.
+//
+// This class is the substitution for the paper's NVIDIA GeForce FX 6800
+// Ultra + OpenGL stack. It executes exactly the operations the paper's
+// routines issue (texture upload, Copy, blended quads, framebuffer-to-texture
+// copies, readback) and records how much of each a physical device would have
+// performed; src/hwmodel converts the counters to simulated milliseconds.
+
+#ifndef STREAMGPU_GPU_DEVICE_H_
+#define STREAMGPU_GPU_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "gpu/blend.h"
+#include "gpu/depth.h"
+#include "gpu/rasterizer.h"
+#include "gpu/stats.h"
+#include "gpu/surface.h"
+#include "gpu/vertex.h"
+
+namespace streamgpu::gpu {
+
+/// Opaque texture object handle.
+using TextureHandle = int;
+
+/// A simulated GPU with video memory, a rasterizer, and a bus to the host.
+class GpuDevice {
+ public:
+  GpuDevice() = default;
+
+  // Not copyable (owns device memory); movable.
+  GpuDevice(const GpuDevice&) = delete;
+  GpuDevice& operator=(const GpuDevice&) = delete;
+  GpuDevice(GpuDevice&&) = default;
+  GpuDevice& operator=(GpuDevice&&) = default;
+
+  /// Allocates a width x height RGBA texture and returns its handle.
+  TextureHandle CreateTexture(int width, int height, Format format);
+
+  /// Releases all textures (handles become invalid).
+  void DestroyAllTextures() { textures_.clear(); }
+
+  /// Uploads one channel of a texture from host memory over the bus. `data`
+  /// is row-major and must contain exactly width*height values. Bus bytes
+  /// are charged at the texture's storage precision.
+  void UploadChannel(TextureHandle tex, int channel, std::span<const float> data);
+
+  /// Reads one framebuffer channel back to host memory over the bus.
+  void ReadbackChannel(int channel, std::span<float> out);
+
+  /// Binds (and reallocates) the framebuffer. Contents are undefined (zeroed
+  /// in the simulator).
+  void BindFramebuffer(int width, int height, Format format);
+
+  /// Sets the blend equation for subsequent DrawQuad calls. kReplace models
+  /// glDisable(GL_BLEND).
+  void SetBlend(BlendOp op) { blend_op_ = op; }
+
+  /// Rasterizes a textured quad into the framebuffer with the current blend
+  /// equation (the paper's DrawQuad(v, t)).
+  void DrawQuad(TextureHandle tex, const Quad& quad);
+
+  /// Copies the framebuffer contents into a texture of identical dimensions
+  /// (glCopyTexSubImage2D). Pure video-memory traffic; no bus transfer.
+  void CopyFramebufferToTexture(TextureHandle tex);
+
+  /// Runs a user fragment program over a framebuffer rectangle (see
+  /// Rasterizer::RunFragmentProgram). Used by the bitonic-sort baseline.
+  template <typename Program>
+  void RunFragmentProgram(TextureHandle tex, int x0, int y0, int x1, int y1,
+                          std::uint64_t instructions_per_fragment,
+                          std::uint64_t fetches_per_fragment, Program&& program) {
+    Rasterizer::RunFragmentProgram(Texture(tex), x0, y0, x1, y1, instructions_per_fragment,
+                                   fetches_per_fragment, std::forward<Program>(program),
+                                   &framebuffer_, &stats_);
+  }
+
+  // --- Depth-test path (the database-predicate machinery of [20], §2.2). ---
+
+  /// Binds (and reallocates) a depth buffer, cleared to `clear_value`.
+  void BindDepthBuffer(int width, int height, float clear_value = 1.0f);
+
+  /// Loads one texture channel into the depth buffer: a render pass in which
+  /// each fragment's depth is the corresponding texel value (depth writes
+  /// on, depth func ALWAYS). Dimensions must match the depth buffer.
+  void LoadDepthFromTexture(TextureHandle tex, int channel);
+
+  /// Loads one framebuffer channel into the depth buffer (a depth-replace
+  /// pass over a previously rendered result — how computed attributes such
+  /// as linear combinations reach the depth-test path, [20]).
+  void LoadDepthFromFramebuffer(int channel);
+
+  /// Sets the depth comparison and whether passing fragments update the
+  /// stored depth.
+  void SetDepthTest(DepthFunc func, bool write_depth);
+
+  /// Starts counting fragments that pass the depth test.
+  void BeginOcclusionQuery();
+
+  /// Stops counting and returns the number of passing fragments (a
+  /// pipeline-stalling readback on real hardware; charged per query by the
+  /// timing model).
+  std::uint64_t EndOcclusionQuery();
+
+  // --- Stencil path (boolean predicate combinations, [20]). ---
+
+  /// Stencil comparison for subsequent depth-only quads.
+  enum class StencilFunc { kAlways, kEqual };
+
+  /// Stencil update applied to fragments that pass BOTH the stencil and the
+  /// depth test (a subset of GL's op table sufficient for multi-pass
+  /// conjunction counting).
+  enum class StencilOp { kKeep, kIncrement, kZero };
+
+  /// Binds (and reallocates) an 8-bit stencil buffer cleared to
+  /// `clear_value`. Dimensions must match the depth buffer when both are
+  /// used.
+  void BindStencilBuffer(int width, int height, std::uint8_t clear_value = 0);
+
+  /// Enables/disables the stencil test for depth-only quads.
+  void SetStencilTest(bool enabled, StencilFunc func = StencilFunc::kAlways,
+                      std::uint8_t reference = 0, StencilOp on_pass = StencilOp::kKeep);
+
+  /// Stored stencil value at a pixel (host-side inspection in tests).
+  std::uint8_t StencilAt(int x, int y) const;
+
+  /// Renders a depth-only screen-aligned quad at constant `depth` covering
+  /// pixel rectangle [x0, x1) x [y0, y1); no color output. When the stencil
+  /// test is enabled, fragments failing it are discarded before the depth
+  /// test, and `on_pass` updates the stencil of fully passing fragments.
+  void DrawDepthOnlyQuad(float x0, float y0, float x1, float y1, float depth);
+
+  /// Stored depth at a pixel (host-side inspection in tests).
+  float DepthAt(int x, int y) const;
+
+  /// Direct access to a texture object (host-side inspection in tests).
+  const Surface& Texture(TextureHandle tex) const;
+  Surface& MutableTexture(TextureHandle tex);
+
+  /// Direct access to the framebuffer (host-side inspection in tests).
+  const Surface& framebuffer() const { return framebuffer_; }
+
+  /// Cumulative work counters since construction or the last ResetStats().
+  const GpuStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = GpuStats{}; }
+
+ private:
+  std::vector<std::unique_ptr<Surface>> textures_;
+  Surface framebuffer_;
+  BlendOp blend_op_ = BlendOp::kReplace;
+
+  std::vector<float> depth_buffer_;
+  int depth_width_ = 0;
+  int depth_height_ = 0;
+  DepthFunc depth_func_ = DepthFunc::kAlways;
+  bool depth_write_ = true;
+  bool occlusion_active_ = false;
+  std::uint64_t occlusion_passed_ = 0;
+
+  std::vector<std::uint8_t> stencil_buffer_;
+  int stencil_width_ = 0;
+  int stencil_height_ = 0;
+  bool stencil_enabled_ = false;
+  StencilFunc stencil_func_ = StencilFunc::kAlways;
+  std::uint8_t stencil_ref_ = 0;
+  StencilOp stencil_on_pass_ = StencilOp::kKeep;
+
+  GpuStats stats_;
+};
+
+}  // namespace streamgpu::gpu
+
+#endif  // STREAMGPU_GPU_DEVICE_H_

@@ -1,0 +1,61 @@
+#include "gpu/gl.h"
+
+#include "common/check.h"
+
+namespace streamgpu::gpu {
+
+GlContext::GlContext(GpuDevice* device) : device_(device) {
+  STREAMGPU_CHECK(device != nullptr);
+}
+
+void GlContext::Enable(Capability cap) {
+  if (cap == kTexture2D) texturing_ = true;
+  if (cap == kBlend) blending_ = true;
+}
+
+void GlContext::Disable(Capability cap) {
+  if (cap == kTexture2D) texturing_ = false;
+  if (cap == kBlend) blending_ = false;
+}
+
+void GlContext::BlendEquation(BlendEquationMode mode) { blend_mode_ = mode; }
+
+void GlContext::BindTexture(TextureHandle tex) { bound_texture_ = tex; }
+
+void GlContext::Begin(PrimitiveMode mode) {
+  STREAMGPU_CHECK(mode == kQuads);
+  STREAMGPU_CHECK_MSG(!in_begin_, "nested glBegin");
+  in_begin_ = true;
+  pending_vertices_ = 0;
+}
+
+void GlContext::TexCoord2f(float u, float v) {
+  current_u_ = u;
+  current_v_ = v;
+}
+
+void GlContext::Vertex2f(float x, float y) {
+  STREAMGPU_CHECK_MSG(in_begin_, "glVertex outside glBegin/glEnd");
+  quad_[static_cast<std::size_t>(pending_vertices_)] = {x, y, current_u_, current_v_};
+  if (++pending_vertices_ == 4) {
+    STREAMGPU_CHECK_MSG(texturing_, "drawing requires GL_TEXTURE_2D enabled");
+    STREAMGPU_CHECK_MSG(bound_texture_ >= 0, "no texture bound");
+    device_->SetBlend(blending_ ? (blend_mode_ == kFuncMin ? BlendOp::kMin : BlendOp::kMax)
+                                : BlendOp::kReplace);
+    device_->DrawQuad(bound_texture_, Quad{quad_});
+    pending_vertices_ = 0;
+  }
+}
+
+void GlContext::End() {
+  STREAMGPU_CHECK_MSG(in_begin_, "glEnd without glBegin");
+  STREAMGPU_CHECK_MSG(pending_vertices_ == 0, "incomplete quad at glEnd");
+  in_begin_ = false;
+}
+
+void GlContext::CopyTexSubImage2D() {
+  STREAMGPU_CHECK_MSG(bound_texture_ >= 0, "no texture bound");
+  device_->CopyFramebufferToTexture(bound_texture_);
+}
+
+}  // namespace streamgpu::gpu

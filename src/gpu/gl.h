@@ -1,0 +1,70 @@
+// A minimal OpenGL-1.x-style immediate-mode shim over GpuDevice, provided so
+// the paper's pseudocode (Routines 4.1-4.4: "Enable Texturing and set tex as
+// active texture", "set blend function to compute the minimum",
+// "DrawQuad(v, t)") can be transcribed verbatim — see
+// sort/paper_routines.h, which is tested to produce bit-identical results to
+// the optimized implementation in sort/pbsn_gpu.h.
+//
+// The subset mirrors what the paper's implementation used: 2-D texturing,
+// MIN/MAX blend equations, quads with per-vertex texture coordinates, and
+// glCopyTexSubImage2D-style framebuffer-to-texture copies.
+
+#ifndef STREAMGPU_GPU_GL_H_
+#define STREAMGPU_GPU_GL_H_
+
+#include <array>
+
+#include "gpu/device.h"
+
+namespace streamgpu::gpu {
+
+/// Immediate-mode GL-flavored context.
+class GlContext {
+ public:
+  enum Capability { kTexture2D, kBlend };
+  enum BlendEquationMode { kFuncMin, kFuncMax };
+  enum PrimitiveMode { kQuads };
+
+  /// The device is borrowed and must outlive the context.
+  explicit GlContext(GpuDevice* device);
+
+  // glEnable / glDisable.
+  void Enable(Capability cap);
+  void Disable(Capability cap);
+
+  // glBlendEquation(GL_MIN / GL_MAX).
+  void BlendEquation(BlendEquationMode mode);
+
+  // glBindTexture(GL_TEXTURE_2D, tex).
+  void BindTexture(TextureHandle tex);
+
+  // glBegin(GL_QUADS) ... glEnd(). Vertices arrive as
+  // glTexCoord2f(u, v); glVertex2f(x, y); four per quad; glEnd() (or every
+  // fourth vertex) submits the quad to the rasterizer.
+  void Begin(PrimitiveMode mode);
+  void TexCoord2f(float u, float v);
+  void Vertex2f(float x, float y);
+  void End();
+
+  // glCopyTexSubImage2D: copies the framebuffer into the bound texture.
+  void CopyTexSubImage2D();
+
+  GpuDevice& device() { return *device_; }
+
+ private:
+  GpuDevice* device_;
+  bool texturing_ = false;
+  bool blending_ = false;
+  BlendEquationMode blend_mode_ = kFuncMin;
+  TextureHandle bound_texture_ = -1;
+
+  bool in_begin_ = false;
+  float current_u_ = 0;
+  float current_v_ = 0;
+  int pending_vertices_ = 0;
+  std::array<Vertex, 4> quad_{};
+};
+
+}  // namespace streamgpu::gpu
+
+#endif  // STREAMGPU_GPU_GL_H_

@@ -1,0 +1,101 @@
+// Software IEEE 754 binary16 ("half") conversion.
+//
+// The paper renders into 16-bit floating-point offscreen buffers ("optimized
+// them using double buffered 16-bit offscreen buffers", §4.5) and streams
+// 16-bit floating-point data (§5). The simulator reproduces that precision by
+// quantizing texture/framebuffer contents through this type, and reproduces
+// the bandwidth by accounting 2 bytes per stored channel.
+
+#ifndef STREAMGPU_GPU_HALF_H_
+#define STREAMGPU_GPU_HALF_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace streamgpu::gpu {
+
+/// Converts a single-precision float to IEEE 754 binary16 bits, using
+/// round-to-nearest-even, with correct handling of NaN, infinities,
+/// subnormals, and overflow (overflow rounds to infinity).
+inline std::uint16_t FloatToHalfBits(float value) {
+  std::uint32_t f;
+  std::memcpy(&f, &value, sizeof(f));
+
+  const std::uint32_t sign = (f >> 16) & 0x8000u;
+  const std::uint32_t abs = f & 0x7FFFFFFFu;
+
+  if (abs >= 0x7F800000u) {
+    // Inf or NaN. Preserve NaN-ness (quiet bit set); keep payload nonzero.
+    if (abs > 0x7F800000u) return static_cast<std::uint16_t>(sign | 0x7E00u);
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (abs >= 0x477FF000u) {
+    // Rounds to or past half infinity (65520 and above).
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (abs < 0x38800000u) {
+    // Subnormal half (or zero). Shift the implicit bit into place.
+    if (abs < 0x33000000u) {
+      // Smaller than half of the smallest subnormal: rounds to zero.
+      return static_cast<std::uint16_t>(sign);
+    }
+    // The 24-bit significand shifted down so the result counts units of
+    // 2^-24 (the subnormal half quantum): shift = 126 - exponent, in 14..24
+    // for the inputs reaching this path.
+    const std::uint32_t mant = (abs & 0x007FFFFFu) | 0x00800000u;
+    const int shift = 126 - static_cast<int>(abs >> 23);
+    std::uint32_t sub = mant >> shift;
+    // Round to nearest even on the bits shifted out.
+    const std::uint32_t rem = mant & ((1u << shift) - 1);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (sub & 1u))) ++sub;
+    return static_cast<std::uint16_t>(sign | sub);
+  }
+
+  // Normalized half.
+  std::uint32_t bits = sign | ((abs + 0xC8000000u) >> 13);
+  const std::uint32_t rem = abs & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (bits & 1u))) ++bits;
+  return static_cast<std::uint16_t>(bits);
+}
+
+/// Converts IEEE 754 binary16 bits to a single-precision float (exact).
+inline float HalfBitsToFloat(std::uint16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1Fu;
+  const std::uint32_t mant = h & 0x3FFu;
+
+  std::uint32_t f;
+  if (exp == 0) {
+    if (mant == 0) {
+      f = sign;  // signed zero
+    } else {
+      // Subnormal: normalize.
+      std::uint32_t m = mant;
+      int e = -1;
+      do {
+        m <<= 1;
+        ++e;
+      } while ((m & 0x400u) == 0);
+      f = sign | ((127 - 15 - e) << 23) | ((m & 0x3FFu) << 13);
+    }
+  } else if (exp == 0x1Fu) {
+    f = sign | 0x7F800000u | (mant << 13);  // inf or NaN
+  } else {
+    f = sign | ((exp + 127 - 15) << 23) | (mant << 13);
+  }
+  float out;
+  std::memcpy(&out, &f, sizeof(out));
+  return out;
+}
+
+/// Rounds a float through binary16 precision: the value a 16-bit floating
+/// point render target would actually hold.
+inline float QuantizeToHalf(float value) { return HalfBitsToFloat(FloatToHalfBits(value)); }
+
+/// Largest finite binary16 value (65504).
+inline constexpr float kHalfMax = 65504.0f;
+
+}  // namespace streamgpu::gpu
+
+#endif  // STREAMGPU_GPU_HALF_H_

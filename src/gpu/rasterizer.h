@@ -1,0 +1,71 @@
+// Quad rasterization with interpolated texture coordinates and framebuffer
+// blending — the complete fixed-function path the paper's algorithms use
+// (§4.2), plus a programmable-fragment entry point used only by the bitonic
+// sort baseline (§4.5, [40]).
+
+#ifndef STREAMGPU_GPU_RASTERIZER_H_
+#define STREAMGPU_GPU_RASTERIZER_H_
+
+#include <cmath>
+
+#include "gpu/blend.h"
+#include "gpu/stats.h"
+#include "gpu/surface.h"
+#include "gpu/vertex.h"
+
+namespace streamgpu::gpu {
+
+/// Executes render passes against a target surface.
+class Rasterizer {
+ public:
+  /// Rasterizes an axis-aligned quad. For every covered pixel (centers at
+  /// +0.5), the texture coordinate is interpolated bilinearly from the quad's
+  /// vertices, the nearest texel of `tex` is fetched, and the fragment is
+  /// combined into `target` with blend equation `op`. Work counters are
+  /// accumulated into `stats`.
+  static void DrawQuad(const Surface& tex, const Quad& quad, BlendOp op, Surface* target,
+                       GpuStats* stats);
+
+  /// Runs a user fragment program over the pixel rectangle
+  /// [x0, x1) x [y0, y1) of `target`. The program receives the pixel
+  /// coordinates and the bound texture and returns the output color; no
+  /// blending is applied (programs write their result directly, as in [40]).
+  /// `instructions_per_fragment` is charged to the program-instruction
+  /// counter; `fetches_per_fragment` to the texture-fetch counter.
+  ///
+  /// The callable has signature:
+  ///   void program(int x, int y, const Surface& tex, float out[kNumChannels])
+  template <typename Program>
+  static void RunFragmentProgram(const Surface& tex, int x0, int y0, int x1, int y1,
+                                 std::uint64_t instructions_per_fragment,
+                                 std::uint64_t fetches_per_fragment, Program&& program,
+                                 Surface* target, GpuStats* stats);
+};
+
+template <typename Program>
+void Rasterizer::RunFragmentProgram(const Surface& tex, int x0, int y0, int x1, int y1,
+                                    std::uint64_t instructions_per_fragment,
+                                    std::uint64_t fetches_per_fragment, Program&& program,
+                                    Surface* target, GpuStats* stats) {
+  STREAMGPU_CHECK(x0 >= 0 && y0 >= 0 && x1 <= target->width() && y1 <= target->height());
+  float out[kNumChannels];
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      program(x, y, tex, out);
+      for (int c = 0; c < kNumChannels; ++c) target->Set(c, x, y, out[c]);
+    }
+  }
+  const std::uint64_t fragments =
+      static_cast<std::uint64_t>(x1 - x0) * static_cast<std::uint64_t>(y1 - y0);
+  stats->draw_calls += 1;
+  stats->fragments_shaded += fragments;
+  stats->texture_fetches += fragments * fetches_per_fragment;
+  stats->program_fragments += fragments;
+  stats->program_instructions += fragments * instructions_per_fragment;
+  stats->bytes_vram += fragments * (fetches_per_fragment * BytesPerTexel(tex.format()) +
+                                    BytesPerTexel(target->format()));
+}
+
+}  // namespace streamgpu::gpu
+
+#endif  // STREAMGPU_GPU_RASTERIZER_H_

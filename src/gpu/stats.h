@@ -1,0 +1,110 @@
+// Per-device operation counters.
+//
+// The simulator executes the paper's render passes bit-exactly; the counters
+// below record exactly how much work a real GPU would have performed, and the
+// hardware model (src/hwmodel) converts them into simulated NV40
+// milliseconds. Keeping counting here (rather than in the timing model) makes
+// the counts unit-testable against the paper's analytic claims, e.g. the
+// "(n + n log^2(n/4)) comparisons" total of §4.5.
+
+#ifndef STREAMGPU_GPU_STATS_H_
+#define STREAMGPU_GPU_STATS_H_
+
+#include <cstdint>
+
+namespace streamgpu::gpu {
+
+/// Cumulative operation counts for one GpuDevice.
+struct GpuStats {
+  /// Number of DrawQuad / fragment-program dispatches (render passes issue one
+  /// or more draws; setup cost is charged per draw).
+  std::uint64_t draw_calls = 0;
+
+  /// Fragments rasterized, over all draws.
+  std::uint64_t fragments_shaded = 0;
+
+  /// Fragments written with MIN/MAX blending enabled. Each such fragment is
+  /// one 4-wide vector comparison (4 scalar comparisons, §4.5).
+  std::uint64_t blend_fragments = 0;
+
+  /// Texel fetches performed by the texture units.
+  std::uint64_t texture_fetches = 0;
+
+  /// Fragments produced by user fragment programs (subset of
+  /// fragments_shaded). The remainder went through the fixed-function
+  /// blending path.
+  std::uint64_t program_fragments = 0;
+
+  /// Instructions executed by user fragment programs (zero on the
+  /// fixed-function blending path; used by the bitonic-sort baseline, which
+  /// runs >= 53 instructions per pixel per stage, §4.5).
+  std::uint64_t program_instructions = 0;
+
+  /// Bytes moved from host to device over the AGP/PCI bus (texture uploads).
+  std::uint64_t bytes_uploaded = 0;
+
+  /// Bytes moved from device to host over the bus (framebuffer readbacks).
+  std::uint64_t bytes_readback = 0;
+
+  /// Bytes of video-memory traffic: framebuffer reads/writes, texture
+  /// fetches, and framebuffer-to-texture copies.
+  std::uint64_t bytes_vram = 0;
+
+  /// Framebuffer-to-texture copy operations (one per sorting-network step).
+  std::uint64_t fb_to_texture_copies = 0;
+
+  /// Framebuffer (re)binds — one per sort invocation; carries the fixed
+  /// render-target setup cost that §4.5 identifies as the reason small sorts
+  /// run ~3x slower on the GPU.
+  std::uint64_t framebuffer_binds = 0;
+
+  /// Fragments that went through the depth-test unit (the database-predicate
+  /// path of [20], §2.2).
+  std::uint64_t depth_test_fragments = 0;
+
+  /// Occlusion-query result readbacks; each stalls the pipeline for a
+  /// round-trip.
+  std::uint64_t occlusion_queries = 0;
+
+  GpuStats& operator+=(const GpuStats& other) {
+    draw_calls += other.draw_calls;
+    fragments_shaded += other.fragments_shaded;
+    blend_fragments += other.blend_fragments;
+    texture_fetches += other.texture_fetches;
+    program_fragments += other.program_fragments;
+    program_instructions += other.program_instructions;
+    bytes_uploaded += other.bytes_uploaded;
+    bytes_readback += other.bytes_readback;
+    bytes_vram += other.bytes_vram;
+    fb_to_texture_copies += other.fb_to_texture_copies;
+    framebuffer_binds += other.framebuffer_binds;
+    depth_test_fragments += other.depth_test_fragments;
+    occlusion_queries += other.occlusion_queries;
+    return *this;
+  }
+
+  friend GpuStats operator-(GpuStats a, const GpuStats& b) {
+    a.draw_calls -= b.draw_calls;
+    a.fragments_shaded -= b.fragments_shaded;
+    a.blend_fragments -= b.blend_fragments;
+    a.texture_fetches -= b.texture_fetches;
+    a.program_fragments -= b.program_fragments;
+    a.program_instructions -= b.program_instructions;
+    a.bytes_uploaded -= b.bytes_uploaded;
+    a.bytes_readback -= b.bytes_readback;
+    a.bytes_vram -= b.bytes_vram;
+    a.fb_to_texture_copies -= b.fb_to_texture_copies;
+    a.framebuffer_binds -= b.framebuffer_binds;
+    a.depth_test_fragments -= b.depth_test_fragments;
+    a.occlusion_queries -= b.occlusion_queries;
+    return a;
+  }
+
+  /// Scalar comparisons implied by the blended fragments: each blend is a
+  /// 4-wide vector MIN/MAX over the RGBA channels (§4.2.2).
+  std::uint64_t ScalarComparisons() const { return blend_fragments * 4; }
+};
+
+}  // namespace streamgpu::gpu
+
+#endif  // STREAMGPU_GPU_STATS_H_

@@ -1,0 +1,116 @@
+// 2-D RGBA image storage shared by textures and the framebuffer.
+//
+// Data is stored planar (one array per channel) in row-major texel order.
+// Values are always held as float; the kFloat16 format models the paper's
+// 16-bit offscreen buffers by (a) quantizing every stored value through IEEE
+// binary16 and (b) accounting 2 bytes per stored channel in the bandwidth
+// counters.
+
+#ifndef STREAMGPU_GPU_SURFACE_H_
+#define STREAMGPU_GPU_SURFACE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "gpu/half.h"
+
+namespace streamgpu::gpu {
+
+/// Texel storage precision of a surface.
+enum class Format {
+  kFloat32,  ///< 32-bit IEEE single precision per channel (16 B/texel RGBA)
+  kFloat16,  ///< 16-bit IEEE half precision per channel (8 B/texel RGBA)
+};
+
+/// Number of color channels per texel (RGBA).
+inline constexpr int kNumChannels = 4;
+
+/// Bytes per channel for a format.
+inline constexpr std::size_t BytesPerChannel(Format f) {
+  return f == Format::kFloat32 ? 4 : 2;
+}
+
+/// Bytes per full RGBA texel for a format.
+inline constexpr std::size_t BytesPerTexel(Format f) {
+  return BytesPerChannel(f) * kNumChannels;
+}
+
+/// A width x height RGBA image. Used both as a texture (sampled by the
+/// rasterizer) and as the framebuffer (blend destination).
+class Surface {
+ public:
+  Surface() = default;
+  Surface(int width, int height, Format format) { Reset(width, height, format); }
+
+  /// Reallocates to the given size and zero-fills all channels.
+  void Reset(int width, int height, Format format) {
+    STREAMGPU_CHECK(width > 0 && height > 0);
+    width_ = width;
+    height_ = height;
+    format_ = format;
+    for (auto& ch : channels_) ch.assign(static_cast<std::size_t>(width) * height, 0.0f);
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  Format format() const { return format_; }
+  std::size_t num_texels() const { return static_cast<std::size_t>(width_) * height_; }
+  std::size_t SizeBytes() const { return num_texels() * BytesPerTexel(format_); }
+
+  /// Rounds `value` through this surface's storage precision.
+  float Quantize(float value) const {
+    return format_ == Format::kFloat16 ? QuantizeToHalf(value) : value;
+  }
+
+  /// Stores `value` (quantized to the surface format) at channel `c`,
+  /// texel (x, y).
+  void Set(int c, int x, int y, float value) {
+    STREAMGPU_DCHECK(InBounds(c, x, y));
+    channels_[c][Index(x, y)] = Quantize(value);
+  }
+
+  /// Returns the value at channel `c`, texel (x, y).
+  float Get(int c, int x, int y) const {
+    STREAMGPU_DCHECK(InBounds(c, x, y));
+    return channels_[c][Index(x, y)];
+  }
+
+  /// Fills every texel of channel `c` with `value` (quantized).
+  void FillChannel(int c, float value) {
+    STREAMGPU_CHECK(c >= 0 && c < kNumChannels);
+    const float q = Quantize(value);
+    for (float& v : channels_[c]) v = q;
+  }
+
+  /// Raw row-major storage of channel `c`.
+  float* ChannelData(int c) {
+    STREAMGPU_DCHECK(c >= 0 && c < kNumChannels);
+    return channels_[c].data();
+  }
+  const float* ChannelData(int c) const {
+    STREAMGPU_DCHECK(c >= 0 && c < kNumChannels);
+    return channels_[c].data();
+  }
+
+  /// Linear index of texel (x, y).
+  std::size_t Index(int x, int y) const {
+    return static_cast<std::size_t>(y) * width_ + x;
+  }
+
+ private:
+  bool InBounds(int c, int x, int y) const {
+    return c >= 0 && c < kNumChannels && x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  Format format_ = Format::kFloat32;
+  std::array<std::vector<float>, kNumChannels> channels_;
+};
+
+}  // namespace streamgpu::gpu
+
+#endif  // STREAMGPU_GPU_SURFACE_H_

@@ -1,0 +1,52 @@
+// Screen-space quad geometry with per-vertex texture coordinates.
+//
+// All of the paper's render passes draw axis-aligned quadrilaterals whose
+// texture coordinates encode the comparator mapping of the current sorting
+// network step (§4.2.1). Vertices follow the paper's winding: v[0] and v[2]
+// are opposite corners.
+
+#ifndef STREAMGPU_GPU_VERTEX_H_
+#define STREAMGPU_GPU_VERTEX_H_
+
+#include <array>
+
+namespace streamgpu::gpu {
+
+/// One quad vertex: screen position (x, y) in pixels and texture coordinate
+/// (u, v) in texels.
+struct Vertex {
+  float x = 0.0f;
+  float y = 0.0f;
+  float u = 0.0f;
+  float v = 0.0f;
+};
+
+/// An axis-aligned quad, specified by four vertices in the order used
+/// throughout the paper's routines: (x0,y0), (x1,y0), (x1,y1), (x0,y1).
+struct Quad {
+  std::array<Vertex, 4> vertices;
+
+  /// Convenience constructor mirroring the paper's DrawQuad(v, t) calls:
+  /// screen rectangle [x0,x1) x [y0,y1) with texture coordinates given per
+  /// corner in the same order.
+  static Quad Make(float x0, float y0, float x1, float y1,  //
+                   float u0, float v0, float u1, float v1,  //
+                   float u2, float v2, float u3, float v3) {
+    Quad q;
+    q.vertices[0] = {x0, y0, u0, v0};
+    q.vertices[1] = {x1, y0, u1, v1};
+    q.vertices[2] = {x1, y1, u2, v2};
+    q.vertices[3] = {x0, y1, u3, v3};
+    return q;
+  }
+
+  /// A quad whose texture coordinates equal its screen coordinates
+  /// (Routine 4.1 `Copy`).
+  static Quad Identity(float x0, float y0, float x1, float y1) {
+    return Make(x0, y0, x1, y1, x0, y0, x1, y0, x1, y1, x0, y1);
+  }
+};
+
+}  // namespace streamgpu::gpu
+
+#endif  // STREAMGPU_GPU_VERTEX_H_

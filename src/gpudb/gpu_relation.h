@@ -1,0 +1,123 @@
+// GPU database operations via the depth-test path — the companion machinery
+// of §2.2 ([20], Govindaraju et al., "predicates, boolean combinations and
+// aggregates on commodity GPUs ... multi-attribute comparisons, semi-linear
+// queries, range queries and kth largest numbers"), which this paper's
+// stream-mining layer builds upon. Used here for selection-style queries
+// over resident columns: COUNT with comparison, range, and semi-linear
+// predicates, and k-th largest selection by binary search over
+// occlusion-query counts.
+
+#ifndef STREAMGPU_GPUDB_GPU_RELATION_H_
+#define STREAMGPU_GPUDB_GPU_RELATION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpu/device.h"
+#include "hwmodel/gpu_model.h"
+
+namespace streamgpu::gpudb {
+
+/// Comparison predicates over an attribute (or computed attribute).
+enum class Predicate {
+  kLess,
+  kLessEqual,
+  kGreater,
+  kGreaterEqual,
+  kEqual,
+  kNotEqual,
+};
+
+/// One or more float columns resident in GPU memory as textures, queried
+/// through depth tests and occlusion queries.
+class GpuRelation {
+ public:
+  /// Uploads the columns to the device (one texture and one bus transfer
+  /// each); all columns must have the same length. The device is borrowed
+  /// and must outlive the relation.
+  GpuRelation(gpu::GpuDevice* device, const hwmodel::GpuHardwareProfile& profile,
+              std::vector<std::span<const float>> columns);
+
+  /// Single-column convenience constructor.
+  GpuRelation(gpu::GpuDevice* device, const hwmodel::GpuHardwareProfile& profile,
+              std::span<const float> column)
+      : GpuRelation(device, profile,
+                    std::vector<std::span<const float>>{column}) {}
+
+  /// Number of records.
+  std::uint64_t size() const { return count_; }
+
+  /// Number of columns.
+  std::size_t num_columns() const { return textures_.size(); }
+
+  /// COUNT(*) WHERE column[attribute] <pred> constant — one depth-only pass
+  /// with an occlusion query (plus a depth load on attribute switches).
+  std::uint64_t Count(Predicate pred, float constant, std::size_t attribute = 0);
+
+  /// COUNT(*) WHERE lo <= column[attribute] <= hi — two passes.
+  std::uint64_t CountRange(float lo, float hi, std::size_t attribute = 0);
+
+  /// COUNT(*) WHERE sum_i coeffs[i] * column[i] <pred> constant — the
+  /// semi-linear predicate of [20]: a fragment program evaluates the linear
+  /// combination, a depth-replace pass moves it into the depth buffer, and
+  /// the count proceeds as usual. coeffs.size() must equal num_columns().
+  std::uint64_t CountLinear(std::span<const float> coeffs, Predicate pred,
+                            float constant);
+
+  /// One atomic comparison in a boolean combination.
+  struct Clause {
+    std::size_t attribute = 0;
+    Predicate pred = Predicate::kLess;
+    float constant = 0;
+  };
+
+  /// COUNT(*) WHERE clause_0 AND clause_1 AND ... — [20]'s boolean
+  /// combinations via the stencil buffer: pass i increments the stencil of
+  /// records whose stencil equals i and whose attribute passes clause i, so
+  /// after all passes the stencil counts satisfied clauses; a final counted
+  /// pass selects stencil == #clauses.
+  std::uint64_t CountConjunction(std::span<const Clause> clauses);
+
+  /// COUNT(*) WHERE a OR b, by inclusion-exclusion over CountConjunction.
+  std::uint64_t CountDisjunction(const Clause& a, const Clause& b);
+
+  /// The k-th largest value of column[attribute] (k in [1, size()]), by
+  /// binary search over the value's float bits with one occlusion-counted
+  /// pass per step — the [20] selection algorithm.
+  float KthLargest(std::uint64_t k, std::size_t attribute = 0);
+
+  /// Simulated device time spent on uploads and queries since construction.
+  hwmodel::GpuTimeBreakdown SimulatedCosts() const;
+
+ private:
+  /// Ensures the depth buffer holds `attribute`'s values.
+  void LoadColumn(std::size_t attribute);
+
+  /// Ensures the depth buffer holds the linear combination.
+  void LoadLinear(std::span<const float> coeffs);
+
+  /// One occlusion-counted depth-only pass against the currently loaded
+  /// depth contents, with padding correction via the tracked sentinel.
+  std::uint64_t CountLoaded(Predicate pred, float constant);
+
+  gpu::GpuDevice* device_;
+  hwmodel::GpuModel model_;
+  std::vector<gpu::TextureHandle> textures_;
+  int width_ = 0;
+  int height_ = 0;
+  std::uint64_t count_ = 0;
+  std::uint64_t padding_ = 0;
+
+  /// Which attribute the depth buffer currently holds (-1: none/linear).
+  std::ptrdiff_t loaded_attribute_ = -1;
+
+  /// The value padding texels carry under the current depth contents.
+  float sentinel_ = 0;
+
+  gpu::GpuStats start_stats_;
+};
+
+}  // namespace streamgpu::gpudb
+
+#endif  // STREAMGPU_GPUDB_GPU_RELATION_H_

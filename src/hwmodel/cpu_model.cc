@@ -1,0 +1,64 @@
+#include "hwmodel/cpu_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace streamgpu::hwmodel {
+
+double CpuModel::QuicksortCacheMisses(std::uint64_t n, std::size_t element_bytes) const {
+  const double bytes = static_cast<double>(n) * static_cast<double>(element_bytes);
+  const double lines = bytes / profile_.cache_line_bytes;
+  if (bytes <= static_cast<double>(profile_.l2_bytes)) {
+    // "quicksort incurs one cache miss per block when the input sequence
+    // fits within the cache" (§3.2): compulsory misses only.
+    return lines;
+  }
+  // Each partitioning level whose subproblems exceed L2 streams the whole
+  // array through memory once (reads + writes of moved elements; the factor
+  // 2 covers the write-back traffic).
+  const double levels_above_cache =
+      std::log2(bytes / static_cast<double>(profile_.l2_bytes));
+  return lines * (1.0 + 2.0 * std::max(0.0, levels_above_cache));
+}
+
+double CpuModel::ComparisonSortSeconds(std::uint64_t comparisons, std::uint64_t n,
+                                       std::size_t element_bytes) const {
+  const double cmp = static_cast<double>(comparisons);
+  const double instr_cycles = cmp * profile_.base_cycles_per_comparison;
+  const double branch_cycles = cmp * profile_.sort_branch_mispredict_rate *
+                               profile_.branch_mispredict_penalty_cycles;
+  const double miss_cycles =
+      QuicksortCacheMisses(n, element_bytes) * profile_.l2_miss_penalty_cycles;
+  return (instr_cycles + branch_cycles + miss_cycles) / profile_.clock_hz;
+}
+
+double CpuModel::QuicksortSeconds(std::uint64_t n, std::size_t element_bytes) const {
+  if (n < 2) return 0.0;
+  const double dn = static_cast<double>(n);
+  const auto comparisons = static_cast<std::uint64_t>(1.39 * dn * std::log2(dn));
+  return ComparisonSortSeconds(comparisons, n, element_bytes);
+}
+
+double CpuModel::LinearPassSeconds(std::uint64_t n, std::size_t element_bytes,
+                                   double cycles_per_element) const {
+  const double dn = static_cast<double>(n);
+  const double bytes = dn * static_cast<double>(element_bytes);
+  const double instr_cycles = dn * cycles_per_element;
+  // Streaming reads: one compulsory miss per line when the data exceeds L2.
+  const double miss_cycles = bytes > static_cast<double>(profile_.l2_bytes)
+                                 ? bytes / profile_.cache_line_bytes *
+                                       profile_.l2_miss_penalty_cycles
+                                 : 0.0;
+  return (instr_cycles + miss_cycles) / profile_.clock_hz;
+}
+
+double CpuModel::MergeSeconds(std::uint64_t n, int ways, std::size_t element_bytes) const {
+  const double cmp_per_element = std::max(1.0, std::log2(static_cast<double>(ways)));
+  const double cycles =
+      cmp_per_element * (profile_.base_cycles_per_comparison +
+                         profile_.sort_branch_mispredict_rate *
+                             profile_.branch_mispredict_penalty_cycles);
+  return LinearPassSeconds(n, element_bytes, cycles);
+}
+
+}  // namespace streamgpu::hwmodel

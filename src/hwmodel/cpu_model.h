@@ -1,0 +1,58 @@
+// Converts instrumented CPU-algorithm work counts into simulated Pentium IV
+// wall-clock.
+//
+// §3.2 identifies the two costs that govern CPU sorting: cache misses
+// (LaMarca & Ladner's analysis of quicksort [30]) and branch mispredictions
+// (17+ cycle penalty on the P4 [45]). The model charges a base instruction
+// cost per comparison, a mispredict penalty on a fraction of comparisons, and
+// an analytic quicksort cache-miss count.
+
+#ifndef STREAMGPU_HWMODEL_CPU_MODEL_H_
+#define STREAMGPU_HWMODEL_CPU_MODEL_H_
+
+#include <cstdint>
+
+#include "hwmodel/hardware_profiles.h"
+
+namespace streamgpu::hwmodel {
+
+/// Analytic P4-class timing model for comparison sorts and linear passes.
+class CpuModel {
+ public:
+  explicit CpuModel(const CpuHardwareProfile& profile) : profile_(profile) {}
+
+  /// Simulated seconds for a comparison sort that performed `comparisons`
+  /// comparisons over `n` elements of `element_bytes` each, with
+  /// quicksort-like (divide-and-conquer, sequential-partition) access
+  /// patterns.
+  double ComparisonSortSeconds(std::uint64_t comparisons, std::uint64_t n,
+                               std::size_t element_bytes) const;
+
+  /// Analytic quicksort estimate when no instrumented comparison count is
+  /// available: ~1.39 n log2 n expected comparisons for random input.
+  double QuicksortSeconds(std::uint64_t n, std::size_t element_bytes) const;
+
+  /// LaMarca-Ladner-style quicksort cache-miss estimate: one compulsory miss
+  /// per line while a partition fits in cache, plus a full re-read of the
+  /// data on every partitioning level above cache capacity (§3.2, [30]).
+  double QuicksortCacheMisses(std::uint64_t n, std::size_t element_bytes) const;
+
+  /// Simulated seconds for a sequential pass over `n` elements of
+  /// `element_bytes` each, spending `cycles_per_element` non-memory cycles
+  /// per element (merges, histogram scans, summary compress passes).
+  double LinearPassSeconds(std::uint64_t n, std::size_t element_bytes,
+                           double cycles_per_element) const;
+
+  /// Simulated seconds for a k-way merge of `n` total elements: log2(k)
+  /// comparisons per element plus streaming memory traffic.
+  double MergeSeconds(std::uint64_t n, int ways, std::size_t element_bytes) const;
+
+  const CpuHardwareProfile& profile() const { return profile_; }
+
+ private:
+  CpuHardwareProfile profile_;
+};
+
+}  // namespace streamgpu::hwmodel
+
+#endif  // STREAMGPU_HWMODEL_CPU_MODEL_H_

@@ -1,0 +1,33 @@
+#include "hwmodel/gpu_model.h"
+
+namespace streamgpu::hwmodel {
+
+GpuTimeBreakdown GpuModel::Simulate(const gpu::GpuStats& stats) const {
+  GpuTimeBreakdown out;
+
+  // Fixed-function color fragments ride the blending path; program fragments
+  // are charged per instruction (>= 53 per pixel for the bitonic baseline,
+  // each taking at least one cycle, §4.5); depth-only fragments cost a
+  // couple of ROP cycles. All pipes run in parallel.
+  const double color_fragments = static_cast<double>(
+      stats.fragments_shaded - stats.program_fragments - stats.depth_test_fragments);
+  const double pipe_cycles =
+      color_fragments * profile_.blend_cycles_per_fragment +
+      static_cast<double>(stats.depth_test_fragments) * profile_.depth_cycles_per_fragment +
+      static_cast<double>(stats.program_instructions) * profile_.cycles_per_program_instruction;
+  out.compute_s = pipe_cycles / profile_.fragment_pipes / profile_.core_clock_hz;
+
+  out.memory_s = static_cast<double>(stats.bytes_vram) / profile_.memory_bandwidth_bps;
+
+  out.setup_s = static_cast<double>(stats.draw_calls) * profile_.per_draw_overhead_s +
+                static_cast<double>(stats.fb_to_texture_copies) * profile_.per_pass_overhead_s +
+                static_cast<double>(stats.framebuffer_binds) * profile_.per_bind_overhead_s +
+                static_cast<double>(stats.occlusion_queries) * profile_.per_occlusion_query_s;
+
+  out.transfer_s = static_cast<double>(stats.bytes_uploaded + stats.bytes_readback) /
+                   profile_.bus_bandwidth_bps;
+
+  return out;
+}
+
+}  // namespace streamgpu::hwmodel

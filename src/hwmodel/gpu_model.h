@@ -1,0 +1,52 @@
+// Converts simulator operation counts into simulated GPU wall-clock.
+//
+// The model mirrors §3.3's throughput discussion: compute time is bounded by
+// the fragment pipes (blend_cycles per fragment, §4.5's measured 6-7 cycles),
+// memory time by video-memory bandwidth, and the two overlap (the memory
+// clock is provisioned so neither starves, so total pass time is their max).
+// Host transfers ride the AGP bus and do not overlap in the paper's
+// implementation (upload -> sort -> readback, §4.1).
+
+#ifndef STREAMGPU_HWMODEL_GPU_MODEL_H_
+#define STREAMGPU_HWMODEL_GPU_MODEL_H_
+
+#include "gpu/stats.h"
+#include "hwmodel/hardware_profiles.h"
+
+namespace streamgpu::hwmodel {
+
+/// Simulated time breakdown for a batch of GPU work.
+struct GpuTimeBreakdown {
+  double compute_s = 0;   ///< fragment-pipe time
+  double memory_s = 0;    ///< video-memory traffic time
+  double setup_s = 0;     ///< per-draw / per-pass fixed overhead
+  double transfer_s = 0;  ///< host<->device bus time
+
+  /// On-device time (Fig. 4's "sorting" portion): compute and memory
+  /// overlap; setup does not.
+  double DeviceSeconds() const {
+    return (compute_s > memory_s ? compute_s : memory_s) + setup_s;
+  }
+
+  /// End-to-end time including bus transfers (what Figs. 3, 5, 7 report for
+  /// the GPU: "timings ... also include the time to transfer and readback").
+  double TotalSeconds() const { return DeviceSeconds() + transfer_s; }
+};
+
+/// Analytic NV40-class timing model over GpuStats counters.
+class GpuModel {
+ public:
+  explicit GpuModel(const GpuHardwareProfile& profile) : profile_(profile) {}
+
+  /// Simulated time for the operations recorded in `stats`.
+  GpuTimeBreakdown Simulate(const gpu::GpuStats& stats) const;
+
+  const GpuHardwareProfile& profile() const { return profile_; }
+
+ private:
+  GpuHardwareProfile profile_;
+};
+
+}  // namespace streamgpu::hwmodel
+
+#endif  // STREAMGPU_HWMODEL_GPU_MODEL_H_

@@ -1,0 +1,152 @@
+#include "sketch/correlated_sum.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace streamgpu::sketch {
+
+CorrelatedSumSummary CorrelatedSumSummary::FromSortedPairs(
+    std::span<const std::pair<float, float>> sorted_by_x, double target_epsilon) {
+  STREAMGPU_CHECK(target_epsilon > 0.0);
+  CorrelatedSumSummary out;
+  if (sorted_by_x.empty()) return out;
+
+  double total = 0;
+  for (const auto& [x, y] : sorted_by_x) {
+    STREAMGPU_CHECK_MSG(y >= 0.0f, "correlated sums require non-negative y");
+    total += y;
+  }
+  out.total_ = total;
+  out.count_ = sorted_by_x.size();
+  out.epsilon_ = target_epsilon;
+
+  // Walk runs of equal x, emitting a tuple whenever skipping the run would
+  // let more than 2*epsilon*total of unrecorded mass accumulate between
+  // emitted tuples. First and last runs are always emitted, so queries
+  // below the minimum and at/above the maximum are exact.
+  const double budget = 2.0 * target_epsilon * total;
+  double cum = 0;          // mass through the end of the current run
+  double skipped = 0;      // mass of skipped runs since the last emission
+  std::size_t i = 0;
+  while (i < sorted_by_x.size()) {
+    const float x = sorted_by_x[i].first;
+    double run_mass = 0;
+    std::size_t j = i;
+    while (j < sorted_by_x.size() && sorted_by_x[j].first == x) {
+      STREAMGPU_DCHECK(j == i || sorted_by_x[j - 1].first <= sorted_by_x[j].first);
+      run_mass += sorted_by_x[j].second;
+      ++j;
+    }
+    cum += run_mass;
+    const bool last = j == sorted_by_x.size();
+    const bool first = out.tuples_.empty();
+    if (first || last || skipped + run_mass > budget) {
+      out.tuples_.push_back({x, cum, cum, cum - run_mass});
+      skipped = 0;
+    } else {
+      skipped += run_mass;
+    }
+    i = j;
+  }
+  return out;
+}
+
+CorrelatedSumSummary CorrelatedSumSummary::Merge(const CorrelatedSumSummary& a,
+                                                 const CorrelatedSumSummary& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+
+  CorrelatedSumSummary out;
+  out.total_ = a.total_ + b.total_;
+  out.count_ = a.count_ + b.count_;
+  out.epsilon_ = std::max(a.epsilon_, b.epsilon_);
+  out.tuples_.reserve(a.size() + b.size());
+
+  // For a tuple x from one summary, the other contributes (mass is
+  // value-based, so ties need no ordering convention):
+  //   smin: its largest tuple with value <= x certainly lies at or below x;
+  //   smax: at most pmax of its first tuple with value > x (or its total);
+  //   pmax: at most pmax of its first tuple with value >= x (or its total).
+  const auto emit = [&out](const CsTuple& t, const CorrelatedSumSummary& other,
+                           std::size_t le /* last index with value <= t.x, or npos */,
+                           std::size_t ge /* first index with value >= t.x */,
+                           std::size_t gt /* first index with value > t.x */) {
+    CsTuple m = t;
+    if (le != static_cast<std::size_t>(-1)) m.smin += other.tuples_[le].smin;
+    m.smax += gt < other.size() ? other.tuples_[gt].pmax : other.total_;
+    m.pmax += ge < other.size() ? other.tuples_[ge].pmax : other.total_;
+    out.tuples_.push_back(m);
+  };
+
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() || j < b.size()) {
+    const bool take_a =
+        j >= b.size() || (i < a.size() && a.tuples_[i].x <= b.tuples_[j].x);
+    const CorrelatedSumSummary& own = take_a ? a : b;
+    const CorrelatedSumSummary& other = take_a ? b : a;
+    std::size_t& own_idx = take_a ? i : j;
+    const CsTuple& t = own.tuples_[own_idx];
+
+    // Boundary indices in `other` (linear scans amortize over the merge).
+    std::size_t ge = take_a ? j : i;
+    while (ge < other.size() && other.tuples_[ge].x < t.x) ++ge;
+    std::size_t gt = ge;
+    while (gt < other.size() && other.tuples_[gt].x <= t.x) ++gt;
+    const std::size_t le = gt == 0 ? static_cast<std::size_t>(-1) : gt - 1;
+    emit(t, other,
+         le != static_cast<std::size_t>(-1) && other.tuples_[le].x <= t.x
+             ? le
+             : static_cast<std::size_t>(-1),
+         ge, gt);
+    ++own_idx;
+  }
+  return out;
+}
+
+CorrelatedSumSummary CorrelatedSumSummary::Prune(std::size_t max_tuples) const {
+  STREAMGPU_CHECK(max_tuples >= 1);
+  if (size() <= max_tuples + 1) return *this;
+
+  CorrelatedSumSummary out;
+  out.total_ = total_;
+  out.count_ = count_;
+  out.epsilon_ = epsilon_ + 1.0 / (2.0 * static_cast<double>(max_tuples));
+  out.tuples_.reserve(max_tuples + 1);
+  for (std::size_t k = 0; k <= max_tuples; ++k) {
+    const double target =
+        static_cast<double>(k) * total_ / static_cast<double>(max_tuples);
+    // First tuple whose midpoint mass reaches the target (midpoints are
+    // nondecreasing).
+    const auto it = std::partition_point(
+        tuples_.begin(), tuples_.end(),
+        [target](const CsTuple& t) { return (t.smin + t.smax) / 2.0 < target; });
+    const CsTuple& chosen = it == tuples_.end() ? tuples_.back() : *it;
+    if (out.tuples_.empty() || out.tuples_.back().x != chosen.x) {
+      out.tuples_.push_back(chosen);
+    }
+  }
+  // Keep the extremes so out-of-range queries stay exact.
+  if (out.tuples_.back().x != tuples_.back().x) out.tuples_.push_back(tuples_.back());
+  if (out.tuples_.front().x != tuples_.front().x) {
+    out.tuples_.insert(out.tuples_.begin(), tuples_.front());
+  }
+  return out;
+}
+
+double CorrelatedSumSummary::SumBelow(float threshold) const {
+  if (empty()) return 0.0;
+  // Last tuple with x <= threshold.
+  const auto it = std::upper_bound(
+      tuples_.begin(), tuples_.end(), threshold,
+      [](float c, const CsTuple& t) { return c < t.x; });
+  if (it == tuples_.begin()) return 0.0;  // below the minimum: exact zero
+  const CsTuple& at = *(it - 1);
+  const double lo = at.smin;
+  const double hi = std::max(lo, it == tuples_.end() ? total_ : it->pmax);
+  return (lo + hi) / 2.0;
+}
+
+}  // namespace streamgpu::sketch

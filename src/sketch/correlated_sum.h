@@ -1,0 +1,80 @@
+// Correlated sum aggregates — the second extension query §1.2 claims the
+// machinery supports ("hierarchical heavy hitter and correlated sum
+// aggregate queries").
+//
+// Over a stream of pairs (x, y) with y >= 0, the summary answers
+// SUM(y) WHERE x <= c for any threshold c, within epsilon * SUM(y) — and,
+// composed with a quantile summary over x, correlated aggregates such as
+// "the total of y over the lowest phi fraction of x".
+//
+// The structure is the Greenwald-Khanna summary with ranks generalized to
+// y-mass: tuples hold a threshold value x and lower/upper bounds on the
+// total y-mass of pairs whose x is at most that value. FromSortedPairs
+// samples the x-sorted window every epsilon*mass of y; Merge recombines the
+// mass bounds exactly like GK recombines rank bounds.
+
+#ifndef STREAMGPU_SKETCH_CORRELATED_SUM_H_
+#define STREAMGPU_SKETCH_CORRELATED_SUM_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace streamgpu::sketch {
+
+/// One summary tuple: a threshold and bounds on the y-mass at or below it.
+struct CsTuple {
+  float x = 0;        ///< threshold value (an observed x)
+  double smin = 0;    ///< y-mass certainly contributed by pairs with x' <= x
+  double smax = 0;    ///< y-mass possibly contributed by pairs with x' <= x
+  double pmax = 0;    ///< upper bound on the y-mass of pairs with x' < x
+};
+
+/// An epsilon-approximate correlated-sum summary.
+class CorrelatedSumSummary {
+ public:
+  CorrelatedSumSummary() = default;
+
+  /// Builds a summary from pairs sorted ascending by x (y >= 0 required).
+  /// Samples a tuple whenever epsilon * (window's total y) more mass has
+  /// accumulated; the result's epsilon() is <= target_epsilon.
+  static CorrelatedSumSummary FromSortedPairs(
+      std::span<const std::pair<float, float>> sorted_by_x, double target_epsilon);
+
+  /// Combines two summaries over disjoint pair sets; the result is
+  /// max(a.epsilon(), b.epsilon())-approximate for the combined mass.
+  static CorrelatedSumSummary Merge(const CorrelatedSumSummary& a,
+                                    const CorrelatedSumSummary& b);
+
+  /// Reduces to at most max_tuples + 1 tuples at the price of
+  /// 1/(2*max_tuples) additional relative error.
+  CorrelatedSumSummary Prune(std::size_t max_tuples) const;
+
+  /// Estimated SUM(y) over pairs with x <= threshold, within
+  /// epsilon() * total_sum() of the truth.
+  double SumBelow(float threshold) const;
+
+  /// Total y-mass covered (exact).
+  double total_sum() const { return total_; }
+
+  /// Number of pairs covered.
+  std::uint64_t count() const { return count_; }
+
+  /// Mass-error bound as a fraction of total_sum().
+  double epsilon() const { return epsilon_; }
+
+  std::size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const std::vector<CsTuple>& tuples() const { return tuples_; }
+
+ private:
+  std::vector<CsTuple> tuples_;  ///< ascending by x
+  double total_ = 0;
+  std::uint64_t count_ = 0;
+  double epsilon_ = 0;
+};
+
+}  // namespace streamgpu::sketch
+
+#endif  // STREAMGPU_SKETCH_CORRELATED_SUM_H_

@@ -1,0 +1,59 @@
+#include "sketch/count_min.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/check.h"
+
+namespace streamgpu::sketch {
+
+CountMinSketch::CountMinSketch(double epsilon, double delta)
+    : epsilon_(epsilon), delta_(delta) {
+  STREAMGPU_CHECK(epsilon > 0.0 && epsilon < 1.0);
+  STREAMGPU_CHECK(delta > 0.0 && delta < 1.0);
+  width_ = static_cast<std::size_t>(std::ceil(std::exp(1.0) / epsilon));
+  depth_ = static_cast<std::size_t>(std::ceil(std::log(1.0 / delta)));
+  depth_ = std::max<std::size_t>(depth_, 1);
+  counters_.assign(width_ * depth_, 0);
+  // Fixed distinct odd seeds per row (splitmix-style derivation).
+  row_seeds_.resize(depth_);
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  for (auto& seed : row_seeds_) {
+    state += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    seed = z ^ (z >> 31);
+  }
+}
+
+std::uint64_t CountMinSketch::Hash(float value, std::size_t row) const {
+  // Canonicalize -0.0f so it hashes like +0.0f (they compare equal).
+  if (value == 0.0f) value = 0.0f;
+  std::uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  std::uint64_t x = (static_cast<std::uint64_t>(bits) + 1) * row_seeds_[row];
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  return x;
+}
+
+void CountMinSketch::Update(float value, std::int64_t weight) {
+  total_ += weight;
+  for (std::size_t row = 0; row < depth_; ++row) {
+    counters_[row * width_ + Hash(value, row) % width_] += weight;
+  }
+}
+
+std::int64_t CountMinSketch::EstimateCount(float value) const {
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  for (std::size_t row = 0; row < depth_; ++row) {
+    best = std::min(best, counters_[row * width_ + Hash(value, row) % width_]);
+  }
+  return best;
+}
+
+}  // namespace streamgpu::sketch

@@ -1,0 +1,65 @@
+// Count-Min sketch — the hash-based frequency-estimation family of §2.1
+// ("The hash-based approaches for frequency counts use a hash table and each
+// item in the stream owns a respective list of counters in the table. These
+// algorithms can also handle delete operations.") Included as the
+// probabilistic, delete-capable baseline to the paper's deterministic
+// sample-based summaries.
+//
+// Guarantees (Cormode-Muthukrishnan): with width w = ceil(e/epsilon) and
+// depth d = ceil(ln(1/delta)), estimates never undercount and overcount by
+// at most epsilon * N with probability 1 - delta.
+
+#ifndef STREAMGPU_SKETCH_COUNT_MIN_H_
+#define STREAMGPU_SKETCH_COUNT_MIN_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace streamgpu::sketch {
+
+/// A Count-Min sketch over float-valued stream items.
+class CountMinSketch {
+ public:
+  /// epsilon in (0, 1): overcount bound as a fraction of the stream's total
+  /// weight. delta in (0, 1): failure probability of that bound per query.
+  CountMinSketch(double epsilon, double delta);
+
+  /// Adds `weight` occurrences of `value` (negative weights implement
+  /// deletes, the capability §2.1 credits the hash-based family with).
+  void Update(float value, std::int64_t weight = 1);
+
+  /// Processes a batch of unit-weight elements.
+  void ObserveBatch(std::span<const float> values) {
+    for (float v : values) Update(v);
+  }
+
+  /// Estimated frequency: >= the true frequency, and <= true + epsilon * N
+  /// with probability 1 - delta (for non-negative streams).
+  std::int64_t EstimateCount(float value) const;
+
+  /// Total weight inserted (sum of updates).
+  std::int64_t total_weight() const { return total_; }
+
+  /// Counter-array dimensions.
+  std::size_t width() const { return width_; }
+  std::size_t depth() const { return depth_; }
+
+  double epsilon() const { return epsilon_; }
+  double delta() const { return delta_; }
+
+ private:
+  std::uint64_t Hash(float value, std::size_t row) const;
+
+  double epsilon_;
+  double delta_;
+  std::size_t width_;
+  std::size_t depth_;
+  std::int64_t total_ = 0;
+  std::vector<std::int64_t> counters_;       ///< depth x width, row-major
+  std::vector<std::uint64_t> row_seeds_;
+};
+
+}  // namespace streamgpu::sketch
+
+#endif  // STREAMGPU_SKETCH_COUNT_MIN_H_

@@ -1,0 +1,53 @@
+#include "sketch/exact.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace streamgpu::sketch {
+
+std::unordered_map<float, std::uint64_t> ExactCounts(std::span<const float> data) {
+  std::unordered_map<float, std::uint64_t> counts;
+  counts.reserve(data.size() / 4 + 1);
+  for (float v : data) ++counts[v];
+  return counts;
+}
+
+std::vector<std::pair<float, std::uint64_t>> ExactHeavyHitters(std::span<const float> data,
+                                                               double support) {
+  const auto counts = ExactCounts(data);
+  const double threshold = support * static_cast<double>(data.size());
+  std::vector<std::pair<float, std::uint64_t>> out;
+  for (const auto& [value, count] : counts) {
+    if (static_cast<double>(count) > threshold) out.emplace_back(value, count);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+float ExactQuantile(std::span<const float> data, double phi) {
+  STREAMGPU_CHECK(!data.empty());
+  STREAMGPU_CHECK(phi > 0.0 && phi <= 1.0);
+  std::vector<float> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(phi * static_cast<double>(sorted.size())));
+  return sorted[std::max<std::uint64_t>(rank, 1) - 1];
+}
+
+std::pair<std::uint64_t, std::uint64_t> ExactRankRange(std::span<const float> data,
+                                                       float value) {
+  std::uint64_t below = 0;
+  std::uint64_t at_or_below = 0;
+  for (float v : data) {
+    if (v < value) ++below;
+    if (v <= value) ++at_or_below;
+  }
+  return {below, at_or_below == 0 ? 0 : at_or_below - 1};
+}
+
+}  // namespace streamgpu::sketch

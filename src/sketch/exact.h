@@ -1,0 +1,35 @@
+// Exact offline reference computations — ground truth for tests, examples,
+// and the accuracy columns of the benchmark harness. These hold the whole
+// data set in memory, which is precisely what streaming algorithms avoid.
+
+#ifndef STREAMGPU_SKETCH_EXACT_H_
+#define STREAMGPU_SKETCH_EXACT_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace streamgpu::sketch {
+
+/// Exact frequency of every distinct value.
+std::unordered_map<float, std::uint64_t> ExactCounts(std::span<const float> data);
+
+/// Exact heavy hitters: every value with frequency > support * data.size(),
+/// in descending frequency order, as (value, frequency) pairs.
+std::vector<std::pair<float, std::uint64_t>> ExactHeavyHitters(std::span<const float> data,
+                                                               double support);
+
+/// Exact phi-quantile: the element of rank ceil(phi * N) (1-based), phi in
+/// (0, 1].
+float ExactQuantile(std::span<const float> data, double phi);
+
+/// Zero-based rank bounds of `value` in `data`: [number of elements strictly
+/// smaller, number of elements <= value - 1]. Any rank in this closed
+/// interval is a correct rank for `value`.
+std::pair<std::uint64_t, std::uint64_t> ExactRankRange(std::span<const float> data,
+                                                       float value);
+
+}  // namespace streamgpu::sketch
+
+#endif  // STREAMGPU_SKETCH_EXACT_H_

@@ -1,0 +1,86 @@
+#include "sketch/exponential_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/timer.h"
+
+namespace streamgpu::sketch {
+
+EhQuantileSummary::EhQuantileSummary(double epsilon, std::uint64_t window_size,
+                                     std::uint64_t expected_length)
+    : epsilon_(epsilon), window_size_(window_size) {
+  STREAMGPU_CHECK(epsilon > 0.0 && epsilon < 1.0);
+  STREAMGPU_CHECK(window_size >= 1);
+  const std::uint64_t expected_windows =
+      std::max<std::uint64_t>(1, (expected_length + window_size - 1) / window_size);
+  // Combining pairs of equal-id buckets means ids grow like log2 of the
+  // number of windows; one extra level absorbs rounding.
+  levels_ = static_cast<int>(
+                std::ceil(std::log2(static_cast<double>(expected_windows) + 1.0))) +
+            1;
+  // Each combine's prune may add at most the per-level budget increment
+  // eps/(2*(levels+1)), i.e. 1/(2*prune_tuples) <= eps/(2*(levels+1)).
+  prune_tuples_ = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(levels_ + 1) / epsilon_));
+  buckets_.resize(static_cast<std::size_t>(levels_) + 8);
+}
+
+double EhQuantileSummary::LevelBudget(int bucket_id) const {
+  return epsilon_ / 2.0 + epsilon_ * static_cast<double>(bucket_id) /
+                              (2.0 * static_cast<double>(levels_ + 1));
+}
+
+void EhQuantileSummary::AddWindowSummary(GkSummary window_summary) {
+  if (window_summary.empty()) return;
+  STREAMGPU_CHECK_MSG(window_summary.epsilon() <= LevelBudget(1) + 1e-12,
+                      "window summary must be (epsilon/2)-approximate");
+  count_ += window_summary.count();
+
+  GkSummary carry = std::move(window_summary);
+  std::size_t id = 1;
+  while (id <= buckets_.size() && !buckets_[id - 1].empty()) {
+    // Combine the two same-id buckets: merge, then prune with the error
+    // parameter of bucket id + 1 (§5.2).
+    Timer merge_timer;
+    GkSummary merged = GkSummary::Merge(carry, buckets_[id - 1]);
+    merge_seconds_ += merge_timer.ElapsedSeconds();
+    merged_tuples_ += merged.size();
+
+    Timer compress_timer;
+    pruned_tuples_ += merged.size();
+    carry = merged.Prune(prune_tuples_);
+    compress_seconds_ += compress_timer.ElapsedSeconds();
+
+    buckets_[id - 1] = GkSummary();
+    ++id;
+  }
+  if (id > buckets_.size()) buckets_.resize(id);
+  buckets_[id - 1] = std::move(carry);
+}
+
+float EhQuantileSummary::Query(double phi) const {
+  STREAMGPU_CHECK_MSG(count_ > 0, "query on empty summary");
+  GkSummary all;
+  for (const GkSummary& bucket : buckets_) {
+    if (!bucket.empty()) all = GkSummary::Merge(all, bucket);
+  }
+  return all.Query(phi);
+}
+
+std::size_t EhQuantileSummary::TotalTuples() const {
+  std::size_t total = 0;
+  for (const GkSummary& bucket : buckets_) total += bucket.size();
+  return total;
+}
+
+int EhQuantileSummary::MaxBucketId() const {
+  int max_id = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (!buckets_[i].empty()) max_id = static_cast<int>(i) + 1;
+  }
+  return max_id;
+}
+
+}  // namespace streamgpu::sketch

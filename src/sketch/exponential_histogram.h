@@ -1,0 +1,83 @@
+// The exponential histogram of quantile summaries from §5.2: the stream
+// model extension of the Greenwald-Khanna sensor-network algorithm.
+//
+// "The exponential histogram has log N buckets and each bucket is associated
+// with a bucket id. ... If the bucket id is b, the error is set to
+// eps/2 + eps*b/(2*(log N + 1)). ... we compute an eps/2-approximate summary
+// for each new window ... assign it a bucket id of one ... If there are two
+// buckets with the same bucket id, we combine the two into one larger bucket
+// and increment their bucket id by one. The combine operation involves a
+// merge and prune operation performed using an error parameter for
+// (bucket id + 1)."
+
+#ifndef STREAMGPU_SKETCH_EXPONENTIAL_HISTOGRAM_H_
+#define STREAMGPU_SKETCH_EXPONENTIAL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/gk_summary.h"
+
+namespace streamgpu::sketch {
+
+/// Whole-stream epsilon-approximate quantile summary maintained as an
+/// exponential histogram of GK summaries. The stream length N is known a
+/// priori (§5.2: "Given a large data stream of size N, where N is known"),
+/// fixing the number of levels and hence each level's error budget.
+class EhQuantileSummary {
+ public:
+  /// `epsilon` in (0, 1); `window_size` is the elements per incoming window;
+  /// `expected_length` the a-priori stream length N.
+  EhQuantileSummary(double epsilon, std::uint64_t window_size,
+                    std::uint64_t expected_length);
+
+  /// Inserts the summary of one new window at bucket id 1 and performs the
+  /// combine cascade. `window_summary` must be an (epsilon/2)-approximate
+  /// summary (e.g. GkSummary::FromSorted(sorted_window, epsilon/2)).
+  void AddWindowSummary(GkSummary window_summary);
+
+  /// Epsilon-approximate phi-quantile over everything inserted so far.
+  float Query(double phi) const;
+
+  /// Elements covered so far.
+  std::uint64_t count() const { return count_; }
+
+  /// Total tuples across all buckets (space usage).
+  std::size_t TotalTuples() const;
+
+  /// Number of levels the structure was provisioned for.
+  int levels() const { return levels_; }
+
+  /// Highest occupied bucket id (0 when empty).
+  int MaxBucketId() const;
+
+  /// The error budget of bucket id b: eps/2 + eps*b/(2*(levels+1)).
+  double LevelBudget(int bucket_id) const;
+
+  /// Tuple budget used by each combine's prune step.
+  std::size_t prune_tuples() const { return prune_tuples_; }
+
+  /// Merge/compress wall costs, for Fig. 6-style breakdowns.
+  double merge_seconds() const { return merge_seconds_; }
+  double compress_seconds() const { return compress_seconds_; }
+
+  /// Tuples touched by merges / prunes — operation counts for the P4 model.
+  std::uint64_t merged_tuples() const { return merged_tuples_; }
+  std::uint64_t pruned_tuples() const { return pruned_tuples_; }
+
+ private:
+  double epsilon_;
+  std::uint64_t window_size_;
+  int levels_;
+  std::size_t prune_tuples_;
+  std::uint64_t count_ = 0;
+  std::vector<GkSummary> buckets_;  ///< index i holds bucket id i+1; empty = vacant
+  double merge_seconds_ = 0;
+  double compress_seconds_ = 0;
+  std::uint64_t merged_tuples_ = 0;
+  std::uint64_t pruned_tuples_ = 0;
+};
+
+}  // namespace streamgpu::sketch
+
+#endif  // STREAMGPU_SKETCH_EXPONENTIAL_HISTOGRAM_H_

@@ -1,0 +1,98 @@
+#include "sketch/gk_adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace streamgpu::sketch {
+
+GkAdaptive::GkAdaptive(double epsilon) : epsilon_(epsilon) {
+  STREAMGPU_CHECK(epsilon > 0.0 && epsilon < 1.0);
+  compress_period_ =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(1.0 / (2.0 * epsilon)));
+}
+
+void GkAdaptive::Observe(float value) {
+  ++n_;
+  const auto budget = static_cast<std::uint64_t>(2.0 * epsilon_ * static_cast<double>(n_));
+
+  // Position of the first tuple with a strictly greater value.
+  const auto it = std::upper_bound(
+      tuples_.begin(), tuples_.end(), value,
+      [](float v, const GkAdaptiveTuple& t) { return v < t.value; });
+
+  GkAdaptiveTuple fresh;
+  fresh.value = value;
+  fresh.g = 1;
+  // A new minimum/maximum has exact rank; interior insertions inherit the
+  // full uncertainty budget.
+  const bool extreme = it == tuples_.begin() || it == tuples_.end();
+  fresh.delta = extreme || budget == 0 ? 0 : budget - 1;
+  tuples_.insert(it, fresh);
+
+  if (n_ % compress_period_ == 0) Compress();
+}
+
+void GkAdaptive::Compress() {
+  if (tuples_.size() < 3) return;
+  const auto budget = static_cast<std::uint64_t>(2.0 * epsilon_ * static_cast<double>(n_));
+  // Sweep from the tail, folding tuple i-1 into tuple i whenever the
+  // combined uncertainty stays within the budget. The first tuple (the
+  // minimum, whose rank is exact) is never removed. One compacting pass.
+  std::vector<GkAdaptiveTuple> kept;
+  kept.reserve(tuples_.size());
+  kept.push_back(tuples_.back());
+  for (std::size_t i = tuples_.size() - 1; i >= 2; --i) {
+    GkAdaptiveTuple& prev = tuples_[i - 1];
+    GkAdaptiveTuple& successor = kept.back();
+    if (prev.g + successor.g + successor.delta <= budget) {
+      successor.g += prev.g;  // fold prev into its successor
+    } else {
+      kept.push_back(prev);
+    }
+  }
+  kept.push_back(tuples_.front());
+  std::reverse(kept.begin(), kept.end());
+  tuples_ = std::move(kept);
+}
+
+float GkAdaptive::Quantile(double phi) const {
+  STREAMGPU_CHECK(phi > 0.0 && phi <= 1.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(phi * static_cast<double>(n_))));
+  return QueryRank(rank);
+}
+
+float GkAdaptive::QueryRank(std::uint64_t rank) const {
+  STREAMGPU_CHECK(!tuples_.empty());
+  STREAMGPU_CHECK(rank >= 1 && rank <= n_);
+  // Pick the tuple whose [rmin, rmax] deviates least from the target.
+  std::uint64_t rmin = 0;
+  std::uint64_t best_cost = ~std::uint64_t{0};
+  float best_value = tuples_.front().value;
+  for (const GkAdaptiveTuple& t : tuples_) {
+    rmin += t.g;
+    const std::uint64_t rmax = rmin + t.delta;
+    const std::uint64_t lo = rmin > rank ? rmin - rank : rank - rmin;
+    const std::uint64_t hi = rmax > rank ? rmax - rank : rank - rmax;
+    const std::uint64_t cost = std::max(lo, hi);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_value = t.value;
+    }
+  }
+  return best_value;
+}
+
+bool GkAdaptive::CheckInvariant() const {
+  const auto budget = static_cast<std::uint64_t>(2.0 * epsilon_ * static_cast<double>(n_));
+  std::uint64_t total_g = 0;
+  for (const GkAdaptiveTuple& t : tuples_) {
+    total_g += t.g;
+    if (t.g + t.delta > std::max<std::uint64_t>(budget, 1)) return false;
+  }
+  return total_g == n_;
+}
+
+}  // namespace streamgpu::sketch

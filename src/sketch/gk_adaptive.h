@@ -1,0 +1,66 @@
+// The original Greenwald-Khanna one-pass streaming quantile summary
+// (GK01, [21]-adjacent; §2.1's deterministic quantile algorithms) — the
+// single-element-insertion baseline to the paper's window-based approach
+// (§3.2 contrasts "Single element-based" vs "Window-based" insertion).
+//
+// Maintains tuples (v, g, Delta): g is the rank gap to the previous tuple,
+// Delta the extra rank uncertainty. Invariant after compression:
+// g_i + Delta_i <= floor(2*epsilon*n), which makes every rank query
+// answerable within epsilon*n.
+
+#ifndef STREAMGPU_SKETCH_GK_ADAPTIVE_H_
+#define STREAMGPU_SKETCH_GK_ADAPTIVE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace streamgpu::sketch {
+
+/// One GK01 tuple.
+struct GkAdaptiveTuple {
+  float value = 0;
+  std::uint64_t g = 0;      ///< rmin(v_i) - rmin(v_{i-1})
+  std::uint64_t delta = 0;  ///< rmax(v_i) - rmin(v_i)
+};
+
+/// Single-element-insertion epsilon-approximate quantile summary.
+class GkAdaptive {
+ public:
+  explicit GkAdaptive(double epsilon);
+
+  /// Inserts one stream element (O(log size) search + periodic compress).
+  void Observe(float value);
+
+  /// Processes a batch of stream elements.
+  void ObserveBatch(std::span<const float> values) {
+    for (float v : values) Observe(v);
+  }
+
+  /// The phi-quantile (phi in (0, 1]): an element whose rank is within
+  /// epsilon*n of ceil(phi*n).
+  float Quantile(double phi) const;
+
+  /// Element answering rank `r` (1-based) within epsilon*n.
+  float QueryRank(std::uint64_t rank) const;
+
+  std::uint64_t stream_length() const { return n_; }
+  std::size_t summary_size() const { return tuples_.size(); }
+  double epsilon() const { return epsilon_; }
+
+  /// Verifies the g + Delta invariant (used by tests).
+  bool CheckInvariant() const;
+
+ private:
+  /// Merges tuples whose combined uncertainty fits the error budget.
+  void Compress();
+
+  double epsilon_;
+  std::uint64_t n_ = 0;
+  std::uint64_t compress_period_;
+  std::vector<GkAdaptiveTuple> tuples_;  ///< ascending by value
+};
+
+}  // namespace streamgpu::sketch
+
+#endif  // STREAMGPU_SKETCH_GK_ADAPTIVE_H_

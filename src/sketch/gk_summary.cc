@@ -1,0 +1,160 @@
+#include "sketch/gk_summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace streamgpu::sketch {
+
+GkSummary GkSummary::FromSorted(std::span<const float> sorted_window,
+                                double target_epsilon) {
+  STREAMGPU_CHECK(target_epsilon > 0.0);
+  GkSummary out;
+  const std::uint64_t w = sorted_window.size();
+  if (w == 0) return out;
+  out.count_ = w;
+
+  const auto step = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(2.0 * target_epsilon * static_cast<double>(w)));
+  for (std::uint64_t r = 0; r < w; r += step) {
+    STREAMGPU_DCHECK(r == 0 || sorted_window[r - 1] <= sorted_window[r]);
+    out.tuples_.push_back({sorted_window[r], r + 1, r + 1});
+  }
+  if (out.tuples_.back().rmin != w) out.tuples_.push_back({sorted_window[w - 1], w, w});
+
+  // Ranks are exact; the only error is the distance to the nearest sample,
+  // at most floor(step/2).
+  out.epsilon_ = static_cast<double>(step / 2) / static_cast<double>(w);
+  return out;
+}
+
+bool GkSummary::FromParts(std::vector<GkTuple> tuples, std::uint64_t count,
+                          double epsilon, GkSummary* out) {
+  if (out == nullptr) return false;
+  if (epsilon < 0.0 || epsilon >= 1.0) return false;
+  if (tuples.empty() != (count == 0)) return false;
+  for (std::size_t i = 0; i < tuples.size(); ++i) {
+    const GkTuple& t = tuples[i];
+    if (t.rmin < 1 || t.rmin > t.rmax || t.rmax > count) return false;
+    if (i > 0) {
+      if (tuples[i - 1].value > t.value) return false;
+      if (tuples[i - 1].rmin > t.rmin || tuples[i - 1].rmax > t.rmax) return false;
+    }
+  }
+  out->tuples_ = std::move(tuples);
+  out->count_ = count;
+  out->epsilon_ = epsilon;
+  return true;
+}
+
+GkSummary GkSummary::Merge(const GkSummary& a, const GkSummary& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+
+  GkSummary out;
+  out.count_ = a.count_ + b.count_;
+  out.epsilon_ = std::max(a.epsilon_, b.epsilon_);
+  out.tuples_.reserve(a.size() + b.size());
+
+  // Equal values are ordered consistently — every element of `a` precedes
+  // every equal-valued element of `b`. A consistent tie order keeps the rank
+  // intervals tight on duplicate-heavy data; without it each merge widens
+  // the interval of a repeated value by the partner's multiplicity and the
+  // epsilon invariant collapses.
+  //
+  // For a tuple x from `a`: the b-elements certainly before x are those
+  // covered by the largest b-tuple with value < x, and at most
+  // rmax(first b-tuple with value >= x) - 1 of b's elements can precede x.
+  // For a tuple y from `b` the comparisons flip to <= and >.
+  std::size_t i = 0;  // next a-tuple
+  std::size_t j = 0;  // next b-tuple
+
+  while (i < a.size() || j < b.size()) {
+    const bool take_a =
+        j >= b.size() || (i < a.size() && a.tuples_[i].value <= b.tuples_[j].value);
+    if (take_a) {
+      const GkTuple& t = a.tuples_[i];
+      // First b-tuple with value >= t.value. b.tuples_[j-1].value < t.value
+      // is guaranteed by the merge order, so j itself is the boundary after
+      // advancing over smaller values.
+      std::size_t ge = j;
+      while (ge < b.size() && b.tuples_[ge].value < t.value) ++ge;
+      std::uint64_t rmin = t.rmin;
+      std::uint64_t rmax = t.rmax;
+      if (ge > 0) rmin += b.tuples_[ge - 1].rmin;
+      rmax += ge < b.size() ? b.tuples_[ge].rmax - 1 : b.count_;
+      out.tuples_.push_back({t.value, rmin, rmax});
+      ++i;
+    } else {
+      const GkTuple& t = b.tuples_[j];
+      // First a-tuple with value > t.value (a precedes b on ties).
+      std::size_t gt = i;
+      while (gt < a.size() && a.tuples_[gt].value <= t.value) ++gt;
+      std::uint64_t rmin = t.rmin;
+      std::uint64_t rmax = t.rmax;
+      if (gt > 0) rmin += a.tuples_[gt - 1].rmin;
+      rmax += gt < a.size() ? a.tuples_[gt].rmax - 1 : a.count_;
+      out.tuples_.push_back({t.value, rmin, rmax});
+      ++j;
+    }
+  }
+  return out;
+}
+
+GkSummary GkSummary::Prune(std::size_t max_tuples) const {
+  STREAMGPU_CHECK(max_tuples >= 1);
+  if (size() <= max_tuples + 1) return *this;
+
+  GkSummary out;
+  out.count_ = count_;
+  out.epsilon_ = epsilon_ + 1.0 / (2.0 * static_cast<double>(max_tuples));
+  out.tuples_.reserve(max_tuples + 1);
+  for (std::size_t i = 0; i <= max_tuples; ++i) {
+    const auto rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::llround(static_cast<double>(i) * static_cast<double>(count_) /
+                            static_cast<double>(max_tuples))));
+    const GkTuple& t = tuples_[BestTupleForRank(rank)];
+    if (out.tuples_.empty() || !(out.tuples_.back() == t)) out.tuples_.push_back(t);
+  }
+  return out;
+}
+
+std::size_t GkSummary::BestTupleForRank(std::uint64_t rank) const {
+  STREAMGPU_CHECK(!tuples_.empty());
+  // Worst-case rank deviation of tuple t from target r is
+  // cost(t) = max(r - rmin, rmax - r). Over the value-sorted tuples the
+  // first term is nonincreasing and the second nondecreasing, so cost is
+  // unimodal and its minimum sits at the first tuple with
+  // rmin + rmax >= 2r — a binary-searchable monotone predicate (rmin and
+  // rmax are both nondecreasing). Compare that tuple with its predecessor.
+  const auto cost = [rank](const GkTuple& t) {
+    const std::uint64_t lo = t.rmin > rank ? t.rmin - rank : rank - t.rmin;
+    const std::uint64_t hi = t.rmax > rank ? t.rmax - rank : rank - t.rmax;
+    return std::max(lo, hi);
+  };
+  const auto it = std::partition_point(
+      tuples_.begin(), tuples_.end(),
+      [rank](const GkTuple& t) { return t.rmin + t.rmax < 2 * rank; });
+  std::size_t best = it == tuples_.end() ? tuples_.size() - 1
+                                         : static_cast<std::size_t>(it - tuples_.begin());
+  if (best > 0 && cost(tuples_[best - 1]) < cost(tuples_[best])) --best;
+  return best;
+}
+
+float GkSummary::Query(double phi) const {
+  STREAMGPU_CHECK(phi > 0.0 && phi <= 1.0);
+  STREAMGPU_CHECK(!empty());
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(phi * static_cast<double>(count_))));
+  return QueryRank(rank);
+}
+
+float GkSummary::QueryRank(std::uint64_t rank) const {
+  STREAMGPU_CHECK(!empty());
+  STREAMGPU_CHECK(rank >= 1 && rank <= count_);
+  return tuples_[BestTupleForRank(rank)].value;
+}
+
+}  // namespace streamgpu::sketch

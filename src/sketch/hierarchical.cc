@@ -1,0 +1,104 @@
+#include "sketch/hierarchical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "sketch/histogram.h"
+
+namespace streamgpu::sketch {
+
+HierarchicalHeavyHitters::HierarchicalHeavyHitters(double epsilon, int levels,
+                                                   double branch)
+    : epsilon_(epsilon), branch_(branch) {
+  STREAMGPU_CHECK(levels >= 1);
+  STREAMGPU_CHECK(branch > 1.0);
+  summaries_.reserve(static_cast<std::size_t>(levels) + 1);
+  for (int l = 0; l <= levels; ++l) summaries_.emplace_back(epsilon);
+}
+
+float HierarchicalHeavyHitters::Generalize(float value, int level) const {
+  STREAMGPU_CHECK(level >= 0 && level <= levels());
+  return static_cast<float>(
+      std::floor(static_cast<double>(value) / std::pow(branch_, level)));
+}
+
+void HierarchicalHeavyHitters::AddSortedWindow(std::span<const float> sorted_window) {
+  if (sorted_window.empty()) return;
+  // Level 0 uses the window directly; higher levels apply the monotone
+  // generalization, which preserves the sorted order, then histogram it.
+  std::vector<float> generalized(sorted_window.begin(), sorted_window.end());
+  for (int level = 0; level < static_cast<int>(summaries_.size()); ++level) {
+    if (level > 0) {
+      const double divisor = branch_;
+      for (float& v : generalized) {
+        v = static_cast<float>(std::floor(static_cast<double>(v) / divisor));
+      }
+      STREAMGPU_DCHECK(std::is_sorted(generalized.begin(), generalized.end()));
+    }
+    summaries_[static_cast<std::size_t>(level)].AddWindowHistogram(
+        BuildHistogram(generalized), generalized.size());
+  }
+}
+
+std::uint64_t HierarchicalHeavyHitters::EstimateCount(float prefix, int level) const {
+  STREAMGPU_CHECK(level >= 0 && level <= levels());
+  return summaries_[static_cast<std::size_t>(level)].EstimateCount(prefix);
+}
+
+std::vector<HhhResult> HierarchicalHeavyHitters::Query(double support) const {
+  std::vector<HhhResult> out;
+  const double n = static_cast<double>(stream_length());
+  const double threshold = (support - epsilon_) * n;
+
+  // Discount map at the current level: mass of already-reported descendant
+  // subtrees. It must keep rolling up through levels whose own node is NOT
+  // reported, or a grandparent of a reported leaf would be re-reported with
+  // the leaf's mass.
+  const auto parent_of = [this](float prefix) {
+    return static_cast<float>(std::floor(static_cast<double>(prefix) / branch_));
+  };
+  std::unordered_map<float, std::uint64_t> discounts;
+  for (int level = 0; level <= levels(); ++level) {
+    std::unordered_map<float, std::uint64_t> next;
+    std::unordered_map<float, std::uint64_t> remaining = discounts;
+    // Candidate prefixes at this level: everything the summary retained (a
+    // superset of the true heavy hitters).
+    for (const auto& [prefix, count] :
+         summaries_[static_cast<std::size_t>(level)].HeavyHitters(0.0)) {
+      std::uint64_t discount = 0;
+      if (const auto it = discounts.find(prefix); it != discounts.end()) {
+        discount = it->second;
+        remaining.erase(prefix);
+      }
+      const std::uint64_t discounted = count > discount ? count - discount : 0;
+      if (static_cast<double>(discounted) >= threshold && threshold > 0) {
+        out.push_back({level, prefix, count, discounted});
+        // A reported node's subtree count subsumes its descendants' mass.
+        next[parent_of(prefix)] += count;
+      } else {
+        next[parent_of(prefix)] += discount;
+      }
+    }
+    // Discounts whose prefix the summary no longer retains still roll up.
+    for (const auto& [prefix, discount] : remaining) {
+      next[parent_of(prefix)] += discount;
+    }
+    discounts = std::move(next);
+  }
+
+  std::stable_sort(out.begin(), out.end(), [](const HhhResult& a, const HhhResult& b) {
+    if (a.level != b.level) return a.level < b.level;
+    return a.discounted_count > b.discounted_count;
+  });
+  return out;
+}
+
+std::size_t HierarchicalHeavyHitters::summary_size() const {
+  std::size_t total = 0;
+  for (const LossyCounting& s : summaries_) total += s.summary_size();
+  return total;
+}
+
+}  // namespace streamgpu::sketch

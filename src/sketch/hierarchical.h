@@ -1,0 +1,80 @@
+// Hierarchical heavy hitters — the extension query §1.2 claims the
+// frequency machinery supports ("also applicable to hierarchical heavy
+// hitter ... queries").
+//
+// Values live in a hierarchy defined by repeated division: the level-l
+// generalization of value v is floor(v / branch^l) (IP-prefix-style
+// aggregation for integer-valued streams). One Manku-Motwani summary is
+// maintained per level; because generalization is monotone, every level's
+// histogram is computed from the *same sorted window*, so a single
+// (GPU) sort per window serves the whole hierarchy.
+//
+// A node is reported as a hierarchical heavy hitter when its frequency,
+// discounted by the frequency of its already-reported descendants, still
+// reaches the support threshold.
+
+#ifndef STREAMGPU_SKETCH_HIERARCHICAL_H_
+#define STREAMGPU_SKETCH_HIERARCHICAL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sketch/lossy_counting.h"
+
+namespace streamgpu::sketch {
+
+/// One reported hierarchical heavy hitter.
+struct HhhResult {
+  int level = 0;          ///< 0 = leaf values, increasing toward the root
+  float prefix = 0;       ///< generalized value floor(v / branch^level)
+  std::uint64_t count = 0;             ///< estimated total frequency of the subtree
+  std::uint64_t discounted_count = 0;  ///< count minus reported descendants
+};
+
+/// Multi-level epsilon-approximate hierarchical heavy hitters.
+class HierarchicalHeavyHitters {
+ public:
+  /// `epsilon` in (0, 1) is the per-level frequency error; `levels` >= 1
+  /// counts hierarchy levels above the leaves; `branch` > 1 is the
+  /// per-level aggregation factor.
+  HierarchicalHeavyHitters(double epsilon, int levels, double branch = 2.0);
+
+  /// Natural window width (= ceil(1/epsilon), shared by every level).
+  std::uint64_t window_width() const { return summaries_[0].window_width(); }
+
+  /// Folds one ascending-sorted window into every level's summary (the
+  /// window is sorted once — by the GPU in the accelerated configuration —
+  /// and each level's histogram falls out of a linear scan of the same
+  /// ordering).
+  void AddSortedWindow(std::span<const float> sorted_window);
+
+  /// The generalization of `value` at `level`.
+  float Generalize(float value, int level) const;
+
+  /// Estimated subtree frequency of `prefix` at `level`.
+  std::uint64_t EstimateCount(float prefix, int level) const;
+
+  /// Hierarchical heavy hitters at `support`: per level from the leaves up,
+  /// nodes whose discounted frequency reaches (support - epsilon) * N.
+  /// Within a level, descending discounted count.
+  std::vector<HhhResult> Query(double support) const;
+
+  std::uint64_t stream_length() const { return summaries_[0].stream_length(); }
+
+  /// Total summary entries across all levels.
+  std::size_t summary_size() const;
+
+  int levels() const { return static_cast<int>(summaries_.size()) - 1; }
+  double branch() const { return branch_; }
+  double epsilon() const { return epsilon_; }
+
+ private:
+  double epsilon_;
+  double branch_;
+  std::vector<LossyCounting> summaries_;  ///< index = level (0 = leaves)
+};
+
+}  // namespace streamgpu::sketch
+
+#endif  // STREAMGPU_SKETCH_HIERARCHICAL_H_

@@ -1,0 +1,35 @@
+#include "sketch/histogram.h"
+
+#include "common/check.h"
+
+namespace streamgpu::sketch {
+
+std::vector<HistogramEntry> BuildHistogram(std::span<const float> sorted_window) {
+  std::vector<HistogramEntry> out;
+  if (sorted_window.empty()) return out;
+  out.push_back({sorted_window[0], 1});
+  for (std::size_t i = 1; i < sorted_window.size(); ++i) {
+    STREAMGPU_DCHECK(sorted_window[i - 1] <= sorted_window[i]);
+    if (sorted_window[i] == out.back().value) {
+      ++out.back().count;
+    } else {
+      out.push_back({sorted_window[i], 1});
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<float, std::uint64_t>> SampleSortedByRank(
+    std::span<const float> sorted_window, std::uint64_t step) {
+  STREAMGPU_CHECK(step >= 1);
+  std::vector<std::pair<float, std::uint64_t>> out;
+  if (sorted_window.empty()) return out;
+  const std::uint64_t n = sorted_window.size();
+  for (std::uint64_t r = 0; r < n; r += step) {
+    out.emplace_back(sorted_window[r], r);
+  }
+  if (out.back().second != n - 1) out.emplace_back(sorted_window[n - 1], n - 1);
+  return out;
+}
+
+}  // namespace streamgpu::sketch

@@ -1,0 +1,90 @@
+#include "sketch/lossy_counting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/timer.h"
+
+namespace streamgpu::sketch {
+
+LossyCounting::LossyCounting(double epsilon) : epsilon_(epsilon) {
+  STREAMGPU_CHECK(epsilon > 0.0 && epsilon < 1.0);
+  window_width_ = static_cast<std::uint64_t>(std::ceil(1.0 / epsilon));
+}
+
+void LossyCounting::AddWindowHistogram(std::span<const HistogramEntry> histogram,
+                                       std::uint64_t window_elements) {
+  STREAMGPU_CHECK_MSG(window_elements <= window_width_,
+                      "window larger than ceil(1/epsilon)");
+  if (window_elements == 0) return;
+  n_ += window_elements;
+  ++bucket_id_;
+
+  // --- Merge (§3.2 operation 2): both the summary and the histogram are ---
+  // --- sorted by value, so this is a linear merge.                      ---
+  Timer merge_timer;
+  std::vector<Entry> merged;
+  merged.reserve(entries_.size() + histogram.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < entries_.size() || j < histogram.size()) {
+    if (j >= histogram.size() ||
+        (i < entries_.size() && entries_[i].value < histogram[j].value)) {
+      merged.push_back(entries_[i++]);
+    } else if (i >= entries_.size() || histogram[j].value < entries_[i].value) {
+      STREAMGPU_DCHECK(j == 0 || histogram[j - 1].value < histogram[j].value);
+      // New element: it may have occurred unseen in every previous bucket,
+      // so its maximal undercount is bucket_id - 1.
+      merged.push_back(Entry{histogram[j].value, histogram[j].count, bucket_id_ - 1});
+      ++j;
+    } else {
+      Entry e = entries_[i++];
+      e.frequency += histogram[j++].count;
+      merged.push_back(e);
+    }
+  }
+  entries_ = std::move(merged);
+  op_costs_.merge_seconds += merge_timer.ElapsedSeconds();
+  op_costs_.merged_entries += entries_.size();
+
+  // --- Compress (§3.2 operation 3). ---
+  Timer compress_timer;
+  op_costs_.compressed_entries += entries_.size();
+  Compress();
+  op_costs_.compress_seconds += compress_timer.ElapsedSeconds();
+}
+
+void LossyCounting::Compress() {
+  // Drop entries whose frequency can no longer reach the error floor:
+  // f + delta <= b (for entries inserted this bucket with f == 1 this is the
+  // paper's "elements with a frequency of unity are deleted", §5.1).
+  const std::uint64_t b = bucket_id_;
+  std::erase_if(entries_, [b](const Entry& e) { return e.frequency + e.delta <= b; });
+}
+
+std::uint64_t LossyCounting::EstimateCount(float value) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), value,
+      [](const Entry& e, float v) { return e.value < v; });
+  if (it == entries_.end() || it->value != value) return 0;
+  return it->frequency;
+}
+
+std::vector<std::pair<float, std::uint64_t>> LossyCounting::HeavyHitters(
+    double support) const {
+  const double threshold = (support - epsilon_) * static_cast<double>(n_);
+  std::vector<std::pair<float, std::uint64_t>> out;
+  for (const Entry& e : entries_) {
+    if (static_cast<double>(e.frequency) >= threshold) {
+      out.emplace_back(e.value, e.frequency);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace streamgpu::sketch

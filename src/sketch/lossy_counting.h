@@ -1,0 +1,96 @@
+// Manku-Motwani window-based epsilon-approximate frequency estimation [32],
+// as used in §5.1: the stream is processed in windows of w = ceil(1/epsilon)
+// elements; each window is sorted (on the GPU in the accelerated
+// configuration), reduced to a histogram, merged into the summary, and the
+// summary is compressed.
+//
+// Guarantees (Theorem of [32], restated in §5.1): every estimate
+// underestimates the true frequency by at most epsilon*N, the query at
+// support s returns every element with true frequency >= s*N (no false
+// negatives), and the summary holds O((1/epsilon) log(epsilon*N)) entries.
+
+#ifndef STREAMGPU_SKETCH_LOSSY_COUNTING_H_
+#define STREAMGPU_SKETCH_LOSSY_COUNTING_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sketch/histogram.h"
+
+namespace streamgpu::sketch {
+
+/// Per-operation cost accounting for the summary maintenance (Fig. 6 splits
+/// total time into sort / merge / compress; sort time is tracked by the
+/// pipeline, the other two here as wall seconds).
+struct SummaryOpCosts {
+  double merge_seconds = 0;
+  double compress_seconds = 0;
+
+  /// Entries touched by merges / compress passes — the operation counts the
+  /// P4 model converts into simulated CPU time for those operations.
+  std::uint64_t merged_entries = 0;
+  std::uint64_t compressed_entries = 0;
+};
+
+/// The epsilon-approximate frequency summary.
+class LossyCounting {
+ public:
+  /// epsilon in (0, 1). The natural window width is window_width() =
+  /// ceil(1/epsilon); AddWindowHistogram expects windows of that size (a
+  /// final partial window is allowed).
+  explicit LossyCounting(double epsilon);
+
+  /// Window width w = ceil(1/epsilon) the stream should be chunked into.
+  std::uint64_t window_width() const { return window_width_; }
+
+  /// Merges the histogram of one stream window into the summary, then
+  /// compresses. `window_elements` is the number of elements the histogram
+  /// was built from (== w except possibly for the final window). The
+  /// histogram must be sorted by value (as BuildHistogram produces).
+  void AddWindowHistogram(std::span<const HistogramEntry> histogram,
+                          std::uint64_t window_elements);
+
+  /// Estimated frequency of `value`: in [f - epsilon*N, f].
+  std::uint64_t EstimateCount(float value) const;
+
+  /// Every element whose estimated frequency is at least (s - epsilon) * N.
+  /// Contains all elements with true frequency >= s*N (no false negatives)
+  /// and none with true frequency < (s - epsilon) * N.
+  std::vector<std::pair<float, std::uint64_t>> HeavyHitters(double support) const;
+
+  /// Elements processed so far.
+  std::uint64_t stream_length() const { return n_; }
+
+  /// Live summary entries (space usage).
+  std::size_t summary_size() const { return entries_.size(); }
+
+  double epsilon() const { return epsilon_; }
+
+  /// Cumulative merge/compress wall costs (Fig. 6).
+  const SummaryOpCosts& op_costs() const { return op_costs_; }
+
+ private:
+  /// One summary entry: (e, f, delta) of [32]. `frequency` is the counted
+  /// occurrences since insertion; `delta` the maximal undercount at
+  /// insertion time (current bucket id - 1).
+  struct Entry {
+    float value = 0;
+    std::uint64_t frequency = 0;
+    std::uint64_t delta = 0;
+  };
+
+  /// Deletes entries with frequency + delta <= current bucket id.
+  void Compress();
+
+  double epsilon_;
+  std::uint64_t window_width_;
+  std::uint64_t n_ = 0;
+  std::uint64_t bucket_id_ = 0;  ///< number of (possibly partial) windows seen
+  std::vector<Entry> entries_;   ///< sorted by value
+  SummaryOpCosts op_costs_;
+};
+
+}  // namespace streamgpu::sketch
+
+#endif  // STREAMGPU_SKETCH_LOSSY_COUNTING_H_

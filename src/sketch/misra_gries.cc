@@ -1,0 +1,60 @@
+#include "sketch/misra_gries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+#include "common/check.h"
+
+namespace streamgpu::sketch {
+
+MisraGries::MisraGries(double epsilon) : epsilon_(epsilon) {
+  STREAMGPU_CHECK(epsilon > 0.0 && epsilon < 1.0);
+  max_counters_ = static_cast<std::size_t>(std::ceil(1.0 / epsilon));
+  counters_.reserve(max_counters_ + 1);
+}
+
+void MisraGries::Observe(float value) {
+  ++n_;
+  auto it = counters_.find(value);
+  if (it != counters_.end()) {
+    ++it->second;
+    return;
+  }
+  if (counters_.size() < max_counters_) {
+    counters_.emplace(value, 1);
+    return;
+  }
+  // Decrement-all step: every counter loses one; zeroed counters are
+  // reclaimed. Each decrement is paid for by a previous increment, so the
+  // amortized per-element cost stays constant.
+  for (auto iter = counters_.begin(); iter != counters_.end();) {
+    if (--iter->second == 0) {
+      iter = counters_.erase(iter);
+    } else {
+      ++iter;
+    }
+  }
+}
+
+std::uint64_t MisraGries::EstimateCount(float value) const {
+  auto it = counters_.find(value);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<float, std::uint64_t>> MisraGries::HeavyHitters(
+    double support) const {
+  const double threshold =
+      (support - epsilon_) * static_cast<double>(n_);
+  std::vector<std::pair<float, std::uint64_t>> out;
+  for (const auto& [value, count] : counters_) {
+    if (static_cast<double>(count) >= threshold) out.emplace_back(value, count);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace streamgpu::sketch

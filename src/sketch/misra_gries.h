@@ -1,0 +1,57 @@
+// The Misra-Gries deterministic frequent-items algorithm [36] — the classic
+// counter-based baseline the related-work section traces through Demaine et
+// al. [14] and Karp et al. [27] (§2.1). Single-element insertion, k counters,
+// one-sided error: estimates undercount true frequencies by at most N/(k+1).
+
+#ifndef STREAMGPU_SKETCH_MISRA_GRIES_H_
+#define STREAMGPU_SKETCH_MISRA_GRIES_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace streamgpu::sketch {
+
+/// Misra-Gries frequent-items summary with ceil(1/epsilon) counters.
+class MisraGries {
+ public:
+  /// epsilon in (0, 1): frequency estimates undercount by at most
+  /// epsilon * N.
+  explicit MisraGries(double epsilon);
+
+  /// Processes one stream element (amortized O(1) map operations).
+  void Observe(float value);
+
+  /// Processes a batch of stream elements.
+  void ObserveBatch(std::span<const float> values) {
+    for (float v : values) Observe(v);
+  }
+
+  /// Estimated frequency of `value`: in [f - epsilon*N, f] where f is the
+  /// true frequency.
+  std::uint64_t EstimateCount(float value) const;
+
+  /// Every tracked value whose estimated frequency is at least
+  /// (support - epsilon) * N — a superset of the true heavy hitters at
+  /// `support` (no false negatives). Descending estimated frequency.
+  std::vector<std::pair<float, std::uint64_t>> HeavyHitters(double support) const;
+
+  /// Elements processed so far.
+  std::uint64_t stream_length() const { return n_; }
+
+  /// Live counters (space usage).
+  std::size_t summary_size() const { return counters_.size(); }
+
+  double epsilon() const { return epsilon_; }
+
+ private:
+  double epsilon_;
+  std::size_t max_counters_;
+  std::uint64_t n_ = 0;
+  std::unordered_map<float, std::uint64_t> counters_;
+};
+
+}  // namespace streamgpu::sketch
+
+#endif  // STREAMGPU_SKETCH_MISRA_GRIES_H_

@@ -1,0 +1,72 @@
+// The sensor-network quantile aggregation of Greenwald & Khanna [21] that
+// §5.2 extends to streams: "The sensor network is assumed as a tree with
+// height h. Each node in the tree initially computes an eps'-approximate
+// quantile summary by sorting its set of observations locally ... Each node
+// communicates its summary structure to its parent node. At the parent node,
+// a merge operation is performed ... Finally, the node performs a compress
+// operation to compute a new summary structure with B+1 elements, B = h/eps.
+// The new summary structure is (eps/2 + i/B)-approximate where i is the
+// height of the current node measured from the leaf."
+//
+// This module simulates that aggregation over an explicit tree and reports
+// the total summary traffic ("minimizing the communication costs in a sensor
+// network") alongside the epsilon-accurate root summary.
+
+#ifndef STREAMGPU_SKETCH_SENSOR_TREE_H_
+#define STREAMGPU_SKETCH_SENSOR_TREE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sketch/gk_summary.h"
+
+namespace streamgpu::sketch {
+
+/// Aggregates per-node observations up a complete tree, producing an
+/// epsilon-approximate quantile summary of the union at the root.
+class SensorTreeAggregator {
+ public:
+  /// `epsilon` in (0, 1); `height` >= 1 is the tree height (leaves at
+  /// height 0, root at `height`).
+  SensorTreeAggregator(double epsilon, int height);
+
+  /// Per-level error budget: eps/2 + i * eps / (2 * height) at height i.
+  double LevelBudget(int node_height) const;
+
+  /// Tuple budget B = ceil(2 * height / epsilon) used by each compress, so
+  /// one compress adds at most eps/(2*height) error.
+  std::size_t compress_tuples() const { return compress_tuples_; }
+
+  /// Builds a leaf summary from one node's sorted observations (the local
+  /// sort is the step §5.2's stream extension moves to the GPU).
+  GkSummary MakeLeafSummary(std::span<const float> sorted_observations) const;
+
+  /// Aggregates children summaries at a node of height `node_height`:
+  /// merge all, then compress to the level budget. Counts the children's
+  /// tuples as upward communication traffic.
+  GkSummary AggregateAtNode(std::vector<GkSummary> children, int node_height);
+
+  /// Convenience: distributes `observations_per_leaf`-sized slices of
+  /// `sorted pools` over the leaves of a complete `fanout`-ary tree and
+  /// aggregates to the root. Every leaf's data must be pre-sorted.
+  GkSummary AggregateComplete(const std::vector<std::vector<float>>& leaf_data,
+                              int fanout);
+
+  /// Total tuples transmitted upward so far (the communication cost [21]
+  /// minimizes).
+  std::uint64_t tuples_transmitted() const { return tuples_transmitted_; }
+
+  double epsilon() const { return epsilon_; }
+  int height() const { return height_; }
+
+ private:
+  double epsilon_;
+  int height_;
+  std::size_t compress_tuples_;
+  std::uint64_t tuples_transmitted_ = 0;
+};
+
+}  // namespace streamgpu::sketch
+
+#endif  // STREAMGPU_SKETCH_SENSOR_TREE_H_

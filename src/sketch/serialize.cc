@@ -1,0 +1,77 @@
+#include "sketch/serialize.h"
+
+#include <cstring>
+
+namespace streamgpu::sketch {
+
+namespace {
+
+constexpr std::uint32_t kGkMagic = 0x474B5331;  // "GKS1"
+
+template <typename T>
+void Append(std::vector<std::uint8_t>* out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t offset = out->size();
+  out->resize(offset + sizeof(T));
+  std::memcpy(out->data() + offset, &value, sizeof(T));
+}
+
+template <typename T>
+bool Read(std::span<const std::uint8_t>* bytes, T* value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (bytes->size() < sizeof(T)) return false;
+  std::memcpy(value, bytes->data(), sizeof(T));
+  *bytes = bytes->subspan(sizeof(T));
+  return true;
+}
+
+}  // namespace
+
+std::size_t GkSummaryWireSize(std::size_t tuples) {
+  // magic + count + epsilon + tuple count + tuples (value, rmin, rmax).
+  return sizeof(std::uint32_t) + sizeof(std::uint64_t) + sizeof(double) +
+         sizeof(std::uint64_t) + tuples * (sizeof(float) + 2 * sizeof(std::uint64_t));
+}
+
+void SerializeGkSummary(const GkSummary& summary, std::vector<std::uint8_t>* out) {
+  out->reserve(out->size() + GkSummaryWireSize(summary.size()));
+  Append(out, kGkMagic);
+  Append(out, summary.count());
+  Append(out, summary.epsilon());
+  Append(out, static_cast<std::uint64_t>(summary.size()));
+  for (const GkTuple& t : summary.tuples()) {
+    Append(out, t.value);
+    Append(out, t.rmin);
+    Append(out, t.rmax);
+  }
+}
+
+bool DeserializeGkSummary(std::span<const std::uint8_t>* bytes, GkSummary* summary) {
+  std::span<const std::uint8_t> cursor = *bytes;
+  std::uint32_t magic = 0;
+  std::uint64_t count = 0;
+  double epsilon = 0;
+  std::uint64_t tuple_count = 0;
+  if (!Read(&cursor, &magic) || magic != kGkMagic) return false;
+  if (!Read(&cursor, &count) || !Read(&cursor, &epsilon) || !Read(&cursor, &tuple_count)) {
+    return false;
+  }
+  // Reject sizes the remaining bytes cannot possibly hold (corrupted length
+  // fields must not drive allocation).
+  if (tuple_count > cursor.size() / (sizeof(float) + 2 * sizeof(std::uint64_t))) {
+    return false;
+  }
+  std::vector<GkTuple> tuples(static_cast<std::size_t>(tuple_count));
+  for (GkTuple& t : tuples) {
+    if (!Read(&cursor, &t.value) || !Read(&cursor, &t.rmin) || !Read(&cursor, &t.rmax)) {
+      return false;
+    }
+  }
+  GkSummary parsed;
+  if (!GkSummary::FromParts(std::move(tuples), count, epsilon, &parsed)) return false;
+  *summary = std::move(parsed);
+  *bytes = cursor;
+  return true;
+}
+
+}  // namespace streamgpu::sketch

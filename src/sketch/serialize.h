@@ -1,0 +1,35 @@
+// Binary (de)serialization of the summary structures, so summaries can be
+// checkpointed, shipped between processes (the sensor-network setting
+// literally transmits them, [21]), or archived next to the stream they
+// describe.
+//
+// Format: little-endian, fixed-width fields, a 4-byte magic and version per
+// structure. Deserialization validates structure invariants and returns
+// false on malformed input instead of aborting.
+
+#ifndef STREAMGPU_SKETCH_SERIALIZE_H_
+#define STREAMGPU_SKETCH_SERIALIZE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sketch/gk_summary.h"
+#include "sketch/lossy_counting.h"
+
+namespace streamgpu::sketch {
+
+/// Appends the serialized form of `summary` to `out`.
+void SerializeGkSummary(const GkSummary& summary, std::vector<std::uint8_t>* out);
+
+/// Parses a GkSummary from the front of `bytes`. On success stores the
+/// result, advances `bytes` past the consumed prefix, and returns true;
+/// on malformed input returns false and leaves outputs untouched.
+bool DeserializeGkSummary(std::span<const std::uint8_t>* bytes, GkSummary* summary);
+
+/// Serialized size in bytes of a GkSummary with `tuples` tuples.
+std::size_t GkSummaryWireSize(std::size_t tuples);
+
+}  // namespace streamgpu::sketch
+
+#endif  // STREAMGPU_SKETCH_SERIALIZE_H_

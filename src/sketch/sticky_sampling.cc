@@ -1,0 +1,71 @@
+#include "sketch/sticky_sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace streamgpu::sketch {
+
+StickySampling::StickySampling(double epsilon, double support_floor, double delta,
+                               std::uint64_t seed)
+    : epsilon_(epsilon), rng_(seed) {
+  STREAMGPU_CHECK(epsilon > 0.0 && epsilon < 1.0);
+  STREAMGPU_CHECK(support_floor > epsilon);
+  STREAMGPU_CHECK(delta > 0.0 && delta < 1.0);
+  // t = (1/epsilon) * ln(1/(s*delta)), from [32]. The first 2t elements are
+  // sampled at rate 1, the next 2t at rate 2, then 4t at rate 4, ...
+  t_ = std::max(1.0, std::log(1.0 / (support_floor * delta)) / epsilon);
+  next_rate_switch_ = static_cast<std::uint64_t>(2.0 * t_);
+}
+
+void StickySampling::Observe(float value) {
+  ++n_;
+  if (n_ > next_rate_switch_) {
+    rate_ *= 2;
+    next_rate_switch_ += static_cast<std::uint64_t>(2.0 * t_) * rate_;
+    Resample();
+  }
+
+  if (const auto it = counters_.find(value); it != counters_.end()) {
+    ++it->second;  // already sampled: count exactly
+    return;
+  }
+  std::uniform_int_distribution<std::uint64_t> coin(1, rate_);
+  if (coin(rng_) == 1) counters_.emplace(value, 1);
+}
+
+void StickySampling::Resample() {
+  // For each existing counter, toss unbiased coins until heads, diminishing
+  // the count by one per tail; counters reaching zero are evicted ([32]).
+  std::bernoulli_distribution tail(0.5);
+  for (auto it = counters_.begin(); it != counters_.end();) {
+    while (it->second > 0 && tail(rng_)) --it->second;
+    if (it->second == 0) {
+      it = counters_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::uint64_t StickySampling::EstimateCount(float value) const {
+  const auto it = counters_.find(value);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<float, std::uint64_t>> StickySampling::HeavyHitters(
+    double support) const {
+  const double threshold = (support - epsilon_) * static_cast<double>(n_);
+  std::vector<std::pair<float, std::uint64_t>> out;
+  for (const auto& [value, count] : counters_) {
+    if (static_cast<double>(count) >= threshold) out.emplace_back(value, count);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace streamgpu::sketch

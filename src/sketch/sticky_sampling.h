@@ -1,0 +1,69 @@
+// Sticky Sampling — Manku & Motwani's probabilistic frequency algorithm,
+// the sampling-based counterpart of lossy counting ([32]; §2.1's
+// "probabilistic algorithms" / sample-based family).
+//
+// Elements are sampled into the summary with a rate that halves as the
+// stream grows; sampled elements are counted exactly from then on. With
+// probability >= 1 - delta, a query at support s returns every element with
+// true frequency >= s*N, and estimates undercount by at most epsilon*N in
+// expectation. Expected space is (2/epsilon) * log(1/(s*delta)) entries —
+// independent of the stream length.
+
+#ifndef STREAMGPU_SKETCH_STICKY_SAMPLING_H_
+#define STREAMGPU_SKETCH_STICKY_SAMPLING_H_
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace streamgpu::sketch {
+
+/// Sticky-sampling frequency summary.
+class StickySampling {
+ public:
+  /// `epsilon` < `support_floor`; `delta` is the failure probability. The
+  /// summary targets queries at supports >= `support_floor`.
+  StickySampling(double epsilon, double support_floor, double delta,
+                 std::uint64_t seed = 1);
+
+  /// Processes one stream element.
+  void Observe(float value);
+
+  /// Processes a batch of stream elements.
+  void ObserveBatch(std::span<const float> values) {
+    for (float v : values) Observe(v);
+  }
+
+  /// Estimated frequency (undercounts; exact once the element is sampled).
+  std::uint64_t EstimateCount(float value) const;
+
+  /// Every tracked element with estimated frequency >= (support - epsilon)*N.
+  std::vector<std::pair<float, std::uint64_t>> HeavyHitters(double support) const;
+
+  std::uint64_t stream_length() const { return n_; }
+  std::size_t summary_size() const { return counters_.size(); }
+  double epsilon() const { return epsilon_; }
+
+  /// Current sampling rate r: elements enter the summary with probability
+  /// 1/r.
+  std::uint64_t sampling_rate() const { return rate_; }
+
+ private:
+  /// Halves all counters geometrically when the sampling rate doubles, as
+  /// if the survivors had been sampled at the new rate all along.
+  void Resample();
+
+  double epsilon_;
+  double t_;  ///< window factor: first 2t elements at rate 1, next 2t at 2, ...
+  std::uint64_t n_ = 0;
+  std::uint64_t rate_ = 1;
+  std::uint64_t next_rate_switch_;
+  std::mt19937_64 rng_;
+  std::unordered_map<float, std::uint64_t> counters_;
+};
+
+}  // namespace streamgpu::sketch
+
+#endif  // STREAMGPU_SKETCH_STICKY_SAMPLING_H_

@@ -1,0 +1,49 @@
+// The prior GPU sorting baseline: Purcell et al.'s bitonic merge sort [40],
+// implemented as a fragment program — each stage is one full-screen pass
+// where every pixel fetches itself and its comparator partner and writes the
+// min or max. The paper reports this implementation executes at least 53
+// fragment-program instructions per pixel per stage (§4.5), roughly an order
+// of magnitude more per-comparator work than the blending path.
+
+#ifndef STREAMGPU_SORT_BITONIC_GPU_H_
+#define STREAMGPU_SORT_BITONIC_GPU_H_
+
+#include <cstdint>
+#include <span>
+
+#include "gpu/device.h"
+#include "hwmodel/gpu_model.h"
+#include "sort/sorter.h"
+
+namespace streamgpu::sort {
+
+/// GPU bitonic sorter (baseline) over a simulated device.
+class BitonicGpuSorter final : public Sorter {
+ public:
+  /// Fragment-program instruction count per pixel per stage, from §4.5.
+  static constexpr std::uint64_t kInstructionsPerFragment = 53;
+
+  BitonicGpuSorter(gpu::GpuDevice* device, const hwmodel::GpuHardwareProfile& profile,
+                   gpu::Format format = gpu::Format::kFloat32);
+
+  void Sort(std::span<float> data) override;
+  const SortRunInfo& last_run() const override { return last_run_; }
+  const char* name() const override { return "gpu-bitonic"; }
+
+  /// Device work counters for the most recent Sort() call.
+  const gpu::GpuStats& last_stats() const { return last_stats_; }
+
+ protected:
+  void set_last_run(const SortRunInfo& info) override { last_run_ = info; }
+
+ private:
+  gpu::GpuDevice* device_;
+  hwmodel::GpuModel model_;
+  gpu::Format format_;
+  SortRunInfo last_run_;
+  gpu::GpuStats last_stats_;
+};
+
+}  // namespace streamgpu::sort
+
+#endif  // STREAMGPU_SORT_BITONIC_GPU_H_

@@ -1,0 +1,102 @@
+#include "sort/cpu_sort.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/timer.h"
+
+namespace streamgpu::sort {
+
+namespace {
+
+constexpr std::size_t kInsertionCutoff = 16;
+
+void InsertionSort(float* data, std::size_t lo, std::size_t hi, CpuSortCounters* c) {
+  for (std::size_t i = lo + 1; i < hi; ++i) {
+    const float key = data[i];
+    std::size_t j = i;
+    while (j > lo) {
+      ++c->comparisons;
+      if (data[j - 1] <= key) break;
+      data[j] = data[j - 1];
+      ++c->swaps;
+      --j;
+    }
+    data[j] = key;
+  }
+}
+
+// Median-of-three pivot selection; leaves the pivot at index `mid`.
+float MedianOfThree(float* data, std::size_t lo, std::size_t mid, std::size_t hi,
+                    CpuSortCounters* c) {
+  c->comparisons += 3;
+  if (data[mid] < data[lo]) std::swap(data[mid], data[lo]);
+  if (data[hi] < data[lo]) std::swap(data[hi], data[lo]);
+  if (data[hi] < data[mid]) std::swap(data[hi], data[mid]);
+  return data[mid];
+}
+
+void QuicksortRecurse(float* data, std::size_t lo, std::size_t hi, CpuSortCounters* c) {
+  // [lo, hi) half-open. Recurse on the smaller side to bound stack depth.
+  while (hi - lo > kInsertionCutoff) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const float pivot = MedianOfThree(data, lo, mid, hi - 1, c);
+
+    std::size_t i = lo;
+    std::size_t j = hi - 1;
+    while (true) {
+      do {
+        ++c->comparisons;
+        ++i;
+      } while (data[i] < pivot);
+      do {
+        ++c->comparisons;
+        --j;
+      } while (pivot < data[j]);
+      if (i >= j) break;
+      std::swap(data[i], data[j]);
+      ++c->swaps;
+    }
+    const std::size_t split = j + 1;
+    if (split - lo < hi - split) {
+      QuicksortRecurse(data, lo, split, c);
+      lo = split;
+    } else {
+      QuicksortRecurse(data, split, hi, c);
+      hi = split;
+    }
+  }
+  InsertionSort(data, lo, hi, c);
+}
+
+}  // namespace
+
+void QuicksortInstrumented(std::span<float> data, CpuSortCounters* counters) {
+  if (data.size() < 2) return;
+  QuicksortRecurse(data.data(), 0, data.size(), counters);
+}
+
+void QuicksortSorter::Sort(std::span<float> data) {
+  Timer timer;
+  CpuSortCounters counters;
+  QuicksortInstrumented(data, &counters);
+  last_run_ = SortRunInfo{};
+  last_run_.wall_seconds = timer.ElapsedSeconds();
+  last_run_.comparisons = counters.comparisons;
+  last_run_.simulated_seconds =
+      model_.ComparisonSortSeconds(counters.comparisons, data.size(), sizeof(float));
+}
+
+void StdSortSorter::Sort(std::span<float> data) {
+  Timer timer;
+  std::sort(data.begin(), data.end());
+  last_run_ = SortRunInfo{};
+  last_run_.wall_seconds = timer.ElapsedSeconds();
+  const double n = static_cast<double>(data.size());
+  last_run_.comparisons =
+      data.size() < 2 ? 0 : static_cast<std::uint64_t>(1.39 * n * std::log2(n));
+  last_run_.simulated_seconds = model_.QuicksortSeconds(data.size(), sizeof(float));
+}
+
+}  // namespace streamgpu::sort

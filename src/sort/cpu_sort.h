@@ -1,0 +1,65 @@
+// CPU sorting baselines: an instrumented quicksort (the paper benchmarks
+// the Intel compiler's optimized quicksort and MSVC's qsort, §4.5) and a
+// std::sort wrapper. The instrumentation feeds the Pentium IV timing model.
+
+#ifndef STREAMGPU_SORT_CPU_SORT_H_
+#define STREAMGPU_SORT_CPU_SORT_H_
+
+#include <cstdint>
+#include <span>
+
+#include "hwmodel/cpu_model.h"
+#include "sort/sorter.h"
+
+namespace streamgpu::sort {
+
+/// Work counters for an instrumented CPU sort.
+struct CpuSortCounters {
+  std::uint64_t comparisons = 0;
+  std::uint64_t swaps = 0;
+};
+
+/// Sorts `data` in place with median-of-three quicksort (insertion-sort
+/// cutoff at small partitions), counting comparisons and swaps.
+void QuicksortInstrumented(std::span<float> data, CpuSortCounters* counters);
+
+/// Quicksort-based Sorter with P4-model simulated timing.
+class QuicksortSorter final : public Sorter {
+ public:
+  explicit QuicksortSorter(const hwmodel::CpuHardwareProfile& profile)
+      : model_(profile) {}
+
+  void Sort(std::span<float> data) override;
+  const SortRunInfo& last_run() const override { return last_run_; }
+  const char* name() const override { return "cpu-quicksort"; }
+
+ protected:
+  void set_last_run(const SortRunInfo& info) override { last_run_ = info; }
+
+ private:
+  hwmodel::CpuModel model_;
+  SortRunInfo last_run_;
+};
+
+/// std::sort-based Sorter (introsort). Simulated timing uses the analytic
+/// quicksort estimate since std::sort is not instrumented.
+class StdSortSorter final : public Sorter {
+ public:
+  explicit StdSortSorter(const hwmodel::CpuHardwareProfile& profile)
+      : model_(profile) {}
+
+  void Sort(std::span<float> data) override;
+  const SortRunInfo& last_run() const override { return last_run_; }
+  const char* name() const override { return "cpu-std-sort"; }
+
+ protected:
+  void set_last_run(const SortRunInfo& info) override { last_run_ = info; }
+
+ private:
+  hwmodel::CpuModel model_;
+  SortRunInfo last_run_;
+};
+
+}  // namespace streamgpu::sort
+
+#endif  // STREAMGPU_SORT_CPU_SORT_H_

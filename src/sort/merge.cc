@@ -1,0 +1,65 @@
+#include "sort/merge.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace streamgpu::sort {
+
+std::uint64_t TwoWayMerge(std::span<const float> a, std::span<const float> b,
+                          std::span<float> out) {
+  STREAMGPU_CHECK(out.size() == a.size() + b.size());
+  std::size_t i = 0, j = 0, k = 0;
+  std::uint64_t comparisons = 0;
+  while (i < a.size() && j < b.size()) {
+    ++comparisons;
+    if (b[j] < a[i]) {
+      out[k++] = b[j++];
+    } else {
+      out[k++] = a[i++];
+    }
+  }
+  while (i < a.size()) out[k++] = a[i++];
+  while (j < b.size()) out[k++] = b[j++];
+  return comparisons;
+}
+
+std::uint64_t FourWayMerge(const std::array<std::span<const float>, 4>& runs,
+                           std::span<float> out) {
+  const std::size_t n01 = runs[0].size() + runs[1].size();
+  const std::size_t n23 = runs[2].size() + runs[3].size();
+  STREAMGPU_CHECK(out.size() == n01 + n23);
+  std::vector<float> lo(n01);
+  std::vector<float> hi(n23);
+  std::uint64_t comparisons = 0;
+  comparisons += TwoWayMerge(runs[0], runs[1], lo);
+  comparisons += TwoWayMerge(runs[2], runs[3], hi);
+  comparisons += TwoWayMerge(lo, hi, out);
+  return comparisons;
+}
+
+std::uint64_t KWayMerge(std::span<const std::span<const float>> runs, std::span<float> out) {
+  std::size_t total = 0;
+  for (const auto& r : runs) total += r.size();
+  STREAMGPU_CHECK(out.size() == total);
+
+  std::vector<std::size_t> pos(runs.size(), 0);
+  std::uint64_t comparisons = 0;
+  for (std::size_t k = 0; k < total; ++k) {
+    int best = -1;
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      if (pos[r] >= runs[r].size()) continue;
+      if (best < 0) {
+        best = static_cast<int>(r);
+        continue;
+      }
+      ++comparisons;
+      if (runs[r][pos[r]] < runs[best][pos[best]]) best = static_cast<int>(r);
+    }
+    STREAMGPU_CHECK(best >= 0);
+    out[k] = runs[best][pos[best]++];
+  }
+  return comparisons;
+}
+
+}  // namespace streamgpu::sort

@@ -1,0 +1,34 @@
+// CPU-side merging of sorted runs.
+//
+// The GPU PBSN sort returns four independently sorted channel runs; "a merge
+// operation is performed in software. The merge routine performs O(n)
+// comparisons and is very efficient" (§4.4).
+
+#ifndef STREAMGPU_SORT_MERGE_H_
+#define STREAMGPU_SORT_MERGE_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace streamgpu::sort {
+
+/// Merges two sorted runs into `out` (out.size() == a.size() + b.size()).
+/// Returns the number of comparisons performed.
+std::uint64_t TwoWayMerge(std::span<const float> a, std::span<const float> b,
+                          std::span<float> out);
+
+/// Merges four sorted runs into `out` via two levels of binary merges (the
+/// structure the paper's CPU merge uses: O(n) comparisons total).
+/// Returns the number of comparisons performed.
+std::uint64_t FourWayMerge(const std::array<std::span<const float>, 4>& runs,
+                           std::span<float> out);
+
+/// Merges k sorted runs into `out` with a simple tournament over run heads.
+/// Returns the number of comparisons performed.
+std::uint64_t KWayMerge(std::span<const std::span<const float>> runs, std::span<float> out);
+
+}  // namespace streamgpu::sort
+
+#endif  // STREAMGPU_SORT_MERGE_H_

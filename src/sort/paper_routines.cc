@@ -1,0 +1,184 @@
+#include "sort/paper_routines.h"
+
+#include "sort/pbsn_network.h"
+
+namespace streamgpu::sort::paper {
+
+namespace {
+using gpu::GlContext;
+}  // namespace
+
+// ROUTINE 4.1:
+//   1 Enable Texturing and set tex as active texture
+//   2 v[0] = (0,0), t[0] = (0,0)
+//   3 v[1] = (W,0), t[1] = (W,0)
+//   4 v[2] = (W,H), t[2] = (W,H)
+//   5 v[3] = (0,H), t[3] = (0,H)
+//   6 DrawQuad(v,t)
+void Copy(GlContext& gl, gpu::TextureHandle tex, int w, int h) {
+  gl.Enable(GlContext::kTexture2D);
+  gl.BindTexture(tex);
+  gl.Disable(GlContext::kBlend);
+  const auto fw = static_cast<float>(w);
+  const auto fh = static_cast<float>(h);
+  gl.Begin(GlContext::kQuads);
+  gl.TexCoord2f(0, 0);
+  gl.Vertex2f(0, 0);
+  gl.TexCoord2f(fw, 0);
+  gl.Vertex2f(fw, 0);
+  gl.TexCoord2f(fw, fh);
+  gl.Vertex2f(fw, fh);
+  gl.TexCoord2f(0, fh);
+  gl.Vertex2f(0, fh);
+  gl.End();
+}
+
+// ROUTINE 4.2:
+//   1 Enable Texturing and set tex as active texture
+//   2 Enable Blending and set blend function to compute the minimum
+//   3 v[0] = (0, s),       t[0] = (W, s+H)
+//   4 v[1] = (W, s),       t[1] = (0, s+H)
+//   5 v[2] = (W, s + H/2), t[2] = (0, s + H/2)
+//   6 v[3] = (0, s + H/2), t[3] = (W, s + H/2)
+//   7 DrawQuad(v, t)
+void ComputeMin(GlContext& gl, gpu::TextureHandle tex, int s, int w, int h) {
+  gl.Enable(GlContext::kTexture2D);
+  gl.BindTexture(tex);
+  gl.Enable(GlContext::kBlend);
+  gl.BlendEquation(GlContext::kFuncMin);
+  const auto fw = static_cast<float>(w);
+  const auto fs = static_cast<float>(s);
+  const auto fh = static_cast<float>(h);
+  gl.Begin(GlContext::kQuads);
+  gl.TexCoord2f(fw, fs + fh);
+  gl.Vertex2f(0, fs);
+  gl.TexCoord2f(0, fs + fh);
+  gl.Vertex2f(fw, fs);
+  gl.TexCoord2f(0, fs + fh / 2);
+  gl.Vertex2f(fw, fs + fh / 2);
+  gl.TexCoord2f(fw, fs + fh / 2);
+  gl.Vertex2f(0, fs + fh / 2);
+  gl.End();
+}
+
+// The symmetric maximum routine: the upper half of the block keeps the
+// maximum of each mirrored pair.
+void ComputeMax(GlContext& gl, gpu::TextureHandle tex, int s, int w, int h) {
+  gl.Enable(GlContext::kTexture2D);
+  gl.BindTexture(tex);
+  gl.Enable(GlContext::kBlend);
+  gl.BlendEquation(GlContext::kFuncMax);
+  const auto fw = static_cast<float>(w);
+  const auto fs = static_cast<float>(s);
+  const auto fh = static_cast<float>(h);
+  gl.Begin(GlContext::kQuads);
+  gl.TexCoord2f(fw, fs + fh / 2);
+  gl.Vertex2f(0, fs + fh / 2);
+  gl.TexCoord2f(0, fs + fh / 2);
+  gl.Vertex2f(fw, fs + fh / 2);
+  gl.TexCoord2f(0, fs);
+  gl.Vertex2f(fw, fs + fh);
+  gl.TexCoord2f(fw, fs);
+  gl.Vertex2f(0, fs + fh);
+  gl.End();
+}
+
+// Fig. 2 (left): one quad covers the same columns of every row; u mirrors
+// the block, v is the identity.
+void ComputeRowMin(GlContext& gl, gpu::TextureHandle tex, int offset, int block,
+                   int height) {
+  gl.Enable(GlContext::kTexture2D);
+  gl.BindTexture(tex);
+  gl.Enable(GlContext::kBlend);
+  gl.BlendEquation(GlContext::kFuncMin);
+  const auto off = static_cast<float>(offset);
+  const auto b = static_cast<float>(block);
+  const auto fh = static_cast<float>(height);
+  gl.Begin(GlContext::kQuads);
+  gl.TexCoord2f(off + b, 0);
+  gl.Vertex2f(off, 0);
+  gl.TexCoord2f(off + b / 2, 0);
+  gl.Vertex2f(off + b / 2, 0);
+  gl.TexCoord2f(off + b / 2, fh);
+  gl.Vertex2f(off + b / 2, fh);
+  gl.TexCoord2f(off + b, fh);
+  gl.Vertex2f(off, fh);
+  gl.End();
+}
+
+void ComputeRowMax(GlContext& gl, gpu::TextureHandle tex, int offset, int block,
+                   int height) {
+  gl.Enable(GlContext::kTexture2D);
+  gl.BindTexture(tex);
+  gl.Enable(GlContext::kBlend);
+  gl.BlendEquation(GlContext::kFuncMax);
+  const auto off = static_cast<float>(offset);
+  const auto b = static_cast<float>(block);
+  const auto fh = static_cast<float>(height);
+  gl.Begin(GlContext::kQuads);
+  gl.TexCoord2f(off + b / 2, 0);
+  gl.Vertex2f(off + b / 2, 0);
+  gl.TexCoord2f(off, 0);
+  gl.Vertex2f(off + b, 0);
+  gl.TexCoord2f(off, fh);
+  gl.Vertex2f(off + b, fh);
+  gl.TexCoord2f(off + b / 2, fh);
+  gl.Vertex2f(off + b / 2, fh);
+  gl.End();
+}
+
+// ROUTINE 4.4:
+//   1 if blocksize <= width
+//   2   numRowBlocks = width / blocksize
+//   3   for i = 0 to (numRowBlocks-1)
+//   4     offset = i * blocksize
+//   5     ComputeRowMin(tex, offset, blocksize, height)
+//   6     ComputeRowMax(tex, offset, blocksize, height)
+//   7 else
+//   8   numBlocks = width*height/blocksize, block_height = blocksize/width
+//   9   for i = 0 to (numBlocks-1)
+//  10     offset = i * block_height
+//  11     ComputeMin(tex, offset, width, block_height)
+//  12     ComputeMax(tex, offset, width, block_height)
+void SortStep(GlContext& gl, gpu::TextureHandle tex, int width, int height,
+              int block_size) {
+  if (block_size <= width) {
+    const int num_row_blocks = width / block_size;
+    for (int i = 0; i < num_row_blocks; ++i) {
+      const int offset = i * block_size;
+      ComputeRowMin(gl, tex, offset, block_size, height);
+      ComputeRowMax(gl, tex, offset, block_size, height);
+    }
+  } else {
+    const int num_blocks = width * height / block_size;
+    const int block_height = block_size / width;
+    for (int i = 0; i < num_blocks; ++i) {
+      const int offset = i * block_height;
+      ComputeMin(gl, tex, offset, width, block_height);
+      ComputeMax(gl, tex, offset, width, block_height);
+    }
+  }
+}
+
+// ROUTINE 4.3:
+//   3 Copy(tex, W, H)
+//   4 for i = 1 to log n           /* for each stage */
+//   5   for j = log n to 1
+//   6     Block size B = 2^j
+//   7     SortStep(tex, W, H, B)
+//   8     Copy from frame buffer to tex
+void Pbsn(GlContext& gl, gpu::TextureHandle tex, int width, int height) {
+  Copy(gl, tex, width, height);
+  const int log_n = CeilLog2(static_cast<std::uint64_t>(width) *
+                             static_cast<std::uint64_t>(height));
+  for (int i = 1; i <= log_n; ++i) {
+    for (int j = log_n; j >= 1; --j) {
+      const int block_size = 1 << j;
+      SortStep(gl, tex, width, height, block_size);
+      gl.BindTexture(tex);
+      gl.CopyTexSubImage2D();
+    }
+  }
+}
+
+}  // namespace streamgpu::sort::paper

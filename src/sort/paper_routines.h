@@ -1,0 +1,46 @@
+// Verbatim transcriptions of the paper's Routines 4.1-4.4 in the GL-style
+// immediate-mode API (gpu/gl.h), kept as the readable reference for the
+// optimized implementation in pbsn_gpu.h. tests/paper_routines_test.cc
+// verifies the two produce bit-identical results.
+//
+// The routines operate on a single texture whose four channels each hold an
+// independent sequence (padded to the texture's power-of-two capacity with
+// +inf), with the framebuffer as the blend destination, exactly as in §4.
+
+#ifndef STREAMGPU_SORT_PAPER_ROUTINES_H_
+#define STREAMGPU_SORT_PAPER_ROUTINES_H_
+
+#include "gpu/gl.h"
+
+namespace streamgpu::sort::paper {
+
+/// Routine 4.1: copies a W x H texture into the frame buffer.
+void Copy(gpu::GlContext& gl, gpu::TextureHandle tex, int w, int h);
+
+/// Routine 4.2: compares the value at the i-th location with the value at
+/// the (W*H - 1 - i)-th location of the block of rows [s, s+h) and stores
+/// the minimum at the i-th location (first half of the block).
+void ComputeMin(gpu::GlContext& gl, gpu::TextureHandle tex, int s, int w, int h);
+
+/// The mirror of ComputeMin: stores the maximum in the second half.
+void ComputeMax(gpu::GlContext& gl, gpu::TextureHandle tex, int s, int w, int h);
+
+/// Row-block variants (Fig. 2 left): compare within a block of `block`
+/// columns starting at column `offset`, across all `height` rows.
+void ComputeRowMin(gpu::GlContext& gl, gpu::TextureHandle tex, int offset, int block,
+                   int height);
+void ComputeRowMax(gpu::GlContext& gl, gpu::TextureHandle tex, int offset, int block,
+                   int height);
+
+/// Routine 4.4: one step of the sorting network at the given block size.
+void SortStep(gpu::GlContext& gl, gpu::TextureHandle tex, int width, int height,
+              int block_size);
+
+/// Routine 4.3: the full periodic balanced sorting network over a texture
+/// holding `padded` = width*height values per channel. The caller uploads
+/// the data and reads back the framebuffer afterwards.
+void Pbsn(gpu::GlContext& gl, gpu::TextureHandle tex, int width, int height);
+
+}  // namespace streamgpu::sort::paper
+
+#endif  // STREAMGPU_SORT_PAPER_ROUTINES_H_

@@ -1,0 +1,55 @@
+#include "sort/pbsn_network.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace streamgpu::sort {
+
+int CeilLog2(std::uint64_t x) {
+  STREAMGPU_CHECK(x >= 1);
+  int bits = 0;
+  std::uint64_t v = 1;
+  while (v < x) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+std::uint64_t NextPowerOfTwo(std::uint64_t x) { return std::uint64_t{1} << CeilLog2(x); }
+
+void PbsnStepCpu(std::span<float> data, std::size_t block_size) {
+  STREAMGPU_CHECK(block_size >= 2 && (block_size & (block_size - 1)) == 0);
+  STREAMGPU_CHECK(data.size() % block_size == 0);
+  for (std::size_t base = 0; base < data.size(); base += block_size) {
+    for (std::size_t i = 0; i < block_size / 2; ++i) {
+      float& lo = data[base + i];
+      float& hi = data[base + block_size - 1 - i];
+      if (lo > hi) std::swap(lo, hi);
+    }
+  }
+}
+
+void PbsnStageCpu(std::span<float> data) {
+  for (std::size_t block = data.size(); block >= 2; block /= 2) {
+    PbsnStepCpu(data, block);
+  }
+}
+
+void PbsnSortCpu(std::span<float> data) {
+  const std::size_t n = data.size();
+  if (n < 2) return;
+  STREAMGPU_CHECK_MSG((n & (n - 1)) == 0, "PBSN requires a power-of-two input size");
+  const int stages = CeilLog2(n);
+  for (int s = 0; s < stages; ++s) PbsnStageCpu(data);
+}
+
+std::uint64_t PbsnComparatorCount(std::uint64_t n) {
+  if (n < 2) return 0;
+  const auto k = static_cast<std::uint64_t>(CeilLog2(n));
+  return (n / 2) * k * k;
+}
+
+}  // namespace streamgpu::sort

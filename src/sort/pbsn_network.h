@@ -1,0 +1,43 @@
+// The periodic balanced sorting network (PBSN) comparator schedule [16]
+// (Dowd, Perl, Rudolph, Saks), shared between the GPU implementation and a
+// scalar reference executor used for validation.
+//
+// For an input of n = 2^k elements the network runs k stages; each stage
+// performs k steps with block sizes n, n/2, ..., 2. A step with block size B
+// partitions the input into contiguous blocks of B elements and, within each
+// block, compares the element at offset i with the element at offset B-1-i;
+// the minimum lands in the lower half and the maximum in the upper half
+// (§4.4). After k identical stages the sequence is sorted.
+
+#ifndef STREAMGPU_SORT_PBSN_NETWORK_H_
+#define STREAMGPU_SORT_PBSN_NETWORK_H_
+
+#include <cstdint>
+#include <span>
+
+namespace streamgpu::sort {
+
+/// ceil(log2(x)) for x >= 1.
+int CeilLog2(std::uint64_t x);
+
+/// Smallest power of two >= x (x >= 1).
+std::uint64_t NextPowerOfTwo(std::uint64_t x);
+
+/// Applies one PBSN step with the given block size to `data` (whose size
+/// must be a multiple of `block_size`; `block_size` a power of two >= 2).
+void PbsnStepCpu(std::span<float> data, std::size_t block_size);
+
+/// Runs one full PBSN stage (steps with block sizes data.size() .. 2).
+void PbsnStageCpu(std::span<float> data);
+
+/// Sorts `data` (size a power of two) with the full PBSN schedule —
+/// the scalar reference for the GPU implementation.
+void PbsnSortCpu(std::span<float> data);
+
+/// Total comparator count of the PBSN schedule for n = 2^k elements:
+/// each step has n/2 comparators, and there are k^2 steps.
+std::uint64_t PbsnComparatorCount(std::uint64_t n);
+
+}  // namespace streamgpu::sort
+
+#endif  // STREAMGPU_SORT_PBSN_NETWORK_H_

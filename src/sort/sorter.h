@@ -1,0 +1,87 @@
+// Common interface for the sorting backends the paper benchmarks against one
+// another: the novel GPU PBSN sort (§4.4), the prior GPU bitonic sort
+// baseline ([40], §4.5), and CPU quicksort.
+
+#ifndef STREAMGPU_SORT_SORTER_H_
+#define STREAMGPU_SORT_SORTER_H_
+
+#include <cstdint>
+#include <span>
+
+namespace streamgpu::sort {
+
+/// Timing/work record for the most recent Sort() call.
+struct SortRunInfo {
+  /// Host wall-clock of the whole call (simulator execution time; not
+  /// comparable across backends — the GPU backends run on a software
+  /// rasterizer).
+  double wall_seconds = 0;
+
+  /// Simulated 2005-hardware time, end to end. For GPU backends this
+  /// includes bus transfers (as the paper's figures do); for CPU backends it
+  /// is the P4 model estimate.
+  double simulated_seconds = 0;
+
+  /// Simulated on-device sorting time (GPU backends; Fig. 4's compute
+  /// portion). Zero for CPU backends.
+  double sim_device_seconds = 0;
+
+  /// Simulated CPU<->GPU transfer time (GPU backends; Fig. 4's transfer
+  /// portion). Zero for CPU backends.
+  double sim_transfer_seconds = 0;
+
+  /// Simulated time of the CPU-side merge of the four sorted channel runs
+  /// (GPU PBSN backend only, §4.4).
+  double sim_merge_seconds = 0;
+
+  /// Scalar comparisons performed (GPU: 4 x blended fragments, §4.5; CPU:
+  /// instrumented count).
+  std::uint64_t comparisons = 0;
+
+  SortRunInfo& operator+=(const SortRunInfo& o) {
+    wall_seconds += o.wall_seconds;
+    simulated_seconds += o.simulated_seconds;
+    sim_device_seconds += o.sim_device_seconds;
+    sim_transfer_seconds += o.sim_transfer_seconds;
+    sim_merge_seconds += o.sim_merge_seconds;
+    comparisons += o.comparisons;
+    return *this;
+  }
+};
+
+/// Abstract in-place float sorter.
+class Sorter {
+ public:
+  virtual ~Sorter() = default;
+
+  /// Sorts `data` ascending in place.
+  virtual void Sort(std::span<float> data) = 0;
+
+  /// Sorts several independent runs, each ascending in place. The default
+  /// sorts them one by one; the GPU PBSN backend overrides this to pack four
+  /// runs at a time into the RGBA channels of one texture, the way the paper
+  /// buffers four stream windows (§4.1). last_run() afterwards holds the
+  /// accumulated record of the whole batch.
+  virtual void SortRuns(std::span<std::span<float>> runs) {
+    SortRunInfo total;
+    for (auto& run : runs) {
+      Sort(run);
+      total += last_run();
+    }
+    set_last_run(total);
+  }
+
+  /// Timing/work record of the most recent Sort()/SortRuns() call.
+  virtual const SortRunInfo& last_run() const = 0;
+
+  /// Backend name for reports.
+  virtual const char* name() const = 0;
+
+ protected:
+  /// Replaces the last-run record (used by the batched default path).
+  virtual void set_last_run(const SortRunInfo& info) = 0;
+};
+
+}  // namespace streamgpu::sort
+
+#endif  // STREAMGPU_SORT_SORTER_H_

@@ -1,0 +1,70 @@
+#include "stream/dsms.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace streamgpu::stream {
+
+DsmsSimulator::DsmsSimulator(const Config& config) : config_(config) {
+  STREAMGPU_CHECK(config.arrival_rate_hz > 0);
+  STREAMGPU_CHECK(config.queue_capacity >= 1);
+  STREAMGPU_CHECK(config.service_chunk >= 1);
+}
+
+DsmsSimulator::Result DsmsSimulator::Run(StreamGenerator* source,
+                                         std::uint64_t total_elements,
+                                         const Processor& processor) const {
+  STREAMGPU_CHECK(source != nullptr);
+  Result result;
+  std::vector<float> queue;
+  queue.reserve(config_.queue_capacity);
+  std::vector<float> chunk;
+  chunk.reserve(config_.service_chunk);
+
+  // Pulls `n` new arrivals into the queue, shedding past capacity (drop-
+  // newest: the elements that arrive while the queue is full are lost).
+  const auto admit = [&](std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n && result.arrived < total_elements; ++i) {
+      const float value = source->Next();
+      ++result.arrived;
+      if (queue.size() < config_.queue_capacity) {
+        queue.push_back(value);
+      } else {
+        ++result.shed;
+      }
+    }
+  };
+
+  double arrival_credit = 0;  // fractional arrivals carried between steps
+  while (result.arrived < total_elements || !queue.empty()) {
+    if (queue.empty()) {
+      // Idle: wait for one service chunk's worth of arrivals.
+      const double wait =
+          static_cast<double>(config_.service_chunk) / config_.arrival_rate_hz;
+      result.virtual_seconds += wait;
+      admit(config_.service_chunk);
+      continue;
+    }
+
+    // Serve from the queue head.
+    const std::size_t take = std::min(config_.service_chunk, queue.size());
+    chunk.assign(queue.begin(), queue.begin() + static_cast<std::ptrdiff_t>(take));
+    queue.erase(queue.begin(), queue.begin() + static_cast<std::ptrdiff_t>(take));
+    const double service = processor(chunk);
+    STREAMGPU_CHECK_MSG(service >= 0, "processor returned negative service time");
+    result.processed += take;
+    result.busy_seconds += service;
+    result.virtual_seconds += service;
+
+    // Arrivals that landed during the service interval.
+    arrival_credit += service * config_.arrival_rate_hz;
+    const auto whole = static_cast<std::uint64_t>(arrival_credit);
+    arrival_credit -= static_cast<double>(whole);
+    admit(whole);
+  }
+  return result;
+}
+
+}  // namespace streamgpu::stream

@@ -1,0 +1,101 @@
+#include "stream/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace streamgpu::stream {
+
+const char* DistributionName(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform:
+      return "uniform";
+    case Distribution::kUniformReal:
+      return "uniform-real";
+    case Distribution::kZipf:
+      return "zipf";
+    case Distribution::kSorted:
+      return "sorted";
+    case Distribution::kReverseSorted:
+      return "reverse-sorted";
+    case Distribution::kNearlySorted:
+      return "nearly-sorted";
+    case Distribution::kNetworkFlows:
+      return "network-flows";
+    case Distribution::kFinanceTicks:
+      return "finance-ticks";
+  }
+  return "?";
+}
+
+StreamGenerator::StreamGenerator(const Config& config)
+    : config_(config), rng_(config.seed), price_(config.start_price) {
+  STREAMGPU_CHECK(config.domain_size >= 1);
+  if (config_.distribution == Distribution::kZipf ||
+      config_.distribution == Distribution::kNetworkFlows) {
+    // Zipf CDF over ranks 1..domain_size with exponent s.
+    zipf_cdf_.resize(config_.domain_size);
+    double total = 0;
+    for (std::uint32_t r = 0; r < config_.domain_size; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r) + 1.0, config_.zipf_s);
+      zipf_cdf_[r] = total;
+    }
+    for (double& c : zipf_cdf_) c /= total;
+  }
+}
+
+float StreamGenerator::NextZipfValue() {
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  const double u = uni(rng_);
+  const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  return static_cast<float>(it - zipf_cdf_.begin());
+}
+
+float StreamGenerator::Next() {
+  ++position_;
+  switch (config_.distribution) {
+    case Distribution::kUniform: {
+      std::uniform_int_distribution<std::uint32_t> dist(0, config_.domain_size - 1);
+      return static_cast<float>(dist(rng_));
+    }
+    case Distribution::kUniformReal: {
+      std::uniform_real_distribution<float> dist(0.0f, 1000.0f);
+      return dist(rng_);
+    }
+    case Distribution::kZipf:
+      return NextZipfValue();
+    case Distribution::kSorted:
+      return static_cast<float>(position_ % (1u << 22));
+    case Distribution::kReverseSorted:
+      return static_cast<float>((1u << 22) - position_ % (1u << 22));
+    case Distribution::kNearlySorted: {
+      std::uniform_real_distribution<double> uni(0.0, 1.0);
+      const auto base = static_cast<float>(position_ % (1u << 22));
+      if (uni(rng_) < config_.disorder) {
+        std::uniform_int_distribution<int> jump(-1000, 1000);
+        return base + static_cast<float>(jump(rng_));
+      }
+      return base;
+    }
+    case Distribution::kNetworkFlows: {
+      if (burst_remaining_ == 0) {
+        current_flow_ = NextZipfValue();
+        std::geometric_distribution<std::uint64_t> burst(1.0 / config_.mean_burst);
+        burst_remaining_ = burst(rng_) + 1;
+      }
+      --burst_remaining_;
+      return current_flow_;
+    }
+    case Distribution::kFinanceTicks: {
+      std::normal_distribution<double> step(0.0, config_.volatility);
+      price_ = std::max(1.0, price_ + step(rng_));
+      // Quantize to a 1/16 tick so prices are exactly representable in
+      // binary16 over the typical price range.
+      return static_cast<float>(std::round(price_ * 16.0) / 16.0);
+    }
+  }
+  return 0.0f;
+}
+
+}  // namespace streamgpu::stream

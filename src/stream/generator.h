@@ -1,0 +1,99 @@
+// Synthetic data-stream sources.
+//
+// The paper evaluates on "random databases" of up to 100 million values
+// (§4.5, §5) drawn from the application domains of §1: high-speed
+// networking, finance logs, sensor networks and web tracking. These
+// generators are deterministic (seeded) stand-ins: uniform and Zipfian value
+// distributions for frequency workloads, ordered/disordered numeric streams
+// for sort stress, and bursty network-flow / random-walk finance-tick
+// streams for the example applications.
+
+#ifndef STREAMGPU_STREAM_GENERATOR_H_
+#define STREAMGPU_STREAM_GENERATOR_H_
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace streamgpu::stream {
+
+/// Stream value distribution families.
+enum class Distribution {
+  kUniform,       ///< uniform over an integer domain (duplicates expected)
+  kUniformReal,   ///< uniform real values (effectively all distinct)
+  kZipf,          ///< Zipf(s) over an integer domain — heavy hitters exist
+  kSorted,        ///< ascending ramp (adversarial best case for some sorts)
+  kReverseSorted, ///< descending ramp
+  kNearlySorted,  ///< ascending ramp with sparse random perturbations
+  kNetworkFlows,  ///< bursty flow ids: Zipf-popular flows in geometric bursts
+  kFinanceTicks,  ///< tick-quantized random-walk prices
+};
+
+/// Human-readable distribution name.
+const char* DistributionName(Distribution d);
+
+/// Deterministic, unbounded synthetic stream source.
+class StreamGenerator {
+ public:
+  struct Config {
+    Distribution distribution = Distribution::kUniform;
+    std::uint64_t seed = 1;
+
+    /// Number of distinct values for the integer-domain distributions.
+    /// Values stay <= 2048 by default so they are exactly representable in
+    /// the 16-bit float pipeline (§5 streams 16-bit floating point data).
+    std::uint32_t domain_size = 2000;
+
+    /// Zipf skew parameter (kZipf, kNetworkFlows).
+    double zipf_s = 1.1;
+
+    /// Fraction of perturbed positions (kNearlySorted).
+    double disorder = 0.01;
+
+    /// Mean burst length (kNetworkFlows).
+    double mean_burst = 8.0;
+
+    /// Starting price and per-tick volatility (kFinanceTicks).
+    double start_price = 100.0;
+    double volatility = 0.05;
+  };
+
+  explicit StreamGenerator(const Config& config);
+
+  /// Next stream element.
+  float Next();
+
+  /// Fills `out` with the next out.size() elements.
+  void Fill(std::span<float> out) {
+    for (float& v : out) v = Next();
+  }
+
+  /// Convenience: materializes the next `n` elements.
+  std::vector<float> Take(std::size_t n) {
+    std::vector<float> out(n);
+    Fill(out);
+    return out;
+  }
+
+  const Config& config() const { return config_; }
+
+ private:
+  float NextZipfValue();
+
+  Config config_;
+  std::mt19937_64 rng_;
+  std::vector<double> zipf_cdf_;  ///< lazily built for the Zipfian families
+  std::uint64_t position_ = 0;
+
+  // kNetworkFlows burst state.
+  float current_flow_ = 0;
+  std::uint64_t burst_remaining_ = 0;
+
+  // kFinanceTicks walk state.
+  double price_ = 0;
+};
+
+}  // namespace streamgpu::stream
+
+#endif  // STREAMGPU_STREAM_GENERATOR_H_

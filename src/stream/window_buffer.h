@@ -1,0 +1,64 @@
+// Window buffering for per-element stream ingestion.
+//
+// The window-based algorithms of §3.2 consume the stream in fixed-size
+// windows; the GPU path additionally buffers four windows at a time so they
+// can ride the four color channels of one texture (§4.1). WindowBatcher
+// implements exactly that staging discipline.
+
+#ifndef STREAMGPU_STREAM_WINDOW_BUFFER_H_
+#define STREAMGPU_STREAM_WINDOW_BUFFER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace streamgpu::stream {
+
+/// Accumulates stream elements into fixed-size windows and releases them in
+/// batches of up to `batch_windows` (4 for the GPU path, 1 for CPU paths).
+class WindowBatcher {
+ public:
+  WindowBatcher(std::uint64_t window_size, int batch_windows)
+      : window_size_(window_size), batch_windows_(batch_windows) {
+    STREAMGPU_CHECK(window_size >= 1);
+    STREAMGPU_CHECK(batch_windows >= 1);
+    buffer_.reserve(window_size * static_cast<std::uint64_t>(batch_windows));
+  }
+
+  /// Adds one element. Returns true when a full batch is ready (the caller
+  /// should then consume TakeWindows()).
+  bool Push(float value) {
+    buffer_.push_back(value);
+    return buffer_.size() ==
+           window_size_ * static_cast<std::uint64_t>(batch_windows_);
+  }
+
+  /// Views of the buffered windows (the final one may be partial). The spans
+  /// point into internal storage: consume them, then call Clear().
+  std::vector<std::span<float>> Windows() {
+    std::vector<std::span<float>> out;
+    for (std::size_t off = 0; off < buffer_.size(); off += window_size_) {
+      const std::size_t len = std::min<std::size_t>(window_size_, buffer_.size() - off);
+      out.emplace_back(buffer_.data() + off, len);
+    }
+    return out;
+  }
+
+  /// Discards the buffered elements after they have been consumed.
+  void Clear() { buffer_.clear(); }
+
+  bool empty() const { return buffer_.empty(); }
+  std::uint64_t window_size() const { return window_size_; }
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::uint64_t window_size_;
+  int batch_windows_;
+  std::vector<float> buffer_;
+};
+
+}  // namespace streamgpu::stream
+
+#endif  // STREAMGPU_STREAM_WINDOW_BUFFER_H_

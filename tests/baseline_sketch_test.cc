@@ -1,0 +1,185 @@
+// Tests for the additional baselines: sticky sampling (probabilistic
+// frequency, [32]) and the adaptive single-element GK01 quantile summary.
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sketch/exact.h"
+#include "sketch/gk_adaptive.h"
+#include "sketch/sticky_sampling.h"
+
+namespace streamgpu::sketch {
+namespace {
+
+std::vector<float> ZipfStream(std::size_t n, int domain, unsigned seed) {
+  std::vector<double> cdf(domain);
+  double total = 0;
+  for (int r = 0; r < domain; ++r) {
+    total += 1.0 / std::pow(r + 1.0, 1.2);
+    cdf[r] = total;
+  }
+  for (double& c : cdf) c /= total;
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> uni(0, 1);
+  std::vector<float> out(n);
+  for (float& v : out) {
+    v = static_cast<float>(std::lower_bound(cdf.begin(), cdf.end(), uni(rng)) -
+                           cdf.begin());
+  }
+  return out;
+}
+
+// --- Sticky sampling. ---
+
+TEST(StickySamplingTest, NeverOvercounts) {
+  const auto stream = ZipfStream(100000, 300, 41);
+  StickySampling ss(0.002, 0.01, 0.01);
+  ss.ObserveBatch(stream);
+  const auto exact = ExactCounts(stream);
+  for (const auto& [value, truth] : exact) {
+    EXPECT_LE(ss.EstimateCount(value), truth) << value;
+  }
+}
+
+TEST(StickySamplingTest, HeavyHittersUsuallyComplete) {
+  // Probabilistic guarantee with delta = 1%: run several seeds and demand
+  // at most one miss across all heavy hitters and seeds.
+  std::size_t misses = 0;
+  for (unsigned seed = 1; seed <= 5; ++seed) {
+    const auto stream = ZipfStream(80000, 300, 100 + seed);
+    StickySampling ss(0.002, 0.01, 0.01, seed);
+    ss.ObserveBatch(stream);
+    const auto reported = ss.HeavyHitters(0.01);
+    for (const auto& [value, f] : ExactHeavyHitters(stream, 0.01)) {
+      const bool found = std::any_of(reported.begin(), reported.end(),
+                                     [v = value](const auto& r) { return r.first == v; });
+      if (!found) ++misses;
+    }
+  }
+  EXPECT_LE(misses, 1u);
+}
+
+TEST(StickySamplingTest, SpaceIndependentOfStreamLength) {
+  StickySampling short_run(0.005, 0.02, 0.05, 3);
+  StickySampling long_run(0.005, 0.02, 0.05, 3);
+  short_run.ObserveBatch(ZipfStream(20000, 5000, 51));
+  long_run.ObserveBatch(ZipfStream(200000, 5000, 52));
+  // Expected space 2/eps * ln(1/(s*delta)) ~ 2770; allow 3x.
+  const double cap = 3.0 * 2.0 / 0.005 * std::log(1.0 / (0.02 * 0.05));
+  EXPECT_LE(static_cast<double>(short_run.summary_size()), cap);
+  EXPECT_LE(static_cast<double>(long_run.summary_size()), cap);
+  EXPECT_GT(long_run.sampling_rate(), short_run.sampling_rate());
+}
+
+TEST(StickySamplingTest, DeterministicForSeed) {
+  const auto stream = ZipfStream(30000, 100, 53);
+  StickySampling a(0.005, 0.02, 0.05, 7);
+  StickySampling b(0.005, 0.02, 0.05, 7);
+  a.ObserveBatch(stream);
+  b.ObserveBatch(stream);
+  EXPECT_EQ(a.summary_size(), b.summary_size());
+  EXPECT_EQ(a.HeavyHitters(0.02), b.HeavyHitters(0.02));
+}
+
+TEST(StickySamplingTest, RejectsBadParameters) {
+  EXPECT_DEATH(StickySampling(0.05, 0.01, 0.1), "support_floor > epsilon");
+}
+
+// --- Adaptive GK01. ---
+
+struct GkAdaptiveCase {
+  double epsilon;
+  std::size_t n;
+  bool sorted_input;
+};
+
+class GkAdaptiveProperty : public ::testing::TestWithParam<GkAdaptiveCase> {};
+
+TEST_P(GkAdaptiveProperty, QuantilesWithinEpsilon) {
+  const GkAdaptiveCase& p = GetParam();
+  std::mt19937 rng(61);
+  std::uniform_real_distribution<float> d(0.0f, 1e6f);
+  std::vector<float> stream(p.n);
+  for (float& v : stream) v = d(rng);
+  if (p.sorted_input) std::sort(stream.begin(), stream.end());
+
+  GkAdaptive gk(p.epsilon);
+  gk.ObserveBatch(stream);
+  ASSERT_EQ(gk.stream_length(), p.n);
+  EXPECT_TRUE(gk.CheckInvariant());
+
+  std::vector<float> sorted(stream);
+  std::sort(sorted.begin(), sorted.end());
+  const double allowed = p.epsilon * static_cast<double>(p.n) + 1;
+  for (double phi : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const float q = gk.Quantile(phi);
+    const auto it = std::lower_bound(sorted.begin(), sorted.end(), q);
+    const double rank = static_cast<double>(it - sorted.begin()) + 1;
+    const double target = std::ceil(phi * static_cast<double>(p.n));
+    EXPECT_NEAR(rank, target, allowed) << "phi=" << phi;
+  }
+}
+
+TEST_P(GkAdaptiveProperty, SpaceIsSublinear) {
+  const GkAdaptiveCase& p = GetParam();
+  std::mt19937 rng(62);
+  std::uniform_real_distribution<float> d(0.0f, 1e6f);
+  GkAdaptive gk(p.epsilon);
+  for (std::size_t i = 0; i < p.n; ++i) gk.Observe(d(rng));
+  // O((1/eps) log(eps n)) with a generous constant.
+  const double cap =
+      (1.0 / p.epsilon) *
+      std::max(2.0, std::log2(p.epsilon * static_cast<double>(p.n) + 2.0)) * 12.0;
+  EXPECT_LE(static_cast<double>(gk.summary_size()), cap);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GkAdaptiveProperty,
+    ::testing::Values(GkAdaptiveCase{0.01, 50000, false},
+                      GkAdaptiveCase{0.01, 50000, true},
+                      GkAdaptiveCase{0.05, 20000, false},
+                      GkAdaptiveCase{0.001, 100000, false}),
+    [](const ::testing::TestParamInfo<GkAdaptiveCase>& info) {
+      return "eps" + std::to_string(static_cast<int>(1.0 / info.param.epsilon)) + "_n" +
+             std::to_string(info.param.n) + (info.param.sorted_input ? "_sorted" : "_rand");
+    });
+
+TEST(GkAdaptiveTest, ExactOnTinyStreams) {
+  GkAdaptive gk(0.1);
+  for (float v : {5.0f, 1.0f, 3.0f}) gk.Observe(v);
+  EXPECT_EQ(gk.Quantile(1.0 / 3.0), 1.0f);
+  EXPECT_EQ(gk.Quantile(1.0), 5.0f);
+}
+
+TEST(GkAdaptiveTest, DuplicateHeavyStream) {
+  GkAdaptive gk(0.01);
+  std::mt19937 rng(63);
+  std::uniform_int_distribution<int> d(0, 3);
+  for (int i = 0; i < 50000; ++i) gk.Observe(static_cast<float>(d(rng)));
+  EXPECT_TRUE(gk.CheckInvariant());
+  const float median = gk.Quantile(0.5);
+  EXPECT_TRUE(median == 1.0f || median == 2.0f);
+}
+
+TEST(GkAdaptiveTest, MinAndMaxAreExact) {
+  GkAdaptive gk(0.05);
+  std::mt19937 rng(64);
+  std::uniform_real_distribution<float> d(0.0f, 100.0f);
+  float mn = 1e9f;
+  float mx = -1e9f;
+  for (int i = 0; i < 10000; ++i) {
+    const float v = d(rng);
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+    gk.Observe(v);
+  }
+  EXPECT_EQ(gk.QueryRank(1), mn);
+  EXPECT_EQ(gk.QueryRank(10000), mx);
+}
+
+}  // namespace
+}  // namespace streamgpu::sketch

@@ -1,0 +1,192 @@
+// Consistency and soak tests: behaviors that must hold across call patterns
+// — batch vs per-element ingestion, repeated flushes, query stability,
+// top-k, long streams, and determinism across identical runs.
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/frequency_estimator.h"
+#include "core/quantile_estimator.h"
+#include "sketch/exact.h"
+#include "stream/generator.h"
+
+namespace streamgpu::core {
+namespace {
+
+std::vector<float> ZipfStream(std::size_t n, unsigned seed) {
+  stream::StreamGenerator gen({.distribution = stream::Distribution::kZipf,
+                               .seed = seed,
+                               .domain_size = 500});
+  return gen.Take(n);
+}
+
+TEST(ConsistencyTest, BatchAndPerElementIngestionAgree) {
+  const auto stream = ZipfStream(20000, 1);
+  Options opt;
+  opt.epsilon = 0.005;
+  opt.backend = Backend::kGpuPbsn;
+
+  FrequencyEstimator batched(opt);
+  batched.ObserveBatch(stream);
+  batched.Flush();
+
+  FrequencyEstimator elementwise(opt);
+  for (float v : stream) elementwise.Observe(v);
+  elementwise.Flush();
+
+  EXPECT_EQ(batched.HeavyHitters(0.02), elementwise.HeavyHitters(0.02));
+  EXPECT_EQ(batched.summary_size(), elementwise.summary_size());
+  for (float v : {0.0f, 1.0f, 7.0f, 100.0f}) {
+    EXPECT_EQ(batched.EstimateCount(v), elementwise.EstimateCount(v)) << v;
+  }
+}
+
+TEST(ConsistencyTest, FlushIsIdempotent) {
+  Options opt;
+  opt.epsilon = 0.01;
+  opt.backend = Backend::kCpuStdSort;
+  FrequencyEstimator fe(opt);
+  fe.ObserveBatch(ZipfStream(555, 2));
+  fe.Flush();
+  const auto once = fe.HeavyHitters(0.05);
+  const auto n = fe.processed_length();
+  fe.Flush();
+  fe.Flush();
+  EXPECT_EQ(fe.HeavyHitters(0.05), once);
+  EXPECT_EQ(fe.processed_length(), n);
+}
+
+TEST(ConsistencyTest, QueriesAreStableBetweenObservations) {
+  // Querying must not mutate state: two identical queries in a row agree,
+  // and interleaved queries don't disturb ingestion.
+  const auto stream = ZipfStream(30000, 3);
+  Options opt;
+  opt.epsilon = 0.005;
+  opt.backend = Backend::kGpuPbsn;
+
+  FrequencyEstimator straight(opt);
+  straight.ObserveBatch(stream);
+  straight.Flush();
+
+  FrequencyEstimator interleaved(opt);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    interleaved.Observe(stream[i]);
+    if (i % 5000 == 0) {
+      (void)interleaved.HeavyHitters(0.05);
+      (void)interleaved.EstimateCount(1.0f);
+    }
+  }
+  interleaved.Flush();
+  EXPECT_EQ(straight.HeavyHitters(0.02), interleaved.HeavyHitters(0.02));
+}
+
+TEST(ConsistencyTest, DeterministicAcrossRuns) {
+  const auto stream = ZipfStream(25000, 4);
+  std::vector<double> sims;
+  std::vector<float> medians;
+  for (int run = 0; run < 2; ++run) {
+    Options opt;
+    opt.epsilon = 0.01;
+    opt.backend = Backend::kGpuPbsn;
+    QuantileEstimator qe(opt);
+    qe.ObserveBatch(stream);
+    qe.Flush();
+    sims.push_back(qe.SimulatedSeconds());
+    medians.push_back(qe.Quantile(0.5));
+  }
+  EXPECT_EQ(sims[0], sims[1]);      // simulated time is count-derived
+  EXPECT_EQ(medians[0], medians[1]);
+}
+
+TEST(ConsistencyTest, TopKOrderingAndTruncation) {
+  const auto stream = ZipfStream(50000, 5);
+  Options opt;
+  opt.epsilon = 0.001;
+  opt.backend = Backend::kCpuQuicksort;
+  FrequencyEstimator fe(opt);
+  fe.ObserveBatch(stream);
+  fe.Flush();
+
+  const auto top5 = fe.TopK(5);
+  ASSERT_EQ(top5.size(), 5u);
+  for (std::size_t i = 1; i < top5.size(); ++i) {
+    EXPECT_GE(top5[i - 1].second, top5[i].second);
+  }
+  // Zipf rank 0 dominates; with epsilon far below the frequency gaps the
+  // top of the list is the true top.
+  EXPECT_EQ(top5[0].first, 0.0f);
+  EXPECT_EQ(top5[1].first, 1.0f);
+
+  const auto top1 = fe.TopK(1);
+  ASSERT_EQ(top1.size(), 1u);
+  EXPECT_EQ(top1[0], top5[0]);
+
+  // Requesting more than exist returns what the summary holds.
+  EXPECT_LE(fe.TopK(1 << 20).size(), fe.summary_size());
+}
+
+TEST(ConsistencyTest, EmptyEstimatorBehaves) {
+  Options opt;
+  opt.epsilon = 0.01;
+  opt.backend = Backend::kCpuStdSort;
+  FrequencyEstimator fe(opt);
+  fe.Flush();  // nothing buffered
+  EXPECT_EQ(fe.processed_length(), 0u);
+  EXPECT_TRUE(fe.HeavyHitters(0.1).empty());
+  EXPECT_EQ(fe.EstimateCount(5.0f), 0u);
+  EXPECT_TRUE(fe.TopK(3).empty());
+}
+
+TEST(ConsistencyTest, SoakLongStreamStaysBounded) {
+  // 2M elements through the CPU pipeline: summary stays small, guarantees
+  // hold at the end, costs accumulate monotonically.
+  stream::StreamGenerator gen({.distribution = stream::Distribution::kZipf,
+                               .seed = 6,
+                               .domain_size = 2000});
+  Options opt;
+  opt.epsilon = 0.0005;
+  opt.backend = Backend::kCpuQuicksort;
+  FrequencyEstimator fe(opt);
+  double last_sim = 0;
+  for (int chunk = 0; chunk < 20; ++chunk) {
+    fe.ObserveBatch(gen.Take(100000));
+    fe.Flush();
+    const double sim = fe.SimulatedSeconds();
+    EXPECT_GE(sim, last_sim);
+    last_sim = sim;
+    // Space bound O((1/eps) log(eps N)).
+    EXPECT_LT(fe.summary_size(), 100000u);
+  }
+  EXPECT_EQ(fe.processed_length(), 2000000u);
+  const auto hitters = fe.HeavyHitters(0.01);
+  EXPECT_FALSE(hitters.empty());
+  for (const auto& [value, est] : hitters) {
+    EXPECT_GE(est, static_cast<std::uint64_t>((0.01 - 0.0005) * 2000000));
+  }
+}
+
+TEST(ConsistencyTest, SlidingQueriesConsistentWithCoveredSpan) {
+  // A window query for W' <= W never reports more mass than the full-window
+  // query.
+  const auto stream = ZipfStream(60000, 7);
+  Options opt;
+  opt.epsilon = 0.01;
+  opt.backend = Backend::kGpuPbsn;
+  opt.sliding_window = 20000;
+  FrequencyEstimator fe(opt);
+  fe.ObserveBatch(stream);
+  fe.Flush();
+  for (float v : {0.0f, 1.0f, 5.0f}) {
+    const auto full = fe.EstimateCount(v);
+    const auto half = fe.EstimateCount(v, 10000);
+    const auto quarter = fe.EstimateCount(v, 5000);
+    EXPECT_LE(half, full) << v;
+    EXPECT_LE(quarter, half) << v;
+  }
+}
+
+}  // namespace
+}  // namespace streamgpu::core

@@ -1,0 +1,245 @@
+// Tests for the public API (core/): estimator configuration, backend
+// equivalence, and cost accounting.
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/frequency_estimator.h"
+#include "core/quantile_estimator.h"
+#include "core/stream_miner.h"
+#include "sketch/exact.h"
+#include "stream/generator.h"
+
+namespace streamgpu::core {
+namespace {
+
+std::vector<float> TestStream(std::size_t n, unsigned seed, int domain = 300) {
+  stream::StreamGenerator gen({.distribution = stream::Distribution::kZipf,
+                               .seed = seed,
+                               .domain_size = static_cast<std::uint32_t>(domain)});
+  return gen.Take(n);
+}
+
+TEST(SortEngineTest, GpuBackendsOwnADevice) {
+  Options gpu_opt;
+  gpu_opt.backend = Backend::kGpuPbsn;
+  SortEngine gpu_engine(gpu_opt);
+  EXPECT_TRUE(gpu_engine.is_gpu());
+  EXPECT_NE(gpu_engine.device(), nullptr);
+  EXPECT_EQ(gpu_engine.batch_windows(), 4);
+
+  Options cpu_opt;
+  cpu_opt.backend = Backend::kCpuQuicksort;
+  SortEngine cpu_engine(cpu_opt);
+  EXPECT_FALSE(cpu_engine.is_gpu());
+  EXPECT_EQ(cpu_engine.device(), nullptr);
+  EXPECT_EQ(cpu_engine.batch_windows(), 1);
+}
+
+TEST(FrequencyEstimatorTest, WindowDefaultsToInverseEpsilon) {
+  Options opt;
+  opt.epsilon = 0.01;
+  opt.backend = Backend::kCpuStdSort;
+  FrequencyEstimator fe(opt);
+  // 100-element windows: after 100 observations one window is processed.
+  for (int i = 0; i < 100; ++i) fe.Observe(1.0f);
+  EXPECT_EQ(fe.processed_length(), 100u);
+  EXPECT_EQ(fe.EstimateCount(1.0f), 100u);
+}
+
+TEST(FrequencyEstimatorTest, GpuBuffersFourWindows) {
+  Options opt;
+  opt.epsilon = 0.01;
+  opt.backend = Backend::kGpuPbsn;
+  FrequencyEstimator fe(opt);
+  for (int i = 0; i < 399; ++i) fe.Observe(1.0f);
+  EXPECT_EQ(fe.processed_length(), 0u);  // still buffering (4 windows x 100)
+  fe.Observe(1.0f);
+  EXPECT_EQ(fe.processed_length(), 400u);
+}
+
+TEST(FrequencyEstimatorTest, FlushProcessesPartialWindow) {
+  Options opt;
+  opt.epsilon = 0.01;
+  opt.backend = Backend::kCpuStdSort;
+  FrequencyEstimator fe(opt);
+  for (int i = 0; i < 42; ++i) fe.Observe(2.0f);
+  EXPECT_EQ(fe.processed_length(), 0u);
+  fe.Flush();
+  EXPECT_EQ(fe.processed_length(), 42u);
+  EXPECT_EQ(fe.EstimateCount(2.0f), 42u);
+  EXPECT_EQ(fe.observed_length(), 42u);
+}
+
+TEST(FrequencyEstimatorTest, AllBackendsAgreeOnIntegerStreams) {
+  // Integer-valued data below 2048 is exact in binary16, so the fp16 GPU
+  // path must produce identical summaries to the CPU paths.
+  const auto stream = TestStream(30000, 5);
+  std::vector<std::vector<std::pair<float, std::uint64_t>>> results;
+  for (Backend b : {Backend::kGpuPbsn, Backend::kGpuBitonic, Backend::kCpuQuicksort,
+                    Backend::kCpuStdSort}) {
+    Options opt;
+    opt.epsilon = 0.005;
+    opt.backend = b;
+    FrequencyEstimator fe(opt);
+    fe.ObserveBatch(stream);
+    fe.Flush();
+    results.push_back(fe.HeavyHitters(0.02));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], results[0]) << "backend " << i;
+  }
+}
+
+TEST(FrequencyEstimatorTest, CostsArePopulated) {
+  Options opt;
+  opt.epsilon = 0.01;
+  opt.backend = Backend::kGpuPbsn;
+  FrequencyEstimator fe(opt);
+  fe.ObserveBatch(TestStream(5000, 6));
+  fe.Flush();
+  const PipelineCosts& costs = fe.costs();
+  EXPECT_GT(costs.sort.simulated_seconds, 0.0);
+  EXPECT_GT(costs.sort.sim_transfer_seconds, 0.0);
+  EXPECT_GT(costs.histogram_elements, 0u);
+  EXPECT_GT(costs.merged_entries, 0u);
+  EXPECT_GT(fe.SimulatedSeconds(), costs.sort.simulated_seconds);
+}
+
+TEST(FrequencyEstimatorTest, SlidingModeTracksRecentWindow) {
+  Options opt;
+  opt.epsilon = 0.02;
+  opt.backend = Backend::kGpuPbsn;
+  opt.sliding_window = 5000;
+  FrequencyEstimator fe(opt);
+  EXPECT_TRUE(fe.sliding());
+
+  std::vector<float> stream;
+  stream.insert(stream.end(), 10000, 1.0f);
+  stream.insert(stream.end(), 10000, 2.0f);
+  fe.ObserveBatch(stream);
+  fe.Flush();
+  EXPECT_EQ(fe.EstimateCount(1.0f), 0u);
+  EXPECT_GT(fe.EstimateCount(2.0f), 4000u);
+}
+
+TEST(QuantileEstimatorTest, MedianOfKnownDistribution) {
+  Options opt;
+  opt.epsilon = 0.01;
+  opt.backend = Backend::kCpuStdSort;
+  QuantileEstimator qe(opt);
+  // 0..9999 once each: the median is ~5000.
+  std::vector<float> stream(10000);
+  for (std::size_t i = 0; i < stream.size(); ++i) stream[i] = static_cast<float>(i);
+  std::mt19937 rng(7);
+  std::shuffle(stream.begin(), stream.end(), rng);
+  qe.ObserveBatch(stream);
+  qe.Flush();
+  EXPECT_NEAR(qe.Quantile(0.5), 5000.0f, 0.01 * 10000 + 1);
+  EXPECT_NEAR(qe.Quantile(0.9), 9000.0f, 0.01 * 10000 + 1);
+  EXPECT_EQ(qe.processed_length(), 10000u);
+}
+
+TEST(QuantileEstimatorTest, AllBackendsWithinEpsilon) {
+  const auto stream = TestStream(40000, 8, 2000);
+  std::vector<float> sorted(stream);
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(stream.size());
+  for (Backend b : {Backend::kGpuPbsn, Backend::kCpuQuicksort}) {
+    Options opt;
+    opt.epsilon = 0.01;
+    opt.backend = b;
+    QuantileEstimator qe(opt);
+    qe.ObserveBatch(stream);
+    qe.Flush();
+    for (double phi : {0.1, 0.5, 0.9}) {
+      const float q = qe.Quantile(phi);
+      const auto [lo, hi] = sketch::ExactRankRange(sorted, q);
+      const double target = std::ceil(phi * n);
+      EXPECT_GE(static_cast<double>(hi) + 1 + opt.epsilon * n + 1, target)
+          << BackendName(b) << " phi=" << phi;
+      EXPECT_LE(static_cast<double>(lo) + 1 - opt.epsilon * n - 1, target)
+          << BackendName(b) << " phi=" << phi;
+    }
+  }
+}
+
+TEST(QuantileEstimatorTest, SlidingModeFollowsShift) {
+  Options opt;
+  opt.epsilon = 0.02;
+  opt.backend = Backend::kGpuPbsn;
+  opt.sliding_window = 8000;
+  QuantileEstimator qe(opt);
+  std::vector<float> stream;
+  for (int i = 0; i < 20000; ++i) stream.push_back(100.0f);
+  for (int i = 0; i < 20000; ++i) stream.push_back(900.0f);
+  qe.ObserveBatch(stream);
+  qe.Flush();
+  EXPECT_EQ(qe.Quantile(0.5), 900.0f);
+}
+
+TEST(QuantileEstimatorTest, CostsArePopulated) {
+  Options opt;
+  opt.epsilon = 0.01;
+  opt.backend = Backend::kGpuPbsn;
+  QuantileEstimator qe(opt);
+  qe.ObserveBatch(TestStream(10000, 9));
+  qe.Flush();
+  EXPECT_GT(qe.costs().sort.simulated_seconds, 0.0);
+  EXPECT_GT(qe.costs().histogram_elements, 0u);
+  EXPECT_GT(qe.SimulatedSeconds(), 0.0);
+  EXPECT_GT(qe.summary_size(), 0u);
+}
+
+TEST(StreamMinerTest, DrivesBothEstimators) {
+  Options opt;
+  opt.epsilon = 0.01;
+  opt.backend = Backend::kCpuStdSort;
+  StreamMiner miner(opt);
+  const auto stream = TestStream(20000, 10);
+  miner.ObserveBatch(stream);
+  miner.Flush();
+  EXPECT_EQ(miner.frequencies().processed_length(), 20000u);
+  EXPECT_EQ(miner.quantiles().processed_length(), 20000u);
+  EXPECT_FALSE(miner.frequencies().HeavyHitters(0.05).empty());
+}
+
+TEST(OptionsTest, InvalidEpsilonDies) {
+  Options zero;
+  zero.epsilon = 0.0;
+  zero.backend = Backend::kCpuStdSort;
+  EXPECT_DEATH(FrequencyEstimator{zero}, "epsilon");
+  EXPECT_DEATH(QuantileEstimator{zero}, "epsilon");
+  Options one;
+  one.epsilon = 1.0;
+  one.backend = Backend::kCpuStdSort;
+  EXPECT_DEATH(FrequencyEstimator{one}, "epsilon");
+  Options negative;
+  negative.epsilon = -0.5;
+  negative.backend = Backend::kCpuStdSort;
+  EXPECT_DEATH(QuantileEstimator{negative}, "epsilon");
+}
+
+TEST(OptionsTest, BackendNames) {
+  EXPECT_STREQ(BackendName(Backend::kGpuPbsn), "gpu-pbsn");
+  EXPECT_STREQ(BackendName(Backend::kGpuBitonic), "gpu-bitonic");
+  EXPECT_STREQ(BackendName(Backend::kCpuQuicksort), "cpu-quicksort");
+  EXPECT_STREQ(BackendName(Backend::kCpuStdSort), "cpu-std-sort");
+}
+
+TEST(OptionsTest, ExplicitWindowSizeHonored) {
+  Options opt;
+  opt.epsilon = 0.01;
+  opt.window_size = 50;
+  opt.backend = Backend::kCpuStdSort;
+  FrequencyEstimator fe(opt);
+  for (int i = 0; i < 50; ++i) fe.Observe(3.0f);
+  EXPECT_EQ(fe.processed_length(), 50u);
+}
+
+}  // namespace
+}  // namespace streamgpu::core

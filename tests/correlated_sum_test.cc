@@ -1,0 +1,201 @@
+// Property tests for the correlated-sum summary (sketch/correlated_sum.h):
+// SUM(y) WHERE x <= c within epsilon * SUM(y), under construction, merge,
+// and prune — plus the quantile-composed correlated aggregate of §1.2.
+
+#include "sketch/correlated_sum.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sketch/gk_summary.h"
+
+namespace streamgpu::sketch {
+namespace {
+
+using Pairs = std::vector<std::pair<float, float>>;
+
+Pairs RandomPairs(std::size_t n, unsigned seed, int x_domain = 0) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> ys(0.0f, 10.0f);
+  Pairs out(n);
+  if (x_domain > 0) {
+    std::uniform_int_distribution<int> xs(0, x_domain - 1);
+    for (auto& [x, y] : out) {
+      x = static_cast<float>(xs(rng));
+      y = ys(rng);
+    }
+  } else {
+    std::uniform_real_distribution<float> xs(0.0f, 1000.0f);
+    for (auto& [x, y] : out) {
+      x = xs(rng);
+      y = ys(rng);
+    }
+  }
+  return out;
+}
+
+double ExactSumBelow(const Pairs& pairs, float c) {
+  double s = 0;
+  for (const auto& [x, y] : pairs) {
+    if (x <= c) s += y;
+  }
+  return s;
+}
+
+void SortByX(Pairs* pairs) {
+  std::sort(pairs->begin(), pairs->end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+struct CsCase {
+  std::size_t n;
+  int x_domain;
+  double eps;
+};
+
+class CorrelatedSumProperty : public ::testing::TestWithParam<CsCase> {};
+
+TEST_P(CorrelatedSumProperty, SumBelowWithinEpsilon) {
+  const CsCase& p = GetParam();
+  Pairs pairs = RandomPairs(p.n, 21, p.x_domain);
+  SortByX(&pairs);
+  const auto s = CorrelatedSumSummary::FromSortedPairs(pairs, p.eps);
+  ASSERT_EQ(s.count(), p.n);
+  const double allowed = p.eps * s.total_sum() + 1e-6;
+  for (float c : {-10.0f, 0.0f, 1.0f, 50.0f, 123.5f, 400.0f, 999.0f, 2000.0f}) {
+    EXPECT_NEAR(s.SumBelow(c), ExactSumBelow(pairs, c), allowed) << "c=" << c;
+  }
+  // Thresholds equal to observed x values.
+  for (std::size_t i = 0; i < p.n; i += p.n / 7 + 1) {
+    const float c = pairs[i].first;
+    EXPECT_NEAR(s.SumBelow(c), ExactSumBelow(pairs, c), allowed) << "data c=" << c;
+  }
+}
+
+TEST_P(CorrelatedSumProperty, SpaceIsBounded) {
+  const CsCase& p = GetParam();
+  Pairs pairs = RandomPairs(p.n, 22, p.x_domain);
+  SortByX(&pairs);
+  const auto s = CorrelatedSumSummary::FromSortedPairs(pairs, p.eps);
+  // ~1/(2 eps) sampled tuples plus the forced extremes and heavy runs.
+  EXPECT_LE(s.size(), static_cast<std::size_t>(1.0 / p.eps) + 3);
+}
+
+TEST_P(CorrelatedSumProperty, MergePreservesGuarantee) {
+  const CsCase& p = GetParam();
+  Pairs a = RandomPairs(p.n, 23, p.x_domain);
+  Pairs b = RandomPairs(p.n / 2 + 1, 24, p.x_domain);
+  SortByX(&a);
+  SortByX(&b);
+  const auto merged =
+      CorrelatedSumSummary::Merge(CorrelatedSumSummary::FromSortedPairs(a, p.eps),
+                                  CorrelatedSumSummary::FromSortedPairs(b, p.eps));
+  Pairs all = a;
+  all.insert(all.end(), b.begin(), b.end());
+  ASSERT_EQ(merged.count(), all.size());
+  EXPECT_NEAR(merged.total_sum(), ExactSumBelow(all, 1e30f), 1e-6);
+
+  const double allowed = merged.epsilon() * merged.total_sum() + 1e-6;
+  for (float c : {0.0f, 10.0f, 100.0f, 250.0f, 500.0f, 750.0f, 999.0f}) {
+    EXPECT_NEAR(merged.SumBelow(c), ExactSumBelow(all, c), allowed) << "c=" << c;
+  }
+}
+
+TEST_P(CorrelatedSumProperty, ChainedMergeAndPrune) {
+  const CsCase& p = GetParam();
+  CorrelatedSumSummary acc;
+  Pairs all;
+  const std::size_t kPrune = 100;
+  for (int block = 0; block < 20; ++block) {
+    Pairs w = RandomPairs(p.n / 10 + 1, 30 + block, p.x_domain);
+    all.insert(all.end(), w.begin(), w.end());
+    SortByX(&w);
+    acc = CorrelatedSumSummary::Merge(acc,
+                                      CorrelatedSumSummary::FromSortedPairs(w, p.eps));
+    acc = acc.Prune(kPrune);
+  }
+  // Pruning 20 times adds 20 * 1/(2*kPrune) = 10% relative error at most;
+  // the measured epsilon() bound accounts for it.
+  const double allowed = acc.epsilon() * acc.total_sum() + 1e-6;
+  EXPECT_LE(acc.size(), kPrune + 3);
+  for (float c : {50.0f, 200.0f, 500.0f, 900.0f}) {
+    EXPECT_NEAR(acc.SumBelow(c), ExactSumBelow(all, c), allowed) << "c=" << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CorrelatedSumProperty,
+    ::testing::Values(CsCase{5000, 0, 0.02}, CsCase{5000, 40, 0.02},
+                      CsCase{20000, 0, 0.005}, CsCase{20000, 7, 0.01},
+                      CsCase{1000, 3, 0.05}),
+    [](const ::testing::TestParamInfo<CsCase>& info) {
+      std::string name = "n";
+      name += std::to_string(info.param.n);
+      name += "_dom";
+      name += std::to_string(info.param.x_domain);
+      name += "_eps";
+      name += std::to_string(static_cast<int>(1.0 / info.param.eps));
+      return name;
+    });
+
+TEST(CorrelatedSumTest, EmptyAndSingleton) {
+  const auto empty = CorrelatedSumSummary::FromSortedPairs({}, 0.1);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.SumBelow(5.0f), 0.0);
+
+  const Pairs one{{3.0f, 7.5f}};
+  const auto s = CorrelatedSumSummary::FromSortedPairs(one, 0.1);
+  EXPECT_EQ(s.SumBelow(2.9f), 0.0);
+  EXPECT_NEAR(s.SumBelow(3.0f), 7.5, 1e-9);
+  EXPECT_NEAR(s.total_sum(), 7.5, 1e-9);
+}
+
+TEST(CorrelatedSumTest, ZeroMassPairsAreLegal) {
+  const Pairs zeros{{1.0f, 0.0f}, {2.0f, 0.0f}, {3.0f, 0.0f}};
+  const auto s = CorrelatedSumSummary::FromSortedPairs(zeros, 0.1);
+  EXPECT_EQ(s.total_sum(), 0.0);
+  EXPECT_EQ(s.SumBelow(2.5f), 0.0);
+}
+
+TEST(CorrelatedSumTest, RejectsNegativeMass) {
+  const Pairs bad{{1.0f, -1.0f}};
+  EXPECT_DEATH(CorrelatedSumSummary::FromSortedPairs(bad, 0.1), "non-negative");
+}
+
+TEST(CorrelatedSumTest, BelowMinimumIsExactZero) {
+  Pairs pairs = RandomPairs(1000, 25);
+  SortByX(&pairs);
+  const auto s = CorrelatedSumSummary::FromSortedPairs(pairs, 0.01);
+  EXPECT_EQ(s.SumBelow(pairs.front().first - 1.0f), 0.0);
+  EXPECT_NEAR(s.SumBelow(pairs.back().first), s.total_sum(), 1e-6);
+}
+
+TEST(CorrelatedSumTest, QuantileComposedAggregate) {
+  // The Sec. 1.2 query: "SUM(y) over the lowest phi fraction of x" —
+  // compose a GK quantile summary over x with the correlated-sum summary.
+  Pairs pairs = RandomPairs(20000, 26);
+  SortByX(&pairs);
+  std::vector<float> xs(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) xs[i] = pairs[i].first;
+
+  const double eps = 0.005;
+  const auto quantiles = GkSummary::FromSorted(xs, eps);
+  const auto sums = CorrelatedSumSummary::FromSortedPairs(pairs, eps);
+
+  for (double phi : {0.1, 0.5, 0.9}) {
+    const float cutoff = quantiles.Query(phi);
+    const double estimated = sums.SumBelow(cutoff);
+    const double exact = ExactSumBelow(pairs, cutoff);
+    EXPECT_NEAR(estimated, exact, eps * sums.total_sum() + 1e-6) << phi;
+    // Sanity: the mass below the phi-quantile is roughly phi of the total
+    // (x and y are independent here).
+    EXPECT_NEAR(estimated / sums.total_sum(), phi, 0.05) << phi;
+  }
+}
+
+}  // namespace
+}  // namespace streamgpu::sketch

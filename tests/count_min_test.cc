@@ -1,0 +1,102 @@
+// Tests for the Count-Min sketch (sketch/count_min.h) — the hash-based,
+// delete-capable frequency baseline of §2.1.
+
+#include "sketch/count_min.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sketch/exact.h"
+
+namespace streamgpu::sketch {
+namespace {
+
+std::vector<float> ZipfStream(std::size_t n, int domain, unsigned seed) {
+  std::vector<double> cdf(domain);
+  double total = 0;
+  for (int r = 0; r < domain; ++r) {
+    total += 1.0 / std::pow(r + 1.0, 1.2);
+    cdf[r] = total;
+  }
+  for (double& c : cdf) c /= total;
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> uni(0, 1);
+  std::vector<float> out(n);
+  for (float& v : out) {
+    v = static_cast<float>(std::lower_bound(cdf.begin(), cdf.end(), uni(rng)) -
+                           cdf.begin());
+  }
+  return out;
+}
+
+TEST(CountMinTest, DimensionsFollowParameters) {
+  CountMinSketch cm(0.01, 0.01);
+  EXPECT_EQ(cm.width(), static_cast<std::size_t>(std::ceil(std::exp(1.0) / 0.01)));
+  EXPECT_EQ(cm.depth(), static_cast<std::size_t>(std::ceil(std::log(100.0))));
+}
+
+TEST(CountMinTest, NeverUndercounts) {
+  const auto stream = ZipfStream(50000, 500, 7);
+  CountMinSketch cm(0.001, 0.01);
+  cm.ObserveBatch(stream);
+  EXPECT_EQ(cm.total_weight(), 50000);
+  for (const auto& [value, truth] : ExactCounts(stream)) {
+    EXPECT_GE(cm.EstimateCount(value), static_cast<std::int64_t>(truth)) << value;
+  }
+}
+
+TEST(CountMinTest, OvercountWithinEpsilonForMostItems) {
+  const auto stream = ZipfStream(100000, 2000, 8);
+  const double epsilon = 0.001;
+  CountMinSketch cm(epsilon, 0.01);
+  cm.ObserveBatch(stream);
+  const auto exact = ExactCounts(stream);
+  std::size_t violations = 0;
+  const double bound = epsilon * 100000;
+  for (const auto& [value, truth] : exact) {
+    if (static_cast<double>(cm.EstimateCount(value)) >
+        static_cast<double>(truth) + bound) {
+      ++violations;
+    }
+  }
+  // Allowed failure probability is delta = 1% per item; allow 3%.
+  EXPECT_LE(violations, exact.size() * 3 / 100);
+}
+
+TEST(CountMinTest, DeletesCancelInserts) {
+  CountMinSketch cm(0.01, 0.01);
+  for (int i = 0; i < 100; ++i) cm.Update(5.0f);
+  for (int i = 0; i < 60; ++i) cm.Update(5.0f, -1);
+  EXPECT_EQ(cm.EstimateCount(5.0f), 40);
+  EXPECT_EQ(cm.total_weight(), 40);
+}
+
+TEST(CountMinTest, WeightedUpdates) {
+  CountMinSketch cm(0.01, 0.01);
+  cm.Update(1.0f, 1000);
+  cm.Update(2.0f, 5);
+  EXPECT_EQ(cm.EstimateCount(1.0f), 1000);
+  EXPECT_GE(cm.EstimateCount(2.0f), 5);
+}
+
+TEST(CountMinTest, UnseenValuesUsuallyNearZero) {
+  CountMinSketch cm(0.001, 0.01);
+  for (int i = 0; i < 1000; ++i) cm.Update(static_cast<float>(i));
+  // With width ~2718 and 1000 items, an unseen value's estimate is small.
+  EXPECT_LE(cm.EstimateCount(99999.0f), 10);
+}
+
+TEST(CountMinTest, SignedZeroHashesConsistently) {
+  CountMinSketch cm(0.01, 0.01);
+  cm.Update(0.0f);
+  cm.Update(-0.0f);
+  EXPECT_EQ(cm.EstimateCount(0.0f), 2);
+  EXPECT_EQ(cm.EstimateCount(-0.0f), 2);
+}
+
+}  // namespace
+}  // namespace streamgpu::sketch

@@ -1,0 +1,97 @@
+// Tests for the DSMS load-shedding frontend (stream/dsms.h).
+
+#include "stream/dsms.h"
+
+#include <gtest/gtest.h>
+
+namespace streamgpu::stream {
+namespace {
+
+StreamGenerator MakeSource(unsigned seed = 1) {
+  return StreamGenerator({.distribution = Distribution::kUniform, .seed = seed});
+}
+
+// A processor with a fixed per-element service rate (elements/second).
+DsmsSimulator::Processor FixedRate(double elements_per_second) {
+  return [elements_per_second](std::span<const float> chunk) {
+    return static_cast<double>(chunk.size()) / elements_per_second;
+  };
+}
+
+TEST(DsmsTest, FastProcessorShedsNothing) {
+  DsmsSimulator sim({.arrival_rate_hz = 1e6, .queue_capacity = 1 << 14,
+                     .service_chunk = 1024});
+  auto source = MakeSource();
+  const auto r = sim.Run(&source, 200000, FixedRate(5e6));
+  EXPECT_EQ(r.arrived, 200000u);
+  EXPECT_EQ(r.shed, 0u);
+  EXPECT_EQ(r.processed, 200000u);
+  EXPECT_LT(r.utilization(), 0.5);
+}
+
+TEST(DsmsTest, OverloadedProcessorSheds) {
+  DsmsSimulator sim({.arrival_rate_hz = 1e6, .queue_capacity = 4096,
+                     .service_chunk = 1024});
+  auto source = MakeSource();
+  const auto r = sim.Run(&source, 500000, FixedRate(2.5e5));  // 4x too slow
+  EXPECT_EQ(r.arrived, 500000u);
+  EXPECT_GT(r.shed, 0u);
+  EXPECT_EQ(r.processed + r.shed, r.arrived);
+  // Sustained overload at 4x sheds ~75% once the queue fills.
+  EXPECT_GT(r.shed_fraction(), 0.6);
+  EXPECT_LT(r.shed_fraction(), 0.85);
+}
+
+TEST(DsmsTest, ShedFractionGrowsWithArrivalRate) {
+  double previous = -1;
+  for (double rate : {2e5, 4e5, 8e5, 1.6e6}) {
+    DsmsSimulator sim({.arrival_rate_hz = rate, .queue_capacity = 4096,
+                       .service_chunk = 512});
+    auto source = MakeSource(7);
+    const auto r = sim.Run(&source, 300000, FixedRate(4e5));
+    EXPECT_GE(r.shed_fraction(), previous) << rate;
+    previous = r.shed_fraction();
+  }
+  EXPECT_GT(previous, 0.5);  // 4x overload at the top of the sweep
+}
+
+TEST(DsmsTest, AccountingAlwaysBalances) {
+  for (double rate : {1e5, 1e6, 1e7}) {
+    DsmsSimulator sim({.arrival_rate_hz = rate, .queue_capacity = 2048,
+                       .service_chunk = 777});
+    auto source = MakeSource(9);
+    const auto r = sim.Run(&source, 123457, FixedRate(6e5));
+    EXPECT_EQ(r.processed + r.shed, r.arrived) << rate;
+    EXPECT_EQ(r.arrived, 123457u) << rate;
+    EXPECT_GE(r.virtual_seconds, r.busy_seconds) << rate;
+  }
+}
+
+TEST(DsmsTest, QueueCapacityBoundsBurstTolerance) {
+  // Same overload, bigger queue -> later shedding onset (fewer sheds for a
+  // short run).
+  auto run = [](std::size_t capacity) {
+    DsmsSimulator sim({.arrival_rate_hz = 1e6, .queue_capacity = capacity,
+                       .service_chunk = 1024});
+    auto source = MakeSource(11);
+    return sim.Run(&source, 100000, FixedRate(5e5)).shed;
+  };
+  EXPECT_GT(run(1024), run(65536));
+}
+
+TEST(DsmsTest, ProcessorSeesArrivalOrder) {
+  DsmsSimulator sim({.arrival_rate_hz = 1e9, .queue_capacity = 1 << 20,
+                     .service_chunk = 1000});
+  auto source = MakeSource(13);
+  StreamGenerator reference = MakeSource(13);
+  std::vector<float> seen;
+  const auto r = sim.Run(&source, 5000, [&](std::span<const float> chunk) {
+    seen.insert(seen.end(), chunk.begin(), chunk.end());
+    return 1e-9;
+  });
+  EXPECT_EQ(r.shed, 0u);
+  EXPECT_EQ(seen, reference.Take(5000));
+}
+
+}  // namespace
+}  // namespace streamgpu::stream

@@ -1,0 +1,251 @@
+// Property tests for the frequency summaries: Manku-Motwani lossy counting
+// (sketch/lossy_counting.h, §5.1) and the Misra-Gries baseline
+// (sketch/misra_gries.h). Both carry one-sided error guarantees that are
+// checked against exact offline counts on several distributions.
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sketch/exact.h"
+#include "sketch/histogram.h"
+#include "sketch/lossy_counting.h"
+#include "sketch/misra_gries.h"
+
+namespace streamgpu::sketch {
+namespace {
+
+// Drives LossyCounting the way the pipeline does: chunk, sort, histogram.
+void FeedStream(LossyCounting* lc, std::span<const float> stream) {
+  const std::uint64_t w = lc->window_width();
+  for (std::size_t off = 0; off < stream.size(); off += w) {
+    const std::size_t len = std::min<std::size_t>(w, stream.size() - off);
+    std::vector<float> window(stream.begin() + off, stream.begin() + off + len);
+    std::sort(window.begin(), window.end());
+    lc->AddWindowHistogram(BuildHistogram(window), len);
+  }
+}
+
+std::vector<float> ZipfStream(std::size_t n, int domain, double s, unsigned seed) {
+  std::vector<double> cdf(domain);
+  double total = 0;
+  for (int r = 0; r < domain; ++r) {
+    total += 1.0 / std::pow(r + 1.0, s);
+    cdf[r] = total;
+  }
+  for (double& c : cdf) c /= total;
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> uni(0, 1);
+  std::vector<float> out(n);
+  for (float& v : out) {
+    v = static_cast<float>(std::lower_bound(cdf.begin(), cdf.end(), uni(rng)) -
+                           cdf.begin());
+  }
+  return out;
+}
+
+std::vector<float> UniformStream(std::size_t n, int domain, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> d(0, domain - 1);
+  std::vector<float> out(n);
+  for (float& v : out) v = static_cast<float>(d(rng));
+  return out;
+}
+
+struct FreqCase {
+  double epsilon;
+  bool zipf;
+  std::size_t n;
+};
+
+class LossyCountingProperty : public ::testing::TestWithParam<FreqCase> {};
+
+TEST_P(LossyCountingProperty, OneSidedErrorBound) {
+  const FreqCase& p = GetParam();
+  const auto stream = p.zipf ? ZipfStream(p.n, 200, 1.2, 11) : UniformStream(p.n, 200, 11);
+  LossyCounting lc(p.epsilon);
+  FeedStream(&lc, stream);
+  ASSERT_EQ(lc.stream_length(), p.n);
+
+  const auto exact = ExactCounts(stream);
+  const auto bound = static_cast<std::uint64_t>(
+      std::ceil(p.epsilon * static_cast<double>(p.n)));
+  for (const auto& [value, truth] : exact) {
+    const std::uint64_t est = lc.EstimateCount(value);
+    EXPECT_LE(est, truth) << "overestimate for " << value;
+    EXPECT_GE(est + bound, truth) << "undercount beyond epsilon*N for " << value;
+  }
+}
+
+TEST_P(LossyCountingProperty, NoFalseNegatives) {
+  const FreqCase& p = GetParam();
+  const auto stream = p.zipf ? ZipfStream(p.n, 200, 1.2, 12) : UniformStream(p.n, 200, 12);
+  LossyCounting lc(p.epsilon);
+  FeedStream(&lc, stream);
+
+  for (double support : {0.01, 0.05, 0.1}) {
+    if (support <= p.epsilon) continue;
+    const auto reported = lc.HeavyHitters(support);
+    const auto truth = ExactHeavyHitters(stream, support);
+    for (const auto& [value, f] : truth) {
+      const bool found = std::any_of(reported.begin(), reported.end(),
+                                     [v = value](const auto& r) { return r.first == v; });
+      EXPECT_TRUE(found) << "missing heavy hitter " << value << " (" << f << ") at s="
+                         << support;
+    }
+    // No false positive below (s - eps) * N: estimates never overcount, so
+    // every reported value's true frequency reaches the relaxed threshold.
+    const auto exact = ExactCounts(stream);
+    const double floor = (support - p.epsilon) * static_cast<double>(p.n);
+    for (const auto& [value, est] : reported) {
+      EXPECT_GE(static_cast<double>(exact.at(value)), floor) << value;
+    }
+  }
+}
+
+TEST_P(LossyCountingProperty, SpaceIsBounded) {
+  const FreqCase& p = GetParam();
+  const auto stream = p.zipf ? ZipfStream(p.n, 5000, 1.1, 13) : UniformStream(p.n, 5000, 13);
+  LossyCounting lc(p.epsilon);
+  FeedStream(&lc, stream);
+  // O((1/eps) log(eps N)) worst case; allow a comfortable constant.
+  const double cap =
+      (1.0 / p.epsilon) *
+      std::max(1.0, std::log2(p.epsilon * static_cast<double>(p.n) + 2.0)) * 8.0;
+  EXPECT_LE(static_cast<double>(lc.summary_size()), cap);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LossyCountingProperty,
+    ::testing::Values(FreqCase{0.01, true, 50000}, FreqCase{0.01, false, 50000},
+                      FreqCase{0.005, true, 100000}, FreqCase{0.005, false, 100000},
+                      FreqCase{0.002, true, 200000}, FreqCase{0.05, true, 10000},
+                      FreqCase{0.05, false, 10000}),
+    [](const ::testing::TestParamInfo<FreqCase>& info) {
+      return std::string(info.param.zipf ? "zipf" : "uniform") + "_eps" +
+             std::to_string(static_cast<int>(1.0 / info.param.epsilon)) + "_n" +
+             std::to_string(info.param.n);
+    });
+
+TEST(LossyCountingTest, WindowWidthIsCeilOfInverseEpsilon) {
+  EXPECT_EQ(LossyCounting(0.001).window_width(), 1000u);
+  EXPECT_EQ(LossyCounting(0.0003).window_width(), 3334u);
+  EXPECT_EQ(LossyCounting(0.5).window_width(), 2u);
+}
+
+TEST(LossyCountingTest, SingletonsDeletedAfterWindow) {
+  // §5.1: "elements with a frequency of unity are deleted from the summary."
+  LossyCounting lc(0.1);  // window width 10
+  std::vector<float> window{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};  // all distinct
+  std::sort(window.begin(), window.end());
+  lc.AddWindowHistogram(BuildHistogram(window), window.size());
+  EXPECT_EQ(lc.summary_size(), 0u);
+}
+
+TEST(LossyCountingTest, RepeatedValueSurvivesCompression) {
+  LossyCounting lc(0.1);
+  std::vector<float> window{5, 5, 5, 5, 5, 1, 2, 3, 4, 6};
+  std::sort(window.begin(), window.end());
+  lc.AddWindowHistogram(BuildHistogram(window), window.size());
+  EXPECT_EQ(lc.EstimateCount(5.0f), 5u);
+  EXPECT_EQ(lc.EstimateCount(1.0f), 0u);  // compressed away
+}
+
+TEST(LossyCountingTest, PartialFinalWindow) {
+  LossyCounting lc(0.1);
+  std::vector<float> window{7, 7, 7};
+  lc.AddWindowHistogram(BuildHistogram(window), window.size());
+  EXPECT_EQ(lc.stream_length(), 3u);
+  EXPECT_EQ(lc.EstimateCount(7.0f), 3u);
+}
+
+TEST(LossyCountingTest, RejectsOversizedWindow) {
+  LossyCounting lc(0.1);
+  std::vector<float> window(11, 1.0f);
+  EXPECT_DEATH(lc.AddWindowHistogram(BuildHistogram(window), window.size()),
+               "window larger");
+}
+
+TEST(LossyCountingTest, OpCostsAccumulate) {
+  LossyCounting lc(0.01);
+  auto stream = ZipfStream(10000, 100, 1.2, 14);
+  FeedStream(&lc, stream);
+  EXPECT_GT(lc.op_costs().merged_entries, 0u);
+  EXPECT_GT(lc.op_costs().compressed_entries, 0u);
+}
+
+// --- Misra-Gries baseline. ---
+
+class MisraGriesProperty : public ::testing::TestWithParam<FreqCase> {};
+
+TEST_P(MisraGriesProperty, OneSidedErrorBound) {
+  const FreqCase& p = GetParam();
+  const auto stream = p.zipf ? ZipfStream(p.n, 200, 1.2, 21) : UniformStream(p.n, 200, 21);
+  MisraGries mg(p.epsilon);
+  mg.ObserveBatch(stream);
+  ASSERT_EQ(mg.stream_length(), p.n);
+
+  const auto exact = ExactCounts(stream);
+  const auto bound = static_cast<std::uint64_t>(
+      std::ceil(p.epsilon * static_cast<double>(p.n)));
+  for (const auto& [value, truth] : exact) {
+    const std::uint64_t est = mg.EstimateCount(value);
+    EXPECT_LE(est, truth);
+    EXPECT_GE(est + bound, truth);
+  }
+  EXPECT_LE(mg.summary_size(), static_cast<std::size_t>(std::ceil(1.0 / p.epsilon)));
+}
+
+TEST_P(MisraGriesProperty, NoFalseNegatives) {
+  const FreqCase& p = GetParam();
+  const auto stream = p.zipf ? ZipfStream(p.n, 200, 1.2, 22) : UniformStream(p.n, 200, 22);
+  MisraGries mg(p.epsilon);
+  mg.ObserveBatch(stream);
+  for (double support : {0.02, 0.1}) {
+    if (support <= p.epsilon) continue;
+    const auto reported = mg.HeavyHitters(support);
+    for (const auto& [value, f] : ExactHeavyHitters(stream, support)) {
+      const bool found = std::any_of(reported.begin(), reported.end(),
+                                     [v = value](const auto& r) { return r.first == v; });
+      EXPECT_TRUE(found) << value;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MisraGriesProperty,
+    ::testing::Values(FreqCase{0.01, true, 50000}, FreqCase{0.01, false, 50000},
+                      FreqCase{0.005, true, 100000}, FreqCase{0.05, false, 10000}),
+    [](const ::testing::TestParamInfo<FreqCase>& info) {
+      return std::string(info.param.zipf ? "zipf" : "uniform") + "_eps" +
+             std::to_string(static_cast<int>(1.0 / info.param.epsilon)) + "_n" +
+             std::to_string(info.param.n);
+    });
+
+TEST(MisraGriesTest, DecrementReclaimsSpace) {
+  MisraGries mg(0.5);  // two counters
+  mg.Observe(1.0f);
+  mg.Observe(2.0f);
+  EXPECT_EQ(mg.summary_size(), 2u);
+  mg.Observe(3.0f);  // decrement-all: both counters drop to zero
+  EXPECT_EQ(mg.summary_size(), 0u);
+}
+
+TEST(MisraGriesTest, MajorityElementAlwaysSurvives) {
+  std::mt19937 rng(33);
+  std::vector<float> stream;
+  for (int i = 0; i < 6000; ++i) stream.push_back(9.0f);
+  for (int i = 0; i < 4000; ++i) {
+    stream.push_back(static_cast<float>(rng() % 1000 + 100));
+  }
+  std::shuffle(stream.begin(), stream.end(), rng);
+  MisraGries mg(0.1);
+  mg.ObserveBatch(stream);
+  EXPECT_GE(mg.EstimateCount(9.0f), 5000u);
+}
+
+}  // namespace
+}  // namespace streamgpu::sketch

@@ -1,0 +1,395 @@
+// Tests for the GPU database operations (gpudb/gpu_relation.h): depth-test
+// predicates, occlusion-query counting, range aggregates, and k-th largest
+// selection — validated against exact host computation.
+
+#include "gpudb/gpu_relation.h"
+
+#include <algorithm>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hwmodel/hardware_profiles.h"
+
+namespace streamgpu::gpudb {
+namespace {
+
+std::vector<float> RandomColumn(std::size_t n, unsigned seed, float lo = -1000,
+                                float hi = 1000) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> d(lo, hi);
+  std::vector<float> v(n);
+  for (float& x : v) x = d(rng);
+  return v;
+}
+
+std::uint64_t ExactCount(const std::vector<float>& col, Predicate p, float c) {
+  std::uint64_t n = 0;
+  for (float a : col) {
+    switch (p) {
+      case Predicate::kLess:
+        n += a < c;
+        break;
+      case Predicate::kLessEqual:
+        n += a <= c;
+        break;
+      case Predicate::kGreater:
+        n += a > c;
+        break;
+      case Predicate::kGreaterEqual:
+        n += a >= c;
+        break;
+      case Predicate::kEqual:
+        n += a == c;
+        break;
+      case Predicate::kNotEqual:
+        n += a != c;
+        break;
+    }
+  }
+  return n;
+}
+
+class GpuRelationPredicate : public ::testing::TestWithParam<Predicate> {};
+
+TEST_P(GpuRelationPredicate, CountMatchesExactAcrossConstants) {
+  const Predicate pred = GetParam();
+  const auto column = RandomColumn(3000, 11);  // non-power-of-two: padding active
+  gpu::GpuDevice device;
+  GpuRelation rel(&device, hwmodel::kGeForce6800Ultra, column);
+  ASSERT_EQ(rel.size(), 3000u);
+  for (float c : {-2000.0f, -500.0f, -1.0f, 0.0f, 3.5f, 500.0f, 999.0f, 2000.0f}) {
+    EXPECT_EQ(rel.Count(pred, c), ExactCount(column, pred, c)) << "c=" << c;
+  }
+  // Constants equal to actual data values (tie handling).
+  for (int i = 0; i < 5; ++i) {
+    const float c = column[static_cast<std::size_t>(i) * 601];
+    EXPECT_EQ(rel.Count(pred, c), ExactCount(column, pred, c)) << "data c=" << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPredicates, GpuRelationPredicate,
+                         ::testing::Values(Predicate::kLess, Predicate::kLessEqual,
+                                           Predicate::kGreater, Predicate::kGreaterEqual,
+                                           Predicate::kEqual, Predicate::kNotEqual),
+                         [](const ::testing::TestParamInfo<Predicate>& info) {
+                           switch (info.param) {
+                             case Predicate::kLess:
+                               return "Less";
+                             case Predicate::kLessEqual:
+                               return "LessEqual";
+                             case Predicate::kGreater:
+                               return "Greater";
+                             case Predicate::kGreaterEqual:
+                               return "GreaterEqual";
+                             case Predicate::kEqual:
+                               return "Equal";
+                             case Predicate::kNotEqual:
+                               return "NotEqual";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(GpuRelationTest, CountRangeMatchesExact) {
+  const auto column = RandomColumn(5000, 12);
+  gpu::GpuDevice device;
+  GpuRelation rel(&device, hwmodel::kGeForce6800Ultra, column);
+  for (const auto& [lo, hi] : std::vector<std::pair<float, float>>{
+           {-100, 100}, {0, 0}, {-1000, 1000}, {500, 600}, {-2000, -1500}}) {
+    std::uint64_t exact = 0;
+    for (float a : column) exact += a >= lo && a <= hi;
+    EXPECT_EQ(rel.CountRange(lo, hi), exact) << lo << ".." << hi;
+  }
+}
+
+TEST(GpuRelationTest, KthLargestMatchesSortedOrder) {
+  auto column = RandomColumn(2048, 13);
+  gpu::GpuDevice device;
+  GpuRelation rel(&device, hwmodel::kGeForce6800Ultra, column);
+
+  auto sorted = column;
+  std::sort(sorted.begin(), sorted.end(), std::greater<float>());
+  for (std::uint64_t k : {1u, 2u, 10u, 100u, 1024u, 2047u, 2048u}) {
+    EXPECT_EQ(rel.KthLargest(k), sorted[k - 1]) << "k=" << k;
+  }
+}
+
+TEST(GpuRelationTest, KthLargestWithDuplicates) {
+  std::vector<float> column;
+  for (int i = 0; i < 100; ++i) {
+    column.push_back(7.0f);
+    column.push_back(3.0f);
+    column.push_back(-2.5f);
+  }
+  gpu::GpuDevice device;
+  GpuRelation rel(&device, hwmodel::kGeForce6800Ultra, column);
+  EXPECT_EQ(rel.KthLargest(1), 7.0f);
+  EXPECT_EQ(rel.KthLargest(100), 7.0f);
+  EXPECT_EQ(rel.KthLargest(101), 3.0f);
+  EXPECT_EQ(rel.KthLargest(200), 3.0f);
+  EXPECT_EQ(rel.KthLargest(201), -2.5f);
+  EXPECT_EQ(rel.KthLargest(300), -2.5f);
+}
+
+TEST(GpuRelationTest, MedianViaKthLargest) {
+  // The paper's quantile machinery generalizes [20]'s k-th largest; check
+  // the simple exact connection on a small column.
+  std::vector<float> column;
+  for (int i = 1; i <= 101; ++i) column.push_back(static_cast<float>(i));
+  std::mt19937 rng(14);
+  std::shuffle(column.begin(), column.end(), rng);
+  gpu::GpuDevice device;
+  GpuRelation rel(&device, hwmodel::kGeForce6800Ultra, column);
+  EXPECT_EQ(rel.KthLargest(51), 51.0f);
+}
+
+TEST(GpuRelationTest, NegativeAndSpecialValues) {
+  std::vector<float> column{-0.0f, 0.0f, -1.5f, 1.5f, -1e30f, 1e30f, 42.0f};
+  gpu::GpuDevice device;
+  GpuRelation rel(&device, hwmodel::kGeForce6800Ultra, column);
+  EXPECT_EQ(rel.Count(Predicate::kLess, 0.0f), 2u);     // -1.5 and -1e30
+  EXPECT_EQ(rel.Count(Predicate::kEqual, 0.0f), 2u);    // -0.0 == 0.0
+  EXPECT_EQ(rel.KthLargest(1), 1e30f);
+  EXPECT_EQ(rel.KthLargest(7), -1e30f);
+}
+
+TEST(GpuRelationTest, QueriesChargeOcclusionCosts) {
+  const auto column = RandomColumn(4096, 15);
+  gpu::GpuDevice device;
+  GpuRelation rel(&device, hwmodel::kGeForce6800Ultra, column);
+  const auto before = rel.SimulatedCosts();
+  rel.Count(Predicate::kLess, 0.0f);
+  rel.KthLargest(5);
+  const auto after = rel.SimulatedCosts();
+  EXPECT_GT(after.setup_s, before.setup_s);  // per-occlusion-query latency
+  EXPECT_GT(after.DeviceSeconds(), before.DeviceSeconds());
+  EXPECT_GT(device.stats().occlusion_queries, 30u);  // ~32 binary-search steps
+  EXPECT_GT(device.stats().depth_test_fragments, 0u);
+}
+
+TEST(GpuRelationTest, SingleElementColumn) {
+  std::vector<float> column{5.0f};
+  gpu::GpuDevice device;
+  GpuRelation rel(&device, hwmodel::kGeForce6800Ultra, column);
+  EXPECT_EQ(rel.Count(Predicate::kEqual, 5.0f), 1u);
+  EXPECT_EQ(rel.Count(Predicate::kNotEqual, 5.0f), 0u);
+  EXPECT_EQ(rel.KthLargest(1), 5.0f);
+}
+
+// --- Multi-column relations and semi-linear predicates ([20]). ---
+
+TEST(MultiColumnTest, PerAttributeCounts) {
+  const auto x = RandomColumn(2000, 31);
+  const auto y = RandomColumn(2000, 32, 0, 10);
+  gpu::GpuDevice device;
+  GpuRelation rel(&device, hwmodel::kGeForce6800Ultra,
+                  std::vector<std::span<const float>>{x, y});
+  ASSERT_EQ(rel.num_columns(), 2u);
+  for (float c : {-500.0f, 0.0f, 5.0f, 800.0f}) {
+    EXPECT_EQ(rel.Count(Predicate::kLess, c, 0), ExactCount(x, Predicate::kLess, c));
+    EXPECT_EQ(rel.Count(Predicate::kLess, c, 1), ExactCount(y, Predicate::kLess, c));
+  }
+  // Alternate attributes to exercise the depth reload path.
+  EXPECT_EQ(rel.Count(Predicate::kGreaterEqual, 2.0f, 1),
+            ExactCount(y, Predicate::kGreaterEqual, 2.0f));
+  EXPECT_EQ(rel.Count(Predicate::kGreaterEqual, 2.0f, 0),
+            ExactCount(x, Predicate::kGreaterEqual, 2.0f));
+}
+
+TEST(MultiColumnTest, KthLargestPerAttribute) {
+  const auto x = RandomColumn(1024, 33);
+  const auto y = RandomColumn(1024, 34, 0, 50);
+  gpu::GpuDevice device;
+  GpuRelation rel(&device, hwmodel::kGeForce6800Ultra,
+                  std::vector<std::span<const float>>{x, y});
+  auto sx = x;
+  auto sy = y;
+  std::sort(sx.begin(), sx.end(), std::greater<float>());
+  std::sort(sy.begin(), sy.end(), std::greater<float>());
+  EXPECT_EQ(rel.KthLargest(10, 0), sx[9]);
+  EXPECT_EQ(rel.KthLargest(10, 1), sy[9]);
+}
+
+TEST(MultiColumnTest, SemiLinearPredicateMatchesExact) {
+  const auto x = RandomColumn(3000, 35);
+  const auto y = RandomColumn(3000, 36);
+  gpu::GpuDevice device;
+  GpuRelation rel(&device, hwmodel::kGeForce6800Ultra,
+                  std::vector<std::span<const float>>{x, y});
+
+  const std::vector<std::vector<float>> coeff_sets = {
+      {1.0f, 1.0f}, {2.0f, -0.5f}, {-1.0f, 3.0f}, {0.0f, 1.0f}};
+  for (const auto& coeffs : coeff_sets) {
+    for (float c : {-1000.0f, 0.0f, 250.0f, 1500.0f}) {
+      std::uint64_t exact = 0;
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        if (coeffs[0] * x[i] + coeffs[1] * y[i] < c) ++exact;
+      }
+      EXPECT_EQ(rel.CountLinear(coeffs, Predicate::kLess, c), exact)
+          << coeffs[0] << "*x+" << coeffs[1] << "*y<" << c;
+    }
+  }
+}
+
+TEST(MultiColumnTest, SemiLinearHandlesMixedSignPadding) {
+  // Mixed-sign coefficients turn the +inf padding into NaN; NaN must fail
+  // every ordered comparison and pass NotEqual (with correction).
+  std::vector<float> x{1.0f, 2.0f, 3.0f};  // padded to 4 texels
+  std::vector<float> y{1.0f, 1.0f, 1.0f};
+  gpu::GpuDevice device;
+  GpuRelation rel(&device, hwmodel::kGeForce6800Ultra,
+                  std::vector<std::span<const float>>{x, y});
+  const std::vector<float> coeffs{1.0f, -1.0f};  // x - y: {0, 1, 2}, pad NaN
+  EXPECT_EQ(rel.CountLinear(coeffs, Predicate::kLess, 1.5f), 2u);
+  EXPECT_EQ(rel.CountLinear(coeffs, Predicate::kGreaterEqual, 1.0f), 2u);
+  EXPECT_EQ(rel.CountLinear(coeffs, Predicate::kEqual, 0.0f), 1u);
+  EXPECT_EQ(rel.CountLinear(coeffs, Predicate::kNotEqual, 0.0f), 2u);
+}
+
+TEST(MultiColumnTest, LinearThenColumnReloads) {
+  const auto x = RandomColumn(500, 37);
+  const auto y = RandomColumn(500, 38);
+  gpu::GpuDevice device;
+  GpuRelation rel(&device, hwmodel::kGeForce6800Ultra,
+                  std::vector<std::span<const float>>{x, y});
+  const std::vector<float> coeffs{1.0f, 1.0f};
+  rel.CountLinear(coeffs, Predicate::kLess, 0.0f);
+  // A plain count afterwards must reload the column and stay exact.
+  EXPECT_EQ(rel.Count(Predicate::kLess, 100.0f, 0),
+            ExactCount(x, Predicate::kLess, 100.0f));
+}
+
+// --- Boolean combinations ([20]) via the stencil buffer. ---
+
+TEST(BooleanCombinationTest, ConjunctionMatchesExact) {
+  const auto x = RandomColumn(3000, 41);
+  const auto y = RandomColumn(3000, 42, 0, 100);
+  gpu::GpuDevice device;
+  GpuRelation rel(&device, hwmodel::kGeForce6800Ultra,
+                  std::vector<std::span<const float>>{x, y});
+
+  const GpuRelation::Clause c1{0, Predicate::kGreater, 0.0f};
+  const GpuRelation::Clause c2{1, Predicate::kLess, 50.0f};
+  std::uint64_t exact = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > 0.0f && y[i] < 50.0f) ++exact;
+  }
+  const GpuRelation::Clause clauses[] = {c1, c2};
+  EXPECT_EQ(rel.CountConjunction(clauses), exact);
+}
+
+TEST(BooleanCombinationTest, ThreeWayConjunction) {
+  const auto x = RandomColumn(2000, 43);
+  const auto y = RandomColumn(2000, 44);
+  const auto z = RandomColumn(2000, 45);
+  gpu::GpuDevice device;
+  GpuRelation rel(&device, hwmodel::kGeForce6800Ultra,
+                  std::vector<std::span<const float>>{x, y, z});
+  const GpuRelation::Clause clauses[] = {{0, Predicate::kGreaterEqual, -200.0f},
+                                         {1, Predicate::kLess, 300.0f},
+                                         {2, Predicate::kNotEqual, 0.0f}};
+  std::uint64_t exact = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] >= -200.0f && y[i] < 300.0f && z[i] != 0.0f) ++exact;
+  }
+  EXPECT_EQ(rel.CountConjunction(clauses), exact);
+}
+
+TEST(BooleanCombinationTest, SingleClauseEqualsPlainCount) {
+  const auto x = RandomColumn(1000, 46);
+  gpu::GpuDevice device;
+  GpuRelation rel(&device, hwmodel::kGeForce6800Ultra, x);
+  const GpuRelation::Clause clauses[] = {{0, Predicate::kLess, 123.0f}};
+  EXPECT_EQ(rel.CountConjunction(clauses), rel.Count(Predicate::kLess, 123.0f));
+}
+
+TEST(BooleanCombinationTest, DisjunctionByInclusionExclusion) {
+  const auto x = RandomColumn(2500, 47);
+  const auto y = RandomColumn(2500, 48);
+  gpu::GpuDevice device;
+  GpuRelation rel(&device, hwmodel::kGeForce6800Ultra,
+                  std::vector<std::span<const float>>{x, y});
+  const GpuRelation::Clause a{0, Predicate::kLess, -500.0f};
+  const GpuRelation::Clause b{1, Predicate::kGreater, 500.0f};
+  std::uint64_t exact = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] < -500.0f || y[i] > 500.0f) ++exact;
+  }
+  EXPECT_EQ(rel.CountDisjunction(a, b), exact);
+}
+
+TEST(BooleanCombinationTest, RangeAsConjunctionOnOneAttribute) {
+  const auto x = RandomColumn(1500, 49);
+  gpu::GpuDevice device;
+  GpuRelation rel(&device, hwmodel::kGeForce6800Ultra, x);
+  const GpuRelation::Clause clauses[] = {{0, Predicate::kGreaterEqual, -100.0f},
+                                         {0, Predicate::kLessEqual, 100.0f}};
+  EXPECT_EQ(rel.CountConjunction(clauses), rel.CountRange(-100.0f, 100.0f));
+}
+
+TEST(StencilPathTest, StencilStateAndOps) {
+  gpu::GpuDevice device;
+  device.BindDepthBuffer(4, 2, 0.5f);
+  device.BindStencilBuffer(4, 2, 0);
+  EXPECT_EQ(device.StencilAt(0, 0), 0);
+
+  // Increment where the depth test passes.
+  device.SetDepthTest(gpu::DepthFunc::kLess, /*write_depth=*/false);
+  device.SetStencilTest(true, gpu::GpuDevice::StencilFunc::kAlways, 0,
+                        gpu::GpuDevice::StencilOp::kIncrement);
+  device.DrawDepthOnlyQuad(0, 0, 4, 2, 0.1f);  // passes everywhere
+  EXPECT_EQ(device.StencilAt(3, 1), 1);
+
+  // Stencil-gated pass: only stencil==1 fragments are considered.
+  device.SetStencilTest(true, gpu::GpuDevice::StencilFunc::kEqual, 1,
+                        gpu::GpuDevice::StencilOp::kZero);
+  device.BeginOcclusionQuery();
+  device.DrawDepthOnlyQuad(0, 0, 2, 2, 0.1f);  // half the buffer
+  EXPECT_EQ(device.EndOcclusionQuery(), 4u);
+  EXPECT_EQ(device.StencilAt(0, 0), 0);  // zeroed on pass
+  EXPECT_EQ(device.StencilAt(3, 1), 1);  // untouched outside the quad
+
+  device.SetStencilTest(false);
+}
+
+TEST(MultiColumnTest, MismatchedColumnsDie) {
+  std::vector<float> x{1, 2, 3};
+  std::vector<float> y{1, 2};
+  gpu::GpuDevice device;
+  EXPECT_DEATH(GpuRelation(&device, hwmodel::kGeForce6800Ultra,
+                           std::vector<std::span<const float>>{x, y}),
+               "equal length");
+}
+
+TEST(DepthPathTest, DepthBufferStateAndWrites) {
+  gpu::GpuDevice device;
+  device.BindDepthBuffer(4, 4, 1.0f);
+  EXPECT_EQ(device.DepthAt(0, 0), 1.0f);
+
+  device.SetDepthTest(gpu::DepthFunc::kLess, /*write_depth=*/true);
+  device.DrawDepthOnlyQuad(0, 0, 4, 4, 0.5f);  // 0.5 < 1.0 everywhere
+  EXPECT_EQ(device.DepthAt(2, 3), 0.5f);
+
+  // A farther quad fails the test and leaves depth untouched.
+  device.DrawDepthOnlyQuad(0, 0, 4, 4, 0.9f);
+  EXPECT_EQ(device.DepthAt(2, 3), 0.5f);
+
+  // Without depth writes, passing fragments are counted but not stored.
+  device.SetDepthTest(gpu::DepthFunc::kLess, /*write_depth=*/false);
+  device.BeginOcclusionQuery();
+  device.DrawDepthOnlyQuad(0, 0, 4, 4, 0.1f);
+  EXPECT_EQ(device.EndOcclusionQuery(), 16u);
+  EXPECT_EQ(device.DepthAt(2, 3), 0.5f);
+}
+
+TEST(DepthPathTest, NestedOcclusionQueryDies) {
+  gpu::GpuDevice device;
+  device.BindDepthBuffer(2, 2);
+  device.BeginOcclusionQuery();
+  EXPECT_DEATH(device.BeginOcclusionQuery(), "already active");
+}
+
+}  // namespace
+}  // namespace streamgpu::gpudb

@@ -1,0 +1,113 @@
+// Tests for the software binary16 conversion (gpu/half.h).
+
+#include "gpu/half.h"
+
+#include <cmath>
+#include <limits>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace streamgpu::gpu {
+namespace {
+
+TEST(HalfTest, ZeroRoundTrips) {
+  EXPECT_EQ(FloatToHalfBits(0.0f), 0x0000u);
+  EXPECT_EQ(FloatToHalfBits(-0.0f), 0x8000u);
+  EXPECT_EQ(HalfBitsToFloat(0x0000u), 0.0f);
+  EXPECT_TRUE(std::signbit(HalfBitsToFloat(0x8000u)));
+}
+
+TEST(HalfTest, OneRoundTrips) {
+  EXPECT_EQ(FloatToHalfBits(1.0f), 0x3C00u);
+  EXPECT_EQ(HalfBitsToFloat(0x3C00u), 1.0f);
+}
+
+TEST(HalfTest, KnownConstants) {
+  EXPECT_EQ(FloatToHalfBits(2.0f), 0x4000u);
+  EXPECT_EQ(FloatToHalfBits(-2.0f), 0xC000u);
+  EXPECT_EQ(FloatToHalfBits(65504.0f), 0x7BFFu);  // largest finite half
+  EXPECT_EQ(HalfBitsToFloat(0x7BFFu), 65504.0f);
+  EXPECT_EQ(FloatToHalfBits(0.5f), 0x3800u);
+  // Smallest positive normal half: 2^-14.
+  EXPECT_EQ(HalfBitsToFloat(0x0400u), std::ldexp(1.0f, -14));
+  // Smallest positive subnormal half: 2^-24.
+  EXPECT_EQ(HalfBitsToFloat(0x0001u), std::ldexp(1.0f, -24));
+}
+
+TEST(HalfTest, InfinityAndNan) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(FloatToHalfBits(inf), 0x7C00u);
+  EXPECT_EQ(FloatToHalfBits(-inf), 0xFC00u);
+  EXPECT_TRUE(std::isinf(HalfBitsToFloat(0x7C00u)));
+  EXPECT_TRUE(std::isinf(HalfBitsToFloat(0xFC00u)));
+  EXPECT_LT(HalfBitsToFloat(0xFC00u), 0.0f);
+
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const std::uint16_t nan_bits = FloatToHalfBits(nan);
+  EXPECT_TRUE(std::isnan(HalfBitsToFloat(nan_bits)));
+}
+
+TEST(HalfTest, OverflowRoundsToInfinity) {
+  EXPECT_EQ(FloatToHalfBits(65520.0f), 0x7C00u);  // first value past 65504+
+  EXPECT_EQ(FloatToHalfBits(1e10f), 0x7C00u);
+  EXPECT_EQ(FloatToHalfBits(-1e10f), 0xFC00u);
+}
+
+TEST(HalfTest, TinyValuesRoundToZero) {
+  EXPECT_EQ(FloatToHalfBits(std::ldexp(1.0f, -26)), 0x0000u);
+  EXPECT_EQ(FloatToHalfBits(-std::ldexp(1.0f, -26)), 0x8000u);
+}
+
+TEST(HalfTest, IntegersUpTo2048AreExact) {
+  for (int i = 0; i <= 2048; ++i) {
+    const auto f = static_cast<float>(i);
+    EXPECT_EQ(QuantizeToHalf(f), f) << "integer " << i;
+    EXPECT_EQ(QuantizeToHalf(-f), -f) << "integer -" << i;
+  }
+}
+
+TEST(HalfTest, EveryHalfBitPatternRoundTrips) {
+  // half -> float -> half must be the identity for all 65536 patterns
+  // (modulo NaN payload normalization).
+  for (std::uint32_t bits = 0; bits < 0x10000u; ++bits) {
+    const auto h = static_cast<std::uint16_t>(bits);
+    const float f = HalfBitsToFloat(h);
+    if (std::isnan(f)) {
+      EXPECT_TRUE(std::isnan(HalfBitsToFloat(FloatToHalfBits(f))));
+      continue;
+    }
+    EXPECT_EQ(FloatToHalfBits(f), h) << "bits 0x" << std::hex << bits;
+  }
+}
+
+TEST(HalfTest, QuantizationIsMonotonic) {
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<float> dist(-60000.0f, 60000.0f);
+  for (int trial = 0; trial < 10000; ++trial) {
+    float a = dist(rng);
+    float b = dist(rng);
+    if (a > b) std::swap(a, b);
+    EXPECT_LE(QuantizeToHalf(a), QuantizeToHalf(b)) << a << " vs " << b;
+  }
+}
+
+TEST(HalfTest, RelativeErrorWithinHalfPrecision) {
+  std::mt19937 rng(12);
+  std::uniform_real_distribution<float> dist(1.0f, 60000.0f);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const float v = dist(rng);
+    const float q = QuantizeToHalf(v);
+    EXPECT_LE(std::abs(q - v) / v, 1.0f / 2048.0f) << v;  // 2^-11
+  }
+}
+
+TEST(HalfTest, RoundToNearestEven) {
+  // 2049 is exactly between representable 2048 and 2050 -> rounds to 2048.
+  EXPECT_EQ(QuantizeToHalf(2049.0f), 2048.0f);
+  // 2051 is exactly between 2050 and 2052 -> rounds to 2052.
+  EXPECT_EQ(QuantizeToHalf(2051.0f), 2052.0f);
+}
+
+}  // namespace
+}  // namespace streamgpu::gpu

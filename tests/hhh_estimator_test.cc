@@ -1,0 +1,100 @@
+// Tests for the core-level hierarchical heavy-hitter estimator
+// (core/hhh_estimator.h): backend plumbing + end-to-end guarantees.
+
+#include "core/hhh_estimator.h"
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sketch/exact.h"
+
+namespace streamgpu::core {
+namespace {
+
+std::vector<float> HotSubtreeStream(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> background(0, 255);
+  std::uniform_int_distribution<int> hot(64, 71);  // the floor(v/8)=8 subtree
+  std::vector<float> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<float>(i % 4 == 0 ? hot(rng) : background(rng)));
+  }
+  return out;
+}
+
+TEST(HhhEstimatorTest, GpuAndCpuBackendsAgree) {
+  const auto stream = HotSubtreeStream(40000, 5);
+  std::vector<std::vector<sketch::HhhResult>> results;
+  for (Backend b : {Backend::kGpuPbsn, Backend::kCpuQuicksort}) {
+    Options opt;
+    opt.epsilon = 0.005;
+    opt.backend = b;
+    HhhEstimator hhh(opt, /*levels=*/4);
+    hhh.ObserveBatch(stream);
+    hhh.Flush();
+    results.push_back(hhh.Query(0.15));
+  }
+  ASSERT_EQ(results[0].size(), results[1].size());
+  for (std::size_t i = 0; i < results[0].size(); ++i) {
+    EXPECT_EQ(results[0][i].level, results[1][i].level);
+    EXPECT_EQ(results[0][i].prefix, results[1][i].prefix);
+    EXPECT_EQ(results[0][i].count, results[1][i].count);
+  }
+}
+
+TEST(HhhEstimatorTest, FindsAggregateOnlySubtree) {
+  const auto stream = HotSubtreeStream(60000, 6);
+  Options opt;
+  opt.epsilon = 0.005;
+  opt.backend = Backend::kGpuPbsn;
+  HhhEstimator hhh(opt, /*levels=*/4);
+  hhh.ObserveBatch(stream);
+  hhh.Flush();
+  EXPECT_EQ(hhh.processed_length(), 60000u);
+
+  // The hot subtree holds ~25% + background share; no single leaf exceeds
+  // ~4%. At 15% support only the aggregate is reported.
+  const auto results = hhh.Query(0.15);
+  const bool subtree_found =
+      std::any_of(results.begin(), results.end(), [](const sketch::HhhResult& r) {
+        return r.level == 3 && r.prefix == 8.0f;
+      });
+  EXPECT_TRUE(subtree_found);
+  for (const auto& r : results) EXPECT_NE(r.level, 0) << "no leaf is that heavy";
+
+  // Leaf-level counts remain within the epsilon budget.
+  const auto exact = sketch::ExactCounts(stream);
+  const auto bound = static_cast<std::uint64_t>(0.005 * 60000) + 1;
+  for (const auto& [value, truth] : exact) {
+    const std::uint64_t est = hhh.EstimateCount(value, 0);
+    EXPECT_LE(est, truth);
+    EXPECT_GE(est + bound, truth);
+  }
+}
+
+TEST(HhhEstimatorTest, CostsReflectAllLevels) {
+  Options opt;
+  opt.epsilon = 0.01;
+  opt.backend = Backend::kGpuPbsn;
+  HhhEstimator hhh(opt, /*levels=*/3);
+  hhh.ObserveBatch(HotSubtreeStream(5000, 7));
+  hhh.Flush();
+  EXPECT_GT(hhh.costs().sort.simulated_seconds, 0.0);
+  // Histogram elements counted once per level per element.
+  EXPECT_EQ(hhh.costs().histogram_elements, 5000u * 4u);
+  EXPECT_GT(hhh.SimulatedSeconds(), hhh.costs().sort.simulated_seconds);
+}
+
+TEST(HhhEstimatorTest, RejectsSlidingWindows) {
+  Options opt;
+  opt.epsilon = 0.01;
+  opt.sliding_window = 1000;
+  EXPECT_DEATH(HhhEstimator(opt, 3), "whole-history");
+}
+
+}  // namespace
+}  // namespace streamgpu::core

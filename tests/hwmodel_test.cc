@@ -1,0 +1,150 @@
+// Tests for the hardware timing models (hwmodel/): sanity, monotonicity,
+// and consistency with the paper's published device parameters.
+
+#include <gtest/gtest.h>
+
+#include "gpu/stats.h"
+#include "hwmodel/cpu_model.h"
+#include "hwmodel/gpu_model.h"
+#include "hwmodel/hardware_profiles.h"
+
+namespace streamgpu::hwmodel {
+namespace {
+
+TEST(GpuModelTest, ZeroWorkZeroTime) {
+  GpuModel model(kGeForce6800Ultra);
+  const GpuTimeBreakdown b = model.Simulate(gpu::GpuStats{});
+  EXPECT_EQ(b.TotalSeconds(), 0.0);
+}
+
+TEST(GpuModelTest, BlendThroughputMatchesPipeCount) {
+  // 16 pipes at 400 MHz, 6.5 cycles per blended fragment: 16e6 fragments
+  // should take 16e6 * 6.5 / 16 / 400e6 = 16.25 ms of compute.
+  GpuModel model(kGeForce6800Ultra);
+  gpu::GpuStats stats;
+  stats.fragments_shaded = 16'000'000;
+  stats.blend_fragments = 16'000'000;
+  const GpuTimeBreakdown b = model.Simulate(stats);
+  EXPECT_NEAR(b.compute_s, 0.01625, 1e-6);
+}
+
+TEST(GpuModelTest, MemoryTimeFromBandwidth) {
+  GpuModel model(kGeForce6800Ultra);
+  gpu::GpuStats stats;
+  stats.bytes_vram = static_cast<std::uint64_t>(35.2e9);  // one second's worth
+  const GpuTimeBreakdown b = model.Simulate(stats);
+  EXPECT_NEAR(b.memory_s, 1.0, 1e-9);
+}
+
+TEST(GpuModelTest, TransferTimeFromBusBandwidth) {
+  // §4.1: ~800 MB/s effective AGP bandwidth.
+  GpuModel model(kGeForce6800Ultra);
+  gpu::GpuStats stats;
+  stats.bytes_uploaded = 400'000'000;
+  stats.bytes_readback = 400'000'000;
+  const GpuTimeBreakdown b = model.Simulate(stats);
+  EXPECT_NEAR(b.transfer_s, 1.0, 1e-9);
+}
+
+TEST(GpuModelTest, ComputeAndMemoryOverlap) {
+  GpuModel model(kGeForce6800Ultra);
+  gpu::GpuStats stats;
+  stats.fragments_shaded = 16'000'000;
+  stats.blend_fragments = 16'000'000;
+  stats.bytes_vram = static_cast<std::uint64_t>(35.2e9);
+  const GpuTimeBreakdown b = model.Simulate(stats);
+  EXPECT_NEAR(b.DeviceSeconds(), 1.0, 1e-6);  // max, not sum
+}
+
+TEST(GpuModelTest, ProgramInstructionsChargedPerCycle) {
+  // 53-instruction fragment programs: 16 pipes retire 16 instructions per
+  // cycle in aggregate.
+  GpuModel model(kGeForce6800Ultra);
+  gpu::GpuStats stats;
+  stats.fragments_shaded = 1'000'000;
+  stats.program_fragments = 1'000'000;
+  stats.program_instructions = 53'000'000;
+  const GpuTimeBreakdown b = model.Simulate(stats);
+  EXPECT_NEAR(b.compute_s, 53e6 / 16.0 / 400e6, 1e-9);
+}
+
+TEST(GpuModelTest, BitonicCostlierThanBlendPerComparator) {
+  // The crux of §4.5: >= 53 instructions vs 6-7 blend cycles per comparator.
+  GpuModel model(kGeForce6800Ultra);
+  gpu::GpuStats blend;
+  blend.fragments_shaded = 1'000'000;
+  blend.blend_fragments = 1'000'000;
+  gpu::GpuStats program;
+  program.fragments_shaded = 1'000'000;
+  program.program_fragments = 1'000'000;
+  program.program_instructions = 53'000'000;
+  EXPECT_GT(model.Simulate(program).compute_s, 7.0 * model.Simulate(blend).compute_s);
+}
+
+TEST(GpuModelTest, SetupScalesWithDrawsAndBinds) {
+  GpuModel model(kGeForce6800Ultra);
+  gpu::GpuStats stats;
+  stats.draw_calls = 1000;
+  stats.framebuffer_binds = 2;
+  stats.fb_to_texture_copies = 100;
+  const GpuTimeBreakdown b = model.Simulate(stats);
+  EXPECT_NEAR(b.setup_s,
+              1000 * kGeForce6800Ultra.per_draw_overhead_s +
+                  2 * kGeForce6800Ultra.per_bind_overhead_s +
+                  100 * kGeForce6800Ultra.per_pass_overhead_s,
+              1e-12);
+}
+
+TEST(CpuModelTest, QuicksortScalesSuperlinearly) {
+  CpuModel model(kPentium4_3400);
+  const double t1 = model.QuicksortSeconds(1 << 16, 4);
+  const double t2 = model.QuicksortSeconds(1 << 20, 4);
+  EXPECT_GT(t2, 16.0 * t1);  // more than linear in n
+  EXPECT_LT(t2, 64.0 * t1);  // far less than quadratic
+}
+
+TEST(CpuModelTest, CacheMissesJumpPastL2) {
+  CpuModel model(kPentium4_3400);
+  // 256 KB fits in the 1 MB L2: compulsory misses only.
+  const double in_cache = model.QuicksortCacheMisses(65536, 4);
+  EXPECT_NEAR(in_cache, 65536.0 * 4 / 64, 1.0);
+  // 32 MB: every partitioning level above cache re-streams the array
+  // (§3.2: "For larger sequences quicksort incurs a substantially higher
+  // number of misses").
+  const double out_of_cache = model.QuicksortCacheMisses(8 << 20, 4);
+  EXPECT_GT(out_of_cache, 8.0 * in_cache * 128 / 16);
+}
+
+TEST(CpuModelTest, EightMillionFloatsAboutOneSecond) {
+  // Calibration anchor: Fig. 3 shows the optimized P4 quicksort sorting 8M
+  // values in roughly a second.
+  CpuModel model(kPentium4_3400);
+  const double t = model.QuicksortSeconds(8 << 20, 4);
+  EXPECT_GT(t, 0.5);
+  EXPECT_LT(t, 2.5);
+}
+
+TEST(CpuModelTest, MsvcProfileIsSlower) {
+  CpuModel intel(kPentium4_3400);
+  CpuModel msvc(kPentium4_3400Msvc);
+  const double ti = intel.QuicksortSeconds(1 << 20, 4);
+  const double tm = msvc.QuicksortSeconds(1 << 20, 4);
+  EXPECT_GT(tm, 1.5 * ti);
+  EXPECT_LT(tm, 4.0 * ti);
+}
+
+TEST(CpuModelTest, LinearPassInCacheHasNoMissTerm) {
+  CpuModel model(kPentium4_3400);
+  const double small = model.LinearPassSeconds(1000, 4, 3.0);
+  EXPECT_NEAR(small, 1000 * 3.0 / 3.4e9, 1e-12);
+  const double big = model.LinearPassSeconds(10'000'000, 4, 3.0);
+  EXPECT_GT(big, 10'000'000 * 3.0 / 3.4e9);  // adds streaming misses
+}
+
+TEST(CpuModelTest, MergeSecondsGrowWithWays) {
+  CpuModel model(kPentium4_3400);
+  EXPECT_GT(model.MergeSeconds(1'000'000, 8, 4), model.MergeSeconds(1'000'000, 2, 4));
+}
+
+}  // namespace
+}  // namespace streamgpu::hwmodel

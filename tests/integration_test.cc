@@ -1,0 +1,233 @@
+// Cross-module integration tests: full pipelines against exact offline
+// computation, GPU-vs-CPU backend equivalence on every stream family, and
+// the performance-shape claims the paper's evaluation makes.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/frequency_estimator.h"
+#include "gpu/half.h"
+#include "core/quantile_estimator.h"
+#include "sketch/exact.h"
+#include "stream/generator.h"
+
+namespace streamgpu {
+namespace {
+
+using core::Backend;
+using core::FrequencyEstimator;
+using core::Options;
+using core::QuantileEstimator;
+
+struct PipelineCase {
+  stream::Distribution distribution;
+  double epsilon;
+  std::size_t n;
+};
+
+class PipelineProperty : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(PipelineProperty, GpuFrequencyGuaranteesHold) {
+  const PipelineCase& p = GetParam();
+  stream::StreamGenerator gen({.distribution = p.distribution, .seed = 1001});
+  auto stream = gen.Take(p.n);
+
+  Options opt;
+  opt.epsilon = p.epsilon;
+  opt.backend = Backend::kGpuPbsn;
+  FrequencyEstimator fe(opt);
+  fe.ObserveBatch(stream);
+  fe.Flush();
+
+  // The fp16 pipeline's value universe is the quantized stream.
+  for (float& v : stream) v = gpu::QuantizeToHalf(v);
+  const auto exact = sketch::ExactCounts(stream);
+  const auto bound = static_cast<std::uint64_t>(
+      std::ceil(p.epsilon * static_cast<double>(p.n)));
+  for (const auto& [value, truth] : exact) {
+    const std::uint64_t est = fe.EstimateCount(value);
+    ASSERT_LE(est, truth) << value;
+    ASSERT_GE(est + bound, truth) << value;
+  }
+}
+
+TEST_P(PipelineProperty, GpuQuantileGuaranteesHold) {
+  const PipelineCase& p = GetParam();
+  stream::StreamGenerator gen({.distribution = p.distribution, .seed = 1002});
+  const auto stream = gen.Take(p.n);
+
+  Options opt;
+  opt.epsilon = p.epsilon;
+  opt.backend = Backend::kGpuPbsn;
+  QuantileEstimator qe(opt);
+  qe.ObserveBatch(stream);
+  qe.Flush();
+
+  // The fp16 pipeline's value universe is the quantized stream.
+  std::vector<float> sorted(stream);
+  for (float& v : sorted) v = gpu::QuantizeToHalf(v);
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(p.n);
+  for (double phi : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    const float q = qe.Quantile(phi);
+    const auto [lo, hi] = sketch::ExactRankRange(sorted, q);
+    const double target = std::ceil(phi * n);
+    const double allowed = p.epsilon * n + 1;
+    ASSERT_LE(static_cast<double>(lo) + 1, target + allowed) << phi;
+    ASSERT_GE(static_cast<double>(hi) + 1, target - allowed) << phi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, PipelineProperty,
+    ::testing::Values(
+        PipelineCase{stream::Distribution::kUniform, 0.005, 50000},
+        PipelineCase{stream::Distribution::kZipf, 0.005, 50000},
+        PipelineCase{stream::Distribution::kNetworkFlows, 0.01, 40000},
+        PipelineCase{stream::Distribution::kFinanceTicks, 0.01, 40000},
+        PipelineCase{stream::Distribution::kSorted, 0.01, 30000},
+        PipelineCase{stream::Distribution::kNearlySorted, 0.01, 30000}),
+    [](const ::testing::TestParamInfo<PipelineCase>& info) {
+      std::string name = stream::DistributionName(info.param.distribution);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name + "_n" + std::to_string(info.param.n);
+    });
+
+TEST(BackendEquivalenceTest, GpuAndCpuQuantilesAgreeExactly) {
+  // On binary16-exact data, both backends compute the same sorted windows
+  // and therefore the same summaries and answers.
+  stream::StreamGenerator gen(
+      {.distribution = stream::Distribution::kZipf, .seed = 2001, .domain_size = 1500});
+  const auto stream = gen.Take(60000);
+  std::vector<float> answers;
+  for (Backend b : {Backend::kGpuPbsn, Backend::kCpuQuicksort, Backend::kCpuStdSort}) {
+    Options opt;
+    opt.epsilon = 0.002;
+    opt.backend = b;
+    QuantileEstimator qe(opt);
+    qe.ObserveBatch(stream);
+    qe.Flush();
+    for (double phi : {0.1, 0.3, 0.5, 0.7, 0.9}) answers.push_back(qe.Quantile(phi));
+  }
+  for (std::size_t i = 5; i < answers.size(); ++i) {
+    EXPECT_EQ(answers[i], answers[i % 5]) << i;
+  }
+}
+
+TEST(PerformanceShapeTest, GpuWinsAtLargeWindowsLosesAtSmall) {
+  // Fig. 5's qualitative shape: "our GPU-based algorithm performs better
+  // than the optimized CPU implementation for large sized windows" and
+  // "the GPU incurs overhead for small window sizes."
+  const auto run = [](double epsilon, Backend backend) {
+    stream::StreamGenerator gen(
+        {.distribution = stream::Distribution::kUniform, .seed = 3001});
+    Options opt;
+    opt.epsilon = epsilon;
+    opt.backend = backend;
+    FrequencyEstimator fe(opt);
+    // Exactly one four-window batch at the given epsilon.
+    const std::size_t n = static_cast<std::size_t>(4.0 / epsilon);
+    fe.ObserveBatch(gen.Take(n));
+    fe.Flush();
+    return fe.SimulatedSeconds();
+  };
+
+  // Small windows (epsilon = 1/500): CPU ahead.
+  EXPECT_LT(run(1.0 / 500, Backend::kCpuQuicksort), run(1.0 / 500, Backend::kGpuPbsn));
+  // Large windows (epsilon = 1/2^19, ~0.5M-element windows whose working set
+  // falls out of the P4's L2): GPU ahead.
+  EXPECT_GT(run(1.0 / 524288, Backend::kCpuQuicksort),
+            run(1.0 / 524288, Backend::kGpuPbsn));
+}
+
+TEST(PerformanceShapeTest, SortingDominatesSummaryTime) {
+  // §5.1: "80-90% of the overall running time is spent in sorting" (70-95%
+  // in §3.2). Check sorting is the dominant simulated cost on the CPU path.
+  stream::StreamGenerator gen(
+      {.distribution = stream::Distribution::kUniform, .seed = 3002});
+  Options opt;
+  opt.epsilon = 1.0 / 8192;
+  opt.backend = Backend::kCpuQuicksort;
+  FrequencyEstimator fe(opt);
+  fe.ObserveBatch(gen.Take(80000));
+  fe.Flush();
+  const double total = fe.SimulatedSeconds();
+  const double sort = fe.costs().sort.simulated_seconds;
+  EXPECT_GT(sort / total, 0.6);
+}
+
+TEST(PerformanceShapeTest, TransferTimeIsSmallFractionOfGpuSort) {
+  // Fig. 4: "the data transfer times are not significant in comparison to
+  // the time spent in performing comparisons and sorting."
+  stream::StreamGenerator gen(
+      {.distribution = stream::Distribution::kUniform, .seed = 3003});
+  Options opt;
+  opt.epsilon = 1.0 / 65536;
+  opt.backend = Backend::kGpuPbsn;
+  FrequencyEstimator fe(opt);
+  fe.ObserveBatch(gen.Take(1 << 19));
+  fe.Flush();
+  const auto& sort = fe.costs().sort;
+  EXPECT_LT(sort.sim_transfer_seconds, 0.25 * sort.simulated_seconds);
+}
+
+TEST(FailureInjectionTest, EstimatorsSurviveExtremeValues) {
+  Options opt;
+  opt.epsilon = 0.01;
+  opt.backend = Backend::kGpuPbsn;
+  opt.gpu_format = gpu::Format::kFloat32;
+  FrequencyEstimator fe(opt);
+  QuantileEstimator qe(opt);
+  std::vector<float> hostile;
+  for (int i = 0; i < 500; ++i) {
+    hostile.push_back(std::numeric_limits<float>::infinity());
+    hostile.push_back(-std::numeric_limits<float>::infinity());
+    hostile.push_back(0.0f);
+    hostile.push_back(-0.0f);
+    hostile.push_back(std::numeric_limits<float>::denorm_min());
+    hostile.push_back(std::numeric_limits<float>::max());
+  }
+  fe.ObserveBatch(hostile);
+  qe.ObserveBatch(hostile);
+  fe.Flush();
+  qe.Flush();
+  EXPECT_EQ(fe.processed_length(), hostile.size());
+  EXPECT_GE(fe.EstimateCount(0.0f), 500u);
+  const float median = qe.Quantile(0.5);
+  EXPECT_FALSE(std::isnan(median));
+}
+
+TEST(FailureInjectionTest, QuantizedPipelineIsSelfConsistent) {
+  // Values that are NOT representable in binary16: the fp16 pipeline
+  // quantizes them, and its answers must be consistent with the quantized
+  // stream's ground truth.
+  std::vector<float> stream;
+  std::mt19937 rng(4001);
+  std::uniform_real_distribution<float> d(1000.0f, 2000.0f);  // many non-exact
+  for (int i = 0; i < 20000; ++i) stream.push_back(d(rng));
+
+  Options opt;
+  opt.epsilon = 0.01;
+  opt.backend = Backend::kGpuPbsn;
+  opt.gpu_format = gpu::Format::kFloat16;
+  QuantileEstimator qe(opt);
+  qe.ObserveBatch(stream);
+  qe.Flush();
+
+  std::vector<float> quantized(stream);
+  for (float& v : quantized) v = gpu::QuantizeToHalf(v);
+  std::sort(quantized.begin(), quantized.end());
+  const double n = static_cast<double>(stream.size());
+  const float q = qe.Quantile(0.5);
+  const auto [lo, hi] = sketch::ExactRankRange(quantized, q);
+  EXPECT_LE(static_cast<double>(lo) + 1, 0.5 * n + 0.01 * n + 1);
+  EXPECT_GE(static_cast<double>(hi) + 1, 0.5 * n - 0.01 * n - 1);
+}
+
+}  // namespace
+}  // namespace streamgpu

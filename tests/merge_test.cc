@@ -1,0 +1,104 @@
+// Tests for the CPU-side run merging (sort/merge.h).
+
+#include "sort/merge.h"
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace streamgpu::sort {
+namespace {
+
+std::vector<float> SortedRandom(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(0.0f, 100.0f);
+  std::vector<float> v(n);
+  for (float& x : v) x = dist(rng);
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(MergeTest, TwoWayBasic) {
+  const std::vector<float> a{1, 3, 5};
+  const std::vector<float> b{2, 4, 6};
+  std::vector<float> out(6);
+  TwoWayMerge(a, b, out);
+  EXPECT_EQ(out, (std::vector<float>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(MergeTest, TwoWayEmptySides) {
+  const std::vector<float> a{1, 2};
+  const std::vector<float> empty;
+  std::vector<float> out(2);
+  TwoWayMerge(a, empty, out);
+  EXPECT_EQ(out, a);
+  TwoWayMerge(empty, a, out);
+  EXPECT_EQ(out, a);
+}
+
+TEST(MergeTest, TwoWayIsStableTowardFirstRun) {
+  // Ties take from `a` first (b[j] < a[i] strictly advances b).
+  const std::vector<float> a{5, 5};
+  const std::vector<float> b{5};
+  std::vector<float> out(3);
+  TwoWayMerge(a, b, out);
+  EXPECT_EQ(out, (std::vector<float>{5, 5, 5}));
+}
+
+TEST(MergeTest, TwoWayComparisonsLinear) {
+  const auto a = SortedRandom(1000, 1);
+  const auto b = SortedRandom(1000, 2);
+  std::vector<float> out(2000);
+  const std::uint64_t comparisons = TwoWayMerge(a, b, out);
+  EXPECT_LE(comparisons, 2000u);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+TEST(MergeTest, FourWayMatchesStdSort) {
+  std::array<std::vector<float>, 4> runs;
+  std::vector<float> all;
+  for (int i = 0; i < 4; ++i) {
+    runs[i] = SortedRandom(100 + 37 * i, 10 + i);
+    all.insert(all.end(), runs[i].begin(), runs[i].end());
+  }
+  std::vector<float> out(all.size());
+  const std::array<std::span<const float>, 4> views{runs[0], runs[1], runs[2], runs[3]};
+  const std::uint64_t comparisons = FourWayMerge(views, out);
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(out, all);
+  // "The merge routine performs O(n) comparisons" (§4.4): two levels of
+  // binary merges, at most 2n comparisons.
+  EXPECT_LE(comparisons, 2 * all.size());
+}
+
+TEST(MergeTest, FourWayWithEmptyRuns) {
+  std::array<std::vector<float>, 4> runs;
+  runs[0] = {1, 4};
+  runs[2] = {2, 3};
+  std::vector<float> out(4);
+  const std::array<std::span<const float>, 4> views{runs[0], runs[1], runs[2], runs[3]};
+  FourWayMerge(views, out);
+  EXPECT_EQ(out, (std::vector<float>{1, 2, 3, 4}));
+}
+
+TEST(MergeTest, KWayMatchesStdSort) {
+  std::mt19937 rng(77);
+  for (int ways = 1; ways <= 9; ++ways) {
+    std::vector<std::vector<float>> runs(ways);
+    std::vector<float> all;
+    for (int i = 0; i < ways; ++i) {
+      runs[i] = SortedRandom(20 + 11 * i, 100 + i);
+      all.insert(all.end(), runs[i].begin(), runs[i].end());
+    }
+    std::vector<std::span<const float>> views(runs.begin(), runs.end());
+    std::vector<float> out(all.size());
+    KWayMerge(views, out);
+    std::sort(all.begin(), all.end());
+    ASSERT_EQ(out, all) << "ways=" << ways;
+  }
+}
+
+}  // namespace
+}  // namespace streamgpu::sort

@@ -1,0 +1,126 @@
+// Tests for the PBSN comparator schedule (sort/pbsn_network.h): the scalar
+// reference the GPU implementation is validated against.
+
+#include "sort/pbsn_network.h"
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace streamgpu::sort {
+namespace {
+
+TEST(PbsnNetworkTest, CeilLog2) {
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(4), 2);
+  EXPECT_EQ(CeilLog2(5), 3);
+  EXPECT_EQ(CeilLog2(1023), 10);
+  EXPECT_EQ(CeilLog2(1024), 10);
+  EXPECT_EQ(CeilLog2(1025), 11);
+  EXPECT_EQ(CeilLog2(std::uint64_t{1} << 40), 40);
+}
+
+TEST(PbsnNetworkTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024u);
+}
+
+TEST(PbsnNetworkTest, StepComparesMirroredPairs) {
+  // Block size 4 over 8 elements: within each block, i vs B-1-i.
+  std::vector<float> v{4, 3, 2, 1, 8, 5, 6, 7};
+  PbsnStepCpu(v, 4);
+  // Block 0: (4 vs 1) -> min 1 at 0, max 4 at 3; (3 vs 2) -> 2 at 1, 3 at 2.
+  EXPECT_EQ(v, (std::vector<float>{1, 2, 3, 4, 7, 5, 6, 8}));
+}
+
+TEST(PbsnNetworkTest, ComparatorCount) {
+  // n/2 comparators per step, (log2 n)^2 steps.
+  EXPECT_EQ(PbsnComparatorCount(2), 1u);          // 1 * 1 step
+  EXPECT_EQ(PbsnComparatorCount(4), 8u);          // 2 * 4 steps
+  EXPECT_EQ(PbsnComparatorCount(8), 36u);         // 4 * 9
+  EXPECT_EQ(PbsnComparatorCount(1024), 51200u);   // 512 * 100
+  EXPECT_EQ(PbsnComparatorCount(1), 0u);
+}
+
+// The 0/1 principle: a comparator network sorts all inputs iff it sorts all
+// 0/1 inputs. Exhaustive over every 0/1 input for n up to 64.
+TEST(PbsnNetworkTest, ZeroOnePrincipleExhaustiveSmall) {
+  for (std::size_t n : {2u, 4u, 8u, 16u}) {
+    const std::uint64_t combos = std::uint64_t{1} << n;
+    for (std::uint64_t mask = 0; mask < combos; ++mask) {
+      std::vector<float> v(n);
+      for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<float>((mask >> i) & 1);
+      std::vector<float> expected = v;
+      std::sort(expected.begin(), expected.end());
+      PbsnSortCpu(v);
+      ASSERT_EQ(v, expected) << "n=" << n << " mask=" << mask;
+    }
+  }
+}
+
+TEST(PbsnNetworkTest, ZeroOnePrincipleRandomLarge) {
+  std::mt19937_64 rng(99);
+  for (std::size_t n : {32u, 64u, 256u, 1024u}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      std::vector<float> v(n);
+      for (float& x : v) x = static_cast<float>(rng() & 1);
+      std::vector<float> expected = v;
+      std::sort(expected.begin(), expected.end());
+      PbsnSortCpu(v);
+      ASSERT_EQ(v, expected) << "n=" << n << " trial=" << trial;
+    }
+  }
+}
+
+TEST(PbsnNetworkTest, SortsRandomFloats) {
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<float> dist(-1e6f, 1e6f);
+  for (std::size_t n : {2u, 8u, 64u, 512u, 4096u}) {
+    std::vector<float> v(n);
+    for (float& x : v) x = dist(rng);
+    std::vector<float> expected = v;
+    std::sort(expected.begin(), expected.end());
+    PbsnSortCpu(v);
+    ASSERT_EQ(v, expected) << n;
+  }
+}
+
+TEST(PbsnNetworkTest, SortsAdversarialPatterns) {
+  for (std::size_t n : {16u, 256u}) {
+    std::vector<std::vector<float>> cases;
+    std::vector<float> asc(n), desc(n), organ(n), equal(n, 7.0f);
+    for (std::size_t i = 0; i < n; ++i) {
+      asc[i] = static_cast<float>(i);
+      desc[i] = static_cast<float>(n - i);
+      organ[i] = static_cast<float>(i < n / 2 ? i : n - i);
+    }
+    cases = {asc, desc, organ, equal};
+    for (auto& v : cases) {
+      std::vector<float> expected = v;
+      std::sort(expected.begin(), expected.end());
+      PbsnSortCpu(v);
+      ASSERT_EQ(v, expected);
+    }
+  }
+}
+
+TEST(PbsnNetworkTest, RequiresPowerOfTwo) {
+  std::vector<float> v{3, 2, 1};
+  EXPECT_DEATH(PbsnSortCpu(v), "power-of-two");
+}
+
+TEST(PbsnNetworkTest, StageIsIdempotentOnSortedInput) {
+  std::vector<float> v{1, 2, 3, 4, 5, 6, 7, 8};
+  PbsnStageCpu(v);
+  EXPECT_EQ(v, (std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+}  // namespace
+}  // namespace streamgpu::sort

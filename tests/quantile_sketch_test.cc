@@ -1,0 +1,348 @@
+// Property tests for the quantile machinery: Greenwald-Khanna summaries
+// (sketch/gk_summary.h) and the exponential histogram of summaries
+// (sketch/exponential_histogram.h, §5.2).
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sketch/exact.h"
+#include "sketch/exponential_histogram.h"
+#include "sketch/gk_summary.h"
+
+namespace streamgpu::sketch {
+namespace {
+
+// Checks that `value` answers a rank-r query over `sorted` within
+// `allowed` ranks (using 1-based ranks; duplicates give the value a rank
+// interval).
+::testing::AssertionResult RankWithin(const std::vector<float>& sorted, float value,
+                                      double target_rank, double allowed) {
+  const auto [lo0, hi0] = ExactRankRange(sorted, value);
+  const double lo = static_cast<double>(lo0) + 1;  // 1-based
+  const double hi = static_cast<double>(hi0) + 1;
+  if (lo - allowed <= target_rank && target_rank <= hi + allowed) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << "value " << value << " has rank range [" << lo << "," << hi
+         << "], target " << target_rank << " allowed +-" << allowed;
+}
+
+std::vector<float> RandomValues(std::size_t n, unsigned seed, int domain = 0) {
+  std::mt19937 rng(seed);
+  std::vector<float> v(n);
+  if (domain > 0) {
+    std::uniform_int_distribution<int> d(0, domain - 1);
+    for (float& x : v) x = static_cast<float>(d(rng));
+  } else {
+    std::uniform_real_distribution<float> d(0.0f, 1e6f);
+    for (float& x : v) x = d(rng);
+  }
+  return v;
+}
+
+// --- GkSummary::FromSorted ---
+
+TEST(GkFromSortedTest, ExactWhenStepIsOne) {
+  std::vector<float> w{1, 2, 3, 4, 5};
+  const auto s = GkSummary::FromSorted(w, 0.01);  // step = max(1, 0) = 1
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.epsilon(), 0.0);
+  EXPECT_EQ(s.count(), 5u);
+  for (std::uint64_t r = 1; r <= 5; ++r) {
+    EXPECT_EQ(s.QueryRank(r), w[r - 1]);
+  }
+}
+
+TEST(GkFromSortedTest, SamplingRespectsTargetEpsilon) {
+  auto w = RandomValues(10000, 1);
+  std::sort(w.begin(), w.end());
+  for (double eps : {0.001, 0.01, 0.05, 0.2}) {
+    const auto s = GkSummary::FromSorted(w, eps);
+    EXPECT_LE(s.epsilon(), eps);
+    // Space ~ 1/(2 eps) + 2.
+    EXPECT_LE(s.size(), static_cast<std::size_t>(1.0 / (2.0 * eps)) + 3) << eps;
+    // Every rank is answerable within eps * n.
+    const double allowed = eps * 10000.0 + 1;
+    for (std::uint64_t r = 1; r <= 10000; r += 97) {
+      EXPECT_TRUE(RankWithin(w, s.QueryRank(r), static_cast<double>(r), allowed));
+    }
+  }
+}
+
+TEST(GkFromSortedTest, FirstAndLastRanksPresent) {
+  auto w = RandomValues(1000, 2);
+  std::sort(w.begin(), w.end());
+  const auto s = GkSummary::FromSorted(w, 0.1);
+  EXPECT_EQ(s.tuples().front().rmin, 1u);
+  EXPECT_EQ(s.tuples().back().rmax, 1000u);
+}
+
+TEST(GkFromSortedTest, EmptyWindow) {
+  const auto s = GkSummary::FromSorted({}, 0.1);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+}
+
+// --- Rank-bound soundness: rmin/rmax must always bracket a realizable ---
+// --- rank of the tuple's value.                                        ---
+
+void CheckTupleSoundness(const GkSummary& s, const std::vector<float>& sorted) {
+  for (const GkTuple& t : s.tuples()) {
+    const auto [lo0, hi0] = ExactRankRange(sorted, t.value);
+    EXPECT_LE(t.rmin, hi0 + 1) << "rmin beyond the value's highest rank for " << t.value;
+    EXPECT_GE(t.rmax, lo0 + 1) << "rmax below the value's lowest rank for " << t.value;
+    EXPECT_LE(t.rmin, t.rmax);
+    EXPECT_GE(t.rmin, 1u);
+    EXPECT_LE(t.rmax, s.count());
+  }
+}
+
+struct MergeCase {
+  std::size_t na;
+  std::size_t nb;
+  int domain;  // 0 = continuous
+  double eps;
+};
+
+class GkMergeProperty : public ::testing::TestWithParam<MergeCase> {};
+
+TEST_P(GkMergeProperty, MergedSummaryAnswersWithinEpsilon) {
+  const MergeCase& p = GetParam();
+  auto a = RandomValues(p.na, 31, p.domain);
+  auto b = RandomValues(p.nb, 32, p.domain);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const GkSummary sa = GkSummary::FromSorted(a, p.eps);
+  const GkSummary sb = GkSummary::FromSorted(b, p.eps);
+  const GkSummary merged = GkSummary::Merge(sa, sb);
+
+  std::vector<float> all;
+  all.insert(all.end(), a.begin(), a.end());
+  all.insert(all.end(), b.begin(), b.end());
+  std::sort(all.begin(), all.end());
+
+  ASSERT_EQ(merged.count(), all.size());
+  EXPECT_LE(merged.epsilon(), p.eps);
+  CheckTupleSoundness(merged, all);
+
+  const double allowed = merged.epsilon() * static_cast<double>(all.size()) + 1;
+  for (double phi : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double target = std::ceil(phi * static_cast<double>(all.size()));
+    EXPECT_TRUE(RankWithin(all, merged.Query(phi), target, allowed)) << "phi=" << phi;
+  }
+}
+
+TEST_P(GkMergeProperty, PruneKeepsEpsilonPlusHalfOverB) {
+  const MergeCase& p = GetParam();
+  auto a = RandomValues(p.na, 41, p.domain);
+  auto b = RandomValues(p.nb, 42, p.domain);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  GkSummary merged =
+      GkSummary::Merge(GkSummary::FromSorted(a, p.eps), GkSummary::FromSorted(b, p.eps));
+
+  const std::size_t kB = 20;
+  const GkSummary pruned = merged.Prune(kB);
+  EXPECT_LE(pruned.size(), kB + 1);
+  EXPECT_LE(pruned.epsilon(), merged.epsilon() + 1.0 / (2.0 * kB) + 1e-12);
+
+  std::vector<float> all;
+  all.insert(all.end(), a.begin(), a.end());
+  all.insert(all.end(), b.begin(), b.end());
+  std::sort(all.begin(), all.end());
+  CheckTupleSoundness(pruned, all);
+
+  const double allowed = pruned.epsilon() * static_cast<double>(all.size()) + 1;
+  for (double phi : {0.05, 0.3, 0.5, 0.8, 0.95}) {
+    const double target = std::ceil(phi * static_cast<double>(all.size()));
+    EXPECT_TRUE(RankWithin(all, pruned.Query(phi), target, allowed)) << "phi=" << phi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GkMergeProperty,
+    ::testing::Values(MergeCase{1000, 1000, 0, 0.05}, MergeCase{1000, 1000, 10, 0.05},
+                      MergeCase{5000, 100, 0, 0.02}, MergeCase{100, 5000, 7, 0.02},
+                      MergeCase{2048, 2048, 3, 0.01}, MergeCase{777, 1234, 50, 0.05}),
+    [](const ::testing::TestParamInfo<MergeCase>& info) {
+      return "na" + std::to_string(info.param.na) + "_nb" + std::to_string(info.param.nb) +
+             "_dom" + std::to_string(info.param.domain) + "_eps" +
+             std::to_string(static_cast<int>(1.0 / info.param.eps));
+    });
+
+TEST(GkMergeTest, MergeWithEmptyIsIdentity) {
+  auto a = RandomValues(100, 51);
+  std::sort(a.begin(), a.end());
+  const GkSummary s = GkSummary::FromSorted(a, 0.1);
+  const GkSummary e;
+  EXPECT_EQ(GkSummary::Merge(s, e).count(), 100u);
+  EXPECT_EQ(GkSummary::Merge(e, s).count(), 100u);
+  EXPECT_EQ(GkSummary::Merge(e, e).count(), 0u);
+}
+
+TEST(GkMergeTest, ChainOfMergesStaysTightOnDuplicates) {
+  // Regression: merging many summaries of heavily duplicated data must not
+  // blow up rank intervals (requires a consistent tie order).
+  std::mt19937 rng(61);
+  std::uniform_int_distribution<int> d(0, 4);  // only five distinct values
+  GkSummary acc;
+  std::vector<float> all;
+  for (int block = 0; block < 50; ++block) {
+    std::vector<float> w(200);
+    for (float& v : w) v = static_cast<float>(d(rng));
+    all.insert(all.end(), w.begin(), w.end());
+    std::sort(w.begin(), w.end());
+    acc = GkSummary::Merge(acc, GkSummary::FromSorted(w, 0.02));
+  }
+  std::sort(all.begin(), all.end());
+  const double allowed = acc.epsilon() * static_cast<double>(all.size()) + 1;
+  for (double phi : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const double target = std::ceil(phi * static_cast<double>(all.size()));
+    EXPECT_TRUE(RankWithin(all, acc.Query(phi), target, allowed)) << phi;
+  }
+}
+
+TEST(GkMergeTest, MergeOrderDoesNotBreakGuarantees) {
+  // ((a+b)+c) and (a+(b+c)) need not be identical summaries, but both must
+  // answer every query within epsilon of truth.
+  std::mt19937 rng(62);
+  std::uniform_int_distribution<int> d(0, 30);
+  std::array<std::vector<float>, 3> parts;
+  std::vector<float> all;
+  for (auto& part : parts) {
+    part.resize(1500);
+    for (float& v : part) v = static_cast<float>(d(rng));
+    all.insert(all.end(), part.begin(), part.end());
+    std::sort(part.begin(), part.end());
+  }
+  std::sort(all.begin(), all.end());
+
+  const double eps = 0.02;
+  const GkSummary a = GkSummary::FromSorted(parts[0], eps);
+  const GkSummary b = GkSummary::FromSorted(parts[1], eps);
+  const GkSummary c = GkSummary::FromSorted(parts[2], eps);
+  const GkSummary left = GkSummary::Merge(GkSummary::Merge(a, b), c);
+  const GkSummary right = GkSummary::Merge(a, GkSummary::Merge(b, c));
+
+  const double allowed = eps * static_cast<double>(all.size()) + 1;
+  for (const GkSummary* s : {&left, &right}) {
+    ASSERT_EQ(s->count(), all.size());
+    for (double phi : {0.1, 0.5, 0.9}) {
+      const double target = std::ceil(phi * static_cast<double>(all.size()));
+      EXPECT_TRUE(RankWithin(all, s->Query(phi), target, allowed)) << phi;
+    }
+  }
+}
+
+TEST(GkPruneTest, SmallSummaryIsUntouched) {
+  auto a = RandomValues(100, 52);
+  std::sort(a.begin(), a.end());
+  const GkSummary s = GkSummary::FromSorted(a, 0.2);
+  const GkSummary pruned = s.Prune(1000);
+  EXPECT_EQ(pruned.size(), s.size());
+  EXPECT_EQ(pruned.epsilon(), s.epsilon());
+}
+
+// --- Exponential histogram (§5.2). ---
+
+struct EhCase {
+  double eps;
+  std::uint64_t window;
+  std::size_t n;
+  int domain;
+};
+
+class EhProperty : public ::testing::TestWithParam<EhCase> {};
+
+TEST_P(EhProperty, QueriesWithinEpsilon) {
+  const EhCase& p = GetParam();
+  EhQuantileSummary eh(p.eps, p.window, p.n);
+  auto stream = RandomValues(p.n, 71, p.domain);
+  std::vector<float> sorted;
+  for (std::size_t off = 0; off < stream.size(); off += p.window) {
+    const std::size_t len = std::min<std::size_t>(p.window, stream.size() - off);
+    std::vector<float> w(stream.begin() + off, stream.begin() + off + len);
+    std::sort(w.begin(), w.end());
+    eh.AddWindowSummary(GkSummary::FromSorted(w, p.eps / 2.0));
+  }
+  sorted = stream;
+  std::sort(sorted.begin(), sorted.end());
+  ASSERT_EQ(eh.count(), p.n);
+
+  const double allowed = p.eps * static_cast<double>(p.n) + 1;
+  for (double phi : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double target = std::ceil(phi * static_cast<double>(p.n));
+    EXPECT_TRUE(RankWithin(sorted, eh.Query(phi), target, allowed)) << phi;
+  }
+}
+
+TEST_P(EhProperty, AtMostOneBucketPerLevel) {
+  const EhCase& p = GetParam();
+  EhQuantileSummary eh(p.eps, p.window, p.n);
+  auto stream = RandomValues(p.n, 72, p.domain);
+  for (std::size_t off = 0; off < stream.size(); off += p.window) {
+    const std::size_t len = std::min<std::size_t>(p.window, stream.size() - off);
+    std::vector<float> w(stream.begin() + off, stream.begin() + off + len);
+    std::sort(w.begin(), w.end());
+    eh.AddWindowSummary(GkSummary::FromSorted(w, p.eps / 2.0));
+    // Canonical binary-counter state: ids within the provisioned levels.
+    EXPECT_LE(eh.MaxBucketId(), eh.levels() + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EhProperty,
+    ::testing::Values(EhCase{0.02, 500, 50000, 0}, EhCase{0.02, 500, 50000, 20},
+                      EhCase{0.01, 1000, 100000, 0}, EhCase{0.05, 100, 20000, 5},
+                      EhCase{0.01, 1000, 97531, 0}),  // non-multiple length
+    [](const ::testing::TestParamInfo<EhCase>& info) {
+      return "eps" + std::to_string(static_cast<int>(1.0 / info.param.eps)) + "_w" +
+             std::to_string(info.param.window) + "_n" + std::to_string(info.param.n) +
+             "_dom" + std::to_string(info.param.domain);
+    });
+
+TEST(EhTest, LevelBudgetsAreIncreasingAndBelowEpsilon) {
+  EhQuantileSummary eh(0.01, 1000, 1000000);
+  double prev = 0;
+  for (int b = 1; b <= eh.levels(); ++b) {
+    const double budget = eh.LevelBudget(b);
+    EXPECT_GT(budget, prev);
+    EXPECT_LE(budget, 0.01 + 1e-12);
+    prev = budget;
+  }
+}
+
+TEST(EhTest, SpaceStaysBounded) {
+  const double eps = 0.02;
+  EhQuantileSummary eh(eps, 200, 100000);
+  std::mt19937 rng(81);
+  std::uniform_real_distribution<float> d(0.0f, 1.0f);
+  for (int block = 0; block < 500; ++block) {
+    std::vector<float> w(200);
+    for (float& v : w) v = d(rng);
+    std::sort(w.begin(), w.end());
+    eh.AddWindowSummary(GkSummary::FromSorted(w, eps / 2.0));
+  }
+  // Bound: levels * (prune budget + 1) tuples plus slack for unpruned
+  // low-level buckets.
+  const double cap = static_cast<double>(eh.levels() + 2) *
+                     (static_cast<double>(eh.prune_tuples()) + 200.0);
+  EXPECT_LE(static_cast<double>(eh.TotalTuples()), cap);
+  EXPECT_GT(eh.merge_seconds() + eh.compress_seconds(), 0.0);
+}
+
+TEST(EhTest, RejectsTooCoarseWindowSummary) {
+  EhQuantileSummary eh(0.01, 1000, 100000);
+  std::vector<float> w(1000);
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = static_cast<float>(i);
+  // A 0.5-approximate summary violates the epsilon/2 requirement.
+  EXPECT_DEATH(eh.AddWindowSummary(GkSummary::FromSorted(w, 0.5)), "epsilon/2");
+}
+
+}  // namespace
+}  // namespace streamgpu::sketch

@@ -1,0 +1,148 @@
+// Tests for the sensor-network tree aggregation (sketch/sensor_tree.h) —
+// the Greenwald-Khanna [21] setting §5.2 extends.
+
+#include "sketch/sensor_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sketch/exact.h"
+
+namespace streamgpu::sketch {
+namespace {
+
+std::vector<std::vector<float>> MakeLeafData(int leaves, std::size_t per_leaf,
+                                             unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> d(0.0f, 1e5f);
+  std::vector<std::vector<float>> out(leaves);
+  for (auto& leaf : out) {
+    leaf.resize(per_leaf);
+    for (float& v : leaf) v = d(rng);
+    std::sort(leaf.begin(), leaf.end());
+  }
+  return out;
+}
+
+std::vector<float> Flatten(const std::vector<std::vector<float>>& leaves) {
+  std::vector<float> all;
+  for (const auto& leaf : leaves) all.insert(all.end(), leaf.begin(), leaf.end());
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+struct TreeCase {
+  int leaves;
+  int fanout;
+  std::size_t per_leaf;
+  double eps;
+};
+
+class SensorTreeProperty : public ::testing::TestWithParam<TreeCase> {};
+
+TEST_P(SensorTreeProperty, RootSummaryWithinEpsilon) {
+  const TreeCase& p = GetParam();
+  const int height = static_cast<int>(
+      std::ceil(std::log(static_cast<double>(p.leaves)) / std::log(p.fanout))) + 1;
+  SensorTreeAggregator tree(p.eps, height);
+  const auto leaf_data = MakeLeafData(p.leaves, p.per_leaf, 77);
+  const GkSummary root = tree.AggregateComplete(leaf_data, p.fanout);
+
+  const auto all = Flatten(leaf_data);
+  ASSERT_EQ(root.count(), all.size());
+  EXPECT_LE(root.epsilon(), p.eps + 1e-12);
+
+  const double n = static_cast<double>(all.size());
+  for (double phi : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    const float q = root.Query(phi);
+    const auto lo = std::lower_bound(all.begin(), all.end(), q) - all.begin();
+    const auto hi = std::upper_bound(all.begin(), all.end(), q) - all.begin();
+    const double target = std::ceil(phi * n);
+    const double allowed = p.eps * n + 1;
+    EXPECT_LE(static_cast<double>(lo) + 1, target + allowed) << phi;
+    EXPECT_GE(static_cast<double>(hi), target - allowed) << phi;
+  }
+}
+
+TEST_P(SensorTreeProperty, CommunicationIsSublinearInData) {
+  const TreeCase& p = GetParam();
+  const int height = static_cast<int>(
+      std::ceil(std::log(static_cast<double>(p.leaves)) / std::log(p.fanout))) + 1;
+  SensorTreeAggregator tree(p.eps, height);
+  const auto leaf_data = MakeLeafData(p.leaves, p.per_leaf, 78);
+  tree.AggregateComplete(leaf_data, p.fanout);
+
+  const double total_observations =
+      static_cast<double>(p.leaves) * static_cast<double>(p.per_leaf);
+  // Each transmitted summary is O(height/eps) tuples; with interior nodes ~
+  // leaves/(fanout-1), traffic stays well below shipping the raw data once
+  // the per-leaf volume beats the summary size.
+  if (p.per_leaf > 4 * static_cast<std::size_t>(tree.compress_tuples())) {
+    EXPECT_LT(static_cast<double>(tree.tuples_transmitted()), total_observations);
+  }
+  EXPECT_GT(tree.tuples_transmitted(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SensorTreeProperty,
+    ::testing::Values(TreeCase{8, 2, 2000, 0.05}, TreeCase{16, 4, 1000, 0.02},
+                      TreeCase{27, 3, 500, 0.05}, TreeCase{5, 2, 3000, 0.01},
+                      TreeCase{64, 8, 4000, 0.01}),
+    [](const ::testing::TestParamInfo<TreeCase>& info) {
+      std::string name = "leaves";
+      name += std::to_string(info.param.leaves);
+      name += "_fan";
+      name += std::to_string(info.param.fanout);
+      name += "_eps";
+      name += std::to_string(static_cast<int>(1.0 / info.param.eps));
+      return name;
+    });
+
+TEST(SensorTreeTest, LevelBudgetsIncreaseToEpsilon) {
+  SensorTreeAggregator tree(0.02, 5);
+  double prev = 0;
+  for (int i = 0; i <= 5; ++i) {
+    const double b = tree.LevelBudget(i);
+    EXPECT_GT(b, prev);
+    EXPECT_LE(b, 0.02 + 1e-12);
+    prev = b;
+  }
+  EXPECT_DOUBLE_EQ(tree.LevelBudget(0), 0.01);
+  EXPECT_DOUBLE_EQ(tree.LevelBudget(5), 0.02);
+}
+
+TEST(SensorTreeTest, SingleLeafIsItsOwnRoot) {
+  SensorTreeAggregator tree(0.1, 1);
+  auto leaf = MakeLeafData(1, 100, 79);
+  const GkSummary root = tree.AggregateComplete(leaf, 2);
+  EXPECT_EQ(root.count(), 100u);
+  EXPECT_EQ(tree.tuples_transmitted(), 0u);
+}
+
+TEST(SensorTreeTest, UnevenLeafSizes) {
+  SensorTreeAggregator tree(0.05, 3);
+  std::vector<std::vector<float>> leaves;
+  std::mt19937 rng(80);
+  std::uniform_real_distribution<float> d(0.0f, 100.0f);
+  for (std::size_t size : {10u, 500u, 3u, 1200u}) {
+    std::vector<float> leaf(size);
+    for (float& v : leaf) v = d(rng);
+    std::sort(leaf.begin(), leaf.end());
+    leaves.push_back(std::move(leaf));
+  }
+  const GkSummary root = tree.AggregateComplete(leaves, 2);
+  EXPECT_EQ(root.count(), 1713u);
+}
+
+TEST(SensorTreeTest, OverDeepTreeDies) {
+  SensorTreeAggregator tree(0.05, 1);  // provisioned for height 1
+  auto leaves = MakeLeafData(8, 50, 81);
+  EXPECT_DEATH(tree.AggregateComplete(leaves, 2), "deeper than");
+}
+
+}  // namespace
+}  // namespace streamgpu::sketch

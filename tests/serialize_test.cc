@@ -1,0 +1,133 @@
+// Tests for summary serialization (sketch/serialize.h): round trips,
+// framing, and rejection of malformed/corrupted input.
+
+#include "sketch/serialize.h"
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace streamgpu::sketch {
+namespace {
+
+GkSummary MakeSummary(std::size_t n, double eps, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> d(0.0f, 1e4f);
+  std::vector<float> v(n);
+  for (float& x : v) x = d(rng);
+  std::sort(v.begin(), v.end());
+  return GkSummary::FromSorted(v, eps);
+}
+
+TEST(SerializeTest, RoundTripPreservesEverything) {
+  const GkSummary original = MakeSummary(5000, 0.01, 1);
+  std::vector<std::uint8_t> buffer;
+  SerializeGkSummary(original, &buffer);
+  EXPECT_EQ(buffer.size(), GkSummaryWireSize(original.size()));
+
+  std::span<const std::uint8_t> cursor = buffer;
+  GkSummary parsed;
+  ASSERT_TRUE(DeserializeGkSummary(&cursor, &parsed));
+  EXPECT_TRUE(cursor.empty());
+  EXPECT_EQ(parsed.count(), original.count());
+  EXPECT_EQ(parsed.epsilon(), original.epsilon());
+  EXPECT_EQ(parsed.tuples(), original.tuples());
+  for (double phi : {0.1, 0.5, 0.9}) {
+    EXPECT_EQ(parsed.Query(phi), original.Query(phi));
+  }
+}
+
+TEST(SerializeTest, EmptySummaryRoundTrips) {
+  const GkSummary empty;
+  std::vector<std::uint8_t> buffer;
+  SerializeGkSummary(empty, &buffer);
+  std::span<const std::uint8_t> cursor = buffer;
+  GkSummary parsed = MakeSummary(10, 0.1, 2);  // must be overwritten
+  ASSERT_TRUE(DeserializeGkSummary(&cursor, &parsed));
+  EXPECT_TRUE(parsed.empty());
+  EXPECT_EQ(parsed.count(), 0u);
+}
+
+TEST(SerializeTest, SequentialFraming) {
+  const GkSummary a = MakeSummary(100, 0.05, 3);
+  const GkSummary b = MakeSummary(777, 0.01, 4);
+  std::vector<std::uint8_t> buffer;
+  SerializeGkSummary(a, &buffer);
+  SerializeGkSummary(b, &buffer);
+
+  std::span<const std::uint8_t> cursor = buffer;
+  GkSummary pa;
+  GkSummary pb;
+  ASSERT_TRUE(DeserializeGkSummary(&cursor, &pa));
+  ASSERT_TRUE(DeserializeGkSummary(&cursor, &pb));
+  EXPECT_TRUE(cursor.empty());
+  EXPECT_EQ(pa.count(), a.count());
+  EXPECT_EQ(pb.count(), b.count());
+}
+
+TEST(SerializeTest, RejectsBadMagicAndTruncation) {
+  const GkSummary s = MakeSummary(50, 0.1, 5);
+  std::vector<std::uint8_t> buffer;
+  SerializeGkSummary(s, &buffer);
+
+  GkSummary parsed;
+  // Bad magic.
+  {
+    auto corrupted = buffer;
+    corrupted[0] ^= 0xFF;
+    std::span<const std::uint8_t> cursor = corrupted;
+    EXPECT_FALSE(DeserializeGkSummary(&cursor, &parsed));
+  }
+  // Every truncation point fails cleanly.
+  for (std::size_t cut = 0; cut < buffer.size(); cut += 3) {
+    std::span<const std::uint8_t> cursor(buffer.data(), cut);
+    EXPECT_FALSE(DeserializeGkSummary(&cursor, &parsed)) << "cut=" << cut;
+  }
+}
+
+TEST(SerializeTest, RejectsInvariantViolations) {
+  const GkSummary s = MakeSummary(50, 0.1, 6);
+  std::vector<std::uint8_t> buffer;
+  SerializeGkSummary(s, &buffer);
+  // Corrupt a tuple's rmin (first tuple field region after the header).
+  const std::size_t header = 4 + 8 + 8 + 8;
+  GkSummary parsed;
+  auto corrupted = buffer;
+  corrupted[header + sizeof(float)] = 0xFF;  // rmin low byte blown up
+  std::span<const std::uint8_t> cursor = corrupted;
+  EXPECT_FALSE(DeserializeGkSummary(&cursor, &parsed));
+}
+
+TEST(SerializeTest, RejectsHugeLengthField) {
+  std::vector<std::uint8_t> buffer;
+  SerializeGkSummary(MakeSummary(10, 0.1, 7), &buffer);
+  // Blow up the tuple-count field (offset 20..27) to a value the remaining
+  // bytes cannot hold; must fail without allocating.
+  for (std::size_t i = 20; i < 28; ++i) buffer[i] = 0xFF;
+  std::span<const std::uint8_t> cursor = buffer;
+  GkSummary parsed;
+  EXPECT_FALSE(DeserializeGkSummary(&cursor, &parsed));
+}
+
+TEST(FromPartsTest, ValidatesStructure) {
+  GkSummary out;
+  // Valid.
+  EXPECT_TRUE(GkSummary::FromParts({{1.0f, 1, 1}, {2.0f, 2, 3}}, 3, 0.1, &out));
+  EXPECT_EQ(out.count(), 3u);
+  // Descending values.
+  EXPECT_FALSE(GkSummary::FromParts({{2.0f, 1, 1}, {1.0f, 2, 2}}, 2, 0.1, &out));
+  // rmin > rmax.
+  EXPECT_FALSE(GkSummary::FromParts({{1.0f, 3, 2}}, 3, 0.1, &out));
+  // rmax beyond count.
+  EXPECT_FALSE(GkSummary::FromParts({{1.0f, 1, 9}}, 3, 0.1, &out));
+  // Nonempty tuples with zero count / empty with nonzero count.
+  EXPECT_FALSE(GkSummary::FromParts({{1.0f, 1, 1}}, 0, 0.1, &out));
+  EXPECT_FALSE(GkSummary::FromParts({}, 5, 0.1, &out));
+  // Bad epsilon.
+  EXPECT_FALSE(GkSummary::FromParts({{1.0f, 1, 1}}, 1, 1.5, &out));
+}
+
+}  // namespace
+}  // namespace streamgpu::sketch

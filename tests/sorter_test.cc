@@ -1,0 +1,399 @@
+// End-to-end sorter tests: every backend (GPU PBSN, GPU bitonic, CPU
+// quicksort, std::sort) must sort every distribution at every size, and the
+// GPU backends' operation counts must match the paper's analytic claims
+// (§4.5).
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gpu/device.h"
+#include "gpu/half.h"
+#include "hwmodel/hardware_profiles.h"
+#include "sort/bitonic_gpu.h"
+#include "sort/cpu_sort.h"
+#include "sort/merge.h"
+#include "sort/pbsn_gpu.h"
+#include "sort/pbsn_network.h"
+#include "sort/sorter.h"
+
+namespace streamgpu::sort {
+namespace {
+
+enum class BackendKind { kPbsn, kPbsnF16, kPbsnOneChannel, kPbsnNoRowOpt, kBitonic,
+                         kBitonicF16, kQuicksort, kStdSort };
+
+const char* KindName(BackendKind k) {
+  switch (k) {
+    case BackendKind::kPbsn:
+      return "pbsn";
+    case BackendKind::kPbsnF16:
+      return "pbsn_f16";
+    case BackendKind::kPbsnOneChannel:
+      return "pbsn_1ch";
+    case BackendKind::kPbsnNoRowOpt:
+      return "pbsn_norowopt";
+    case BackendKind::kBitonic:
+      return "bitonic";
+    case BackendKind::kBitonicF16:
+      return "bitonic_f16";
+    case BackendKind::kQuicksort:
+      return "quicksort";
+    case BackendKind::kStdSort:
+      return "stdsort";
+  }
+  return "?";
+}
+
+enum class Dist { kRandom, kSorted, kReverse, kFewDistinct, kAllEqual, kWithExtremes };
+
+const char* DistName(Dist d) {
+  switch (d) {
+    case Dist::kRandom:
+      return "random";
+    case Dist::kSorted:
+      return "sorted";
+    case Dist::kReverse:
+      return "reverse";
+    case Dist::kFewDistinct:
+      return "fewdistinct";
+    case Dist::kAllEqual:
+      return "allequal";
+    case Dist::kWithExtremes:
+      return "extremes";
+  }
+  return "?";
+}
+
+std::vector<float> MakeData(Dist dist, std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::vector<float> v(n);
+  switch (dist) {
+    case Dist::kRandom: {
+      std::uniform_real_distribution<float> d(0.0f, 2000.0f);
+      for (float& x : v) x = d(rng);
+      break;
+    }
+    case Dist::kSorted:
+      for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<float>(i);
+      break;
+    case Dist::kReverse:
+      for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<float>(n - i);
+      break;
+    case Dist::kFewDistinct: {
+      std::uniform_int_distribution<int> d(0, 7);
+      for (float& x : v) x = static_cast<float>(d(rng));
+      break;
+    }
+    case Dist::kAllEqual:
+      std::fill(v.begin(), v.end(), 42.0f);
+      break;
+    case Dist::kWithExtremes: {
+      std::uniform_real_distribution<float> d(-1000.0f, 1000.0f);
+      for (float& x : v) x = d(rng);
+      if (n >= 4) {
+        v[0] = -std::numeric_limits<float>::infinity();
+        v[1] = std::numeric_limits<float>::infinity();
+        v[2] = 0.0f;
+        v[3] = -0.0f;
+      }
+      break;
+    }
+  }
+  return v;
+}
+
+struct SorterCase {
+  BackendKind kind;
+  Dist dist;
+  std::size_t n;
+};
+
+class SorterCorrectness : public ::testing::TestWithParam<SorterCase> {
+ protected:
+  // Builds the sorter under test; GPU backends share `device_`.
+  std::unique_ptr<Sorter> MakeSorter(BackendKind kind) {
+    switch (kind) {
+      case BackendKind::kPbsn:
+        return std::make_unique<PbsnGpuSorter>(&device_, hwmodel::kGeForce6800Ultra,
+                                               hwmodel::kPentium4_3400);
+      case BackendKind::kPbsnF16: {
+        PbsnOptions opt;
+        opt.format = gpu::Format::kFloat16;
+        return std::make_unique<PbsnGpuSorter>(&device_, hwmodel::kGeForce6800Ultra,
+                                               hwmodel::kPentium4_3400, opt);
+      }
+      case BackendKind::kPbsnOneChannel: {
+        PbsnOptions opt;
+        opt.use_four_channels = false;
+        return std::make_unique<PbsnGpuSorter>(&device_, hwmodel::kGeForce6800Ultra,
+                                               hwmodel::kPentium4_3400, opt);
+      }
+      case BackendKind::kPbsnNoRowOpt: {
+        PbsnOptions opt;
+        opt.use_row_block_optimization = false;
+        return std::make_unique<PbsnGpuSorter>(&device_, hwmodel::kGeForce6800Ultra,
+                                               hwmodel::kPentium4_3400, opt);
+      }
+      case BackendKind::kBitonic:
+        return std::make_unique<BitonicGpuSorter>(&device_, hwmodel::kGeForce6800Ultra);
+      case BackendKind::kBitonicF16:
+        return std::make_unique<BitonicGpuSorter>(&device_, hwmodel::kGeForce6800Ultra,
+                                                  gpu::Format::kFloat16);
+      case BackendKind::kQuicksort:
+        return std::make_unique<QuicksortSorter>(hwmodel::kPentium4_3400);
+      case BackendKind::kStdSort:
+        return std::make_unique<StdSortSorter>(hwmodel::kPentium4_3400);
+    }
+    return nullptr;
+  }
+
+  gpu::GpuDevice device_;
+};
+
+TEST_P(SorterCorrectness, SortsExactly) {
+  const SorterCase& param = GetParam();
+  auto sorter = MakeSorter(param.kind);
+  std::vector<float> data = MakeData(param.dist, param.n, 1234);
+
+  std::vector<float> expected = data;
+  if (param.kind == BackendKind::kPbsnF16 || param.kind == BackendKind::kBitonicF16) {
+    // The 16-bit pipeline returns the binary16-quantized values.
+    for (float& v : expected) v = gpu::QuantizeToHalf(v);
+  }
+  std::sort(expected.begin(), expected.end());
+
+  sorter->Sort(data);
+  ASSERT_EQ(data, expected);
+  if (param.n >= 2) {
+    EXPECT_GT(sorter->last_run().comparisons, 0u);
+    EXPECT_GT(sorter->last_run().simulated_seconds, 0.0);
+  }
+}
+
+std::vector<SorterCase> AllCases() {
+  std::vector<SorterCase> cases;
+  const BackendKind kinds[] = {BackendKind::kPbsn,       BackendKind::kPbsnF16,
+                               BackendKind::kPbsnOneChannel, BackendKind::kPbsnNoRowOpt,
+                               BackendKind::kBitonic,    BackendKind::kBitonicF16,
+                               BackendKind::kQuicksort,  BackendKind::kStdSort};
+  const Dist dists[] = {Dist::kRandom, Dist::kSorted,   Dist::kReverse,
+                        Dist::kFewDistinct, Dist::kAllEqual, Dist::kWithExtremes};
+  const std::size_t sizes[] = {1, 2, 3, 5, 16, 17, 100, 1000, 4096, 10000};
+  for (BackendKind k : kinds) {
+    for (Dist d : dists) {
+      for (std::size_t n : sizes) cases.push_back({k, d, n});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, SorterCorrectness, ::testing::ValuesIn(AllCases()),
+                         [](const ::testing::TestParamInfo<SorterCase>& info) {
+                           return std::string(KindName(info.param.kind)) + "_" +
+                                  DistName(info.param.dist) + "_n" +
+                                  std::to_string(info.param.n);
+                         });
+
+// --- Batched run sorting (the paper's four-window buffering, §4.1). ---
+
+TEST(SortRunsTest, PbsnSortsIndependentRuns) {
+  gpu::GpuDevice device;
+  PbsnGpuSorter sorter(&device, hwmodel::kGeForce6800Ultra, hwmodel::kPentium4_3400);
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<float> d(0.0f, 100.0f);
+
+  std::vector<std::vector<float>> runs(7);  // deliberately not a multiple of 4
+  std::vector<std::vector<float>> expected(7);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    runs[i].resize(50 + 31 * i);
+    for (float& x : runs[i]) x = d(rng);
+    expected[i] = runs[i];
+    std::sort(expected[i].begin(), expected[i].end());
+  }
+  std::vector<std::span<float>> views(runs.begin(), runs.end());
+  sorter.SortRuns(views);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    ASSERT_EQ(runs[i], expected[i]) << "run " << i;
+  }
+}
+
+TEST(SortRunsTest, DefaultPathSortsRunsOneByOne) {
+  QuicksortSorter sorter(hwmodel::kPentium4_3400);
+  std::vector<std::vector<float>> runs = {{3, 1, 2}, {9, 8}, {5}};
+  std::vector<std::span<float>> views(runs.begin(), runs.end());
+  sorter.SortRuns(views);
+  EXPECT_EQ(runs[0], (std::vector<float>{1, 2, 3}));
+  EXPECT_EQ(runs[1], (std::vector<float>{8, 9}));
+  EXPECT_EQ(runs[2], (std::vector<float>{5}));
+  EXPECT_GT(sorter.last_run().comparisons, 0u);
+}
+
+TEST(SortRunsTest, BatchAccumulatesTiming) {
+  gpu::GpuDevice device;
+  PbsnGpuSorter sorter(&device, hwmodel::kGeForce6800Ultra, hwmodel::kPentium4_3400);
+  std::vector<std::vector<float>> runs(8, std::vector<float>{4, 3, 2, 1});
+  std::vector<std::span<float>> views(runs.begin(), runs.end());
+  sorter.SortRuns(views);
+  const double batched = sorter.last_run().simulated_seconds;
+
+  // Sorting one run must cost less than the 8-run batch.
+  std::vector<float> one{4, 3, 2, 1};
+  std::vector<std::span<float>> single(1, std::span<float>(one));
+  sorter.SortRuns(single);
+  EXPECT_LT(sorter.last_run().simulated_seconds, batched);
+}
+
+// --- §4.5 analytic claims about the GPU PBSN sort. ---
+
+TEST(PbsnAnalysisTest, ComparisonCountMatchesPaperFormula) {
+  // "Our algorithm performs a total of (n + n log^2(n/4)) comparisons to
+  // sort a sequence of length n": n/4 texels per step, log^2(n/4) steps,
+  // 4 scalar comparisons per blended fragment, plus <= 2n merge comparisons
+  // (we bound rather than pin the merge term).
+  gpu::GpuDevice device;
+  PbsnGpuSorter sorter(&device, hwmodel::kGeForce6800Ultra, hwmodel::kPentium4_3400);
+  for (std::size_t n : {1024u, 4096u, 16384u}) {
+    std::vector<float> data = MakeData(Dist::kRandom, n, 42);
+    sorter.Sort(data);
+    const std::uint64_t m = n / 4;
+    const std::uint64_t log_m = CeilLog2(m);
+    const std::uint64_t gpu_comparisons = 4 * m * log_m * log_m;  // n log^2(n/4)
+    EXPECT_EQ(sorter.last_stats().ScalarComparisons(), gpu_comparisons) << n;
+    EXPECT_LE(sorter.last_run().comparisons, gpu_comparisons + 2 * n) << n;
+    EXPECT_GE(sorter.last_run().comparisons, gpu_comparisons + n / 2) << n;
+  }
+}
+
+TEST(PbsnAnalysisTest, PassCountIsLogSquared) {
+  gpu::GpuDevice device;
+  PbsnGpuSorter sorter(&device, hwmodel::kGeForce6800Ultra, hwmodel::kPentium4_3400);
+  std::vector<float> data = MakeData(Dist::kRandom, 4096, 3);
+  sorter.Sort(data);
+  // One framebuffer-to-texture copy per step: log^2(n/4) steps.
+  const std::uint64_t log_m = CeilLog2(4096 / 4);
+  EXPECT_EQ(sorter.last_stats().fb_to_texture_copies, log_m * log_m);
+}
+
+TEST(PbsnAnalysisTest, SingleUploadAndReadback) {
+  // "we stream the data once to the GPU, perform the computation, and
+  // readback" (§4.1): bus bytes equal one texture each way.
+  gpu::GpuDevice device;
+  PbsnGpuSorter sorter(&device, hwmodel::kGeForce6800Ultra, hwmodel::kPentium4_3400);
+  const std::size_t n = 4096;
+  std::vector<float> data = MakeData(Dist::kRandom, n, 4);
+  sorter.Sort(data);
+  const std::uint64_t texture_bytes = n * sizeof(float);  // n/4 texels x 16 B
+  EXPECT_EQ(sorter.last_stats().bytes_uploaded, texture_bytes);
+  EXPECT_EQ(sorter.last_stats().bytes_readback, texture_bytes);
+}
+
+TEST(PbsnAnalysisTest, RowBlockOptimizationOnlyChangesDrawCalls) {
+  gpu::GpuDevice device;
+  PbsnGpuSorter fast(&device, hwmodel::kGeForce6800Ultra, hwmodel::kPentium4_3400);
+  PbsnOptions slow_opt;
+  slow_opt.use_row_block_optimization = false;
+  PbsnGpuSorter slow(&device, hwmodel::kGeForce6800Ultra, hwmodel::kPentium4_3400,
+                     slow_opt);
+
+  std::vector<float> a = MakeData(Dist::kRandom, 4096, 5);
+  std::vector<float> b = a;
+  fast.Sort(a);
+  slow.Sort(b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(fast.last_stats().fragments_shaded, slow.last_stats().fragments_shaded);
+  EXPECT_LT(fast.last_stats().draw_calls, slow.last_stats().draw_calls);
+  EXPECT_LT(fast.last_run().simulated_seconds, slow.last_run().simulated_seconds);
+}
+
+TEST(BitonicAnalysisTest, InstructionCountPerPixel) {
+  // The baseline executes >= 53 instructions per pixel per stage [40]
+  // and log(M)(log(M)+1)/2 stages.
+  gpu::GpuDevice device;
+  BitonicGpuSorter sorter(&device, hwmodel::kGeForce6800Ultra);
+  const std::size_t n = 1024;
+  std::vector<float> data = MakeData(Dist::kRandom, n, 6);
+  sorter.Sort(data);
+  const std::uint64_t stages = 10 * 11 / 2;  // log2(1024) = 10
+  EXPECT_EQ(sorter.last_stats().program_fragments, n * stages);
+  EXPECT_EQ(sorter.last_stats().program_instructions, n * stages * 53u);
+}
+
+TEST(GpuVsGpuTest, PbsnIsMuchFasterThanBitonicSimulated) {
+  // §4.5: "nearly an order of magnitude faster than prior GPU-based bitonic
+  // sort implementations".
+  gpu::GpuDevice device;
+  PbsnOptions opt;
+  opt.format = gpu::Format::kFloat16;
+  PbsnGpuSorter pbsn(&device, hwmodel::kGeForce6800Ultra, hwmodel::kPentium4_3400, opt);
+  BitonicGpuSorter bitonic(&device, hwmodel::kGeForce6800Ultra);
+
+  const std::size_t n = 262144;
+  std::vector<float> a = MakeData(Dist::kRandom, n, 7);
+  std::vector<float> b = a;
+  pbsn.Sort(a);
+  bitonic.Sort(b);
+  EXPECT_GT(bitonic.last_run().simulated_seconds,
+            6.0 * pbsn.last_run().simulated_seconds);
+}
+
+TEST(LargeInputTest, PbsnSortsTwoMillion) {
+  // One big-input pass through the full pipeline (texture 1024x512 per
+  // channel, 19^2 = 361 network steps): catches any capacity/indexing issue
+  // the small parameterized cases cannot.
+  gpu::GpuDevice device;
+  PbsnOptions opt;
+  opt.format = gpu::Format::kFloat16;
+  PbsnGpuSorter sorter(&device, hwmodel::kGeForce6800Ultra, hwmodel::kPentium4_3400,
+                       opt);
+  std::vector<float> data = MakeData(Dist::kRandom, 1 << 21, 77);
+  std::vector<float> expected = data;
+  for (float& v : expected) v = gpu::QuantizeToHalf(v);
+  std::sort(expected.begin(), expected.end());
+  sorter.Sort(data);
+  ASSERT_EQ(data, expected);
+  // Comparisons follow the analytic formula at this scale too.
+  const std::uint64_t log_m = CeilLog2((1u << 21) / 4);
+  EXPECT_EQ(sorter.last_stats().ScalarComparisons(), (1u << 21) * log_m * log_m);
+}
+
+// --- CPU quicksort internals. ---
+
+TEST(QuicksortTest, ComparisonCountIsNearNLogN) {
+  std::vector<float> data = MakeData(Dist::kRandom, 100000, 8);
+  CpuSortCounters counters;
+  QuicksortInstrumented(data, &counters);
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+  const double n = 100000;
+  const double nlogn = n * std::log2(n);
+  EXPECT_GT(static_cast<double>(counters.comparisons), nlogn);
+  EXPECT_LT(static_cast<double>(counters.comparisons), 3.0 * nlogn);
+}
+
+TEST(QuicksortTest, HandlesManyDuplicates) {
+  std::vector<float> data = MakeData(Dist::kFewDistinct, 50000, 9);
+  CpuSortCounters counters;
+  QuicksortInstrumented(data, &counters);
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+  // Must not degrade to quadratic on duplicates (Hoare partitioning splits
+  // equal runs evenly).
+  const double nlogn = 50000.0 * std::log2(50000.0);
+  EXPECT_LT(static_cast<double>(counters.comparisons), 4.0 * nlogn);
+}
+
+TEST(QuicksortTest, SortedInputIsNotQuadratic) {
+  std::vector<float> data = MakeData(Dist::kSorted, 50000, 10);
+  CpuSortCounters counters;
+  QuicksortInstrumented(data, &counters);
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+  const double nlogn = 50000.0 * std::log2(50000.0);
+  EXPECT_LT(static_cast<double>(counters.comparisons), 4.0 * nlogn);
+}
+
+}  // namespace
+}  // namespace streamgpu::sort

@@ -1,0 +1,219 @@
+// streamgpu command-line tool: run quantile / frequency estimation or the
+// sorting backends over a generated stream or a file of values, from the
+// shell.
+//
+// Usage:
+//   streamgpu_cli quantiles   [options] --phi 0.5,0.9,0.99
+//   streamgpu_cli frequencies [options] --support 0.01
+//   streamgpu_cli sort        [options]
+//
+// Common options:
+//   --input PATH           read float values (text, one per line) from PATH
+//   --generate DIST        synthesize the stream: uniform | zipf | sorted |
+//                          network | finance   (default zipf)
+//   --n COUNT              generated stream length       (default 1000000)
+//   --seed SEED            generator seed                (default 1)
+//   --epsilon EPS          approximation parameter       (default 0.001)
+//   --backend NAME         gpu | bitonic | cpu | stdsort (default gpu)
+//   --sliding W            sliding-window width          (default off)
+//
+// Examples:
+//   streamgpu_cli quantiles --generate finance --n 500000 --phi 0.5,0.99
+//   streamgpu_cli frequencies --generate zipf --support 0.02 --backend cpu
+//   streamgpu_cli sort --n 262144 --backend gpu
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/frequency_estimator.h"
+#include "core/quantile_estimator.h"
+#include "stream/generator.h"
+
+namespace {
+
+using namespace streamgpu;
+
+struct CliOptions {
+  std::string command;
+  std::string input_path;
+  std::string distribution = "zipf";
+  std::size_t n = 1'000'000;
+  std::uint64_t seed = 1;
+  double epsilon = 0.001;
+  std::string backend = "gpu";
+  std::uint64_t sliding = 0;
+  std::vector<double> phis = {0.25, 0.5, 0.75, 0.9, 0.99};
+  double support = 0.01;
+};
+
+[[noreturn]] void Usage(const char* error) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage: streamgpu_cli <quantiles|frequencies|sort> [options]\n"
+               "  --input PATH | --generate uniform|zipf|sorted|network|finance\n"
+               "  --n COUNT --seed SEED --epsilon EPS\n"
+               "  --backend gpu|bitonic|cpu|stdsort --sliding W\n"
+               "  --phi P1,P2,...    (quantiles)\n"
+               "  --support S        (frequencies)\n");
+  std::exit(2);
+}
+
+std::vector<double> ParseDoubleList(const std::string& raw) {
+  std::vector<double> out;
+  std::size_t start = 0;
+  while (start < raw.size()) {
+    std::size_t end = raw.find(',', start);
+    if (end == std::string::npos) end = raw.size();
+    out.push_back(std::strtod(raw.substr(start, end - start).c_str(), nullptr));
+    start = end + 1;
+  }
+  return out;
+}
+
+CliOptions ParseArgs(int argc, char** argv) {
+  if (argc < 2) Usage("missing command");
+  CliOptions opt;
+  opt.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) Usage(("missing value for " + flag).c_str());
+      return argv[++i];
+    };
+    if (flag == "--input") {
+      opt.input_path = next();
+    } else if (flag == "--generate") {
+      opt.distribution = next();
+    } else if (flag == "--n") {
+      opt.n = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (flag == "--seed") {
+      opt.seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (flag == "--epsilon") {
+      opt.epsilon = std::strtod(next().c_str(), nullptr);
+    } else if (flag == "--backend") {
+      opt.backend = next();
+    } else if (flag == "--sliding") {
+      opt.sliding = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (flag == "--phi") {
+      opt.phis = ParseDoubleList(next());
+    } else if (flag == "--support") {
+      opt.support = std::strtod(next().c_str(), nullptr);
+    } else if (flag == "--help" || flag == "-h") {
+      Usage(nullptr);
+    } else {
+      Usage(("unknown flag " + flag).c_str());
+    }
+  }
+  return opt;
+}
+
+core::Backend ParseBackend(const std::string& name) {
+  if (name == "gpu") return core::Backend::kGpuPbsn;
+  if (name == "bitonic") return core::Backend::kGpuBitonic;
+  if (name == "cpu") return core::Backend::kCpuQuicksort;
+  if (name == "stdsort") return core::Backend::kCpuStdSort;
+  Usage(("unknown backend " + name).c_str());
+}
+
+stream::Distribution ParseDistribution(const std::string& name) {
+  if (name == "uniform") return stream::Distribution::kUniform;
+  if (name == "zipf") return stream::Distribution::kZipf;
+  if (name == "sorted") return stream::Distribution::kSorted;
+  if (name == "network") return stream::Distribution::kNetworkFlows;
+  if (name == "finance") return stream::Distribution::kFinanceTicks;
+  Usage(("unknown distribution " + name).c_str());
+}
+
+std::vector<float> LoadStream(const CliOptions& opt) {
+  if (!opt.input_path.empty()) {
+    std::ifstream in(opt.input_path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open %s\n", opt.input_path.c_str());
+      std::exit(1);
+    }
+    std::vector<float> values;
+    float v = 0;
+    while (in >> v) values.push_back(v);
+    if (values.empty()) {
+      std::fprintf(stderr, "error: no values in %s\n", opt.input_path.c_str());
+      std::exit(1);
+    }
+    return values;
+  }
+  stream::StreamGenerator gen(
+      {.distribution = ParseDistribution(opt.distribution), .seed = opt.seed});
+  return gen.Take(opt.n);
+}
+
+core::Options MakeCoreOptions(const CliOptions& opt) {
+  core::Options core_opt;
+  core_opt.epsilon = opt.epsilon;
+  core_opt.backend = ParseBackend(opt.backend);
+  core_opt.sliding_window = opt.sliding;
+  return core_opt;
+}
+
+int RunQuantiles(const CliOptions& opt) {
+  const auto stream = LoadStream(opt);
+  core::QuantileEstimator qe(MakeCoreOptions(opt));
+  Timer timer;
+  qe.ObserveBatch(stream);
+  qe.Flush();
+  std::printf("# %zu values, epsilon %g, backend %s%s\n", stream.size(), opt.epsilon,
+              opt.backend.c_str(), opt.sliding != 0 ? " (sliding)" : "");
+  for (double phi : opt.phis) {
+    if (phi <= 0.0 || phi > 1.0) continue;
+    std::printf("q%-8g %g\n", phi, qe.Quantile(phi));
+  }
+  std::printf("# summary: %zu tuples; simulated-2005 %.1f ms; wall %.2f s\n",
+              qe.summary_size(), qe.SimulatedSeconds() * 1e3, timer.ElapsedSeconds());
+  return 0;
+}
+
+int RunFrequencies(const CliOptions& opt) {
+  const auto stream = LoadStream(opt);
+  core::FrequencyEstimator fe(MakeCoreOptions(opt));
+  Timer timer;
+  fe.ObserveBatch(stream);
+  fe.Flush();
+  std::printf("# %zu values, epsilon %g, support %g, backend %s%s\n", stream.size(),
+              opt.epsilon, opt.support, opt.backend.c_str(),
+              opt.sliding != 0 ? " (sliding)" : "");
+  for (const auto& [value, count] : fe.HeavyHitters(opt.support)) {
+    std::printf("%-12g >= %llu\n", value, static_cast<unsigned long long>(count));
+  }
+  std::printf("# summary: %zu entries; simulated-2005 %.1f ms; wall %.2f s\n",
+              fe.summary_size(), fe.SimulatedSeconds() * 1e3, timer.ElapsedSeconds());
+  return 0;
+}
+
+int RunSort(const CliOptions& opt) {
+  auto stream = LoadStream(opt);
+  core::SortEngine engine(MakeCoreOptions(opt));
+  Timer timer;
+  engine.sorter().Sort(stream);
+  const auto& run = engine.sorter().last_run();
+  std::printf("sorted %zu values with %s\n", stream.size(), engine.sorter().name());
+  std::printf("  comparisons      : %llu\n",
+              static_cast<unsigned long long>(run.comparisons));
+  std::printf("  simulated-2005   : %.2f ms (device %.2f, transfer %.2f, merge %.2f)\n",
+              run.simulated_seconds * 1e3, run.sim_device_seconds * 1e3,
+              run.sim_transfer_seconds * 1e3, run.sim_merge_seconds * 1e3);
+  std::printf("  simulator wall   : %.2f s\n", timer.ElapsedSeconds());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions opt = ParseArgs(argc, argv);
+  if (opt.command == "quantiles") return RunQuantiles(opt);
+  if (opt.command == "frequencies") return RunFrequencies(opt);
+  if (opt.command == "sort") return RunSort(opt);
+  Usage(("unknown command " + opt.command).c_str());
+}
