@@ -1,0 +1,85 @@
+// Pipeline scaling: wall-clock throughput of the parallel multi-window
+// ingest pipeline vs worker count, per backend.
+//
+// This is a host-performance benchmark, not a figure reproduction: the
+// simulated-2005 milliseconds are printed only to show they stay identical
+// across worker counts (the pipeline changes wall-clock, never simulated
+// time — see docs/COST_MODEL.md). On a multi-core host the CPU-sort backend
+// should reach >= 1.5x at 4 workers; on fewer cores the speedup degrades to
+// whatever the hardware can overlap, and the queue-wait columns show where
+// the time went (see docs/ARCHITECTURE.md, "Execution modes").
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "core/frequency_estimator.h"
+#include "stream/generator.h"
+
+namespace {
+
+using namespace streamgpu;
+
+struct Result {
+  double wall_seconds = 0;
+  double simulated_ms = 0;
+  core::PipelineCosts costs;
+};
+
+Result RunOnce(core::Backend backend, int workers, std::size_t n) {
+  stream::StreamGenerator gen({.distribution = stream::Distribution::kZipf,
+                               .seed = 42,
+                               .domain_size = 5000});
+  core::Options opt;
+  opt.epsilon = 1.0 / 16384.0;  // 16K windows: large enough to be sort-bound
+  opt.backend = backend;
+  opt.num_sort_workers = workers;
+  core::FrequencyEstimator fe(opt);
+
+  const std::vector<float> data = gen.Take(n);
+  Timer timer;
+  fe.ObserveBatch(data);
+  fe.Flush();
+  Result r;
+  r.wall_seconds = timer.ElapsedSeconds();
+  r.simulated_ms = fe.SimulatedSeconds() * 1e3;
+  r.costs = fe.costs();
+  return r;
+}
+
+void RunBackend(core::Backend backend, std::size_t n) {
+  std::printf("\nbackend %s, %zu elements, window 16384\n",
+              core::BackendName(backend), n);
+  std::printf("%8s | %9s %8s | %12s | %9s %9s %9s\n", "workers", "wall(s)",
+              "speedup", "sim-2005(ms)", "stall(s)", "sortQ(s)", "drainQ(s)");
+
+  double serial_wall = 0;
+  for (int workers : {1, 2, 4, 8}) {
+    const Result r = RunOnce(backend, workers, n);
+    if (workers == 1) serial_wall = r.wall_seconds;
+    std::printf("%8d | %9.3f %7.2fx | %12.1f | %9.3f %9.3f %9.3f\n", workers,
+                r.wall_seconds, serial_wall / r.wall_seconds, r.simulated_ms,
+                r.costs.ingest_stall_seconds, r.costs.sort_queue_wait_seconds,
+                r.costs.drain_queue_wait_seconds);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Pipeline scaling: serial vs parallel multi-window ingest",
+      "sorting overlaps summary maintenance; simulated time is unchanged");
+  std::printf("host hardware threads: %u\n", std::thread::hardware_concurrency());
+
+  const std::size_t n = bench::Scaled(1 << 22);  // 4M elements
+  RunBackend(core::Backend::kCpuStdSort, n);
+  RunBackend(core::Backend::kCpuQuicksort, n);
+  // The simulated-GPU backend is much slower in host wall-clock (it executes
+  // the rasterizer in software), so run it at reduced size.
+  RunBackend(core::Backend::kGpuPbsn, n / 16);
+  std::printf("\n");
+  return 0;
+}

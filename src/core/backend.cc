@@ -34,4 +34,28 @@ SortEngine::SortEngine(const Options& options) {
   STREAMGPU_CHECK(sorter_ != nullptr);
 }
 
+std::vector<std::unique_ptr<SortEngine>> MakeWorkerEngines(const Options& options,
+                                                           int count) {
+  STREAMGPU_CHECK_MSG(count >= 1, "worker count must be >= 1");
+  std::vector<std::unique_ptr<SortEngine>> engines;
+  engines.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    engines.push_back(std::make_unique<SortEngine>(options));
+  }
+  return engines;
+}
+
+stream::PipelineConfig MakePipelineConfig(const Options& options,
+                                          std::uint64_t window_size,
+                                          int batch_windows) {
+  stream::PipelineConfig config;
+  config.window_size = window_size;
+  if (options.max_windows_in_flight > 0) {
+    config.max_batches_in_flight =
+        (options.max_windows_in_flight + batch_windows - 1) / batch_windows;
+    if (config.max_batches_in_flight < 1) config.max_batches_in_flight = 1;
+  }
+  return config;
+}
+
 }  // namespace streamgpu::core

@@ -4,11 +4,14 @@
 #ifndef STREAMGPU_CORE_BACKEND_H_
 #define STREAMGPU_CORE_BACKEND_H_
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "core/options.h"
 #include "gpu/device.h"
 #include "sort/sorter.h"
+#include "stream/pipeline.h"
 
 namespace streamgpu::core {
 
@@ -28,6 +31,7 @@ class SortEngine {
 
   /// The simulated device (GPU backends only; nullptr otherwise).
   gpu::GpuDevice* device() { return device_.get(); }
+  const gpu::GpuDevice* device() const { return device_.get(); }
 
   /// Number of windows worth buffering per sort batch: four for the PBSN
   /// backend (one per RGBA channel, §4.1), one otherwise.
@@ -38,6 +42,19 @@ class SortEngine {
   std::unique_ptr<sort::Sorter> sorter_;
   int batch_windows_ = 1;
 };
+
+/// Builds one SortEngine per pipeline sort worker. Every worker gets its own
+/// engine — and therefore, on the GPU backends, its own simulated device —
+/// so GpuStats accounting never races across threads.
+std::vector<std::unique_ptr<SortEngine>> MakeWorkerEngines(const Options& options,
+                                                           int count);
+
+/// Pipeline configuration derived from the estimator options:
+/// Options::max_windows_in_flight (a window count) is rounded up to whole
+/// sort batches of `batch_windows` windows; 0 keeps the pipeline default.
+stream::PipelineConfig MakePipelineConfig(const Options& options,
+                                          std::uint64_t window_size,
+                                          int batch_windows);
 
 }  // namespace streamgpu::core
 

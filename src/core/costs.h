@@ -1,6 +1,15 @@
 // Per-operation cost accounting for a whole estimator pipeline: the
 // sort / merge / compress split that Fig. 6 reports, in both host wall-clock
 // and simulated 2005-hardware time.
+//
+// Two clocks coexist here — docs/COST_MODEL.md explains the split in full:
+// * `*_wall_seconds` fields time the simulator itself on the host and depend
+//   on load, worker count, and machine. They never feed the simulated model.
+// * Operation counts (`histogram_elements`, `merged_entries`, ...) are exact
+//   and deterministic; the Simulated*Seconds() helpers convert them into
+//   2005-testbed time via hwmodel. Pipelined execution (Options::
+//   num_sort_workers >= 2) changes the wall-clock fields but leaves every
+//   count — and therefore every simulated figure — bit-identical to serial.
 
 #ifndef STREAMGPU_CORE_COSTS_H_
 #define STREAMGPU_CORE_COSTS_H_
@@ -28,6 +37,16 @@ struct PipelineCosts {
   std::uint64_t histogram_elements = 0;
   std::uint64_t merged_entries = 0;
   std::uint64_t compressed_entries = 0;
+
+  /// Wall-clock overlap accounting of the parallel ingest pipeline (zero in
+  /// serial mode). Mirrors stream::PipelineWaitStats; host wall-clock only,
+  /// never part of the simulated totals.
+  double ingest_stall_seconds = 0;       ///< Observe() blocked on backpressure
+  double sort_queue_wait_seconds = 0;    ///< batches waited for a free worker
+  double drain_queue_wait_seconds = 0;   ///< sorted batches waited for in-order drain
+  double sort_wall_seconds = 0;          ///< summed worker time inside SortRuns
+  double drain_wall_seconds = 0;         ///< summary-thread time merging windows
+  std::uint64_t pipelined_batches = 0;   ///< batches that went through the pipeline
 
   /// Simulated P4 time of the histogram scan (linear pass over each sorted
   /// window).

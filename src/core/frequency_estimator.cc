@@ -1,5 +1,6 @@
 #include "core/frequency_estimator.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -16,6 +17,8 @@ namespace {
 const Options& ValidatedOptions(const Options& options) {
   STREAMGPU_CHECK_MSG(options.epsilon > 0.0 && options.epsilon < 1.0,
                       "epsilon must be in (0, 1)");
+  STREAMGPU_CHECK_MSG(options.num_sort_workers <= 1024,
+                      "num_sort_workers is unreasonably large");
   return options;
 }
 
@@ -48,6 +51,18 @@ FrequencyEstimator::FrequencyEstimator(const Options& options)
     STREAMGPU_CHECK_MSG(batcher_.window_size() <= whole_->window_width(),
                         "window_size must not exceed ceil(1/epsilon)");
   }
+  if (options.num_sort_workers >= 2) {
+    worker_engines_ = MakeWorkerEngines(options, options.num_sort_workers);
+    std::vector<sort::Sorter*> sorters;
+    sorters.reserve(worker_engines_.size());
+    for (auto& engine : worker_engines_) sorters.push_back(&engine->sorter());
+    pipeline_ = std::make_unique<stream::SortPipeline>(
+        MakePipelineConfig(options, batcher_.window_size(), engine_.batch_windows()),
+        std::move(sorters),
+        [this](std::vector<float>&& data, const sort::SortRunInfo& run) {
+          DrainSortedBatch(std::move(data), run);
+        });
+  }
 }
 
 void FrequencyEstimator::Observe(float value) {
@@ -57,7 +72,13 @@ void FrequencyEstimator::Observe(float value) {
     // quantizes on ingestion so summaries and queries agree bit-exactly.
     value = gpu::QuantizeToHalf(value);
   }
-  if (batcher_.Push(value)) ProcessBuffered();
+  if (batcher_.Push(value)) {
+    if (pipeline_ != nullptr) {
+      pipeline_->Submit(batcher_.TakeBuffer());
+    } else {
+      ProcessBuffered();
+    }
+  }
 }
 
 void FrequencyEstimator::ObserveBatch(std::span<const float> values) {
@@ -65,6 +86,11 @@ void FrequencyEstimator::ObserveBatch(std::span<const float> values) {
 }
 
 void FrequencyEstimator::Flush() {
+  if (pipeline_ != nullptr) {
+    if (!batcher_.empty()) pipeline_->Submit(batcher_.TakeBuffer());
+    Sync();
+    return;
+  }
   if (!batcher_.empty()) ProcessBuffered();
 }
 
@@ -76,29 +102,58 @@ void FrequencyEstimator::ProcessBuffered() {
   engine_.sorter().SortRuns(windows);
   costs_.sort += engine_.sorter().last_run();
 
-  for (std::span<float> window : windows) {
-    Timer hist_timer;
-    const std::vector<sketch::HistogramEntry> histogram = sketch::BuildHistogram(window);
-    costs_.histogram_wall_seconds += hist_timer.ElapsedSeconds();
-    costs_.histogram_elements += window.size();
-
-    if (whole_.has_value()) {
-      whole_->AddWindowHistogram(histogram, window.size());
-    } else {
-      sliding_->AddBlockHistogram(histogram, window.size());
-    }
-    processed_ += window.size();
-  }
+  for (std::span<float> window : windows) MergeSortedWindow(window);
   batcher_.Clear();
+}
+
+void FrequencyEstimator::DrainSortedBatch(std::vector<float>&& data,
+                                          const sort::SortRunInfo& run) {
+  // Runs on the pipeline's summary thread, in submission order — the same
+  // accumulation order as serial execution, so the cost record (including
+  // the floating-point simulated-seconds sums) stays bit-identical.
+  costs_.sort += run;
+  const std::uint64_t window_size = batcher_.window_size();
+  for (std::size_t off = 0; off < data.size(); off += window_size) {
+    const std::size_t len = std::min<std::size_t>(window_size, data.size() - off);
+    MergeSortedWindow(std::span<float>(data.data() + off, len));
+  }
+}
+
+void FrequencyEstimator::MergeSortedWindow(std::span<float> window) {
+  Timer hist_timer;
+  const std::vector<sketch::HistogramEntry> histogram = sketch::BuildHistogram(window);
+  costs_.histogram_wall_seconds += hist_timer.ElapsedSeconds();
+  costs_.histogram_elements += window.size();
+
+  if (whole_.has_value()) {
+    whole_->AddWindowHistogram(histogram, window.size());
+  } else {
+    sliding_->AddBlockHistogram(histogram, window.size());
+  }
+  processed_ += window.size();
+}
+
+void FrequencyEstimator::Sync() const {
+  if (pipeline_ == nullptr) return;
+  pipeline_->WaitIdle();
+  const stream::PipelineWaitStats stats = pipeline_->stats();
+  costs_.ingest_stall_seconds = stats.ingest_stall_seconds;
+  costs_.sort_queue_wait_seconds = stats.sort_queue_wait_seconds;
+  costs_.drain_queue_wait_seconds = stats.drain_queue_wait_seconds;
+  costs_.sort_wall_seconds = stats.sort_wall_seconds;
+  costs_.drain_wall_seconds = stats.drain_wall_seconds;
+  costs_.pipelined_batches = stats.batches;
 }
 
 std::vector<std::pair<float, std::uint64_t>> FrequencyEstimator::HeavyHitters(
     double support, std::uint64_t window) const {
+  Sync();
   if (whole_.has_value()) return whole_->HeavyHitters(support);
   return sliding_->HeavyHitters(support, window);
 }
 
 std::uint64_t FrequencyEstimator::EstimateCount(float value, std::uint64_t window) const {
+  Sync();
   if (engine_.is_gpu() && options_.gpu_format == gpu::Format::kFloat16) {
     // Queries live in the same quantized value universe as ingestion.
     value = gpu::QuantizeToHalf(value);
@@ -109,6 +164,7 @@ std::uint64_t FrequencyEstimator::EstimateCount(float value, std::uint64_t windo
 
 std::vector<std::pair<float, std::uint64_t>> FrequencyEstimator::TopK(
     std::size_t k, std::uint64_t window) const {
+  Sync();
   // HeavyHitters at support 0 returns every retained entry, sorted by
   // descending estimate; truncate to k.
   auto all = whole_.has_value() ? whole_->HeavyHitters(0.0)
@@ -117,13 +173,31 @@ std::vector<std::pair<float, std::uint64_t>> FrequencyEstimator::TopK(
   return all;
 }
 
-std::uint64_t FrequencyEstimator::processed_length() const { return processed_; }
+std::uint64_t FrequencyEstimator::processed_length() const {
+  Sync();
+  return processed_;
+}
 
 std::size_t FrequencyEstimator::summary_size() const {
+  Sync();
   return whole_.has_value() ? whole_->summary_size() : sliding_->summary_size();
 }
 
+gpu::GpuStats FrequencyEstimator::device_stats() const {
+  Sync();
+  gpu::GpuStats total;
+  if (pipeline_ != nullptr) {
+    for (const auto& engine : worker_engines_) {
+      if (engine->device() != nullptr) total += engine->device()->stats();
+    }
+  } else if (engine_.device() != nullptr) {
+    total += engine_.device()->stats();
+  }
+  return total;
+}
+
 const PipelineCosts& FrequencyEstimator::costs() const {
+  Sync();
   if (whole_.has_value()) {
     // The Manku-Motwani summary tracks its own merge/compress costs;
     // mirror them into the pipeline record.

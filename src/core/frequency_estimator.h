@@ -8,6 +8,7 @@
 #define STREAMGPU_CORE_FREQUENCY_ESTIMATOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -15,8 +16,10 @@
 #include "core/backend.h"
 #include "core/costs.h"
 #include "core/options.h"
+#include "gpu/stats.h"
 #include "sketch/lossy_counting.h"
 #include "sketch/sliding_window.h"
+#include "stream/pipeline.h"
 #include "stream/window_buffer.h"
 
 namespace streamgpu::core {
@@ -36,6 +39,13 @@ namespace streamgpu::core {
 /// next batch boundary or Flush(). Flush() finalizes a partial window and is
 /// intended for end-of-stream (whole-history mode's error guarantee assumes
 /// full windows in the interior of the stream).
+///
+/// With Options::num_sort_workers >= 2 ingestion runs through the parallel
+/// pipeline (stream::SortPipeline): window-batches are sorted concurrently
+/// and drained into the summary in order on a dedicated thread. Queries
+/// first wait for every in-flight batch, so answers — and all simulated-2005
+/// cost figures — are identical to serial execution. Observe()/Flush() and
+/// queries must come from one thread (the same contract as serial mode).
 class FrequencyEstimator {
  public:
   explicit FrequencyEstimator(const Options& options);
@@ -80,13 +90,31 @@ class FrequencyEstimator {
   /// Simulated end-to-end 2005-hardware seconds for everything processed.
   double SimulatedSeconds() const;
 
+  /// Aggregated simulated-device counters (summed across pipeline workers;
+  /// all-zero for the CPU backends).
+  gpu::GpuStats device_stats() const;
+
   const Options& options() const { return options_; }
   bool sliding() const { return sliding_.has_value(); }
+  bool pipelined() const { return pipeline_ != nullptr; }
 
  private:
-  /// Sorts the buffered windows with the backend and merges each into the
-  /// summary.
+  /// Serial path: sorts the buffered windows with the backend and merges
+  /// each into the summary.
   void ProcessBuffered();
+
+  /// Pipelined path: consumes one sorted batch on the summary thread, in
+  /// submission order.
+  void DrainSortedBatch(std::vector<float>&& data, const sort::SortRunInfo& run);
+
+  /// Reduces one sorted window to a histogram and merges it into the
+  /// summary (shared by both paths; runs on the summary thread when
+  /// pipelined).
+  void MergeSortedWindow(std::span<float> window);
+
+  /// Pipelined mode: waits for in-flight batches and refreshes the pipeline
+  /// wait-stats in costs_. No-op in serial mode.
+  void Sync() const;
 
   Options options_;
   SortEngine engine_;
@@ -97,6 +125,12 @@ class FrequencyEstimator {
   mutable PipelineCosts costs_;
   std::uint64_t observed_ = 0;
   std::uint64_t processed_ = 0;
+
+  /// Pipelined mode only: one engine per sort worker, and the pipeline
+  /// driving them. Declared last so threads stop before members they
+  /// reference are destroyed.
+  std::vector<std::unique_ptr<SortEngine>> worker_engines_;
+  std::unique_ptr<stream::SortPipeline> pipeline_;
 };
 
 }  // namespace streamgpu::core

@@ -60,6 +60,21 @@ struct Options {
   /// A-priori stream length N for the whole-history quantile structure
   /// (§5.2 assumes N known). 0 = provision generously (2^32 windows).
   std::uint64_t expected_stream_length = 0;
+
+  /// Sort-worker threads per estimator. 1 = serial execution on the caller
+  /// thread (the seed behavior). >= 2 enables the parallel ingest pipeline:
+  /// workers sort window-batches concurrently (each owning its own backend
+  /// instance / simulated device) while a single summary thread drains the
+  /// sorted windows in submission order, so query answers and simulated-2005
+  /// cost accounting are bit-identical to serial mode (see
+  /// docs/ARCHITECTURE.md, "Execution modes").
+  int num_sort_workers = 1;
+
+  /// Backpressure cap for the pipelined mode: the maximum number of windows
+  /// buffered inside the pipeline (rounded up to whole sort batches) before
+  /// Observe() blocks. 0 = (num_sort_workers + 2) batches. Ignored in serial
+  /// mode.
+  int max_windows_in_flight = 0;
 };
 
 }  // namespace streamgpu::core

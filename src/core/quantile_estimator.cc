@@ -1,5 +1,6 @@
 #include "core/quantile_estimator.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -15,6 +16,8 @@ namespace {
 const Options& ValidatedOptions(const Options& options) {
   STREAMGPU_CHECK_MSG(options.epsilon > 0.0 && options.epsilon < 1.0,
                       "epsilon must be in (0, 1)");
+  STREAMGPU_CHECK_MSG(options.num_sort_workers <= 1024,
+                      "num_sort_workers is unreasonably large");
   return options;
 }
 
@@ -51,6 +54,18 @@ QuantileEstimator::QuantileEstimator(const Options& options)
     whole_.emplace(options.epsilon, batcher_.window_size(),
                    ExpectedLength(options, batcher_.window_size()));
   }
+  if (options.num_sort_workers >= 2) {
+    worker_engines_ = MakeWorkerEngines(options, options.num_sort_workers);
+    std::vector<sort::Sorter*> sorters;
+    sorters.reserve(worker_engines_.size());
+    for (auto& engine : worker_engines_) sorters.push_back(&engine->sorter());
+    pipeline_ = std::make_unique<stream::SortPipeline>(
+        MakePipelineConfig(options, batcher_.window_size(), engine_.batch_windows()),
+        std::move(sorters),
+        [this](std::vector<float>&& data, const sort::SortRunInfo& run) {
+          DrainSortedBatch(std::move(data), run);
+        });
+  }
 }
 
 void QuantileEstimator::Observe(float value) {
@@ -58,7 +73,13 @@ void QuantileEstimator::Observe(float value) {
   if (engine_.is_gpu() && options_.gpu_format == gpu::Format::kFloat16) {
     value = gpu::QuantizeToHalf(value);
   }
-  if (batcher_.Push(value)) ProcessBuffered();
+  if (batcher_.Push(value)) {
+    if (pipeline_ != nullptr) {
+      pipeline_->Submit(batcher_.TakeBuffer());
+    } else {
+      ProcessBuffered();
+    }
+  }
 }
 
 void QuantileEstimator::ObserveBatch(std::span<const float> values) {
@@ -66,6 +87,11 @@ void QuantileEstimator::ObserveBatch(std::span<const float> values) {
 }
 
 void QuantileEstimator::Flush() {
+  if (pipeline_ != nullptr) {
+    if (!batcher_.empty()) pipeline_->Submit(batcher_.TakeBuffer());
+    Sync();
+    return;
+  }
   if (!batcher_.empty()) ProcessBuffered();
 }
 
@@ -75,36 +101,79 @@ void QuantileEstimator::ProcessBuffered() {
   engine_.sorter().SortRuns(windows);
   costs_.sort += engine_.sorter().last_run();
 
-  for (std::span<float> window : windows) {
-    // Rank-sample the sorted window into an (epsilon/2)-approximate summary
-    // (the "histogram subset" of §3.2's quantile path).
-    Timer hist_timer;
-    const double target = whole_.has_value() ? options_.epsilon / 2.0
-                                             : sliding_->block_epsilon();
-    sketch::GkSummary summary = sketch::GkSummary::FromSorted(window, target);
-    costs_.histogram_wall_seconds += hist_timer.ElapsedSeconds();
-    costs_.histogram_elements += window.size();
-
-    if (whole_.has_value()) {
-      whole_->AddWindowSummary(std::move(summary));
-    } else {
-      sliding_->AddBlockSummary(std::move(summary));
-    }
-    processed_ += window.size();
-  }
+  for (std::span<float> window : windows) MergeSortedWindow(window);
   batcher_.Clear();
 }
 
+void QuantileEstimator::DrainSortedBatch(std::vector<float>&& data,
+                                         const sort::SortRunInfo& run) {
+  // Runs on the pipeline's summary thread, in submission order — the same
+  // accumulation order as serial execution, so the cost record (including
+  // the floating-point simulated-seconds sums) stays bit-identical.
+  costs_.sort += run;
+  const std::uint64_t window_size = batcher_.window_size();
+  for (std::size_t off = 0; off < data.size(); off += window_size) {
+    const std::size_t len = std::min<std::size_t>(window_size, data.size() - off);
+    MergeSortedWindow(std::span<float>(data.data() + off, len));
+  }
+}
+
+void QuantileEstimator::MergeSortedWindow(std::span<float> window) {
+  // Rank-sample the sorted window into an (epsilon/2)-approximate summary
+  // (the "histogram subset" of §3.2's quantile path).
+  Timer hist_timer;
+  const double target = whole_.has_value() ? options_.epsilon / 2.0
+                                           : sliding_->block_epsilon();
+  sketch::GkSummary summary = sketch::GkSummary::FromSorted(window, target);
+  costs_.histogram_wall_seconds += hist_timer.ElapsedSeconds();
+  costs_.histogram_elements += window.size();
+
+  if (whole_.has_value()) {
+    whole_->AddWindowSummary(std::move(summary));
+  } else {
+    sliding_->AddBlockSummary(std::move(summary));
+  }
+  processed_ += window.size();
+}
+
+void QuantileEstimator::Sync() const {
+  if (pipeline_ == nullptr) return;
+  pipeline_->WaitIdle();
+  const stream::PipelineWaitStats stats = pipeline_->stats();
+  costs_.ingest_stall_seconds = stats.ingest_stall_seconds;
+  costs_.sort_queue_wait_seconds = stats.sort_queue_wait_seconds;
+  costs_.drain_queue_wait_seconds = stats.drain_queue_wait_seconds;
+  costs_.sort_wall_seconds = stats.sort_wall_seconds;
+  costs_.drain_wall_seconds = stats.drain_wall_seconds;
+  costs_.pipelined_batches = stats.batches;
+}
+
 float QuantileEstimator::Quantile(double phi, std::uint64_t window) const {
+  Sync();
   if (whole_.has_value()) return whole_->Query(phi);
   return sliding_->Query(phi, window);
 }
 
 std::size_t QuantileEstimator::summary_size() const {
+  Sync();
   return whole_.has_value() ? whole_->TotalTuples() : sliding_->summary_size();
 }
 
+gpu::GpuStats QuantileEstimator::device_stats() const {
+  Sync();
+  gpu::GpuStats total;
+  if (pipeline_ != nullptr) {
+    for (const auto& engine : worker_engines_) {
+      if (engine->device() != nullptr) total += engine->device()->stats();
+    }
+  } else if (engine_.device() != nullptr) {
+    total += engine_.device()->stats();
+  }
+  return total;
+}
+
 const PipelineCosts& QuantileEstimator::costs() const {
+  Sync();
   if (whole_.has_value()) {
     costs_.merge_wall_seconds = whole_->merge_seconds();
     costs_.compress_wall_seconds = whole_->compress_seconds();

@@ -8,14 +8,18 @@
 #define STREAMGPU_CORE_QUANTILE_ESTIMATOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "core/backend.h"
 #include "core/costs.h"
 #include "core/options.h"
+#include "gpu/stats.h"
 #include "sketch/exponential_histogram.h"
 #include "sketch/sliding_window.h"
+#include "stream/pipeline.h"
 #include "stream/window_buffer.h"
 
 namespace streamgpu::core {
@@ -32,6 +36,10 @@ namespace streamgpu::core {
 ///
 /// The returned element's rank among the processed elements is within
 /// epsilon * N of phi * N.
+///
+/// With Options::num_sort_workers >= 2 ingestion runs through the parallel
+/// pipeline (stream::SortPipeline); see FrequencyEstimator for the identical
+/// execution-mode and threading contract.
 class QuantileEstimator {
  public:
   explicit QuantileEstimator(const Options& options);
@@ -51,7 +59,10 @@ class QuantileEstimator {
   float Quantile(double phi, std::uint64_t window = 0) const;
 
   /// Elements already folded into the summary.
-  std::uint64_t processed_length() const { return processed_; }
+  std::uint64_t processed_length() const {
+    Sync();
+    return processed_;
+  }
 
   /// Elements observed, including still-buffered ones.
   std::uint64_t observed_length() const { return observed_; }
@@ -65,11 +76,28 @@ class QuantileEstimator {
   /// Simulated end-to-end 2005-hardware seconds for everything processed.
   double SimulatedSeconds() const;
 
+  /// Aggregated simulated-device counters (summed across pipeline workers;
+  /// all-zero for the CPU backends).
+  gpu::GpuStats device_stats() const;
+
   const Options& options() const { return options_; }
   bool sliding() const { return sliding_.has_value(); }
+  bool pipelined() const { return pipeline_ != nullptr; }
 
  private:
   void ProcessBuffered();
+
+  /// Pipelined path: consumes one sorted batch on the summary thread, in
+  /// submission order.
+  void DrainSortedBatch(std::vector<float>&& data, const sort::SortRunInfo& run);
+
+  /// Rank-samples one sorted window into a GK summary and merges it (shared
+  /// by both paths; runs on the summary thread when pipelined).
+  void MergeSortedWindow(std::span<float> window);
+
+  /// Pipelined mode: waits for in-flight batches and refreshes the pipeline
+  /// wait-stats in costs_. No-op in serial mode.
+  void Sync() const;
 
   Options options_;
   SortEngine engine_;
@@ -80,6 +108,12 @@ class QuantileEstimator {
   mutable PipelineCosts costs_;
   std::uint64_t observed_ = 0;
   std::uint64_t processed_ = 0;
+
+  /// Pipelined mode only: one engine per sort worker, and the pipeline
+  /// driving them. Declared last so threads stop before members they
+  /// reference are destroyed.
+  std::vector<std::unique_ptr<SortEngine>> worker_engines_;
+  std::unique_ptr<stream::SortPipeline> pipeline_;
 };
 
 }  // namespace streamgpu::core

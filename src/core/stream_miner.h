@@ -13,6 +13,12 @@ namespace streamgpu::core {
 /// Maintains frequency and quantile summaries side by side. Each estimator
 /// owns its own backend engine (and, for GPU backends, its own simulated
 /// device), so their cost records stay separable.
+///
+/// With Options::num_sort_workers >= 2 each estimator runs its own parallel
+/// ingest pipeline (num_sort_workers sort threads + one summary thread, see
+/// docs/ARCHITECTURE.md), so a pipelined StreamMiner overlaps the two
+/// summaries' sorting as well. Answers and simulated-2005 costs are
+/// identical to serial mode in either configuration.
 class StreamMiner {
  public:
   explicit StreamMiner(const Options& options)

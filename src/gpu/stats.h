@@ -6,6 +6,10 @@
 // milliseconds. Keeping counting here (rather than in the timing model) makes
 // the counts unit-testable against the paper's analytic claims, e.g. the
 // "(n + n log^2(n/4)) comparisons" total of §4.5.
+//
+// docs/COST_MODEL.md documents every counter, the hwmodel conversion rules,
+// and how the counters stay deterministic under pipelined execution (one
+// device per sort worker; see docs/ARCHITECTURE.md).
 
 #ifndef STREAMGPU_GPU_STATS_H_
 #define STREAMGPU_GPU_STATS_H_
@@ -103,6 +107,8 @@ struct GpuStats {
   /// Scalar comparisons implied by the blended fragments: each blend is a
   /// 4-wide vector MIN/MAX over the RGBA channels (§4.2.2).
   std::uint64_t ScalarComparisons() const { return blend_fragments * 4; }
+
+  friend bool operator==(const GpuStats&, const GpuStats&) = default;
 };
 
 }  // namespace streamgpu::gpu

@@ -1,0 +1,159 @@
+#include "stream/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <span>
+#include <utility>
+
+#include "common/check.h"
+#include "common/timer.h"
+
+namespace streamgpu::stream {
+
+namespace {
+
+// Monotonic seconds for queue-wait arithmetic.
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Splits a batch into window-sized runs, mirroring WindowBatcher::Windows()
+// (the final run may be partial).
+std::vector<std::span<float>> SplitWindows(std::vector<float>& data,
+                                           std::uint64_t window_size) {
+  std::vector<std::span<float>> out;
+  for (std::size_t off = 0; off < data.size(); off += window_size) {
+    const std::size_t len = std::min<std::size_t>(window_size, data.size() - off);
+    out.emplace_back(data.data() + off, len);
+  }
+  return out;
+}
+
+}  // namespace
+
+SortPipeline::SortPipeline(const PipelineConfig& config,
+                           std::vector<sort::Sorter*> sorters, DrainFn drain)
+    : window_size_(config.window_size),
+      sorters_(std::move(sorters)),
+      drain_(std::move(drain)) {
+  STREAMGPU_CHECK_MSG(window_size_ >= 1, "pipeline window_size must be >= 1");
+  STREAMGPU_CHECK_MSG(!sorters_.empty(), "pipeline needs at least one sorter");
+  for (sort::Sorter* sorter : sorters_) STREAMGPU_CHECK(sorter != nullptr);
+  STREAMGPU_CHECK_MSG(static_cast<bool>(drain_), "pipeline needs a drain callback");
+  max_in_flight_ = config.max_batches_in_flight > 0
+                       ? config.max_batches_in_flight
+                       : static_cast<int>(sorters_.size()) + 2;
+
+  workers_.reserve(sorters_.size());
+  for (std::size_t i = 0; i < sorters_.size(); ++i) {
+    workers_.emplace_back(&SortPipeline::WorkerLoop, this, static_cast<int>(i));
+  }
+  drain_thread_ = std::thread(&SortPipeline::DrainLoop, this);
+}
+
+SortPipeline::~SortPipeline() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  // Workers finish the pending queue, the drain thread finishes the reorder
+  // buffer: destruction flushes rather than drops in-flight batches.
+  work_ready_.notify_all();
+  sorted_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  sorted_ready_.notify_all();  // workers are gone; wake the drain for its exit check
+  drain_thread_.join();
+}
+
+void SortPipeline::Submit(std::vector<float>&& batch) {
+  if (batch.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  STREAMGPU_CHECK_MSG(!stop_, "Submit() after destruction began");
+  const double wait_start = Now();
+  slot_free_.wait(lock, [&] { return in_flight_ < max_in_flight_; });
+  stats_.ingest_stall_seconds += Now() - wait_start;
+  ++in_flight_;
+  pending_.push_back(PendingBatch{next_submit_seq_++, std::move(batch), Now()});
+  work_ready_.notify_one();
+}
+
+void SortPipeline::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [&] { return next_drain_seq_ == next_submit_seq_; });
+}
+
+PipelineWaitStats SortPipeline::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void SortPipeline::WorkerLoop(int worker_index) {
+  sort::Sorter* sorter = sorters_[static_cast<std::size_t>(worker_index)];
+  for (;;) {
+    PendingBatch batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [&] { return stop_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stop_ set and queue drained
+      batch = std::move(pending_.front());
+      pending_.pop_front();
+      stats_.sort_queue_wait_seconds += Now() - batch.enqueued_at;
+    }
+
+    // Sort outside the lock: this is the stage that fans out across workers.
+    Timer sort_timer;
+    std::vector<std::span<float>> windows = SplitWindows(batch.data, window_size_);
+    sorter->SortRuns(windows);
+    const sort::SortRunInfo run = sorter->last_run();
+    const double sort_wall = sort_timer.ElapsedSeconds();
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.sort_wall_seconds += sort_wall;
+      sorted_.emplace(batch.seq, SortedBatch{std::move(batch.data), run, Now()});
+    }
+    sorted_ready_.notify_one();
+  }
+}
+
+void SortPipeline::DrainLoop() {
+  for (;;) {
+    SortedBatch batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      sorted_ready_.wait(lock, [&] {
+        const bool next_ready =
+            !sorted_.empty() && sorted_.begin()->first == next_drain_seq_;
+        // Exit only once every submitted batch has been drained; workers
+        // keep feeding the reorder buffer after stop_ is set.
+        return next_ready || (stop_ && next_drain_seq_ == next_submit_seq_);
+      });
+      if (sorted_.empty() || sorted_.begin()->first != next_drain_seq_) return;
+      batch = std::move(sorted_.begin()->second);
+      sorted_.erase(sorted_.begin());
+      stats_.drain_queue_wait_seconds += Now() - batch.ready_at;
+    }
+
+    // Merge into the summaries outside the lock, overlapping the workers'
+    // sorting of later batches. Strict submission order keeps the summary
+    // sequence — and thus every query answer and every accumulated cost
+    // record — identical to serial execution.
+    Timer drain_timer;
+    drain_(std::move(batch.data), batch.run);
+    const double drain_wall = drain_timer.ElapsedSeconds();
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.drain_wall_seconds += drain_wall;
+      ++stats_.batches;
+      ++next_drain_seq_;
+      --in_flight_;
+    }
+    slot_free_.notify_one();
+    idle_.notify_all();
+  }
+}
+
+}  // namespace streamgpu::stream

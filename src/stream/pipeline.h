@@ -1,0 +1,164 @@
+// Parallel multi-window ingest pipeline.
+//
+// The paper's speedup story is overlap (§4, §5.1): the GPU sorts four
+// RGBA-packed windows while the CPU merges and compresses the summaries of
+// earlier windows. The seed reproduction ran every stage serially on one host
+// thread; SortPipeline restores the overlap on real multicore hardware while
+// leaving the simulated-2005 accounting bit-identical to serial execution.
+//
+// Topology (see docs/ARCHITECTURE.md for the full dataflow):
+//
+//   caller thread          N sort workers              1 summary thread
+//   Submit(batch) ──queue──> SortRuns(windows) ──reorder──> drain(batch)
+//
+// * The caller (ingest) thread hands over whole window-batches and blocks
+//   only when `max_batches_in_flight` batches are already in the pipeline
+//   (backpressure, accounted as ingest stall time).
+// * Each sort worker owns its own Sorter — for the GPU backends that means
+//   one simulated GpuDevice per worker, so GpuStats counting never races.
+// * A single drain thread consumes sorted batches strictly in submission
+//   order. Summaries therefore see exactly the window sequence serial
+//   execution produces: identical merges, identical epsilon guarantees,
+//   identical cost accumulation order (bit-identical simulated seconds).
+//
+// Wall-clock queue-wait per stage is recorded so benchmarks can report how
+// much overlap the pipeline actually achieved (PipelineWaitStats).
+
+#ifndef STREAMGPU_STREAM_PIPELINE_H_
+#define STREAMGPU_STREAM_PIPELINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sort/sorter.h"
+
+namespace streamgpu::stream {
+
+/// Static configuration of a SortPipeline.
+struct PipelineConfig {
+  /// Elements per window; submitted batches are split into spans of this
+  /// size (the final span of the final batch may be partial).
+  std::uint64_t window_size = 0;
+
+  /// Maximum window-batches admitted before Submit() blocks (backpressure).
+  /// 0 = number of workers + 2: enough that every worker stays busy while
+  /// one batch drains and one is being filled.
+  int max_batches_in_flight = 0;
+};
+
+/// Wall-clock overlap accounting, accumulated over the pipeline's lifetime.
+/// All fields are host wall-clock; none of them feed the simulated-2005
+/// model (see docs/COST_MODEL.md).
+struct PipelineWaitStats {
+  /// Time Submit() spent blocked on the in-flight cap (ingest backpressure:
+  /// the stream arrived faster than the pipeline could sort + drain).
+  double ingest_stall_seconds = 0;
+
+  /// Time batches sat in the submit queue before a sort worker picked them
+  /// up (all workers busy).
+  double sort_queue_wait_seconds = 0;
+
+  /// Time sorted batches sat in the reorder buffer before the drain thread
+  /// consumed them (drain busy, or an earlier batch still sorting).
+  double drain_queue_wait_seconds = 0;
+
+  /// Total wall-clock the workers spent inside SortRuns (summed across
+  /// workers; exceeds elapsed time when sorts overlap).
+  double sort_wall_seconds = 0;
+
+  /// Total wall-clock spent inside the drain callback.
+  double drain_wall_seconds = 0;
+
+  /// Batches drained.
+  std::uint64_t batches = 0;
+};
+
+/// Worker-pool executor that keeps several window-batches in flight:
+/// sorting fans out across workers, summary maintenance stays single-
+/// threaded and in order.
+///
+/// Thread contract: Submit()/WaitIdle() must be called from one thread (the
+/// ingest thread). The drain callback runs on the pipeline's summary thread;
+/// WaitIdle() establishes a happens-before with every drain completed so
+/// far, after which the ingest thread may safely read drain-side state.
+/// The destructor finishes all submitted work before joining.
+class SortPipeline {
+ public:
+  /// Consumes one sorted batch (windows of `window_size`, concatenated; the
+  /// last window may be partial) plus the sort-cost record of that batch.
+  /// Called on the summary thread, strictly in submission order.
+  using DrainFn =
+      std::function<void(std::vector<float>&& data, const sort::SortRunInfo& run)>;
+
+  /// One worker thread is spawned per sorter; `sorters` are borrowed and
+  /// must outlive the pipeline. Each sorter must be exclusive to this
+  /// pipeline (workers drive them concurrently, one worker per sorter).
+  SortPipeline(const PipelineConfig& config, std::vector<sort::Sorter*> sorters,
+               DrainFn drain);
+  ~SortPipeline();
+
+  SortPipeline(const SortPipeline&) = delete;
+  SortPipeline& operator=(const SortPipeline&) = delete;
+
+  /// Hands one window-batch to the pipeline. Blocks while
+  /// `max_batches_in_flight` batches are already in flight. Empty batches
+  /// are ignored.
+  void Submit(std::vector<float>&& batch);
+
+  /// Blocks until every submitted batch has been sorted and drained.
+  void WaitIdle();
+
+  /// Snapshot of the wait/overlap accounting. Call after WaitIdle() for a
+  /// consistent picture.
+  PipelineWaitStats stats() const;
+
+  int num_workers() const { return static_cast<int>(sorters_.size()); }
+  int max_batches_in_flight() const { return max_in_flight_; }
+
+ private:
+  struct PendingBatch {
+    std::uint64_t seq = 0;
+    std::vector<float> data;
+    double enqueued_at = 0;
+  };
+  struct SortedBatch {
+    std::vector<float> data;
+    sort::SortRunInfo run;
+    double ready_at = 0;
+  };
+
+  void WorkerLoop(int worker_index);
+  void DrainLoop();
+
+  const std::uint64_t window_size_;
+  const std::vector<sort::Sorter*> sorters_;
+  const DrainFn drain_;
+  int max_in_flight_ = 0;
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_free_;     // in_flight_ dropped below the cap
+  std::condition_variable work_ready_;    // pending_ non-empty (or stopping)
+  std::condition_variable sorted_ready_;  // reorder buffer advanced (or stopping)
+  std::condition_variable idle_;          // a batch finished draining
+
+  bool stop_ = false;
+  int in_flight_ = 0;
+  std::uint64_t next_submit_seq_ = 0;
+  std::uint64_t next_drain_seq_ = 0;
+  std::deque<PendingBatch> pending_;
+  std::map<std::uint64_t, SortedBatch> sorted_;  // reorder buffer, keyed by seq
+  PipelineWaitStats stats_;
+
+  std::vector<std::thread> workers_;
+  std::thread drain_thread_;
+};
+
+}  // namespace streamgpu::stream
+
+#endif  // STREAMGPU_STREAM_PIPELINE_H_

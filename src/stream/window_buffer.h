@@ -49,6 +49,15 @@ class WindowBatcher {
   /// Discards the buffered elements after they have been consumed.
   void Clear() { buffer_.clear(); }
 
+  /// Moves the buffered elements out (leaving the batcher empty), for
+  /// handing a whole batch to a SortPipeline without copying.
+  std::vector<float> TakeBuffer() {
+    std::vector<float> out = std::move(buffer_);
+    buffer_ = {};
+    buffer_.reserve(window_size_ * static_cast<std::uint64_t>(batch_windows_));
+    return out;
+  }
+
   bool empty() const { return buffer_.empty(); }
   std::uint64_t window_size() const { return window_size_; }
   std::size_t buffered() const { return buffer_.size(); }

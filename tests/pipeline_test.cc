@@ -1,0 +1,336 @@
+// Pipeline determinism suite: the parallel multi-window ingest pipeline
+// (stream::SortPipeline and its wiring through the core estimators) must be
+// an execution-mode change only. For every backend, worker count, and seed,
+// pipelined execution has to produce byte-identical query answers and
+// identical operation counts / simulated-2005 times to serial execution,
+// because the single summary thread drains sorted windows in submission
+// order. Plus shutdown/flush-mid-window edge cases.
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/stream_miner.h"
+#include "hwmodel/hardware_profiles.h"
+#include "sort/cpu_sort.h"
+#include "stream/generator.h"
+#include "stream/pipeline.h"
+#include "stream/window_buffer.h"
+
+namespace streamgpu::core {
+namespace {
+
+std::vector<float> ZipfStream(std::size_t n, unsigned seed) {
+  stream::StreamGenerator gen({.distribution = stream::Distribution::kZipf,
+                               .seed = seed,
+                               .domain_size = 400});
+  return gen.Take(n);
+}
+
+// Everything observable about a StreamMiner after a run: query answers,
+// space, and the full deterministic slice of the cost records (wall-clock
+// fields excluded — those legitimately differ across execution modes).
+struct Snapshot {
+  std::vector<std::pair<float, std::uint64_t>> hitters;
+  std::vector<std::pair<float, std::uint64_t>> top3;
+  std::vector<float> quantiles;
+  std::vector<std::uint64_t> probe_counts;
+  std::uint64_t freq_processed = 0;
+  std::uint64_t quant_processed = 0;
+  std::size_t freq_summary = 0;
+  std::size_t quant_summary = 0;
+  double freq_sim_seconds = 0;
+  double quant_sim_seconds = 0;
+  double freq_sort_sim = 0;
+  double quant_sort_sim = 0;
+  std::uint64_t freq_comparisons = 0;
+  std::uint64_t quant_comparisons = 0;
+  std::uint64_t freq_hist_elements = 0;
+  std::uint64_t quant_hist_elements = 0;
+  std::uint64_t freq_merged = 0;
+  std::uint64_t freq_compressed = 0;
+  gpu::GpuStats freq_device;
+  gpu::GpuStats quant_device;
+
+  friend bool operator==(const Snapshot&, const Snapshot&) = default;
+};
+
+Snapshot Capture(const StreamMiner& miner) {
+  Snapshot s;
+  const auto& fe = miner.frequencies();
+  const auto& qe = miner.quantiles();
+  s.hitters = fe.HeavyHitters(0.02);
+  s.top3 = fe.TopK(3);
+  for (double phi : {0.1, 0.5, 0.9, 0.99}) s.quantiles.push_back(qe.Quantile(phi));
+  for (float probe : {0.0f, 1.0f, 5.0f, 123.0f}) {
+    s.probe_counts.push_back(fe.EstimateCount(probe));
+  }
+  s.freq_processed = fe.processed_length();
+  s.quant_processed = qe.processed_length();
+  s.freq_summary = fe.summary_size();
+  s.quant_summary = qe.summary_size();
+  s.freq_sim_seconds = fe.SimulatedSeconds();
+  s.quant_sim_seconds = qe.SimulatedSeconds();
+  s.freq_sort_sim = fe.costs().sort.simulated_seconds;
+  s.quant_sort_sim = qe.costs().sort.simulated_seconds;
+  s.freq_comparisons = fe.costs().sort.comparisons;
+  s.quant_comparisons = qe.costs().sort.comparisons;
+  s.freq_hist_elements = fe.costs().histogram_elements;
+  s.quant_hist_elements = qe.costs().histogram_elements;
+  s.freq_merged = fe.costs().merged_entries;
+  s.freq_compressed = fe.costs().compressed_entries;
+  s.freq_device = fe.device_stats();
+  s.quant_device = qe.device_stats();
+  return s;
+}
+
+Snapshot RunMiner(Options opt, const std::vector<float>& data) {
+  StreamMiner miner(opt);
+  miner.ObserveBatch(data);
+  miner.Flush();
+  return Capture(miner);
+}
+
+constexpr Backend kAllBackends[] = {Backend::kGpuPbsn, Backend::kGpuBitonic,
+                                    Backend::kCpuQuicksort, Backend::kCpuStdSort};
+
+TEST(PipelineDeterminismTest, MatchesSerialAcrossBackendsWorkersAndSeeds) {
+  for (unsigned seed : {1u, 2u}) {
+    const auto data = ZipfStream(12000, seed);
+    for (Backend backend : kAllBackends) {
+      Options opt;
+      opt.epsilon = 0.01;
+      opt.backend = backend;
+
+      opt.num_sort_workers = 1;  // serial reference
+      const Snapshot serial = RunMiner(opt, data);
+
+      for (int workers : {2, 8}) {
+        opt.num_sort_workers = workers;
+        const Snapshot pipelined = RunMiner(opt, data);
+        EXPECT_EQ(pipelined, serial)
+            << BackendName(backend) << " seed=" << seed << " workers=" << workers;
+      }
+    }
+  }
+}
+
+TEST(PipelineDeterminismTest, MatchesSerialInSlidingMode) {
+  const auto data = ZipfStream(15000, 3);
+  for (Backend backend : {Backend::kGpuPbsn, Backend::kCpuQuicksort}) {
+    Options opt;
+    opt.epsilon = 0.01;
+    opt.backend = backend;
+    opt.sliding_window = 5000;
+
+    opt.num_sort_workers = 1;
+    const Snapshot serial = RunMiner(opt, data);
+
+    opt.num_sort_workers = 4;
+    const Snapshot pipelined = RunMiner(opt, data);
+    EXPECT_EQ(pipelined, serial) << BackendName(backend);
+  }
+}
+
+TEST(PipelineDeterminismTest, MidStreamQueriesMatchSerial) {
+  // Queries synchronize with the pipeline (drain everything in flight), so a
+  // mid-stream query sees exactly the serial state at the same point.
+  const auto data = ZipfStream(9000, 4);
+  Options opt;
+  opt.epsilon = 0.01;
+  opt.backend = Backend::kGpuPbsn;
+
+  Options serial_opt = opt;
+  serial_opt.num_sort_workers = 1;
+  Options pipe_opt = opt;
+  pipe_opt.num_sort_workers = 3;
+
+  FrequencyEstimator serial(serial_opt);
+  FrequencyEstimator pipelined(pipe_opt);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    serial.Observe(data[i]);
+    pipelined.Observe(data[i]);
+    if (i == data.size() / 3 || i == 2 * data.size() / 3) {
+      EXPECT_EQ(pipelined.HeavyHitters(0.03), serial.HeavyHitters(0.03)) << i;
+      EXPECT_EQ(pipelined.processed_length(), serial.processed_length()) << i;
+      EXPECT_EQ(pipelined.SimulatedSeconds(), serial.SimulatedSeconds()) << i;
+    }
+  }
+  serial.Flush();
+  pipelined.Flush();
+  EXPECT_EQ(pipelined.HeavyHitters(0.02), serial.HeavyHitters(0.02));
+}
+
+TEST(PipelineDeterminismTest, FlushMidWindowThenContinue) {
+  // Flush with a partial window in the buffer, keep observing, flush again:
+  // both modes must chunk the stream identically.
+  const auto data = ZipfStream(1234, 5);
+  for (Backend backend : {Backend::kGpuPbsn, Backend::kCpuStdSort}) {
+    Options opt;
+    opt.epsilon = 0.02;  // window 50: 1234 is mid-window for any batch size
+    opt.backend = backend;
+
+    auto run_split = [&](int workers) {
+      Options o = opt;
+      o.num_sort_workers = workers;
+      StreamMiner miner(o);
+      const std::size_t cut = 500;
+      miner.ObserveBatch(std::span(data.data(), cut));
+      miner.Flush();
+      miner.ObserveBatch(std::span(data.data() + cut, data.size() - cut));
+      miner.Flush();
+      miner.Flush();  // idempotent
+      return Capture(miner);
+    };
+    EXPECT_EQ(run_split(4), run_split(1)) << BackendName(backend);
+  }
+}
+
+TEST(PipelineDeterminismTest, PipelineCostsRecordWaitAccounting) {
+  const auto data = ZipfStream(8000, 6);
+  Options opt;
+  opt.epsilon = 0.01;
+  opt.backend = Backend::kCpuStdSort;
+  opt.num_sort_workers = 2;
+  FrequencyEstimator fe(opt);
+  fe.ObserveBatch(data);
+  fe.Flush();
+  const PipelineCosts& costs = fe.costs();
+  EXPECT_GT(costs.pipelined_batches, 0u);
+  EXPECT_GT(costs.sort_wall_seconds, 0.0);
+  EXPECT_GT(costs.drain_wall_seconds, 0.0);
+  EXPECT_GE(costs.ingest_stall_seconds, 0.0);
+
+  // Serial mode leaves the pipeline fields untouched.
+  opt.num_sort_workers = 1;
+  FrequencyEstimator serial(opt);
+  serial.ObserveBatch(data);
+  serial.Flush();
+  EXPECT_EQ(serial.costs().pipelined_batches, 0u);
+  EXPECT_EQ(serial.costs().sort_wall_seconds, 0.0);
+}
+
+TEST(PipelineDeterminismTest, BackpressureCapStillDeterministic) {
+  const auto data = ZipfStream(6000, 7);
+  Options opt;
+  opt.epsilon = 0.01;
+  opt.backend = Backend::kCpuQuicksort;
+
+  opt.num_sort_workers = 1;
+  const Snapshot serial = RunMiner(opt, data);
+
+  opt.num_sort_workers = 4;
+  opt.max_windows_in_flight = 1;  // rounds up to one batch: fully serialized flow
+  const Snapshot pipelined = RunMiner(opt, data);
+  EXPECT_EQ(pipelined, serial);
+}
+
+TEST(PipelineShutdownTest, DestructionFlushesInFlightBatchesCleanly) {
+  // Destroying a pipelined estimator with batches still in flight (no
+  // Flush) must join all threads without deadlock, crash, or leak (TSan/
+  // ASan-observable). Queries are deliberately skipped.
+  const auto data = ZipfStream(10000, 8);
+  for (int workers : {2, 8}) {
+    Options opt;
+    opt.epsilon = 0.005;
+    opt.backend = Backend::kCpuStdSort;
+    opt.num_sort_workers = workers;
+    QuantileEstimator qe(opt);
+    qe.ObserveBatch(data);
+    // ~50 batches were submitted; destructor runs with work in flight.
+  }
+  SUCCEED();
+}
+
+TEST(PipelineShutdownTest, WaitIdleOnEmptyPipelineReturnsImmediately) {
+  Options opt;
+  opt.epsilon = 0.01;
+  opt.num_sort_workers = 2;
+  opt.backend = Backend::kCpuStdSort;
+  FrequencyEstimator fe(opt);
+  fe.Flush();                                // nothing buffered
+  EXPECT_EQ(fe.processed_length(), 0u);      // queries sync against idle pipeline
+  EXPECT_TRUE(fe.HeavyHitters(0.01).empty());
+  EXPECT_EQ(fe.costs().pipelined_batches, 0u);
+}
+
+// Direct SortPipeline exercise: drain order must equal submission order even
+// with many workers racing, and every window must come back sorted.
+TEST(SortPipelineTest, DrainsInSubmissionOrderAndSortsEveryWindow) {
+  constexpr int kWorkers = 4;
+  constexpr std::uint64_t kWindow = 64;
+  constexpr int kBatches = 50;
+
+  std::vector<sort::StdSortSorter> sorters(
+      static_cast<std::size_t>(kWorkers),
+      sort::StdSortSorter(hwmodel::kPentium4_3400));
+  std::vector<sort::Sorter*> sorter_ptrs;
+  for (auto& s : sorters) sorter_ptrs.push_back(&s);
+
+  std::vector<float> drained_markers;  // first element of each drained batch
+  std::uint64_t drained_elements = 0;
+  bool all_sorted = true;
+  stream::PipelineConfig config;
+  config.window_size = kWindow;
+  stream::SortPipeline pipeline(
+      config, sorter_ptrs,
+      [&](std::vector<float>&& batch, const sort::SortRunInfo& run) {
+        // Batches are marked by their first window's minimum: batch i holds
+        // values in [i*1000, i*1000 + size).
+        drained_markers.push_back(batch.front());
+        drained_elements += batch.size();
+        for (std::size_t off = 0; off < batch.size(); off += kWindow) {
+          const std::size_t end = std::min(batch.size(), off + kWindow);
+          for (std::size_t j = off + 1; j < end; ++j) {
+            if (batch[j - 1] > batch[j]) all_sorted = false;
+          }
+        }
+        EXPECT_GT(run.comparisons, 0u);
+      });
+
+  std::uint64_t submitted_elements = 0;
+  for (int b = 0; b < kBatches; ++b) {
+    // Descending input so sorting has to do real work; size varies so the
+    // final window of most batches is partial.
+    const std::size_t size = 3 * kWindow + static_cast<std::size_t>(b % 17);
+    std::vector<float> batch(size);
+    for (std::size_t j = 0; j < size; ++j) {
+      batch[j] = static_cast<float>(b * 1000 + (size - 1 - j));
+    }
+    submitted_elements += size;
+    pipeline.Submit(std::move(batch));
+  }
+  pipeline.WaitIdle();
+
+  ASSERT_EQ(drained_markers.size(), static_cast<std::size_t>(kBatches));
+  for (int b = 0; b < kBatches; ++b) {
+    // After per-window sorting, the batch front is the first window's
+    // minimum: the descending fill put values [2*kWindow + b%17, ...) there.
+    const float expected =
+        static_cast<float>(b * 1000 + 2 * kWindow + static_cast<std::uint64_t>(b % 17));
+    EXPECT_EQ(drained_markers[static_cast<std::size_t>(b)], expected)
+        << "batch drained out of order";
+  }
+  EXPECT_TRUE(all_sorted);
+  EXPECT_EQ(drained_elements, submitted_elements);
+  EXPECT_EQ(pipeline.stats().batches, static_cast<std::uint64_t>(kBatches));
+}
+
+TEST(SortPipelineTest, WindowBatcherTakeBufferMovesAndResets) {
+  stream::WindowBatcher batcher(4, 2);
+  for (int i = 0; i < 7; ++i) EXPECT_FALSE(batcher.Push(static_cast<float>(i)));
+  EXPECT_TRUE(batcher.Push(7.0f));
+  std::vector<float> taken = batcher.TakeBuffer();
+  EXPECT_EQ(taken.size(), 8u);
+  EXPECT_TRUE(batcher.empty());
+  // The batcher is immediately reusable.
+  for (int i = 0; i < 3; ++i) batcher.Push(static_cast<float>(i));
+  EXPECT_EQ(batcher.buffered(), 3u);
+}
+
+}  // namespace
+}  // namespace streamgpu::core

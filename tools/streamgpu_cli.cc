@@ -16,10 +16,14 @@
 //   --epsilon EPS          approximation parameter       (default 0.001)
 //   --backend NAME         gpu | bitonic | cpu | stdsort (default gpu)
 //   --sliding W            sliding-window width          (default off)
+//   --workers N            sort-worker threads; >= 2 enables the parallel
+//                          ingest pipeline                (default 1: serial)
+//   --in-flight M          max windows buffered in the pipeline (default auto)
 //
 // Examples:
 //   streamgpu_cli quantiles --generate finance --n 500000 --phi 0.5,0.99
 //   streamgpu_cli frequencies --generate zipf --support 0.02 --backend cpu
+//   streamgpu_cli frequencies --n 4000000 --backend cpu --workers 4
 //   streamgpu_cli sort --n 262144 --backend gpu
 
 #include <cstdio>
@@ -47,6 +51,8 @@ struct CliOptions {
   double epsilon = 0.001;
   std::string backend = "gpu";
   std::uint64_t sliding = 0;
+  int workers = 1;
+  int in_flight = 0;
   std::vector<double> phis = {0.25, 0.5, 0.75, 0.9, 0.99};
   double support = 0.01;
 };
@@ -58,6 +64,7 @@ struct CliOptions {
                "  --input PATH | --generate uniform|zipf|sorted|network|finance\n"
                "  --n COUNT --seed SEED --epsilon EPS\n"
                "  --backend gpu|bitonic|cpu|stdsort --sliding W\n"
+               "  --workers N --in-flight M\n"
                "  --phi P1,P2,...    (quantiles)\n"
                "  --support S        (frequencies)\n");
   std::exit(2);
@@ -99,6 +106,12 @@ CliOptions ParseArgs(int argc, char** argv) {
       opt.backend = next();
     } else if (flag == "--sliding") {
       opt.sliding = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (flag == "--workers") {
+      opt.workers = static_cast<int>(std::strtol(next().c_str(), nullptr, 10));
+      if (opt.workers < 1) Usage("--workers must be >= 1");
+    } else if (flag == "--in-flight") {
+      opt.in_flight = static_cast<int>(std::strtol(next().c_str(), nullptr, 10));
+      if (opt.in_flight < 0) Usage("--in-flight must be >= 0");
     } else if (flag == "--phi") {
       opt.phis = ParseDoubleList(next());
     } else if (flag == "--support") {
@@ -155,6 +168,8 @@ core::Options MakeCoreOptions(const CliOptions& opt) {
   core_opt.epsilon = opt.epsilon;
   core_opt.backend = ParseBackend(opt.backend);
   core_opt.sliding_window = opt.sliding;
+  core_opt.num_sort_workers = opt.workers;
+  core_opt.max_windows_in_flight = opt.in_flight;
   return core_opt;
 }
 
@@ -164,8 +179,9 @@ int RunQuantiles(const CliOptions& opt) {
   Timer timer;
   qe.ObserveBatch(stream);
   qe.Flush();
-  std::printf("# %zu values, epsilon %g, backend %s%s\n", stream.size(), opt.epsilon,
-              opt.backend.c_str(), opt.sliding != 0 ? " (sliding)" : "");
+  std::printf("# %zu values, epsilon %g, backend %s%s, workers %d\n", stream.size(),
+              opt.epsilon, opt.backend.c_str(), opt.sliding != 0 ? " (sliding)" : "",
+              opt.workers);
   for (double phi : opt.phis) {
     if (phi <= 0.0 || phi > 1.0) continue;
     std::printf("q%-8g %g\n", phi, qe.Quantile(phi));
@@ -181,9 +197,9 @@ int RunFrequencies(const CliOptions& opt) {
   Timer timer;
   fe.ObserveBatch(stream);
   fe.Flush();
-  std::printf("# %zu values, epsilon %g, support %g, backend %s%s\n", stream.size(),
-              opt.epsilon, opt.support, opt.backend.c_str(),
-              opt.sliding != 0 ? " (sliding)" : "");
+  std::printf("# %zu values, epsilon %g, support %g, backend %s%s, workers %d\n",
+              stream.size(), opt.epsilon, opt.support, opt.backend.c_str(),
+              opt.sliding != 0 ? " (sliding)" : "", opt.workers);
   for (const auto& [value, count] : fe.HeavyHitters(opt.support)) {
     std::printf("%-12g >= %llu\n", value, static_cast<unsigned long long>(count));
   }
