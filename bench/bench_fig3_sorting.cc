@@ -5,8 +5,17 @@
 // Intel-compiler quicksort, clearly faster than the MSVC qsort for
 // reasonably large n, almost an order of magnitude faster than the GPU
 // bitonic baseline, and ~3x slower than the CPU below n = 16K.
+//
+// Two time scales are reported per row (docs/COST_MODEL.md, "Host wall-clock
+// vs. simulated time"): the simulated-2005 milliseconds the figures are
+// built from, and the host wall-clock of the simulator itself (also as
+// ns per sorted key, the engine's throughput metric). STREAMGPU_SORT_FORMAT
+// = f16 (default, the paper's 16-bit buffers) | f32 selects the PBSN render
+// format. Results are also written as JSON (see JsonOutPath) for the CI
+// regression gate.
 
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "bench_util.h"
@@ -31,6 +40,16 @@ double SortSimMs(sort::Sorter& sorter, const std::vector<float>& data,
   return sorter.last_run().simulated_seconds * 1e3;
 }
 
+struct Row {
+  std::size_t n = 0;
+  double pbsn_sim_ms = 0;
+  double pbsn_wall_ms = 0;
+  double pbsn_ns_per_key = 0;
+  double bitonic_sim_ms = -1;
+  double intel_sim_ms = 0;
+  double msvc_sim_ms = 0;
+};
+
 }  // namespace
 
 int main() {
@@ -39,14 +58,20 @@ int main() {
       "GPU PBSN ~ Intel quicksort; beats MSVC qsort and is ~10x faster than "
       "GPU bitonic at large n; ~3x slower than CPU below 16K");
 
+  const char* fmt_env = std::getenv("STREAMGPU_SORT_FORMAT");
+  const bool use_f32 = fmt_env != nullptr && std::strcmp(fmt_env, "f32") == 0;
+  const gpu::Format format = use_f32 ? gpu::Format::kFloat32 : gpu::Format::kFloat16;
+
   // The paper sweeps up to 8M elements; default scale covers 16K..1M.
   std::vector<std::size_t> sizes;
   for (std::size_t n = 16384; n <= bench::Scaled(1 << 20); n *= 4) sizes.push_back(n);
   const std::size_t bitonic_cap = bench::Scaled(1 << 17);
 
-  std::printf("%10s %14s %16s %16s %15s %14s\n", "n", "gpu-pbsn(ms)", "gpu-bitonic(ms)",
-              "cpu-intel(ms)", "cpu-msvc(ms)", "pbsn-wall(ms)");
+  std::printf("%10s %14s %16s %16s %15s %14s %13s\n", "n", "gpu-pbsn(ms)",
+              "gpu-bitonic(ms)", "cpu-intel(ms)", "cpu-msvc(ms)", "pbsn-wall(ms)",
+              "wall(ns/key)");
 
+  std::vector<Row> rows;
   for (std::size_t n : sizes) {
     stream::StreamGenerator gen({.distribution = stream::Distribution::kUniformReal,
                                  .seed = 42});
@@ -54,29 +79,61 @@ int main() {
 
     gpu::GpuDevice device;
     sort::PbsnOptions pbsn_opt;
-    pbsn_opt.format = gpu::Format::kFloat16;  // the paper's 16-bit buffers
+    pbsn_opt.format = format;  // f16 = the paper's 16-bit buffers
     sort::PbsnGpuSorter pbsn(&device, hwmodel::kGeForce6800Ultra,
                              hwmodel::kPentium4_3400, pbsn_opt);
-    sort::BitonicGpuSorter bitonic(&device, hwmodel::kGeForce6800Ultra,
-                                   gpu::Format::kFloat16);
+    sort::BitonicGpuSorter bitonic(&device, hwmodel::kGeForce6800Ultra, format);
     sort::QuicksortSorter intel(hwmodel::kPentium4_3400);
     sort::QuicksortSorter msvc(hwmodel::kPentium4_3400Msvc);
 
-    double pbsn_wall = 0;
-    const double pbsn_ms = SortSimMs(pbsn, data, &pbsn_wall);
-    const double bitonic_ms = n <= bitonic_cap ? SortSimMs(bitonic, data) : -1.0;
-    const double intel_ms = SortSimMs(intel, data);
-    const double msvc_ms = SortSimMs(msvc, data);
+    Row row;
+    row.n = n;
+    row.pbsn_sim_ms = SortSimMs(pbsn, data, &row.pbsn_wall_ms);
+    row.pbsn_ns_per_key = row.pbsn_wall_ms * 1e6 / static_cast<double>(n);
+    row.bitonic_sim_ms = n <= bitonic_cap ? SortSimMs(bitonic, data) : -1.0;
+    row.intel_sim_ms = SortSimMs(intel, data);
+    row.msvc_sim_ms = SortSimMs(msvc, data);
+    rows.push_back(row);
 
-    if (bitonic_ms >= 0) {
-      std::printf("%10zu %14.2f %16.2f %16.2f %15.2f %14.1f\n", n, pbsn_ms, bitonic_ms,
-                  intel_ms, msvc_ms, pbsn_wall);
+    if (row.bitonic_sim_ms >= 0) {
+      std::printf("%10zu %14.2f %16.2f %16.2f %15.2f %14.1f %13.1f\n", n,
+                  row.pbsn_sim_ms, row.bitonic_sim_ms, row.intel_sim_ms,
+                  row.msvc_sim_ms, row.pbsn_wall_ms, row.pbsn_ns_per_key);
     } else {
-      std::printf("%10zu %14.2f %16s %16.2f %15.2f %14.1f\n", n, pbsn_ms, "(skipped)",
-                  intel_ms, msvc_ms, pbsn_wall);
+      std::printf("%10zu %14.2f %16s %16.2f %15.2f %14.1f %13.1f\n", n,
+                  row.pbsn_sim_ms, "(skipped)", row.intel_sim_ms, row.msvc_sim_ms,
+                  row.pbsn_wall_ms, row.pbsn_ns_per_key);
     }
   }
   std::printf("\nNote: gpu timings include CPU<->GPU transfer, as in the paper. "
               "Set STREAMGPU_SCALE=8 for the paper's full 8M sweep.\n\n");
+
+  if (const char* path = bench::JsonOutPath("BENCH_fig3.json")) {
+    if (std::FILE* f = std::fopen(path, "w")) {
+      {
+        // Scoped so the writer's closing brace lands before fclose.
+        bench::JsonWriter j(f);
+        j.Number("schema", std::uint64_t{1});
+        j.BeginObject("fig3_sorting");
+        j.String("format", use_f32 ? "f32" : "f16");
+        j.BeginArray("rows");
+        for (const Row& r : rows) {
+          j.BeginArrayObject();
+          j.Number("n", static_cast<std::uint64_t>(r.n));
+          j.Number("pbsn_sim_ms", r.pbsn_sim_ms);
+          j.Number("pbsn_wall_ms", r.pbsn_wall_ms);
+          j.Number("pbsn_ns_per_key", r.pbsn_ns_per_key);
+          if (r.bitonic_sim_ms >= 0) j.Number("bitonic_sim_ms", r.bitonic_sim_ms);
+          j.Number("intel_sim_ms", r.intel_sim_ms);
+          j.Number("msvc_sim_ms", r.msvc_sim_ms);
+          j.End('}');
+        }
+        j.End(']');
+        j.End('}');
+      }
+      std::fclose(f);
+      std::printf("JSON results written to %s\n", path);
+    }
+  }
   return 0;
 }

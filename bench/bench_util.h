@@ -12,7 +12,9 @@
 #ifndef STREAMGPU_BENCH_BENCH_UTIL_H_
 #define STREAMGPU_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "common/env.h"
@@ -26,6 +28,76 @@ inline std::size_t Scaled(std::size_t base) {
   const auto scaled = static_cast<std::size_t>(static_cast<double>(base) * s);
   return scaled < 16 ? 16 : scaled;
 }
+
+/// Where a bench should write its machine-readable JSON results:
+/// STREAMGPU_BENCH_JSON when set (empty string disables), else `fallback`
+/// (pass nullptr for no default). The committed baseline the CI regression
+/// gate compares against lives at the repo root as BENCH_sort.json.
+inline const char* JsonOutPath(const char* fallback) {
+  const char* p = std::getenv("STREAMGPU_BENCH_JSON");
+  if (p != nullptr) return *p != '\0' ? p : nullptr;
+  return fallback;
+}
+
+/// Minimal JSON emitter for flat benchmark reports: objects, string keys,
+/// number/string values. No escaping (keys and values are programmer-chosen
+/// identifiers), no arrays-of-arrays — just enough for BENCH_*.json.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* f) : f_(f) { std::fputc('{', f_); }
+  ~JsonWriter() { std::fputs("}\n", f_); }
+
+  void Key(const char* key) {
+    Comma();
+    std::fprintf(f_, "\"%s\": ", key);
+    value_pending_ = true;
+  }
+  void Number(const char* key, double value) {
+    Key(key);
+    std::fprintf(f_, "%.6g", value);
+    value_pending_ = false;
+  }
+  void Number(const char* key, std::uint64_t value) {
+    Key(key);
+    std::fprintf(f_, "%llu", static_cast<unsigned long long>(value));
+    value_pending_ = false;
+  }
+  void String(const char* key, const char* value) {
+    Key(key);
+    std::fprintf(f_, "\"%s\"", value);
+    value_pending_ = false;
+  }
+  void BeginObject(const char* key) {
+    Key(key);
+    std::fputc('{', f_);
+    first_ = true;
+    value_pending_ = false;
+  }
+  void BeginArray(const char* key) {
+    Key(key);
+    std::fputc('[', f_);
+    first_ = true;
+    value_pending_ = false;
+  }
+  void BeginArrayObject() {
+    Comma();
+    std::fputc('{', f_);
+    first_ = true;
+  }
+  void End(char close) {  // '}' or ']'
+    std::fputc(close, f_);
+    first_ = false;
+  }
+
+ private:
+  void Comma() {
+    if (!first_ && !value_pending_) std::fputs(", ", f_);
+    first_ = false;
+  }
+  std::FILE* f_;
+  bool first_ = true;
+  bool value_pending_ = false;
+};
 
 /// Prints the standard figure header.
 inline void PrintHeader(const char* figure, const char* claim) {

@@ -74,7 +74,7 @@ void FrequencyEstimator::Observe(float value) {
   }
   if (batcher_.Push(value)) {
     if (pipeline_ != nullptr) {
-      pipeline_->Submit(batcher_.TakeBuffer());
+      pipeline_->Submit(batcher_.TakeBuffer(pipeline_->AcquireBuffer()));
     } else {
       ProcessBuffered();
     }
@@ -87,7 +87,9 @@ void FrequencyEstimator::ObserveBatch(std::span<const float> values) {
 
 void FrequencyEstimator::Flush() {
   if (pipeline_ != nullptr) {
-    if (!batcher_.empty()) pipeline_->Submit(batcher_.TakeBuffer());
+    if (!batcher_.empty()) {
+      pipeline_->Submit(batcher_.TakeBuffer(pipeline_->AcquireBuffer()));
+    }
     Sync();
     return;
   }

@@ -75,7 +75,7 @@ void QuantileEstimator::Observe(float value) {
   }
   if (batcher_.Push(value)) {
     if (pipeline_ != nullptr) {
-      pipeline_->Submit(batcher_.TakeBuffer());
+      pipeline_->Submit(batcher_.TakeBuffer(pipeline_->AcquireBuffer()));
     } else {
       ProcessBuffered();
     }
@@ -88,7 +88,9 @@ void QuantileEstimator::ObserveBatch(std::span<const float> values) {
 
 void QuantileEstimator::Flush() {
   if (pipeline_ != nullptr) {
-    if (!batcher_.empty()) pipeline_->Submit(batcher_.TakeBuffer());
+    if (!batcher_.empty()) {
+      pipeline_->Submit(batcher_.TakeBuffer(pipeline_->AcquireBuffer()));
+    }
     Sync();
     return;
   }

@@ -5,8 +5,99 @@
 namespace streamgpu::gpu {
 
 TextureHandle GpuDevice::CreateTexture(int width, int height, Format format) {
-  textures_.push_back(std::make_unique<Surface>(width, height, format));
+  if (!texture_arena_.empty()) {
+    std::unique_ptr<Surface> recycled = std::move(texture_arena_.back());
+    texture_arena_.pop_back();
+    recycled->Reset(width, height, format);
+    textures_.push_back(std::move(recycled));
+  } else {
+    textures_.push_back(std::make_unique<Surface>(width, height, format));
+  }
   return static_cast<TextureHandle>(textures_.size()) - 1;
+}
+
+void GpuDevice::DestroyAllTextures() {
+  if (fb_alias_ >= 0) {
+    // The framebuffer's logical content lives (partly) in the aliased
+    // texture, which is about to retire. Reclaim it: when nothing was drawn
+    // since the swap a plain storage swap suffices (the retiring texture's
+    // content is irrelevant), otherwise materialize.
+    if (fb_written_.empty()) {
+      std::swap(framebuffer_, *textures_[static_cast<std::size_t>(fb_alias_)]);
+      fb_alias_ = -1;
+    } else {
+      MaterializeFramebuffer();
+    }
+  }
+  for (auto& texture : textures_) texture_arena_.push_back(std::move(texture));
+  textures_.clear();
+}
+
+void GpuDevice::NoteFramebufferWrite(int x0, int y0, int x1, int y1) {
+  if (fb_alias_ < 0) return;
+  x0 = std::max(x0, 0);
+  y0 = std::max(y0, 0);
+  x1 = std::min(x1, framebuffer_.width());
+  y1 = std::min(y1, framebuffer_.height());
+  if (x0 >= x1 || y0 >= y1) return;
+  for (const auto& r : fb_written_) {
+    if (x0 < r[2] && r[0] < x1 && y0 < r[3] && r[1] < y1) {
+      // Overlap: the overlapped texels' current values are in the
+      // framebuffer, not the aliased texture, so the alias can no longer
+      // stand in for pre-blend reads.
+      MaterializeFramebuffer();
+      return;
+    }
+  }
+  fb_written_.push_back({x0, y0, x1, y1});
+  fb_written_area_ +=
+      static_cast<std::uint64_t>(x1 - x0) * static_cast<std::uint64_t>(y1 - y0);
+}
+
+void GpuDevice::MaterializeFramebuffer() {
+  if (fb_alias_ < 0) return;
+  const Surface& t = *textures_[static_cast<std::size_t>(fb_alias_)];
+  if (fb_written_.empty()) {
+    // Same dimensions and format, hence the same strides: copy the padded
+    // storage wholesale.
+    std::memcpy(framebuffer_.TexelData(), t.TexelData(),
+                t.row_stride() * t.height() * kNumChannels * sizeof(float));
+  } else {
+    // Copy only the texels not yet rewritten since the swap (cold path; the
+    // sort loops always tile the framebuffer completely between copies).
+    const int w = framebuffer_.width();
+    const int h = framebuffer_.height();
+    fb_mask_.assign(static_cast<std::size_t>(w) * h, 0);
+    for (const auto& r : fb_written_) {
+      for (int y = r[1]; y < r[3]; ++y) {
+        std::memset(fb_mask_.data() + static_cast<std::size_t>(y) * w + r[0], 1,
+                    static_cast<std::size_t>(r[2] - r[0]));
+      }
+    }
+    for (int y = 0; y < h; ++y) {
+      const float* src = t.TexelData() + t.Index(0, y) * kNumChannels;
+      float* dst = framebuffer_.TexelData() + framebuffer_.Index(0, y) * kNumChannels;
+      const std::uint8_t* mask = fb_mask_.data() + static_cast<std::size_t>(y) * w;
+      for (int x = 0; x < w; ++x) {
+        if (mask[x] == 0) {
+          for (int c = 0; c < kNumChannels; ++c) {
+            dst[x * kNumChannels + c] = src[x * kNumChannels + c];
+          }
+        }
+      }
+    }
+  }
+  fb_alias_ = -1;
+  fb_written_.clear();
+  fb_written_area_ = 0;
+}
+
+Surface& GpuDevice::ReadableFramebuffer() {
+  if (fb_alias_ >= 0 && fb_written_.empty()) {
+    return *textures_[static_cast<std::size_t>(fb_alias_)];
+  }
+  MaterializeFramebuffer();
+  return framebuffer_;
 }
 
 const Surface& GpuDevice::Texture(TextureHandle tex) const {
@@ -20,15 +111,25 @@ Surface& GpuDevice::MutableTexture(TextureHandle tex) {
 }
 
 void GpuDevice::UploadChannel(TextureHandle tex, int channel, std::span<const float> data) {
+  // Uploading into the aliased texture would corrupt the framebuffer's
+  // logical content; reclaim it first.
+  if (tex == fb_alias_) MaterializeFramebuffer();
   Surface& t = MutableTexture(tex);
   STREAMGPU_CHECK(channel >= 0 && channel < kNumChannels);
   STREAMGPU_CHECK_MSG(data.size() == t.num_texels(),
                       "UploadChannel size must match texture dimensions");
-  float* dst = t.ChannelData(channel);
-  if (t.format() == Format::kFloat16) {
-    for (std::size_t i = 0; i < data.size(); ++i) dst[i] = QuantizeToHalf(data[i]);
-  } else {
-    std::memcpy(dst, data.data(), data.size() * sizeof(float));
+  const float* src = data.data();
+  const bool half = t.format() == Format::kFloat16;
+  for (int y = 0; y < t.height(); ++y) {
+    float* dst = t.TexelData() + t.Index(0, y) * kNumChannels + channel;
+    if (half) {
+      for (int x = 0; x < t.width(); ++x) {
+        dst[x * kNumChannels] = QuantizeToHalf(src[x]);
+      }
+    } else {
+      for (int x = 0; x < t.width(); ++x) dst[x * kNumChannels] = src[x];
+    }
+    src += t.width();
   }
   stats_.bytes_uploaded += t.num_texels() * BytesPerChannel(t.format());
   // Uploads also land in video memory.
@@ -39,18 +140,37 @@ void GpuDevice::ReadbackChannel(int channel, std::span<float> out) {
   STREAMGPU_CHECK(channel >= 0 && channel < kNumChannels);
   STREAMGPU_CHECK_MSG(out.size() == framebuffer_.num_texels(),
                       "ReadbackChannel size must match framebuffer dimensions");
-  std::memcpy(out.data(), framebuffer_.ChannelData(channel), out.size() * sizeof(float));
+  const Surface& fb = ReadableFramebuffer();
+  float* dst = out.data();
+  for (int y = 0; y < fb.height(); ++y) {
+    const float* src = fb.TexelData() + fb.Index(0, y) * kNumChannels + channel;
+    for (int x = 0; x < fb.width(); ++x) dst[x] = src[x * kNumChannels];
+    dst += fb.width();
+  }
   stats_.bytes_readback += framebuffer_.num_texels() * BytesPerChannel(framebuffer_.format());
   stats_.bytes_vram += framebuffer_.num_texels() * BytesPerChannel(framebuffer_.format());
 }
 
 void GpuDevice::BindFramebuffer(int width, int height, Format format) {
+  // Rebinding defines the framebuffer's contents afresh; drop any alias.
+  fb_alias_ = -1;
+  fb_written_.clear();
+  fb_written_area_ = 0;
   framebuffer_.Reset(width, height, format);
   stats_.framebuffer_binds += 1;
 }
 
 void GpuDevice::DrawQuad(TextureHandle tex, const Quad& quad) {
-  Rasterizer::DrawQuad(Texture(tex), quad, blend_op_, &framebuffer_, &stats_);
+  if (fb_alias_ >= 0) {
+    int px0 = 0, py0 = 0, px1 = 0, py1 = 0;
+    if (Rasterizer::ClippedPixelRect(quad, framebuffer_.width(), framebuffer_.height(),
+                                     &px0, &py0, &px1, &py1)) {
+      NoteFramebufferWrite(px0, py0, px1, py1);
+    }
+  }
+  const Surface* dst_read =
+      fb_alias_ >= 0 ? textures_[static_cast<std::size_t>(fb_alias_)].get() : nullptr;
+  Rasterizer::DrawQuad(Texture(tex), quad, blend_op_, &framebuffer_, &stats_, dst_read);
 }
 
 void GpuDevice::BindDepthBuffer(int width, int height, float clear_value) {
@@ -66,9 +186,12 @@ void GpuDevice::LoadDepthFromTexture(TextureHandle tex, int channel) {
   STREAMGPU_CHECK(channel >= 0 && channel < kNumChannels);
   STREAMGPU_CHECK_MSG(t.width() == depth_width_ && t.height() == depth_height_,
                       "LoadDepthFromTexture requires matching dimensions");
-  const float* src = t.ChannelData(channel);
   const std::size_t n = t.num_texels();
-  for (std::size_t i = 0; i < n; ++i) depth_buffer_[i] = src[i];
+  for (int y = 0; y < t.height(); ++y) {
+    const float* src = t.TexelData() + t.Index(0, y) * kNumChannels + channel;
+    float* dst = depth_buffer_.data() + static_cast<std::size_t>(y) * t.width();
+    for (int x = 0; x < t.width(); ++x) dst[x] = src[x * kNumChannels];
+  }
   stats_.draw_calls += 1;
   stats_.fragments_shaded += n;
   stats_.texture_fetches += n;
@@ -82,9 +205,13 @@ void GpuDevice::LoadDepthFromFramebuffer(int channel) {
   STREAMGPU_CHECK_MSG(
       framebuffer_.width() == depth_width_ && framebuffer_.height() == depth_height_,
       "LoadDepthFromFramebuffer requires matching dimensions");
-  const float* src = framebuffer_.ChannelData(channel);
+  const Surface& fb = ReadableFramebuffer();
   const std::size_t n = framebuffer_.num_texels();
-  for (std::size_t i = 0; i < n; ++i) depth_buffer_[i] = src[i];
+  for (int y = 0; y < fb.height(); ++y) {
+    const float* src = fb.TexelData() + fb.Index(0, y) * kNumChannels + channel;
+    float* dst = depth_buffer_.data() + static_cast<std::size_t>(y) * fb.width();
+    for (int x = 0; x < fb.width(); ++x) dst[x] = src[x * kNumChannels];
+  }
   stats_.draw_calls += 1;
   stats_.fragments_shaded += n;
   stats_.depth_test_fragments += n;
@@ -196,18 +323,52 @@ void GpuDevice::CopyFramebufferToTexture(TextureHandle tex) {
   STREAMGPU_CHECK_MSG(
       t.width() == framebuffer_.width() && t.height() == framebuffer_.height(),
       "CopyFramebufferToTexture requires matching dimensions");
-  for (int c = 0; c < kNumChannels; ++c) {
-    const float* src = framebuffer_.ChannelData(c);
-    float* dst = t.ChannelData(c);
-    if (t.format() == Format::kFloat16 && framebuffer_.format() != Format::kFloat16) {
-      for (std::size_t i = 0; i < t.num_texels(); ++i) dst[i] = QuantizeToHalf(src[i]);
-    } else {
-      std::memcpy(dst, src, t.num_texels() * sizeof(float));
-    }
-  }
-  // Read the framebuffer once, write the texture once.
+  // The charged traffic models the physical copy regardless of how it is
+  // executed below: read the framebuffer once, write the texture once.
   stats_.bytes_vram += framebuffer_.SizeBytes() + t.SizeBytes();
   stats_.fb_to_texture_copies += 1;
+
+  if (t.format() == framebuffer_.format()) {
+    if (fb_alias_ == tex && fb_written_.empty()) {
+      // The texture already holds the framebuffer's logical content; the
+      // copy is a no-op.
+      return;
+    }
+    if (fb_alias_ >= 0) {
+      const bool tiled = fb_written_area_ ==
+                         static_cast<std::uint64_t>(framebuffer_.width()) *
+                             static_cast<std::uint64_t>(framebuffer_.height());
+      if (fb_alias_ != tex || !tiled) {
+        // Copying to a different texture, or the draws since the last swap
+        // left part of the logical content in the aliased texture: restore
+        // the physical framebuffer first.
+        MaterializeFramebuffer();
+      }
+      // When tiled, the framebuffer is fully physical again (every texel was
+      // rewritten since the swap) and the alias can simply move on.
+    }
+    std::swap(framebuffer_, t);
+    fb_alias_ = tex;
+    fb_written_.clear();
+    fb_written_area_ = 0;
+    return;
+  }
+
+  // Cross-precision copy (quantizing f32 framebuffer into an f16 texture):
+  // no aliasing, physical copy from the logical content.
+  if (tex == fb_alias_) MaterializeFramebuffer();
+  const Surface& fb = ReadableFramebuffer();
+  const bool quantize = t.format() == Format::kFloat16 && fb.format() != Format::kFloat16;
+  for (int y = 0; y < t.height(); ++y) {
+    const float* src = fb.TexelData() + fb.Index(0, y) * kNumChannels;
+    float* dst = t.TexelData() + t.Index(0, y) * kNumChannels;
+    const std::size_t n = static_cast<std::size_t>(t.width()) * kNumChannels;
+    if (quantize) {
+      QuantizeToHalfN(src, dst, n);
+    } else {
+      std::memcpy(dst, src, n * sizeof(float));
+    }
+  }
 }
 
 }  // namespace streamgpu::gpu

@@ -11,6 +11,7 @@
 #ifndef STREAMGPU_GPU_DEVICE_H_
 #define STREAMGPU_GPU_DEVICE_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -39,11 +40,15 @@ class GpuDevice {
   GpuDevice(GpuDevice&&) = default;
   GpuDevice& operator=(GpuDevice&&) = default;
 
-  /// Allocates a width x height RGBA texture and returns its handle.
+  /// Allocates a width x height RGBA texture and returns its handle. Storage
+  /// comes from the device's texture arena: surfaces retired by
+  /// DestroyAllTextures() are recycled, so steady-state sort loops that
+  /// create same-sized textures every window never touch the heap.
   TextureHandle CreateTexture(int width, int height, Format format);
 
-  /// Releases all textures (handles become invalid).
-  void DestroyAllTextures() { textures_.clear(); }
+  /// Retires all textures into the arena (handles become invalid; the
+  /// storage is reused by subsequent CreateTexture calls).
+  void DestroyAllTextures();
 
   /// Uploads one channel of a texture from host memory over the bus. `data`
   /// is row-major and must contain exactly width*height values. Bus bytes
@@ -53,8 +58,8 @@ class GpuDevice {
   /// Reads one framebuffer channel back to host memory over the bus.
   void ReadbackChannel(int channel, std::span<float> out);
 
-  /// Binds (and reallocates) the framebuffer. Contents are undefined (zeroed
-  /// in the simulator).
+  /// Binds the framebuffer, resizing in place (the allocation is reused
+  /// across binds). Contents are undefined (zeroed in the simulator).
   void BindFramebuffer(int width, int height, Format format);
 
   /// Sets the blend equation for subsequent DrawQuad calls. kReplace models
@@ -67,6 +72,18 @@ class GpuDevice {
 
   /// Copies the framebuffer contents into a texture of identical dimensions
   /// (glCopyTexSubImage2D). Pure video-memory traffic; no bus transfer.
+  ///
+  /// Implementation note: when the formats match, the device executes the
+  /// copy as a storage swap and remembers that the framebuffer's logical
+  /// content now lives in `tex` (ping-pong aliasing). Subsequent draws read
+  /// their pre-blend destination values from `tex` and write the framebuffer;
+  /// once the draws since the swap tile the framebuffer (every PBSN/bitonic
+  /// step does), the next copy is again a pure swap, so the render loop's
+  /// per-step copy costs nothing. Draws that overlap an already-written
+  /// region, partial coverage, and direct framebuffer reads materialize the
+  /// logical content first, so observable behavior — outputs, stats, and the
+  /// values seen by Texture()/framebuffer()/ReadbackChannel() — is identical
+  /// to a physical copy.
   void CopyFramebufferToTexture(TextureHandle tex);
 
   /// Runs a user fragment program over a framebuffer rectangle (see
@@ -75,6 +92,7 @@ class GpuDevice {
   void RunFragmentProgram(TextureHandle tex, int x0, int y0, int x1, int y1,
                           std::uint64_t instructions_per_fragment,
                           std::uint64_t fetches_per_fragment, Program&& program) {
+    NoteFramebufferWrite(x0, y0, x1, y1);
     Rasterizer::RunFragmentProgram(Texture(tex), x0, y0, x1, y1, instructions_per_fragment,
                                    fetches_per_fragment, std::forward<Program>(program),
                                    &framebuffer_, &stats_);
@@ -82,7 +100,8 @@ class GpuDevice {
 
   // --- Depth-test path (the database-predicate machinery of [20], §2.2). ---
 
-  /// Binds (and reallocates) a depth buffer, cleared to `clear_value`.
+  /// Binds a depth buffer (storage reused across binds), cleared to
+  /// `clear_value`.
   void BindDepthBuffer(int width, int height, float clear_value = 1.0f);
 
   /// Loads one texture channel into the depth buffer: a render pass in which
@@ -117,7 +136,7 @@ class GpuDevice {
   /// conjunction counting).
   enum class StencilOp { kKeep, kIncrement, kZero };
 
-  /// Binds (and reallocates) an 8-bit stencil buffer cleared to
+  /// Binds an 8-bit stencil buffer (storage reused across binds) cleared to
   /// `clear_value`. Dimensions must match the depth buffer when both are
   /// used.
   void BindStencilBuffer(int width, int height, std::uint8_t clear_value = 0);
@@ -142,17 +161,49 @@ class GpuDevice {
   const Surface& Texture(TextureHandle tex) const;
   Surface& MutableTexture(TextureHandle tex);
 
-  /// Direct access to the framebuffer (host-side inspection in tests).
-  const Surface& framebuffer() const { return framebuffer_; }
+  /// Direct access to the framebuffer's logical contents (host-side
+  /// inspection in tests). Materializes any pending ping-pong alias first.
+  const Surface& framebuffer() const {
+    return const_cast<GpuDevice*>(this)->ReadableFramebuffer();
+  }
 
   /// Cumulative work counters since construction or the last ResetStats().
   const GpuStats& stats() const { return stats_; }
   void ResetStats() { stats_ = GpuStats{}; }
 
  private:
+  // --- Ping-pong framebuffer aliasing (see CopyFramebufferToTexture). ---
+
+  /// Records an upcoming write to framebuffer pixels [x0, x1) x [y0, y1).
+  /// While an alias is active, an overlap with an already-written rectangle
+  /// forces materialization (the overlapped texels' pre-blend values live in
+  /// the framebuffer itself, not the aliased texture).
+  void NoteFramebufferWrite(int x0, int y0, int x1, int y1);
+
+  /// Restores the framebuffer's physical storage to its logical contents and
+  /// deactivates the alias. No-op when no alias is active.
+  void MaterializeFramebuffer();
+
+  /// The surface holding the framebuffer's logical contents: the aliased
+  /// texture when untouched since the swap, otherwise the (materialized)
+  /// framebuffer.
+  Surface& ReadableFramebuffer();
+
   std::vector<std::unique_ptr<Surface>> textures_;
+  // Retired texture storage, recycled by CreateTexture (Surface::Reset reuses
+  // the underlying block when its capacity suffices).
+  std::vector<std::unique_ptr<Surface>> texture_arena_;
   Surface framebuffer_;
   BlendOp blend_op_ = BlendOp::kReplace;
+
+  // Active ping-pong alias: the texture whose storage holds the framebuffer's
+  // logical content (-1 when none), the disjoint pixel rectangles
+  // {x0, y0, x1, y1} written since the swap, and their total area.
+  TextureHandle fb_alias_ = -1;
+  std::vector<std::array<int, 4>> fb_written_;
+  std::uint64_t fb_written_area_ = 0;
+  // Scratch coverage mask for partial materialization (cold path).
+  std::vector<std::uint8_t> fb_mask_;
 
   std::vector<float> depth_buffer_;
   int depth_width_ = 0;

@@ -9,6 +9,7 @@
 #ifndef STREAMGPU_GPU_HALF_H_
 #define STREAMGPU_GPU_HALF_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 
@@ -92,6 +93,12 @@ inline float HalfBitsToFloat(std::uint16_t h) {
 /// Rounds a float through binary16 precision: the value a 16-bit floating
 /// point render target would actually hold.
 inline float QuantizeToHalf(float value) { return HalfBitsToFloat(FloatToHalfBits(value)); }
+
+/// Bulk round-trip: quantizes `n` values from `src` into `dst` (which may
+/// alias). Used by the upload and copy paths of the simulated device.
+inline void QuantizeToHalfN(const float* src, float* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = QuantizeToHalf(src[i]);
+}
 
 /// Largest finite binary16 value (65504).
 inline constexpr float kHalfMax = 65504.0f;

@@ -1,11 +1,25 @@
 #include "gpu/rasterizer.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 namespace streamgpu::gpu {
 
 namespace {
+
+std::atomic<RasterPath> g_raster_path = [] {
+  const char* raw = std::getenv("STREAMGPU_RASTER_PATH");
+  if (raw != nullptr) {
+    const std::string v(raw);
+    if (v == "generic") return RasterPath::kGeneric;
+    if (v == "check") return RasterPath::kCheck;
+  }
+  return RasterPath::kFast;
+}();
 
 // Clamps a texel coordinate to the valid range (GL_CLAMP_TO_EDGE).
 inline int ClampTexel(float coord, int extent) {
@@ -15,116 +29,420 @@ inline int ClampTexel(float coord, int extent) {
   return t;
 }
 
-// Blends one channel row with precomputed source texel indices.
-template <BlendOp kOp>
-void BlendRow(const float* src_row, const int* cols, int count, float* dst_row,
-              bool quantize_half) {
-  if (quantize_half) {
+// The rasterized pixel rectangle and interpolation setup shared by every
+// execution path.
+struct QuadSetup {
+  float x0, y0, x1, y1;  // screen rectangle
+  int px0, py0, px1, py1;
+  float inv_w, inv_h;
+};
+
+QuadSetup SetUpQuad(const Quad& quad, int width, int height) {
+  const Vertex& v0 = quad.vertices[0];
+  const Vertex& v1 = quad.vertices[1];
+  const Vertex& v3 = quad.vertices[3];
+  QuadSetup s;
+  s.x0 = v0.x;
+  s.y0 = v0.y;
+  s.x1 = quad.vertices[2].x;
+  s.y1 = quad.vertices[2].y;
+  STREAMGPU_CHECK_MSG(v1.x == s.x1 && v1.y == s.y0 && v3.x == s.x0 && v3.y == s.y1,
+                      "DrawQuad requires an axis-aligned rectangle");
+  STREAMGPU_CHECK(s.x1 > s.x0 && s.y1 > s.y0);
+  // Pixels whose centers fall inside [x0, x1) x [y0, y1).
+  s.px0 = std::max(0, static_cast<int>(std::ceil(s.x0 - 0.5f)));
+  s.py0 = std::max(0, static_cast<int>(std::ceil(s.y0 - 0.5f)));
+  s.px1 = std::min(width, static_cast<int>(std::ceil(s.x1 - 0.5f)));
+  s.py1 = std::min(height, static_cast<int>(std::ceil(s.y1 - 0.5f)));
+  s.inv_w = 1.0f / (s.x1 - s.x0);
+  s.inv_h = 1.0f / (s.y1 - s.y0);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Row kernels.
+//
+// The paper's Routines 4.1–4.4 only ever emit separable quads whose column
+// mapping steps one texel per pixel — the identity (Copy) or a block mirror
+// (comparators). Those run here, directly on the interleaved RGBA storage:
+// the blend equation is the same for every channel, so an ascending row is
+// one contiguous loop over 4*count floats that GCC/Clang auto-vectorize into
+// packed MIN/MAX, and a descending row steps one 4-float texel group at a
+// time. `kStep` is +1 (ascending) or -1 (descending); `src` points at the
+// first float of the first fetched texel of the row.
+//
+// kQuantize folds the kFloat16 render-target rounding into the kernel. It is
+// only needed when the *texture* is not binary16: MIN/MAX/REPLACE select one
+// of the two operands, the destination is quantized by construction (every
+// write path rounds), so a binary16 source operand makes re-quantization the
+// identity and the kernel skips it (see the Surface invariant).
+// ---------------------------------------------------------------------------
+
+// `dread` supplies the pre-blend destination values. It equals `dst` except
+// when GpuDevice aliases the framebuffer onto the last-copied texture (the
+// swap-based CopyFramebufferToTexture), in which case it points at the
+// value-identical texel of that texture.
+template <BlendOp kOp, bool kQuantize, int kStep>
+void BlendRowUnit(const float* src, const float* dread, int count, float* dst) {
+  if constexpr (kOp == BlendOp::kReplace && !kQuantize && kStep == 1) {
+    std::memcpy(dst, src,
+                static_cast<std::size_t>(count) * kNumChannels * sizeof(float));
+  } else if constexpr (kStep == 1) {
+    const int n = count * kNumChannels;
+    for (int j = 0; j < n; ++j) {
+      float r = ApplyBlend(kOp, dread[j], src[j]);
+      if constexpr (kQuantize) r = QuantizeToHalf(r);
+      dst[j] = r;
+    }
+  } else if constexpr (!kQuantize) {
+    // Descending rows (every comparator quad mirrors u) defeat loop
+    // auto-vectorization — the texel groups walk backwards while the channels
+    // walk forwards — so select the 4-wide MIN/MAX explicitly. The vector
+    // ternary is bit-identical to std::min/std::max in ApplyBlend: on a false
+    // compare (including NaN in either lane) both return the destination
+    // operand, and on equal values (including ±0) both return it too.
+    using V4 = float __attribute__((vector_size(4 * sizeof(float))));
     for (int i = 0; i < count; ++i) {
-      dst_row[i] = QuantizeToHalf(ApplyBlend(kOp, dst_row[i], src_row[cols[i]]));
+      const float* st = src + static_cast<std::ptrdiff_t>(kStep) * i * kNumChannels;
+      V4 sv, rv;
+      std::memcpy(&sv, st, sizeof(V4));
+      std::memcpy(&rv, dread + i * kNumChannels, sizeof(V4));
+      V4 out;
+      if constexpr (kOp == BlendOp::kMin) {
+        out = sv < rv ? sv : rv;  // std::min(dread, src)
+      } else if constexpr (kOp == BlendOp::kMax) {
+        out = rv < sv ? sv : rv;  // std::max(dread, src)
+      } else {
+        out = sv;
+      }
+      std::memcpy(dst + i * kNumChannels, &out, sizeof(V4));
     }
   } else {
     for (int i = 0; i < count; ++i) {
-      dst_row[i] = ApplyBlend(kOp, dst_row[i], src_row[cols[i]]);
+      const float* st = src + static_cast<std::ptrdiff_t>(kStep) * i * kNumChannels;
+      for (int c = 0; c < kNumChannels; ++c) {
+        float r = ApplyBlend(kOp, dread[i * kNumChannels + c], st[c]);
+        if constexpr (kQuantize) r = QuantizeToHalf(r);
+        dst[i * kNumChannels + c] = r;
+      }
     }
   }
 }
 
-void BlendRowDispatch(BlendOp op, const float* src_row, const int* cols, int count,
-                      float* dst_row, bool quantize_half) {
+// Whole-quad kernel for the dominant shape: separable, unit-step columns AND
+// identity row mapping (every row-block comparator and Copy quad of Routines
+// 4.1/4.4). One dispatch covers all rows, amortizing quad setup over the
+// whole rectangle; with the interleaved layout each covered row of a narrow
+// comparator quad is a handful of contiguous floats, i.e. one cache line per
+// surface per row. Strides are in floats; `src` points at the first float of
+// the first fetched texel of the first covered row, `dst`/`dread` likewise
+// (both use the destination stride).
+template <BlendOp kOp, bool kQuantize, int kStep>
+void BlendRectUnit(const float* src, std::size_t src_stride, const float* dread,
+                   float* dst, std::size_t dst_stride, int rows, int count) {
+  const float* s = src;
+  const float* r = dread;
+  float* d = dst;
+  for (int y = 0; y < rows; ++y) {
+    BlendRowUnit<kOp, kQuantize, kStep>(s, r, count, d);
+    s += src_stride;
+    r += dst_stride;
+    d += dst_stride;
+  }
+}
+
+// Gather fallback for separable quads whose column mapping is not unit-step
+// (no paper routine emits these, but arbitrary quads are legal). Matches the
+// seed implementation exactly, including its always-quantize-on-half rule.
+// `src_row`/`dread_row`/`dst_row` point at the first float of texel column 0
+// of the respective rows.
+template <BlendOp kOp>
+void BlendRowGather(const float* src_row, const int* cols, const float* dread_row,
+                    int count, float* dst_row, bool quantize_half) {
+  for (int i = 0; i < count; ++i) {
+    const float* st = src_row + static_cast<std::size_t>(cols[i]) * kNumChannels;
+    for (int c = 0; c < kNumChannels; ++c) {
+      float r = ApplyBlend(kOp, dread_row[i * kNumChannels + c], st[c]);
+      if (quantize_half) r = QuantizeToHalf(r);
+      dst_row[i * kNumChannels + c] = r;
+    }
+  }
+}
+
+template <bool kQuantize, int kStep>
+void BlendRowUnitDispatch(BlendOp op, const float* src, const float* dread, int count,
+                          float* dst) {
   switch (op) {
     case BlendOp::kReplace:
-      BlendRow<BlendOp::kReplace>(src_row, cols, count, dst_row, quantize_half);
+      BlendRowUnit<BlendOp::kReplace, kQuantize, kStep>(src, dread, count, dst);
       break;
     case BlendOp::kMin:
-      BlendRow<BlendOp::kMin>(src_row, cols, count, dst_row, quantize_half);
+      BlendRowUnit<BlendOp::kMin, kQuantize, kStep>(src, dread, count, dst);
       break;
     case BlendOp::kMax:
-      BlendRow<BlendOp::kMax>(src_row, cols, count, dst_row, quantize_half);
+      BlendRowUnit<BlendOp::kMax, kQuantize, kStep>(src, dread, count, dst);
       break;
   }
 }
 
-}  // namespace
+template <bool kQuantize, int kStep>
+void BlendRectUnitDispatch(BlendOp op, const float* src, std::size_t src_stride,
+                           const float* dread, float* dst, std::size_t dst_stride,
+                           int rows, int count) {
+  switch (op) {
+    case BlendOp::kReplace:
+      BlendRectUnit<BlendOp::kReplace, kQuantize, kStep>(src, src_stride, dread, dst,
+                                                         dst_stride, rows, count);
+      break;
+    case BlendOp::kMin:
+      BlendRectUnit<BlendOp::kMin, kQuantize, kStep>(src, src_stride, dread, dst,
+                                                     dst_stride, rows, count);
+      break;
+    case BlendOp::kMax:
+      BlendRectUnit<BlendOp::kMax, kQuantize, kStep>(src, src_stride, dread, dst,
+                                                     dst_stride, rows, count);
+      break;
+  }
+}
 
-void Rasterizer::DrawQuad(const Surface& tex, const Quad& quad, BlendOp op, Surface* target,
-                          GpuStats* stats) {
+void BlendRowGatherDispatch(BlendOp op, const float* src_row, const int* cols,
+                            const float* dread_row, int count, float* dst_row,
+                            bool quantize_half) {
+  switch (op) {
+    case BlendOp::kReplace:
+      BlendRowGather<BlendOp::kReplace>(src_row, cols, dread_row, count, dst_row,
+                                        quantize_half);
+      break;
+    case BlendOp::kMin:
+      BlendRowGather<BlendOp::kMin>(src_row, cols, dread_row, count, dst_row, quantize_half);
+      break;
+    case BlendOp::kMax:
+      BlendRowGather<BlendOp::kMax>(src_row, cols, dread_row, count, dst_row, quantize_half);
+      break;
+  }
+}
+
+// Reference semantics: full per-pixel bilinear interpolation.
+void ExecuteGeneric(const Surface& tex, const Quad& quad, const QuadSetup& s, BlendOp op,
+                    const Surface& dsrc, Surface* target) {
+  const Vertex& v0 = quad.vertices[0];
+  const Vertex& v1 = quad.vertices[1];
+  const Vertex& v2 = quad.vertices[2];
+  const Vertex& v3 = quad.vertices[3];
+  const int tw = tex.width();
+  const int th = tex.height();
+  for (int y = s.py0; y < s.py1; ++y) {
+    const float sy = (static_cast<float>(y) + 0.5f - s.y0) * s.inv_h;
+    for (int x = s.px0; x < s.px1; ++x) {
+      const float sx = (static_cast<float>(x) + 0.5f - s.x0) * s.inv_w;
+      const float w00 = (1.0f - sx) * (1.0f - sy);
+      const float w10 = sx * (1.0f - sy);
+      const float w11 = sx * sy;
+      const float w01 = (1.0f - sx) * sy;
+      const float u = w00 * v0.u + w10 * v1.u + w11 * v2.u + w01 * v3.u;
+      const float tv = w00 * v0.v + w10 * v1.v + w11 * v2.v + w01 * v3.v;
+      const int txl = ClampTexel(u, tw);
+      const int tyl = ClampTexel(tv, th);
+      for (int c = 0; c < kNumChannels; ++c) {
+        const float src = tex.Get(c, txl, tyl);
+        target->Set(c, x, y, ApplyBlend(op, dsrc.Get(c, x, y), src));
+      }
+    }
+  }
+}
+
+void ExecuteFast(const Surface& tex, const Quad& quad, const QuadSetup& s, BlendOp op,
+                 const Surface& dsrc, Surface* target) {
   const Vertex& v0 = quad.vertices[0];
   const Vertex& v1 = quad.vertices[1];
   const Vertex& v2 = quad.vertices[2];
   const Vertex& v3 = quad.vertices[3];
 
-  // The quad must be an axis-aligned rectangle: (x0,y0),(x1,y0),(x1,y1),(x0,y1).
-  const float x0 = v0.x, y0 = v0.y, x1 = v2.x, y1 = v2.y;
-  STREAMGPU_CHECK_MSG(v1.x == x1 && v1.y == y0 && v3.x == x0 && v3.y == y1,
-                      "DrawQuad requires an axis-aligned rectangle");
-  STREAMGPU_CHECK(x1 > x0 && y1 > y0);
-
-  // Pixels whose centers fall inside [x0, x1) x [y0, y1).
-  const int px0 = std::max(0, static_cast<int>(std::ceil(x0 - 0.5f)));
-  const int py0 = std::max(0, static_cast<int>(std::ceil(y0 - 0.5f)));
-  const int px1 = std::min(target->width(), static_cast<int>(std::ceil(x1 - 0.5f)));
-  const int py1 = std::min(target->height(), static_cast<int>(std::ceil(y1 - 0.5f)));
-  if (px0 >= px1 || py0 >= py1) {
-    stats->draw_calls += 1;
+  // Every comparator mapping in the paper is separable — u depends only on x
+  // and v only on y — which admits the interleaved row kernels; arbitrary
+  // corner assignments fall back to full bilinear interpolation.
+  const bool separable = v0.u == v3.u && v1.u == v2.u && v0.v == v1.v && v3.v == v2.v;
+  if (!separable) {
+    ExecuteGeneric(tex, quad, s, op, dsrc, target);
     return;
   }
 
-  const float inv_w = 1.0f / (x1 - x0);
-  const float inv_h = 1.0f / (y1 - y0);
   const int tw = tex.width();
   const int th = tex.height();
-  const bool quantize_half = target->format() == Format::kFloat16;
+  const int count = s.px1 - s.px0;
 
-  // Texture coordinates are interpolated bilinearly from the corners. Every
-  // comparator mapping in the paper is separable — u depends only on x and v
-  // only on y — which admits a fast planar path; arbitrary corner
-  // assignments fall back to full bilinear interpolation.
-  const bool separable = v0.u == v3.u && v1.u == v2.u && v0.v == v1.v && v3.v == v2.v;
+  // Source texel column for every destination column, computed once per quad
+  // and amortized over the covered rows. The scratch is thread-local so
+  // concurrent sort workers never contend and the steady state allocates
+  // nothing.
+  static thread_local std::vector<int> cols_scratch;
+  cols_scratch.resize(static_cast<std::size_t>(count));
+  int* cols = cols_scratch.data();
+  for (int x = s.px0; x < s.px1; ++x) {
+    const float sx = (static_cast<float>(x) + 0.5f - s.x0) * s.inv_w;
+    const float u = v0.u + (v1.u - v0.u) * sx;
+    cols[x - s.px0] = ClampTexel(u, tw);
+  }
 
-  const std::uint64_t width_px = static_cast<std::uint64_t>(px1 - px0);
-  const std::uint64_t fragments = width_px * static_cast<std::uint64_t>(py1 - py0);
+  // Classify the column mapping. The scan is exact — the unit kernels run
+  // only when they index precisely the texels the gather would have — so
+  // fast-path output is bit-identical by construction.
+  bool unit_asc = true;
+  bool unit_desc = true;
+  for (int i = 1; i < count; ++i) {
+    unit_asc = unit_asc && cols[i] == cols[0] + i;
+    unit_desc = unit_desc && cols[i] == cols[0] - i;
+  }
 
-  if (separable) {
-    // Precompute the source texel column for every destination column and
-    // the source texel row for every destination row.
-    std::vector<int> cols(px1 - px0);
-    for (int x = px0; x < px1; ++x) {
-      const float sx = (static_cast<float>(x) + 0.5f - x0) * inv_w;
-      const float u = v0.u + (v1.u - v0.u) * sx;
-      cols[x - px0] = ClampTexel(u, tw);
-    }
-    for (int y = py0; y < py1; ++y) {
-      const float sy = (static_cast<float>(y) + 0.5f - y0) * inv_h;
-      const float tv = v0.v + (v3.v - v0.v) * sy;
-      const int ty = ClampTexel(tv, th);
-      for (int c = 0; c < kNumChannels; ++c) {
-        const float* src_row = tex.ChannelData(c) + tex.Index(0, ty);
-        float* dst_row = target->ChannelData(c) + target->Index(px0, y);
-        BlendRowDispatch(op, src_row, cols.data(), px1 - px0, dst_row, quantize_half);
-      }
-    }
-  } else {
-    for (int y = py0; y < py1; ++y) {
-      const float sy = (static_cast<float>(y) + 0.5f - y0) * inv_h;
-      for (int x = px0; x < px1; ++x) {
-        const float sx = (static_cast<float>(x) + 0.5f - x0) * inv_w;
-        const float w00 = (1.0f - sx) * (1.0f - sy);
-        const float w10 = sx * (1.0f - sy);
-        const float w11 = sx * sy;
-        const float w01 = (1.0f - sx) * sy;
-        const float u = w00 * v0.u + w10 * v1.u + w11 * v2.u + w01 * v3.u;
-        const float tv = w00 * v0.v + w10 * v1.v + w11 * v2.v + w01 * v3.v;
-        const int txl = ClampTexel(u, tw);
-        const int tyl = ClampTexel(tv, th);
-        for (int c = 0; c < kNumChannels; ++c) {
-          const float src = tex.Get(c, txl, tyl);
-          target->Set(c, x, y, ApplyBlend(op, target->Get(c, x, y), src));
+  const bool target_half = target->format() == Format::kFloat16;
+  // Unit kernels skip rounding when the source is already binary16 (operand
+  // selection preserves quantization; see kernel comment above).
+  const bool quantize_unit = target_half && tex.format() != Format::kFloat16;
+
+  if (unit_asc || unit_desc) {
+    // Row-block comparators and Copy quads map rows to themselves. When every
+    // covered row does (verified with the exact per-row formula below, so the
+    // fused path indexes precisely the texels the row loop would), the whole
+    // quad collapses to one rectangle kernel — the per-row dispatch below
+    // would otherwise dominate narrow comparator quads.
+    //
+    // The scan depends only on the v-mapping, the quad's vertical extent, and
+    // the texture height — all shared by every comparator quad of a PBSN
+    // step — so a one-entry memo amortizes it across the step's quads (a
+    // block-2 step issues 512 quads with identical row mappings).
+    struct RowsIdentityMemo {
+      float v0v, v3v, y0, y1;
+      int py0, py1, th;
+      bool result;
+      bool valid = false;
+    };
+    static thread_local RowsIdentityMemo memo;
+    bool rows_identity;
+    if (memo.valid && memo.v0v == v0.v && memo.v3v == v3.v && memo.y0 == s.y0 &&
+        memo.y1 == s.y1 && memo.py0 == s.py0 && memo.py1 == s.py1 && memo.th == th) {
+      rows_identity = memo.result;
+    } else {
+      rows_identity = true;
+      for (int y = s.py0; y < s.py1; ++y) {
+        const float sy = (static_cast<float>(y) + 0.5f - s.y0) * s.inv_h;
+        const float tv = v0.v + (v3.v - v0.v) * sy;
+        if (ClampTexel(tv, th) != y) {
+          rows_identity = false;
+          break;
         }
       }
+      memo = {v0.v, v3.v, s.y0, s.y1, s.py0, s.py1, th, rows_identity, true};
+    }
+    if (rows_identity) {
+      const float* src = tex.TexelData() + tex.Index(cols[0], s.py0) * kNumChannels;
+      const float* dread =
+          dsrc.TexelData() + dsrc.Index(s.px0, s.py0) * kNumChannels;
+      float* dst = target->TexelData() + target->Index(s.px0, s.py0) * kNumChannels;
+      const std::size_t ss = tex.row_stride() * kNumChannels;
+      const std::size_t ds = target->row_stride() * kNumChannels;
+      const int rows = s.py1 - s.py0;
+      if (unit_asc) {
+        if (quantize_unit) {
+          BlendRectUnitDispatch<true, 1>(op, src, ss, dread, dst, ds, rows, count);
+        } else {
+          BlendRectUnitDispatch<false, 1>(op, src, ss, dread, dst, ds, rows, count);
+        }
+      } else {
+        if (quantize_unit) {
+          BlendRectUnitDispatch<true, -1>(op, src, ss, dread, dst, ds, rows, count);
+        } else {
+          BlendRectUnitDispatch<false, -1>(op, src, ss, dread, dst, ds, rows, count);
+        }
+      }
+      return;
     }
   }
 
+  for (int y = s.py0; y < s.py1; ++y) {
+    const float sy = (static_cast<float>(y) + 0.5f - s.y0) * s.inv_h;
+    const float tv = v0.v + (v3.v - v0.v) * sy;
+    const int ty = ClampTexel(tv, th);
+    const float* src_row = tex.TexelData() + tex.Index(0, ty) * kNumChannels;
+    const float* dread_row =
+        dsrc.TexelData() + dsrc.Index(s.px0, y) * kNumChannels;
+    float* dst_row = target->TexelData() + target->Index(s.px0, y) * kNumChannels;
+    const float* src_first = src_row + static_cast<std::size_t>(cols[0]) * kNumChannels;
+    if (unit_asc) {
+      if (quantize_unit) {
+        BlendRowUnitDispatch<true, 1>(op, src_first, dread_row, count, dst_row);
+      } else {
+        BlendRowUnitDispatch<false, 1>(op, src_first, dread_row, count, dst_row);
+      }
+    } else if (unit_desc) {
+      if (quantize_unit) {
+        BlendRowUnitDispatch<true, -1>(op, src_first, dread_row, count, dst_row);
+      } else {
+        BlendRowUnitDispatch<false, -1>(op, src_first, dread_row, count, dst_row);
+      }
+    } else {
+      BlendRowGatherDispatch(op, src_row, cols, dread_row, count, dst_row, target_half);
+    }
+  }
+}
+
+}  // namespace
+
+void Rasterizer::SetPath(RasterPath path) {
+  g_raster_path.store(path, std::memory_order_relaxed);
+}
+
+RasterPath Rasterizer::path() { return g_raster_path.load(std::memory_order_relaxed); }
+
+bool Rasterizer::ClippedPixelRect(const Quad& quad, int width, int height, int* px0,
+                                  int* py0, int* px1, int* py1) {
+  const QuadSetup s = SetUpQuad(quad, width, height);
+  *px0 = s.px0;
+  *py0 = s.py0;
+  *px1 = s.px1;
+  *py1 = s.py1;
+  return s.px0 < s.px1 && s.py0 < s.py1;
+}
+
+void Rasterizer::DrawQuad(const Surface& tex, const Quad& quad, BlendOp op, Surface* target,
+                          GpuStats* stats, const Surface* dst_read) {
+  const QuadSetup s = SetUpQuad(quad, target->width(), target->height());
+  if (s.px0 >= s.px1 || s.py0 >= s.py1) {
+    stats->draw_calls += 1;
+    return;
+  }
+  const Surface& dsrc = dst_read != nullptr ? *dst_read : *target;
+  STREAMGPU_CHECK_MSG(dsrc.width() == target->width() && dsrc.height() == target->height() &&
+                          dsrc.format() == target->format(),
+                      "dst_read must match the target's dimensions and format");
+
+  switch (path()) {
+    case RasterPath::kFast:
+      ExecuteFast(tex, quad, s, op, dsrc, target);
+      break;
+    case RasterPath::kGeneric:
+      ExecuteGeneric(tex, quad, s, op, dsrc, target);
+      break;
+    case RasterPath::kCheck: {
+      Surface reference = *target;
+      ExecuteGeneric(tex, quad, s, op, dsrc, &reference);
+      ExecuteFast(tex, quad, s, op, dsrc, target);
+      for (int c = 0; c < kNumChannels; ++c) {
+        for (int y = s.py0; y < s.py1; ++y) {
+          for (int x = s.px0; x < s.px1; ++x) {
+            STREAMGPU_CHECK_MSG(
+                target->Get(c, x, y) == reference.Get(c, x, y) ||
+                    (target->Get(c, x, y) != target->Get(c, x, y) &&
+                     reference.Get(c, x, y) != reference.Get(c, x, y)),
+                "RasterPath::kCheck: fast kernel output diverged from the generic path");
+          }
+        }
+      }
+      break;
+    }
+  }
+
+  const std::uint64_t width_px = static_cast<std::uint64_t>(s.px1 - s.px0);
+  const std::uint64_t fragments = width_px * static_cast<std::uint64_t>(s.py1 - s.py0);
   stats->draw_calls += 1;
   stats->fragments_shaded += fragments;
   stats->texture_fetches += fragments;

@@ -2,6 +2,21 @@
 // blending — the complete fixed-function path the paper's algorithms use
 // (§4.2), plus a programmable-fragment entry point used only by the bitonic
 // sort baseline (§4.5, [40]).
+//
+// Execution paths (docs/ARCHITECTURE.md, "Pass-execution engine"):
+//   kFast    — the default. Separable quads classify their column mapping;
+//              the axis-aligned unit-step mappings the paper's Routines
+//              4.1–4.4 emit run through contiguous, auto-vectorized
+//              min/max/copy row kernels. Other mappings fall back to a
+//              gather row loop, non-separable quads to per-pixel bilinear.
+//   kGeneric — per-pixel bilinear interpolation for every fragment (the
+//              reference semantics). Slow; used for equivalence testing.
+//   kCheck   — runs both paths and CHECK-fails on any output mismatch.
+//              Debug aid; assumes quads with dyadic extents (the only family
+//              the paper's routines emit), where the two paths agree
+//              bit-exactly.
+// The startup default can be overridden with STREAMGPU_RASTER_PATH =
+// fast | generic | check.
 
 #ifndef STREAMGPU_GPU_RASTERIZER_H_
 #define STREAMGPU_GPU_RASTERIZER_H_
@@ -15,6 +30,13 @@
 
 namespace streamgpu::gpu {
 
+/// Which DrawQuad execution path runs (see file comment).
+enum class RasterPath {
+  kFast,     ///< vectorized row kernels with generic fallback (default)
+  kGeneric,  ///< reference per-pixel bilinear path
+  kCheck,    ///< run both, CHECK outputs are identical
+};
+
 /// Executes render passes against a target surface.
 class Rasterizer {
  public:
@@ -22,9 +44,30 @@ class Rasterizer {
   /// +0.5), the texture coordinate is interpolated bilinearly from the quad's
   /// vertices, the nearest texel of `tex` is fetched, and the fragment is
   /// combined into `target` with blend equation `op`. Work counters are
-  /// accumulated into `stats`.
+  /// accumulated into `stats`. All execution paths produce bit-identical
+  /// output and identical counters for the quad families the paper's
+  /// routines emit.
+  ///
+  /// `dst_read`, when non-null, supplies the pre-blend destination values
+  /// instead of `target` (same dimensions and format required). GpuDevice
+  /// uses this to alias the framebuffer onto the last-copied texture, which
+  /// turns framebuffer-to-texture copies into storage swaps; passing a
+  /// surface whose covered region is value-identical to `target` leaves the
+  /// output unchanged.
   static void DrawQuad(const Surface& tex, const Quad& quad, BlendOp op, Surface* target,
-                       GpuStats* stats);
+                       GpuStats* stats, const Surface* dst_read = nullptr);
+
+  /// The pixel rectangle [*px0, *px1) x [*py0, *py1) DrawQuad would fill for
+  /// this quad (pixel centers at +0.5, clipped to a width x height target).
+  /// Returns false when the rectangle is empty.
+  static bool ClippedPixelRect(const Quad& quad, int width, int height, int* px0, int* py0,
+                               int* px1, int* py1);
+
+  /// Selects the DrawQuad execution path. Initialized from the
+  /// STREAMGPU_RASTER_PATH environment variable at startup; tests switch it
+  /// before spawning sort workers. Thread-safe to read concurrently.
+  static void SetPath(RasterPath path);
+  static RasterPath path();
 
   /// Runs a user fragment program over the pixel rectangle
   /// [x0, x1) x [y0, y1) of `target`. The program receives the pixel

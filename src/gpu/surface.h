@@ -1,15 +1,35 @@
 // 2-D RGBA image storage shared by textures and the framebuffer.
 //
-// Data is stored planar (one array per channel) in row-major texel order.
+// Storage is texel-interleaved (RGBA RGBA ...), row-major, one contiguous
+// block. The blend equations are channel-independent and identical across
+// channels, so a comparator pass over a row block is one contiguous (and
+// auto-vectorizable) loop over 4*count floats — and, critically, a narrow
+// comparator quad touches one cache line per covered row instead of the four
+// (one per channel plane) a planar layout costs; the small comparator blocks
+// of a PBSN stage are bound by exactly those line transactions. Re-using a
+// Surface of the same or smaller size never reallocates — Reset() recycles
+// the block's capacity, which is what lets GpuDevice pool texture storage
+// across sort windows.
+//
+// Rows are stored at a stride of width + kRowPadTexels texels. The paper's
+// textures are powers of two, so an unpadded narrow comparator pass (a
+// vertical walk at a power-of-two byte stride) would land every access on
+// the same handful of L1/L2 cache sets and thrash; the pad spreads
+// consecutive rows across sets. Padding texels are dead storage: never read,
+// never part of num_texels()/SizeBytes() accounting.
+//
 // Values are always held as float; the kFloat16 format models the paper's
 // 16-bit offscreen buffers by (a) quantizing every stored value through IEEE
 // binary16 and (b) accounting 2 bytes per stored channel in the bandwidth
-// counters.
+// counters. Invariant: a kFloat16 surface only ever holds values that are
+// exactly representable in binary16 — every mutation path (Set, FillChannel,
+// device uploads, rasterizer writes) quantizes, and callers writing through
+// the raw ChannelData() pointer must do the same. The rasterizer's fast
+// kernels rely on this invariant to skip redundant re-quantization.
 
 #ifndef STREAMGPU_GPU_SURFACE_H_
 #define STREAMGPU_GPU_SURFACE_H_
 
-#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -28,6 +48,11 @@ enum class Format {
 /// Number of color channels per texel (RGBA).
 inline constexpr int kNumChannels = 4;
 
+/// Dead texels appended to every stored row (see file comment). 4 texels =
+/// 64 bytes = one cache line, so consecutive rows land 1 set apart instead
+/// of aliasing onto the same set when the width is a power of two.
+inline constexpr int kRowPadTexels = 4;
+
 /// Bytes per channel for a format.
 inline constexpr std::size_t BytesPerChannel(Format f) {
   return f == Format::kFloat32 ? 4 : 2;
@@ -45,20 +70,29 @@ class Surface {
   Surface() = default;
   Surface(int width, int height, Format format) { Reset(width, height, format); }
 
-  /// Reallocates to the given size and zero-fills all channels.
+  /// Resizes to the given size and zero-fills all channels. Reuses the
+  /// existing allocation whenever its capacity suffices (no per-window heap
+  /// traffic when surfaces are pooled across same-sized sorts).
   void Reset(int width, int height, Format format) {
     STREAMGPU_CHECK(width > 0 && height > 0);
     width_ = width;
     height_ = height;
     format_ = format;
-    for (auto& ch : channels_) ch.assign(static_cast<std::size_t>(width) * height, 0.0f);
+    row_stride_ = static_cast<std::size_t>(width) + kRowPadTexels;
+    data_.assign(row_stride_ * height * kNumChannels, 0.0f);
   }
 
   int width() const { return width_; }
   int height() const { return height_; }
   Format format() const { return format_; }
-  std::size_t num_texels() const { return static_cast<std::size_t>(width_) * height_; }
+  std::size_t num_texels() const {
+    return static_cast<std::size_t>(width_) * height_;
+  }
   std::size_t SizeBytes() const { return num_texels() * BytesPerTexel(format_); }
+
+  /// Storage texels between the starts of consecutive rows
+  /// (width() + kRowPadTexels). Multiply by kNumChannels for floats.
+  std::size_t row_stride() const { return row_stride_; }
 
   /// Rounds `value` through this surface's storage precision.
   float Quantize(float value) const {
@@ -69,35 +103,35 @@ class Surface {
   /// texel (x, y).
   void Set(int c, int x, int y, float value) {
     STREAMGPU_DCHECK(InBounds(c, x, y));
-    channels_[c][Index(x, y)] = Quantize(value);
+    data_[Index(x, y) * kNumChannels + c] = Quantize(value);
   }
 
   /// Returns the value at channel `c`, texel (x, y).
   float Get(int c, int x, int y) const {
     STREAMGPU_DCHECK(InBounds(c, x, y));
-    return channels_[c][Index(x, y)];
+    return data_[Index(x, y) * kNumChannels + c];
   }
 
-  /// Fills every texel of channel `c` with `value` (quantized).
+  /// Fills every texel of channel `c` with `value` (quantized). Padding
+  /// texels are filled too (keeps the storage uniform; they are never read).
   void FillChannel(int c, float value) {
     STREAMGPU_CHECK(c >= 0 && c < kNumChannels);
     const float q = Quantize(value);
-    for (float& v : channels_[c]) v = q;
+    float* p = data_.data() + c;
+    const std::size_t texels = row_stride_ * height_;
+    for (std::size_t i = 0; i < texels; ++i) p[i * kNumChannels] = q;
   }
 
-  /// Raw row-major storage of channel `c`.
-  float* ChannelData(int c) {
-    STREAMGPU_DCHECK(c >= 0 && c < kNumChannels);
-    return channels_[c].data();
-  }
-  const float* ChannelData(int c) const {
-    STREAMGPU_DCHECK(c >= 0 && c < kNumChannels);
-    return channels_[c].data();
-  }
+  /// Raw interleaved storage: texel (x, y) occupies the kNumChannels floats
+  /// starting at Index(x, y) * kNumChannels. Writers must store
+  /// format-quantized values (see the header invariant).
+  float* TexelData() { return data_.data(); }
+  const float* TexelData() const { return data_.data(); }
 
-  /// Linear index of texel (x, y).
+  /// Storage texel index of (x, y) (row-padded; see
+  /// row_stride()).
   std::size_t Index(int x, int y) const {
-    return static_cast<std::size_t>(y) * width_ + x;
+    return static_cast<std::size_t>(y) * row_stride_ + x;
   }
 
  private:
@@ -108,7 +142,8 @@ class Surface {
   int width_ = 0;
   int height_ = 0;
   Format format_ = Format::kFloat32;
-  std::array<std::vector<float>, kNumChannels> channels_;
+  std::size_t row_stride_ = 0;
+  std::vector<float> data_;
 };
 
 }  // namespace streamgpu::gpu

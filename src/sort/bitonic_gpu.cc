@@ -47,12 +47,10 @@ void BitonicGpuSorter::Sort(std::span<float> data) {
   const gpu::GpuStats before = device_->stats();
 
   gpu::TextureHandle tex = device_->CreateTexture(width, height, format_);
-  {
-    std::vector<float> staging(static_cast<std::size_t>(padded));
-    std::copy_n(data.data(), n, staging.data());
-    std::fill(staging.begin() + n, staging.end(), std::numeric_limits<float>::infinity());
-    for (int c = 0; c < gpu::kNumChannels; ++c) device_->UploadChannel(tex, c, staging);
-  }
+  staging_.resize(static_cast<std::size_t>(padded));
+  std::copy_n(data.data(), n, staging_.data());
+  std::fill(staging_.begin() + n, staging_.end(), std::numeric_limits<float>::infinity());
+  for (int c = 0; c < gpu::kNumChannels; ++c) device_->UploadChannel(tex, c, staging_);
   device_->BindFramebuffer(width, height, format_);
   if (padded < 2) {
     // Degenerate single-texel input: no merge stages run, so the readback
@@ -84,9 +82,8 @@ void BitonicGpuSorter::Sort(std::span<float> data) {
     }
   }
 
-  std::vector<float> result(static_cast<std::size_t>(padded));
-  device_->ReadbackChannel(0, result);
-  std::copy_n(result.data(), n, data.data());
+  device_->ReadbackChannel(0, staging_);
+  std::copy_n(staging_.data(), n, data.data());
 
   last_stats_ = device_->stats() - before;
   const hwmodel::GpuTimeBreakdown breakdown = model_.Simulate(last_stats_);

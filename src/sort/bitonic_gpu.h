@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "gpu/device.h"
 #include "hwmodel/gpu_model.h"
@@ -42,6 +43,8 @@ class BitonicGpuSorter final : public Sorter {
   gpu::Format format_;
   SortRunInfo last_run_;
   gpu::GpuStats last_stats_;
+  // Reusable upload/readback staging plane (no per-sort reallocation).
+  std::vector<float> staging_;
 };
 
 }  // namespace streamgpu::sort

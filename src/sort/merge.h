@@ -3,6 +3,15 @@
 // The GPU PBSN sort returns four independently sorted channel runs; "a merge
 // operation is performed in software. The merge routine performs O(n)
 // comparisons and is very efficient" (§4.4).
+//
+// TwoWayMerge is branchless (conditional-move selection, no unpredictable
+// branch per element); KWayMerge replays a loser tree, so each output costs
+// ceil(log2 k) comparisons instead of the k-1 head comparisons of the naive
+// scan (kept as KWayMergeHeadScan for reference and count-invariant tests).
+// Every routine returns the number of key comparisons it actually performed;
+// TwoWayMerge/FourWayMerge counts are unchanged from the seed implementation
+// (one comparison per output while both runs are non-empty), so the
+// comparison totals reported by the PBSN sorter are bit-identical.
 
 #ifndef STREAMGPU_SORT_MERGE_H_
 #define STREAMGPU_SORT_MERGE_H_
@@ -15,7 +24,7 @@
 namespace streamgpu::sort {
 
 /// Merges two sorted runs into `out` (out.size() == a.size() + b.size()).
-/// Returns the number of comparisons performed.
+/// Stable toward `a` on ties. Returns the number of comparisons performed.
 std::uint64_t TwoWayMerge(std::span<const float> a, std::span<const float> b,
                           std::span<float> out);
 
@@ -25,9 +34,22 @@ std::uint64_t TwoWayMerge(std::span<const float> a, std::span<const float> b,
 std::uint64_t FourWayMerge(const std::array<std::span<const float>, 4>& runs,
                            std::span<float> out);
 
-/// Merges k sorted runs into `out` with a simple tournament over run heads.
+/// As above, but staging the two first-level merges in `*scratch` (resized
+/// to out.size(); capacity is reused across calls — the allocation-free path
+/// the steady-state sort loop uses).
+std::uint64_t FourWayMerge(const std::array<std::span<const float>, 4>& runs,
+                           std::span<float> out, std::vector<float>* scratch);
+
+/// Merges k sorted runs into `out` with a loser tree: ceil(log2 k)
+/// comparisons per output element. Stable toward lower run indices on ties.
 /// Returns the number of comparisons performed.
 std::uint64_t KWayMerge(std::span<const std::span<const float>> runs, std::span<float> out);
+
+/// Reference k-way merge scanning all run heads per output (the seed
+/// implementation): k-1 comparisons per output. Kept for comparison-count
+/// invariants and differential tests against the loser tree.
+std::uint64_t KWayMergeHeadScan(std::span<const std::span<const float>> runs,
+                                std::span<float> out);
 
 }  // namespace streamgpu::sort
 

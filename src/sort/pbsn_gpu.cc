@@ -67,11 +67,11 @@ void PbsnGpuSorter::Sort(std::span<float> data) {
   std::uint64_t merge_comparisons = 0;
   if (options_.use_four_channels) {
     // The four sorted channel runs are merged in software (§4.4).
-    std::vector<float> merged(static_cast<std::size_t>(n));
+    merge_out_.resize(static_cast<std::size_t>(n));
     std::array<std::span<const float>, gpu::kNumChannels> views;
     for (int c = 0; c < gpu::kNumChannels; ++c) views[c] = group[c];
-    merge_comparisons = FourWayMerge(views, merged);
-    std::copy(merged.begin(), merged.end(), data.begin());
+    merge_comparisons = FourWayMerge(views, merge_out_, &merge_scratch_);
+    std::copy(merge_out_.begin(), merge_out_.end(), data.begin());
     last_run_.sim_merge_seconds =
         cpu_model_.MergeSeconds(static_cast<std::uint64_t>(n), 4, sizeof(float));
   }
@@ -127,15 +127,15 @@ void PbsnGpuSorter::SortGroup(const std::array<std::span<float>, gpu::kNumChanne
   const gpu::GpuStats before = device_->stats();
 
   // --- Transfer the runs to the GPU as one RGBA texture (§4.1). ---
+  // The staging plane is a reusable member: same-sized windows (the steady
+  // state of every stream pipeline) never reallocate it.
   gpu::TextureHandle tex = device_->CreateTexture(width, height, options_.format);
-  {
-    std::vector<float> staging(static_cast<std::size_t>(padded));
-    for (int c = 0; c < gpu::kNumChannels; ++c) {
-      std::copy(runs[c].begin(), runs[c].end(), staging.begin());
-      std::fill(staging.begin() + static_cast<std::ptrdiff_t>(runs[c].size()), staging.end(),
-                kPad);
-      device_->UploadChannel(tex, c, staging);
-    }
+  staging_.resize(static_cast<std::size_t>(padded));
+  for (int c = 0; c < gpu::kNumChannels; ++c) {
+    std::copy(runs[c].begin(), runs[c].end(), staging_.begin());
+    std::fill(staging_.begin() + static_cast<std::ptrdiff_t>(runs[c].size()),
+              staging_.end(), kPad);
+    device_->UploadChannel(tex, c, staging_);
   }
 
   // --- Routine 4.3: copy into the framebuffer, then log(M) stages of ---
@@ -154,12 +154,9 @@ void PbsnGpuSorter::SortGroup(const std::array<std::span<float>, gpu::kNumChanne
   }
 
   // --- Read the sorted channels back (§4.1). ---
-  {
-    std::vector<float> staging(static_cast<std::size_t>(padded));
-    for (int c = 0; c < gpu::kNumChannels; ++c) {
-      device_->ReadbackChannel(c, staging);
-      std::copy_n(staging.begin(), runs[c].size(), runs[c].begin());
-    }
+  for (int c = 0; c < gpu::kNumChannels; ++c) {
+    device_->ReadbackChannel(c, staging_);
+    std::copy_n(staging_.begin(), runs[c].size(), runs[c].begin());
   }
 
   const gpu::GpuStats delta = device_->stats() - before;

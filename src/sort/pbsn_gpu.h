@@ -13,6 +13,7 @@
 #include <array>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "gpu/device.h"
 #include "hwmodel/cpu_model.h"
@@ -92,6 +93,13 @@ class PbsnGpuSorter final : public Sorter {
   SortRunInfo last_run_;
   gpu::GpuStats last_stats_;
   hwmodel::GpuTimeBreakdown last_breakdown_;
+
+  // Reusable scratch (capacity persists across calls, so the steady-state
+  // window loop performs no heap allocation): the upload/readback staging
+  // plane and the CPU-merge buffers of Sort().
+  std::vector<float> staging_;
+  std::vector<float> merge_out_;
+  std::vector<float> merge_scratch_;
 };
 
 }  // namespace streamgpu::sort

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <span>
 #include <utility>
 
 #include "common/check.h"
@@ -20,15 +19,15 @@ double Now() {
 }
 
 // Splits a batch into window-sized runs, mirroring WindowBatcher::Windows()
-// (the final run may be partial).
-std::vector<std::span<float>> SplitWindows(std::vector<float>& data,
-                                           std::uint64_t window_size) {
-  std::vector<std::span<float>> out;
+// (the final run may be partial). Fills caller-owned scratch so the hot loop
+// reuses its capacity instead of allocating per batch.
+void SplitWindows(std::vector<float>& data, std::uint64_t window_size,
+                  std::vector<std::span<float>>* out) {
+  out->clear();
   for (std::size_t off = 0; off < data.size(); off += window_size) {
     const std::size_t len = std::min<std::size_t>(window_size, data.size() - off);
-    out.emplace_back(data.data() + off, len);
+    out->emplace_back(data.data() + off, len);
   }
-  return out;
 }
 
 }  // namespace
@@ -45,6 +44,11 @@ SortPipeline::SortPipeline(const PipelineConfig& config,
   max_in_flight_ = config.max_batches_in_flight > 0
                        ? config.max_batches_in_flight
                        : static_cast<int>(sorters_.size()) + 2;
+
+  pending_ring_.resize(static_cast<std::size_t>(max_in_flight_));
+  sorted_ring_.resize(static_cast<std::size_t>(max_in_flight_));
+  free_buffers_.reserve(static_cast<std::size_t>(max_in_flight_) + 1);
+  window_scratch_.resize(sorters_.size());
 
   workers_.reserve(sorters_.size());
   for (std::size_t i = 0; i < sorters_.size(); ++i) {
@@ -75,8 +79,21 @@ void SortPipeline::Submit(std::vector<float>&& batch) {
   slot_free_.wait(lock, [&] { return in_flight_ < max_in_flight_; });
   stats_.ingest_stall_seconds += Now() - wait_start;
   ++in_flight_;
-  pending_.push_back(PendingBatch{next_submit_seq_++, std::move(batch), Now()});
+  PendingBatch& slot =
+      pending_ring_[(pending_head_ + pending_count_) % pending_ring_.size()];
+  ++pending_count_;
+  slot.seq = next_submit_seq_++;
+  slot.data = std::move(batch);
+  slot.enqueued_at = Now();
   work_ready_.notify_one();
+}
+
+std::vector<float> SortPipeline::AcquireBuffer() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_buffers_.empty()) return {};
+  std::vector<float> out = std::move(free_buffers_.back());
+  free_buffers_.pop_back();
+  return out;
 }
 
 void SortPipeline::WaitIdle() {
@@ -91,20 +108,23 @@ PipelineWaitStats SortPipeline::stats() const {
 
 void SortPipeline::WorkerLoop(int worker_index) {
   sort::Sorter* sorter = sorters_[static_cast<std::size_t>(worker_index)];
+  std::vector<std::span<float>>& windows =
+      window_scratch_[static_cast<std::size_t>(worker_index)];
+  PendingBatch batch;
   for (;;) {
-    PendingBatch batch;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [&] { return stop_ || !pending_.empty(); });
-      if (pending_.empty()) return;  // stop_ set and queue drained
-      batch = std::move(pending_.front());
-      pending_.pop_front();
+      work_ready_.wait(lock, [&] { return stop_ || pending_count_ != 0; });
+      if (pending_count_ == 0) return;  // stop_ set and queue drained
+      batch = std::move(pending_ring_[pending_head_]);
+      pending_head_ = (pending_head_ + 1) % pending_ring_.size();
+      --pending_count_;
       stats_.sort_queue_wait_seconds += Now() - batch.enqueued_at;
     }
 
     // Sort outside the lock: this is the stage that fans out across workers.
     Timer sort_timer;
-    std::vector<std::span<float>> windows = SplitWindows(batch.data, window_size_);
+    SplitWindows(batch.data, window_size_, &windows);
     sorter->SortRuns(windows);
     const sort::SortRunInfo run = sorter->last_run();
     const double sort_wall = sort_timer.ElapsedSeconds();
@@ -112,27 +132,32 @@ void SortPipeline::WorkerLoop(int worker_index) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       stats_.sort_wall_seconds += sort_wall;
-      sorted_.emplace(batch.seq, SortedBatch{std::move(batch.data), run, Now()});
+      SortedBatch& slot = sorted_ring_[batch.seq % sorted_ring_.size()];
+      STREAMGPU_DCHECK(!slot.occupied);
+      slot.data = std::move(batch.data);
+      slot.run = run;
+      slot.ready_at = Now();
+      slot.occupied = true;
     }
     sorted_ready_.notify_one();
   }
 }
 
 void SortPipeline::DrainLoop() {
+  SortedBatch batch;
   for (;;) {
-    SortedBatch batch;
     {
       std::unique_lock<std::mutex> lock(mu_);
       sorted_ready_.wait(lock, [&] {
-        const bool next_ready =
-            !sorted_.empty() && sorted_.begin()->first == next_drain_seq_;
         // Exit only once every submitted batch has been drained; workers
         // keep feeding the reorder buffer after stop_ is set.
-        return next_ready || (stop_ && next_drain_seq_ == next_submit_seq_);
+        return sorted_ring_[next_drain_seq_ % sorted_ring_.size()].occupied ||
+               (stop_ && next_drain_seq_ == next_submit_seq_);
       });
-      if (sorted_.empty() || sorted_.begin()->first != next_drain_seq_) return;
-      batch = std::move(sorted_.begin()->second);
-      sorted_.erase(sorted_.begin());
+      SortedBatch& slot = sorted_ring_[next_drain_seq_ % sorted_ring_.size()];
+      if (!slot.occupied) return;
+      batch = std::move(slot);
+      slot.occupied = false;
       stats_.drain_queue_wait_seconds += Now() - batch.ready_at;
     }
 
@@ -150,6 +175,12 @@ void SortPipeline::DrainLoop() {
       ++stats_.batches;
       ++next_drain_seq_;
       --in_flight_;
+      // Recycle the batch storage (the drain callback reads it but leaves
+      // the vector intact) for reissue through AcquireBuffer().
+      if (free_buffers_.size() < free_buffers_.capacity()) {
+        batch.data.clear();
+        free_buffers_.push_back(std::move(batch.data));
+      }
     }
     slot_free_.notify_one();
     idle_.notify_all();

@@ -21,6 +21,14 @@
 //   execution produces: identical merges, identical epsilon guarantees,
 //   identical cost accumulation order (bit-identical simulated seconds).
 //
+// Steady-state operation is allocation-free: the submit queue and the
+// reorder buffer are fixed rings sized by the in-flight cap, per-worker
+// window-span scratch is reused across batches, and drained batch buffers
+// are recycled to the ingest side through AcquireBuffer(). After the first
+// few batches warm the rings up, the Submit -> sort -> drain loop performs
+// zero heap allocations (tests/alloc_test.cc holds this with a counting
+// operator new).
+//
 // Wall-clock queue-wait per stage is recorded so benchmarks can report how
 // much overlap the pipeline actually achieved (PipelineWaitStats).
 
@@ -29,10 +37,9 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -83,16 +90,20 @@ struct PipelineWaitStats {
 /// sorting fans out across workers, summary maintenance stays single-
 /// threaded and in order.
 ///
-/// Thread contract: Submit()/WaitIdle() must be called from one thread (the
-/// ingest thread). The drain callback runs on the pipeline's summary thread;
-/// WaitIdle() establishes a happens-before with every drain completed so
-/// far, after which the ingest thread may safely read drain-side state.
-/// The destructor finishes all submitted work before joining.
+/// Thread contract: Submit()/AcquireBuffer()/WaitIdle() must be called from
+/// one thread (the ingest thread). The drain callback runs on the pipeline's
+/// summary thread; WaitIdle() establishes a happens-before with every drain
+/// completed so far, after which the ingest thread may safely read
+/// drain-side state. The destructor finishes all submitted work before
+/// joining.
 class SortPipeline {
  public:
   /// Consumes one sorted batch (windows of `window_size`, concatenated; the
   /// last window may be partial) plus the sort-cost record of that batch.
-  /// Called on the summary thread, strictly in submission order.
+  /// Called on the summary thread, strictly in submission order. The vector
+  /// is on loan: read it (or move it out and lose the recycling), but do not
+  /// hold the reference past the call — the pipeline reclaims the storage
+  /// afterwards and reissues it through AcquireBuffer().
   using DrainFn =
       std::function<void(std::vector<float>&& data, const sort::SortRunInfo& run)>;
 
@@ -110,6 +121,12 @@ class SortPipeline {
   /// `max_batches_in_flight` batches are already in flight. Empty batches
   /// are ignored.
   void Submit(std::vector<float>&& batch);
+
+  /// Returns a drained batch's storage for reuse (empty, capacity retained),
+  /// or an empty vector when none has been recycled yet. Hand the result to
+  /// WindowBatcher::TakeBuffer() as the replacement buffer and the ingest
+  /// loop stops allocating once the pipeline reaches steady state.
+  std::vector<float> AcquireBuffer();
 
   /// Blocks until every submitted batch has been sorted and drained.
   void WaitIdle();
@@ -131,6 +148,7 @@ class SortPipeline {
     std::vector<float> data;
     sort::SortRunInfo run;
     double ready_at = 0;
+    bool occupied = false;  // ring-slot validity (reorder buffer)
   };
 
   void WorkerLoop(int worker_index);
@@ -143,7 +161,7 @@ class SortPipeline {
 
   mutable std::mutex mu_;
   std::condition_variable slot_free_;     // in_flight_ dropped below the cap
-  std::condition_variable work_ready_;    // pending_ non-empty (or stopping)
+  std::condition_variable work_ready_;    // pending ring non-empty (or stopping)
   std::condition_variable sorted_ready_;  // reorder buffer advanced (or stopping)
   std::condition_variable idle_;          // a batch finished draining
 
@@ -151,8 +169,25 @@ class SortPipeline {
   int in_flight_ = 0;
   std::uint64_t next_submit_seq_ = 0;
   std::uint64_t next_drain_seq_ = 0;
-  std::deque<PendingBatch> pending_;
-  std::map<std::uint64_t, SortedBatch> sorted_;  // reorder buffer, keyed by seq
+
+  // Submit queue: fixed ring of max_in_flight_ slots (the in-flight cap
+  // bounds its population), consumed FIFO by the workers.
+  std::vector<PendingBatch> pending_ring_;
+  std::size_t pending_head_ = 0;
+  std::size_t pending_count_ = 0;
+
+  // Reorder buffer: slot seq % max_in_flight_ holds batch seq. The in-flight
+  // cap keeps outstanding sequence numbers within one ring revolution, so a
+  // slot is always free when a worker stores into it.
+  std::vector<SortedBatch> sorted_ring_;
+
+  // Storage of drained batches, recycled to the ingest thread (bounded by
+  // the in-flight cap plus the one buffer the ingest thread is filling).
+  std::vector<std::vector<float>> free_buffers_;
+
+  // Per-worker window-span scratch for SortRuns (reused across batches).
+  std::vector<std::vector<std::span<float>>> window_scratch_;
+
   PipelineWaitStats stats_;
 
   std::vector<std::thread> workers_;

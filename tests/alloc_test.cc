@@ -1,0 +1,244 @@
+// Steady-state allocation audit of the ingest pipeline.
+//
+// The zero-allocation window path (docs/ARCHITECTURE.md, "Buffer recycling")
+// promises that once the rings and pools are warm, the per-window loop —
+// WindowBatcher staging, SortPipeline submit/sort/reorder/drain, sorter
+// scratch, simulated-device storage — performs no heap allocations at all.
+// This binary overrides global operator new/delete with a counting hook and
+// holds the pipeline to that promise: warm up, snapshot the counter, stream
+// several more full batches through every stage, and require the counter not
+// to move.
+//
+// The hook lives in this dedicated test binary only (gtest itself allocates
+// freely; the counter is sampled around the hot loop, not asserted globally).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/options.h"
+#include "core/quantile_estimator.h"
+#include "gpu/device.h"
+#include "hwmodel/hardware_profiles.h"
+#include "sort/cpu_sort.h"
+#include "sort/pbsn_gpu.h"
+#include "stream/generator.h"
+#include "stream/pipeline.h"
+#include "stream/window_buffer.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+// Counting allocator hooks. Sized/aligned variants forward here.
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size ? size : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace streamgpu {
+namespace {
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
+
+std::uint64_t AllocCount() { return g_allocations.load(std::memory_order_relaxed); }
+
+// The full estimator stack: ingest -> batcher -> pipeline (2 GPU workers)
+// -> sorted-batch drain into the quantile summary. After `warmup_batches`
+// batches, additional batches must not allocate anywhere in the loop.
+TEST(AllocTest, SteadyStatePipelineLoopIsAllocationFree) {
+  if (kSanitized) GTEST_SKIP() << "sanitizers intercept operator new";
+
+  core::Options options;
+  options.epsilon = 0.01;
+  options.backend = core::Backend::kGpuPbsn;
+  options.window_size = 1 << 10;
+  options.num_sort_workers = 2;
+  core::QuantileEstimator estimator(options);
+
+  stream::StreamGenerator gen(
+      {.distribution = stream::Distribution::kUniformReal, .seed = 7});
+  // One batch = batch_windows (4) windows of window_size elements.
+  const std::size_t batch_elements = static_cast<std::size_t>(options.window_size) * 4;
+  const auto data = gen.Take(batch_elements * 24);
+
+  // Warm-up: fills the rings, the recycled-buffer pool, every worker's
+  // sorter scratch and simulated-device arena, and the summary's node pools.
+  std::size_t i = 0;
+  for (; i < batch_elements * 16; ++i) estimator.Observe(data[i]);
+  estimator.Flush();
+
+  const std::uint64_t before = AllocCount();
+  for (; i < data.size(); ++i) estimator.Observe(data[i]);
+  estimator.Flush();
+  const std::uint64_t after = AllocCount();
+
+  // The GK sketch layer legitimately allocates per window: FromSorted builds
+  // a fresh summary (~10 node/tuple allocations at epsilon 0.01) that the
+  // whole-stream structure then absorbs. That is algorithmic state growth,
+  // not pipeline machinery — the pipeline itself is held to exactly zero by
+  // the tests below. The bound here (~12 per window, 32 windows streamed)
+  // still catches the old per-window buffer churn, which added several
+  // hundred float-vector allocations at this window count.
+  EXPECT_LE(after - before, 12u * 32u) << "per-window allocations in the estimator loop";
+}
+
+// The pipeline in isolation (no summary structures): strictly zero
+// allocations per steady-state batch.
+TEST(AllocTest, SortPipelineAloneIsAllocationFree) {
+  if (kSanitized) GTEST_SKIP() << "sanitizers intercept operator new";
+
+  constexpr std::uint64_t kWindow = 1 << 10;
+  constexpr int kWindowsPerBatch = 4;
+  constexpr std::size_t kBatchElements = kWindow * kWindowsPerBatch;
+
+  sort::StdSortSorter sorter_a(hwmodel::kPentium4_3400);
+  sort::StdSortSorter sorter_b(hwmodel::kPentium4_3400);
+  std::uint64_t drained = 0;
+  stream::SortPipeline pipeline(
+      {.window_size = kWindow, .max_batches_in_flight = 4},
+      {&sorter_a, &sorter_b},
+      [&drained](std::vector<float>&& data, const sort::SortRunInfo&) {
+        drained += data.size();  // read-only drain; storage stays recyclable
+      });
+
+  stream::StreamGenerator gen(
+      {.distribution = stream::Distribution::kUniformReal, .seed = 11});
+  stream::WindowBatcher batcher(kWindow, kWindowsPerBatch);
+
+  auto stream_batches = [&](std::size_t batches) {
+    for (std::size_t b = 0; b < batches; ++b) {
+      const auto data = gen.Take(kBatchElements);
+      for (float v : data) {
+        if (batcher.Push(v)) {
+          pipeline.Submit(batcher.TakeBuffer(pipeline.AcquireBuffer()));
+        }
+      }
+    }
+    pipeline.WaitIdle();
+  };
+
+  stream_batches(12);  // warm-up: rings, pool, worker scratch, sorter scratch
+
+  // gen.Take above allocates; measure only the ingest->drain loop.
+  std::vector<std::vector<float>> prepared;
+  for (int b = 0; b < 16; ++b) prepared.push_back(gen.Take(kBatchElements));
+
+  const std::uint64_t before = AllocCount();
+  for (const auto& data : prepared) {
+    for (float v : data) {
+      if (batcher.Push(v)) {
+        pipeline.Submit(batcher.TakeBuffer(pipeline.AcquireBuffer()));
+      }
+    }
+  }
+  pipeline.WaitIdle();
+  const std::uint64_t after = AllocCount();
+
+  EXPECT_EQ(after - before, 0u) << "steady-state pipeline loop allocated";
+  EXPECT_EQ(drained, kBatchElements * 28);
+}
+
+// Same strict-zero contract, with the simulated-GPU sorters: covers the
+// device texture/framebuffer arena, the sorter's staging plane, and the
+// rasterizer's per-thread scratch on top of the pipeline rings.
+TEST(AllocTest, GpuSortPipelineIsAllocationFree) {
+  if (kSanitized) GTEST_SKIP() << "sanitizers intercept operator new";
+
+  constexpr std::uint64_t kWindow = 1 << 10;
+  constexpr int kWindowsPerBatch = 4;
+  constexpr std::size_t kBatchElements = kWindow * kWindowsPerBatch;
+
+  gpu::GpuDevice device_a;
+  gpu::GpuDevice device_b;
+  sort::PbsnOptions opt;
+  opt.format = gpu::Format::kFloat16;
+  sort::PbsnGpuSorter sorter_a(&device_a, hwmodel::kGeForce6800Ultra,
+                               hwmodel::kPentium4_3400, opt);
+  sort::PbsnGpuSorter sorter_b(&device_b, hwmodel::kGeForce6800Ultra,
+                               hwmodel::kPentium4_3400, opt);
+  std::uint64_t drained = 0;
+  stream::SortPipeline pipeline(
+      {.window_size = kWindow, .max_batches_in_flight = 4},
+      {&sorter_a, &sorter_b},
+      [&drained](std::vector<float>&& data, const sort::SortRunInfo&) {
+        drained += data.size();
+      });
+
+  stream::StreamGenerator gen(
+      {.distribution = stream::Distribution::kUniformReal, .seed = 13});
+  stream::WindowBatcher batcher(kWindow, kWindowsPerBatch);
+
+  for (int b = 0; b < 12; ++b) {  // warm-up
+    const auto data = gen.Take(kBatchElements);
+    for (float v : data) {
+      if (batcher.Push(v)) {
+        pipeline.Submit(batcher.TakeBuffer(pipeline.AcquireBuffer()));
+      }
+    }
+  }
+  pipeline.WaitIdle();
+
+  std::vector<std::vector<float>> prepared;
+  for (int b = 0; b < 16; ++b) prepared.push_back(gen.Take(kBatchElements));
+
+  const std::uint64_t before = AllocCount();
+  for (const auto& data : prepared) {
+    for (float v : data) {
+      if (batcher.Push(v)) {
+        pipeline.Submit(batcher.TakeBuffer(pipeline.AcquireBuffer()));
+      }
+    }
+  }
+  pipeline.WaitIdle();
+  const std::uint64_t after = AllocCount();
+
+  EXPECT_EQ(after - before, 0u) << "steady-state GPU sort pipeline allocated";
+  EXPECT_EQ(drained, kBatchElements * 28);
+}
+
+}  // namespace
+}  // namespace streamgpu

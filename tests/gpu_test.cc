@@ -31,7 +31,7 @@ void FillChannelFrom(Surface* s, int c, const std::vector<float>& data) {
   ASSERT_EQ(data.size(), s->num_texels());
   for (int y = 0; y < s->height(); ++y) {
     for (int x = 0; x < s->width(); ++x) {
-      s->Set(c, x, y, data[s->Index(x, y)]);
+      s->Set(c, x, y, data[static_cast<std::size_t>(y) * s->width() + x]);
     }
   }
 }

@@ -3,8 +3,11 @@
 #include "gpu/half.h"
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <limits>
 #include <random>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -107,6 +110,70 @@ TEST(HalfTest, RoundToNearestEven) {
   EXPECT_EQ(QuantizeToHalf(2049.0f), 2048.0f);
   // 2051 is exactly between 2050 and 2052 -> rounds to 2052.
   EXPECT_EQ(QuantizeToHalf(2051.0f), 2052.0f);
+}
+
+// Bitwise equality, so -0.0 vs 0.0 and NaN-ness are observable.
+std::uint32_t Bits(float v) {
+  std::uint32_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+TEST(HalfTest, BulkQuantizeMatchesScalarOnSpecialValues) {
+  // The bulk path (QuantizeToHalfN) backs the device's uploads and
+  // cross-precision copies; it must agree with the scalar conversion
+  // bit-for-bit on every special class: NaN, +/-inf, values overflowing to
+  // infinity, float subnormals (round to zero), half-subnormal magnitudes,
+  // and signed zeros.
+  const float inf = std::numeric_limits<float>::infinity();
+  const std::vector<float> src = {
+      std::numeric_limits<float>::quiet_NaN(),
+      inf,
+      -inf,
+      1e10f,                            // overflows to +inf
+      -65520.0f,                        // rounds past -65504 to -inf
+      std::numeric_limits<float>::denorm_min(),  // float denormal -> 0
+      -std::numeric_limits<float>::denorm_min(),
+      std::ldexp(1.0f, -24),            // smallest half subnormal (exact)
+      std::ldexp(1.0f, -14),            // smallest normal half
+      std::ldexp(1.0f, -20) * 3.0f,     // mid-range half subnormal
+      0.0f,
+      -0.0f,
+      1.0f / 3.0f,
+  };
+
+  std::vector<float> bulk(src.size());
+  QuantizeToHalfN(src.data(), bulk.data(), src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(Bits(bulk[i]), Bits(QuantizeToHalf(src[i]))) << "i=" << i;
+  }
+
+  // NaN stays NaN, infinities and signed zeros keep their signs.
+  EXPECT_TRUE(std::isnan(bulk[0]));
+  EXPECT_EQ(bulk[1], inf);
+  EXPECT_EQ(bulk[2], -inf);
+  EXPECT_EQ(bulk[3], inf);
+  EXPECT_EQ(bulk[4], -inf);
+  EXPECT_EQ(Bits(bulk[5]), Bits(0.0f));
+  EXPECT_EQ(Bits(bulk[6]), Bits(-0.0f));
+  EXPECT_EQ(bulk[7], std::ldexp(1.0f, -24));
+  EXPECT_EQ(Bits(bulk[11]), Bits(-0.0f));
+
+  // Aliased (in-place) bulk quantization, the copy-path usage.
+  std::vector<float> in_place = src;
+  QuantizeToHalfN(in_place.data(), in_place.data(), in_place.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(Bits(in_place[i]), Bits(bulk[i])) << "i=" << i;
+  }
+
+  // Idempotence: re-quantizing an already-quantized buffer is the identity
+  // (the invariant the engine relies on to skip re-quantization for
+  // binary16 source operands).
+  std::vector<float> twice = bulk;
+  QuantizeToHalfN(twice.data(), twice.data(), twice.size());
+  for (std::size_t i = 0; i < bulk.size(); ++i) {
+    EXPECT_EQ(Bits(twice[i]), Bits(bulk[i])) << "i=" << i;
+  }
 }
 
 }  // namespace

@@ -83,6 +83,38 @@ TEST(MergeTest, FourWayWithEmptyRuns) {
   EXPECT_EQ(out, (std::vector<float>{1, 2, 3, 4}));
 }
 
+TEST(MergeTest, TwoWayExactComparisonCount) {
+  // The count contract (shared by the seed implementation and the branchless
+  // loop): exactly one comparison per emitted element while both runs are
+  // non-empty; the tail copy is free.
+  const std::vector<float> a{1, 2, 3, 4, 5, 6, 7};
+  const std::vector<float> b{0};
+  std::vector<float> out(8);
+  // b[0] = 0 wins the first comparison and exhausts b; a's tail copies over
+  // without further comparisons.
+  EXPECT_EQ(TwoWayMerge(a, b, out), 1u);
+  // Interleaved runs compare once per output until one side empties.
+  const std::vector<float> c{1, 3, 5, 7};
+  const std::vector<float> d{2, 4, 6, 8};
+  out.resize(8);
+  EXPECT_EQ(TwoWayMerge(c, d, out), 7u);  // d's last element tail-copies
+}
+
+TEST(MergeTest, TwoWayDuplicateHeavy) {
+  // All-equal inputs: worst case for branch predictors, and the stability
+  // rule (ties from `a`) must hold for every element.
+  const std::vector<float> a(500, 3.0f);
+  std::vector<float> b(500, 3.0f);
+  b.push_back(4.0f);
+  std::vector<float> out(1001);
+  const std::uint64_t comparisons = TwoWayMerge(a, b, out);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  EXPECT_EQ(out.back(), 4.0f);
+  // Every tie takes from `a`, so a drains in 500 compared outputs and b's
+  // 501 elements tail-copy for free.
+  EXPECT_EQ(comparisons, 500u);
+}
+
 TEST(MergeTest, KWayMatchesStdSort) {
   std::mt19937 rng(77);
   for (int ways = 1; ways <= 9; ++ways) {
@@ -97,6 +129,87 @@ TEST(MergeTest, KWayMatchesStdSort) {
     KWayMerge(views, out);
     std::sort(all.begin(), all.end());
     ASSERT_EQ(out, all) << "ways=" << ways;
+  }
+}
+
+TEST(MergeTest, KWaySingleRunCopiesWithoutComparisons) {
+  const auto run = SortedRandom(257, 5);
+  const std::vector<std::span<const float>> views{run};
+  std::vector<float> out(run.size());
+  EXPECT_EQ(KWayMerge(views, out), 0u);
+  EXPECT_EQ(out, run);
+  // Degenerate inputs: no runs at all, and a single empty run.
+  std::vector<float> empty_out;
+  EXPECT_EQ(KWayMerge(std::vector<std::span<const float>>{}, empty_out), 0u);
+  const std::vector<float> empty_run;
+  EXPECT_EQ(KWayMerge(std::vector<std::span<const float>>{empty_run}, empty_out), 0u);
+}
+
+TEST(MergeTest, KWayWithEmptyRuns) {
+  // Empty runs interleaved with real ones (the padded-leaf path of the loser
+  // tree): they must lose every match without being counted as comparisons.
+  const std::vector<float> a{1, 5, 9};
+  const std::vector<float> empty;
+  const std::vector<float> b{2, 6};
+  const std::vector<float> c{3};
+  const std::vector<std::span<const float>> views{empty, a, empty, b, c, empty};
+  std::vector<float> out(6);
+  KWayMerge(views, out);
+  EXPECT_EQ(out, (std::vector<float>{1, 2, 3, 5, 6, 9}));
+
+  std::vector<float> out2(6);
+  KWayMergeHeadScan(views, out2);
+  EXPECT_EQ(out, out2);
+}
+
+TEST(MergeTest, KWayDuplicateHeavyIsStable) {
+  // Heavy duplication across runs: the loser tree breaks ties by run index,
+  // which is exactly the head-scan's order — outputs must match elementwise.
+  std::mt19937 rng(31);
+  std::uniform_int_distribution<int> small(0, 3);
+  std::vector<std::vector<float>> runs(7);
+  std::size_t total = 0;
+  for (auto& run : runs) {
+    run.resize(200);
+    for (float& v : run) v = static_cast<float>(small(rng));
+    std::sort(run.begin(), run.end());
+    total += run.size();
+  }
+  const std::vector<std::span<const float>> views(runs.begin(), runs.end());
+  std::vector<float> tree_out(total);
+  std::vector<float> scan_out(total);
+  KWayMerge(views, tree_out);
+  KWayMergeHeadScan(views, scan_out);
+  EXPECT_EQ(tree_out, scan_out);
+  EXPECT_TRUE(std::is_sorted(tree_out.begin(), tree_out.end()));
+}
+
+TEST(MergeTest, KWayComparisonCountInvariants) {
+  // Each of the n outputs replays one leaf-to-root path: at most
+  // ceil(log2 k) real comparisons, plus the tree build (< k). The head scan
+  // costs (live_runs - 1) per output — strictly more for k > 2 — which is
+  // the point of the loser tree.
+  std::mt19937 rng(53);
+  for (std::size_t ways : {2u, 3u, 5u, 8u, 16u}) {
+    std::vector<std::vector<float>> runs(ways);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < ways; ++i) {
+      runs[i] = SortedRandom(300 + 17 * i, static_cast<unsigned>(1000 + i));
+      total += runs[i].size();
+    }
+    const std::vector<std::span<const float>> views(runs.begin(), runs.end());
+    std::vector<float> out(total);
+    const std::uint64_t tree = KWayMerge(views, out);
+    std::vector<float> out2(total);
+    const std::uint64_t scan = KWayMergeHeadScan(views, out2);
+    ASSERT_EQ(out, out2) << "ways=" << ways;
+
+    std::size_t log2k = 0;
+    while ((1u << log2k) < ways) ++log2k;
+    EXPECT_LE(tree, total * log2k + ways) << "ways=" << ways;
+    if (ways > 2) {
+      EXPECT_LT(tree, scan) << "ways=" << ways;
+    }
   }
 }
 

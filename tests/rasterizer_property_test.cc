@@ -140,7 +140,7 @@ TEST(RasterizerPbsnQuadTest, RowBlockQuadsEqualScalarStep) {
     // Flatten channel 0 row-major and run the scalar step per row block.
     std::vector<float> expected(static_cast<std::size_t>(w) * h);
     for (int y = 0; y < h; ++y) {
-      for (int x = 0; x < w; ++x) expected[tex.Index(x, y)] = tex.Get(0, x, y);
+      for (int x = 0; x < w; ++x) expected[static_cast<std::size_t>(y) * w + x] = tex.Get(0, x, y);
     }
     for (int y = 0; y < h; ++y) {
       std::span<float> row(expected.data() + static_cast<std::size_t>(y) * w, w);
@@ -167,7 +167,7 @@ TEST(RasterizerPbsnQuadTest, RowBlockQuadsEqualScalarStep) {
     }
     for (int y = 0; y < h; ++y) {
       for (int x = 0; x < w; ++x) {
-        ASSERT_EQ(fb.Get(0, x, y), expected[tex.Index(x, y)])
+        ASSERT_EQ(fb.Get(0, x, y), expected[static_cast<std::size_t>(y) * w + x])
             << "block " << block << " pixel (" << x << "," << y << ")";
       }
     }
@@ -185,7 +185,7 @@ TEST(RasterizerPbsnQuadTest, TallBlockQuadsEqualScalarStep) {
   for (int block = 2 * w; block <= w * h; block *= 2) {
     std::vector<float> expected(static_cast<std::size_t>(w) * h);
     for (int y = 0; y < h; ++y) {
-      for (int x = 0; x < w; ++x) expected[tex.Index(x, y)] = tex.Get(0, x, y);
+      for (int x = 0; x < w; ++x) expected[static_cast<std::size_t>(y) * w + x] = tex.Get(0, x, y);
     }
     sort::PbsnStepCpu(expected, static_cast<std::size_t>(block));
 
@@ -210,7 +210,7 @@ TEST(RasterizerPbsnQuadTest, TallBlockQuadsEqualScalarStep) {
     }
     for (int y = 0; y < h; ++y) {
       for (int x = 0; x < w; ++x) {
-        ASSERT_EQ(fb.Get(0, x, y), expected[tex.Index(x, y)])
+        ASSERT_EQ(fb.Get(0, x, y), expected[static_cast<std::size_t>(y) * w + x])
             << "block " << block << " pixel (" << x << "," << y << ")";
       }
     }

@@ -234,6 +234,52 @@ TEST(SortRunsTest, DefaultPathSortsRunsOneByOne) {
   EXPECT_GT(sorter.last_run().comparisons, 0u);
 }
 
+TEST(SortRunsTest, NonPowerOfTwoRunsPadWithoutLeaking) {
+  // Runs in one RGBA group pad to the longest run's power-of-two size
+  // (+inf padding, sorted to the tail). The padding must never leak into
+  // any run's output, including much-shorter runs sharing the group.
+  gpu::GpuDevice device;
+  PbsnGpuSorter sorter(&device, hwmodel::kGeForce6800Ultra, hwmodel::kPentium4_3400);
+  std::mt19937 rng(23);
+  std::uniform_real_distribution<float> d(-50.0f, 50.0f);
+
+  // One group: 1000 pads to 1024; 37, 1, and 777 ride along padded to 1024.
+  std::vector<std::vector<float>> runs(4);
+  runs[0].resize(1000);
+  runs[1].resize(37);
+  runs[2].resize(1);
+  runs[3].resize(777);
+  std::vector<std::vector<float>> expected(4);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    for (float& x : runs[i]) x = d(rng);
+    expected[i] = runs[i];
+    std::sort(expected[i].begin(), expected[i].end());
+  }
+  std::vector<std::span<float>> views(runs.begin(), runs.end());
+  sorter.SortRuns(views);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    ASSERT_EQ(runs[i], expected[i]) << "run " << i;
+    for (float v : runs[i]) ASSERT_TRUE(std::isfinite(v)) << "run " << i;
+  }
+}
+
+TEST(SortRunsTest, ZeroLengthRunsAreHandled) {
+  gpu::GpuDevice device;
+  PbsnGpuSorter sorter(&device, hwmodel::kGeForce6800Ultra, hwmodel::kPentium4_3400);
+
+  // Zero-length runs mixed into a group, a group that is entirely empty,
+  // and an empty run list: no crashes, non-empty runs still sort.
+  std::vector<std::vector<float>> runs = {{}, {3, 1, 2}, {}, {7, 5}, {}, {}, {}, {}};
+  std::vector<std::span<float>> views(runs.begin(), runs.end());
+  sorter.SortRuns(views);  // group 2 (runs 4..7) is all-empty
+  EXPECT_EQ(runs[1], (std::vector<float>{1, 2, 3}));
+  EXPECT_EQ(runs[3], (std::vector<float>{5, 7}));
+
+  std::vector<std::span<float>> none;
+  sorter.SortRuns(none);
+  EXPECT_EQ(sorter.last_run().comparisons, 0u);
+}
+
 TEST(SortRunsTest, BatchAccumulatesTiming) {
   gpu::GpuDevice device;
   PbsnGpuSorter sorter(&device, hwmodel::kGeForce6800Ultra, hwmodel::kPentium4_3400);

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Gate engine-benchmark regressions against the committed baseline.
+
+Usage:
+  check_bench_regression.py BASELINE.json NEW_ENGINE.json [--tolerance 1.2]
+  check_bench_regression.py --merge ENGINE.json FIG3.json [-o BENCH_sort.json]
+
+Check mode compares the machine-normalized kernel ratios (``rel_memcpy`` =
+ns/element divided by the machine's large-memcpy ns/byte) of a fresh
+bench_engine run against the baseline's ``engine`` section. Raw nanoseconds
+vary with the CI runner; the ratio to streaming-copy speed is stable enough
+to gate on. Exit 1 if any kernel's ratio exceeds baseline * tolerance.
+
+Merge mode rebuilds the committed repo-root baseline from fresh
+bench_engine + bench_fig3_sorting JSON outputs.
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_TOLERANCE = 1.2
+
+MERGE_COMMENT = (
+    "Blessed benchmark baseline. Regenerate with: "
+    "STREAMGPU_BENCH_JSON=e.json build/bench/bench_engine && "
+    "STREAMGPU_BENCH_JSON=f.json build/bench/bench_fig3_sorting, "
+    "then merge (tools/check_bench_regression.py --merge e.json f.json). "
+    "CI gates on machine-normalized engine ratios (rel_memcpy), not raw ns."
+)
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def merge(engine_path, fig3_path, out_path):
+    engine = load(engine_path)
+    fig3 = load(fig3_path)
+    merged = {
+        "schema": 1,
+        "comment": MERGE_COMMENT,
+        "engine": engine["engine"],
+        "fig3_sorting": fig3["fig3_sorting"],
+    }
+    with open(out_path, "w") as f:
+        json.dump(merged, f, indent=2)
+        f.write("\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
+def check(baseline_path, new_path, tolerance):
+    baseline = load(baseline_path)["engine"]["kernels"]
+    new = load(new_path)["engine"]["kernels"]
+
+    failures = []
+    print(f"{'kernel':<16} {'baseline':>10} {'new':>10} {'ratio':>7}  "
+          f"(rel_memcpy, limit {tolerance:.2f}x)")
+    for name, base in sorted(baseline.items()):
+        if name not in new:
+            failures.append(f"{name}: missing from new results")
+            continue
+        b = base["rel_memcpy"]
+        n = new[name]["rel_memcpy"]
+        ratio = n / b if b > 0 else float("inf")
+        flag = " REGRESSED" if ratio > tolerance else ""
+        print(f"{name:<16} {b:>10.2f} {n:>10.2f} {ratio:>6.2f}x{flag}")
+        if ratio > tolerance:
+            failures.append(f"{name}: {b:.2f} -> {n:.2f} ({ratio:.2f}x)")
+
+    if failures:
+        print("\nFAIL: engine benchmark regressed beyond "
+              f"{tolerance:.2f}x the committed baseline:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        print("\nIf the change is intentional, regenerate the baseline "
+              "(see the comment in BENCH_sort.json).", file=sys.stderr)
+        return 1
+    print("\nOK: all kernels within tolerance.")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("inputs", nargs=2,
+                        help="baseline.json new.json (check mode) or "
+                             "engine.json fig3.json (merge mode)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="max allowed new/baseline rel_memcpy ratio "
+                             f"(default {DEFAULT_TOLERANCE})")
+    parser.add_argument("--merge", action="store_true",
+                        help="merge engine+fig3 JSON into a new baseline")
+    parser.add_argument("-o", "--output", default="BENCH_sort.json",
+                        help="merge-mode output path (default BENCH_sort.json)")
+    args = parser.parse_args()
+
+    if args.merge:
+        return merge(args.inputs[0], args.inputs[1], args.output)
+    return check(args.inputs[0], args.inputs[1], args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
