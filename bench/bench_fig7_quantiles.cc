@@ -49,7 +49,7 @@ int main() {
       if (backend == core::Backend::kGpuPbsn) {
         gpu_total = qe.SimulatedSeconds() * 1e3;
         gpu_wall = t.ElapsedSeconds();
-        median = qe.Quantile(0.5);
+        median = qe.Quantile(0.5).value;
       } else {
         cpu_total = qe.SimulatedSeconds() * 1e3;
         cpu_wall = t.ElapsedSeconds();

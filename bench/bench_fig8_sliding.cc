@@ -94,7 +94,7 @@ int main() {
         }
         std::sort(tail.begin(), tail.end());
         for (double phi : {0.25, 0.5, 0.75}) {
-          const float q = qe.Quantile(phi);
+          const float q = qe.Quantile(phi).value;
           const double target = std::ceil(phi * static_cast<double>(tail.size()));
           rank_err = std::max(rank_err, RankDeviation(tail, q, target));
         }

@@ -40,8 +40,8 @@ int main() {
     // Flag prints outside the recent 1st..99th percentile band (checked
     // every 10K ticks once enough history exists).
     if (i >= 200'000 && i % 10'000 == 0) {
-      const float lo = recent.Quantile(0.01);
-      const float hi = recent.Quantile(0.99);
+      const float lo = recent.Quantile(0.01).value;
+      const float hi = recent.Quantile(0.99).value;
       if (price < lo || price > hi) ++outliers;
     }
   }
@@ -57,8 +57,8 @@ int main() {
                                                    {"median", 0.50},
                                                    {"upper quartile", 0.75},
                                                    {"99th percentile", 0.99}}) {
-    std::printf("%-28s %10.2f %10.2f\n", label, session.Quantile(phi),
-                recent.Quantile(phi));
+    std::printf("%-28s %10.2f %10.2f\n", label, session.Quantile(phi).value,
+                recent.Quantile(phi).value);
   }
   std::printf("outlier prints flagged during session: %zu\n", outliers);
   std::printf("memory: %zu tuples (session) + %zu tuples (sliding)\n",

@@ -22,10 +22,14 @@ void Report(const streamgpu::core::FrequencyEstimator& monitor, double support,
   std::printf("--- %s: flows above %.1f%% of the last %llu packets ---\n", when,
               support * 100,
               static_cast<unsigned long long>(monitor.options().sliding_window));
-  for (const auto& [flow, packets] : monitor.HeavyHitters(support)) {
-    std::printf("   flow %5.0f   >= %6llu packets\n", flow,
-                static_cast<unsigned long long>(packets));
+  const streamgpu::core::FrequencyReport report = monitor.HeavyHitters(support);
+  for (const auto& item : report.items) {
+    std::printf("   flow %5.0f   >= %6llu packets\n", item.value,
+                static_cast<unsigned long long>(item.estimate));
   }
+  std::printf("   (undercount <= %llu over the last %llu packets)\n",
+              static_cast<unsigned long long>(report.error_bound),
+              static_cast<unsigned long long>(report.window_coverage));
 }
 
 }  // namespace
@@ -37,7 +41,13 @@ int main() {
   options.epsilon = 0.005;           // 0.5% of the window
   options.sliding_window = 200'000;  // the last 200K packets
   options.backend = core::Backend::kGpuPbsn;
-  core::FrequencyEstimator monitor(options);
+  auto created = core::FrequencyEstimator::Create(options);
+  if (!created.ok()) {
+    std::fprintf(stderr, "invalid configuration: %s\n",
+                 created.status().message().c_str());
+    return 2;
+  }
+  core::FrequencyEstimator& monitor = **created;
 
   // Phase 1: normal traffic — bursty flows with Zipf popularity.
   stream::StreamGenerator normal({.distribution = stream::Distribution::kNetworkFlows,
@@ -45,8 +55,9 @@ int main() {
                                   .domain_size = 5000,
                                   .zipf_s = 1.1,
                                   .mean_burst = 6.0});
+  // Queries are valid mid-stream: they reflect every fully merged window, so
+  // no Flush() is needed between phases (Flush() now finalizes the stream).
   for (int i = 0; i < 400'000; ++i) monitor.Observe(normal.Next());
-  monitor.Flush();
   Report(monitor, 0.02, "baseline");
 
   // Phase 2: flow 1776 floods 30% of the traffic (e.g. a DDoS source or an
@@ -59,7 +70,6 @@ int main() {
   for (int i = 0; i < 300'000; ++i) {
     monitor.Observe(i % 10 < 3 ? 1776.0f : mixed.Next());
   }
-  monitor.Flush();
   Report(monitor, 0.02, "during flood");
   std::printf("flow 1776 estimated packets in window: %llu\n",
               static_cast<unsigned long long>(monitor.EstimateCount(1776.0f)));
@@ -67,7 +77,7 @@ int main() {
   // Phase 3: flood stops; once the window slides past it, flow 1776 drops
   // out of the report.
   for (int i = 0; i < 300'000; ++i) monitor.Observe(normal.Next());
-  monitor.Flush();
+  monitor.Flush();  // end of stream: finalize the last partial window
   Report(monitor, 0.02, "after flood expired");
   std::printf("flow 1776 estimated packets in window: %llu\n",
               static_cast<unsigned long long>(monitor.EstimateCount(1776.0f)));

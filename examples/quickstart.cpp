@@ -15,11 +15,18 @@
 int main() {
   using namespace streamgpu;
 
-  // 1. Configure: approximation budget and backend.
+  // 1. Configure: approximation budget and backend. Create() validates the
+  //    options and reports configuration errors instead of aborting.
   core::Options options;
   options.epsilon = 1e-3;                        // answers within 0.1% of N
   options.backend = core::Backend::kGpuPbsn;     // the paper's GPU sort
-  core::StreamMiner miner(options);
+  auto created = core::StreamMiner::Create(options);
+  if (!created.ok()) {
+    std::fprintf(stderr, "invalid configuration: %s\n",
+                 created.status().message().c_str());
+    return 2;
+  }
+  core::StreamMiner& miner = **created;
 
   // 2. Stream data through it (any float source works; here a synthetic
   //    Zipf stream standing in for a network/web-click log).
@@ -33,13 +40,17 @@ int main() {
   // 3. Query.
   std::printf("stream length           : %llu\n",
               static_cast<unsigned long long>(miner.quantiles().processed_length()));
-  std::printf("median (phi = 0.50)     : %.0f\n", miner.quantiles().Quantile(0.50));
-  std::printf("p99    (phi = 0.99)     : %.0f\n", miner.quantiles().Quantile(0.99));
+  const core::QuantileReport median = miner.quantiles().Quantile(0.50);
+  std::printf("median (phi = 0.50)     : %.0f (rank error <= %llu)\n", median.value,
+              static_cast<unsigned long long>(median.rank_error_bound));
+  std::printf("p99    (phi = 0.99)     : %.0f\n",
+              miner.quantiles().Quantile(0.99).value);
 
+  const core::FrequencyReport hh = miner.frequencies().HeavyHitters(0.01);
   std::printf("heavy hitters (s = 1%%) :\n");
-  for (const auto& [value, count] : miner.frequencies().HeavyHitters(0.01)) {
-    std::printf("   value %4.0f  count >= %llu\n", value,
-                static_cast<unsigned long long>(count));
+  for (const auto& item : hh.items) {
+    std::printf("   value %4.0f  count >= %llu\n", item.value,
+                static_cast<unsigned long long>(item.estimate));
   }
 
   // 4. Inspect cost: simulated 2005-hardware time and summary footprint.

@@ -47,9 +47,12 @@ std::vector<std::unique_ptr<SortEngine>> MakeWorkerEngines(const Options& option
 
 stream::PipelineConfig MakePipelineConfig(const Options& options,
                                           std::uint64_t window_size,
-                                          int batch_windows) {
+                                          int batch_windows,
+                                          const char* trace_label) {
   stream::PipelineConfig config;
   config.window_size = window_size;
+  config.trace = options.obs.trace;
+  config.trace_label = trace_label;
   if (options.max_windows_in_flight > 0) {
     config.max_batches_in_flight =
         (options.max_windows_in_flight + batch_windows - 1) / batch_windows;

@@ -52,9 +52,12 @@ std::vector<std::unique_ptr<SortEngine>> MakeWorkerEngines(const Options& option
 /// Pipeline configuration derived from the estimator options:
 /// Options::max_windows_in_flight (a window count) is rounded up to whole
 /// sort batches of `batch_windows` windows; 0 keeps the pipeline default.
+/// Options::obs.trace is forwarded so the pipeline threads appear in the
+/// trace under `trace_label` ("freq"/"quant").
 stream::PipelineConfig MakePipelineConfig(const Options& options,
                                           std::uint64_t window_size,
-                                          int batch_windows);
+                                          int batch_windows,
+                                          const char* trace_label);
 
 }  // namespace streamgpu::core
 

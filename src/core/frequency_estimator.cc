@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 #include "common/timer.h"
@@ -13,12 +14,13 @@ namespace streamgpu::core {
 
 namespace {
 
-// Validates user-provided options at the API boundary.
+constexpr char kPrefix[] = "freq";
+
+// Validates user-provided options at the API boundary; constructor path, so
+// violations abort (Create() returns them as Status instead).
 const Options& ValidatedOptions(const Options& options) {
-  STREAMGPU_CHECK_MSG(options.epsilon > 0.0 && options.epsilon < 1.0,
-                      "epsilon must be in (0, 1)");
-  STREAMGPU_CHECK_MSG(options.num_sort_workers <= 1024,
-                      "num_sort_workers is unreasonably large");
+  const Status status = options.Validate();
+  STREAMGPU_CHECK_MSG(status.ok(), status.ToString().c_str());
   return options;
 }
 
@@ -36,8 +38,28 @@ std::uint64_t NaturalWindow(const Options& options) {
 
 }  // namespace
 
+StatusOr<std::unique_ptr<FrequencyEstimator>> FrequencyEstimator::Create(
+    const Options& options) {
+  Status status = options.Validate();
+  if (!status.ok()) return status;
+  if (options.sliding_window == 0) {
+    // Frequency-specific rule: the Manku-Motwani summary's bucket width caps
+    // the whole-history window (the quantile summary has no such cap, so
+    // this lives here rather than in Options::Validate()).
+    const auto width = static_cast<std::uint64_t>(std::ceil(1.0 / options.epsilon));
+    if (options.window_size > width) {
+      return Status::InvalidArgument(
+          "window_size (" + std::to_string(options.window_size) +
+          ") must not exceed ceil(1/epsilon) (= " + std::to_string(width) +
+          ") in whole-history mode");
+    }
+  }
+  return std::make_unique<FrequencyEstimator>(options);
+}
+
 FrequencyEstimator::FrequencyEstimator(const Options& options)
     : options_(ValidatedOptions(options)),
+      obs_(options.obs),
       engine_(options),
       // engine_ is declared (and therefore initialized) before batcher_.
       batcher_(NaturalWindow(options), engine_.batch_windows()),
@@ -51,13 +73,32 @@ FrequencyEstimator::FrequencyEstimator(const Options& options)
     STREAMGPU_CHECK_MSG(batcher_.window_size() <= whole_->window_width(),
                         "window_size must not exceed ceil(1/epsilon)");
   }
+
+  ids_ = EstimatorMetricIds::Register(obs_.metrics, kPrefix, batcher_.window_size());
+  if (obs_.trace != nullptr) obs_.trace->NameCurrentThread("ingest");
+  sort_front_ = &engine_.sorter();
+  if (obs_.any()) {
+    traced_sorter_ = std::make_unique<TracingSorter>(&engine_.sorter(),
+                                                     engine_.device(), obs_, kPrefix);
+    sort_front_ = traced_sorter_.get();
+  }
+
   if (options.num_sort_workers >= 2) {
     worker_engines_ = MakeWorkerEngines(options, options.num_sort_workers);
     std::vector<sort::Sorter*> sorters;
     sorters.reserve(worker_engines_.size());
-    for (auto& engine : worker_engines_) sorters.push_back(&engine->sorter());
+    for (auto& engine : worker_engines_) {
+      if (obs_.any()) {
+        traced_workers_.push_back(std::make_unique<TracingSorter>(
+            &engine->sorter(), engine->device(), obs_, kPrefix));
+        sorters.push_back(traced_workers_.back().get());
+      } else {
+        sorters.push_back(&engine->sorter());
+      }
+    }
     pipeline_ = std::make_unique<stream::SortPipeline>(
-        MakePipelineConfig(options, batcher_.window_size(), engine_.batch_windows()),
+        MakePipelineConfig(options, batcher_.window_size(), engine_.batch_windows(),
+                           kPrefix),
         std::move(sorters),
         [this](std::vector<float>&& data, const sort::SortRunInfo& run) {
           DrainSortedBatch(std::move(data), run);
@@ -65,14 +106,37 @@ FrequencyEstimator::FrequencyEstimator(const Options& options)
   }
 }
 
-void FrequencyEstimator::Observe(float value) {
+Status FrequencyEstimator::Observe(float value) {
+  if (finalized_) {
+    return Status::FailedPrecondition(
+        "Observe() after Flush(): the estimator is finalized and query-only");
+  }
+  ObserveValue(value);
+  return Status::Ok();
+}
+
+Status FrequencyEstimator::ObserveBatch(std::span<const float> values) {
+  if (finalized_) {
+    return Status::FailedPrecondition(
+        "ObserveBatch() after Flush(): the estimator is finalized and query-only");
+  }
+  for (float v : values) ObserveValue(v);
+  return Status::Ok();
+}
+
+void FrequencyEstimator::ObserveValue(float value) {
   ++observed_;
+  if (obs_.metrics != nullptr) obs_.metrics->Add(ids_.elements_observed);
+  if (obs_.trace != nullptr && ingest_start_us_ < 0) {
+    ingest_start_us_ = obs_.trace->NowMicros();
+  }
   if (engine_.is_gpu() && options_.gpu_format == gpu::Format::kFloat16) {
     // The paper streams 16-bit floating point data (§5); the GPU pipeline
     // quantizes on ingestion so summaries and queries agree bit-exactly.
     value = gpu::QuantizeToHalf(value);
   }
   if (batcher_.Push(value)) {
+    EndIngestSpan(batcher_.window_size() * engine_.batch_windows());
     if (pipeline_ != nullptr) {
       pipeline_->Submit(batcher_.TakeBuffer(pipeline_->AcquireBuffer()));
     } else {
@@ -81,11 +145,24 @@ void FrequencyEstimator::Observe(float value) {
   }
 }
 
-void FrequencyEstimator::ObserveBatch(std::span<const float> values) {
-  for (float v : values) Observe(v);
+void FrequencyEstimator::EndIngestSpan(std::size_t elements) {
+  if (obs_.trace == nullptr) return;
+  const std::uint64_t seq = ingest_seq_++;
+  if (ingest_start_us_ >= 0 && obs_.trace->Sampled(seq)) {
+    // The span covers accumulating one batch in the WindowBatcher, from the
+    // batch's first element to its hand-off.
+    obs_.trace->AddSpan("ingest_batch", "ingest", ingest_start_us_,
+                        obs_.trace->NowMicros() - ingest_start_us_,
+                        {{"seq", static_cast<double>(seq)},
+                         {"elements", static_cast<double>(elements)}});
+  }
+  ingest_start_us_ = -1;
 }
 
 void FrequencyEstimator::Flush() {
+  if (finalized_) return;
+  finalized_ = true;
+  if (!batcher_.empty()) EndIngestSpan(batcher_.buffered());
   if (pipeline_ != nullptr) {
     if (!batcher_.empty()) {
       pipeline_->Submit(batcher_.TakeBuffer(pipeline_->AcquireBuffer()));
@@ -101,10 +178,22 @@ void FrequencyEstimator::ProcessBuffered() {
 
   // Sort every buffered window with the configured backend (four at a time
   // through the RGBA channels on the PBSN path).
-  engine_.sorter().SortRuns(windows);
-  costs_.sort += engine_.sorter().last_run();
+  sort_front_->SortRuns(windows);
+  costs_.sort += sort_front_->last_run();
 
-  for (std::span<float> window : windows) MergeSortedWindow(window);
+  const std::uint64_t seq = drain_seq_++;
+  const bool traced = obs_.trace != nullptr && obs_.trace->Sampled(seq);
+  const double t0 = traced ? obs_.trace->NowMicros() : 0;
+  std::size_t elements = 0;
+  for (std::span<float> window : windows) {
+    elements += window.size();
+    MergeSortedWindow(window);
+  }
+  if (traced) {
+    obs_.trace->AddSpan("drain_batch", "drain", t0, obs_.trace->NowMicros() - t0,
+                        {{"seq", static_cast<double>(seq)},
+                         {"elements", static_cast<double>(elements)}});
+  }
   batcher_.Clear();
 }
 
@@ -122,6 +211,10 @@ void FrequencyEstimator::DrainSortedBatch(std::vector<float>&& data,
 }
 
 void FrequencyEstimator::MergeSortedWindow(std::span<float> window) {
+  const std::uint64_t seq = window_seq_++;
+  const bool traced = obs_.trace != nullptr && obs_.trace->Sampled(seq);
+  const double t0 = traced ? obs_.trace->NowMicros() : 0;
+
   Timer hist_timer;
   const std::vector<sketch::HistogramEntry> histogram = sketch::BuildHistogram(window);
   costs_.histogram_wall_seconds += hist_timer.ElapsedSeconds();
@@ -133,6 +226,18 @@ void FrequencyEstimator::MergeSortedWindow(std::span<float> window) {
     sliding_->AddBlockHistogram(histogram, window.size());
   }
   processed_ += window.size();
+
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->Add(ids_.windows_merged);
+    obs_.metrics->Add(ids_.elements_merged, window.size());
+    obs_.metrics->Record(ids_.window_elements, static_cast<double>(window.size()));
+  }
+  if (traced) {
+    obs_.trace->AddSpan("window_merge", "merge", t0, obs_.trace->NowMicros() - t0,
+                        {{"window", static_cast<double>(seq)},
+                         {"elements", static_cast<double>(window.size())},
+                         {"histogram_entries", static_cast<double>(histogram.size())}});
+  }
 }
 
 void FrequencyEstimator::Sync() const {
@@ -147,15 +252,47 @@ void FrequencyEstimator::Sync() const {
   costs_.pipelined_batches = stats.batches;
 }
 
-std::vector<std::pair<float, std::uint64_t>> FrequencyEstimator::HeavyHitters(
-    double support, std::uint64_t window) const {
+std::uint64_t FrequencyEstimator::Coverage(std::uint64_t window) const {
+  if (whole_.has_value()) return processed_;
+  std::uint64_t effective =
+      window == 0 ? options_.sliding_window : std::min(window, options_.sliding_window);
+  return std::min(effective, processed_);
+}
+
+std::uint64_t FrequencyEstimator::ErrorBound() const {
+  // Whole-history: at most epsilon * N undercount. Sliding: the block
+  // decomposition guarantees epsilon * W over the full window width
+  // regardless of the queried sub-window (sketch/sliding_window.h).
+  const double n = whole_.has_value() ? static_cast<double>(processed_)
+                                      : static_cast<double>(options_.sliding_window);
+  return static_cast<std::uint64_t>(std::ceil(options_.epsilon * n));
+}
+
+FrequencyReport FrequencyEstimator::HeavyHitters(double support,
+                                                 std::uint64_t window) const {
   Sync();
-  if (whole_.has_value()) return whole_->HeavyHitters(support);
-  return sliding_->HeavyHitters(support, window);
+  FrequencyReport report;
+  report.support = support;
+  report.epsilon = options_.epsilon;
+  report.stream_length = processed_;
+  report.window_coverage = Coverage(window);
+  report.error_bound = ErrorBound();
+  const auto pairs = whole_.has_value() ? whole_->HeavyHitters(support)
+                                        : sliding_->HeavyHitters(support, window);
+  report.items.reserve(pairs.size());
+  for (const auto& [value, estimate] : pairs) {
+    report.items.push_back({value, estimate});
+  }
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->Add(ids_.queries);
+    ExportFrequencyReport(obs_.metrics, kPrefix, report);
+  }
+  return report;
 }
 
 std::uint64_t FrequencyEstimator::EstimateCount(float value, std::uint64_t window) const {
   Sync();
+  if (obs_.metrics != nullptr) obs_.metrics->Add(ids_.queries);
   if (engine_.is_gpu() && options_.gpu_format == gpu::Format::kFloat16) {
     // Queries live in the same quantized value universe as ingestion.
     value = gpu::QuantizeToHalf(value);
@@ -164,15 +301,13 @@ std::uint64_t FrequencyEstimator::EstimateCount(float value, std::uint64_t windo
   return sliding_->EstimateCount(value, window);
 }
 
-std::vector<std::pair<float, std::uint64_t>> FrequencyEstimator::TopK(
-    std::size_t k, std::uint64_t window) const {
-  Sync();
+FrequencyReport FrequencyEstimator::TopK(std::size_t k, std::uint64_t window) const {
   // HeavyHitters at support 0 returns every retained entry, sorted by
   // descending estimate; truncate to k.
-  auto all = whole_.has_value() ? whole_->HeavyHitters(0.0)
-                                : sliding_->HeavyHitters(0.0, window);
-  if (all.size() > k) all.resize(k);
-  return all;
+  FrequencyReport report = HeavyHitters(0.0, window);
+  if (report.items.size() > k) report.items.resize(k);
+  if (obs_.metrics != nullptr) ExportFrequencyReport(obs_.metrics, kPrefix, report);
+  return report;
 }
 
 std::uint64_t FrequencyEstimator::processed_length() const {
@@ -210,6 +345,17 @@ const PipelineCosts& FrequencyEstimator::costs() const {
     costs_.compressed_entries = ops.compressed_entries;
   }
   return costs_;
+}
+
+void FrequencyEstimator::ExportMetrics() const {
+  if (obs_.metrics == nullptr) return;
+  ExportPipelineCosts(obs_.metrics, kPrefix, costs(), cpu_model_);
+  const auto set = [&](const char* name, double value) {
+    obs_.metrics->Set(obs_.metrics->Gauge(std::string(kPrefix) + name), value);
+  };
+  set(".stream.observed", static_cast<double>(observed_));
+  set(".stream.processed", static_cast<double>(processed_length()));
+  set(".summary.entries", static_cast<double>(summary_size()));
 }
 
 double FrequencyEstimator::SimulatedSeconds() const {

@@ -15,7 +15,10 @@
 
 #include "core/backend.h"
 #include "core/costs.h"
+#include "core/instrumentation.h"
 #include "core/options.h"
+#include "core/report.h"
+#include "core/status.h"
 #include "gpu/stats.h"
 #include "sketch/lossy_counting.h"
 #include "sketch/sliding_window.h"
@@ -29,16 +32,22 @@ namespace streamgpu::core {
 /// Usage:
 ///   Options opt;
 ///   opt.epsilon = 1e-4;
-///   FrequencyEstimator fe(opt);
-///   for (float v : stream) fe.Observe(v);
-///   fe.Flush();
-///   auto hitters = fe.HeavyHitters(0.01);
+///   auto fe = FrequencyEstimator::Create(opt);
+///   if (!fe.ok()) { /* report fe.status() */ }
+///   for (float v : stream) (*fe)->Observe(v);
+///   (*fe)->Flush();
+///   FrequencyReport hitters = (*fe)->HeavyHitters(0.01);
 ///
 /// Queries reflect the windows processed so far; up to
 /// batch-size * window-size recent elements may still be buffered until the
-/// next batch boundary or Flush(). Flush() finalizes a partial window and is
-/// intended for end-of-stream (whole-history mode's error guarantee assumes
-/// full windows in the interior of the stream).
+/// next batch boundary or Flush().
+///
+/// Lifecycle: Flush() finalizes the stream — it processes the remaining
+/// partial window, is idempotent, and puts the estimator in a query-only
+/// state. Observe()/ObserveBatch() after Flush() return a
+/// kFailedPrecondition Status and change nothing (whole-history mode's error
+/// guarantee assumes full windows in the interior of the stream, so elements
+/// appended after a finalized partial window would silently void it).
 ///
 /// With Options::num_sort_workers >= 2 ingestion runs through the parallel
 /// pipeline (stream::SortPipeline): window-batches are sorted concurrently
@@ -46,24 +55,45 @@ namespace streamgpu::core {
 /// first wait for every in-flight batch, so answers — and all simulated-2005
 /// cost figures — are identical to serial execution. Observe()/Flush() and
 /// queries must come from one thread (the same contract as serial mode).
+///
+/// Observability: when Options::obs wires a MetricsRegistry and/or a
+/// TraceRecorder, the estimator records "freq."-prefixed counters, exports
+/// cost gauges through ExportMetrics(), and emits per-stage spans (ingest /
+/// sort + GPU passes / merge / drain). Both sinks default to null and the
+/// disabled path costs one pointer compare per site. docs/OBSERVABILITY.md
+/// documents the schema.
 class FrequencyEstimator {
  public:
+  /// Validated construction: returns the first configuration error (see
+  /// Options::Validate(), plus the frequency-specific rule that a
+  /// whole-history window_size must not exceed ceil(1/epsilon)) instead of
+  /// aborting. The returned estimator is never null on ok().
+  static StatusOr<std::unique_ptr<FrequencyEstimator>> Create(const Options& options);
+
+  /// Direct construction CHECK-aborts on invalid options; prefer Create().
   explicit FrequencyEstimator(const Options& options);
 
-  /// Processes one stream element.
-  void Observe(float value);
+  /// Processes one stream element. Fails (and ignores the element) once the
+  /// estimator is finalized by Flush().
+  Status Observe(float value);
 
-  /// Processes a batch of stream elements.
-  void ObserveBatch(std::span<const float> values);
+  /// Processes a batch of stream elements (all or none on failure).
+  Status ObserveBatch(std::span<const float> values);
 
-  /// Processes any buffered windows, including a final partial one.
+  /// Finalizes the stream: processes buffered windows, including a final
+  /// partial one, and puts the estimator in a query-only state. Idempotent —
+  /// repeated calls are no-ops.
   void Flush();
+
+  /// True once Flush() has finalized the estimator.
+  bool finalized() const { return finalized_; }
 
   /// Heavy hitters at `support` over the whole history, or — in sliding
   /// mode — over the most recent `window` elements (0 = full sliding
-  /// window). No false negatives among processed elements.
-  std::vector<std::pair<float, std::uint64_t>> HeavyHitters(
-      double support, std::uint64_t window = 0) const;
+  /// window). No false negatives among processed elements. The report
+  /// carries the guaranteed error bound and the coverage the answer is
+  /// stated over.
+  FrequencyReport HeavyHitters(double support, std::uint64_t window = 0) const;
 
   /// Estimated frequency of `value` (undercounts by at most epsilon * N).
   std::uint64_t EstimateCount(float value, std::uint64_t window = 0) const;
@@ -71,9 +101,8 @@ class FrequencyEstimator {
   /// The k values with the highest estimated frequencies (descending). With
   /// estimates within epsilon * N of truth, this is the true top-k whenever
   /// the k-th and (k+1)-th true frequencies are more than 2 * epsilon * N
-  /// apart.
-  std::vector<std::pair<float, std::uint64_t>> TopK(std::size_t k,
-                                                    std::uint64_t window = 0) const;
+  /// apart. The report's support is 0 (no threshold was applied).
+  FrequencyReport TopK(std::size_t k, std::uint64_t window = 0) const;
 
   /// Elements already folded into the summary.
   std::uint64_t processed_length() const;
@@ -87,6 +116,11 @@ class FrequencyEstimator {
   /// Accumulated per-operation costs (Fig. 5/6 source data).
   const PipelineCosts& costs() const;
 
+  /// Serializes costs() and the stream/summary gauges into the wired
+  /// MetricsRegistry (no-op without one). Counters are always live; this
+  /// publishes the point-in-time values that have no incremental form.
+  void ExportMetrics() const;
+
   /// Simulated end-to-end 2005-hardware seconds for everything processed.
   double SimulatedSeconds() const;
 
@@ -99,6 +133,10 @@ class FrequencyEstimator {
   bool pipelined() const { return pipeline_ != nullptr; }
 
  private:
+  /// Hot ingest path shared by Observe()/ObserveBatch() after the lifecycle
+  /// check.
+  void ObserveValue(float value);
+
   /// Serial path: sorts the buffered windows with the backend and merges
   /// each into the summary.
   void ProcessBuffered();
@@ -116,7 +154,16 @@ class FrequencyEstimator {
   /// wait-stats in costs_. No-op in serial mode.
   void Sync() const;
 
+  /// Elements a query at `window` answers over, and the frequency error
+  /// bound the structure guarantees for it.
+  std::uint64_t Coverage(std::uint64_t window) const;
+  std::uint64_t ErrorBound() const;
+
+  /// Closes the open ingest_batch span (tracing only).
+  void EndIngestSpan(std::size_t elements);
+
   Options options_;
+  obs::Observability obs_;
   SortEngine engine_;
   stream::WindowBatcher batcher_;
   std::optional<sketch::LossyCounting> whole_;
@@ -125,11 +172,23 @@ class FrequencyEstimator {
   mutable PipelineCosts costs_;
   std::uint64_t observed_ = 0;
   std::uint64_t processed_ = 0;
+  bool finalized_ = false;
 
-  /// Pipelined mode only: one engine per sort worker, and the pipeline
-  /// driving them. Declared last so threads stop before members they
-  /// reference are destroyed.
+  /// Observability wiring (null ids / null decorators when disabled).
+  EstimatorMetricIds ids_;
+  std::unique_ptr<TracingSorter> traced_sorter_;  ///< wraps engine_ (serial path)
+  sort::Sorter* sort_front_ = nullptr;            ///< engine sorter or its decorator
+  std::uint64_t window_seq_ = 0;                  ///< windows merged; trace sampling
+  std::uint64_t ingest_seq_ = 0;                  ///< batches ingested; trace sampling
+  std::uint64_t drain_seq_ = 0;                   ///< serial drain batches
+  double ingest_start_us_ = -1;                   ///< open ingest span start
+
+  /// Pipelined mode only: one engine per sort worker (plus its tracing
+  /// decorator when observability is wired), and the pipeline driving them.
+  /// Declared last so threads stop before members they reference are
+  /// destroyed.
   std::vector<std::unique_ptr<SortEngine>> worker_engines_;
+  std::vector<std::unique_ptr<TracingSorter>> traced_workers_;
   std::unique_ptr<stream::SortPipeline> pipeline_;
 };
 

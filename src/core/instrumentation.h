@@ -1,0 +1,104 @@
+// Observability wiring for the estimators: the sorter decorator that emits
+// sort spans + GPU pass sub-spans, the per-estimator metric-id bundle, and
+// the gauge exporters that serialize PipelineCosts and query reports into a
+// MetricsRegistry.
+//
+// Everything here is wired only when Options::obs carries a registry or a
+// recorder, so the disabled-by-default configuration pays nothing beyond a
+// null check (docs/OBSERVABILITY.md, "Overhead").
+
+#ifndef STREAMGPU_CORE_INSTRUMENTATION_H_
+#define STREAMGPU_CORE_INSTRUMENTATION_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/costs.h"
+#include "core/report.h"
+#include "gpu/device.h"
+#include "hwmodel/cpu_model.h"
+#include "obs/metrics.h"
+#include "obs/observability.h"
+#include "obs/trace.h"
+#include "sort/sorter.h"
+
+namespace streamgpu::core {
+
+/// Counter/histogram ids one estimator records through. Registration is
+/// idempotent by name, so the serial engine's and the pipeline workers'
+/// TracingSorters share the same sort counters and their shard totals sum —
+/// which is what keeps metric counts bit-identical across execution modes.
+struct EstimatorMetricIds {
+  obs::MetricId elements_observed = obs::kInvalidMetric;  ///< <p>.observe.elements
+  obs::MetricId windows_merged = obs::kInvalidMetric;     ///< <p>.merge.windows
+  obs::MetricId elements_merged = obs::kInvalidMetric;    ///< <p>.merge.elements
+  obs::MetricId queries = obs::kInvalidMetric;            ///< <p>.query.count
+  obs::MetricId window_elements = obs::kInvalidMetric;    ///< <p>.merge.window_elements
+
+  /// Registers the bundle under `prefix` ("freq"/"quant"). The
+  /// window-elements histogram is bucketed relative to `window_size` so a
+  /// final partial window is visible at a glance. No-op bundle (all ids
+  /// invalid) when `metrics` is null.
+  static EstimatorMetricIds Register(obs::MetricsRegistry* metrics,
+                                     const std::string& prefix,
+                                     std::uint64_t window_size);
+};
+
+/// Sorter decorator: forwards every call to the wrapped backend, and — per
+/// SortRuns batch, never per element — bumps the sort counters and emits one
+/// "sort_batch" span with GPU sub-spans (upload / passes / readback / CPU
+/// run-merge) reconstructed from the device's GpuStats delta and the run's
+/// simulated time split. Works identically for the serial engine and for
+/// each pipeline worker (each wraps its own sorter + device, so the stats
+/// delta is race-free).
+class TracingSorter : public sort::Sorter {
+ public:
+  /// `inner` and `device` (nullable, CPU backends) are borrowed and must
+  /// outlive the decorator. `prefix` scopes the counter names.
+  TracingSorter(sort::Sorter* inner, const gpu::GpuDevice* device,
+                const obs::Observability& obs, const std::string& prefix);
+
+  void Sort(std::span<float> data) override;
+  void SortRuns(std::span<std::span<float>> runs) override;
+  const sort::SortRunInfo& last_run() const override { return inner_->last_run(); }
+  const char* name() const override { return inner_->name(); }
+
+ protected:
+  /// Never used: both Sort() and SortRuns() delegate wholesale, so the
+  /// wrapped sorter's own record is always the authoritative one.
+  void set_last_run(const sort::SortRunInfo&) override {}
+
+ private:
+  sort::Sorter* inner_;
+  const gpu::GpuDevice* device_;
+  obs::MetricsRegistry* metrics_;
+  obs::TraceRecorder* trace_;
+
+  obs::MetricId batches_ = obs::kInvalidMetric;      ///< <p>.sort.batches
+  obs::MetricId windows_ = obs::kInvalidMetric;      ///< <p>.sort.windows
+  obs::MetricId elements_ = obs::kInvalidMetric;     ///< <p>.sort.elements
+  obs::MetricId comparisons_ = obs::kInvalidMetric;  ///< <p>.sort.comparisons
+
+  std::uint64_t seq_ = 0;  ///< batches seen; drives trace sampling
+};
+
+/// Serializes a PipelineCosts record (plus its simulated-seconds
+/// derivations under `model`) as gauges named <prefix>.cost.*. No-op when
+/// `metrics` is null.
+void ExportPipelineCosts(obs::MetricsRegistry* metrics, const std::string& prefix,
+                         const PipelineCosts& costs, const hwmodel::CpuModel& model);
+
+/// Serializes the latest frequency answer as gauges named
+/// <prefix>.query.frequency.*. No-op when `metrics` is null.
+void ExportFrequencyReport(obs::MetricsRegistry* metrics, const std::string& prefix,
+                           const FrequencyReport& report);
+
+/// Serializes the latest quantile answer as gauges named
+/// <prefix>.query.quantile.*. No-op when `metrics` is null.
+void ExportQuantileReport(obs::MetricsRegistry* metrics, const std::string& prefix,
+                          const QuantileReport& report);
+
+}  // namespace streamgpu::core
+
+#endif  // STREAMGPU_CORE_INSTRUMENTATION_H_

@@ -1,0 +1,80 @@
+#include "core/options.h"
+
+#include <cmath>
+#include <string>
+
+#include "sketch/sliding_window.h"
+
+namespace streamgpu::core {
+
+namespace {
+
+/// Largest finite binary16 value; the 16-bit GPU surfaces saturate beyond it.
+constexpr float kHalfMax = 65504.0f;
+
+bool IsGpu(Backend b) {
+  return b == Backend::kGpuPbsn || b == Backend::kGpuBitonic;
+}
+
+}  // namespace
+
+Status Options::Validate() const {
+  if (!(epsilon > 0.0 && epsilon < 1.0)) {
+    return Status::InvalidArgument("epsilon must be in (0, 1), got " +
+                                   std::to_string(epsilon));
+  }
+  if (num_sort_workers < 1) {
+    return Status::InvalidArgument("num_sort_workers must be at least 1, got " +
+                                   std::to_string(num_sort_workers));
+  }
+  if (num_sort_workers > 1024) {
+    return Status::InvalidArgument("num_sort_workers is unreasonably large (" +
+                                   std::to_string(num_sort_workers) + " > 1024)");
+  }
+  if (max_windows_in_flight < 0) {
+    return Status::InvalidArgument("max_windows_in_flight must be >= 0, got " +
+                                   std::to_string(max_windows_in_flight));
+  }
+
+  if (sliding_window != 0) {
+    // The stream must be chunked no coarser than the block size of the
+    // block-decomposition structure (epsilon*W/2), or per-block summaries
+    // cannot honor the in-window error budget. sliding_window < window_size
+    // is a special case of this.
+    const std::uint64_t block =
+        sketch::SlidingWindowFrequency(epsilon, sliding_window).block_size();
+    if (window_size > block) {
+      return Status::InvalidArgument(
+          "window_size (" + std::to_string(window_size) +
+          ") must not exceed the sliding block size epsilon*W/2 (= " +
+          std::to_string(block) + " for epsilon=" + std::to_string(epsilon) +
+          ", sliding_window=" + std::to_string(sliding_window) + ")");
+    }
+  }
+  // Whole-history mode has no common window_size ceiling here: the quantile
+  // summary admits any window width, while the frequency summary caps it at
+  // its bucket width ceil(1/epsilon) — FrequencyEstimator::Create() enforces
+  // that estimator-specific rule.
+
+  if (expected_min_value != 0 || expected_max_value != 0) {
+    if (expected_min_value > expected_max_value) {
+      return Status::InvalidArgument(
+          "expected_min_value (" + std::to_string(expected_min_value) +
+          ") must not exceed expected_max_value (" +
+          std::to_string(expected_max_value) + ")");
+    }
+    if (IsGpu(backend) && gpu_format == gpu::Format::kFloat16 &&
+        (std::abs(expected_min_value) > kHalfMax ||
+         std::abs(expected_max_value) > kHalfMax)) {
+      return Status::InvalidArgument(
+          "expected value range [" + std::to_string(expected_min_value) + ", " +
+          std::to_string(expected_max_value) +
+          "] exceeds the finite binary16 range (+-65504) of the 16-bit GPU "
+          "surfaces; use gpu::Format::kFloat32 or rescale the stream");
+    }
+  }
+
+  return Status::Ok();
+}
+
+}  // namespace streamgpu::core

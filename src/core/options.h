@@ -5,7 +5,9 @@
 
 #include <cstdint>
 
+#include "core/status.h"
 #include "gpu/surface.h"
+#include "obs/observability.h"
 
 namespace streamgpu::core {
 
@@ -75,6 +77,31 @@ struct Options {
   /// Observe() blocks. 0 = (num_sort_workers + 2) batches. Ignored in serial
   /// mode.
   int max_windows_in_flight = 0;
+
+  /// Expected value range of the stream, when known a priori. Only consulted
+  /// by Validate(): a GPU backend configured with 16-bit buffers (the
+  /// default gpu_format) saturates values beyond binary16's finite range
+  /// (|v| > 65504), so expectations outside it are rejected up front instead
+  /// of silently quantizing every out-of-range element to +-65504. 0/0 =
+  /// unknown range, not validated.
+  float expected_min_value = 0;
+  float expected_max_value = 0;
+
+  /// Observability sinks (borrowed, not owned; both null by default =
+  /// observability fully disabled). The pointed-to registry/recorder must
+  /// outlive the estimator. See docs/OBSERVABILITY.md.
+  obs::Observability obs;
+
+  /// Checks every estimator-agnostic configuration rule and returns the
+  /// first violation: epsilon outside (0, 1), num_sort_workers outside
+  /// [1, 1024], negative max_windows_in_flight, window_size exceeding the
+  /// sliding block size epsilon*W/2 (which also rejects
+  /// sliding_window < window_size), or an expected value range outside
+  /// binary16 for a 16-bit GPU configuration. The Create() factories call
+  /// this (adding estimator-specific rules) and propagate the Status; the
+  /// constructors CHECK it, so invalid options still abort rather than
+  /// silently misbehave when the factories are bypassed.
+  Status Validate() const;
 };
 
 }  // namespace streamgpu::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 #include "common/timer.h"
@@ -12,12 +13,13 @@ namespace streamgpu::core {
 
 namespace {
 
-// Validates user-provided options at the API boundary.
+constexpr char kPrefix[] = "quant";
+
+// Validates user-provided options at the API boundary; constructor path, so
+// violations abort (Create() returns them as Status instead).
 const Options& ValidatedOptions(const Options& options) {
-  STREAMGPU_CHECK_MSG(options.epsilon > 0.0 && options.epsilon < 1.0,
-                      "epsilon must be in (0, 1)");
-  STREAMGPU_CHECK_MSG(options.num_sort_workers <= 1024,
-                      "num_sort_workers is unreasonably large");
+  const Status status = options.Validate();
+  STREAMGPU_CHECK_MSG(status.ok(), status.ToString().c_str());
   return options;
 }
 
@@ -40,8 +42,16 @@ std::uint64_t ExpectedLength(const Options& options, std::uint64_t window) {
 
 }  // namespace
 
+StatusOr<std::unique_ptr<QuantileEstimator>> QuantileEstimator::Create(
+    const Options& options) {
+  Status status = options.Validate();
+  if (!status.ok()) return status;
+  return std::make_unique<QuantileEstimator>(options);
+}
+
 QuantileEstimator::QuantileEstimator(const Options& options)
     : options_(ValidatedOptions(options)),
+      obs_(options.obs),
       engine_(options),
       // engine_ is declared (and therefore initialized) before batcher_.
       batcher_(NaturalWindow(options), engine_.batch_windows()),
@@ -54,13 +64,32 @@ QuantileEstimator::QuantileEstimator(const Options& options)
     whole_.emplace(options.epsilon, batcher_.window_size(),
                    ExpectedLength(options, batcher_.window_size()));
   }
+
+  ids_ = EstimatorMetricIds::Register(obs_.metrics, kPrefix, batcher_.window_size());
+  if (obs_.trace != nullptr) obs_.trace->NameCurrentThread("ingest");
+  sort_front_ = &engine_.sorter();
+  if (obs_.any()) {
+    traced_sorter_ = std::make_unique<TracingSorter>(&engine_.sorter(),
+                                                     engine_.device(), obs_, kPrefix);
+    sort_front_ = traced_sorter_.get();
+  }
+
   if (options.num_sort_workers >= 2) {
     worker_engines_ = MakeWorkerEngines(options, options.num_sort_workers);
     std::vector<sort::Sorter*> sorters;
     sorters.reserve(worker_engines_.size());
-    for (auto& engine : worker_engines_) sorters.push_back(&engine->sorter());
+    for (auto& engine : worker_engines_) {
+      if (obs_.any()) {
+        traced_workers_.push_back(std::make_unique<TracingSorter>(
+            &engine->sorter(), engine->device(), obs_, kPrefix));
+        sorters.push_back(traced_workers_.back().get());
+      } else {
+        sorters.push_back(&engine->sorter());
+      }
+    }
     pipeline_ = std::make_unique<stream::SortPipeline>(
-        MakePipelineConfig(options, batcher_.window_size(), engine_.batch_windows()),
+        MakePipelineConfig(options, batcher_.window_size(), engine_.batch_windows(),
+                           kPrefix),
         std::move(sorters),
         [this](std::vector<float>&& data, const sort::SortRunInfo& run) {
           DrainSortedBatch(std::move(data), run);
@@ -68,12 +97,35 @@ QuantileEstimator::QuantileEstimator(const Options& options)
   }
 }
 
-void QuantileEstimator::Observe(float value) {
+Status QuantileEstimator::Observe(float value) {
+  if (finalized_) {
+    return Status::FailedPrecondition(
+        "Observe() after Flush(): the estimator is finalized and query-only");
+  }
+  ObserveValue(value);
+  return Status::Ok();
+}
+
+Status QuantileEstimator::ObserveBatch(std::span<const float> values) {
+  if (finalized_) {
+    return Status::FailedPrecondition(
+        "ObserveBatch() after Flush(): the estimator is finalized and query-only");
+  }
+  for (float v : values) ObserveValue(v);
+  return Status::Ok();
+}
+
+void QuantileEstimator::ObserveValue(float value) {
   ++observed_;
+  if (obs_.metrics != nullptr) obs_.metrics->Add(ids_.elements_observed);
+  if (obs_.trace != nullptr && ingest_start_us_ < 0) {
+    ingest_start_us_ = obs_.trace->NowMicros();
+  }
   if (engine_.is_gpu() && options_.gpu_format == gpu::Format::kFloat16) {
     value = gpu::QuantizeToHalf(value);
   }
   if (batcher_.Push(value)) {
+    EndIngestSpan(batcher_.window_size() * engine_.batch_windows());
     if (pipeline_ != nullptr) {
       pipeline_->Submit(batcher_.TakeBuffer(pipeline_->AcquireBuffer()));
     } else {
@@ -82,11 +134,22 @@ void QuantileEstimator::Observe(float value) {
   }
 }
 
-void QuantileEstimator::ObserveBatch(std::span<const float> values) {
-  for (float v : values) Observe(v);
+void QuantileEstimator::EndIngestSpan(std::size_t elements) {
+  if (obs_.trace == nullptr) return;
+  const std::uint64_t seq = ingest_seq_++;
+  if (ingest_start_us_ >= 0 && obs_.trace->Sampled(seq)) {
+    obs_.trace->AddSpan("ingest_batch", "ingest", ingest_start_us_,
+                        obs_.trace->NowMicros() - ingest_start_us_,
+                        {{"seq", static_cast<double>(seq)},
+                         {"elements", static_cast<double>(elements)}});
+  }
+  ingest_start_us_ = -1;
 }
 
 void QuantileEstimator::Flush() {
+  if (finalized_) return;
+  finalized_ = true;
+  if (!batcher_.empty()) EndIngestSpan(batcher_.buffered());
   if (pipeline_ != nullptr) {
     if (!batcher_.empty()) {
       pipeline_->Submit(batcher_.TakeBuffer(pipeline_->AcquireBuffer()));
@@ -100,10 +163,22 @@ void QuantileEstimator::Flush() {
 void QuantileEstimator::ProcessBuffered() {
   std::vector<std::span<float>> windows = batcher_.Windows();
 
-  engine_.sorter().SortRuns(windows);
-  costs_.sort += engine_.sorter().last_run();
+  sort_front_->SortRuns(windows);
+  costs_.sort += sort_front_->last_run();
 
-  for (std::span<float> window : windows) MergeSortedWindow(window);
+  const std::uint64_t seq = drain_seq_++;
+  const bool traced = obs_.trace != nullptr && obs_.trace->Sampled(seq);
+  const double t0 = traced ? obs_.trace->NowMicros() : 0;
+  std::size_t elements = 0;
+  for (std::span<float> window : windows) {
+    elements += window.size();
+    MergeSortedWindow(window);
+  }
+  if (traced) {
+    obs_.trace->AddSpan("drain_batch", "drain", t0, obs_.trace->NowMicros() - t0,
+                        {{"seq", static_cast<double>(seq)},
+                         {"elements", static_cast<double>(elements)}});
+  }
   batcher_.Clear();
 }
 
@@ -121,6 +196,10 @@ void QuantileEstimator::DrainSortedBatch(std::vector<float>&& data,
 }
 
 void QuantileEstimator::MergeSortedWindow(std::span<float> window) {
+  const std::uint64_t seq = window_seq_++;
+  const bool traced = obs_.trace != nullptr && obs_.trace->Sampled(seq);
+  const double t0 = traced ? obs_.trace->NowMicros() : 0;
+
   // Rank-sample the sorted window into an (epsilon/2)-approximate summary
   // (the "histogram subset" of §3.2's quantile path).
   Timer hist_timer;
@@ -129,6 +208,7 @@ void QuantileEstimator::MergeSortedWindow(std::span<float> window) {
   sketch::GkSummary summary = sketch::GkSummary::FromSorted(window, target);
   costs_.histogram_wall_seconds += hist_timer.ElapsedSeconds();
   costs_.histogram_elements += window.size();
+  const std::size_t summary_tuples = summary.size();
 
   if (whole_.has_value()) {
     whole_->AddWindowSummary(std::move(summary));
@@ -136,6 +216,18 @@ void QuantileEstimator::MergeSortedWindow(std::span<float> window) {
     sliding_->AddBlockSummary(std::move(summary));
   }
   processed_ += window.size();
+
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->Add(ids_.windows_merged);
+    obs_.metrics->Add(ids_.elements_merged, window.size());
+    obs_.metrics->Record(ids_.window_elements, static_cast<double>(window.size()));
+  }
+  if (traced) {
+    obs_.trace->AddSpan("window_merge", "merge", t0, obs_.trace->NowMicros() - t0,
+                        {{"window", static_cast<double>(seq)},
+                         {"elements", static_cast<double>(window.size())},
+                         {"summary_tuples", static_cast<double>(summary_tuples)}});
+  }
 }
 
 void QuantileEstimator::Sync() const {
@@ -150,10 +242,36 @@ void QuantileEstimator::Sync() const {
   costs_.pipelined_batches = stats.batches;
 }
 
-float QuantileEstimator::Quantile(double phi, std::uint64_t window) const {
+std::uint64_t QuantileEstimator::Coverage(std::uint64_t window) const {
+  if (whole_.has_value()) return processed_;
+  std::uint64_t effective =
+      window == 0 ? options_.sliding_window : std::min(window, options_.sliding_window);
+  return std::min(effective, processed_);
+}
+
+std::uint64_t QuantileEstimator::ErrorBound() const {
+  // Whole-history: rank error at most epsilon * N. Sliding: epsilon * W over
+  // the full window width regardless of the queried sub-window
+  // (sketch/sliding_window.h).
+  const double n = whole_.has_value() ? static_cast<double>(processed_)
+                                      : static_cast<double>(options_.sliding_window);
+  return static_cast<std::uint64_t>(std::ceil(options_.epsilon * n));
+}
+
+QuantileReport QuantileEstimator::Quantile(double phi, std::uint64_t window) const {
   Sync();
-  if (whole_.has_value()) return whole_->Query(phi);
-  return sliding_->Query(phi, window);
+  QuantileReport report;
+  report.phi = phi;
+  report.epsilon = options_.epsilon;
+  report.stream_length = processed_;
+  report.window_coverage = Coverage(window);
+  report.rank_error_bound = ErrorBound();
+  report.value = whole_.has_value() ? whole_->Query(phi) : sliding_->Query(phi, window);
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->Add(ids_.queries);
+    ExportQuantileReport(obs_.metrics, kPrefix, report);
+  }
+  return report;
 }
 
 std::size_t QuantileEstimator::summary_size() const {
@@ -183,6 +301,17 @@ const PipelineCosts& QuantileEstimator::costs() const {
     costs_.compressed_entries = whole_->pruned_tuples();
   }
   return costs_;
+}
+
+void QuantileEstimator::ExportMetrics() const {
+  if (obs_.metrics == nullptr) return;
+  ExportPipelineCosts(obs_.metrics, kPrefix, costs(), cpu_model_);
+  const auto set = [&](const char* name, double value) {
+    obs_.metrics->Set(obs_.metrics->Gauge(std::string(kPrefix) + name), value);
+  };
+  set(".stream.observed", static_cast<double>(observed_));
+  set(".stream.processed", static_cast<double>(processed_length()));
+  set(".summary.entries", static_cast<double>(summary_size()));
 }
 
 double QuantileEstimator::SimulatedSeconds() const {

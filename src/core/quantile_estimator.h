@@ -15,7 +15,10 @@
 
 #include "core/backend.h"
 #include "core/costs.h"
+#include "core/instrumentation.h"
 #include "core/options.h"
+#include "core/report.h"
+#include "core/status.h"
 #include "gpu/stats.h"
 #include "sketch/exponential_histogram.h"
 #include "sketch/sliding_window.h"
@@ -29,34 +32,50 @@ namespace streamgpu::core {
 /// Usage:
 ///   Options opt;
 ///   opt.epsilon = 1e-3;
-///   QuantileEstimator qe(opt);
-///   for (float v : stream) qe.Observe(v);
-///   qe.Flush();
-///   float median = qe.Quantile(0.5);
+///   auto qe = QuantileEstimator::Create(opt);
+///   if (!qe.ok()) { /* report qe.status() */ }
+///   for (float v : stream) (*qe)->Observe(v);
+///   (*qe)->Flush();
+///   QuantileReport median = (*qe)->Quantile(0.5);
 ///
-/// The returned element's rank among the processed elements is within
-/// epsilon * N of phi * N.
+/// The returned element's rank among the covered elements is within
+/// epsilon * N of phi * N; the report carries that bound explicitly.
 ///
-/// With Options::num_sort_workers >= 2 ingestion runs through the parallel
-/// pipeline (stream::SortPipeline); see FrequencyEstimator for the identical
-/// execution-mode and threading contract.
+/// Lifecycle, pipelining, and observability follow FrequencyEstimator
+/// exactly: Flush() finalizes (idempotent, Observe() afterwards returns
+/// kFailedPrecondition), Options::num_sort_workers >= 2 enables the parallel
+/// ingest pipeline with bit-identical answers, and Options::obs wires
+/// "quant."-prefixed metrics and spans.
 class QuantileEstimator {
  public:
+  /// Validated construction: returns configuration errors (see
+  /// Options::Validate()) instead of aborting. The returned estimator is
+  /// never null on ok().
+  static StatusOr<std::unique_ptr<QuantileEstimator>> Create(const Options& options);
+
+  /// Direct construction CHECK-aborts on invalid options; prefer Create().
   explicit QuantileEstimator(const Options& options);
 
-  /// Processes one stream element.
-  void Observe(float value);
+  /// Processes one stream element. Fails (and ignores the element) once the
+  /// estimator is finalized by Flush().
+  Status Observe(float value);
 
-  /// Processes a batch of stream elements.
-  void ObserveBatch(std::span<const float> values);
+  /// Processes a batch of stream elements (all or none on failure).
+  Status ObserveBatch(std::span<const float> values);
 
-  /// Processes any buffered windows, including a final partial one.
+  /// Finalizes the stream: processes buffered windows, including a final
+  /// partial one, and puts the estimator in a query-only state. Idempotent —
+  /// repeated calls are no-ops.
   void Flush();
+
+  /// True once Flush() has finalized the estimator.
+  bool finalized() const { return finalized_; }
 
   /// The phi-quantile (phi in (0, 1]) over the whole history, or — in
   /// sliding mode — over the most recent `window` elements (0 = full
-  /// sliding window).
-  float Quantile(double phi, std::uint64_t window = 0) const;
+  /// sliding window). The report carries the rank-error bound and the
+  /// coverage the answer is stated over.
+  QuantileReport Quantile(double phi, std::uint64_t window = 0) const;
 
   /// Elements already folded into the summary.
   std::uint64_t processed_length() const {
@@ -73,6 +92,10 @@ class QuantileEstimator {
   /// Accumulated per-operation costs (Fig. 7 source data).
   const PipelineCosts& costs() const;
 
+  /// Serializes costs() and the stream/summary gauges into the wired
+  /// MetricsRegistry (no-op without one).
+  void ExportMetrics() const;
+
   /// Simulated end-to-end 2005-hardware seconds for everything processed.
   double SimulatedSeconds() const;
 
@@ -85,6 +108,10 @@ class QuantileEstimator {
   bool pipelined() const { return pipeline_ != nullptr; }
 
  private:
+  /// Hot ingest path shared by Observe()/ObserveBatch() after the lifecycle
+  /// check.
+  void ObserveValue(float value);
+
   void ProcessBuffered();
 
   /// Pipelined path: consumes one sorted batch on the summary thread, in
@@ -99,7 +126,16 @@ class QuantileEstimator {
   /// wait-stats in costs_. No-op in serial mode.
   void Sync() const;
 
+  /// Elements a query at `window` answers over, and the rank error bound
+  /// the structure guarantees for it.
+  std::uint64_t Coverage(std::uint64_t window) const;
+  std::uint64_t ErrorBound() const;
+
+  /// Closes the open ingest_batch span (tracing only).
+  void EndIngestSpan(std::size_t elements);
+
   Options options_;
+  obs::Observability obs_;
   SortEngine engine_;
   stream::WindowBatcher batcher_;
   std::optional<sketch::EhQuantileSummary> whole_;
@@ -108,11 +144,23 @@ class QuantileEstimator {
   mutable PipelineCosts costs_;
   std::uint64_t observed_ = 0;
   std::uint64_t processed_ = 0;
+  bool finalized_ = false;
 
-  /// Pipelined mode only: one engine per sort worker, and the pipeline
-  /// driving them. Declared last so threads stop before members they
-  /// reference are destroyed.
+  /// Observability wiring (null ids / null decorators when disabled).
+  EstimatorMetricIds ids_;
+  std::unique_ptr<TracingSorter> traced_sorter_;  ///< wraps engine_ (serial path)
+  sort::Sorter* sort_front_ = nullptr;            ///< engine sorter or its decorator
+  std::uint64_t window_seq_ = 0;                  ///< windows merged; trace sampling
+  std::uint64_t ingest_seq_ = 0;                  ///< batches ingested; trace sampling
+  std::uint64_t drain_seq_ = 0;                   ///< serial drain batches
+  double ingest_start_us_ = -1;                   ///< open ingest span start
+
+  /// Pipelined mode only: one engine per sort worker (plus its tracing
+  /// decorator when observability is wired), and the pipeline driving them.
+  /// Declared last so threads stop before members they reference are
+  /// destroyed.
   std::vector<std::unique_ptr<SortEngine>> worker_engines_;
+  std::vector<std::unique_ptr<TracingSorter>> traced_workers_;
   std::unique_ptr<stream::SortPipeline> pipeline_;
 };
 

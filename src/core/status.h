@@ -1,0 +1,107 @@
+// Error reporting for the public API.
+//
+// The library is exception-free: recoverable configuration and lifecycle
+// errors travel as Status values (Arrow/Abseil style), while programming
+// errors remain STREAMGPU_CHECK aborts. The factory path —
+// Options::Validate(), StreamMiner::Create(), *Estimator::Create() — returns
+// Status/StatusOr for invalid configs instead of CHECK-aborting, so callers
+// (e.g. streamgpu_cli) can print the message and exit cleanly.
+
+#ifndef STREAMGPU_CORE_STATUS_H_
+#define STREAMGPU_CORE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace streamgpu::core {
+
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,     ///< a configuration value is out of range
+    kFailedPrecondition,  ///< the call is illegal in the object's current state
+  };
+
+  /// Default-constructed Status is OK.
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(Code::kInvalidArgument, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(Code::kFailedPrecondition, std::move(message));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const {
+    switch (code_) {
+      case Code::kOk:
+        return "OK";
+      case Code::kInvalidArgument:
+        return "InvalidArgument: " + message_;
+      case Code::kFailedPrecondition:
+        return "FailedPrecondition: " + message_;
+    }
+    return "UnknownCode: " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// A Status or a value. Converting-constructed from either; value() CHECKs
+/// on access when the StatusOr holds an error.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    STREAMGPU_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK without a value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    STREAMGPU_CHECK_MSG(ok(), "StatusOr::value() on an error");
+    return *value_;
+  }
+  const T& value() const& {
+    STREAMGPU_CHECK_MSG(ok(), "StatusOr::value() on an error");
+    return *value_;
+  }
+  T&& value() && {
+    STREAMGPU_CHECK_MSG(ok(), "StatusOr::value() on an error");
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace streamgpu::core
+
+#endif  // STREAMGPU_CORE_STATUS_H_

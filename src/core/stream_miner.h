@@ -5,8 +5,11 @@
 #ifndef STREAMGPU_CORE_STREAM_MINER_H_
 #define STREAMGPU_CORE_STREAM_MINER_H_
 
+#include <memory>
+
 #include "core/frequency_estimator.h"
 #include "core/quantile_estimator.h"
+#include "core/status.h"
 
 namespace streamgpu::core {
 
@@ -19,37 +22,73 @@ namespace streamgpu::core {
 /// docs/ARCHITECTURE.md), so a pipelined StreamMiner overlaps the two
 /// summaries' sorting as well. Answers and simulated-2005 costs are
 /// identical to serial mode in either configuration.
+///
+/// When Options::obs wires metrics/tracing sinks, both estimators share them:
+/// the frequency side records under "freq.", the quantile side under
+/// "quant." (docs/OBSERVABILITY.md).
 class StreamMiner {
  public:
-  explicit StreamMiner(const Options& options)
-      : frequencies_(options), quantiles_(options) {}
+  /// Validated construction: returns configuration errors — the union of
+  /// both estimators' rules — instead of aborting. Never null on ok().
+  static StatusOr<std::unique_ptr<StreamMiner>> Create(const Options& options) {
+    // FrequencyEstimator::Create applies Options::Validate() plus the
+    // frequency-specific whole-history window cap; the quantile rules are a
+    // subset, so one factory call covers the miner.
+    auto fe = FrequencyEstimator::Create(options);
+    if (!fe.ok()) return fe.status();
+    return std::unique_ptr<StreamMiner>(new StreamMiner(std::move(*fe), options));
+  }
 
-  /// Processes one stream element through both summaries.
-  void Observe(float value) {
-    frequencies_.Observe(value);
-    quantiles_.Observe(value);
+  /// Direct construction CHECK-aborts on invalid options; prefer Create().
+  explicit StreamMiner(const Options& options)
+      : frequencies_(std::make_unique<FrequencyEstimator>(options)),
+        quantiles_(options) {}
+
+  /// Processes one stream element through both summaries. Fails once
+  /// Flush() has finalized the miner.
+  Status Observe(float value) {
+    Status status = frequencies_->Observe(value);
+    if (!status.ok()) return status;
+    return quantiles_.Observe(value);
   }
 
   /// Processes a batch of stream elements.
-  void ObserveBatch(std::span<const float> values) {
-    frequencies_.ObserveBatch(values);
-    quantiles_.ObserveBatch(values);
+  Status ObserveBatch(std::span<const float> values) {
+    Status status = frequencies_->ObserveBatch(values);
+    if (!status.ok()) return status;
+    return quantiles_.ObserveBatch(values);
   }
 
   /// Finalizes buffered windows in both summaries (end of stream).
+  /// Idempotent; afterwards the miner is query-only.
   void Flush() {
-    frequencies_.Flush();
+    frequencies_->Flush();
     quantiles_.Flush();
   }
 
-  FrequencyEstimator& frequencies() { return frequencies_; }
-  const FrequencyEstimator& frequencies() const { return frequencies_; }
+  /// True once Flush() has finalized both estimators.
+  bool finalized() const { return frequencies_->finalized() && quantiles_.finalized(); }
+
+  /// Serializes both estimators' costs and gauges into the wired
+  /// MetricsRegistry (no-op without one).
+  void ExportMetrics() const {
+    frequencies_->ExportMetrics();
+    quantiles_.ExportMetrics();
+  }
+
+  FrequencyEstimator& frequencies() { return *frequencies_; }
+  const FrequencyEstimator& frequencies() const { return *frequencies_; }
 
   QuantileEstimator& quantiles() { return quantiles_; }
   const QuantileEstimator& quantiles() const { return quantiles_; }
 
  private:
-  FrequencyEstimator frequencies_;
+  StreamMiner(std::unique_ptr<FrequencyEstimator> frequencies, const Options& options)
+      : frequencies_(std::move(frequencies)), quantiles_(options) {}
+
+  // unique_ptr so the Create() path reuses the already-validated frequency
+  // estimator instead of constructing (and CHECK-validating) twice.
+  std::unique_ptr<FrequencyEstimator> frequencies_;
   QuantileEstimator quantiles_;
 };
 

@@ -1,0 +1,219 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace streamgpu::obs {
+
+namespace {
+
+std::uint64_t NextRegistryId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// fetch_add for atomic<double> via CAS (portable without C++20 FP fetch_add
+// support in every libstdc++).
+void AtomicAddDouble(std::atomic<double>& target, double delta) {
+  double expected = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(expected, expected + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+MetricId RegisterIn(std::map<std::string, MetricId>& ids, const std::string& name,
+                    int capacity, const char* kind) {
+  auto it = ids.find(name);
+  if (it != ids.end()) return it->second;
+  STREAMGPU_CHECK_MSG(static_cast<int>(ids.size()) < capacity,
+                      "metrics registry capacity exhausted for this metric kind");
+  (void)kind;
+  const MetricId id = static_cast<MetricId>(ids.size());
+  ids.emplace(name, id);
+  return id;
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry() : id_(NextRegistryId()) {}
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricId MetricsRegistry::Counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RegisterIn(counter_ids_, name, kMaxCounters, "counter");
+}
+
+MetricId MetricsRegistry::Gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RegisterIn(gauge_ids_, name, kMaxGauges, "gauge");
+}
+
+MetricId MetricsRegistry::Histogram(const std::string& name,
+                                    std::vector<double> upper_bounds) {
+  STREAMGPU_CHECK_MSG(static_cast<int>(upper_bounds.size()) <= kMaxBuckets,
+                      "histogram has too many buckets");
+  STREAMGPU_CHECK_MSG(std::is_sorted(upper_bounds.begin(), upper_bounds.end()),
+                      "histogram bucket bounds must be ascending");
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto before = histogram_ids_.size();
+  const MetricId id = RegisterIn(histogram_ids_, name, kMaxHistograms, "histogram");
+  if (histogram_ids_.size() != before) histogram_bounds_.push_back(std::move(upper_bounds));
+  return id;
+}
+
+MetricsRegistry::Shard& MetricsRegistry::LocalShard() {
+  // Fast path: one thread almost always talks to one registry; cache the
+  // (registry id -> shard) resolution in two thread-locals.
+  thread_local std::uint64_t cached_id = 0;
+  thread_local Shard* cached_shard = nullptr;
+  if (cached_id == id_) return *cached_shard;
+
+  // Slow path (first record from this thread, or the thread alternates
+  // between registries): a per-thread map keyed by the process-unique
+  // registry id. Stale entries for dead registries are never looked up again
+  // because ids are never reused.
+  thread_local std::unordered_map<std::uint64_t, Shard*> shards_by_registry;
+  auto [it, inserted] = shards_by_registry.try_emplace(id_, nullptr);
+  if (inserted) {
+    auto shard = std::make_unique<Shard>();
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(std::move(shard));
+    it->second = shards_.back().get();
+  }
+  cached_id = id_;
+  cached_shard = it->second;
+  return *cached_shard;
+}
+
+void MetricsRegistry::Add(MetricId counter, std::uint64_t delta) {
+  if (counter < 0 || !enabled()) return;
+  STREAMGPU_DCHECK(counter < kMaxCounters);
+  LocalShard().counters[static_cast<std::size_t>(counter)].fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Set(MetricId gauge, double value) {
+  if (gauge < 0 || !enabled()) return;
+  STREAMGPU_DCHECK(gauge < kMaxGauges);
+  gauges_[static_cast<std::size_t>(gauge)].store(value, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Record(MetricId histogram, double value) {
+  if (histogram < 0 || !enabled()) return;
+  STREAMGPU_DCHECK(histogram < kMaxHistograms);
+  std::size_t bucket;
+  {
+    // Bounds are immutable once registered; the id being valid implies the
+    // bounds entry exists, so this read needs no lock after registration.
+    // (Take the lock anyway: registration from another thread may be
+    // resizing histogram_bounds_. Recording is per-window, not per-element,
+    // so the lock is off the hot path.)
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::vector<double>& bounds =
+        histogram_bounds_[static_cast<std::size_t>(histogram)];
+    bucket = static_cast<std::size_t>(
+        std::upper_bound(bounds.begin(), bounds.end(), value) - bounds.begin());
+  }
+  Shard& shard = LocalShard();
+  shard.hist_counts[static_cast<std::size_t>(histogram) * (kMaxBuckets + 1) + bucket]
+      .fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(shard.hist_sums[static_cast<std::size_t>(histogram)], value);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+
+  snap.counters.reserve(counter_ids_.size());
+  for (const auto& [name, id] : counter_ids_) {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->counters[static_cast<std::size_t>(id)].load(
+          std::memory_order_relaxed);
+    }
+    snap.counters.emplace_back(name, total);
+  }
+
+  snap.gauges.reserve(gauge_ids_.size());
+  for (const auto& [name, id] : gauge_ids_) {
+    snap.gauges.emplace_back(
+        name, gauges_[static_cast<std::size_t>(id)].load(std::memory_order_relaxed));
+  }
+
+  snap.histograms.reserve(histogram_ids_.size());
+  for (const auto& [name, id] : histogram_ids_) {
+    MetricsSnapshot::Histogram h;
+    h.name = name;
+    h.upper_bounds = histogram_bounds_[static_cast<std::size_t>(id)];
+    h.counts.assign(h.upper_bounds.size() + 1, 0);
+    for (const auto& shard : shards_) {
+      const std::size_t base = static_cast<std::size_t>(id) * (kMaxBuckets + 1);
+      for (std::size_t b = 0; b < h.counts.size(); ++b) {
+        h.counts[b] += shard->hist_counts[base + b].load(std::memory_order_relaxed);
+      }
+      h.sum += shard->hist_sums[static_cast<std::size_t>(id)].load(
+          std::memory_order_relaxed);
+    }
+    for (std::uint64_t c : h.counts) h.count += c;
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+std::size_t MetricsRegistry::shard_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_.size();
+}
+
+void MetricsSnapshot::WriteJson(std::FILE* f) const {
+  std::fputs("{\n  \"schema\": 1,\n  \"counters\": {", f);
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    std::fprintf(f, "%s\n    \"%s\": %llu", i != 0 ? "," : "",
+                 counters[i].first.c_str(),
+                 static_cast<unsigned long long>(counters[i].second));
+  }
+  std::fputs(counters.empty() ? "},\n" : "\n  },\n", f);
+
+  std::fputs("  \"gauges\": {", f);
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    std::fprintf(f, "%s\n    \"%s\": %.9g", i != 0 ? "," : "",
+                 gauges[i].first.c_str(), gauges[i].second);
+  }
+  std::fputs(gauges.empty() ? "},\n" : "\n  },\n", f);
+
+  std::fputs("  \"histograms\": {", f);
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const Histogram& h = histograms[i];
+    std::fprintf(f, "%s\n    \"%s\": {\n      \"count\": %llu,\n      \"sum\": %.9g,\n"
+                    "      \"buckets\": [",
+                 i != 0 ? "," : "", h.name.c_str(),
+                 static_cast<unsigned long long>(h.count), h.sum);
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b != 0) std::fputs(",", f);
+      std::fputs("\n        {\"le\": ", f);
+      if (b < h.upper_bounds.size()) {
+        std::fprintf(f, "%.9g", h.upper_bounds[b]);
+      } else {
+        std::fputs("\"inf\"", f);
+      }
+      std::fprintf(f, ", \"count\": %llu}",
+                   static_cast<unsigned long long>(h.counts[b]));
+    }
+    std::fputs("\n      ]\n    }", f);
+  }
+  std::fputs(histograms.empty() ? "}\n}\n" : "\n  }\n}\n", f);
+}
+
+void MetricsRegistry::WriteJson(std::FILE* f) const { Snapshot().WriteJson(f); }
+
+bool MetricsRegistry::WriteJsonFile(const char* path) const {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  WriteJson(f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace streamgpu::obs

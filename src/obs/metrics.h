@@ -1,0 +1,147 @@
+// MetricsRegistry: counters, gauges, and bounded histograms with sharded
+// per-thread storage.
+//
+// Pipeline sort workers, the summary (drain) thread, and the ingest thread
+// all record into the same registry; each thread writes its own shard
+// (relaxed atomics on thread-private cache lines), so recording never
+// contends. Snapshot() merges the shards.
+//
+// Determinism contract: counters and histograms record *operation counts and
+// operand sizes* — deterministic quantities — so their merged totals are
+// bit-identical between serial and pipelined execution, like every other
+// count in the system (see docs/COST_MODEL.md). Gauges hold point-in-time
+// values (including wall-clock readings) and carry no such guarantee.
+//
+// The registry is disabled-by-default at the wiring level (a null
+// obs::Observability::metrics pointer costs one compare per site); a wired
+// registry can additionally be muted at runtime with set_enabled(false),
+// which turns Add/Set/Record into a relaxed load + branch.
+
+#ifndef STREAMGPU_OBS_METRICS_H_
+#define STREAMGPU_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace streamgpu::obs {
+
+/// Index of a registered metric within its kind (counter / gauge /
+/// histogram). Negative = invalid (records are dropped).
+using MetricId = int;
+inline constexpr MetricId kInvalidMetric = -1;
+
+/// Merged point-in-time view of a registry, ordered by metric name so the
+/// serialized form is schema-stable (tests/golden/metrics_schema.golden).
+struct MetricsSnapshot {
+  struct Histogram {
+    std::string name;
+    std::vector<double> upper_bounds;   ///< ascending; implicit +inf last bucket
+    std::vector<std::uint64_t> counts;  ///< upper_bounds.size() + 1 entries
+    std::uint64_t count = 0;            ///< total samples
+    double sum = 0;                     ///< sum of recorded values
+  };
+
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<Histogram> histograms;
+
+  /// Serializes the snapshot as pretty-printed JSON, one key per line
+  /// (docs/OBSERVABILITY.md documents the schema).
+  void WriteJson(std::FILE* f) const;
+};
+
+/// Thread-safe metrics registry. Registration (by name, idempotent) is
+/// mutex-guarded and expected at setup time; recording is wait-free.
+class MetricsRegistry {
+ public:
+  /// Fixed per-kind capacities: shards preallocate full-capacity atomic
+  /// arrays, so registration never resizes storage other threads are
+  /// writing through.
+  static constexpr int kMaxCounters = 256;
+  static constexpr int kMaxGauges = 256;
+  static constexpr int kMaxHistograms = 64;
+  static constexpr int kMaxBuckets = 32;
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Runtime guard: while disabled, Add/Set/Record are no-ops. Registration
+  /// still works, so a registry can be wired first and enabled later.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Registers (or looks up) a counter. Monotone uint64, sharded per thread.
+  MetricId Counter(const std::string& name);
+
+  /// Registers (or looks up) a gauge. Last-written double, registry-level.
+  MetricId Gauge(const std::string& name);
+
+  /// Registers (or looks up) a bounded histogram with the given ascending
+  /// bucket upper bounds (at most kMaxBuckets); values above the last bound
+  /// land in an implicit +inf bucket. Re-registration ignores `upper_bounds`.
+  MetricId Histogram(const std::string& name, std::vector<double> upper_bounds);
+
+  /// Adds `delta` to a counter on the calling thread's shard.
+  void Add(MetricId counter, std::uint64_t delta = 1);
+
+  /// Sets a gauge.
+  void Set(MetricId gauge, double value);
+
+  /// Records one sample into a histogram on the calling thread's shard.
+  void Record(MetricId histogram, double value);
+
+  /// Merges all shards into a name-ordered snapshot. Safe to call while
+  /// other threads record (counts are merged with relaxed loads; a snapshot
+  /// concurrent with recording sees each delta either included or not).
+  MetricsSnapshot Snapshot() const;
+
+  /// Snapshot() serialized to `f` as JSON.
+  void WriteJson(std::FILE* f) const;
+
+  /// Snapshot() serialized to a new file at `path`. Returns false when the
+  /// file cannot be opened.
+  bool WriteJsonFile(const char* path) const;
+
+  /// Number of per-thread shards created so far (tests).
+  std::size_t shard_count() const;
+
+ private:
+  struct Shard {
+    std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+    // Histogram h owns the slice [h * (kMaxBuckets + 1), (h + 1) * ...).
+    std::vector<std::atomic<std::uint64_t>> hist_counts;
+    std::array<std::atomic<double>, kMaxHistograms> hist_sums{};
+
+    Shard() : hist_counts(kMaxHistograms * (kMaxBuckets + 1)) {}
+  };
+
+  Shard& LocalShard();
+
+  const std::uint64_t id_;  // process-unique; keys the thread-local shard cache
+
+  mutable std::mutex mu_;
+  std::map<std::string, MetricId> counter_ids_;
+  std::map<std::string, MetricId> gauge_ids_;
+  std::map<std::string, MetricId> histogram_ids_;
+  std::vector<std::vector<double>> histogram_bounds_;  // by histogram id
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::array<std::atomic<double>, kMaxGauges> gauges_{};
+  std::atomic<bool> enabled_{true};
+};
+
+}  // namespace streamgpu::obs
+
+#endif  // STREAMGPU_OBS_METRICS_H_

@@ -1,0 +1,28 @@
+// Observability wiring point for the public API.
+//
+// Estimators (and everything they drive: the ingest pipeline, the sort
+// engines) accept an Observability value — two optional sinks — through
+// core::Options. Both pointers default to null, which is the fully disabled
+// configuration: instrumentation sites reduce to a single pointer compare,
+// and the hot paths allocate and lock nothing. See docs/OBSERVABILITY.md.
+
+#ifndef STREAMGPU_OBS_OBSERVABILITY_H_
+#define STREAMGPU_OBS_OBSERVABILITY_H_
+
+namespace streamgpu::obs {
+
+class MetricsRegistry;
+class TraceRecorder;
+
+/// Optional sinks for metrics and spans. Borrowed, never owned: both objects
+/// must outlive every estimator (and pipeline thread) they are wired into.
+struct Observability {
+  MetricsRegistry* metrics = nullptr;
+  TraceRecorder* trace = nullptr;
+
+  bool any() const { return metrics != nullptr || trace != nullptr; }
+};
+
+}  // namespace streamgpu::obs
+
+#endif  // STREAMGPU_OBS_OBSERVABILITY_H_

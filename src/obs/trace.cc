@@ -1,0 +1,138 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+
+namespace streamgpu::obs {
+
+namespace {
+
+std::uint64_t NextRecorderId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::uint64_t sample_every, std::size_t max_spans)
+    : id_(NextRecorderId()),
+      sample_every_(sample_every == 0 ? 1 : sample_every),
+      max_spans_(max_spans),
+      epoch_(Clock::now()) {}
+
+int TraceRecorder::CurrentTid() {
+  thread_local std::uint64_t cached_id = 0;
+  thread_local int cached_tid = 0;
+  if (cached_id == id_) return cached_tid;
+
+  thread_local std::unordered_map<std::uint64_t, int> tids_by_recorder;
+  auto [it, inserted] = tids_by_recorder.try_emplace(id_, 0);
+  if (inserted) {
+    std::lock_guard<std::mutex> lock(mu_);
+    it->second = next_tid_++;
+    thread_names_.resize(static_cast<std::size_t>(next_tid_));
+  }
+  cached_id = id_;
+  cached_tid = it->second;
+  return cached_tid;
+}
+
+void TraceRecorder::NameCurrentThread(const std::string& name) {
+  const int tid = CurrentTid();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string& slot = thread_names_[static_cast<std::size_t>(tid)];
+  if (slot.empty()) slot = name;
+}
+
+void TraceRecorder::AddSpan(const char* name, const char* cat, double start_us,
+                            double dur_us, std::initializer_list<TraceArg> args) {
+  const int tid = CurrentTid();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return;
+  }
+  Span span;
+  span.name = name;
+  span.cat = cat;
+  span.tid = tid;
+  span.start_us = start_us;
+  span.dur_us = dur_us < 0 ? 0 : dur_us;
+  span.args.reserve(args.size());
+  for (const TraceArg& arg : args) span.args.emplace_back(arg.key, arg.value);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<TraceRecorder::Span> TraceRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TraceRecorder::WriteJson(std::FILE* f) const {
+  std::vector<Span> spans;
+  std::vector<std::string> names;
+  std::uint64_t dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans = spans_;
+    names = thread_names_;
+    dropped = dropped_;
+  }
+  // Stable-sort by (track, start time): trace viewers expect per-track
+  // timestamps to be monotone, and spans are recorded at stage *completion*,
+  // which for nested spans (a sort batch and its GPU sub-spans) is not
+  // start order.
+  std::stable_sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.start_us != b.start_us) return a.start_us < b.start_us;
+    return a.dur_us > b.dur_us;  // parent before child at equal start
+  });
+
+  std::fputs("{\n\"displayTimeUnit\": \"ms\",\n", f);
+  std::fprintf(f, "\"otherData\": {\"dropped_spans\": %llu},\n",
+               static_cast<unsigned long long>(dropped));
+  std::fputs("\"traceEvents\": [\n", f);
+  std::fputs("{\"ph\": \"M\", \"pid\": 1, \"name\": \"process_name\", "
+             "\"args\": {\"name\": \"streamgpu\"}}",
+             f);
+  for (std::size_t tid = 1; tid < names.size(); ++tid) {
+    if (names[tid].empty()) continue;
+    std::fprintf(f,
+                 ",\n{\"ph\": \"M\", \"pid\": 1, \"tid\": %zu, \"name\": "
+                 "\"thread_name\", \"args\": {\"name\": \"%s\"}}",
+                 tid, names[tid].c_str());
+  }
+  for (const Span& span : spans) {
+    std::fprintf(f,
+                 ",\n{\"ph\": \"X\", \"pid\": 1, \"tid\": %d, \"name\": \"%s\", "
+                 "\"cat\": \"%s\", \"ts\": %.3f, \"dur\": %.3f",
+                 span.tid, span.name.c_str(), span.cat.c_str(), span.start_us,
+                 span.dur_us);
+    if (!span.args.empty()) {
+      std::fputs(", \"args\": {", f);
+      for (std::size_t i = 0; i < span.args.size(); ++i) {
+        std::fprintf(f, "%s\"%s\": %.9g", i != 0 ? ", " : "",
+                     span.args[i].first.c_str(), span.args[i].second);
+      }
+      std::fputc('}', f);
+    }
+    std::fputc('}', f);
+  }
+  std::fputs("\n]\n}\n", f);
+}
+
+bool TraceRecorder::WriteJsonFile(const char* path) const {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  WriteJson(f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace streamgpu::obs

@@ -1,0 +1,111 @@
+// TraceRecorder: per-window span tracing in Chrome trace-event JSON.
+//
+// Every pipeline stage records one complete ("ph":"X") span per window batch
+// — ingest, sort (with GPU pass sub-spans derived from GpuStats deltas),
+// merge/compress, drain — onto a per-thread track. The serialized file loads
+// directly in chrome://tracing and https://ui.perfetto.dev.
+//
+// Sampling: the recorder is constructed with `sample_every` = K; callers
+// gate span emission on Sampled(seq) so only every K-th window/batch is
+// recorded. Metrics are never sampled — only spans are (see
+// docs/OBSERVABILITY.md, "Sampling").
+//
+// Threading: spans are appended under a mutex, at stage granularity (per
+// batch / per window), never per element, so contention is negligible next
+// to the work being traced. The recorder must outlive every thread that
+// records into it.
+
+#ifndef STREAMGPU_OBS_TRACE_H_
+#define STREAMGPU_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace streamgpu::obs {
+
+/// One numeric span argument ("args" in the trace-event format).
+struct TraceArg {
+  const char* key;
+  double value;
+};
+
+class TraceRecorder {
+ public:
+  /// A recorded complete span. Exposed for tests; WriteJson() is the
+  /// product-facing output.
+  struct Span {
+    std::string name;
+    std::string cat;
+    int tid = 0;
+    double start_us = 0;
+    double dur_us = 0;
+    std::vector<std::pair<std::string, double>> args;
+  };
+
+  /// Records every `sample_every`-th sampled sequence number; retains at
+  /// most `max_spans` spans (further spans are counted as dropped and
+  /// reported in the serialized metadata).
+  explicit TraceRecorder(std::uint64_t sample_every = 1,
+                         std::size_t max_spans = std::size_t{1} << 20);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  std::uint64_t sample_every() const { return sample_every_; }
+
+  /// True when a span for sampled sequence number `seq` should be recorded.
+  bool Sampled(std::uint64_t seq) const {
+    return sample_every_ <= 1 || seq % sample_every_ == 0;
+  }
+
+  /// Microseconds since the recorder's epoch (its construction), monotone.
+  double NowMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - epoch_).count();
+  }
+
+  /// Names the calling thread's track in the serialized trace ("thread_name"
+  /// metadata). First name wins; later calls are ignored.
+  void NameCurrentThread(const std::string& name);
+
+  /// Records one complete span on the calling thread's track.
+  void AddSpan(const char* name, const char* cat, double start_us, double dur_us,
+               std::initializer_list<TraceArg> args = {});
+
+  /// Copy of the recorded spans (tests).
+  std::vector<Span> snapshot() const;
+
+  /// Spans dropped because max_spans was reached.
+  std::uint64_t dropped() const;
+
+  /// Serializes the trace-event JSON. Events are sorted by (tid, start)
+  /// so timestamps are monotone within each track.
+  void WriteJson(std::FILE* f) const;
+
+  /// WriteJson() to a new file at `path`; false when it cannot be opened.
+  bool WriteJsonFile(const char* path) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  int CurrentTid();
+
+  const std::uint64_t id_;  // process-unique; keys the thread-local tid cache
+  const std::uint64_t sample_every_;
+  const std::size_t max_spans_;
+  const Clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  std::vector<std::string> thread_names_;  // by tid; "" = unnamed
+  int next_tid_ = 1;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace streamgpu::obs
+
+#endif  // STREAMGPU_OBS_TRACE_H_

@@ -36,7 +36,9 @@ SortPipeline::SortPipeline(const PipelineConfig& config,
                            std::vector<sort::Sorter*> sorters, DrainFn drain)
     : window_size_(config.window_size),
       sorters_(std::move(sorters)),
-      drain_(std::move(drain)) {
+      drain_(std::move(drain)),
+      trace_(config.trace),
+      trace_label_(config.trace_label) {
   STREAMGPU_CHECK_MSG(window_size_ >= 1, "pipeline window_size must be >= 1");
   STREAMGPU_CHECK_MSG(!sorters_.empty(), "pipeline needs at least one sorter");
   for (sort::Sorter* sorter : sorters_) STREAMGPU_CHECK(sorter != nullptr);
@@ -76,8 +78,18 @@ void SortPipeline::Submit(std::vector<float>&& batch) {
   std::unique_lock<std::mutex> lock(mu_);
   STREAMGPU_CHECK_MSG(!stop_, "Submit() after destruction began");
   const double wait_start = Now();
+  const double trace_start = trace_ != nullptr ? trace_->NowMicros() : 0;
   slot_free_.wait(lock, [&] { return in_flight_ < max_in_flight_; });
   stats_.ingest_stall_seconds += Now() - wait_start;
+  if (trace_ != nullptr) {
+    // Backpressure made visible: only worth a span when Submit() actually
+    // blocked (sub-microsecond waits are lock handoff noise).
+    const double stall_us = trace_->NowMicros() - trace_start;
+    if (stall_us > 1.0) {
+      trace_->AddSpan("ingest_stall", "ingest", trace_start, stall_us,
+                      {{"seq", static_cast<double>(next_submit_seq_)}});
+    }
+  }
   ++in_flight_;
   PendingBatch& slot =
       pending_ring_[(pending_head_ + pending_count_) % pending_ring_.size()];
@@ -107,6 +119,9 @@ PipelineWaitStats SortPipeline::stats() const {
 }
 
 void SortPipeline::WorkerLoop(int worker_index) {
+  if (trace_ != nullptr) {
+    trace_->NameCurrentThread(trace_label_ + ".sort-" + std::to_string(worker_index));
+  }
   sort::Sorter* sorter = sorters_[static_cast<std::size_t>(worker_index)];
   std::vector<std::span<float>>& windows =
       window_scratch_[static_cast<std::size_t>(worker_index)];
@@ -144,8 +159,10 @@ void SortPipeline::WorkerLoop(int worker_index) {
 }
 
 void SortPipeline::DrainLoop() {
+  if (trace_ != nullptr) trace_->NameCurrentThread(trace_label_ + ".drain");
   SortedBatch batch;
   for (;;) {
+    std::uint64_t seq;
     {
       std::unique_lock<std::mutex> lock(mu_);
       sorted_ready_.wait(lock, [&] {
@@ -156,6 +173,7 @@ void SortPipeline::DrainLoop() {
       });
       SortedBatch& slot = sorted_ring_[next_drain_seq_ % sorted_ring_.size()];
       if (!slot.occupied) return;
+      seq = next_drain_seq_;
       batch = std::move(slot);
       slot.occupied = false;
       stats_.drain_queue_wait_seconds += Now() - batch.ready_at;
@@ -165,9 +183,18 @@ void SortPipeline::DrainLoop() {
     // sorting of later batches. Strict submission order keeps the summary
     // sequence — and thus every query answer and every accumulated cost
     // record — identical to serial execution.
+    const std::size_t batch_elements = batch.data.size();
+    const bool traced = trace_ != nullptr && trace_->Sampled(seq);
+    const double trace_start = traced ? trace_->NowMicros() : 0;
     Timer drain_timer;
     drain_(std::move(batch.data), batch.run);
     const double drain_wall = drain_timer.ElapsedSeconds();
+    if (traced) {
+      trace_->AddSpan("drain_batch", "drain", trace_start,
+                      trace_->NowMicros() - trace_start,
+                      {{"seq", static_cast<double>(seq)},
+                       {"elements", static_cast<double>(batch_elements)}});
+    }
 
     {
       std::lock_guard<std::mutex> lock(mu_);

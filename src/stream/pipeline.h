@@ -40,9 +40,11 @@
 #include <functional>
 #include <mutex>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sort/sorter.h"
 
 namespace streamgpu::stream {
@@ -57,6 +59,17 @@ struct PipelineConfig {
   /// 0 = number of workers + 2: enough that every worker stays busy while
   /// one batch drains and one is being filled.
   int max_batches_in_flight = 0;
+
+  /// Span sink (borrowed; null = tracing off, the default). When set, the
+  /// pipeline names its threads "<trace_label>.sort-N" / "<trace_label>.drain"
+  /// and emits one drain_batch span per drained batch plus an ingest_stall
+  /// span whenever Submit() blocks on backpressure. Sort-stage spans come
+  /// from the sorters themselves (core::TracingSorter), not from here.
+  obs::TraceRecorder* trace = nullptr;
+
+  /// Track-name prefix distinguishing coexisting pipelines in one trace
+  /// (e.g. "freq" / "quant" for a StreamMiner).
+  std::string trace_label = "pipeline";
 };
 
 /// Wall-clock overlap accounting, accumulated over the pipeline's lifetime.
@@ -157,6 +170,8 @@ class SortPipeline {
   const std::uint64_t window_size_;
   const std::vector<sort::Sorter*> sorters_;
   const DrainFn drain_;
+  obs::TraceRecorder* const trace_;
+  const std::string trace_label_;
   int max_in_flight_ = 0;
 
   mutable std::mutex mu_;

@@ -95,7 +95,7 @@ TEST(ConsistencyTest, DeterministicAcrossRuns) {
     qe.ObserveBatch(stream);
     qe.Flush();
     sims.push_back(qe.SimulatedSeconds());
-    medians.push_back(qe.Quantile(0.5));
+    medians.push_back(qe.Quantile(0.5).value);
   }
   EXPECT_EQ(sims[0], sims[1]);      // simulated time is count-derived
   EXPECT_EQ(medians[0], medians[1]);
@@ -110,22 +110,22 @@ TEST(ConsistencyTest, TopKOrderingAndTruncation) {
   fe.ObserveBatch(stream);
   fe.Flush();
 
-  const auto top5 = fe.TopK(5);
-  ASSERT_EQ(top5.size(), 5u);
-  for (std::size_t i = 1; i < top5.size(); ++i) {
-    EXPECT_GE(top5[i - 1].second, top5[i].second);
+  const FrequencyReport top5 = fe.TopK(5);
+  ASSERT_EQ(top5.items.size(), 5u);
+  for (std::size_t i = 1; i < top5.items.size(); ++i) {
+    EXPECT_GE(top5.items[i - 1].estimate, top5.items[i].estimate);
   }
   // Zipf rank 0 dominates; with epsilon far below the frequency gaps the
   // top of the list is the true top.
-  EXPECT_EQ(top5[0].first, 0.0f);
-  EXPECT_EQ(top5[1].first, 1.0f);
+  EXPECT_EQ(top5.items[0].value, 0.0f);
+  EXPECT_EQ(top5.items[1].value, 1.0f);
 
-  const auto top1 = fe.TopK(1);
-  ASSERT_EQ(top1.size(), 1u);
-  EXPECT_EQ(top1[0], top5[0]);
+  const FrequencyReport top1 = fe.TopK(1);
+  ASSERT_EQ(top1.items.size(), 1u);
+  EXPECT_EQ(top1.items[0], top5.items[0]);
 
   // Requesting more than exist returns what the summary holds.
-  EXPECT_LE(fe.TopK(1 << 20).size(), fe.summary_size());
+  EXPECT_LE(fe.TopK(1 << 20).items.size(), fe.summary_size());
 }
 
 TEST(ConsistencyTest, EmptyEstimatorBehaves) {
@@ -135,9 +135,9 @@ TEST(ConsistencyTest, EmptyEstimatorBehaves) {
   FrequencyEstimator fe(opt);
   fe.Flush();  // nothing buffered
   EXPECT_EQ(fe.processed_length(), 0u);
-  EXPECT_TRUE(fe.HeavyHitters(0.1).empty());
+  EXPECT_TRUE(fe.HeavyHitters(0.1).items.empty());
   EXPECT_EQ(fe.EstimateCount(5.0f), 0u);
-  EXPECT_TRUE(fe.TopK(3).empty());
+  EXPECT_TRUE(fe.TopK(3).items.empty());
 }
 
 TEST(ConsistencyTest, SoakLongStreamStaysBounded) {
@@ -152,19 +152,22 @@ TEST(ConsistencyTest, SoakLongStreamStaysBounded) {
   FrequencyEstimator fe(opt);
   double last_sim = 0;
   for (int chunk = 0; chunk < 20; ++chunk) {
-    fe.ObserveBatch(gen.Take(100000));
-    fe.Flush();
+    // Each 100K chunk is a whole number of 2000-element windows, so
+    // mid-stream queries see all ingested data without flushing (Flush() is
+    // now terminal).
+    EXPECT_TRUE(fe.ObserveBatch(gen.Take(100000)).ok());
     const double sim = fe.SimulatedSeconds();
     EXPECT_GE(sim, last_sim);
     last_sim = sim;
     // Space bound O((1/eps) log(eps N)).
     EXPECT_LT(fe.summary_size(), 100000u);
   }
+  fe.Flush();
   EXPECT_EQ(fe.processed_length(), 2000000u);
-  const auto hitters = fe.HeavyHitters(0.01);
-  EXPECT_FALSE(hitters.empty());
-  for (const auto& [value, est] : hitters) {
-    EXPECT_GE(est, static_cast<std::uint64_t>((0.01 - 0.0005) * 2000000));
+  const FrequencyReport hitters = fe.HeavyHitters(0.01);
+  EXPECT_FALSE(hitters.items.empty());
+  for (const auto& [value, est] : hitters.items) {
+    EXPECT_GE(est, static_cast<std::uint64_t>((0.01 - 0.0005) * 2000000)) << value;
   }
 }
 

@@ -79,7 +79,7 @@ TEST(FrequencyEstimatorTest, AllBackendsAgreeOnIntegerStreams) {
   // Integer-valued data below 2048 is exact in binary16, so the fp16 GPU
   // path must produce identical summaries to the CPU paths.
   const auto stream = TestStream(30000, 5);
-  std::vector<std::vector<std::pair<float, std::uint64_t>>> results;
+  std::vector<FrequencyReport> results;
   for (Backend b : {Backend::kGpuPbsn, Backend::kGpuBitonic, Backend::kCpuQuicksort,
                     Backend::kCpuStdSort}) {
     Options opt;
@@ -139,8 +139,8 @@ TEST(QuantileEstimatorTest, MedianOfKnownDistribution) {
   std::shuffle(stream.begin(), stream.end(), rng);
   qe.ObserveBatch(stream);
   qe.Flush();
-  EXPECT_NEAR(qe.Quantile(0.5), 5000.0f, 0.01 * 10000 + 1);
-  EXPECT_NEAR(qe.Quantile(0.9), 9000.0f, 0.01 * 10000 + 1);
+  EXPECT_NEAR(qe.Quantile(0.5).value, 5000.0f, 0.01 * 10000 + 1);
+  EXPECT_NEAR(qe.Quantile(0.9).value, 9000.0f, 0.01 * 10000 + 1);
   EXPECT_EQ(qe.processed_length(), 10000u);
 }
 
@@ -157,7 +157,7 @@ TEST(QuantileEstimatorTest, AllBackendsWithinEpsilon) {
     qe.ObserveBatch(stream);
     qe.Flush();
     for (double phi : {0.1, 0.5, 0.9}) {
-      const float q = qe.Quantile(phi);
+      const float q = qe.Quantile(phi).value;
       const auto [lo, hi] = sketch::ExactRankRange(sorted, q);
       const double target = std::ceil(phi * n);
       EXPECT_GE(static_cast<double>(hi) + 1 + opt.epsilon * n + 1, target)
@@ -179,7 +179,7 @@ TEST(QuantileEstimatorTest, SlidingModeFollowsShift) {
   for (int i = 0; i < 20000; ++i) stream.push_back(900.0f);
   qe.ObserveBatch(stream);
   qe.Flush();
-  EXPECT_EQ(qe.Quantile(0.5), 900.0f);
+  EXPECT_EQ(qe.Quantile(0.5).value, 900.0f);
 }
 
 TEST(QuantileEstimatorTest, CostsArePopulated) {
@@ -205,7 +205,7 @@ TEST(StreamMinerTest, DrivesBothEstimators) {
   miner.Flush();
   EXPECT_EQ(miner.frequencies().processed_length(), 20000u);
   EXPECT_EQ(miner.quantiles().processed_length(), 20000u);
-  EXPECT_FALSE(miner.frequencies().HeavyHitters(0.05).empty());
+  EXPECT_FALSE(miner.frequencies().HeavyHitters(0.05).items.empty());
 }
 
 TEST(OptionsTest, InvalidEpsilonDies) {
@@ -239,6 +239,178 @@ TEST(OptionsTest, ExplicitWindowSizeHonored) {
   FrequencyEstimator fe(opt);
   for (int i = 0; i < 50; ++i) fe.Observe(3.0f);
   EXPECT_EQ(fe.processed_length(), 50u);
+}
+
+TEST(OptionsValidateTest, DefaultsAreValid) {
+  EXPECT_TRUE(Options{}.Validate().ok());
+}
+
+TEST(OptionsValidateTest, RejectsEpsilonOutsideUnitInterval) {
+  for (double bad : {0.0, 1.0, -0.5, 2.0}) {
+    Options opt;
+    opt.epsilon = bad;
+    const Status status = opt.Validate();
+    EXPECT_EQ(status.code(), Status::Code::kInvalidArgument) << bad;
+    EXPECT_NE(status.message().find("epsilon"), std::string::npos);
+  }
+}
+
+TEST(OptionsValidateTest, RejectsBadWorkerCounts) {
+  Options opt;
+  opt.num_sort_workers = 0;
+  EXPECT_EQ(opt.Validate().code(), Status::Code::kInvalidArgument);
+  opt.num_sort_workers = -3;
+  EXPECT_EQ(opt.Validate().code(), Status::Code::kInvalidArgument);
+  opt.num_sort_workers = 4096;
+  EXPECT_EQ(opt.Validate().code(), Status::Code::kInvalidArgument);
+  opt.num_sort_workers = 8;
+  EXPECT_TRUE(opt.Validate().ok());
+  opt.max_windows_in_flight = -1;
+  EXPECT_EQ(opt.Validate().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(OptionsValidateTest, RejectsWindowWiderThanSlidingBlock) {
+  Options opt;
+  opt.epsilon = 0.01;
+  opt.sliding_window = 10000;  // block size = epsilon*W/2 = 50
+  opt.window_size = 51;
+  const Status status = opt.Validate();
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(status.message().find("block size"), std::string::npos);
+  opt.window_size = 50;
+  EXPECT_TRUE(opt.Validate().ok());
+
+  // sliding_window < window_size is a special case of the same rule.
+  Options inverted;
+  inverted.epsilon = 0.01;
+  inverted.sliding_window = 100;
+  inverted.window_size = 200;
+  EXPECT_EQ(inverted.Validate().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(OptionsValidateTest, RejectsExpectedRangeBeyondBinary16OnGpu) {
+  Options opt;
+  opt.backend = Backend::kGpuPbsn;  // gpu_format defaults to kFloat16
+  opt.expected_min_value = -1e6f;
+  opt.expected_max_value = 1e6f;
+  const Status status = opt.Validate();
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(status.message().find("binary16"), std::string::npos);
+
+  // In-range expectations, a 32-bit surface, or a CPU backend are all fine.
+  opt.expected_max_value = 65504.0f;
+  opt.expected_min_value = -65504.0f;
+  EXPECT_TRUE(opt.Validate().ok());
+  opt.expected_max_value = 1e6f;
+  opt.expected_min_value = -1e6f;
+  opt.gpu_format = gpu::Format::kFloat32;
+  EXPECT_TRUE(opt.Validate().ok());
+  opt.gpu_format = gpu::Format::kFloat16;
+  opt.backend = Backend::kCpuStdSort;
+  EXPECT_TRUE(opt.Validate().ok());
+
+  // An inverted range is rejected regardless of backend.
+  opt.expected_min_value = 10.0f;
+  opt.expected_max_value = -10.0f;
+  EXPECT_EQ(opt.Validate().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(CreateTest, ReturnsErrorInsteadOfAborting) {
+  Options bad;
+  bad.epsilon = 0.0;
+  EXPECT_FALSE(FrequencyEstimator::Create(bad).ok());
+  EXPECT_FALSE(QuantileEstimator::Create(bad).ok());
+  EXPECT_FALSE(StreamMiner::Create(bad).ok());
+  EXPECT_EQ(StreamMiner::Create(bad).status().code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(CreateTest, FrequencyCapsWholeHistoryWindowButQuantileDoesNot) {
+  // ceil(1/epsilon) = 100: wider whole-history windows overflow the
+  // frequency sketch's bucket width but are legal for the quantile summary.
+  Options opt;
+  opt.epsilon = 0.01;
+  opt.window_size = 1024;
+  opt.backend = Backend::kCpuStdSort;
+  const auto fe = FrequencyEstimator::Create(opt);
+  ASSERT_FALSE(fe.ok());
+  EXPECT_NE(fe.status().message().find("ceil(1/epsilon)"), std::string::npos);
+  EXPECT_TRUE(QuantileEstimator::Create(opt).ok());
+  EXPECT_FALSE(StreamMiner::Create(opt).ok());  // union of both rule sets
+}
+
+TEST(CreateTest, OkPathYieldsWorkingEstimators) {
+  Options opt;
+  opt.epsilon = 0.01;
+  opt.backend = Backend::kCpuStdSort;
+  auto miner = StreamMiner::Create(opt);
+  ASSERT_TRUE(miner.ok());
+  ASSERT_NE(*miner, nullptr);
+  for (int i = 0; i < 200; ++i) EXPECT_TRUE((*miner)->Observe(7.0f).ok());
+  (*miner)->Flush();
+  EXPECT_EQ((*miner)->frequencies().EstimateCount(7.0f), 200u);
+  EXPECT_EQ((*miner)->quantiles().Quantile(0.5).value, 7.0f);
+}
+
+TEST(LifecycleTest, FlushIsIdempotent) {
+  Options opt;
+  opt.epsilon = 0.01;
+  opt.backend = Backend::kCpuStdSort;
+  FrequencyEstimator fe(opt);
+  for (int i = 0; i < 42; ++i) fe.Observe(2.0f);
+  EXPECT_FALSE(fe.finalized());
+  fe.Flush();
+  EXPECT_TRUE(fe.finalized());
+  const FrequencyReport first = fe.HeavyHitters(0.5);
+  fe.Flush();  // no-op: nothing double-counted
+  fe.Flush();
+  EXPECT_EQ(fe.processed_length(), 42u);
+  EXPECT_EQ(fe.HeavyHitters(0.5), first);
+}
+
+TEST(LifecycleTest, ObserveAfterFlushFails) {
+  Options opt;
+  opt.epsilon = 0.01;
+  opt.backend = Backend::kCpuStdSort;
+  QuantileEstimator qe(opt);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(qe.Observe(1.0f).ok());
+  qe.Flush();
+  const Status status = qe.Observe(2.0f);
+  EXPECT_EQ(status.code(), Status::Code::kFailedPrecondition);
+  EXPECT_NE(status.message().find("finalized"), std::string::npos);
+  const std::vector<float> more = {3.0f, 4.0f};
+  EXPECT_EQ(qe.ObserveBatch(more).code(), Status::Code::kFailedPrecondition);
+  // The rejected elements left no trace in the summary.
+  EXPECT_EQ(qe.observed_length(), 100u);
+  EXPECT_EQ(qe.processed_length(), 100u);
+  EXPECT_EQ(qe.Quantile(0.5).value, 1.0f);
+}
+
+TEST(ReportTest, CarriesErrorBoundAndCoverage) {
+  Options opt;
+  opt.epsilon = 0.01;
+  opt.backend = Backend::kCpuStdSort;
+  StreamMiner miner(opt);
+  miner.ObserveBatch(TestStream(10000, 11));
+  miner.Flush();
+  const FrequencyReport hh = miner.frequencies().HeavyHitters(0.05);
+  EXPECT_EQ(hh.stream_length, 10000u);
+  EXPECT_EQ(hh.window_coverage, 10000u);
+  EXPECT_EQ(hh.error_bound, 100u);  // ceil(epsilon * N)
+  EXPECT_DOUBLE_EQ(hh.support, 0.05);
+  EXPECT_DOUBLE_EQ(hh.epsilon, 0.01);
+  // Items arrive sorted by descending estimate.
+  for (std::size_t i = 1; i < hh.items.size(); ++i) {
+    EXPECT_GE(hh.items[i - 1].estimate, hh.items[i].estimate);
+  }
+  const QuantileReport q = miner.quantiles().Quantile(0.5);
+  EXPECT_EQ(q.stream_length, 10000u);
+  EXPECT_EQ(q.rank_error_bound, 100u);
+  EXPECT_DOUBLE_EQ(q.phi, 0.5);
+
+  const FrequencyReport top = miner.frequencies().TopK(3);
+  EXPECT_LE(top.items.size(), 3u);
+  EXPECT_DOUBLE_EQ(top.support, 0.0);
 }
 
 }  // namespace

@@ -74,7 +74,7 @@ TEST_P(PipelineProperty, GpuQuantileGuaranteesHold) {
   std::sort(sorted.begin(), sorted.end());
   const double n = static_cast<double>(p.n);
   for (double phi : {0.05, 0.25, 0.5, 0.75, 0.95}) {
-    const float q = qe.Quantile(phi);
+    const float q = qe.Quantile(phi).value;
     const auto [lo, hi] = sketch::ExactRankRange(sorted, q);
     const double target = std::ceil(phi * n);
     const double allowed = p.epsilon * n + 1;
@@ -112,7 +112,9 @@ TEST(BackendEquivalenceTest, GpuAndCpuQuantilesAgreeExactly) {
     QuantileEstimator qe(opt);
     qe.ObserveBatch(stream);
     qe.Flush();
-    for (double phi : {0.1, 0.3, 0.5, 0.7, 0.9}) answers.push_back(qe.Quantile(phi));
+    for (double phi : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+      answers.push_back(qe.Quantile(phi).value);
+    }
   }
   for (std::size_t i = 5; i < answers.size(); ++i) {
     EXPECT_EQ(answers[i], answers[i % 5]) << i;
@@ -198,7 +200,7 @@ TEST(FailureInjectionTest, EstimatorsSurviveExtremeValues) {
   qe.Flush();
   EXPECT_EQ(fe.processed_length(), hostile.size());
   EXPECT_GE(fe.EstimateCount(0.0f), 500u);
-  const float median = qe.Quantile(0.5);
+  const float median = qe.Quantile(0.5).value;
   EXPECT_FALSE(std::isnan(median));
 }
 
@@ -223,7 +225,7 @@ TEST(FailureInjectionTest, QuantizedPipelineIsSelfConsistent) {
   for (float& v : quantized) v = gpu::QuantizeToHalf(v);
   std::sort(quantized.begin(), quantized.end());
   const double n = static_cast<double>(stream.size());
-  const float q = qe.Quantile(0.5);
+  const float q = qe.Quantile(0.5).value;
   const auto [lo, hi] = sketch::ExactRankRange(quantized, q);
   EXPECT_LE(static_cast<double>(lo) + 1, 0.5 * n + 0.01 * n + 1);
   EXPECT_GE(static_cast<double>(hi) + 1, 0.5 * n - 0.01 * n - 1);

@@ -1,0 +1,230 @@
+// Tests for the observability layer (src/obs/): MetricsRegistry semantics
+// (registration idempotence, sharded multi-thread recording, the runtime
+// enable guard), TraceRecorder semantics (sampling, track naming, the span
+// cap), the golden metrics-JSON schema, and trace well-formedness (balanced
+// JSON, per-track monotone timestamps).
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace streamgpu::obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotentByName) {
+  MetricsRegistry reg;
+  const MetricId a = reg.Counter("ingest.elements");
+  const MetricId b = reg.Counter("ingest.elements");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(reg.Counter("ingest.batches"), a);
+
+  const MetricId h = reg.Histogram("window", {10.0, 20.0});
+  // Re-registration ignores the (different) bounds and returns the same id.
+  EXPECT_EQ(reg.Histogram("window", {99.0}), h);
+  reg.Record(h, 15.0);
+  const MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].upper_bounds, (std::vector<double>{10.0, 20.0}));
+}
+
+TEST(MetricsRegistryTest, CountsGaugesAndHistogramBuckets) {
+  MetricsRegistry reg;
+  const MetricId c = reg.Counter("c");
+  const MetricId g = reg.Gauge("g");
+  const MetricId h = reg.Histogram("h", {1.0, 10.0});
+  reg.Add(c);
+  reg.Add(c, 41);
+  reg.Set(g, 2.5);
+  reg.Set(g, 7.5);  // last write wins
+  reg.Record(h, 0.5);
+  reg.Record(h, 5.0);
+  reg.Record(h, 5.0);
+  reg.Record(h, 100.0);  // beyond the last bound: +inf bucket
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0], (std::pair<std::string, std::uint64_t>{"c", 42}));
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, 7.5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].counts, (std::vector<std::uint64_t>{1, 2, 1}));
+  EXPECT_EQ(snap.histograms[0].count, 4u);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].sum, 110.5);
+}
+
+TEST(MetricsRegistryTest, InvalidIdsAndDisabledRecordingAreDropped) {
+  MetricsRegistry reg;
+  const MetricId c = reg.Counter("c");
+  reg.Add(kInvalidMetric);          // silently dropped
+  reg.Record(kInvalidMetric, 1.0);  // silently dropped
+
+  reg.set_enabled(false);
+  reg.Add(c, 100);
+  reg.set_enabled(true);
+  reg.Add(c, 1);
+  EXPECT_EQ(reg.Snapshot().counters[0].second, 1u);  // only the enabled Add
+}
+
+TEST(MetricsRegistryTest, ThreadsRecordIntoTheirOwnShardsAndMerge) {
+  MetricsRegistry reg;
+  const MetricId c = reg.Counter("c");
+  const MetricId h = reg.Histogram("h", {1000.0});
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kAddsPerThread; ++i) reg.Add(c);
+      reg.Record(h, 1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters[0].second,
+            static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+  EXPECT_EQ(snap.histograms[0].count, static_cast<std::uint64_t>(kThreads));
+  // Each recording thread created its own shard (no cross-thread contention).
+  EXPECT_GE(reg.shard_count(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(MetricsSnapshotTest, JsonMatchesGoldenSchema) {
+  // The serialized snapshot is the exporter's wire format; this golden pins
+  // the schema (docs/OBSERVABILITY.md) so accidental format drift fails CI.
+  MetricsRegistry reg;
+  reg.Add(reg.Counter("demo.batches"), 3);
+  reg.Add(reg.Counter("demo.elements"), 1024);
+  reg.Set(reg.Gauge("demo.ratio"), 0.25);
+  const MetricId h = reg.Histogram("demo.window_elements", {64.0, 128.0, 256.0});
+  reg.Record(h, 10.0);
+  reg.Record(h, 100.0);
+  reg.Record(h, 200.0);
+  reg.Record(h, 1000.0);
+
+  const std::string path = TempPath("metrics_schema.json");
+  ASSERT_TRUE(reg.WriteJsonFile(path.c_str()));
+  EXPECT_EQ(ReadFile(path),
+            ReadFile(std::string(STREAMGPU_TEST_GOLDEN_DIR) +
+                     "/metrics_schema.golden"));
+}
+
+TEST(TraceRecorderTest, SamplingGatesEveryKthSequence) {
+  TraceRecorder every(1);
+  EXPECT_TRUE(every.Sampled(0));
+  EXPECT_TRUE(every.Sampled(1));
+  EXPECT_TRUE(every.Sampled(7));
+
+  TraceRecorder fourth(4);
+  EXPECT_TRUE(fourth.Sampled(0));
+  EXPECT_FALSE(fourth.Sampled(1));
+  EXPECT_FALSE(fourth.Sampled(3));
+  EXPECT_TRUE(fourth.Sampled(4));
+  EXPECT_EQ(fourth.sample_every(), 4u);
+
+  TraceRecorder zero(0);  // normalized to 1
+  EXPECT_EQ(zero.sample_every(), 1u);
+}
+
+TEST(TraceRecorderTest, RecordsSpansPerThreadTrack) {
+  TraceRecorder trace;
+  trace.NameCurrentThread("main");
+  trace.NameCurrentThread("ignored");  // first name wins
+  trace.AddSpan("a", "test", 10.0, 5.0, {{"elements", 64.0}});
+  std::thread worker([&] {
+    trace.NameCurrentThread("worker");
+    trace.AddSpan("b", "test", 12.0, 1.0);
+  });
+  worker.join();
+
+  const auto spans = trace.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "a");
+  EXPECT_EQ(spans[0].args.size(), 1u);
+  EXPECT_NE(spans[0].tid, spans[1].tid);  // distinct tracks
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(TraceRecorderTest, SpanCapCountsDropped) {
+  TraceRecorder trace(1, 2);
+  trace.AddSpan("a", "t", 0.0, 1.0);
+  trace.AddSpan("b", "t", 1.0, 1.0);
+  trace.AddSpan("c", "t", 2.0, 1.0);
+  EXPECT_EQ(trace.snapshot().size(), 2u);
+  EXPECT_EQ(trace.dropped(), 1u);
+}
+
+TEST(TraceRecorderTest, WrittenJsonIsBalancedAndPerTrackMonotone) {
+  TraceRecorder trace;
+  trace.NameCurrentThread("ingest");
+  // Recorded at completion time, i.e. not in start order — WriteJson must
+  // re-sort per track.
+  trace.AddSpan("late", "test", 30.0, 2.0);
+  trace.AddSpan("early", "test", 1.0, 2.0, {{"seq", 0.0}});
+  trace.AddSpan("mid", "test", 15.0, 2.0);
+  std::thread worker([&] {
+    trace.NameCurrentThread("sort-0");
+    trace.AddSpan("w-late", "test", 20.0, 1.0);
+    trace.AddSpan("w-early", "test", 2.0, 1.0);
+  });
+  worker.join();
+
+  const std::string path = TempPath("trace_wellformed.json");
+  ASSERT_TRUE(trace.WriteJsonFile(path.c_str()));
+  const std::string json = ReadFile(path);
+
+  // Structurally valid: balanced braces/brackets (no strings in the file
+  // contain either), one trailing newline, and the Chrome trace envelope.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"ingest\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"sort-0\""), std::string::npos);
+
+  // Timestamps are monotone within each track, in file order.
+  std::map<int, double> last_ts;
+  std::size_t events = 0;
+  for (std::size_t pos = json.find("{\"ph\": \"X\""); pos != std::string::npos;
+       pos = json.find("{\"ph\": \"X\"", pos + 1)) {
+    const std::size_t tid_pos = json.find("\"tid\": ", pos);
+    const std::size_t ts_pos = json.find("\"ts\": ", pos);
+    ASSERT_NE(tid_pos, std::string::npos);
+    ASSERT_NE(ts_pos, std::string::npos);
+    const int tid = std::stoi(json.substr(tid_pos + 7));
+    const double ts = std::stod(json.substr(ts_pos + 6));
+    auto [it, inserted] = last_ts.try_emplace(tid, ts);
+    if (!inserted) {
+      EXPECT_GE(ts, it->second) << "tid " << tid;
+      it->second = ts;
+    }
+    ++events;
+  }
+  EXPECT_EQ(events, 5u);
+}
+
+}  // namespace
+}  // namespace streamgpu::obs

@@ -16,6 +16,7 @@
 
 #include "core/stream_miner.h"
 #include "hwmodel/hardware_profiles.h"
+#include "obs/metrics.h"
 #include "sort/cpu_sort.h"
 #include "stream/generator.h"
 #include "stream/pipeline.h"
@@ -35,8 +36,8 @@ std::vector<float> ZipfStream(std::size_t n, unsigned seed) {
 // space, and the full deterministic slice of the cost records (wall-clock
 // fields excluded — those legitimately differ across execution modes).
 struct Snapshot {
-  std::vector<std::pair<float, std::uint64_t>> hitters;
-  std::vector<std::pair<float, std::uint64_t>> top3;
+  FrequencyReport hitters;
+  FrequencyReport top3;
   std::vector<float> quantiles;
   std::vector<std::uint64_t> probe_counts;
   std::uint64_t freq_processed = 0;
@@ -65,7 +66,9 @@ Snapshot Capture(const StreamMiner& miner) {
   const auto& qe = miner.quantiles();
   s.hitters = fe.HeavyHitters(0.02);
   s.top3 = fe.TopK(3);
-  for (double phi : {0.1, 0.5, 0.9, 0.99}) s.quantiles.push_back(qe.Quantile(phi));
+  for (double phi : {0.1, 0.5, 0.9, 0.99}) {
+    s.quantiles.push_back(qe.Quantile(phi).value);
+  }
   for (float probe : {0.0f, 1.0f, 5.0f, 123.0f}) {
     s.probe_counts.push_back(fe.EstimateCount(probe));
   }
@@ -165,9 +168,10 @@ TEST(PipelineDeterminismTest, MidStreamQueriesMatchSerial) {
   EXPECT_EQ(pipelined.HeavyHitters(0.02), serial.HeavyHitters(0.02));
 }
 
-TEST(PipelineDeterminismTest, FlushMidWindowThenContinue) {
-  // Flush with a partial window in the buffer, keep observing, flush again:
-  // both modes must chunk the stream identically.
+TEST(PipelineDeterminismTest, SplitIngestAndTerminalFlushMatchSerial) {
+  // Ingest in unaligned spans (the final window is partial), finalize once,
+  // and hit the post-Flush lifecycle: both modes must chunk the stream
+  // identically and reject late observations the same way.
   const auto data = ZipfStream(1234, 5);
   for (Backend backend : {Backend::kGpuPbsn, Backend::kCpuStdSort}) {
     Options opt;
@@ -178,12 +182,14 @@ TEST(PipelineDeterminismTest, FlushMidWindowThenContinue) {
       Options o = opt;
       o.num_sort_workers = workers;
       StreamMiner miner(o);
-      const std::size_t cut = 500;
-      miner.ObserveBatch(std::span(data.data(), cut));
-      miner.Flush();
-      miner.ObserveBatch(std::span(data.data() + cut, data.size() - cut));
+      const std::size_t cut = 533;  // mid-window split
+      EXPECT_TRUE(miner.ObserveBatch(std::span(data.data(), cut)).ok());
+      EXPECT_TRUE(
+          miner.ObserveBatch(std::span(data.data() + cut, data.size() - cut)).ok());
       miner.Flush();
       miner.Flush();  // idempotent
+      EXPECT_TRUE(miner.finalized());
+      EXPECT_EQ(miner.Observe(1.0f).code(), Status::Code::kFailedPrecondition);
       return Capture(miner);
     };
     EXPECT_EQ(run_split(4), run_split(1)) << BackendName(backend);
@@ -254,8 +260,44 @@ TEST(PipelineShutdownTest, WaitIdleOnEmptyPipelineReturnsImmediately) {
   FrequencyEstimator fe(opt);
   fe.Flush();                                // nothing buffered
   EXPECT_EQ(fe.processed_length(), 0u);      // queries sync against idle pipeline
-  EXPECT_TRUE(fe.HeavyHitters(0.01).empty());
+  EXPECT_TRUE(fe.HeavyHitters(0.01).items.empty());
   EXPECT_EQ(fe.costs().pipelined_batches, 0u);
+}
+
+TEST(PipelineObservabilityTest, CountersBitIdenticalAcrossWorkerCounts) {
+  // The metrics determinism contract (docs/OBSERVABILITY.md): counters and
+  // histograms record operation counts, so their merged totals are
+  // bit-identical between serial and pipelined execution — even though the
+  // pipelined run shards them across 8 worker threads plus ingest and drain.
+  const auto data = ZipfStream(20000, 9);
+  auto run = [&](int workers) {
+    obs::MetricsRegistry metrics;
+    Options opt;
+    opt.epsilon = 0.005;
+    opt.backend = Backend::kGpuPbsn;
+    opt.num_sort_workers = workers;
+    opt.obs.metrics = &metrics;
+    StreamMiner miner(opt);
+    miner.ObserveBatch(data);
+    miner.Flush();
+    (void)miner.frequencies().HeavyHitters(0.02);
+    (void)miner.quantiles().Quantile(0.5);
+    return metrics.Snapshot();
+  };
+
+  const obs::MetricsSnapshot serial = run(1);
+  const obs::MetricsSnapshot pipelined = run(8);
+
+  ASSERT_FALSE(serial.counters.empty());
+  EXPECT_EQ(pipelined.counters, serial.counters);
+  ASSERT_FALSE(serial.histograms.empty());
+  ASSERT_EQ(pipelined.histograms.size(), serial.histograms.size());
+  for (std::size_t i = 0; i < serial.histograms.size(); ++i) {
+    EXPECT_EQ(pipelined.histograms[i].name, serial.histograms[i].name);
+    EXPECT_EQ(pipelined.histograms[i].counts, serial.histograms[i].counts) << i;
+    EXPECT_EQ(pipelined.histograms[i].sum, serial.histograms[i].sum) << i;
+  }
+  // Gauges (wall-clock readings) carry no such guarantee — only their names.
 }
 
 // Direct SortPipeline exercise: drain order must equal submission order even

@@ -3,6 +3,8 @@
 
 Usage:
   check_bench_regression.py BASELINE.json NEW_ENGINE.json [--tolerance 1.2]
+  check_bench_regression.py --fig3-overhead BASELINE.json NEW_FIG3.json \\
+      [--overhead-tolerance 1.02]
   check_bench_regression.py --merge ENGINE.json FIG3.json [-o BENCH_sort.json]
 
 Check mode compares the machine-normalized kernel ratios (``rel_memcpy`` =
@@ -11,15 +13,26 @@ bench_engine run against the baseline's ``engine`` section. Raw nanoseconds
 vary with the CI runner; the ratio to streaming-copy speed is stable enough
 to gate on. Exit 1 if any kernel's ratio exceeds baseline * tolerance.
 
+Fig3-overhead mode gates the estimator hot path's disabled-observability
+overhead: it compares per-row ``rel_memcpy`` (PBSN sort ns/key over memcpy
+ns/byte) of a fresh bench_fig3_sorting run against the baseline's
+``fig3_sorting`` rows, matched by n, and fails if the geometric mean of the
+new/baseline ratios exceeds the overhead tolerance (default 1.02 — the
+"observability hooks cost < 2% when disabled" budget from
+docs/OBSERVABILITY.md). The geometric mean across rows, rather than a
+per-row gate, absorbs single-size timing noise.
+
 Merge mode rebuilds the committed repo-root baseline from fresh
 bench_engine + bench_fig3_sorting JSON outputs.
 """
 
 import argparse
 import json
+import math
 import sys
 
 DEFAULT_TOLERANCE = 1.2
+DEFAULT_OVERHEAD_TOLERANCE = 1.02
 
 MERGE_COMMENT = (
     "Blessed benchmark baseline. Regenerate with: "
@@ -82,14 +95,87 @@ def check(baseline_path, new_path, tolerance):
     return 0
 
 
+def row_rel_memcpy(row, section):
+    """rel_memcpy for a fig3 row; derived for pre-rel_memcpy baselines."""
+    if "rel_memcpy" in row:
+        return row["rel_memcpy"]
+    per_byte = section.get("memcpy_ns_per_byte")
+    if per_byte:
+        return row["pbsn_ns_per_key"] / per_byte
+    return None
+
+
+def check_fig3_overhead(baseline_path, new_path, tolerance):
+    baseline_doc = load(baseline_path)
+    baseline = baseline_doc["fig3_sorting"]
+    new = load(new_path)["fig3_sorting"]
+    # Old baselines carry no memcpy calibration of their own; fall back to
+    # the engine section's, measured in the same blessed run.
+    if "memcpy_ns_per_byte" not in baseline and "engine" in baseline_doc:
+        baseline = dict(baseline,
+                        memcpy_ns_per_byte=baseline_doc["engine"]
+                        .get("memcpy_ns_per_byte"))
+
+    new_rows = {row["n"]: row for row in new["rows"]}
+    ratios = []
+    failures = []
+    print(f"{'n':>10} {'baseline':>10} {'new':>10} {'ratio':>7}  "
+          f"(rel_memcpy = pbsn ns/key over memcpy ns/B)")
+    for base_row in baseline["rows"]:
+        n = base_row["n"]
+        if n not in new_rows:
+            failures.append(f"n={n}: missing from new results")
+            continue
+        b = row_rel_memcpy(base_row, baseline)
+        if b is None:
+            failures.append(f"n={n}: baseline has no rel_memcpy and no "
+                            "memcpy calibration to derive it")
+            continue
+        r = row_rel_memcpy(new_rows[n], new)
+        ratio = r / b if b > 0 else float("inf")
+        ratios.append(ratio)
+        print(f"{n:>10} {b:>10.2f} {r:>10.2f} {ratio:>6.3f}x")
+
+    if ratios:
+        geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        flag = " EXCEEDS BUDGET" if geomean > tolerance else ""
+        print(f"\ngeometric mean: {geomean:.3f}x "
+              f"(overhead budget {tolerance:.2f}x){flag}")
+        if geomean > tolerance:
+            failures.append(f"geomean rel_memcpy {geomean:.3f}x > "
+                            f"{tolerance:.2f}x budget")
+
+    if failures:
+        print("\nFAIL: disabled-observability overhead gate "
+              "(bench_fig3_sorting ns/key vs the committed baseline):",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        print("\nThe estimator hot path must stay within the < 2% "
+              "disabled-observability budget (docs/OBSERVABILITY.md). If the "
+              "machine changed, regenerate the baseline (see the comment in "
+              "BENCH_sort.json).", file=sys.stderr)
+        return 1
+    print("OK: hot-path overhead within budget.")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("inputs", nargs=2,
-                        help="baseline.json new.json (check mode) or "
+                        help="baseline.json new.json (check modes) or "
                              "engine.json fig3.json (merge mode)")
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
                         help="max allowed new/baseline rel_memcpy ratio "
                              f"(default {DEFAULT_TOLERANCE})")
+    parser.add_argument("--fig3-overhead", action="store_true",
+                        help="gate bench_fig3_sorting rel_memcpy (disabled-"
+                             "observability hot-path overhead) instead of "
+                             "the engine kernels")
+    parser.add_argument("--overhead-tolerance", type=float,
+                        default=DEFAULT_OVERHEAD_TOLERANCE,
+                        help="max allowed geomean fig3 rel_memcpy ratio "
+                             f"(default {DEFAULT_OVERHEAD_TOLERANCE})")
     parser.add_argument("--merge", action="store_true",
                         help="merge engine+fig3 JSON into a new baseline")
     parser.add_argument("-o", "--output", default="BENCH_sort.json",
@@ -98,6 +184,9 @@ def main():
 
     if args.merge:
         return merge(args.inputs[0], args.inputs[1], args.output)
+    if args.fig3_overhead:
+        return check_fig3_overhead(args.inputs[0], args.inputs[1],
+                                   args.overhead_tolerance)
     return check(args.inputs[0], args.inputs[1], args.tolerance)
 
 

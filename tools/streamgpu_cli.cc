@@ -19,23 +19,39 @@
 //   --workers N            sort-worker threads; >= 2 enables the parallel
 //                          ingest pipeline                (default 1: serial)
 //   --in-flight M          max windows buffered in the pipeline (default auto)
+//   --expect-range LO,HI   a-priori value range, validated against the
+//                          backend's precision            (default unknown)
+//
+// Observability (docs/OBSERVABILITY.md):
+//   --metrics-out PATH     write the metrics snapshot JSON to PATH
+//   --trace-out PATH       write a Chrome trace-event JSON to PATH
+//                          (chrome://tracing or https://ui.perfetto.dev)
+//   --trace-sample-every K record every K-th span per stage (default 1: all)
+//
+// Invalid configurations (bad epsilon, window/backend mismatches, ...) are
+// reported on stderr and exit with status 2.
 //
 // Examples:
 //   streamgpu_cli quantiles --generate finance --n 500000 --phi 0.5,0.99
 //   streamgpu_cli frequencies --generate zipf --support 0.02 --backend cpu
 //   streamgpu_cli frequencies --n 4000000 --backend cpu --workers 4
+//       --metrics-out metrics.json --trace-out trace.json  (one command line)
 //   streamgpu_cli sort --n 262144 --backend gpu
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/timer.h"
 #include "core/frequency_estimator.h"
+#include "core/instrumentation.h"
 #include "core/quantile_estimator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stream/generator.h"
 
 namespace {
@@ -55,6 +71,11 @@ struct CliOptions {
   int in_flight = 0;
   std::vector<double> phis = {0.25, 0.5, 0.75, 0.9, 0.99};
   double support = 0.01;
+  float expect_min = 0;
+  float expect_max = 0;
+  std::string metrics_out;
+  std::string trace_out;
+  std::uint64_t trace_sample_every = 1;
 };
 
 [[noreturn]] void Usage(const char* error) {
@@ -64,7 +85,8 @@ struct CliOptions {
                "  --input PATH | --generate uniform|zipf|sorted|network|finance\n"
                "  --n COUNT --seed SEED --epsilon EPS\n"
                "  --backend gpu|bitonic|cpu|stdsort --sliding W\n"
-               "  --workers N --in-flight M\n"
+               "  --workers N --in-flight M --expect-range LO,HI\n"
+               "  --metrics-out PATH --trace-out PATH --trace-sample-every K\n"
                "  --phi P1,P2,...    (quantiles)\n"
                "  --support S        (frequencies)\n");
   std::exit(2);
@@ -108,10 +130,20 @@ CliOptions ParseArgs(int argc, char** argv) {
       opt.sliding = std::strtoull(next().c_str(), nullptr, 10);
     } else if (flag == "--workers") {
       opt.workers = static_cast<int>(std::strtol(next().c_str(), nullptr, 10));
-      if (opt.workers < 1) Usage("--workers must be >= 1");
     } else if (flag == "--in-flight") {
       opt.in_flight = static_cast<int>(std::strtol(next().c_str(), nullptr, 10));
-      if (opt.in_flight < 0) Usage("--in-flight must be >= 0");
+    } else if (flag == "--expect-range") {
+      const auto range = ParseDoubleList(next());
+      if (range.size() != 2) Usage("--expect-range needs LO,HI");
+      opt.expect_min = static_cast<float>(range[0]);
+      opt.expect_max = static_cast<float>(range[1]);
+    } else if (flag == "--metrics-out") {
+      opt.metrics_out = next();
+    } else if (flag == "--trace-out") {
+      opt.trace_out = next();
+    } else if (flag == "--trace-sample-every") {
+      opt.trace_sample_every = std::strtoull(next().c_str(), nullptr, 10);
+      if (opt.trace_sample_every == 0) Usage("--trace-sample-every must be >= 1");
     } else if (flag == "--phi") {
       opt.phis = ParseDoubleList(next());
     } else if (flag == "--support") {
@@ -163,64 +195,137 @@ std::vector<float> LoadStream(const CliOptions& opt) {
   return gen.Take(opt.n);
 }
 
-core::Options MakeCoreOptions(const CliOptions& opt) {
+/// Owns the optional sinks for one run and writes them out at the end.
+struct ObsSinks {
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  std::unique_ptr<obs::TraceRecorder> trace;
+
+  explicit ObsSinks(const CliOptions& opt) {
+    if (!opt.metrics_out.empty()) metrics = std::make_unique<obs::MetricsRegistry>();
+    if (!opt.trace_out.empty()) {
+      trace = std::make_unique<obs::TraceRecorder>(opt.trace_sample_every);
+    }
+  }
+
+  obs::Observability view() const { return {metrics.get(), trace.get()}; }
+
+  void Write(const CliOptions& opt) const {
+    if (metrics != nullptr) {
+      if (!metrics->WriteJsonFile(opt.metrics_out.c_str())) {
+        std::fprintf(stderr, "error: cannot write %s\n", opt.metrics_out.c_str());
+        std::exit(1);
+      }
+      std::fprintf(stderr, "# metrics snapshot -> %s\n", opt.metrics_out.c_str());
+    }
+    if (trace != nullptr) {
+      if (!trace->WriteJsonFile(opt.trace_out.c_str())) {
+        std::fprintf(stderr, "error: cannot write %s\n", opt.trace_out.c_str());
+        std::exit(1);
+      }
+      std::fprintf(stderr, "# trace (load in chrome://tracing or ui.perfetto.dev) -> %s\n",
+                   opt.trace_out.c_str());
+    }
+  }
+};
+
+core::Options MakeCoreOptions(const CliOptions& opt, const ObsSinks& sinks) {
   core::Options core_opt;
   core_opt.epsilon = opt.epsilon;
   core_opt.backend = ParseBackend(opt.backend);
   core_opt.sliding_window = opt.sliding;
   core_opt.num_sort_workers = opt.workers;
   core_opt.max_windows_in_flight = opt.in_flight;
+  core_opt.expected_min_value = opt.expect_min;
+  core_opt.expected_max_value = opt.expect_max;
+  core_opt.obs = sinks.view();
   return core_opt;
+}
+
+/// Unwraps a factory result, or reports the configuration error and exits 2.
+template <typename T>
+std::unique_ptr<T> CreateOrDie(core::StatusOr<std::unique_ptr<T>> result) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: invalid configuration: %s\n",
+                 result.status().message().c_str());
+    std::exit(2);
+  }
+  return std::move(result).value();
 }
 
 int RunQuantiles(const CliOptions& opt) {
   const auto stream = LoadStream(opt);
-  core::QuantileEstimator qe(MakeCoreOptions(opt));
+  const ObsSinks sinks(opt);
+  auto qe = CreateOrDie(core::QuantileEstimator::Create(MakeCoreOptions(opt, sinks)));
   Timer timer;
-  qe.ObserveBatch(stream);
-  qe.Flush();
+  qe->ObserveBatch(stream);
+  qe->Flush();
   std::printf("# %zu values, epsilon %g, backend %s%s, workers %d\n", stream.size(),
               opt.epsilon, opt.backend.c_str(), opt.sliding != 0 ? " (sliding)" : "",
               opt.workers);
   for (double phi : opt.phis) {
     if (phi <= 0.0 || phi > 1.0) continue;
-    std::printf("q%-8g %g\n", phi, qe.Quantile(phi));
+    const core::QuantileReport report = qe->Quantile(phi);
+    std::printf("q%-8g %-12g (rank +- %llu of %llu)\n", phi, report.value,
+                static_cast<unsigned long long>(report.rank_error_bound),
+                static_cast<unsigned long long>(report.window_coverage));
   }
   std::printf("# summary: %zu tuples; simulated-2005 %.1f ms; wall %.2f s\n",
-              qe.summary_size(), qe.SimulatedSeconds() * 1e3, timer.ElapsedSeconds());
+              qe->summary_size(), qe->SimulatedSeconds() * 1e3, timer.ElapsedSeconds());
+  qe->ExportMetrics();
+  sinks.Write(opt);
   return 0;
 }
 
 int RunFrequencies(const CliOptions& opt) {
   const auto stream = LoadStream(opt);
-  core::FrequencyEstimator fe(MakeCoreOptions(opt));
+  const ObsSinks sinks(opt);
+  auto fe = CreateOrDie(core::FrequencyEstimator::Create(MakeCoreOptions(opt, sinks)));
   Timer timer;
-  fe.ObserveBatch(stream);
-  fe.Flush();
+  fe->ObserveBatch(stream);
+  fe->Flush();
   std::printf("# %zu values, epsilon %g, support %g, backend %s%s, workers %d\n",
               stream.size(), opt.epsilon, opt.support, opt.backend.c_str(),
               opt.sliding != 0 ? " (sliding)" : "", opt.workers);
-  for (const auto& [value, count] : fe.HeavyHitters(opt.support)) {
-    std::printf("%-12g >= %llu\n", value, static_cast<unsigned long long>(count));
+  const core::FrequencyReport report = fe->HeavyHitters(opt.support);
+  for (const auto& item : report.items) {
+    std::printf("%-12g >= %llu\n", item.value,
+                static_cast<unsigned long long>(item.estimate));
   }
+  std::printf("# undercount bound %llu over %llu covered elements\n",
+              static_cast<unsigned long long>(report.error_bound),
+              static_cast<unsigned long long>(report.window_coverage));
   std::printf("# summary: %zu entries; simulated-2005 %.1f ms; wall %.2f s\n",
-              fe.summary_size(), fe.SimulatedSeconds() * 1e3, timer.ElapsedSeconds());
+              fe->summary_size(), fe->SimulatedSeconds() * 1e3, timer.ElapsedSeconds());
+  fe->ExportMetrics();
+  sinks.Write(opt);
   return 0;
 }
 
 int RunSort(const CliOptions& opt) {
   auto stream = LoadStream(opt);
-  core::SortEngine engine(MakeCoreOptions(opt));
+  const ObsSinks sinks(opt);
+  const core::Options core_opt = MakeCoreOptions(opt, sinks);
+  const core::Status status = core_opt.Validate();
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: invalid configuration: %s\n",
+                 status.message().c_str());
+    std::exit(2);
+  }
+  core::SortEngine engine(core_opt);
+  // The decorator gives the sort command the same spans/counters as the
+  // estimator paths (a no-op pass-through when no sink is wired).
+  core::TracingSorter sorter(&engine.sorter(), engine.device(), sinks.view(), "sort");
   Timer timer;
-  engine.sorter().Sort(stream);
-  const auto& run = engine.sorter().last_run();
-  std::printf("sorted %zu values with %s\n", stream.size(), engine.sorter().name());
+  sorter.Sort(stream);
+  const auto& run = sorter.last_run();
+  std::printf("sorted %zu values with %s\n", stream.size(), sorter.name());
   std::printf("  comparisons      : %llu\n",
               static_cast<unsigned long long>(run.comparisons));
   std::printf("  simulated-2005   : %.2f ms (device %.2f, transfer %.2f, merge %.2f)\n",
               run.simulated_seconds * 1e3, run.sim_device_seconds * 1e3,
               run.sim_transfer_seconds * 1e3, run.sim_merge_seconds * 1e3);
   std::printf("  simulator wall   : %.2f s\n", timer.ElapsedSeconds());
+  sinks.Write(opt);
   return 0;
 }
 
