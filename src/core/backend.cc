@@ -58,6 +58,7 @@ stream::PipelineConfig MakePipelineConfig(const Options& options,
         (options.max_windows_in_flight + batch_windows - 1) / batch_windows;
     if (config.max_batches_in_flight < 1) config.max_batches_in_flight = 1;
   }
+  config.drain_deadline_seconds = options.fault.drain_deadline_seconds;
   return config;
 }
 

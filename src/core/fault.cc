@@ -1,0 +1,270 @@
+#include "core/fault.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace streamgpu::core {
+namespace {
+
+// splitmix64 finalizer: the only randomness source in the injector, so fault
+// decisions depend on nothing but (seed, stream id, site, op index, rule).
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+gpu::DeviceFault::Kind ToDeviceKind(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kBitFlip:
+      return gpu::DeviceFault::Kind::kBitFlip;
+    case FaultKind::kNan:
+      return gpu::DeviceFault::Kind::kNan;
+    case FaultKind::kTruncateHalf:
+      return gpu::DeviceFault::Kind::kTruncateHalf;
+    case FaultKind::kDeviceLost:
+      return gpu::DeviceFault::Kind::kDeviceLost;
+    case FaultKind::kStall:
+      return gpu::DeviceFault::Kind::kStall;
+  }
+  return gpu::DeviceFault::Kind::kNone;
+}
+
+FaultSite FromDeviceSite(gpu::DeviceFaultSite site) {
+  switch (site) {
+    case gpu::DeviceFaultSite::kUpload:
+      return FaultSite::kGpuUpload;
+    case gpu::DeviceFaultSite::kPass:
+      return FaultSite::kGpuPass;
+    case gpu::DeviceFaultSite::kReadback:
+      return FaultSite::kGpuReadback;
+  }
+  return FaultSite::kGpuPass;
+}
+
+Status ParseError(const std::string& rule, const std::string& why) {
+  return Status::InvalidArgument("fault plan: bad rule '" + rule + "': " + why);
+}
+
+bool ParseU64(const std::string& s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0' || std::isnan(v)) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kGpuUpload:
+      return "upload";
+    case FaultSite::kGpuPass:
+      return "pass";
+    case FaultSite::kGpuReadback:
+      return "readback";
+    case FaultSite::kQueue:
+      return "queue";
+  }
+  return "?";
+}
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kBitFlip:
+      return "bitflip";
+    case FaultKind::kNan:
+      return "nan";
+    case FaultKind::kTruncateHalf:
+      return "half";
+    case FaultKind::kDeviceLost:
+      return "lost";
+    case FaultKind::kStall:
+      return "stall";
+  }
+  return "?";
+}
+
+StatusOr<FaultPlan> FaultPlan::Parse(const std::string& spec, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  if (spec.empty()) return plan;
+
+  std::stringstream rules_in(spec);
+  std::string rule_spec;
+  while (std::getline(rules_in, rule_spec, ';')) {
+    if (rule_spec.empty()) continue;
+    FaultRule rule;
+
+    // site : kind [: params]
+    const std::size_t c1 = rule_spec.find(':');
+    if (c1 == std::string::npos) return ParseError(rule_spec, "expected site:kind");
+    const std::size_t c2 = rule_spec.find(':', c1 + 1);
+    const std::string site = rule_spec.substr(0, c1);
+    const std::string kind =
+        rule_spec.substr(c1 + 1, c2 == std::string::npos ? std::string::npos : c2 - c1 - 1);
+
+    if (site == "upload") {
+      rule.site = FaultSite::kGpuUpload;
+    } else if (site == "pass") {
+      rule.site = FaultSite::kGpuPass;
+    } else if (site == "readback") {
+      rule.site = FaultSite::kGpuReadback;
+    } else if (site == "queue") {
+      rule.site = FaultSite::kQueue;
+    } else {
+      return ParseError(rule_spec, "unknown site '" + site +
+                                       "' (want upload|pass|readback|queue)");
+    }
+
+    if (kind == "bitflip") {
+      rule.kind = FaultKind::kBitFlip;
+    } else if (kind == "nan") {
+      rule.kind = FaultKind::kNan;
+    } else if (kind == "half") {
+      rule.kind = FaultKind::kTruncateHalf;
+    } else if (kind == "lost") {
+      rule.kind = FaultKind::kDeviceLost;
+    } else if (kind == "stall") {
+      rule.kind = FaultKind::kStall;
+    } else {
+      return ParseError(rule_spec,
+                        "unknown kind '" + kind + "' (want bitflip|nan|half|lost|stall)");
+    }
+
+    bool have_trigger = false;
+    if (c2 != std::string::npos) {
+      std::stringstream params_in(rule_spec.substr(c2 + 1));
+      std::string param;
+      while (std::getline(params_in, param, ',')) {
+        if (param.empty()) continue;
+        const std::size_t eq = param.find('=');
+        if (eq == std::string::npos) return ParseError(rule_spec, "expected key=value, got '" + param + "'");
+        const std::string key = param.substr(0, eq);
+        const std::string value = param.substr(eq + 1);
+        std::uint64_t u = 0;
+        if (key == "every") {
+          if (!ParseU64(value, &u) || u == 0)
+            return ParseError(rule_spec, "every wants a positive integer");
+          rule.every_n = u;
+          have_trigger = true;
+        } else if (key == "p") {
+          double p = 0;
+          if (!ParseDouble(value, &p) || p < 0.0 || p > 1.0)
+            return ParseError(rule_spec, "p wants a probability in [0, 1]");
+          rule.probability = p;
+          have_trigger = true;
+        } else if (key == "after") {
+          if (!ParseU64(value, &u)) return ParseError(rule_spec, "after wants an integer");
+          rule.start_after = u;
+        } else if (key == "max") {
+          if (!ParseU64(value, &u)) return ParseError(rule_spec, "max wants an integer");
+          rule.max_fires = u;
+        } else if (key == "bit") {
+          if (!ParseU64(value, &u) || u > 31)
+            return ParseError(rule_spec, "bit wants an integer in [0, 31]");
+          rule.bit = static_cast<int>(u);
+        } else if (key == "stall_us") {
+          if (!ParseU64(value, &u)) return ParseError(rule_spec, "stall_us wants an integer");
+          rule.stall_us = static_cast<unsigned>(u);
+        } else {
+          return ParseError(rule_spec, "unknown key '" + key + "'");
+        }
+      }
+    }
+    if (!have_trigger) rule.every_n = 1;  // default: fire on every op
+    if (rule.every_n > 0 && rule.probability > 0.0)
+      return ParseError(rule_spec, "every and p are mutually exclusive");
+    if (rule.site == FaultSite::kQueue && rule.kind != FaultKind::kStall)
+      return ParseError(rule_spec, "queue site only supports stall faults");
+    plan.rules.push_back(rule);
+  }
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out;
+  for (const FaultRule& rule : rules) {
+    if (!out.empty()) out += ';';
+    out += FaultSiteName(rule.site);
+    out += ':';
+    out += FaultKindName(rule.kind);
+    std::stringstream params;
+    if (rule.every_n > 0) {
+      params << ",every=" << rule.every_n;
+    } else {
+      params << ",p=" << rule.probability;
+    }
+    if (rule.start_after > 0) params << ",after=" << rule.start_after;
+    if (rule.max_fires > 0) params << ",max=" << rule.max_fires;
+    if (rule.kind == FaultKind::kBitFlip) params << ",bit=" << rule.bit;
+    if (rule.kind == FaultKind::kStall) params << ",stall_us=" << rule.stall_us;
+    std::string p = params.str();
+    p[0] = ':';  // first ',' becomes the rule's params separator
+    out += p;
+  }
+  return out;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t stream_id)
+    : plan_(plan), stream_id_(stream_id), rule_fires_(plan.rules.size(), 0) {}
+
+gpu::DeviceFault FaultInjector::Evaluate(FaultSite site, std::uint64_t op_index) {
+  gpu::DeviceFault fault;
+  for (std::size_t r = 0; r < plan_.rules.size(); ++r) {
+    const FaultRule& rule = plan_.rules[r];
+    if (rule.site != site) continue;
+    if (op_index < rule.start_after) continue;
+    if (rule.max_fires > 0 && rule_fires_[r] >= rule.max_fires) continue;
+
+    bool fire = false;
+    const std::uint64_t mixed =
+        Mix(Mix(Mix(Mix(plan_.seed ^ stream_id_) ^ static_cast<std::uint64_t>(site)) ^
+                op_index) ^
+            r);
+    if (rule.every_n > 0) {
+      fire = (op_index - rule.start_after) % rule.every_n == 0;
+    } else {
+      // Map the high 53 bits to [0, 1): exact, branch-free, reproducible.
+      const double u = static_cast<double>(mixed >> 11) * 0x1.0p-53;
+      fire = u < rule.probability;
+    }
+    if (!fire) continue;
+
+    ++rule_fires_[r];
+    ++fires_;
+    fault.kind = ToDeviceKind(rule.kind);
+    fault.target = Mix(mixed);  // decorrelate the target index from the trigger
+    fault.bit = rule.bit;
+    fault.stall_us = rule.stall_us;
+    return fault;  // first matching rule wins
+  }
+  return fault;
+}
+
+gpu::DeviceFault FaultInjector::OnDeviceOp(gpu::DeviceFaultSite site, std::uint64_t) {
+  const FaultSite s = FromDeviceSite(site);
+  const std::uint64_t op = op_counts_[static_cast<int>(s)]++;
+  return Evaluate(s, op);
+}
+
+unsigned FaultInjector::PollQueueStall() {
+  const std::uint64_t op = op_counts_[static_cast<int>(FaultSite::kQueue)]++;
+  const gpu::DeviceFault fault = Evaluate(FaultSite::kQueue, op);
+  return fault.kind == gpu::DeviceFault::Kind::kStall ? fault.stall_us : 0;
+}
+
+}  // namespace streamgpu::core

@@ -1,0 +1,162 @@
+// Deterministic fault injection: plans, the injector, and the tolerance knobs.
+//
+// A FaultPlan is a declarative list of rules, each binding a fault site
+// (GPU upload / render pass / readback, or the pipeline's worker queue) to a
+// fault kind and a trigger (every Nth op, or a seeded pseudo-random
+// probability). A FaultInjector evaluates a plan against a per-stream op
+// counter using only splitmix64 mixing of (seed, stream id, site, op index),
+// so the same plan + seed + input stream fires the same faults on the same
+// operations every run — faulty executions are exactly reproducible.
+//
+// Everything here is off by default: with an empty plan no hook is installed
+// and the device/pipeline hot paths pay a single pointer compare. See
+// docs/ROBUSTNESS.md for the full model.
+
+#ifndef STREAMGPU_CORE_FAULT_H_
+#define STREAMGPU_CORE_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "gpu/fault_hook.h"
+
+namespace streamgpu::core {
+
+/// Where a fault strikes. The three GPU sites map 1:1 onto
+/// gpu::DeviceFaultSite; kQueue is the ingest pipeline's worker dequeue seam.
+enum class FaultSite : std::uint8_t {
+  kGpuUpload,
+  kGpuPass,
+  kGpuReadback,
+  kQueue,
+};
+
+/// What the fault does. Corruption kinds (kBitFlip/kNan/kTruncateHalf) damage
+/// one value touched by the operation; kDeviceLost drops every data op until
+/// the host recovers the device; kStall delays the operation (the only kind
+/// valid at kQueue).
+enum class FaultKind : std::uint8_t {
+  kBitFlip,
+  kNan,
+  kTruncateHalf,
+  kDeviceLost,
+  kStall,
+};
+
+const char* FaultSiteName(FaultSite site);
+const char* FaultKindName(FaultKind kind);
+
+/// One site x trigger x kind binding. Trigger: if `every_n` > 0 the rule
+/// fires on ops where (op_index - start_after) is a multiple of every_n;
+/// otherwise it fires pseudo-randomly with `probability`. `start_after`
+/// skips the first N ops at the site; `max_fires` caps total firings
+/// (0 = unlimited).
+struct FaultRule {
+  FaultSite site = FaultSite::kGpuPass;
+  FaultKind kind = FaultKind::kBitFlip;
+  std::uint64_t every_n = 0;   ///< 0 = use `probability` instead
+  double probability = 0.0;    ///< in [0, 1]; used when every_n == 0
+  std::uint64_t start_after = 0;
+  std::uint64_t max_fires = 0;  ///< 0 = unlimited
+  int bit = 12;                 ///< bit position for kBitFlip
+  unsigned stall_us = 100;      ///< delay for kStall
+};
+
+/// A parsed, validated fault plan plus the seed that makes it deterministic.
+struct FaultPlan {
+  std::vector<FaultRule> rules;
+  std::uint64_t seed = 0;
+
+  bool empty() const { return rules.empty(); }
+
+  /// Parses `spec`, a ';'-separated rule list. Each rule is
+  /// `site:kind[:key=value[,key=value]...]` with sites
+  /// upload|pass|readback|queue, kinds bitflip|nan|half|lost|stall, and keys
+  /// every=N, p=X, after=N, max=N, bit=B, stall_us=U. A rule with neither
+  /// `every` nor `p` defaults to every=1 (fire on every op). An empty spec
+  /// yields an empty (disabled) plan. Example:
+  ///   "pass:lost:every=5,max=2;readback:bitflip:p=0.01,bit=20"
+  static StatusOr<FaultPlan> Parse(const std::string& spec, std::uint64_t seed);
+
+  /// Canonical round-trippable form of the plan (empty string when empty).
+  std::string ToString() const;
+};
+
+/// Evaluates a FaultPlan deterministically. One injector per device (the
+/// serial path's, or one per pipeline worker): `stream_id` decorrelates the
+/// workers' fault sequences while keeping each reproducible. Implements the
+/// device hook for the three GPU sites; the pipeline polls PollQueueStall()
+/// for kQueue. Not thread-safe — each injector belongs to one thread, which
+/// is how the pipeline uses its per-worker devices.
+class FaultInjector final : public gpu::DeviceFaultHook {
+ public:
+  FaultInjector(const FaultPlan& plan, std::uint64_t stream_id);
+
+  /// gpu::DeviceFaultHook: decides the fault (if any) for one device op.
+  gpu::DeviceFault OnDeviceOp(gpu::DeviceFaultSite site, std::uint64_t elements) override;
+
+  /// Queue-site poll: returns the stall in microseconds to apply before the
+  /// worker dequeues its next batch (0 = no fault).
+  unsigned PollQueueStall();
+
+  /// Total faults fired across all sites.
+  std::uint64_t fires() const override { return fires_; }
+
+ private:
+  /// Evaluates all rules for one op at `site`; first matching rule wins.
+  gpu::DeviceFault Evaluate(FaultSite site, std::uint64_t op_index);
+
+  const FaultPlan plan_;
+  const std::uint64_t stream_id_;
+  std::uint64_t op_counts_[4] = {0, 0, 0, 0};  ///< per-FaultSite op counters
+  std::vector<std::uint64_t> rule_fires_;      ///< per-rule firing counts
+  std::uint64_t fires_ = 0;
+};
+
+/// The fault-tolerance policy: the plan to inject (empty = disabled) and the
+/// recovery knobs consumed by sort::ResilientSorter and the pipeline.
+struct FaultTolerance {
+  FaultPlan plan;
+
+  /// Sort-level retries before a window is CPU-sorted or quarantined.
+  int max_retries = 3;
+  /// Device losses on one worker before it permanently degrades to the CPU
+  /// fallback backend.
+  int max_device_losses = 2;
+  /// Degrade to CPU quicksort instead of quarantining when retries/losses
+  /// are exhausted.
+  bool cpu_fallback = true;
+  /// Exponential backoff between retries: initial * 2^(attempt-1), capped.
+  unsigned backoff_initial_us = 100;
+  unsigned backoff_max_us = 10000;
+  /// Observe()/Flush() return kDeadlineExceeded after blocking this long on
+  /// the in-flight cap without progress (0 = wait forever).
+  double drain_deadline_seconds = 0;
+
+  bool enabled() const { return !plan.empty(); }
+};
+
+/// Aggregated fault/recovery accounting, surfaced by the estimators'
+/// fault_stats() and the CLI summary.
+struct FaultStats {
+  std::uint64_t faults_injected = 0;
+  std::uint64_t sort_retries = 0;
+  std::uint64_t cpu_fallbacks = 0;
+  std::uint64_t windows_quarantined = 0;
+  std::uint64_t elements_dropped = 0;
+
+  FaultStats& operator+=(const FaultStats& o) {
+    faults_injected += o.faults_injected;
+    sort_retries += o.sort_retries;
+    cpu_fallbacks += o.cpu_fallbacks;
+    windows_quarantined += o.windows_quarantined;
+    elements_dropped += o.elements_dropped;
+    return *this;
+  }
+};
+
+}  // namespace streamgpu::core
+
+#endif  // STREAMGPU_CORE_FAULT_H_

@@ -16,6 +16,16 @@ namespace {
 
 constexpr char kPrefix[] = "freq";
 
+sort::ResilienceOptions MakeResilienceOptions(const FaultTolerance& fault) {
+  sort::ResilienceOptions out;
+  out.max_retries = fault.max_retries;
+  out.max_device_losses = fault.max_device_losses;
+  out.cpu_fallback = fault.cpu_fallback;
+  out.backoff_initial_us = fault.backoff_initial_us;
+  out.backoff_max_us = fault.backoff_max_us;
+  return out;
+}
+
 // Validates user-provided options at the API boundary; constructor path, so
 // violations abort (Create() returns them as Status instead).
 const Options& ValidatedOptions(const Options& options) {
@@ -77,9 +87,22 @@ FrequencyEstimator::FrequencyEstimator(const Options& options)
   ids_ = EstimatorMetricIds::Register(obs_.metrics, kPrefix, batcher_.window_size());
   if (obs_.trace != nullptr) obs_.trace->NameCurrentThread("ingest");
   sort_front_ = &engine_.sorter();
+  if (options.fault.enabled()) {
+    // Recovery wraps the raw backend; tracing (below) wraps recovery, so
+    // retried sorts appear in the trace as the longer sort spans they are.
+    fault_injector_ = std::make_unique<FaultInjector>(options.fault.plan, /*stream_id=*/0);
+    if (engine_.device() != nullptr) engine_.device()->set_fault_hook(fault_injector_.get());
+    if (options.fault.cpu_fallback) {
+      fallback_sorter_ = std::make_unique<sort::QuicksortSorter>(hwmodel::kPentium4_3400);
+    }
+    resilient_sorter_ = std::make_unique<sort::ResilientSorter>(
+        sort_front_, fallback_sorter_.get(), engine_.device(), fault_injector_.get(),
+        obs_, std::string(kPrefix) + ".", MakeResilienceOptions(options.fault));
+    sort_front_ = resilient_sorter_.get();
+  }
   if (obs_.any()) {
-    traced_sorter_ = std::make_unique<TracingSorter>(&engine_.sorter(),
-                                                     engine_.device(), obs_, kPrefix);
+    traced_sorter_ =
+        std::make_unique<TracingSorter>(sort_front_, engine_.device(), obs_, kPrefix);
     sort_front_ = traced_sorter_.get();
   }
 
@@ -87,21 +110,46 @@ FrequencyEstimator::FrequencyEstimator(const Options& options)
     worker_engines_ = MakeWorkerEngines(options, options.num_sort_workers);
     std::vector<sort::Sorter*> sorters;
     sorters.reserve(worker_engines_.size());
-    for (auto& engine : worker_engines_) {
-      if (obs_.any()) {
-        traced_workers_.push_back(std::make_unique<TracingSorter>(
-            &engine->sorter(), engine->device(), obs_, kPrefix));
-        sorters.push_back(traced_workers_.back().get());
-      } else {
-        sorters.push_back(&engine->sorter());
+    for (std::size_t i = 0; i < worker_engines_.size(); ++i) {
+      SortEngine& engine = *worker_engines_[i];
+      sort::Sorter* front = &engine.sorter();
+      if (options.fault.enabled()) {
+        // Worker i seeds its injector with stream id i+1 (the serial path is
+        // 0): decorrelated fault sequences, each still reproducible.
+        worker_injectors_.push_back(
+            std::make_unique<FaultInjector>(options.fault.plan, i + 1));
+        if (engine.device() != nullptr) {
+          engine.device()->set_fault_hook(worker_injectors_.back().get());
+        }
+        worker_fallbacks_.push_back(
+            options.fault.cpu_fallback
+                ? std::make_unique<sort::QuicksortSorter>(hwmodel::kPentium4_3400)
+                : nullptr);
+        worker_resilient_.push_back(std::make_unique<sort::ResilientSorter>(
+            front, worker_fallbacks_.back().get(), engine.device(),
+            worker_injectors_.back().get(), obs_, std::string(kPrefix) + ".",
+            MakeResilienceOptions(options.fault)));
+        front = worker_resilient_.back().get();
       }
+      if (obs_.any()) {
+        traced_workers_.push_back(
+            std::make_unique<TracingSorter>(front, engine.device(), obs_, kPrefix));
+        front = traced_workers_.back().get();
+      }
+      sorters.push_back(front);
+    }
+    stream::PipelineConfig config = MakePipelineConfig(
+        options, batcher_.window_size(), engine_.batch_windows(), kPrefix);
+    if (options.fault.enabled()) {
+      config.queue_stall_hook = [this](int worker_index) {
+        return worker_injectors_[static_cast<std::size_t>(worker_index)]->PollQueueStall();
+      };
     }
     pipeline_ = std::make_unique<stream::SortPipeline>(
-        MakePipelineConfig(options, batcher_.window_size(), engine_.batch_windows(),
-                           kPrefix),
-        std::move(sorters),
-        [this](std::vector<float>&& data, const sort::SortRunInfo& run) {
-          DrainSortedBatch(std::move(data), run);
+        config, std::move(sorters),
+        [this](std::vector<float>&& data, const sort::SortRunInfo& run,
+               std::uint64_t quarantine_mask) {
+          return DrainSortedBatch(std::move(data), run, quarantine_mask);
         });
   }
 }
@@ -111,8 +159,7 @@ Status FrequencyEstimator::Observe(float value) {
     return Status::FailedPrecondition(
         "Observe() after Flush(): the estimator is finalized and query-only");
   }
-  ObserveValue(value);
-  return Status::Ok();
+  return ObserveValue(value);
 }
 
 Status FrequencyEstimator::ObserveBatch(std::span<const float> values) {
@@ -120,11 +167,14 @@ Status FrequencyEstimator::ObserveBatch(std::span<const float> values) {
     return Status::FailedPrecondition(
         "ObserveBatch() after Flush(): the estimator is finalized and query-only");
   }
-  for (float v : values) ObserveValue(v);
+  for (float v : values) {
+    const Status status = ObserveValue(v);
+    if (!status.ok()) return status;
+  }
   return Status::Ok();
 }
 
-void FrequencyEstimator::ObserveValue(float value) {
+Status FrequencyEstimator::ObserveValue(float value) {
   ++observed_;
   if (obs_.metrics != nullptr) obs_.metrics->Add(ids_.elements_observed);
   if (obs_.trace != nullptr && ingest_start_us_ < 0) {
@@ -138,11 +188,20 @@ void FrequencyEstimator::ObserveValue(float value) {
   if (batcher_.Push(value)) {
     EndIngestSpan(batcher_.window_size() * engine_.batch_windows());
     if (pipeline_ != nullptr) {
-      pipeline_->Submit(batcher_.TakeBuffer(pipeline_->AcquireBuffer()));
+      const Status status =
+          pipeline_->Submit(batcher_.TakeBuffer(pipeline_->AcquireBuffer()));
+      if (!status.ok()) {
+        // The pipeline is wedged or its drain died; surface the Status to
+        // the caller instead of blocking on a cap nobody will ever free
+        // (satellite bugfix — see docs/ROBUSTNESS.md).
+        if (pipeline_status_.ok()) pipeline_status_ = status;
+        return status;
+      }
     } else {
       ProcessBuffered();
     }
   }
+  return Status::Ok();
 }
 
 void FrequencyEstimator::EndIngestSpan(std::size_t elements) {
@@ -159,18 +218,21 @@ void FrequencyEstimator::EndIngestSpan(std::size_t elements) {
   ingest_start_us_ = -1;
 }
 
-void FrequencyEstimator::Flush() {
-  if (finalized_) return;
+Status FrequencyEstimator::Flush() {
+  if (finalized_) return pipeline_status_;
   finalized_ = true;
   if (!batcher_.empty()) EndIngestSpan(batcher_.buffered());
   if (pipeline_ != nullptr) {
     if (!batcher_.empty()) {
-      pipeline_->Submit(batcher_.TakeBuffer(pipeline_->AcquireBuffer()));
+      const Status status =
+          pipeline_->Submit(batcher_.TakeBuffer(pipeline_->AcquireBuffer()));
+      if (!status.ok() && pipeline_status_.ok()) pipeline_status_ = status;
     }
     Sync();
-    return;
+    return pipeline_status_;
   }
   if (!batcher_.empty()) ProcessBuffered();
+  return Status::Ok();
 }
 
 void FrequencyEstimator::ProcessBuffered() {
@@ -180,14 +242,19 @@ void FrequencyEstimator::ProcessBuffered() {
   // through the RGBA channels on the PBSN path).
   sort_front_->SortRuns(windows);
   costs_.sort += sort_front_->last_run();
+  const std::uint64_t quarantine_mask = sort_front_->last_quarantine_mask();
 
   const std::uint64_t seq = drain_seq_++;
   const bool traced = obs_.trace != nullptr && obs_.trace->Sampled(seq);
   const double t0 = traced ? obs_.trace->NowMicros() : 0;
   std::size_t elements = 0;
-  for (std::span<float> window : windows) {
-    elements += window.size();
-    MergeSortedWindow(window);
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    if ((quarantine_mask >> i) & 1) {
+      QuarantineWindow(windows[i].size());
+      continue;
+    }
+    elements += windows[i].size();
+    MergeSortedWindow(windows[i]);
   }
   if (traced) {
     obs_.trace->AddSpan("drain_batch", "drain", t0, obs_.trace->NowMicros() - t0,
@@ -197,17 +264,32 @@ void FrequencyEstimator::ProcessBuffered() {
   batcher_.Clear();
 }
 
-void FrequencyEstimator::DrainSortedBatch(std::vector<float>&& data,
-                                          const sort::SortRunInfo& run) {
+Status FrequencyEstimator::DrainSortedBatch(std::vector<float>&& data,
+                                            const sort::SortRunInfo& run,
+                                            std::uint64_t quarantine_mask) {
   // Runs on the pipeline's summary thread, in submission order — the same
   // accumulation order as serial execution, so the cost record (including
   // the floating-point simulated-seconds sums) stays bit-identical.
   costs_.sort += run;
   const std::uint64_t window_size = batcher_.window_size();
-  for (std::size_t off = 0; off < data.size(); off += window_size) {
+  std::size_t window_index = 0;
+  for (std::size_t off = 0; off < data.size(); off += window_size, ++window_index) {
     const std::size_t len = std::min<std::size_t>(window_size, data.size() - off);
+    if ((quarantine_mask >> window_index) & 1) {
+      QuarantineWindow(len);
+      continue;
+    }
     MergeSortedWindow(std::span<float>(data.data() + off, len));
   }
+  return Status::Ok();
+}
+
+void FrequencyEstimator::QuarantineWindow(std::size_t elements) {
+  // An unrecoverable window: its (restored, unsorted) data never reaches the
+  // summary. The answer stays correct over what *was* merged; ErrorBound()
+  // widens by the dropped elements so reported guarantees stay honest.
+  ++quarantined_windows_;
+  elements_dropped_ += elements;
 }
 
 void FrequencyEstimator::MergeSortedWindow(std::span<float> window) {
@@ -242,7 +324,8 @@ void FrequencyEstimator::MergeSortedWindow(std::span<float> window) {
 
 void FrequencyEstimator::Sync() const {
   if (pipeline_ == nullptr) return;
-  pipeline_->WaitIdle();
+  const Status status = pipeline_->WaitIdle();
+  if (!status.ok() && pipeline_status_.ok()) pipeline_status_ = status;
   const stream::PipelineWaitStats stats = pipeline_->stats();
   costs_.ingest_stall_seconds = stats.ingest_stall_seconds;
   costs_.sort_queue_wait_seconds = stats.sort_queue_wait_seconds;
@@ -262,10 +345,12 @@ std::uint64_t FrequencyEstimator::Coverage(std::uint64_t window) const {
 std::uint64_t FrequencyEstimator::ErrorBound() const {
   // Whole-history: at most epsilon * N undercount. Sliding: the block
   // decomposition guarantees epsilon * W over the full window width
-  // regardless of the queried sub-window (sketch/sliding_window.h).
+  // regardless of the queried sub-window (sketch/sliding_window.h). Every
+  // quarantined element can hide one occurrence of any item, so dropped
+  // coverage widens the bound additively rather than silently vanishing.
   const double n = whole_.has_value() ? static_cast<double>(processed_)
                                       : static_cast<double>(options_.sliding_window);
-  return static_cast<std::uint64_t>(std::ceil(options_.epsilon * n));
+  return static_cast<std::uint64_t>(std::ceil(options_.epsilon * n)) + elements_dropped_;
 }
 
 FrequencyReport FrequencyEstimator::HeavyHitters(double support,
@@ -277,6 +362,8 @@ FrequencyReport FrequencyEstimator::HeavyHitters(double support,
   report.stream_length = processed_;
   report.window_coverage = Coverage(window);
   report.error_bound = ErrorBound();
+  report.windows_quarantined = quarantined_windows_;
+  report.elements_dropped = elements_dropped_;
   const auto pairs = whole_.has_value() ? whole_->HeavyHitters(support)
                                         : sliding_->HeavyHitters(support, window);
   report.items.reserve(pairs.size());
@@ -331,6 +418,25 @@ gpu::GpuStats FrequencyEstimator::device_stats() const {
     total += engine_.device()->stats();
   }
   return total;
+}
+
+FaultStats FrequencyEstimator::fault_stats() const {
+  Sync();
+  FaultStats stats;
+  if (fault_injector_ != nullptr) stats.faults_injected += fault_injector_->fires();
+  for (const auto& injector : worker_injectors_) stats.faults_injected += injector->fires();
+  const auto add = [&stats](const sort::ResilientSorter* sorter) {
+    if (sorter == nullptr) return;
+    stats.sort_retries += sorter->stats().sort_retries;
+    stats.cpu_fallbacks += sorter->stats().cpu_fallbacks;
+  };
+  add(resilient_sorter_.get());
+  for (const auto& sorter : worker_resilient_) add(sorter.get());
+  // Quarantine is taken from the estimator's drain-side counters — the same
+  // numbers the reports state — rather than the sorters' totals.
+  stats.windows_quarantined = quarantined_windows_;
+  stats.elements_dropped = elements_dropped_;
+  return stats;
 }
 
 const PipelineCosts& FrequencyEstimator::costs() const {

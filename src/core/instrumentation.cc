@@ -153,6 +153,10 @@ void ExportFrequencyReport(obs::MetricsRegistry* metrics, const std::string& pre
   set(".query.frequency.window_coverage",
       static_cast<double>(report.window_coverage));
   set(".query.frequency.stream_length", static_cast<double>(report.stream_length));
+  set(".query.frequency.windows_quarantined",
+      static_cast<double>(report.windows_quarantined));
+  set(".query.frequency.elements_dropped",
+      static_cast<double>(report.elements_dropped));
 }
 
 void ExportQuantileReport(obs::MetricsRegistry* metrics, const std::string& prefix,
@@ -169,6 +173,10 @@ void ExportQuantileReport(obs::MetricsRegistry* metrics, const std::string& pref
   set(".query.quantile.window_coverage",
       static_cast<double>(report.window_coverage));
   set(".query.quantile.stream_length", static_cast<double>(report.stream_length));
+  set(".query.quantile.windows_quarantined",
+      static_cast<double>(report.windows_quarantined));
+  set(".query.quantile.elements_dropped",
+      static_cast<double>(report.elements_dropped));
 }
 
 }  // namespace streamgpu::core

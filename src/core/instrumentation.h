@@ -62,6 +62,9 @@ class TracingSorter : public sort::Sorter {
   void Sort(std::span<float> data) override;
   void SortRuns(std::span<std::span<float>> runs) override;
   const sort::SortRunInfo& last_run() const override { return inner_->last_run(); }
+  std::uint64_t last_quarantine_mask() const override {
+    return inner_->last_quarantine_mask();
+  }
   const char* name() const override { return inner_->name(); }
 
  protected:

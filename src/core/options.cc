@@ -35,6 +35,17 @@ Status Options::Validate() const {
     return Status::InvalidArgument("max_windows_in_flight must be >= 0, got " +
                                    std::to_string(max_windows_in_flight));
   }
+  if (num_sort_workers >= 2 && max_windows_in_flight != 0 &&
+      max_windows_in_flight < num_sort_workers) {
+    // Fewer in-flight windows than workers starves the extra workers and, at
+    // the extreme, deadlocks the pipeline (Observe() blocks on the cap while
+    // no worker can make progress).
+    return Status::InvalidArgument(
+        "max_windows_in_flight (" + std::to_string(max_windows_in_flight) +
+        ") is smaller than num_sort_workers (" + std::to_string(num_sort_workers) +
+        "); the cap would starve workers and can deadlock the pipeline — use 0 "
+        "(auto) or a value >= num_sort_workers");
+  }
 
   if (sliding_window != 0) {
     // The stream must be chunked no coarser than the block size of the
@@ -72,6 +83,45 @@ Status Options::Validate() const {
           "] exceeds the finite binary16 range (+-65504) of the 16-bit GPU "
           "surfaces; use gpu::Format::kFloat32 or rescale the stream");
     }
+  }
+
+  for (std::size_t i = 0; i < fault.plan.rules.size(); ++i) {
+    const FaultRule& rule = fault.plan.rules[i];
+    const std::string where = "fault.plan rule #" + std::to_string(i) + ": ";
+    if (rule.every_n == 0 && !(rule.probability > 0.0 && rule.probability <= 1.0)) {
+      return Status::InvalidArgument(
+          where + "needs a trigger: every_n > 0 or probability in (0, 1]");
+    }
+    if (rule.probability < 0.0 || rule.probability > 1.0) {
+      return Status::InvalidArgument(where + "probability must be in [0, 1], got " +
+                                     std::to_string(rule.probability));
+    }
+    if (rule.site == FaultSite::kQueue && rule.kind != FaultKind::kStall) {
+      return Status::InvalidArgument(where +
+                                     "the queue site only supports stall faults");
+    }
+    if (rule.bit < 0 || rule.bit > 31) {
+      return Status::InvalidArgument(where + "bit must be in [0, 31], got " +
+                                     std::to_string(rule.bit));
+    }
+  }
+  if (fault.max_retries < 0) {
+    return Status::InvalidArgument("fault.max_retries must be >= 0, got " +
+                                   std::to_string(fault.max_retries));
+  }
+  if (fault.max_device_losses < 0) {
+    return Status::InvalidArgument("fault.max_device_losses must be >= 0, got " +
+                                   std::to_string(fault.max_device_losses));
+  }
+  if (fault.drain_deadline_seconds < 0) {
+    return Status::InvalidArgument("fault.drain_deadline_seconds must be >= 0, got " +
+                                   std::to_string(fault.drain_deadline_seconds));
+  }
+  if (fault.backoff_initial_us > fault.backoff_max_us) {
+    return Status::InvalidArgument(
+        "fault.backoff_initial_us (" + std::to_string(fault.backoff_initial_us) +
+        ") must not exceed fault.backoff_max_us (" +
+        std::to_string(fault.backoff_max_us) + ")");
   }
 
   return Status::Ok();

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "core/fault.h"
 #include "core/status.h"
 #include "gpu/surface.h"
 #include "obs/observability.h"
@@ -92,15 +93,25 @@ struct Options {
   /// outlive the estimator. See docs/OBSERVABILITY.md.
   obs::Observability obs;
 
+  /// Fault injection and tolerance. Disabled by default (empty plan): no
+  /// hooks are installed and the hot paths pay a single pointer compare.
+  /// With a non-empty plan the estimator injects the planned faults into its
+  /// simulated device(s)/pipeline and wraps every sort backend in
+  /// sort::ResilientSorter with these recovery knobs. See
+  /// docs/ROBUSTNESS.md.
+  FaultTolerance fault;
+
   /// Checks every estimator-agnostic configuration rule and returns the
   /// first violation: epsilon outside (0, 1), num_sort_workers outside
-  /// [1, 1024], negative max_windows_in_flight, window_size exceeding the
-  /// sliding block size epsilon*W/2 (which also rejects
-  /// sliding_window < window_size), or an expected value range outside
-  /// binary16 for a 16-bit GPU configuration. The Create() factories call
-  /// this (adding estimator-specific rules) and propagate the Status; the
-  /// constructors CHECK it, so invalid options still abort rather than
-  /// silently misbehave when the factories are bypassed.
+  /// [1, 1024], negative max_windows_in_flight (or, pipelined, a cap smaller
+  /// than the worker count, which starves workers and can deadlock),
+  /// window_size exceeding the sliding block size epsilon*W/2 (which also
+  /// rejects sliding_window < window_size), an expected value range outside
+  /// binary16 for a 16-bit GPU configuration, or an inconsistent fault
+  /// plan / recovery policy. The Create() factories call this (adding
+  /// estimator-specific rules) and propagate the Status; the constructors
+  /// CHECK it, so invalid options still abort rather than silently
+  /// misbehave when the factories are bypassed.
   Status Validate() const;
 };
 

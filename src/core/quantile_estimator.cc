@@ -15,6 +15,16 @@ namespace {
 
 constexpr char kPrefix[] = "quant";
 
+sort::ResilienceOptions MakeResilienceOptions(const FaultTolerance& fault) {
+  sort::ResilienceOptions out;
+  out.max_retries = fault.max_retries;
+  out.max_device_losses = fault.max_device_losses;
+  out.cpu_fallback = fault.cpu_fallback;
+  out.backoff_initial_us = fault.backoff_initial_us;
+  out.backoff_max_us = fault.backoff_max_us;
+  return out;
+}
+
 // Validates user-provided options at the API boundary; constructor path, so
 // violations abort (Create() returns them as Status instead).
 const Options& ValidatedOptions(const Options& options) {
@@ -68,9 +78,22 @@ QuantileEstimator::QuantileEstimator(const Options& options)
   ids_ = EstimatorMetricIds::Register(obs_.metrics, kPrefix, batcher_.window_size());
   if (obs_.trace != nullptr) obs_.trace->NameCurrentThread("ingest");
   sort_front_ = &engine_.sorter();
+  if (options.fault.enabled()) {
+    // Recovery wraps the raw backend; tracing (below) wraps recovery, so
+    // retried sorts appear in the trace as the longer sort spans they are.
+    fault_injector_ = std::make_unique<FaultInjector>(options.fault.plan, /*stream_id=*/0);
+    if (engine_.device() != nullptr) engine_.device()->set_fault_hook(fault_injector_.get());
+    if (options.fault.cpu_fallback) {
+      fallback_sorter_ = std::make_unique<sort::QuicksortSorter>(hwmodel::kPentium4_3400);
+    }
+    resilient_sorter_ = std::make_unique<sort::ResilientSorter>(
+        sort_front_, fallback_sorter_.get(), engine_.device(), fault_injector_.get(),
+        obs_, std::string(kPrefix) + ".", MakeResilienceOptions(options.fault));
+    sort_front_ = resilient_sorter_.get();
+  }
   if (obs_.any()) {
-    traced_sorter_ = std::make_unique<TracingSorter>(&engine_.sorter(),
-                                                     engine_.device(), obs_, kPrefix);
+    traced_sorter_ =
+        std::make_unique<TracingSorter>(sort_front_, engine_.device(), obs_, kPrefix);
     sort_front_ = traced_sorter_.get();
   }
 
@@ -78,21 +101,46 @@ QuantileEstimator::QuantileEstimator(const Options& options)
     worker_engines_ = MakeWorkerEngines(options, options.num_sort_workers);
     std::vector<sort::Sorter*> sorters;
     sorters.reserve(worker_engines_.size());
-    for (auto& engine : worker_engines_) {
-      if (obs_.any()) {
-        traced_workers_.push_back(std::make_unique<TracingSorter>(
-            &engine->sorter(), engine->device(), obs_, kPrefix));
-        sorters.push_back(traced_workers_.back().get());
-      } else {
-        sorters.push_back(&engine->sorter());
+    for (std::size_t i = 0; i < worker_engines_.size(); ++i) {
+      SortEngine& engine = *worker_engines_[i];
+      sort::Sorter* front = &engine.sorter();
+      if (options.fault.enabled()) {
+        // Worker i seeds its injector with stream id i+1 (the serial path is
+        // 0): decorrelated fault sequences, each still reproducible.
+        worker_injectors_.push_back(
+            std::make_unique<FaultInjector>(options.fault.plan, i + 1));
+        if (engine.device() != nullptr) {
+          engine.device()->set_fault_hook(worker_injectors_.back().get());
+        }
+        worker_fallbacks_.push_back(
+            options.fault.cpu_fallback
+                ? std::make_unique<sort::QuicksortSorter>(hwmodel::kPentium4_3400)
+                : nullptr);
+        worker_resilient_.push_back(std::make_unique<sort::ResilientSorter>(
+            front, worker_fallbacks_.back().get(), engine.device(),
+            worker_injectors_.back().get(), obs_, std::string(kPrefix) + ".",
+            MakeResilienceOptions(options.fault)));
+        front = worker_resilient_.back().get();
       }
+      if (obs_.any()) {
+        traced_workers_.push_back(
+            std::make_unique<TracingSorter>(front, engine.device(), obs_, kPrefix));
+        front = traced_workers_.back().get();
+      }
+      sorters.push_back(front);
+    }
+    stream::PipelineConfig config = MakePipelineConfig(
+        options, batcher_.window_size(), engine_.batch_windows(), kPrefix);
+    if (options.fault.enabled()) {
+      config.queue_stall_hook = [this](int worker_index) {
+        return worker_injectors_[static_cast<std::size_t>(worker_index)]->PollQueueStall();
+      };
     }
     pipeline_ = std::make_unique<stream::SortPipeline>(
-        MakePipelineConfig(options, batcher_.window_size(), engine_.batch_windows(),
-                           kPrefix),
-        std::move(sorters),
-        [this](std::vector<float>&& data, const sort::SortRunInfo& run) {
-          DrainSortedBatch(std::move(data), run);
+        config, std::move(sorters),
+        [this](std::vector<float>&& data, const sort::SortRunInfo& run,
+               std::uint64_t quarantine_mask) {
+          return DrainSortedBatch(std::move(data), run, quarantine_mask);
         });
   }
 }
@@ -102,8 +150,7 @@ Status QuantileEstimator::Observe(float value) {
     return Status::FailedPrecondition(
         "Observe() after Flush(): the estimator is finalized and query-only");
   }
-  ObserveValue(value);
-  return Status::Ok();
+  return ObserveValue(value);
 }
 
 Status QuantileEstimator::ObserveBatch(std::span<const float> values) {
@@ -111,11 +158,14 @@ Status QuantileEstimator::ObserveBatch(std::span<const float> values) {
     return Status::FailedPrecondition(
         "ObserveBatch() after Flush(): the estimator is finalized and query-only");
   }
-  for (float v : values) ObserveValue(v);
+  for (float v : values) {
+    const Status status = ObserveValue(v);
+    if (!status.ok()) return status;
+  }
   return Status::Ok();
 }
 
-void QuantileEstimator::ObserveValue(float value) {
+Status QuantileEstimator::ObserveValue(float value) {
   ++observed_;
   if (obs_.metrics != nullptr) obs_.metrics->Add(ids_.elements_observed);
   if (obs_.trace != nullptr && ingest_start_us_ < 0) {
@@ -127,11 +177,20 @@ void QuantileEstimator::ObserveValue(float value) {
   if (batcher_.Push(value)) {
     EndIngestSpan(batcher_.window_size() * engine_.batch_windows());
     if (pipeline_ != nullptr) {
-      pipeline_->Submit(batcher_.TakeBuffer(pipeline_->AcquireBuffer()));
+      const Status status =
+          pipeline_->Submit(batcher_.TakeBuffer(pipeline_->AcquireBuffer()));
+      if (!status.ok()) {
+        // The pipeline is wedged or its drain died; surface the Status to
+        // the caller instead of blocking on a cap nobody will ever free
+        // (satellite bugfix — see docs/ROBUSTNESS.md).
+        if (pipeline_status_.ok()) pipeline_status_ = status;
+        return status;
+      }
     } else {
       ProcessBuffered();
     }
   }
+  return Status::Ok();
 }
 
 void QuantileEstimator::EndIngestSpan(std::size_t elements) {
@@ -146,18 +205,21 @@ void QuantileEstimator::EndIngestSpan(std::size_t elements) {
   ingest_start_us_ = -1;
 }
 
-void QuantileEstimator::Flush() {
-  if (finalized_) return;
+Status QuantileEstimator::Flush() {
+  if (finalized_) return pipeline_status_;
   finalized_ = true;
   if (!batcher_.empty()) EndIngestSpan(batcher_.buffered());
   if (pipeline_ != nullptr) {
     if (!batcher_.empty()) {
-      pipeline_->Submit(batcher_.TakeBuffer(pipeline_->AcquireBuffer()));
+      const Status status =
+          pipeline_->Submit(batcher_.TakeBuffer(pipeline_->AcquireBuffer()));
+      if (!status.ok() && pipeline_status_.ok()) pipeline_status_ = status;
     }
     Sync();
-    return;
+    return pipeline_status_;
   }
   if (!batcher_.empty()) ProcessBuffered();
+  return Status::Ok();
 }
 
 void QuantileEstimator::ProcessBuffered() {
@@ -165,14 +227,19 @@ void QuantileEstimator::ProcessBuffered() {
 
   sort_front_->SortRuns(windows);
   costs_.sort += sort_front_->last_run();
+  const std::uint64_t quarantine_mask = sort_front_->last_quarantine_mask();
 
   const std::uint64_t seq = drain_seq_++;
   const bool traced = obs_.trace != nullptr && obs_.trace->Sampled(seq);
   const double t0 = traced ? obs_.trace->NowMicros() : 0;
   std::size_t elements = 0;
-  for (std::span<float> window : windows) {
-    elements += window.size();
-    MergeSortedWindow(window);
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    if ((quarantine_mask >> i) & 1) {
+      QuarantineWindow(windows[i].size());
+      continue;
+    }
+    elements += windows[i].size();
+    MergeSortedWindow(windows[i]);
   }
   if (traced) {
     obs_.trace->AddSpan("drain_batch", "drain", t0, obs_.trace->NowMicros() - t0,
@@ -182,17 +249,32 @@ void QuantileEstimator::ProcessBuffered() {
   batcher_.Clear();
 }
 
-void QuantileEstimator::DrainSortedBatch(std::vector<float>&& data,
-                                         const sort::SortRunInfo& run) {
+Status QuantileEstimator::DrainSortedBatch(std::vector<float>&& data,
+                                           const sort::SortRunInfo& run,
+                                           std::uint64_t quarantine_mask) {
   // Runs on the pipeline's summary thread, in submission order — the same
   // accumulation order as serial execution, so the cost record (including
   // the floating-point simulated-seconds sums) stays bit-identical.
   costs_.sort += run;
   const std::uint64_t window_size = batcher_.window_size();
-  for (std::size_t off = 0; off < data.size(); off += window_size) {
+  std::size_t window_index = 0;
+  for (std::size_t off = 0; off < data.size(); off += window_size, ++window_index) {
     const std::size_t len = std::min<std::size_t>(window_size, data.size() - off);
+    if ((quarantine_mask >> window_index) & 1) {
+      QuarantineWindow(len);
+      continue;
+    }
     MergeSortedWindow(std::span<float>(data.data() + off, len));
   }
+  return Status::Ok();
+}
+
+void QuantileEstimator::QuarantineWindow(std::size_t elements) {
+  // An unrecoverable window: its (restored, unsorted) data never reaches the
+  // summary. The answer stays correct over what *was* merged; ErrorBound()
+  // widens by the dropped elements so reported guarantees stay honest.
+  ++quarantined_windows_;
+  elements_dropped_ += elements;
 }
 
 void QuantileEstimator::MergeSortedWindow(std::span<float> window) {
@@ -232,7 +314,8 @@ void QuantileEstimator::MergeSortedWindow(std::span<float> window) {
 
 void QuantileEstimator::Sync() const {
   if (pipeline_ == nullptr) return;
-  pipeline_->WaitIdle();
+  const Status status = pipeline_->WaitIdle();
+  if (!status.ok() && pipeline_status_.ok()) pipeline_status_ = status;
   const stream::PipelineWaitStats stats = pipeline_->stats();
   costs_.ingest_stall_seconds = stats.ingest_stall_seconds;
   costs_.sort_queue_wait_seconds = stats.sort_queue_wait_seconds;
@@ -252,10 +335,12 @@ std::uint64_t QuantileEstimator::Coverage(std::uint64_t window) const {
 std::uint64_t QuantileEstimator::ErrorBound() const {
   // Whole-history: rank error at most epsilon * N. Sliding: epsilon * W over
   // the full window width regardless of the queried sub-window
-  // (sketch/sliding_window.h).
+  // (sketch/sliding_window.h). Every quarantined element can shift any rank
+  // by one, so dropped coverage widens the bound additively rather than
+  // silently vanishing.
   const double n = whole_.has_value() ? static_cast<double>(processed_)
                                       : static_cast<double>(options_.sliding_window);
-  return static_cast<std::uint64_t>(std::ceil(options_.epsilon * n));
+  return static_cast<std::uint64_t>(std::ceil(options_.epsilon * n)) + elements_dropped_;
 }
 
 QuantileReport QuantileEstimator::Quantile(double phi, std::uint64_t window) const {
@@ -266,6 +351,8 @@ QuantileReport QuantileEstimator::Quantile(double phi, std::uint64_t window) con
   report.stream_length = processed_;
   report.window_coverage = Coverage(window);
   report.rank_error_bound = ErrorBound();
+  report.windows_quarantined = quarantined_windows_;
+  report.elements_dropped = elements_dropped_;
   report.value = whole_.has_value() ? whole_->Query(phi) : sliding_->Query(phi, window);
   if (obs_.metrics != nullptr) {
     obs_.metrics->Add(ids_.queries);
@@ -290,6 +377,25 @@ gpu::GpuStats QuantileEstimator::device_stats() const {
     total += engine_.device()->stats();
   }
   return total;
+}
+
+FaultStats QuantileEstimator::fault_stats() const {
+  Sync();
+  FaultStats stats;
+  if (fault_injector_ != nullptr) stats.faults_injected += fault_injector_->fires();
+  for (const auto& injector : worker_injectors_) stats.faults_injected += injector->fires();
+  const auto add = [&stats](const sort::ResilientSorter* sorter) {
+    if (sorter == nullptr) return;
+    stats.sort_retries += sorter->stats().sort_retries;
+    stats.cpu_fallbacks += sorter->stats().cpu_fallbacks;
+  };
+  add(resilient_sorter_.get());
+  for (const auto& sorter : worker_resilient_) add(sorter.get());
+  // Quarantine is taken from the estimator's drain-side counters — the same
+  // numbers the reports state — rather than the sorters' totals.
+  stats.windows_quarantined = quarantined_windows_;
+  stats.elements_dropped = elements_dropped_;
+  return stats;
 }
 
 const PipelineCosts& QuantileEstimator::costs() const {

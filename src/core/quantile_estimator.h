@@ -15,6 +15,7 @@
 
 #include "core/backend.h"
 #include "core/costs.h"
+#include "core/fault.h"
 #include "core/instrumentation.h"
 #include "core/options.h"
 #include "core/report.h"
@@ -22,6 +23,8 @@
 #include "gpu/stats.h"
 #include "sketch/exponential_histogram.h"
 #include "sketch/sliding_window.h"
+#include "sort/cpu_sort.h"
+#include "sort/resilient.h"
 #include "stream/pipeline.h"
 #include "stream/window_buffer.h"
 
@@ -57,16 +60,21 @@ class QuantileEstimator {
   explicit QuantileEstimator(const Options& options);
 
   /// Processes one stream element. Fails (and ignores the element) once the
-  /// estimator is finalized by Flush().
+  /// estimator is finalized by Flush(), or — pipelined — once the pipeline
+  /// has failed (the drain thread's sticky Status, or kDeadlineExceeded when
+  /// Options::fault.drain_deadline_seconds elapses on backpressure).
   Status Observe(float value);
 
-  /// Processes a batch of stream elements (all or none on failure).
+  /// Processes a batch of stream elements. Stops at the first failing
+  /// element and returns its Status (earlier elements stay observed).
   Status ObserveBatch(std::span<const float> values);
 
   /// Finalizes the stream: processes buffered windows, including a final
   /// partial one, and puts the estimator in a query-only state. Idempotent —
-  /// repeated calls are no-ops.
-  void Flush();
+  /// repeated calls return the same Status. Returns the pipeline's failure
+  /// Status when the drain thread died or the drain deadline elapsed; the
+  /// estimator stays queryable over whatever was processed.
+  Status Flush();
 
   /// True once Flush() has finalized the estimator.
   bool finalized() const { return finalized_; }
@@ -103,6 +111,11 @@ class QuantileEstimator {
   /// all-zero for the CPU backends).
   gpu::GpuStats device_stats() const;
 
+  /// Aggregated fault-injection/recovery accounting across the serial path
+  /// and every pipeline worker (all-zero when Options::fault is disabled).
+  /// See docs/ROBUSTNESS.md.
+  FaultStats fault_stats() const;
+
   const Options& options() const { return options_; }
   bool sliding() const { return sliding_.has_value(); }
   bool pipelined() const { return pipeline_ != nullptr; }
@@ -110,13 +123,19 @@ class QuantileEstimator {
  private:
   /// Hot ingest path shared by Observe()/ObserveBatch() after the lifecycle
   /// check.
-  void ObserveValue(float value);
+  Status ObserveValue(float value);
 
   void ProcessBuffered();
 
   /// Pipelined path: consumes one sorted batch on the summary thread, in
-  /// submission order.
-  void DrainSortedBatch(std::vector<float>&& data, const sort::SortRunInfo& run);
+  /// submission order. Quarantined windows (mask bit set) are skipped and
+  /// accounted instead of merged.
+  Status DrainSortedBatch(std::vector<float>&& data, const sort::SortRunInfo& run,
+                          std::uint64_t quarantine_mask);
+
+  /// Accounts one unrecoverable window: not merged, not counted as
+  /// processed; widens ErrorBound() by its element count.
+  void QuarantineWindow(std::size_t elements);
 
   /// Rank-samples one sorted window into a GK summary and merges it (shared
   /// by both paths; runs on the summary thread when pipelined).
@@ -146,20 +165,32 @@ class QuantileEstimator {
   std::uint64_t processed_ = 0;
   bool finalized_ = false;
 
+  /// Fault injection and recovery (all null / zero when Options::fault is
+  /// disabled — the hot path then never sees them).
+  std::unique_ptr<FaultInjector> fault_injector_;            ///< serial-path injector
+  std::unique_ptr<sort::QuicksortSorter> fallback_sorter_;   ///< serial CPU fallback
+  std::unique_ptr<sort::ResilientSorter> resilient_sorter_;  ///< wraps engine_'s sorter
+  mutable Status pipeline_status_;         ///< first pipeline failure (sticky)
+  std::uint64_t quarantined_windows_ = 0;  ///< summary-thread written; read after Sync()
+  std::uint64_t elements_dropped_ = 0;
+
   /// Observability wiring (null ids / null decorators when disabled).
   EstimatorMetricIds ids_;
   std::unique_ptr<TracingSorter> traced_sorter_;  ///< wraps engine_ (serial path)
-  sort::Sorter* sort_front_ = nullptr;            ///< engine sorter or its decorator
+  sort::Sorter* sort_front_ = nullptr;            ///< engine sorter or its decorator(s)
   std::uint64_t window_seq_ = 0;                  ///< windows merged; trace sampling
   std::uint64_t ingest_seq_ = 0;                  ///< batches ingested; trace sampling
   std::uint64_t drain_seq_ = 0;                   ///< serial drain batches
   double ingest_start_us_ = -1;                   ///< open ingest span start
 
-  /// Pipelined mode only: one engine per sort worker (plus its tracing
-  /// decorator when observability is wired), and the pipeline driving them.
+  /// Pipelined mode only: one engine per sort worker (plus its resilience /
+  /// tracing decorators when wired), and the pipeline driving them.
   /// Declared last so threads stop before members they reference are
   /// destroyed.
   std::vector<std::unique_ptr<SortEngine>> worker_engines_;
+  std::vector<std::unique_ptr<FaultInjector>> worker_injectors_;
+  std::vector<std::unique_ptr<sort::QuicksortSorter>> worker_fallbacks_;
+  std::vector<std::unique_ptr<sort::ResilientSorter>> worker_resilient_;
   std::vector<std::unique_ptr<TracingSorter>> traced_workers_;
   std::unique_ptr<stream::SortPipeline> pipeline_;
 };

@@ -44,6 +44,12 @@ struct FrequencyReport {
   std::uint64_t window_coverage = 0;
   /// Elements folded into the summary over the stream's lifetime.
   std::uint64_t stream_length = 0;
+  /// Windows the resilience layer could not recover (Options::fault with CPU
+  /// fallback disabled): their elements are excluded from coverage and
+  /// `error_bound` is widened by `elements_dropped` so the guarantee stays
+  /// honest. Zero whenever fault injection is off. See docs/ROBUSTNESS.md.
+  std::uint64_t windows_quarantined = 0;
+  std::uint64_t elements_dropped = 0;
 
   friend bool operator==(const FrequencyReport&, const FrequencyReport&) = default;
 };
@@ -64,6 +70,11 @@ struct QuantileReport {
   std::uint64_t window_coverage = 0;
   /// Elements folded into the summary over the stream's lifetime.
   std::uint64_t stream_length = 0;
+  /// Unrecoverable-window accounting, mirroring
+  /// FrequencyReport::windows_quarantined: `rank_error_bound` already
+  /// includes the `elements_dropped` widening. See docs/ROBUSTNESS.md.
+  std::uint64_t windows_quarantined = 0;
+  std::uint64_t elements_dropped = 0;
 
   friend bool operator==(const QuantileReport&, const QuantileReport&) = default;
 };

@@ -24,6 +24,8 @@ class Status {
     kOk = 0,
     kInvalidArgument,     ///< a configuration value is out of range
     kFailedPrecondition,  ///< the call is illegal in the object's current state
+    kDeadlineExceeded,    ///< the pipeline made no progress within the drain deadline
+    kInternal,            ///< a worker or drain stage failed unrecoverably
   };
 
   /// Default-constructed Status is OK.
@@ -35,6 +37,12 @@ class Status {
   }
   static Status FailedPrecondition(std::string message) {
     return Status(Code::kFailedPrecondition, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(Code::kDeadlineExceeded, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(Code::kInternal, std::move(message));
   }
 
   bool ok() const { return code_ == Code::kOk; }
@@ -50,6 +58,10 @@ class Status {
         return "InvalidArgument: " + message_;
       case Code::kFailedPrecondition:
         return "FailedPrecondition: " + message_;
+      case Code::kDeadlineExceeded:
+        return "DeadlineExceeded: " + message_;
+      case Code::kInternal:
+        return "Internal: " + message_;
     }
     return "UnknownCode: " + message_;
   }

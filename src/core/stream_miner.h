@@ -60,10 +60,14 @@ class StreamMiner {
   }
 
   /// Finalizes buffered windows in both summaries (end of stream).
-  /// Idempotent; afterwards the miner is query-only.
-  void Flush() {
-    frequencies_->Flush();
-    quantiles_.Flush();
+  /// Idempotent; afterwards the miner is query-only. Returns the first
+  /// estimator failure (e.g. a dead pipeline drain); both estimators are
+  /// finalized regardless.
+  Status Flush() {
+    Status status = frequencies_->Flush();
+    const Status quantile_status = quantiles_.Flush();
+    if (status.ok()) status = quantile_status;
+    return status;
   }
 
   /// True once Flush() has finalized both estimators.

@@ -1,8 +1,45 @@
 #include "gpu/device.h"
 
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace streamgpu::gpu {
+
+DeviceFault GpuDevice::PollFaultSlow(DeviceFaultSite site, std::uint64_t elements) {
+  DeviceFault fault;
+  if (lost_) return fault;
+  fault = fault_hook_->OnDeviceOp(site, elements);
+  switch (fault.kind) {
+    case DeviceFault::Kind::kStall:
+      // A transient hiccup: the op completes after the delay. Wall-clock
+      // only; the simulated-2005 accounting is unaffected.
+      std::this_thread::sleep_for(std::chrono::microseconds(fault.stall_us));
+      fault.kind = DeviceFault::Kind::kNone;
+      break;
+    case DeviceFault::Kind::kDeviceLost:
+      lost_ = true;
+      fault.kind = DeviceFault::Kind::kNone;
+      break;
+    default:
+      break;  // corruption kinds: the caller applies them after the op
+  }
+  return fault;
+}
+
+void GpuDevice::ApplyFramebufferCorruption(const DeviceFault& fault) {
+  Surface& fb = ReadableFramebuffer();
+  const std::uint64_t slots =
+      static_cast<std::uint64_t>(fb.num_texels()) * kNumChannels;
+  if (slots == 0) return;
+  const std::uint64_t slot = fault.target % slots;
+  const int channel = static_cast<int>(slot % kNumChannels);
+  const std::uint64_t texel = slot / kNumChannels;
+  const int x = static_cast<int>(texel % static_cast<std::uint64_t>(fb.width()));
+  const int y = static_cast<int>(texel / static_cast<std::uint64_t>(fb.width()));
+  float* p = fb.TexelData() + fb.Index(x, y) * kNumChannels + channel;
+  *p = CorruptValue(*p, fault.kind, fault.bit);
+}
 
 TextureHandle GpuDevice::CreateTexture(int width, int height, Format format) {
   if (!texture_arena_.empty()) {
@@ -111,6 +148,8 @@ Surface& GpuDevice::MutableTexture(TextureHandle tex) {
 }
 
 void GpuDevice::UploadChannel(TextureHandle tex, int channel, std::span<const float> data) {
+  const DeviceFault fault = PollFault(DeviceFaultSite::kUpload, data.size());
+  if (lost_) return;
   // Uploading into the aliased texture would corrupt the framebuffer's
   // logical content; reclaim it first.
   if (tex == fb_alias_) MaterializeFramebuffer();
@@ -134,12 +173,23 @@ void GpuDevice::UploadChannel(TextureHandle tex, int channel, std::span<const fl
   stats_.bytes_uploaded += t.num_texels() * BytesPerChannel(t.format());
   // Uploads also land in video memory.
   stats_.bytes_vram += t.num_texels() * BytesPerChannel(t.format());
+
+  if (fault.kind != DeviceFault::Kind::kNone && t.num_texels() > 0) {
+    // A transfer error: one stored value of the just-written channel.
+    const std::uint64_t texel = fault.target % t.num_texels();
+    const int fx = static_cast<int>(texel % static_cast<std::uint64_t>(t.width()));
+    const int fy = static_cast<int>(texel / static_cast<std::uint64_t>(t.width()));
+    float* p = t.TexelData() + t.Index(fx, fy) * kNumChannels + channel;
+    *p = CorruptValue(*p, fault.kind, fault.bit);
+  }
 }
 
 void GpuDevice::ReadbackChannel(int channel, std::span<float> out) {
   STREAMGPU_CHECK(channel >= 0 && channel < kNumChannels);
   STREAMGPU_CHECK_MSG(out.size() == framebuffer_.num_texels(),
                       "ReadbackChannel size must match framebuffer dimensions");
+  const DeviceFault fault = PollFault(DeviceFaultSite::kReadback, out.size());
+  if (lost_) return;  // dropped: the host buffer keeps its stale contents
   const Surface& fb = ReadableFramebuffer();
   float* dst = out.data();
   for (int y = 0; y < fb.height(); ++y) {
@@ -149,6 +199,13 @@ void GpuDevice::ReadbackChannel(int channel, std::span<float> out) {
   }
   stats_.bytes_readback += framebuffer_.num_texels() * BytesPerChannel(framebuffer_.format());
   stats_.bytes_vram += framebuffer_.num_texels() * BytesPerChannel(framebuffer_.format());
+
+  if (fault.kind != DeviceFault::Kind::kNone && !out.empty()) {
+    // A bus error on the way back: device memory stays intact, the host
+    // copy takes the hit.
+    float& v = out[fault.target % out.size()];
+    v = CorruptValue(v, fault.kind, fault.bit);
+  }
 }
 
 void GpuDevice::BindFramebuffer(int width, int height, Format format) {
@@ -161,6 +218,13 @@ void GpuDevice::BindFramebuffer(int width, int height, Format format) {
 }
 
 void GpuDevice::DrawQuad(TextureHandle tex, const Quad& quad) {
+  DeviceFault fault;
+  if (fault_hook_ != nullptr) {
+    // Behind the hook check: the texel-count lookup is wasted work on the
+    // (default) disabled path.
+    fault = PollFault(DeviceFaultSite::kPass, Texture(tex).num_texels());
+  }
+  if (lost_) return;
   if (fb_alias_ >= 0) {
     int px0 = 0, py0 = 0, px1 = 0, py1 = 0;
     if (Rasterizer::ClippedPixelRect(quad, framebuffer_.width(), framebuffer_.height(),
@@ -171,6 +235,7 @@ void GpuDevice::DrawQuad(TextureHandle tex, const Quad& quad) {
   const Surface* dst_read =
       fb_alias_ >= 0 ? textures_[static_cast<std::size_t>(fb_alias_)].get() : nullptr;
   Rasterizer::DrawQuad(Texture(tex), quad, blend_op_, &framebuffer_, &stats_, dst_read);
+  if (fault.kind != DeviceFault::Kind::kNone) ApplyFramebufferCorruption(fault);
 }
 
 void GpuDevice::BindDepthBuffer(int width, int height, float clear_value) {
@@ -319,6 +384,7 @@ float GpuDevice::DepthAt(int x, int y) const {
 }
 
 void GpuDevice::CopyFramebufferToTexture(TextureHandle tex) {
+  if (lost_) return;  // video-memory traffic is down with the device
   Surface& t = MutableTexture(tex);
   STREAMGPU_CHECK_MSG(
       t.width() == framebuffer_.width() && t.height() == framebuffer_.height(),

@@ -19,6 +19,7 @@
 
 #include "gpu/blend.h"
 #include "gpu/depth.h"
+#include "gpu/fault_hook.h"
 #include "gpu/rasterizer.h"
 #include "gpu/stats.h"
 #include "gpu/surface.h"
@@ -92,11 +93,33 @@ class GpuDevice {
   void RunFragmentProgram(TextureHandle tex, int x0, int y0, int x1, int y1,
                           std::uint64_t instructions_per_fragment,
                           std::uint64_t fetches_per_fragment, Program&& program) {
+    const DeviceFault fault =
+        PollFault(DeviceFaultSite::kPass, static_cast<std::uint64_t>(x1 - x0) *
+                                              static_cast<std::uint64_t>(y1 - y0));
+    if (lost_) return;
     NoteFramebufferWrite(x0, y0, x1, y1);
     Rasterizer::RunFragmentProgram(Texture(tex), x0, y0, x1, y1, instructions_per_fragment,
                                    fetches_per_fragment, std::forward<Program>(program),
                                    &framebuffer_, &stats_);
+    if (fault.kind != DeviceFault::Kind::kNone) ApplyFramebufferCorruption(fault);
   }
+
+  // --- Fault injection and recovery (docs/ROBUSTNESS.md). ---
+
+  /// Installs a fault hook polled at every upload / render-pass / readback
+  /// operation (null, the default, disables injection; each poll then costs
+  /// one pointer compare). Borrowed; must outlive the device or be unset.
+  void set_fault_hook(DeviceFaultHook* hook) { fault_hook_ = hook; }
+
+  /// True while the simulated device is lost: data operations (uploads,
+  /// draws, fragment programs, copies, readbacks) are dropped — no work, no
+  /// stats — until Recover(). Host-side state ops (CreateTexture,
+  /// BindFramebuffer, DestroyAllTextures) still execute, so dimension
+  /// invariants hold across the outage.
+  bool lost() const { return lost_; }
+
+  /// Clears the lost state (the host "reset the context and retry" path).
+  void Recover() { lost_ = false; }
 
   // --- Depth-test path (the database-predicate machinery of [20], §2.2). ---
 
@@ -172,6 +195,22 @@ class GpuDevice {
   void ResetStats() { stats_ = GpuStats{}; }
 
  private:
+  /// Polls the fault hook at the start of a data operation: applies stall
+  /// faults inline, latches kDeviceLost into lost_, and returns any
+  /// corruption fault for the caller to apply to its operand after the op.
+  /// Returns kNone when no hook is installed or the device is already lost.
+  /// The no-hook fast path is inline so the disabled configuration pays one
+  /// pointer compare per op (the fig3 overhead budget).
+  DeviceFault PollFault(DeviceFaultSite site, std::uint64_t elements) {
+    if (fault_hook_ == nullptr) return DeviceFault{};
+    return PollFaultSlow(site, elements);
+  }
+  DeviceFault PollFaultSlow(DeviceFaultSite site, std::uint64_t elements);
+
+  /// Applies a corruption fault to one value of the framebuffer's logical
+  /// contents (render-pass fault site).
+  void ApplyFramebufferCorruption(const DeviceFault& fault);
+
   // --- Ping-pong framebuffer aliasing (see CopyFramebufferToTexture). ---
 
   /// Records an upcoming write to framebuffer pixels [x0, x1) x [y0, y1).
@@ -222,6 +261,9 @@ class GpuDevice {
   StencilOp stencil_on_pass_ = StencilOp::kKeep;
 
   GpuStats stats_;
+
+  DeviceFaultHook* fault_hook_ = nullptr;
+  bool lost_ = false;
 };
 
 }  // namespace streamgpu::gpu

@@ -1,0 +1,87 @@
+// Device-side fault-injection interface.
+//
+// The simulated device knows nothing about fault plans, seeds, or recovery
+// policy: it polls an installed DeviceFaultHook once per data operation
+// (texture upload, render pass, framebuffer readback) and applies whatever
+// fault the hook returns to that one operation. The deterministic,
+// plan-driven implementation lives in core::FaultInjector; keeping the
+// interface here lets gpu/ (the injection sites) and sort/ (the
+// ResilientSorter recovery wrapper) cooperate without either depending on
+// core/. See docs/ROBUSTNESS.md.
+
+#ifndef STREAMGPU_GPU_FAULT_HOOK_H_
+#define STREAMGPU_GPU_FAULT_HOOK_H_
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include "gpu/half.h"
+
+namespace streamgpu::gpu {
+
+/// The host<->device seam a data operation crosses.
+enum class DeviceFaultSite {
+  kUpload,    ///< host -> device texture upload
+  kPass,      ///< render pass (blended quad / fragment program)
+  kReadback,  ///< framebuffer -> host readback
+};
+
+/// One fault decision, returned by the hook for one device operation.
+struct DeviceFault {
+  enum class Kind : std::uint8_t {
+    kNone = 0,
+    kBitFlip,       ///< flip one bit of one value touched by the operation
+    kNan,           ///< overwrite one touched value with quiet NaN
+    kTruncateHalf,  ///< re-quantize one touched value through binary16
+    kDeviceLost,    ///< drop this and every following data op until Recover()
+    kStall,         ///< sleep stall_us, then execute the op normally
+  };
+
+  Kind kind = Kind::kNone;
+  std::uint64_t target = 0;  ///< pseudo-random index, reduced modulo the operand size
+  int bit = 0;               ///< bit position for kBitFlip (taken mod 32)
+  unsigned stall_us = 0;     ///< sleep duration for kStall
+};
+
+/// Polled by GpuDevice once per data operation. Implementations must decide
+/// deterministically (seeded plans), so a faulty run is reproducible.
+class DeviceFaultHook {
+ public:
+  virtual ~DeviceFaultHook() = default;
+
+  /// Called at the start of a device operation moving/producing `elements`
+  /// values across `site`. The returned fault is applied to this operation
+  /// only.
+  virtual DeviceFault OnDeviceOp(DeviceFaultSite site, std::uint64_t elements) = 0;
+
+  /// Total faults this hook has fired so far (recovery/observability
+  /// accounting).
+  virtual std::uint64_t fires() const { return 0; }
+};
+
+/// The corruption primitive behind every data-corrupting fault kind.
+/// Exposed so the guard property tests exercise exactly what the device
+/// applies (tests/fault_test.cc).
+inline float CorruptValue(float value, DeviceFault::Kind kind, int bit) {
+  switch (kind) {
+    case DeviceFault::Kind::kBitFlip: {
+      std::uint32_t bits;
+      std::memcpy(&bits, &value, sizeof(bits));
+      bits ^= 1u << (static_cast<unsigned>(bit) & 31u);
+      float out;
+      std::memcpy(&out, &bits, sizeof(out));
+      return out;
+    }
+    case DeviceFault::Kind::kNan:
+      return std::numeric_limits<float>::quiet_NaN();
+    case DeviceFault::Kind::kTruncateHalf:
+      return QuantizeToHalf(value);
+    default:
+      return value;
+  }
+}
+
+}  // namespace streamgpu::gpu
+
+#endif  // STREAMGPU_GPU_FAULT_HOOK_H_

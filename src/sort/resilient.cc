@@ -1,0 +1,204 @@
+#include "sort/resilient.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/check.h"
+
+namespace streamgpu::sort {
+namespace {
+
+// splitmix64 finalizer (same mixing as the injector, reimplemented here so
+// sort/ stays independent of core/).
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ResilientSorter::ResilientSorter(Sorter* inner, Sorter* fallback, gpu::GpuDevice* device,
+                                 gpu::DeviceFaultHook* hook, const obs::Observability& obs,
+                                 const std::string& metric_prefix,
+                                 const ResilienceOptions& options)
+    : inner_(inner),
+      fallback_(fallback),
+      device_(device),
+      hook_(hook),
+      trace_(obs.trace),
+      metrics_(obs.metrics),
+      options_(options) {
+  STREAMGPU_CHECK(inner_ != nullptr);
+  if (metrics_ != nullptr) {
+    m_injected_ = metrics_->Counter(metric_prefix + "fault.injected");
+    m_retries_ = metrics_->Counter(metric_prefix + "fault.sort_retries");
+    m_fallbacks_ = metrics_->Counter(metric_prefix + "fault.cpu_fallbacks");
+    m_quarantined_ = metrics_->Counter(metric_prefix + "fault.windows_quarantined");
+  }
+}
+
+std::uint64_t ResilientSorter::Fingerprint(std::span<const float> data) {
+  std::uint64_t sum = 0;
+  for (const float v : data) {
+    const float normalized = v == 0.0f ? 0.0f : v;  // -0.0 -> 0.0
+    std::uint32_t bits;
+    std::memcpy(&bits, &normalized, sizeof(bits));
+    sum += Mix(bits);  // wrapping sum: order-independent
+  }
+  return sum;
+}
+
+bool ResilientSorter::Verify(std::span<const float> data, std::uint64_t fingerprint) {
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    if (!(data[i - 1] <= data[i])) return false;  // also rejects NaN
+  }
+  return Fingerprint(data) == fingerprint;
+}
+
+void ResilientSorter::Backoff(int attempt) const {
+  std::uint64_t us = options_.backoff_initial_us;
+  for (int i = 1; i < attempt && us < options_.backoff_max_us; ++i) us *= 2;
+  us = std::min<std::uint64_t>(us, options_.backoff_max_us);
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+void ResilientSorter::Sort(std::span<float> data) {
+  std::span<float> runs[1] = {data};
+  SortRuns(std::span<std::span<float>>(runs, 1));
+}
+
+void ResilientSorter::SortRuns(std::span<std::span<float>> runs) {
+  STREAMGPU_CHECK_MSG(runs.size() <= 64, "ResilientSorter batches at most 64 runs");
+  quarantine_mask_ = 0;
+  const std::uint64_t batch = batch_index_++;
+  const double span_start = trace_ != nullptr ? trace_->NowMicros() : 0;
+  const Stats before = stats_;
+
+  if (degraded_) {
+    fallback_->SortRuns(runs);
+    last_run_ = fallback_->last_run();
+    return;
+  }
+
+  // Snapshot the pre-sort contents and fingerprints of every run, so a
+  // failed sort can be restored and retried, and a quarantined run hands the
+  // caller back its input rather than garbage.
+  std::size_t total = 0;
+  for (const auto& run : runs) total += run.size();
+  snapshot_.resize(total);
+  offsets_.assign(1, 0);
+  fingerprints_.clear();
+  failed_.assign(runs.size(), 1);  // everything pending on the first attempt
+  for (const auto& run : runs) {
+    std::copy(run.begin(), run.end(), snapshot_.begin() + offsets_.back());
+    offsets_.push_back(offsets_.back() + run.size());
+    fingerprints_.push_back(Fingerprint(run));
+  }
+
+  SortRunInfo accumulated;
+  int attempt = 0;
+  while (true) {
+    pending_.clear();
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      if (failed_[i]) pending_.push_back(runs[i]);
+    }
+    inner_->SortRuns(pending_);
+    accumulated += inner_->last_run();
+
+    const bool lost = device_ != nullptr && device_->lost();
+    if (lost) {
+      // Transient device loss: the batch's data ops were dropped, leaving
+      // the pending runs in an undefined mix of old/new values. Restore and
+      // decide: retry, degrade, or quarantine.
+      ++consecutive_losses_;
+      device_->Recover();
+      for (std::size_t i = 0; i < runs.size(); ++i) {
+        if (!failed_[i]) continue;
+        std::copy(snapshot_.begin() + offsets_[i], snapshot_.begin() + offsets_[i + 1],
+                  runs[i].begin());
+      }
+      if (consecutive_losses_ >= options_.max_device_losses && options_.cpu_fallback &&
+          fallback_ != nullptr) {
+        degraded_ = true;  // the device is gone for good; this worker is CPU-only now
+        fallback_->SortRuns(pending_);
+        accumulated += fallback_->last_run();
+        ++stats_.cpu_fallbacks;
+        if (metrics_ != nullptr) metrics_->Add(m_fallbacks_);
+        break;
+      }
+    } else {
+      consecutive_losses_ = 0;
+      bool any_failed = false;
+      for (std::size_t i = 0; i < runs.size(); ++i) {
+        if (!failed_[i]) continue;
+        if (Verify(runs[i], fingerprints_[i])) {
+          failed_[i] = 0;
+        } else {
+          any_failed = true;
+          std::copy(snapshot_.begin() + offsets_[i], snapshot_.begin() + offsets_[i + 1],
+                    runs[i].begin());
+        }
+      }
+      if (!any_failed) break;
+    }
+
+    if (attempt >= options_.max_retries) {
+      // Retries exhausted. Heal on the CPU if allowed, else quarantine.
+      pending_.clear();
+      for (std::size_t i = 0; i < runs.size(); ++i) {
+        if (failed_[i]) pending_.push_back(runs[i]);
+      }
+      if (options_.cpu_fallback && fallback_ != nullptr) {
+        fallback_->SortRuns(pending_);
+        accumulated += fallback_->last_run();
+        ++stats_.cpu_fallbacks;
+        if (metrics_ != nullptr) metrics_->Add(m_fallbacks_);
+      } else {
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+          if (!failed_[i]) continue;
+          quarantine_mask_ |= std::uint64_t{1} << i;
+          ++stats_.windows_quarantined;
+          stats_.elements_dropped += runs[i].size();
+          if (metrics_ != nullptr) metrics_->Add(m_quarantined_);
+        }
+      }
+      break;
+    }
+    ++attempt;
+    ++stats_.sort_retries;
+    if (metrics_ != nullptr) metrics_->Add(m_retries_);
+    Backoff(attempt);
+  }
+
+  // Retries/fallbacks inflate the accumulated cost record: deliberate. The
+  // simulated timing of a faulty run reflects the extra work; only the
+  // *reports* are bit-identical to the fault-free run (docs/ROBUSTNESS.md).
+  last_run_ = accumulated;
+
+  if (hook_ != nullptr) {
+    const std::uint64_t fires = hook_->fires();
+    const std::uint64_t delta = fires - last_hook_fires_;
+    last_hook_fires_ = fires;
+    stats_.faults_injected += delta;
+    if (delta > 0 && metrics_ != nullptr) metrics_->Add(m_injected_, delta);
+  }
+
+  if (trace_ != nullptr && trace_->Sampled(batch)) {
+    const std::uint64_t retries = stats_.sort_retries - before.sort_retries;
+    const std::uint64_t fallbacks = stats_.cpu_fallbacks - before.cpu_fallbacks;
+    const std::uint64_t quarantined = stats_.windows_quarantined - before.windows_quarantined;
+    if (retries + fallbacks + quarantined > 0) {
+      trace_->AddSpan("sort_recovery", "fault", span_start,
+                      trace_->NowMicros() - span_start,
+                      {{"retries", static_cast<double>(retries)},
+                       {"cpu_fallbacks", static_cast<double>(fallbacks)},
+                       {"quarantined", static_cast<double>(quarantined)}});
+    }
+  }
+}
+
+}  // namespace streamgpu::sort

@@ -74,6 +74,12 @@ class Sorter {
   /// Timing/work record of the most recent Sort()/SortRuns() call.
   virtual const SortRunInfo& last_run() const = 0;
 
+  /// Bitmask over the most recent SortRuns() batch: bit i set means run i
+  /// could not be sorted correctly and was quarantined (its data restored to
+  /// the pre-sort input, to be skipped and accounted by the caller). Always 0
+  /// except for sort::ResilientSorter with recovery exhausted.
+  virtual std::uint64_t last_quarantine_mask() const { return 0; }
+
   /// Backend name for reports.
   virtual const char* name() const = 0;
 

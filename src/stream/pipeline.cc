@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 #include <utility>
 
 #include "common/check.h"
@@ -38,7 +39,9 @@ SortPipeline::SortPipeline(const PipelineConfig& config,
       sorters_(std::move(sorters)),
       drain_(std::move(drain)),
       trace_(config.trace),
-      trace_label_(config.trace_label) {
+      trace_label_(config.trace_label),
+      drain_deadline_seconds_(config.drain_deadline_seconds),
+      queue_stall_hook_(config.queue_stall_hook) {
   STREAMGPU_CHECK_MSG(window_size_ >= 1, "pipeline window_size must be >= 1");
   STREAMGPU_CHECK_MSG(!sorters_.empty(), "pipeline needs at least one sorter");
   for (sort::Sorter* sorter : sorters_) STREAMGPU_CHECK(sorter != nullptr);
@@ -73,13 +76,25 @@ SortPipeline::~SortPipeline() {
   drain_thread_.join();
 }
 
-void SortPipeline::Submit(std::vector<float>&& batch) {
-  if (batch.empty()) return;
+core::Status SortPipeline::Submit(std::vector<float>&& batch) {
+  if (batch.empty()) return core::Status::Ok();
   std::unique_lock<std::mutex> lock(mu_);
   STREAMGPU_CHECK_MSG(!stop_, "Submit() after destruction began");
   const double wait_start = Now();
   const double trace_start = trace_ != nullptr ? trace_->NowMicros() : 0;
-  slot_free_.wait(lock, [&] { return in_flight_ < max_in_flight_; });
+  // A dead drain thread never frees a slot: wake on failure too, so the
+  // in-flight cap surfaces the worker's Status instead of blocking forever.
+  const auto admissible = [&] { return !failed_.ok() || in_flight_ < max_in_flight_; };
+  if (drain_deadline_seconds_ > 0) {
+    if (!slot_free_.wait_for(lock, std::chrono::duration<double>(drain_deadline_seconds_),
+                             admissible)) {
+      return core::Status::DeadlineExceeded(
+          "pipeline made no progress within the drain deadline");
+    }
+  } else {
+    slot_free_.wait(lock, admissible);
+  }
+  if (!failed_.ok()) return failed_;
   stats_.ingest_stall_seconds += Now() - wait_start;
   if (trace_ != nullptr) {
     // Backpressure made visible: only worth a span when Submit() actually
@@ -98,6 +113,7 @@ void SortPipeline::Submit(std::vector<float>&& batch) {
   slot.data = std::move(batch);
   slot.enqueued_at = Now();
   work_ready_.notify_one();
+  return core::Status::Ok();
 }
 
 std::vector<float> SortPipeline::AcquireBuffer() {
@@ -108,9 +124,21 @@ std::vector<float> SortPipeline::AcquireBuffer() {
   return out;
 }
 
-void SortPipeline::WaitIdle() {
+core::Status SortPipeline::WaitIdle() {
   std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [&] { return next_drain_seq_ == next_submit_seq_; });
+  const auto settled = [&] {
+    return !failed_.ok() || next_drain_seq_ == next_submit_seq_;
+  };
+  if (drain_deadline_seconds_ > 0) {
+    if (!idle_.wait_for(lock, std::chrono::duration<double>(drain_deadline_seconds_),
+                        settled)) {
+      return core::Status::DeadlineExceeded(
+          "pipeline made no progress within the drain deadline");
+    }
+  } else {
+    idle_.wait(lock, settled);
+  }
+  return failed_;
 }
 
 PipelineWaitStats SortPipeline::stats() const {
@@ -137,11 +165,19 @@ void SortPipeline::WorkerLoop(int worker_index) {
       stats_.sort_queue_wait_seconds += Now() - batch.enqueued_at;
     }
 
+    // The queue fault site: a stalled dequeue models a descheduled/wedged
+    // worker without touching the device (docs/ROBUSTNESS.md).
+    if (queue_stall_hook_) {
+      const unsigned stall_us = queue_stall_hook_(worker_index);
+      if (stall_us > 0) std::this_thread::sleep_for(std::chrono::microseconds(stall_us));
+    }
+
     // Sort outside the lock: this is the stage that fans out across workers.
     Timer sort_timer;
     SplitWindows(batch.data, window_size_, &windows);
     sorter->SortRuns(windows);
     const sort::SortRunInfo run = sorter->last_run();
+    const std::uint64_t quarantine_mask = sorter->last_quarantine_mask();
     const double sort_wall = sort_timer.ElapsedSeconds();
 
     {
@@ -151,6 +187,7 @@ void SortPipeline::WorkerLoop(int worker_index) {
       STREAMGPU_DCHECK(!slot.occupied);
       slot.data = std::move(batch.data);
       slot.run = run;
+      slot.quarantine_mask = quarantine_mask;
       slot.ready_at = Now();
       slot.occupied = true;
     }
@@ -187,8 +224,18 @@ void SortPipeline::DrainLoop() {
     const bool traced = trace_ != nullptr && trace_->Sampled(seq);
     const double trace_start = traced ? trace_->NowMicros() : 0;
     Timer drain_timer;
-    drain_(std::move(batch.data), batch.run);
+    core::Status drain_status = drain_(std::move(batch.data), batch.run, batch.quarantine_mask);
     const double drain_wall = drain_timer.ElapsedSeconds();
+    if (!drain_status.ok()) {
+      // The summary stage is broken; draining further batches into it would
+      // compound the damage. Latch the Status and stop — Submit()/WaitIdle()
+      // report it from here on.
+      std::lock_guard<std::mutex> lock(mu_);
+      failed_ = std::move(drain_status);
+      slot_free_.notify_all();
+      idle_.notify_all();
+      return;
+    }
     if (traced) {
       trace_->AddSpan("drain_batch", "drain", trace_start,
                       trace_->NowMicros() - trace_start,

@@ -44,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/status.h"
 #include "obs/trace.h"
 #include "sort/sorter.h"
 
@@ -70,6 +71,17 @@ struct PipelineConfig {
   /// Track-name prefix distinguishing coexisting pipelines in one trace
   /// (e.g. "freq" / "quant" for a StreamMiner).
   std::string trace_label = "pipeline";
+
+  /// Maximum seconds Submit()/WaitIdle() block on the in-flight cap before
+  /// returning kDeadlineExceeded instead of waiting forever (0 = no
+  /// deadline). A fault-tolerance knob: a wedged worker then surfaces as a
+  /// Status, not a hang (docs/ROBUSTNESS.md).
+  double drain_deadline_seconds = 0;
+
+  /// Fault-injection hook polled by each worker before it sorts a dequeued
+  /// batch; returns a stall in microseconds to sleep (0 = none). Null (the
+  /// default) disables the queue fault site.
+  std::function<unsigned(int worker_index)> queue_stall_hook;
 };
 
 /// Wall-clock overlap accounting, accumulated over the pipeline's lifetime.
@@ -117,8 +129,14 @@ class SortPipeline {
   /// is on loan: read it (or move it out and lose the recycling), but do not
   /// hold the reference past the call — the pipeline reclaims the storage
   /// afterwards and reissues it through AcquireBuffer().
-  using DrainFn =
-      std::function<void(std::vector<float>&& data, const sort::SortRunInfo& run)>;
+  ///
+  /// `quarantine_mask` forwards the sorter's last_quarantine_mask(): bit i
+  /// set means window i of the batch was unrecoverable and holds its
+  /// *unsorted* input — skip it and account the coverage loss. A non-OK
+  /// return poisons the pipeline: the drain thread stops, and every later
+  /// Submit()/WaitIdle() returns that Status.
+  using DrainFn = std::function<core::Status(
+      std::vector<float>&& data, const sort::SortRunInfo& run, std::uint64_t quarantine_mask)>;
 
   /// One worker thread is spawned per sorter; `sorters` are borrowed and
   /// must outlive the pipeline. Each sorter must be exclusive to this
@@ -132,8 +150,10 @@ class SortPipeline {
 
   /// Hands one window-batch to the pipeline. Blocks while
   /// `max_batches_in_flight` batches are already in flight. Empty batches
-  /// are ignored.
-  void Submit(std::vector<float>&& batch);
+  /// are ignored. Returns non-OK — without enqueuing — once the drain
+  /// callback has failed (its Status, sticky) or when the backpressure wait
+  /// exceeds the configured drain deadline (kDeadlineExceeded).
+  core::Status Submit(std::vector<float>&& batch);
 
   /// Returns a drained batch's storage for reuse (empty, capacity retained),
   /// or an empty vector when none has been recycled yet. Hand the result to
@@ -142,7 +162,9 @@ class SortPipeline {
   std::vector<float> AcquireBuffer();
 
   /// Blocks until every submitted batch has been sorted and drained.
-  void WaitIdle();
+  /// Returns the drain failure Status (sticky) if the drain thread has died,
+  /// or kDeadlineExceeded when the configured drain deadline elapses first.
+  core::Status WaitIdle();
 
   /// Snapshot of the wait/overlap accounting. Call after WaitIdle() for a
   /// consistent picture.
@@ -160,6 +182,7 @@ class SortPipeline {
   struct SortedBatch {
     std::vector<float> data;
     sort::SortRunInfo run;
+    std::uint64_t quarantine_mask = 0;
     double ready_at = 0;
     bool occupied = false;  // ring-slot validity (reorder buffer)
   };
@@ -172,6 +195,8 @@ class SortPipeline {
   const DrainFn drain_;
   obs::TraceRecorder* const trace_;
   const std::string trace_label_;
+  const double drain_deadline_seconds_;
+  const std::function<unsigned(int)> queue_stall_hook_;
   int max_in_flight_ = 0;
 
   mutable std::mutex mu_;
@@ -181,6 +206,10 @@ class SortPipeline {
   std::condition_variable idle_;          // a batch finished draining
 
   bool stop_ = false;
+  // First drain failure (sticky). While non-OK the drain thread is gone:
+  // Submit()/WaitIdle() return it instead of waiting on progress that will
+  // never come (the ISSUE's forever-block bug).
+  core::Status failed_;
   int in_flight_ = 0;
   std::uint64_t next_submit_seq_ = 0;
   std::uint64_t next_drain_seq_ = 0;

@@ -24,6 +24,7 @@
 
 #include "core/options.h"
 #include "core/quantile_estimator.h"
+#include "core/status.h"
 #include "gpu/device.h"
 #include "hwmodel/hardware_profiles.h"
 #include "sort/cpu_sort.h"
@@ -142,11 +143,15 @@ TEST(AllocTest, SortPipelineAloneIsAllocationFree) {
   sort::StdSortSorter sorter_a(hwmodel::kPentium4_3400);
   sort::StdSortSorter sorter_b(hwmodel::kPentium4_3400);
   std::uint64_t drained = 0;
+  stream::PipelineConfig config;
+  config.window_size = kWindow;
+  config.max_batches_in_flight = 4;
   stream::SortPipeline pipeline(
-      {.window_size = kWindow, .max_batches_in_flight = 4},
-      {&sorter_a, &sorter_b},
-      [&drained](std::vector<float>&& data, const sort::SortRunInfo&) {
+      config, {&sorter_a, &sorter_b},
+      [&drained](std::vector<float>&& data, const sort::SortRunInfo&,
+                 std::uint64_t) {
         drained += data.size();  // read-only drain; storage stays recyclable
+        return streamgpu::core::Status::Ok();
       });
 
   stream::StreamGenerator gen(
@@ -205,11 +210,15 @@ TEST(AllocTest, GpuSortPipelineIsAllocationFree) {
   sort::PbsnGpuSorter sorter_b(&device_b, hwmodel::kGeForce6800Ultra,
                                hwmodel::kPentium4_3400, opt);
   std::uint64_t drained = 0;
+  stream::PipelineConfig config;
+  config.window_size = kWindow;
+  config.max_batches_in_flight = 4;
   stream::SortPipeline pipeline(
-      {.window_size = kWindow, .max_batches_in_flight = 4},
-      {&sorter_a, &sorter_b},
-      [&drained](std::vector<float>&& data, const sort::SortRunInfo&) {
+      config, {&sorter_a, &sorter_b},
+      [&drained](std::vector<float>&& data, const sort::SortRunInfo&,
+                 std::uint64_t) {
         drained += data.size();
+        return streamgpu::core::Status::Ok();
       });
 
   stream::StreamGenerator gen(

@@ -19,6 +19,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/status.h"
 #include "gpu/device.h"
 #include "gpu/half.h"
 #include "gpu/rasterizer.h"
@@ -73,11 +74,15 @@ RunResult RunPipeline(gpu::RasterPath path, gpu::Format format, int workers,
 
   RunResult result;
   {
+    stream::PipelineConfig config;
+    config.window_size = kWindow;
     stream::SortPipeline pipeline(
-        {.window_size = kWindow}, sorter_ptrs,
-        [&result](std::vector<float>&& batch, const sort::SortRunInfo& run) {
+        config, sorter_ptrs,
+        [&result](std::vector<float>&& batch, const sort::SortRunInfo& run,
+                  std::uint64_t) {
           result.sorted.insert(result.sorted.end(), batch.begin(), batch.end());
           result.simulated_seconds += run.simulated_seconds;
+          return core::Status::Ok();
         });
     stream::WindowBatcher batcher(kWindow, kWindowsPerBatch);
     for (float v : data) {

@@ -230,7 +230,7 @@ TEST(PipelineDeterminismTest, BackpressureCapStillDeterministic) {
   const Snapshot serial = RunMiner(opt, data);
 
   opt.num_sort_workers = 4;
-  opt.max_windows_in_flight = 1;  // rounds up to one batch: fully serialized flow
+  opt.max_windows_in_flight = 4;  // one batch in flight: fully serialized flow
   const Snapshot pipelined = RunMiner(opt, data);
   EXPECT_EQ(pipelined, serial);
 }
@@ -320,7 +320,8 @@ TEST(SortPipelineTest, DrainsInSubmissionOrderAndSortsEveryWindow) {
   config.window_size = kWindow;
   stream::SortPipeline pipeline(
       config, sorter_ptrs,
-      [&](std::vector<float>&& batch, const sort::SortRunInfo& run) {
+      [&](std::vector<float>&& batch, const sort::SortRunInfo& run,
+          std::uint64_t) {
         // Batches are marked by their first window's minimum: batch i holds
         // values in [i*1000, i*1000 + size).
         drained_markers.push_back(batch.front());
@@ -332,6 +333,7 @@ TEST(SortPipelineTest, DrainsInSubmissionOrderAndSortsEveryWindow) {
           }
         }
         EXPECT_GT(run.comparisons, 0u);
+        return core::Status::Ok();
       });
 
   std::uint64_t submitted_elements = 0;

@@ -28,6 +28,18 @@
 //                          (chrome://tracing or https://ui.perfetto.dev)
 //   --trace-sample-every K record every K-th span per stage (default 1: all)
 //
+// Fault injection (docs/ROBUSTNESS.md):
+//   --fault-plan SPEC      deterministic fault plan, e.g.
+//                          "pass:bitflip:every=5;queue:stall:p=0.01,stall_us=200"
+//                          (sites upload|pass|readback|queue; kinds
+//                          bitflip|nan|half|lost|stall)
+//   --fault-seed SEED      fault-plan RNG seed             (default 1)
+//   --fault-retries N      sort retries before fallback/quarantine (default 3)
+//   --no-cpu-fallback      quarantine unrecoverable windows instead of
+//                          re-sorting them on the CPU
+//   --drain-deadline SECS  fail with kDeadlineExceeded if the pipeline makes
+//                          no progress for SECS seconds    (default 0: wait)
+//
 // Invalid configurations (bad epsilon, window/backend mismatches, ...) are
 // reported on stderr and exit with status 2.
 //
@@ -76,6 +88,11 @@ struct CliOptions {
   std::string metrics_out;
   std::string trace_out;
   std::uint64_t trace_sample_every = 1;
+  std::string fault_plan;
+  std::uint64_t fault_seed = 1;
+  int fault_retries = 3;
+  bool cpu_fallback = true;
+  double drain_deadline = 0;
 };
 
 [[noreturn]] void Usage(const char* error) {
@@ -87,6 +104,8 @@ struct CliOptions {
                "  --backend gpu|bitonic|cpu|stdsort --sliding W\n"
                "  --workers N --in-flight M --expect-range LO,HI\n"
                "  --metrics-out PATH --trace-out PATH --trace-sample-every K\n"
+               "  --fault-plan SPEC --fault-seed SEED --fault-retries N\n"
+               "  --no-cpu-fallback --drain-deadline SECS\n"
                "  --phi P1,P2,...    (quantiles)\n"
                "  --support S        (frequencies)\n");
   std::exit(2);
@@ -144,6 +163,16 @@ CliOptions ParseArgs(int argc, char** argv) {
     } else if (flag == "--trace-sample-every") {
       opt.trace_sample_every = std::strtoull(next().c_str(), nullptr, 10);
       if (opt.trace_sample_every == 0) Usage("--trace-sample-every must be >= 1");
+    } else if (flag == "--fault-plan") {
+      opt.fault_plan = next();
+    } else if (flag == "--fault-seed") {
+      opt.fault_seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (flag == "--fault-retries") {
+      opt.fault_retries = static_cast<int>(std::strtol(next().c_str(), nullptr, 10));
+    } else if (flag == "--no-cpu-fallback") {
+      opt.cpu_fallback = false;
+    } else if (flag == "--drain-deadline") {
+      opt.drain_deadline = std::strtod(next().c_str(), nullptr);
     } else if (flag == "--phi") {
       opt.phis = ParseDoubleList(next());
     } else if (flag == "--support") {
@@ -238,7 +267,36 @@ core::Options MakeCoreOptions(const CliOptions& opt, const ObsSinks& sinks) {
   core_opt.expected_min_value = opt.expect_min;
   core_opt.expected_max_value = opt.expect_max;
   core_opt.obs = sinks.view();
+  if (!opt.fault_plan.empty()) {
+    core::StatusOr<core::FaultPlan> plan =
+        core::FaultPlan::Parse(opt.fault_plan, opt.fault_seed);
+    if (!plan.ok()) Usage(plan.status().message().c_str());
+    core_opt.fault.plan = std::move(*plan);
+  }
+  core_opt.fault.max_retries = opt.fault_retries;
+  core_opt.fault.cpu_fallback = opt.cpu_fallback;
+  core_opt.fault.drain_deadline_seconds = opt.drain_deadline;
   return core_opt;
+}
+
+/// Aborts with the Status message when a stream operation failed (e.g. the
+/// pipeline hit its drain deadline under a stall plan).
+void CheckStream(const core::Status& status, const char* what) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "error: %s failed: %s\n", what, status.message().c_str());
+  std::exit(1);
+}
+
+/// One-line recovery summary, printed only when a fault plan was active.
+void PrintFaultSummary(const CliOptions& opt, const core::FaultStats& stats) {
+  if (opt.fault_plan.empty()) return;
+  std::printf("# faults: %llu injected, %llu sort retries, %llu cpu fallbacks, "
+              "%llu windows quarantined (%llu elements dropped)\n",
+              static_cast<unsigned long long>(stats.faults_injected),
+              static_cast<unsigned long long>(stats.sort_retries),
+              static_cast<unsigned long long>(stats.cpu_fallbacks),
+              static_cast<unsigned long long>(stats.windows_quarantined),
+              static_cast<unsigned long long>(stats.elements_dropped));
 }
 
 /// Unwraps a factory result, or reports the configuration error and exits 2.
@@ -257,8 +315,8 @@ int RunQuantiles(const CliOptions& opt) {
   const ObsSinks sinks(opt);
   auto qe = CreateOrDie(core::QuantileEstimator::Create(MakeCoreOptions(opt, sinks)));
   Timer timer;
-  qe->ObserveBatch(stream);
-  qe->Flush();
+  CheckStream(qe->ObserveBatch(stream), "observe");
+  CheckStream(qe->Flush(), "flush");
   std::printf("# %zu values, epsilon %g, backend %s%s, workers %d\n", stream.size(),
               opt.epsilon, opt.backend.c_str(), opt.sliding != 0 ? " (sliding)" : "",
               opt.workers);
@@ -271,6 +329,7 @@ int RunQuantiles(const CliOptions& opt) {
   }
   std::printf("# summary: %zu tuples; simulated-2005 %.1f ms; wall %.2f s\n",
               qe->summary_size(), qe->SimulatedSeconds() * 1e3, timer.ElapsedSeconds());
+  PrintFaultSummary(opt, qe->fault_stats());
   qe->ExportMetrics();
   sinks.Write(opt);
   return 0;
@@ -281,8 +340,8 @@ int RunFrequencies(const CliOptions& opt) {
   const ObsSinks sinks(opt);
   auto fe = CreateOrDie(core::FrequencyEstimator::Create(MakeCoreOptions(opt, sinks)));
   Timer timer;
-  fe->ObserveBatch(stream);
-  fe->Flush();
+  CheckStream(fe->ObserveBatch(stream), "observe");
+  CheckStream(fe->Flush(), "flush");
   std::printf("# %zu values, epsilon %g, support %g, backend %s%s, workers %d\n",
               stream.size(), opt.epsilon, opt.support, opt.backend.c_str(),
               opt.sliding != 0 ? " (sliding)" : "", opt.workers);
@@ -296,6 +355,7 @@ int RunFrequencies(const CliOptions& opt) {
               static_cast<unsigned long long>(report.window_coverage));
   std::printf("# summary: %zu entries; simulated-2005 %.1f ms; wall %.2f s\n",
               fe->summary_size(), fe->SimulatedSeconds() * 1e3, timer.ElapsedSeconds());
+  PrintFaultSummary(opt, fe->fault_stats());
   fe->ExportMetrics();
   sinks.Write(opt);
   return 0;
