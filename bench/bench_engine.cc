@@ -15,6 +15,11 @@
 //   fb_copy        — CopyFramebufferToTexture in the ping-pong steady state
 //                    (storage swap, should be near-free)
 //   two_way_merge / kway8_merge — the CPU merge stage
+//   radix_1m       — cache-blocked LSD radix passes on 1M ordered keys
+//                    (the radix/merge backend's per-chunk kernel)
+//   loser_merge8   — loser-tree merge of 8 sorted key runs (MergeKeyRuns)
+//   sample_1m      — full sample-sort pass on 1M floats (classify + scatter
+//                    + in-cache bucket radix)
 //
 // A large-memcpy calibration (ns/byte) is reported alongside, so the CI
 // regression gate can compare machine-normalized ratios instead of raw
@@ -37,7 +42,10 @@
 #include "gpu/rasterizer.h"
 #include "gpu/surface.h"
 #include "gpu/vertex.h"
+#include "hwmodel/hardware_profiles.h"
 #include "sort/merge.h"
+#include "sort/radix_sort.h"
+#include "sort/sample_sort.h"
 
 namespace {
 
@@ -202,6 +210,52 @@ int main() {
                        NsPerElement(5, 4, static_cast<double>(total),
                                     [&] { sort::KWayMerge(views, kout); }),
                        static_cast<double>(total)});
+  }
+
+  // --- Second-generation sort kernels (radix passes, loser-tree merge,
+  // sample sort end to end). ---
+  {
+    std::mt19937 rng(13);
+    const std::size_t n = 1u << 20;
+    std::vector<std::uint32_t> keys(n);
+    std::vector<std::uint32_t> work(n);
+    std::vector<std::uint32_t> scratch;
+    for (auto& k : keys) k = rng();
+    results.push_back({"radix_1m",
+                       NsPerElement(5, 2, static_cast<double>(n),
+                                    [&] {
+                                      work = keys;
+                                      sort::RadixSortKeys(work, &scratch);
+                                    }),
+                       static_cast<double>(n)});
+
+    const std::size_t run_len = n / 8;
+    std::vector<std::vector<std::uint32_t>> key_runs(8);
+    for (auto& run : key_runs) {
+      run.resize(run_len);
+      for (auto& k : run) k = rng();
+      std::sort(run.begin(), run.end());
+    }
+    std::vector<std::span<const std::uint32_t>> run_views(key_runs.begin(),
+                                                          key_runs.end());
+    std::vector<std::uint32_t> merged(n);
+    results.push_back({"loser_merge8",
+                       NsPerElement(5, 2, static_cast<double>(n),
+                                    [&] { sort::MergeKeyRuns(run_views, merged); }),
+                       static_cast<double>(n)});
+
+    std::uniform_real_distribution<float> dist(-1000.0f, 1000.0f);
+    std::vector<float> data(n);
+    std::vector<float> sorted(n);
+    for (float& v : data) v = dist(rng);
+    sort::SampleSortSorter sample(hwmodel::kPentium4_3400);
+    results.push_back({"sample_1m",
+                       NsPerElement(5, 2, static_cast<double>(n),
+                                    [&] {
+                                      sorted = data;
+                                      sample.Sort(sorted);
+                                    }),
+                       static_cast<double>(n)});
   }
 
   std::printf("%-16s %16s %18s\n", "kernel", "ns/element", "vs memcpy(ns/B)");

@@ -20,6 +20,12 @@
 // ratio against BENCH_sort.json: the estimator hot path carries the
 // observability hooks (src/obs/), and this is the bench that proves the
 // disabled-by-default guard stays under the 2% overhead budget.
+//
+// A second table sweeps the second-generation host backends (sample sort,
+// radix/merge) and the cost-model "auto" planner against PBSN on host
+// wall-clock; each row's per-backend numbers land in the JSON under
+// "backends" and tools/check_bench_regression.py --fig3-backends gates the
+// planner's >2x ns/key win over PBSN at n >= 1M (docs/SORT_BACKENDS.md).
 
 #include <algorithm>
 #include <cstdio>
@@ -30,9 +36,14 @@
 #include "common/timer.h"
 #include "gpu/device.h"
 #include "hwmodel/hardware_profiles.h"
+#include "hwmodel/sort_planner.h"
+#include "obs/observability.h"
 #include "sort/bitonic_gpu.h"
 #include "sort/cpu_sort.h"
 #include "sort/pbsn_gpu.h"
+#include "sort/planned.h"
+#include "sort/radix_sort.h"
+#include "sort/sample_sort.h"
 #include "stream/generator.h"
 
 namespace {
@@ -64,6 +75,23 @@ double MemcpyNsPerByte() {
   return times[times.size() / 2] * 1e9 / (8.0 * static_cast<double>(bytes));
 }
 
+/// One backend's numbers at one size, both clocks plus the normalized ratio.
+struct BackendSample {
+  double sim_ms = 0;
+  double wall_ms = 0;
+  double ns_per_key = 0;
+  double rel_memcpy = 0;  // ns/key over the machine's memcpy ns/byte
+};
+
+BackendSample Measure(sort::Sorter& sorter, const std::vector<float>& data,
+                      double memcpy_ns_per_byte) {
+  BackendSample b;
+  b.sim_ms = SortSimMs(sorter, data, &b.wall_ms);
+  b.ns_per_key = b.wall_ms * 1e6 / static_cast<double>(data.size());
+  b.rel_memcpy = b.ns_per_key / memcpy_ns_per_byte;
+  return b;
+}
+
 struct Row {
   std::size_t n = 0;
   double pbsn_sim_ms = 0;
@@ -73,6 +101,11 @@ struct Row {
   double bitonic_sim_ms = -1;
   double intel_sim_ms = 0;
   double msvc_sim_ms = 0;
+  // Second-generation host backends and the planner (host wall-clock focus).
+  BackendSample sample;
+  BackendSample radix;
+  BackendSample autos;
+  const char* auto_chosen = "?";
 };
 
 }  // namespace
@@ -114,6 +147,23 @@ int main() {
     sort::BitonicGpuSorter bitonic(&device, hwmodel::kGeForce6800Ultra, format);
     sort::QuicksortSorter intel(hwmodel::kPentium4_3400);
     sort::QuicksortSorter msvc(hwmodel::kPentium4_3400Msvc);
+    sort::SampleSortSorter sample(hwmodel::kPentium4_3400);
+    sort::RadixMergeSorter radix(hwmodel::kPentium4_3400);
+    // The planner, pinned to this run's calibration so the JSON records a
+    // reproducible decision; same candidate pool as core::Backend::kAuto.
+    hwmodel::SortPlannerConfig plan_config;
+    plan_config.memcpy_ns_per_byte = memcpy_ns_per_byte;
+    hwmodel::SortPlanner planner(
+        plan_config, hwmodel::PlanObjective::kHostWall,
+        {hwmodel::SortBackend::kGpuPbsn, hwmodel::SortBackend::kSampleSort,
+         hwmodel::SortBackend::kCpuRadixMerge,
+         hwmodel::SortBackend::kCpuQuicksort});
+    sort::PlannedSorter autos(&planner,
+                              {{hwmodel::SortBackend::kGpuPbsn, &pbsn},
+                               {hwmodel::SortBackend::kSampleSort, &sample},
+                               {hwmodel::SortBackend::kCpuRadixMerge, &radix},
+                               {hwmodel::SortBackend::kCpuQuicksort, &intel}},
+                              obs::Observability{}, "bench.");
 
     Row row;
     row.n = n;
@@ -123,6 +173,10 @@ int main() {
     row.bitonic_sim_ms = n <= bitonic_cap ? SortSimMs(bitonic, data) : -1.0;
     row.intel_sim_ms = SortSimMs(intel, data);
     row.msvc_sim_ms = SortSimMs(msvc, data);
+    row.sample = Measure(sample, data, memcpy_ns_per_byte);
+    row.radix = Measure(radix, data, memcpy_ns_per_byte);
+    row.autos = Measure(autos, data, memcpy_ns_per_byte);
+    row.auto_chosen = hwmodel::SortBackendName(autos.last_choice());
     rows.push_back(row);
 
     if (row.bitonic_sim_ms >= 0) {
@@ -138,6 +192,19 @@ int main() {
   }
   std::printf("\nNote: gpu timings include CPU<->GPU transfer, as in the paper. "
               "Set STREAMGPU_SCALE=8 for the paper's full 8M sweep.\n\n");
+
+  std::printf("Second-generation host backends, host wall ns/key "
+              "(auto = cost-model planner):\n");
+  std::printf("%10s %12s %12s %12s %12s %12s %10s\n", "n", "pbsn", "sample",
+              "radix", "auto", "auto-pick", "vs-pbsn");
+  for (const Row& r : rows) {
+    std::printf("%10zu %12.1f %12.1f %12.1f %12.1f %12s %9.1fx\n", r.n,
+                r.pbsn_ns_per_key, r.sample.ns_per_key, r.radix.ns_per_key,
+                r.autos.ns_per_key, r.auto_chosen,
+                r.autos.ns_per_key > 0 ? r.pbsn_ns_per_key / r.autos.ns_per_key
+                                       : 0.0);
+  }
+  std::printf("\n");
 
   if (const char* path = bench::JsonOutPath("BENCH_fig3.json")) {
     if (std::FILE* f = std::fopen(path, "w")) {
@@ -159,6 +226,32 @@ int main() {
           if (r.bitonic_sim_ms >= 0) j.Number("bitonic_sim_ms", r.bitonic_sim_ms);
           j.Number("intel_sim_ms", r.intel_sim_ms);
           j.Number("msvc_sim_ms", r.msvc_sim_ms);
+          // Per-backend host numbers; --fig3-backends gates these rows.
+          j.BeginObject("backends");
+          const struct {
+            const char* name;
+            const BackendSample* b;
+          } backends[] = {{"pbsn", nullptr},
+                          {"sample", &r.sample},
+                          {"cpu-radix", &r.radix},
+                          {"auto", &r.autos}};
+          for (const auto& [name, b] : backends) {
+            j.BeginObject(name);
+            if (b == nullptr) {
+              j.Number("sim_ms", r.pbsn_sim_ms);
+              j.Number("wall_ms", r.pbsn_wall_ms);
+              j.Number("ns_per_key", r.pbsn_ns_per_key);
+              j.Number("rel_memcpy", r.rel_memcpy);
+            } else {
+              j.Number("sim_ms", b->sim_ms);
+              j.Number("wall_ms", b->wall_ms);
+              j.Number("ns_per_key", b->ns_per_key);
+              j.Number("rel_memcpy", b->rel_memcpy);
+            }
+            if (b == &r.autos) j.String("chosen", r.auto_chosen);
+            j.End('}');
+          }
+          j.End('}');
           j.End('}');
         }
         j.End(']');

@@ -5,6 +5,9 @@
 #include "sort/bitonic_gpu.h"
 #include "sort/cpu_sort.h"
 #include "sort/pbsn_gpu.h"
+#include "sort/planned.h"
+#include "sort/radix_sort.h"
+#include "sort/sample_sort.h"
 
 namespace streamgpu::core {
 
@@ -30,6 +33,51 @@ SortEngine::SortEngine(const Options& options) {
     case Backend::kCpuStdSort:
       sorter_ = std::make_unique<sort::StdSortSorter>(hwmodel::kPentium4_3400);
       break;
+    case Backend::kCpuRadixMerge:
+      sorter_ = std::make_unique<sort::RadixMergeSorter>(hwmodel::kPentium4_3400);
+      break;
+    case Backend::kSampleSort:
+      sorter_ = std::make_unique<sort::SampleSortSorter>(hwmodel::kPentium4_3400);
+      break;
+    case Backend::kAuto: {
+      // Candidate pool: the paper's GPU sort plus the two second-generation
+      // host sorts and the paper's CPU baseline. Candidate order is the
+      // deterministic tiebreak.
+      device_ = std::make_unique<gpu::GpuDevice>();
+      sort::PbsnOptions pbsn;
+      pbsn.format = options.gpu_format;
+      candidate_sorters_.push_back(std::make_unique<sort::PbsnGpuSorter>(
+          device_.get(), hwmodel::kGeForce6800Ultra, hwmodel::kPentium4_3400,
+          pbsn));
+      candidate_sorters_.push_back(
+          std::make_unique<sort::SampleSortSorter>(hwmodel::kPentium4_3400));
+      candidate_sorters_.push_back(
+          std::make_unique<sort::RadixMergeSorter>(hwmodel::kPentium4_3400));
+      candidate_sorters_.push_back(
+          std::make_unique<sort::QuicksortSorter>(hwmodel::kPentium4_3400));
+      const std::vector<hwmodel::SortBackend> kinds = {
+          hwmodel::SortBackend::kGpuPbsn, hwmodel::SortBackend::kSampleSort,
+          hwmodel::SortBackend::kCpuRadixMerge,
+          hwmodel::SortBackend::kCpuQuicksort};
+      hwmodel::SortPlannerConfig config;
+      config.memcpy_ns_per_byte = options.planner.memcpy_ns_per_byte;
+      const hwmodel::PlanObjective objective =
+          options.planner.objective == PlannerConfig::Objective::kSimulated2005
+              ? hwmodel::PlanObjective::kSimulated2005
+              : hwmodel::PlanObjective::kHostWall;
+      planner_ =
+          std::make_unique<hwmodel::SortPlanner>(config, objective, kinds);
+      std::vector<sort::PlannedSorter::Candidate> candidates;
+      for (std::size_t i = 0; i < kinds.size(); ++i) {
+        candidates.push_back({kinds[i], candidate_sorters_[i].get()});
+      }
+      sorter_ = std::make_unique<sort::PlannedSorter>(
+          planner_.get(), std::move(candidates), options.obs, "sort.");
+      // Keep the four-window RGBA batching so the PBSN candidate packs
+      // channels when the planner picks it.
+      batch_windows_ = gpu::kNumChannels;
+      break;
+    }
   }
   STREAMGPU_CHECK(sorter_ != nullptr);
 }

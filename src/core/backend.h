@@ -10,6 +10,7 @@
 
 #include "core/options.h"
 #include "gpu/device.h"
+#include "hwmodel/sort_planner.h"
 #include "sort/sorter.h"
 #include "stream/pipeline.h"
 
@@ -37,8 +38,16 @@ class SortEngine {
   /// backend (one per RGBA channel, §4.1), one otherwise.
   int batch_windows() const { return batch_windows_; }
 
+  /// The cost-model planner (Backend::kAuto only; nullptr otherwise).
+  const hwmodel::SortPlanner* planner() const { return planner_.get(); }
+
  private:
   std::unique_ptr<gpu::GpuDevice> device_;
+  // kAuto only: the concrete candidates the planned sorter dispatches to,
+  // and the immutable planner they share. Declared before sorter_ so the
+  // dispatcher is destroyed before the sorters it borrows.
+  std::vector<std::unique_ptr<sort::Sorter>> candidate_sorters_;
+  std::unique_ptr<hwmodel::SortPlanner> planner_;
   std::unique_ptr<sort::Sorter> sorter_;
   int batch_windows_ = 1;
 };

@@ -93,7 +93,7 @@ FrequencyEstimator::FrequencyEstimator(const Options& options)
     fault_injector_ = std::make_unique<FaultInjector>(options.fault.plan, /*stream_id=*/0);
     if (engine_.device() != nullptr) engine_.device()->set_fault_hook(fault_injector_.get());
     if (options.fault.cpu_fallback) {
-      fallback_sorter_ = std::make_unique<sort::QuicksortSorter>(hwmodel::kPentium4_3400);
+      fallback_sorter_ = std::make_unique<sort::RadixMergeSorter>(hwmodel::kPentium4_3400);
     }
     resilient_sorter_ = std::make_unique<sort::ResilientSorter>(
         sort_front_, fallback_sorter_.get(), engine_.device(), fault_injector_.get(),
@@ -123,7 +123,7 @@ FrequencyEstimator::FrequencyEstimator(const Options& options)
         }
         worker_fallbacks_.push_back(
             options.fault.cpu_fallback
-                ? std::make_unique<sort::QuicksortSorter>(hwmodel::kPentium4_3400)
+                ? std::make_unique<sort::RadixMergeSorter>(hwmodel::kPentium4_3400)
                 : nullptr);
         worker_resilient_.push_back(std::make_unique<sort::ResilientSorter>(
             front, worker_fallbacks_.back().get(), engine.device(),

@@ -23,7 +23,7 @@
 #include "gpu/stats.h"
 #include "sketch/lossy_counting.h"
 #include "sketch/sliding_window.h"
-#include "sort/cpu_sort.h"
+#include "sort/radix_sort.h"
 #include "sort/resilient.h"
 #include "stream/pipeline.h"
 #include "stream/window_buffer.h"
@@ -196,7 +196,7 @@ class FrequencyEstimator {
   /// Fault injection and recovery (all null / zero when Options::fault is
   /// disabled — the hot path then never sees them).
   std::unique_ptr<FaultInjector> fault_injector_;            ///< serial-path injector
-  std::unique_ptr<sort::QuicksortSorter> fallback_sorter_;   ///< serial CPU fallback
+  std::unique_ptr<sort::RadixMergeSorter> fallback_sorter_;  ///< serial CPU fallback
   std::unique_ptr<sort::ResilientSorter> resilient_sorter_;  ///< wraps engine_'s sorter
   mutable Status pipeline_status_;         ///< first pipeline failure (sticky)
   std::uint64_t quarantined_windows_ = 0;  ///< summary-thread written; read after Sync()
@@ -217,7 +217,7 @@ class FrequencyEstimator {
   /// destroyed.
   std::vector<std::unique_ptr<SortEngine>> worker_engines_;
   std::vector<std::unique_ptr<FaultInjector>> worker_injectors_;
-  std::vector<std::unique_ptr<sort::QuicksortSorter>> worker_fallbacks_;
+  std::vector<std::unique_ptr<sort::RadixMergeSorter>> worker_fallbacks_;
   std::vector<std::unique_ptr<sort::ResilientSorter>> worker_resilient_;
   std::vector<std::unique_ptr<TracingSorter>> traced_workers_;
   std::unique_ptr<stream::SortPipeline> pipeline_;

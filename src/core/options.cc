@@ -13,7 +13,10 @@ namespace {
 constexpr float kHalfMax = 65504.0f;
 
 bool IsGpu(Backend b) {
-  return b == Backend::kGpuPbsn || b == Backend::kGpuBitonic;
+  // kAuto owns a device and may route windows to its PBSN candidate, so it
+  // quantizes at ingest exactly like the fixed GPU backends.
+  return b == Backend::kGpuPbsn || b == Backend::kGpuBitonic ||
+         b == Backend::kAuto;
 }
 
 }  // namespace
@@ -83,6 +86,12 @@ Status Options::Validate() const {
           "] exceeds the finite binary16 range (+-65504) of the 16-bit GPU "
           "surfaces; use gpu::Format::kFloat32 or rescale the stream");
     }
+  }
+
+  if (!(planner.memcpy_ns_per_byte >= 0.0)) {
+    return Status::InvalidArgument(
+        "planner.memcpy_ns_per_byte must be >= 0 (0 = probe), got " +
+        std::to_string(planner.memcpy_ns_per_byte));
   }
 
   for (std::size_t i = 0; i < fault.plan.rules.size(); ++i) {

@@ -15,11 +15,20 @@ namespace streamgpu::core {
 /// Sorting backend used for the per-window histogram computation — the
 /// operation that dominates runtime (70-95%, §3.2) and that the paper
 /// offloads to the GPU.
+///
+/// Every backend sorts each window into the same ascending permutation of
+/// its input bit patterns, so estimator reports are bit-identical across
+/// backends given identical ingested values (the GPU backends quantize at
+/// ingest when gpu_format is kFloat16 — pick kFloat32 to compare against
+/// the CPU backends). See docs/SORT_BACKENDS.md for the full catalog.
 enum class Backend {
-  kGpuPbsn,       ///< the paper's GPU PBSN sort (§4.4)
-  kGpuBitonic,    ///< prior GPU bitonic sort baseline [40]
-  kCpuQuicksort,  ///< instrumented CPU quicksort (Intel-compiler class)
-  kCpuStdSort,    ///< std::sort (introsort)
+  kGpuPbsn,        ///< the paper's GPU PBSN sort (§4.4)
+  kGpuBitonic,     ///< prior GPU bitonic sort baseline [40]
+  kCpuQuicksort,   ///< instrumented CPU quicksort (Intel-compiler class)
+  kCpuStdSort,     ///< std::sort (introsort)
+  kCpuRadixMerge,  ///< cache-blocked LSD radix sort + loser-tree merge
+  kSampleSort,     ///< deterministic splitter sample sort
+  kAuto,           ///< cost-model planner picks per window (hwmodel::SortPlanner)
 };
 
 /// Human-readable backend name.
@@ -33,9 +42,33 @@ inline const char* BackendName(Backend b) {
       return "cpu-quicksort";
     case Backend::kCpuStdSort:
       return "cpu-std-sort";
+    case Backend::kCpuRadixMerge:
+      return "cpu-radix";
+    case Backend::kSampleSort:
+      return "sample-sort";
+    case Backend::kAuto:
+      return "auto";
   }
   return "?";
 }
+
+/// Cost-model planner configuration, consulted only by Backend::kAuto. The
+/// planner's choice is a deterministic function of window size and these
+/// inputs; see docs/COST_MODEL.md ("Planner formulas").
+struct PlannerConfig {
+  /// Which clock the planner minimizes. kHostWall (default) picks the
+  /// backend predicted fastest on the actual machine; kSimulated2005
+  /// re-enacts the paper's decision on the modeled 2005 testbed (the GPU
+  /// overtakes CPU quicksort around 16K keys, §4.5).
+  enum class Objective { kHostWall, kSimulated2005 };
+  Objective objective = Objective::kHostWall;
+
+  /// Pinned host calibration: the machine's large-memcpy speed in ns/byte.
+  /// <= 0 (default) probes once per process (hwmodel::CachedMemcpyNsPerByte,
+  /// overridable via STREAMGPU_MEMCPY_NS_PER_BYTE); pin a positive value for
+  /// machine-independent planning in tests and reproducible runs.
+  double memcpy_ns_per_byte = 0.0;
+};
 
 /// Estimator configuration.
 struct Options {
@@ -45,6 +78,9 @@ struct Options {
 
   /// Sorting backend for the histogram step.
   Backend backend = Backend::kGpuPbsn;
+
+  /// Planner knobs for Backend::kAuto (ignored by the fixed backends).
+  PlannerConfig planner;
 
   /// Texture/render-target precision for the GPU backends. The paper's
   /// optimized configuration streams 16-bit floating point data through

@@ -1,0 +1,41 @@
+#include "hwmodel/calibration.h"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "common/env.h"
+#include "common/timer.h"
+
+namespace streamgpu::hwmodel {
+
+double MeasureMemcpyNsPerByte(std::size_t bytes, int samples) {
+  std::vector<char> src(bytes, 1);
+  std::vector<char> dst(bytes, 0);
+  std::vector<double> ns_per_byte;
+  ns_per_byte.reserve(static_cast<std::size_t>(samples));
+  for (int s = 0; s < samples; ++s) {
+    Timer timer;
+    std::memcpy(dst.data(), src.data(), bytes);
+    const double ns = timer.ElapsedSeconds() * 1e9;
+    ns_per_byte.push_back(ns / static_cast<double>(bytes));
+    // Keep the optimizer from eliding the copy.
+    src[static_cast<std::size_t>(s) % bytes] =
+        static_cast<char>(dst[bytes / 2] + 1);
+  }
+  std::sort(ns_per_byte.begin(), ns_per_byte.end());
+  return ns_per_byte[ns_per_byte.size() / 2];
+}
+
+double CachedMemcpyNsPerByte() {
+  static std::once_flag once;
+  static double cached = kDefaultMemcpyNsPerByte;
+  std::call_once(once, [] {
+    const double pinned = GetEnvDouble("STREAMGPU_MEMCPY_NS_PER_BYTE", 0.0);
+    cached = pinned > 0.0 ? pinned : MeasureMemcpyNsPerByte();
+  });
+  return cached;
+}
+
+}  // namespace streamgpu::hwmodel

@@ -1,0 +1,42 @@
+// Live host calibration for the sort planner.
+//
+// The planner's host-throughput formulas are expressed in rel_memcpy units —
+// nanoseconds normalized by the machine's large-block memcpy speed — the same
+// normalization the benchmark regression gate uses (BENCH_sort.json,
+// tools/check_bench_regression.py). One probe of the actual machine turns
+// those machine-independent ratios back into predicted nanoseconds.
+//
+// Determinism note: the probe measures the real host, so its value — and any
+// planner decision derived from it — is machine-dependent. Everything
+// downstream of the *choice* stays deterministic (every backend produces the
+// identical sorted output), and the probe is taken once per process so all
+// pipeline workers plan against the same number. Tests and reproducible runs
+// pin the value via Options/STREAMGPU_MEMCPY_NS_PER_BYTE instead of probing.
+//
+// Thread safety: both functions are safe to call concurrently;
+// CachedMemcpyNsPerByte memoizes under std::call_once.
+
+#ifndef STREAMGPU_HWMODEL_CALIBRATION_H_
+#define STREAMGPU_HWMODEL_CALIBRATION_H_
+
+#include <cstddef>
+
+namespace streamgpu::hwmodel {
+
+/// Fallback when probing is disabled and no override is given: the blessed
+/// baseline machine's measured large-memcpy speed (BENCH_sort.json).
+inline constexpr double kDefaultMemcpyNsPerByte = 0.078;
+
+/// Measures streaming-copy speed: median of `samples` timed memcpys of
+/// `bytes` (default 16 MB, far beyond any cache). Returns ns per byte.
+double MeasureMemcpyNsPerByte(std::size_t bytes = std::size_t{16} << 20,
+                              int samples = 5);
+
+/// Process-wide memoized probe. Honors the STREAMGPU_MEMCPY_NS_PER_BYTE
+/// environment variable (parsed once; > 0 skips measurement entirely), so CI
+/// and tests can pin planner inputs.
+double CachedMemcpyNsPerByte();
+
+}  // namespace streamgpu::hwmodel
+
+#endif  // STREAMGPU_HWMODEL_CALIBRATION_H_

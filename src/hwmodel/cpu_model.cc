@@ -52,6 +52,54 @@ double CpuModel::LinearPassSeconds(std::uint64_t n, std::size_t element_bytes,
   return (instr_cycles + miss_cycles) / profile_.clock_hz;
 }
 
+double CpuModel::RadixSortSeconds(std::uint64_t n, std::size_t element_bytes) const {
+  if (n < 2) return 0.0;
+  const double dn = static_cast<double>(n);
+  const double bytes = dn * static_cast<double>(element_bytes);
+  const double lines = bytes / profile_.cache_line_bytes;
+  // 2 transform + 1 histogram + 4 counting-scatter passes at ~4 ALU cycles
+  // per element each; the loops are branch-predictable, so no mispredict
+  // charge (that is the backend's reason to exist on the P4).
+  const double instr_cycles = dn * 4.0 * 7.0;
+  // Compulsory misses once; when the working set exceeds L2 the histogram
+  // pass re-streams its read and each scatter pass re-streams both its read
+  // plane and its scattered write plane.
+  double miss_lines = lines;
+  if (bytes > static_cast<double>(profile_.l2_bytes)) {
+    miss_lines += (1.0 + 4.0 * 2.0) * lines;
+  }
+  return (instr_cycles + miss_lines * profile_.l2_miss_penalty_cycles) /
+         profile_.clock_hz;
+}
+
+double CpuModel::SampleSortSeconds(std::uint64_t n, int buckets,
+                                   std::size_t element_bytes) const {
+  if (n < 2) return 0.0;
+  const double dn = static_cast<double>(n);
+  const double bytes = dn * static_cast<double>(element_bytes);
+  const double lines = bytes / profile_.cache_line_bytes;
+  const double depth = std::max(1.0, std::log2(static_cast<double>(buckets)));
+  // Classification: a binary search over the splitters — log2(buckets)
+  // comparisons per element, each mispredicting at the sort rate (splitter
+  // outcomes are data-dependent coin flips).
+  const double classify_cycles =
+      dn * depth *
+      (profile_.base_cycles_per_comparison +
+       profile_.sort_branch_mispredict_rate *
+           profile_.branch_mispredict_penalty_cycles);
+  // Scatter: one streamed read plus one write into `buckets` destination
+  // streams; above L2 both planes miss per line.
+  const double scatter_cycles =
+      dn * 4.0 + (bytes > static_cast<double>(profile_.l2_bytes)
+                      ? 2.0 * lines * profile_.l2_miss_penalty_cycles
+                      : 0.0);
+  // Bucket sorts: radix passes over cache-resident buckets — ALU cost of
+  // the seven radix passes plus compulsory misses only.
+  const double bucket_cycles =
+      dn * 4.0 * 7.0 + lines * profile_.l2_miss_penalty_cycles;
+  return (classify_cycles + scatter_cycles + bucket_cycles) / profile_.clock_hz;
+}
+
 double CpuModel::MergeSeconds(std::uint64_t n, int ways, std::size_t element_bytes) const {
   const double cmp_per_element = std::max(1.0, std::log2(static_cast<double>(ways)));
   const double cycles =

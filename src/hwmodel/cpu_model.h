@@ -47,6 +47,21 @@ class CpuModel {
   /// comparisons per element plus streaming memory traffic.
   double MergeSeconds(std::uint64_t n, int ways, std::size_t element_bytes) const;
 
+  /// Simulated seconds for a byte-wise LSD radix sort of `n` elements: two
+  /// key-transform passes, one combined histogram pass, and four
+  /// counting-scatter passes. No data-dependent branches (radix sorts trade
+  /// the P4's mispredict stalls for extra memory traffic); above L2 each
+  /// scatter pass re-streams its read and write planes.
+  double RadixSortSeconds(std::uint64_t n, std::size_t element_bytes) const;
+
+  /// Simulated seconds for a splitter-based sample sort of `n` elements into
+  /// `buckets` cache-resident buckets: a classification pass of
+  /// log2(buckets) mispredicting comparisons per element, one scatter pass,
+  /// then in-cache radix sorts of the buckets (charged compulsory misses
+  /// only, which is the point of the bucketing).
+  double SampleSortSeconds(std::uint64_t n, int buckets,
+                           std::size_t element_bytes) const;
+
   const CpuHardwareProfile& profile() const { return profile_; }
 
  private:

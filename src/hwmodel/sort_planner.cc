@@ -1,0 +1,166 @@
+#include "hwmodel/sort_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "hwmodel/calibration.h"
+#include "hwmodel/cpu_model.h"
+
+namespace streamgpu::hwmodel {
+
+namespace {
+
+double Log2AtLeast1(double x) { return std::log2(std::max(2.0, x)); }
+
+std::uint64_t CeilDiv(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+// Smallest power of two >= n/bucket_keys, clamped to [2, 256]; mirrors
+// SampleSortSorter::NumBuckets.
+int SampleBuckets(std::uint64_t n, std::uint64_t bucket_keys) {
+  int k = 2;
+  while (k < 256 && n > bucket_keys * static_cast<std::uint64_t>(k)) k <<= 1;
+  return k;
+}
+
+}  // namespace
+
+const char* SortBackendName(SortBackend backend) {
+  switch (backend) {
+    case SortBackend::kGpuPbsn:
+      return "pbsn";
+    case SortBackend::kGpuBitonic:
+      return "bitonic";
+    case SortBackend::kCpuQuicksort:
+      return "cpu";
+    case SortBackend::kCpuStdSort:
+      return "stdsort";
+    case SortBackend::kCpuRadixMerge:
+      return "cpu-radix";
+    case SortBackend::kSampleSort:
+      return "sample";
+  }
+  return "unknown";
+}
+
+SortPlanner::SortPlanner(const SortPlannerConfig& config,
+                         PlanObjective objective,
+                         std::vector<SortBackend> candidates)
+    : config_(config),
+      objective_(objective),
+      candidates_(std::move(candidates)) {
+  if (candidates_.empty()) {
+    candidates_.push_back(SortBackend::kCpuStdSort);
+  }
+  if (config_.memcpy_ns_per_byte <= 0.0) {
+    config_.memcpy_ns_per_byte = CachedMemcpyNsPerByte();
+  }
+}
+
+double SortPlanner::PredictHostNsPerKey(SortBackend backend,
+                                        std::uint64_t n) const {
+  const double mem = config_.memcpy_ns_per_byte;
+  const double dn = static_cast<double>(std::max<std::uint64_t>(n, 2));
+  double rel = 0.0;
+  switch (backend) {
+    case SortBackend::kGpuPbsn: {
+      const double steps = Log2AtLeast1(dn / 4.0);
+      rel = config_.pbsn_rel_per_step * steps * steps;
+      break;
+    }
+    case SortBackend::kGpuBitonic: {
+      const double steps = Log2AtLeast1(dn);
+      rel = config_.bitonic_rel_per_step * steps * steps;
+      break;
+    }
+    case SortBackend::kCpuQuicksort:
+      rel = config_.quicksort_rel_per_log * Log2AtLeast1(dn);
+      break;
+    case SortBackend::kCpuStdSort:
+      rel = config_.stdsort_rel_per_log * Log2AtLeast1(dn);
+      break;
+    case SortBackend::kCpuRadixMerge: {
+      const std::uint64_t ways = CeilDiv(n, config_.radix_chunk_keys);
+      rel = config_.radix_rel_base;
+      if (ways > 1) {
+        rel += config_.radix_rel_spill +
+               config_.radix_rel_per_merge_level *
+                   std::ceil(Log2AtLeast1(static_cast<double>(ways)));
+      }
+      break;
+    }
+    case SortBackend::kSampleSort: {
+      const int k = SampleBuckets(n, config_.sample_bucket_keys);
+      rel = config_.sample_rel_base +
+            config_.sample_rel_per_depth * Log2AtLeast1(k);
+      break;
+    }
+  }
+  return rel * mem;
+}
+
+double SortPlanner::PredictSimulatedSeconds(SortBackend backend,
+                                            std::uint64_t n) const {
+  if (n < 2) return 0.0;
+  const CpuModel cpu(config_.cpu);
+  const GpuHardwareProfile& gpu = config_.gpu;
+  const double dn = static_cast<double>(n);
+  // Closed-form GPU network estimate: `fragments` blended fragments across
+  // steps(K) = K(K+1)/2 network steps, where the compute rate is pipes *
+  // clock / blend_cycles, plus upload+readback on the bus and one
+  // framebuffer bind. Approximates the instrumented simulator within a few
+  // percent — good enough to rank backends, not a substitute for GpuModel.
+  const auto network_seconds = [&](double fragments_per_step, double levels) {
+    const double steps = levels * (levels + 1.0) / 2.0;
+    const double fragments = fragments_per_step * steps;
+    const double compute = fragments * gpu.blend_cycles_per_fragment /
+                           (static_cast<double>(gpu.fragment_pipes) *
+                            gpu.core_clock_hz);
+    const double transfer = 2.0 * dn * 4.0 / gpu.bus_bandwidth_bps;
+    return compute + transfer + gpu.per_bind_overhead_s;
+  };
+  switch (backend) {
+    case SortBackend::kGpuPbsn:
+      // Four keys per RGBA fragment; the network runs over n/4 fragments.
+      return network_seconds(dn / 4.0, Log2AtLeast1(dn / 4.0));
+    case SortBackend::kGpuBitonic:
+      return network_seconds(dn, Log2AtLeast1(dn));
+    case SortBackend::kCpuQuicksort:
+      return cpu.QuicksortSeconds(n, 4);
+    case SortBackend::kCpuStdSort:
+      return cpu.QuicksortSeconds(n, 4);
+    case SortBackend::kCpuRadixMerge: {
+      const std::uint64_t ways = CeilDiv(n, config_.radix_chunk_keys);
+      double s = cpu.RadixSortSeconds(n, 4);
+      if (ways > 1) s += cpu.MergeSeconds(n, static_cast<int>(ways), 4);
+      return s;
+    }
+    case SortBackend::kSampleSort:
+      if (n < config_.sample_min_keys) return cpu.RadixSortSeconds(n, 4);
+      return cpu.SampleSortSeconds(
+          n, SampleBuckets(n, config_.sample_bucket_keys), 4);
+  }
+  return 0.0;
+}
+
+SortBackend SortPlanner::Choose(std::uint64_t n) const {
+  SortBackend best = candidates_.front();
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const SortBackend candidate : candidates_) {
+    if (candidate == SortBackend::kSampleSort && n < config_.sample_min_keys) {
+      continue;
+    }
+    const double score = objective_ == PlanObjective::kHostWall
+                             ? PredictHostNsPerKey(candidate, n)
+                             : PredictSimulatedSeconds(candidate, n);
+    if (score < best_score) {
+      best_score = score;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace streamgpu::hwmodel

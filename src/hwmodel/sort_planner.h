@@ -1,0 +1,146 @@
+// Cost-model-driven sort-backend selection.
+//
+// The planner answers one question per stream window: given n keys and this
+// machine's measured memory speed, which backend finishes first? It holds
+// closed-form cost formulas for every backend on two clocks:
+//
+//  - Host wall-clock (the default objective): formulas in rel_memcpy units
+//    (ns normalized by large-memcpy ns/byte — the normalization the bench
+//    regression gate uses), with constants calibrated once against the
+//    blessed BENCH_sort.json baseline and documented in docs/COST_MODEL.md.
+//    Multiplying by the live calibration probe (hwmodel/calibration.h)
+//    yields predicted ns/key on the current machine.
+//
+//  - Simulated 2005 hardware (opt-in): the paper's own cost models
+//    (CpuModel formulas, an analytic NV40 PBSN estimate), reproducing the
+//    paper's crossover where the GPU overtakes CPU quicksort around 16K
+//    keys (§4.5). Under this objective the planner re-enacts the 2005
+//    decision; under the host objective the second-generation backends win
+//    everywhere, which is precisely the ROADMAP's "as fast as the hardware
+//    allows" point — see docs/SORT_BACKENDS.md.
+//
+// Determinism contract: Choose() is a pure function of (n, config,
+// objective, candidate order) — no RNG, no clocks, no per-call measurement.
+// With a pinned memcpy_ns_per_byte the choice is machine-independent; with
+// the live probe, the probe is taken once per process, so every worker in a
+// pipeline plans identically and reports stay bit-identical across worker
+// counts (every candidate backend produces the same sorted permutation).
+//
+// Thread safety: SortPlanner is immutable after construction; all methods
+// are const and safe to call concurrently from any number of workers.
+//
+// Layering: hwmodel sits below sort/, so the planner names backends with its
+// own enum; sort::PlannedSorter and core::SortEngine map it onto concrete
+// Sorter instances.
+
+#ifndef STREAMGPU_HWMODEL_SORT_PLANNER_H_
+#define STREAMGPU_HWMODEL_SORT_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hwmodel/hardware_profiles.h"
+
+namespace streamgpu::hwmodel {
+
+/// Backend kinds the planner can cost. Names (SortBackendName) match the
+/// CLI's --sort-backend values and the obs counter labels.
+enum class SortBackend {
+  kGpuPbsn,       ///< simulated-GPU periodic balanced sorting network (§4.4)
+  kGpuBitonic,    ///< simulated-GPU bitonic network baseline (§4.5)
+  kCpuQuicksort,  ///< instrumented host quicksort (paper's CPU baseline)
+  kCpuStdSort,    ///< host std::sort (introsort)
+  kCpuRadixMerge, ///< cache-blocked LSD radix + loser-tree merge
+  kSampleSort,    ///< deterministic splitter sample sort
+};
+
+/// Stable lowercase name: "pbsn", "bitonic", "cpu", "stdsort", "cpu-radix",
+/// "sample".
+const char* SortBackendName(SortBackend backend);
+
+/// Which clock the planner minimizes.
+enum class PlanObjective {
+  kHostWall,       ///< minimize predicted host ns/key (default)
+  kSimulated2005,  ///< minimize predicted simulated-2005 seconds
+};
+
+/// Planner inputs. Every constant is overridable so tests can force any
+/// choice; defaults are calibrated against the committed BENCH_sort.json
+/// (see docs/COST_MODEL.md "Planner formulas" for the derivations).
+struct SortPlannerConfig {
+  /// Live calibration: measured large-memcpy ns/byte of THIS machine.
+  /// <= 0 means "probe once via CachedMemcpyNsPerByte()".
+  double memcpy_ns_per_byte = 0.0;
+
+  // --- host-objective constants, rel_memcpy units -------------------------
+  /// PBSN host cost per key per network step: rel = pbsn_rel_per_step *
+  /// log2^2(n/4). Fit: blessed baseline gives 101.4 ns/key at 16K and
+  /// 230.0 ns/key at 1M with memcpy 0.0776 ns/B -> 9.07 and 9.15 per step.
+  double pbsn_rel_per_step = 9.1;
+  /// Bitonic per step; the full-width network reblends every key each step
+  /// and its steps grow as log2^2(n) (~2.8x the PBSN exponent base at 1M).
+  double bitonic_rel_per_step = 25.0;
+  /// Comparison sorts: rel = c * log2(n) (branchy, cache-unfriendly).
+  double quicksort_rel_per_log = 45.0;
+  double stdsort_rel_per_log = 28.0;
+  /// Radix/merge: flat base for the seven radix passes, plus a merge term
+  /// per loser-tree level and one spill constant for the merge's extra
+  /// full-array streams once the window is chunked.
+  double radix_rel_base = 120.0;
+  double radix_rel_spill = 80.0;
+  double radix_rel_per_merge_level = 30.0;
+  /// Sample sort: flat base (transform + scatter + in-cache bucket radix)
+  /// plus a classification term per splitter-search level.
+  double sample_rel_base = 140.0;
+  double sample_rel_per_depth = 9.0;
+
+  // --- structure constants (mirror the backends' actual blocking) --------
+  /// Keys per radix/merge chunk (RadixMergeSorter::kChunkKeys).
+  std::uint64_t radix_chunk_keys = std::uint64_t{1} << 18;
+  /// Below this n sample sort degenerates to plain radix
+  /// (SampleSortSorter::kMinPartitionKeys) and is never worth choosing.
+  std::uint64_t sample_min_keys = std::uint64_t{1} << 16;
+  /// Target keys per sample-sort bucket (kTargetBucketBytes / 4).
+  std::uint64_t sample_bucket_keys = std::uint64_t{1} << 17;
+
+  // --- simulated-2005 objective inputs ------------------------------------
+  CpuHardwareProfile cpu = kPentium4_3400;
+  GpuHardwareProfile gpu = kGeForce6800Ultra;
+};
+
+/// Immutable per-window backend chooser. Construct once per SortEngine with
+/// the candidate list actually instantiated; Choose(n) returns the candidate
+/// minimizing the objective (ties break toward the earlier candidate, which
+/// keeps the choice deterministic).
+class SortPlanner {
+ public:
+  SortPlanner(const SortPlannerConfig& config, PlanObjective objective,
+              std::vector<SortBackend> candidates);
+
+  /// Predicted host ns/key for sorting one window of n keys. Pure function
+  /// of (backend, n, config).
+  double PredictHostNsPerKey(SortBackend backend, std::uint64_t n) const;
+
+  /// Predicted simulated-2005 seconds for one window of n keys (GPU numbers
+  /// include bus transfers, as the paper's figures do). Closed-form
+  /// approximation of the instrumented simulator; pure function.
+  double PredictSimulatedSeconds(SortBackend backend, std::uint64_t n) const;
+
+  /// The candidate minimizing the configured objective for a window of n
+  /// keys. Candidates structurally unfit for n (sample sort below
+  /// sample_min_keys) are skipped. n == 0 returns the first candidate.
+  SortBackend Choose(std::uint64_t n) const;
+
+  const SortPlannerConfig& config() const { return config_; }
+  PlanObjective objective() const { return objective_; }
+  const std::vector<SortBackend>& candidates() const { return candidates_; }
+
+ private:
+  SortPlannerConfig config_;
+  PlanObjective objective_;
+  std::vector<SortBackend> candidates_;
+};
+
+}  // namespace streamgpu::hwmodel
+
+#endif  // STREAMGPU_HWMODEL_SORT_PLANNER_H_

@@ -1,0 +1,96 @@
+#include "sort/planned.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace streamgpu::sort {
+
+PlannedSorter::PlannedSorter(const hwmodel::SortPlanner* planner,
+                             std::vector<Candidate> candidates,
+                             const obs::Observability& obs,
+                             const std::string& metric_prefix)
+    : planner_(planner),
+      candidates_(std::move(candidates)),
+      metrics_(obs.metrics) {
+  STREAMGPU_CHECK(planner_ != nullptr);
+  STREAMGPU_CHECK_MSG(!candidates_.empty(),
+                      "PlannedSorter needs at least one candidate");
+  for (const Candidate& c : candidates_) {
+    STREAMGPU_CHECK(c.sorter != nullptr);
+  }
+  if (metrics_ != nullptr) {
+    m_chosen_.reserve(candidates_.size());
+    for (const Candidate& c : candidates_) {
+      m_chosen_.push_back(metrics_->Counter(metric_prefix + "planner.chosen." +
+                                            hwmodel::SortBackendName(c.kind)));
+    }
+  }
+}
+
+PlannedSorter::Candidate* PlannedSorter::FindCandidate(
+    hwmodel::SortBackend kind) {
+  for (Candidate& c : candidates_) {
+    if (c.kind == kind) return &c;
+  }
+  return nullptr;
+}
+
+void PlannedSorter::Sort(std::span<float> data) {
+  std::span<float> runs[1] = {data};
+  SortRuns(std::span<std::span<float>>(runs, 1));
+}
+
+void PlannedSorter::SortRuns(std::span<std::span<float>> runs) {
+  STREAMGPU_CHECK_MSG(runs.size() <= 64,
+                      "PlannedSorter batches at most 64 runs");
+  quarantine_mask_ = 0;
+  SortRunInfo total;
+  if (runs.empty()) {
+    last_run_ = total;
+    return;
+  }
+
+  // Plan every run, then dispatch one grouped SortRuns() per chosen backend
+  // (in candidate order — deterministic, and it keeps the GPU candidate's
+  // four-window RGBA packing intact when several runs pick it).
+  run_choice_.resize(runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const hwmodel::SortBackend kind = planner_->Choose(runs[i].size());
+    const Candidate* c = FindCandidate(kind);
+    STREAMGPU_CHECK_MSG(c != nullptr,
+                        "planner chose a backend with no candidate");
+    run_choice_[i] = static_cast<std::size_t>(c - candidates_.data());
+    last_choice_ = kind;
+  }
+
+  for (std::size_t ci = 0; ci < candidates_.size(); ++ci) {
+    group_.clear();
+    group_run_index_.clear();
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      if (run_choice_[i] == ci) {
+        group_.push_back(runs[i]);
+        group_run_index_.push_back(i);
+      }
+    }
+    if (group_.empty()) continue;
+    Candidate& c = candidates_[ci];
+    c.sorter->SortRuns(std::span<std::span<float>>(group_));
+    total += c.sorter->last_run();
+    // Re-map the backend's per-group quarantine bits onto batch positions.
+    const std::uint64_t mask = c.sorter->last_quarantine_mask();
+    if (mask != 0) {
+      for (std::size_t g = 0; g < group_run_index_.size(); ++g) {
+        if (mask & (std::uint64_t{1} << g)) {
+          quarantine_mask_ |= std::uint64_t{1} << group_run_index_[g];
+        }
+      }
+    }
+    if (metrics_ != nullptr && !m_chosen_.empty()) {
+      metrics_->Add(m_chosen_[ci], group_.size());
+    }
+  }
+  last_run_ = total;
+}
+
+}  // namespace streamgpu::sort

@@ -1,0 +1,93 @@
+// PlannedSorter: the "auto" backend — a cost-model dispatcher over concrete
+// Sorter candidates.
+//
+// Each Sort()/SortRuns() call asks the hwmodel::SortPlanner which backend
+// minimizes the configured objective for each run's size and forwards the
+// run to that candidate. Batches keep the inner backends' batching: runs
+// that plan onto the same backend are grouped (preserving order) and handed
+// to it in one SortRuns() call, so the PBSN candidate still packs four
+// windows into RGBA channels when it wins.
+//
+// Determinism contract: the planner choice is a pure function of run size
+// and planner config (see hwmodel/sort_planner.h), and every candidate
+// produces the identical ascending permutation of its input, so estimator
+// reports are bit-identical whatever the planner picks — the
+// engine-equivalence suite asserts this across backends and worker counts.
+// Simulated seconds, by contrast, reflect the chosen backend's cost model
+// and therefore vary with the machine when the planner is live-calibrated;
+// pin memcpy_ns_per_byte for machine-independent simulated timings.
+//
+// Thread safety: not thread-safe; one instance (with its own candidates and
+// shared immutable planner) per pipeline worker, like every backend.
+
+#ifndef STREAMGPU_SORT_PLANNED_H_
+#define STREAMGPU_SORT_PLANNED_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hwmodel/sort_planner.h"
+#include "obs/metrics.h"
+#include "obs/observability.h"
+#include "sort/sorter.h"
+
+namespace streamgpu::sort {
+
+class PlannedSorter final : public Sorter {
+ public:
+  /// One selectable backend: the planner kind it is costed as, plus the
+  /// concrete sorter that executes it (borrowed; must outlive the wrapper).
+  struct Candidate {
+    hwmodel::SortBackend kind;
+    Sorter* sorter = nullptr;
+  };
+
+  /// `planner` is borrowed and immutable; its candidate list must be exactly
+  /// the kinds present in `candidates`. `metric_prefix` namespaces the
+  /// per-backend choice counters ("<prefix>planner.chosen.<backend>").
+  PlannedSorter(const hwmodel::SortPlanner* planner,
+                std::vector<Candidate> candidates,
+                const obs::Observability& obs,
+                const std::string& metric_prefix);
+
+  void Sort(std::span<float> data) override;
+  void SortRuns(std::span<std::span<float>> runs) override;
+
+  const SortRunInfo& last_run() const override { return last_run_; }
+  std::uint64_t last_quarantine_mask() const override {
+    return quarantine_mask_;
+  }
+  const char* name() const override { return "auto"; }
+
+  /// Planner kind chosen for the most recent run (last run of a batch);
+  /// exposed for tests and reports.
+  hwmodel::SortBackend last_choice() const { return last_choice_; }
+
+ protected:
+  void set_last_run(const SortRunInfo& info) override { last_run_ = info; }
+
+ private:
+  Candidate* FindCandidate(hwmodel::SortBackend kind);
+
+  const hwmodel::SortPlanner* const planner_;
+  std::vector<Candidate> candidates_;
+  obs::MetricsRegistry* const metrics_;
+  std::vector<obs::MetricId> m_chosen_;  // parallel to candidates_
+
+  SortRunInfo last_run_;
+  std::uint64_t quarantine_mask_ = 0;
+  hwmodel::SortBackend last_choice_ = hwmodel::SortBackend::kCpuStdSort;
+
+  // Batch scratch: per-run candidate index, and the grouped span list handed
+  // to each backend.
+  std::vector<std::size_t> run_choice_;
+  std::vector<std::span<float>> group_;
+  std::vector<std::size_t> group_run_index_;
+};
+
+}  // namespace streamgpu::sort
+
+#endif  // STREAMGPU_SORT_PLANNED_H_

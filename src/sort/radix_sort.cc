@@ -1,0 +1,187 @@
+#include "sort/radix_sort.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "common/timer.h"
+
+namespace streamgpu::sort {
+
+namespace {
+
+constexpr std::size_t kRadixBits = 8;
+constexpr std::size_t kRadixBins = std::size_t{1} << kRadixBits;
+constexpr std::size_t kRadixPasses = 32 / kRadixBits;
+constexpr std::size_t kInsertionCutoff = 32;
+
+void InsertionSortKeys(std::uint32_t* keys, std::size_t n) {
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::uint32_t key = keys[i];
+    std::size_t j = i;
+    while (j > 0 && keys[j - 1] > key) {
+      keys[j] = keys[j - 1];
+      --j;
+    }
+    keys[j] = key;
+  }
+}
+
+}  // namespace
+
+void RadixSortKeys(std::span<std::uint32_t> keys, std::vector<std::uint32_t>* scratch) {
+  const std::size_t n = keys.size();
+  if (n < 2) return;
+  if (n <= kInsertionCutoff) {
+    InsertionSortKeys(keys.data(), n);
+    return;
+  }
+  scratch->resize(n);
+
+  // One read pass builds the histograms of all four byte positions.
+  std::array<std::array<std::uint32_t, kRadixBins>, kRadixPasses> hist{};
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t k = keys[i];
+    for (std::size_t p = 0; p < kRadixPasses; ++p) {
+      ++hist[p][(k >> (p * kRadixBits)) & (kRadixBins - 1)];
+    }
+  }
+
+  std::uint32_t* src = keys.data();
+  std::uint32_t* dst = scratch->data();
+  for (std::size_t p = 0; p < kRadixPasses; ++p) {
+    const auto& h = hist[p];
+    // A pass whose byte is constant across all keys is the identity; skip it.
+    if (std::any_of(h.begin(), h.end(),
+                    [n](std::uint32_t c) { return c == n; })) {
+      continue;
+    }
+    std::array<std::uint32_t, kRadixBins> offset;
+    std::uint32_t sum = 0;
+    for (std::size_t b = 0; b < kRadixBins; ++b) {
+      offset[b] = sum;
+      sum += h[b];
+    }
+    const std::size_t shift = p * kRadixBits;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t k = src[i];
+      dst[offset[(k >> shift) & (kRadixBins - 1)]++] = k;
+    }
+    std::swap(src, dst);
+  }
+  if (src != keys.data()) {
+    std::memcpy(keys.data(), src, n * sizeof(std::uint32_t));
+  }
+}
+
+std::uint64_t MergeKeyRuns(std::span<const std::span<const std::uint32_t>> runs,
+                           std::span<std::uint32_t> out) {
+  const std::size_t ways = runs.size();
+  if (ways == 0) return 0;
+  if (ways == 1) {
+    std::copy(runs[0].begin(), runs[0].end(), out.begin());
+    return 0;
+  }
+
+  // Loser tree over run heads. `slots` holds the internal nodes (losers);
+  // ties break toward the lower run index, which keeps the merge stable and
+  // therefore deterministic for any input. Exhausted runs present an
+  // infinite sentinel; real keys equal to the sentinel still win against it
+  // via the index tiebreak only when both are sentinels, so exhausted keys
+  // use index = ways (larger than any live run).
+  std::size_t tree = 1;
+  while (tree < ways) tree <<= 1;
+
+  struct Entry {
+    std::uint32_t key;
+    std::uint32_t run;  // == ways when exhausted (sentinel)
+  };
+  std::vector<Entry> nodes(2 * tree);
+  std::vector<std::size_t> pos(ways, 0);
+  const auto ways32 = static_cast<std::uint32_t>(ways);
+
+  auto leaf_entry = [&](std::size_t r) -> Entry {
+    if (r >= ways || pos[r] >= runs[r].size()) return {0xFFFFFFFFu, ways32};
+    return {runs[r][pos[r]], static_cast<std::uint32_t>(r)};
+  };
+  auto less = [](const Entry& a, const Entry& b) {
+    return a.key < b.key || (a.key == b.key && a.run < b.run);
+  };
+
+  std::uint64_t comparisons = 0;
+  for (std::size_t r = 0; r < tree; ++r) nodes[tree + r] = leaf_entry(r);
+  for (std::size_t i = tree - 1; i >= 1; --i) {
+    const Entry& a = nodes[2 * i];
+    const Entry& b = nodes[2 * i + 1];
+    ++comparisons;
+    nodes[i] = less(a, b) ? a : b;
+  }
+
+  for (std::size_t o = 0; o < out.size(); ++o) {
+    const Entry winner = nodes[1];
+    out[o] = winner.key;
+    const std::size_t r = winner.run;
+    ++pos[r];
+    // Replay the winner's leaf-to-root path.
+    std::size_t node = tree + r;
+    nodes[node] = leaf_entry(r);
+    while (node > 1) {
+      node >>= 1;
+      const Entry& a = nodes[2 * node];
+      const Entry& b = nodes[2 * node + 1];
+      ++comparisons;
+      nodes[node] = less(a, b) ? a : b;
+    }
+  }
+  return comparisons;
+}
+
+void RadixMergeSorter::Sort(std::span<float> data) {
+  Timer timer;
+  const std::size_t n = data.size();
+  last_run_ = SortRunInfo{};
+  if (n < 2) {
+    last_run_.wall_seconds = timer.ElapsedSeconds();
+    return;
+  }
+
+  keys_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &data[i], sizeof(bits));
+    keys_[i] = FloatToOrderedKey(bits);
+  }
+
+  const std::size_t chunks = (n + kChunkKeys - 1) / kChunkKeys;
+  std::uint64_t merge_comparisons = 0;
+  if (chunks <= 1) {
+    RadixSortKeys(std::span<std::uint32_t>(keys_), &radix_scratch_);
+  } else {
+    run_views_.clear();
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = c * kChunkKeys;
+      const std::size_t len = std::min(kChunkKeys, n - begin);
+      auto chunk = std::span<std::uint32_t>(keys_).subspan(begin, len);
+      RadixSortKeys(chunk, &radix_scratch_);
+      run_views_.emplace_back(chunk.data(), chunk.size());
+    }
+    merge_out_.resize(n);
+    merge_comparisons = MergeKeyRuns(run_views_, merge_out_);
+    keys_.swap(merge_out_);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t bits = OrderedKeyToFloat(keys_[i]);
+    std::memcpy(&data[i], &bits, sizeof(bits));
+  }
+
+  last_run_.wall_seconds = timer.ElapsedSeconds();
+  last_run_.comparisons = merge_comparisons;
+  last_run_.simulated_seconds =
+      model_.RadixSortSeconds(n, sizeof(float)) +
+      (chunks > 1
+           ? model_.MergeSeconds(n, static_cast<int>(chunks), sizeof(float))
+           : 0.0);
+}
+
+}  // namespace streamgpu::sort

@@ -1,0 +1,108 @@
+#include "sort/sample_sort.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/timer.h"
+#include "sort/radix_sort.h"
+
+namespace streamgpu::sort {
+
+int SampleSortSorter::NumBuckets(std::size_t n) {
+  const std::size_t target_keys = kTargetBucketBytes / sizeof(std::uint32_t);
+  int k = 2;
+  while (k < 256 && n > target_keys * static_cast<std::size_t>(k)) k <<= 1;
+  return k;
+}
+
+void SampleSortSorter::Sort(std::span<float> data) {
+  Timer timer;
+  const std::size_t n = data.size();
+  last_run_ = SortRunInfo{};
+  if (n < 2) {
+    last_run_.wall_seconds = timer.ElapsedSeconds();
+    return;
+  }
+
+  keys_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &data[i], sizeof(bits));
+    keys_[i] = FloatToOrderedKey(bits);
+  }
+
+  std::uint64_t classify_comparisons = 0;
+  int buckets_used = 1;
+  if (n < kMinPartitionKeys) {
+    RadixSortKeys(std::span<std::uint32_t>(keys_), &radix_scratch_);
+  } else {
+    const int k = NumBuckets(n);
+    buckets_used = k;
+    const auto ku = static_cast<std::size_t>(k);
+
+    // Splitter selection by regular sampling: fixed strides, no RNG.
+    const std::size_t samples = ku * kOversample;
+    const std::size_t stride = n / samples;  // >= 1 since n >= 64K, samples <= 2048
+    sample_.resize(samples);
+    for (std::size_t s = 0; s < samples; ++s) sample_[s] = keys_[s * stride];
+    std::sort(sample_.begin(), sample_.end());
+    // splitter[j] = sample[(j+1)*oversample - 1], j in [0, k-1); bucket j
+    // receives keys <= splitter[j] not claimed by a lower bucket.
+    std::vector<std::uint32_t> splitters(ku - 1);
+    for (std::size_t j = 0; j + 1 < ku; ++j) {
+      splitters[j] = sample_[(j + 1) * kOversample - 1];
+    }
+
+    // Classify: branchless-ish binary search, log2(k) comparisons per key.
+    bucket_ids_.resize(n);
+    const std::size_t depth =
+        static_cast<std::size_t>(std::ceil(std::log2(static_cast<double>(k))));
+    std::vector<std::size_t> counts(ku, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t key = keys_[i];
+      const auto it = std::upper_bound(splitters.begin(), splitters.end(), key);
+      const auto b = static_cast<std::uint16_t>(it - splitters.begin());
+      bucket_ids_[i] = b;
+      ++counts[b];
+    }
+    classify_comparisons = static_cast<std::uint64_t>(n) * depth;
+
+    // Stable counting scatter by bucket id.
+    std::vector<std::size_t> offsets(ku);
+    std::size_t sum = 0;
+    for (std::size_t b = 0; b < ku; ++b) {
+      offsets[b] = sum;
+      sum += counts[b];
+    }
+    scattered_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      scattered_[offsets[bucket_ids_[i]]++] = keys_[i];
+    }
+
+    // Independent bucket sorts; buckets are value-disjoint, so the sorted
+    // buckets concatenate into the sorted whole — no merge needed.
+    std::size_t begin = 0;
+    for (std::size_t b = 0; b < ku; ++b) {
+      auto bucket =
+          std::span<std::uint32_t>(scattered_).subspan(begin, counts[b]);
+      RadixSortKeys(bucket, &radix_scratch_);
+      begin += counts[b];
+    }
+    keys_.swap(scattered_);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t bits = OrderedKeyToFloat(keys_[i]);
+    std::memcpy(&data[i], &bits, sizeof(bits));
+  }
+
+  last_run_.wall_seconds = timer.ElapsedSeconds();
+  last_run_.comparisons = classify_comparisons;
+  last_run_.simulated_seconds =
+      buckets_used > 1
+          ? model_.SampleSortSeconds(n, buckets_used, sizeof(float))
+          : model_.RadixSortSeconds(n, sizeof(float));
+}
+
+}  // namespace streamgpu::sort

@@ -1,0 +1,95 @@
+// Deterministic sample sort — the second-generation large-window backend.
+//
+// Follows the regular-sampling design of "Deterministic Sample Sort for GPUs"
+// (Dehne & Zaboli; see PAPERS.md): splitters come from a fixed-stride sample
+// of the input, never from an RNG, so the bucket boundaries — and therefore
+// every intermediate and final array — are a pure function of the input.
+// Pass structure per window:
+//
+//   1. key transform        — floats to order-preserving uint32 keys
+//   2. splitter selection   — sample k·oversample keys at fixed strides,
+//                             sort the sample, take every oversample-th key
+//   3. classify             — binary-search each key against the splitters
+//   4. bucket scatter       — counting pass + stable scatter by bucket id
+//   5. bucket sorts         — independent LSD radix sort per bucket, each
+//                             sized to stay cache-resident
+//   6. concatenate + untransform
+//
+// Because the splitters range-partition the key space, the sorted buckets
+// concatenate directly — the loser-tree merge (sort/merge.h) is not needed
+// here; it serves the radix/merge backend, whose chunks are position- rather
+// than value-partitioned. The fixed-function 2005 GPU the simulator models
+// cannot express a scatter (fragments cannot choose their destination), so
+// this backend executes on the host and charges the Pentium IV model's
+// sample-sort formula to the simulated clock; docs/SORT_BACKENDS.md has the
+// full argument.
+//
+// Determinism contract: identical to RadixMergeSorter — output is the
+// canonical ascending bit-pattern order of the input multiset (-0.0 before
+// +0.0, NaNs last), byte-identical on every host. Splitter selection uses
+// fixed strides, classification uses exact key comparisons, the scatter is
+// stable, and the bucket sorts are radix; no step consults an RNG, the
+// clock, or addresses.
+//
+// Thread safety: an instance is NOT thread-safe (reused scratch); distinct
+// instances are independent, one per pipeline worker.
+
+#ifndef STREAMGPU_SORT_SAMPLE_SORT_H_
+#define STREAMGPU_SORT_SAMPLE_SORT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hwmodel/cpu_model.h"
+#include "sort/sorter.h"
+
+namespace streamgpu::sort {
+
+class SampleSortSorter final : public Sorter {
+ public:
+  /// Below this size bucketing cannot pay for the classification pass; the
+  /// whole window goes straight to one radix sort.
+  static constexpr std::size_t kMinPartitionKeys = std::size_t{1} << 16;
+
+  /// Oversampling factor for splitter selection: k buckets draw k·8 regular
+  /// samples. Guarantees no bucket exceeds ~2n/k for any input that has at
+  /// least that many distinct keys (the classic regular-sampling bound);
+  /// heavy duplicates degrade gracefully to larger radix buckets.
+  static constexpr std::size_t kOversample = 8;
+
+  /// Target bucket footprint: half of the Pentium IV's 1 MB L2, so a bucket
+  /// and its radix scratch stay resident together.
+  static constexpr std::size_t kTargetBucketBytes = std::size_t{512} << 10;
+
+  explicit SampleSortSorter(const hwmodel::CpuHardwareProfile& profile)
+      : model_(profile) {}
+
+  void Sort(std::span<float> data) override;
+  const SortRunInfo& last_run() const override { return last_run_; }
+  const char* name() const override { return "sample-sort"; }
+
+  /// Bucket count the sorter would use for a window of `n` keys: the
+  /// smallest power of two giving buckets under kTargetBucketBytes, clamped
+  /// to [2, 256]. Exposed for the planner/cost-model tests.
+  static int NumBuckets(std::size_t n);
+
+ protected:
+  void set_last_run(const SortRunInfo& info) override { last_run_ = info; }
+
+ private:
+  hwmodel::CpuModel model_;
+  SortRunInfo last_run_;
+
+  // Reusable scratch: key plane, scatter destination, per-key bucket ids,
+  // radix scratch, and the sorted splitter sample.
+  std::vector<std::uint32_t> keys_;
+  std::vector<std::uint32_t> scattered_;
+  std::vector<std::uint16_t> bucket_ids_;
+  std::vector<std::uint32_t> radix_scratch_;
+  std::vector<std::uint32_t> sample_;
+};
+
+}  // namespace streamgpu::sort
+
+#endif  // STREAMGPU_SORT_SAMPLE_SORT_H_

@@ -1,6 +1,22 @@
 // Common interface for the sorting backends the paper benchmarks against one
-// another: the novel GPU PBSN sort (§4.4), the prior GPU bitonic sort
-// baseline ([40], §4.5), and CPU quicksort.
+// another — the novel GPU PBSN sort (§4.4), the prior GPU bitonic sort
+// baseline ([40], §4.5), CPU quicksort — plus the second-generation host
+// backends (radix/merge, sample sort) and the cost-model dispatcher
+// (docs/SORT_BACKENDS.md is the catalog).
+//
+// Determinism contract (every implementation): Sort() produces the
+// ascending permutation of the input's float values, identically on every
+// machine and every run — no RNG, no wall-clock-dependent decisions. Where
+// float comparison is partial (-0.0 vs +0.0), backends may differ only in
+// the byte image, and the distribution backends (RadixMergeSorter,
+// SampleSortSorter) commit to one canonical bit-pattern order; all work
+// counters in SortRunInfo are deterministic functions of the input.
+//
+// Thread-safety contract (every implementation): NOT thread-safe. A Sorter
+// owns reusable scratch state; callers give each thread its own instance —
+// the pipeline builds one SortEngine (and thus one Sorter chain) per worker
+// (docs/ARCHITECTURE.md, "Ownership"). Distinct instances never share
+// mutable state and may run concurrently.
 
 #ifndef STREAMGPU_SORT_SORTER_H_
 #define STREAMGPU_SORT_SORTER_H_
@@ -54,7 +70,9 @@ class Sorter {
  public:
   virtual ~Sorter() = default;
 
-  /// Sorts `data` ascending in place.
+  /// Sorts `data` ascending in place. Deterministic: the same input bytes
+  /// produce the same output bytes and the same last_run() work counters on
+  /// every machine (see the header comment for the exact contract).
   virtual void Sort(std::span<float> data) = 0;
 
   /// Sorts several independent runs, each ascending in place. The default

@@ -5,6 +5,8 @@ Usage:
   check_bench_regression.py BASELINE.json NEW_ENGINE.json [--tolerance 1.2]
   check_bench_regression.py --fig3-overhead BASELINE.json NEW_FIG3.json \\
       [--overhead-tolerance 1.02]
+  check_bench_regression.py --fig3-backends BASELINE.json NEW_FIG3.json \\
+      [--min-auto-speedup 2.0]
   check_bench_regression.py --merge ENGINE.json FIG3.json [-o BENCH_sort.json]
 
 Check mode compares the machine-normalized kernel ratios (``rel_memcpy`` =
@@ -22,6 +24,15 @@ new/baseline ratios exceeds the overhead tolerance (default 1.02 — the
 docs/OBSERVABILITY.md). The geometric mean across rows, rather than a
 per-row gate, absorbs single-size timing noise.
 
+Fig3-backends mode validates the per-backend rows bench_fig3_sorting emits
+under each row's ``backends`` object: every backend name must be one the
+planner knows (unknown rows fail the gate — a misspelled backend in the
+bench would otherwise silently escape gating), every backend present in the
+baseline must still be present in the new run, and at every n >= 1M the
+cost-model planner ("auto") must beat PBSN on host ns/key by at least
+--min-auto-speedup (default 2.0 — the docs/SORT_BACKENDS.md performance
+contract for the second-generation backends).
+
 Merge mode rebuilds the committed repo-root baseline from fresh
 bench_engine + bench_fig3_sorting JSON outputs.
 """
@@ -33,6 +44,13 @@ import sys
 
 DEFAULT_TOLERANCE = 1.2
 DEFAULT_OVERHEAD_TOLERANCE = 1.02
+DEFAULT_MIN_AUTO_SPEEDUP = 2.0
+MIN_AUTO_SPEEDUP_N = 1 << 20
+
+# The closed set of backend names the planner can emit (must match
+# hwmodel::SortBackendName plus the dispatcher's own "auto" row).
+KNOWN_BACKENDS = {"pbsn", "bitonic", "cpu", "stdsort", "cpu-radix", "sample",
+                  "auto"}
 
 MERGE_COMMENT = (
     "Blessed benchmark baseline. Regenerate with: "
@@ -160,6 +178,66 @@ def check_fig3_overhead(baseline_path, new_path, tolerance):
     return 0
 
 
+def check_fig3_backends(baseline_path, new_path, min_speedup):
+    baseline = load(baseline_path)["fig3_sorting"]
+    new = load(new_path)["fig3_sorting"]
+
+    failures = []
+    baseline_backends = set()
+    for row in baseline.get("rows", []):
+        baseline_backends.update(row.get("backends", {}))
+
+    print(f"{'n':>10} {'backend':<10} {'ns/key':>10} {'vs pbsn':>9}  "
+          f"(auto must be >= {min_speedup:.1f}x at n >= {MIN_AUTO_SPEEDUP_N})")
+    seen_backends = set()
+    for row in new["rows"]:
+        n = row["n"]
+        backends = row.get("backends")
+        if backends is None:
+            failures.append(f"n={n}: row has no per-backend results")
+            continue
+        unknown = set(backends) - KNOWN_BACKENDS
+        for name in sorted(unknown):
+            failures.append(f"n={n}: unknown backend row '{name}' "
+                            f"(known: {', '.join(sorted(KNOWN_BACKENDS))})")
+        seen_backends.update(backends)
+        pbsn = backends.get("pbsn", {}).get("ns_per_key")
+        for name in sorted(backends):
+            ns = backends[name].get("ns_per_key")
+            if ns is None:
+                failures.append(f"n={n}: backend '{name}' has no ns_per_key")
+                continue
+            speedup = pbsn / ns if pbsn and ns > 0 else float("nan")
+            print(f"{n:>10} {name:<10} {ns:>10.1f} {speedup:>8.1f}x")
+        auto = backends.get("auto", {}).get("ns_per_key")
+        if n >= MIN_AUTO_SPEEDUP_N:
+            if auto is None or pbsn is None:
+                failures.append(f"n={n}: auto/pbsn rows required at n >= "
+                                f"{MIN_AUTO_SPEEDUP_N}")
+            elif pbsn < min_speedup * auto:
+                failures.append(
+                    f"n={n}: auto ({auto:.1f} ns/key) is only "
+                    f"{pbsn / auto:.2f}x faster than pbsn ({pbsn:.1f}); "
+                    f"the gate requires >= {min_speedup:.1f}x")
+
+    missing = baseline_backends - seen_backends
+    for name in sorted(missing):
+        failures.append(f"backend '{name}' present in the baseline is missing "
+                        "from the new run")
+
+    if failures:
+        print("\nFAIL: per-backend fig3 gate:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        print("\nIf a backend was intentionally added/removed or the "
+              "performance contract changed, update docs/SORT_BACKENDS.md "
+              "and regenerate the baseline (see the comment in "
+              "BENCH_sort.json).", file=sys.stderr)
+        return 1
+    print("\nOK: backend rows valid; planner speedup contract holds.")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("inputs", nargs=2,
@@ -176,6 +254,14 @@ def main():
                         default=DEFAULT_OVERHEAD_TOLERANCE,
                         help="max allowed geomean fig3 rel_memcpy ratio "
                              f"(default {DEFAULT_OVERHEAD_TOLERANCE})")
+    parser.add_argument("--fig3-backends", action="store_true",
+                        help="validate per-backend fig3 rows (unknown "
+                             "backends fail) and gate the auto-planner "
+                             "speedup over PBSN at large n")
+    parser.add_argument("--min-auto-speedup", type=float,
+                        default=DEFAULT_MIN_AUTO_SPEEDUP,
+                        help="required pbsn/auto ns/key ratio at n >= 1M "
+                             f"(default {DEFAULT_MIN_AUTO_SPEEDUP})")
     parser.add_argument("--merge", action="store_true",
                         help="merge engine+fig3 JSON into a new baseline")
     parser.add_argument("-o", "--output", default="BENCH_sort.json",
@@ -187,6 +273,9 @@ def main():
     if args.fig3_overhead:
         return check_fig3_overhead(args.inputs[0], args.inputs[1],
                                    args.overhead_tolerance)
+    if args.fig3_backends:
+        return check_fig3_backends(args.inputs[0], args.inputs[1],
+                                   args.min_auto_speedup)
     return check(args.inputs[0], args.inputs[1], args.tolerance)
 
 

