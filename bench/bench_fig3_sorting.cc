@@ -26,6 +26,14 @@
 // wall-clock; each row's per-backend numbers land in the JSON under
 // "backends" and tools/check_bench_regression.py --fig3-backends gates the
 // planner's >2x ns/key win over PBSN at n >= 1M (docs/SORT_BACKENDS.md).
+//
+// A third table re-runs PBSN with observability fully ENABLED (labeled
+// metrics + latency summaries via core::TracingSorter, plus an armed
+// FlightRecorder) and reports the paired overhead. Those numbers land at row
+// level as obs_ns_per_key / obs_rel_memcpy — deliberately NOT inside
+// "backends" (the backend gate's name set is closed) — and
+// tools/check_bench_regression.py --fig3-obs-overhead gates the within-run
+// geomean obs_rel_memcpy / rel_memcpy under the same < 2% budget.
 
 #include <algorithm>
 #include <cstdio>
@@ -34,9 +42,12 @@
 
 #include "bench_util.h"
 #include "common/timer.h"
+#include "core/instrumentation.h"
 #include "gpu/device.h"
 #include "hwmodel/hardware_profiles.h"
 #include "hwmodel/sort_planner.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "obs/observability.h"
 #include "sort/bitonic_gpu.h"
 #include "sort/cpu_sort.h"
@@ -92,6 +103,19 @@ BackendSample Measure(sort::Sorter& sorter, const std::vector<float>& data,
   return b;
 }
 
+// Best-of-N wall clock: the paired obs-overhead gate divides two wall
+// measurements of the same sort, so single-run jitter would dominate the
+// < 2% budget it checks. Minimum-of-repeats is the standard stabilizer.
+BackendSample MeasureBest(sort::Sorter& sorter, const std::vector<float>& data,
+                          double memcpy_ns_per_byte, int reps = 5) {
+  BackendSample best = Measure(sorter, data, memcpy_ns_per_byte);
+  for (int r = 1; r < reps; ++r) {
+    const BackendSample s = Measure(sorter, data, memcpy_ns_per_byte);
+    if (s.wall_ms < best.wall_ms) best = s;
+  }
+  return best;
+}
+
 struct Row {
   std::size_t n = 0;
   double pbsn_sim_ms = 0;
@@ -106,6 +130,9 @@ struct Row {
   BackendSample radix;
   BackendSample autos;
   const char* auto_chosen = "?";
+  // PBSN with observability enabled (TracingSorter + armed FlightRecorder).
+  double obs_ns_per_key = 0;
+  double obs_rel_memcpy = 0;
 };
 
 }  // namespace
@@ -167,9 +194,13 @@ int main() {
 
     Row row;
     row.n = n;
-    row.pbsn_sim_ms = SortSimMs(pbsn, data, &row.pbsn_wall_ms);
-    row.pbsn_ns_per_key = row.pbsn_wall_ms * 1e6 / static_cast<double>(n);
-    row.rel_memcpy = row.pbsn_ns_per_key / memcpy_ns_per_byte;
+    // Best-of-3: the obs-overhead gate below divides two wall measurements
+    // of this same sort, so both sides use the jitter-stabilized minimum.
+    const BackendSample pbsn_best = MeasureBest(pbsn, data, memcpy_ns_per_byte);
+    row.pbsn_sim_ms = pbsn_best.sim_ms;
+    row.pbsn_wall_ms = pbsn_best.wall_ms;
+    row.pbsn_ns_per_key = pbsn_best.ns_per_key;
+    row.rel_memcpy = pbsn_best.rel_memcpy;
     row.bitonic_sim_ms = n <= bitonic_cap ? SortSimMs(bitonic, data) : -1.0;
     row.intel_sim_ms = SortSimMs(intel, data);
     row.msvc_sim_ms = SortSimMs(msvc, data);
@@ -177,6 +208,17 @@ int main() {
     row.radix = Measure(radix, data, memcpy_ns_per_byte);
     row.autos = Measure(autos, data, memcpy_ns_per_byte);
     row.auto_chosen = hwmodel::SortBackendName(autos.last_choice());
+
+    // The same PBSN sort with telemetry fully enabled: labeled counters, the
+    // GK latency summary, and an armed flight recorder all on the hot path.
+    obs::MetricsRegistry obs_metrics;
+    obs::FlightRecorder obs_flight;
+    core::TracingSorter traced(
+        &pbsn, &device, obs::Observability{&obs_metrics, nullptr, &obs_flight},
+        "bench");
+    const BackendSample obs_best = MeasureBest(traced, data, memcpy_ns_per_byte);
+    row.obs_ns_per_key = obs_best.ns_per_key;
+    row.obs_rel_memcpy = obs_best.rel_memcpy;
     rows.push_back(row);
 
     if (row.bitonic_sim_ms >= 0) {
@@ -206,6 +248,17 @@ int main() {
   }
   std::printf("\n");
 
+  std::printf("Observability-enabled PBSN (labeled metrics + GK latency summary "
+              "+ flight recorder), host wall ns/key:\n");
+  std::printf("%10s %14s %14s %10s\n", "n", "plain", "obs-enabled", "overhead");
+  for (const Row& r : rows) {
+    std::printf("%10zu %14.1f %14.1f %9.3fx\n", r.n, r.pbsn_ns_per_key,
+                r.obs_ns_per_key,
+                r.pbsn_ns_per_key > 0 ? r.obs_ns_per_key / r.pbsn_ns_per_key
+                                      : 0.0);
+  }
+  std::printf("\n");
+
   if (const char* path = bench::JsonOutPath("BENCH_fig3.json")) {
     if (std::FILE* f = std::fopen(path, "w")) {
       {
@@ -226,6 +279,11 @@ int main() {
           if (r.bitonic_sim_ms >= 0) j.Number("bitonic_sim_ms", r.bitonic_sim_ms);
           j.Number("intel_sim_ms", r.intel_sim_ms);
           j.Number("msvc_sim_ms", r.msvc_sim_ms);
+          // Enabled-observability PBSN numbers live at row level, NOT under
+          // "backends": the --fig3-backends gate's name set is closed, and
+          // these are the same backend re-measured, not a new one.
+          j.Number("obs_ns_per_key", r.obs_ns_per_key);
+          j.Number("obs_rel_memcpy", r.obs_rel_memcpy);
           // Per-backend host numbers; --fig3-backends gates these rows.
           j.BeginObject("backends");
           const struct {

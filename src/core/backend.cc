@@ -101,6 +101,7 @@ stream::PipelineConfig MakePipelineConfig(const Options& options,
   config.window_size = window_size;
   config.trace = options.obs.trace;
   config.trace_label = trace_label;
+  config.flight = options.obs.flight;
   if (options.max_windows_in_flight > 0) {
     config.max_batches_in_flight =
         (options.max_windows_in_flight + batch_windows - 1) / batch_windows;

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "obs/flight_recorder.h"
+
 namespace streamgpu::core {
 namespace {
 
@@ -250,6 +252,12 @@ gpu::DeviceFault FaultInjector::Evaluate(FaultSite site, std::uint64_t op_index)
     fault.target = Mix(mixed);  // decorrelate the target index from the trigger
     fault.bit = rule.bit;
     fault.stall_us = rule.stall_us;
+    if (flight_ != nullptr) {
+      flight_->Record(obs::FlightEventKind::kFaultInjected, FaultSiteName(site),
+                      FaultKindName(rule.kind), op_index,
+                      static_cast<std::int64_t>(stream_id_),
+                      static_cast<std::int64_t>(r));
+    }
     return fault;  // first matching rule wins
   }
   return fault;

@@ -22,6 +22,10 @@
 #include "core/status.h"
 #include "gpu/fault_hook.h"
 
+namespace streamgpu::obs {
+class FlightRecorder;
+}
+
 namespace streamgpu::core {
 
 /// Where a fault strikes. The three GPU sites map 1:1 onto
@@ -104,6 +108,12 @@ class FaultInjector final : public gpu::DeviceFaultHook {
   /// Total faults fired across all sites.
   std::uint64_t fires() const override { return fires_; }
 
+  /// Mirrors every fired fault into `flight` as a kFaultInjected event
+  /// (site as stage, kind as label, op index as seq). Borrowed; pass nullptr
+  /// to unbind. Deterministic: the event sequence is a pure function of
+  /// plan + seed + stream, like the faults themselves.
+  void set_flight_recorder(obs::FlightRecorder* flight) { flight_ = flight; }
+
  private:
   /// Evaluates all rules for one op at `site`; first matching rule wins.
   gpu::DeviceFault Evaluate(FaultSite site, std::uint64_t op_index);
@@ -113,6 +123,7 @@ class FaultInjector final : public gpu::DeviceFaultHook {
   std::uint64_t op_counts_[4] = {0, 0, 0, 0};  ///< per-FaultSite op counters
   std::vector<std::uint64_t> rule_fires_;      ///< per-rule firing counts
   std::uint64_t fires_ = 0;
+  obs::FlightRecorder* flight_ = nullptr;
 };
 
 /// The fault-tolerance policy: the plan to inject (empty = disabled) and the

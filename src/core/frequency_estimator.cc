@@ -86,11 +86,16 @@ FrequencyEstimator::FrequencyEstimator(const Options& options)
 
   ids_ = EstimatorMetricIds::Register(obs_.metrics, kPrefix, batcher_.window_size());
   if (obs_.trace != nullptr) obs_.trace->NameCurrentThread("ingest");
+  if (obs_.trace != nullptr && obs_.metrics != nullptr) {
+    // Span-cap overflow becomes visible as obs.trace.spans_dropped.
+    obs_.trace->BindDropCounter(obs_.metrics);
+  }
   sort_front_ = &engine_.sorter();
   if (options.fault.enabled()) {
     // Recovery wraps the raw backend; tracing (below) wraps recovery, so
     // retried sorts appear in the trace as the longer sort spans they are.
     fault_injector_ = std::make_unique<FaultInjector>(options.fault.plan, /*stream_id=*/0);
+    fault_injector_->set_flight_recorder(obs_.flight);
     if (engine_.device() != nullptr) engine_.device()->set_fault_hook(fault_injector_.get());
     if (options.fault.cpu_fallback) {
       fallback_sorter_ = std::make_unique<sort::RadixMergeSorter>(hwmodel::kPentium4_3400);
@@ -118,6 +123,7 @@ FrequencyEstimator::FrequencyEstimator(const Options& options)
         // 0): decorrelated fault sequences, each still reproducible.
         worker_injectors_.push_back(
             std::make_unique<FaultInjector>(options.fault.plan, i + 1));
+        worker_injectors_.back()->set_flight_recorder(obs_.flight);
         if (engine.device() != nullptr) {
           engine.device()->set_fault_hook(worker_injectors_.back().get());
         }
@@ -247,6 +253,7 @@ void FrequencyEstimator::ProcessBuffered() {
   const std::uint64_t seq = drain_seq_++;
   const bool traced = obs_.trace != nullptr && obs_.trace->Sampled(seq);
   const double t0 = traced ? obs_.trace->NowMicros() : 0;
+  Timer drain_timer;
   std::size_t elements = 0;
   for (std::size_t i = 0; i < windows.size(); ++i) {
     if ((quarantine_mask >> i) & 1) {
@@ -255,6 +262,9 @@ void FrequencyEstimator::ProcessBuffered() {
     }
     elements += windows[i].size();
     MergeSortedWindow(windows[i]);
+  }
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->Observe(ids_.drain_latency, drain_timer.ElapsedSeconds() * 1e6);
   }
   if (traced) {
     obs_.trace->AddSpan("drain_batch", "drain", t0, obs_.trace->NowMicros() - t0,
@@ -271,6 +281,7 @@ Status FrequencyEstimator::DrainSortedBatch(std::vector<float>&& data,
   // accumulation order as serial execution, so the cost record (including
   // the floating-point simulated-seconds sums) stays bit-identical.
   costs_.sort += run;
+  Timer drain_timer;
   const std::uint64_t window_size = batcher_.window_size();
   std::size_t window_index = 0;
   for (std::size_t off = 0; off < data.size(); off += window_size, ++window_index) {
@@ -280,6 +291,9 @@ Status FrequencyEstimator::DrainSortedBatch(std::vector<float>&& data,
       continue;
     }
     MergeSortedWindow(std::span<float>(data.data() + off, len));
+  }
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->Observe(ids_.drain_latency, drain_timer.ElapsedSeconds() * 1e6);
   }
   return Status::Ok();
 }
@@ -297,6 +311,7 @@ void FrequencyEstimator::MergeSortedWindow(std::span<float> window) {
   const bool traced = obs_.trace != nullptr && obs_.trace->Sampled(seq);
   const double t0 = traced ? obs_.trace->NowMicros() : 0;
 
+  Timer merge_timer;
   Timer hist_timer;
   const std::vector<sketch::HistogramEntry> histogram = sketch::BuildHistogram(window);
   costs_.histogram_wall_seconds += hist_timer.ElapsedSeconds();
@@ -313,6 +328,7 @@ void FrequencyEstimator::MergeSortedWindow(std::span<float> window) {
     obs_.metrics->Add(ids_.windows_merged);
     obs_.metrics->Add(ids_.elements_merged, window.size());
     obs_.metrics->Record(ids_.window_elements, static_cast<double>(window.size()));
+    obs_.metrics->Observe(ids_.merge_latency, merge_timer.ElapsedSeconds() * 1e6);
   }
   if (traced) {
     obs_.trace->AddSpan("window_merge", "merge", t0, obs_.trace->NowMicros() - t0,

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/timer.h"
+
 namespace streamgpu::core {
 
 EstimatorMetricIds EstimatorMetricIds::Register(obs::MetricsRegistry* metrics,
@@ -16,23 +18,39 @@ EstimatorMetricIds EstimatorMetricIds::Register(obs::MetricsRegistry* metrics,
   const double w = static_cast<double>(window_size);
   ids.window_elements = metrics->Histogram(prefix + ".merge.window_elements",
                                            {w / 4.0, w / 2.0, w});
+  ids.merge_latency = metrics->Summary(prefix + ".merge.latency_us");
+  ids.drain_latency = metrics->Summary(prefix + ".drain.latency_us");
   return ids;
 }
 
 TracingSorter::TracingSorter(sort::Sorter* inner, const gpu::GpuDevice* device,
                              const obs::Observability& obs, const std::string& prefix)
-    : inner_(inner), device_(device), metrics_(obs.metrics), trace_(obs.trace) {
+    : inner_(inner),
+      device_(device),
+      metrics_(obs.metrics),
+      trace_(obs.trace),
+      flight_(obs.flight) {
   if (metrics_ != nullptr) {
     batches_ = metrics_->Counter(prefix + ".sort.batches");
     windows_ = metrics_->Counter(prefix + ".sort.windows");
     elements_ = metrics_->Counter(prefix + ".sort.elements");
     comparisons_ = metrics_->Counter(prefix + ".sort.comparisons");
+    elements_by_backend_ = metrics_->Counter(prefix + ".sort.elements",
+                                             {{"backend", inner_->name()}});
+    latency_ = metrics_->Summary(prefix + ".sort.latency_us",
+                                 {{"backend", inner_->name()}});
   }
 }
 
 void TracingSorter::Sort(std::span<float> data) {
-  std::span<float> run = data;
-  SortRuns(std::span<std::span<float>>(&run, 1));
+  const bool traced = trace_ != nullptr && trace_->Sampled(seq_);
+  const gpu::GpuStats before =
+      (traced && device_ != nullptr) ? device_->stats() : gpu::GpuStats{};
+  const double t0 = traced ? trace_->NowMicros() : 0;
+
+  Timer batch_timer;
+  inner_->Sort(data);
+  FinishBatch(data.size(), 1, batch_timer, before, traced, t0);
 }
 
 void TracingSorter::SortRuns(std::span<std::span<float>> runs) {
@@ -44,21 +62,36 @@ void TracingSorter::SortRuns(std::span<std::span<float>> runs) {
       (traced && device_ != nullptr) ? device_->stats() : gpu::GpuStats{};
   const double t0 = traced ? trace_->NowMicros() : 0;
 
+  Timer batch_timer;
   inner_->SortRuns(runs);
+  FinishBatch(elements, runs.size(), batch_timer, before, traced, t0);
+}
+
+void TracingSorter::FinishBatch(std::uint64_t elements, std::size_t windows,
+                                const Timer& batch_timer,
+                                const gpu::GpuStats& before, bool traced,
+                                double t0) {
   const sort::SortRunInfo& run = inner_->last_run();
 
   if (metrics_ != nullptr) {
     metrics_->Add(batches_);
-    metrics_->Add(windows_, runs.size());
+    metrics_->Add(windows_, windows);
     metrics_->Add(elements_, elements);
     metrics_->Add(comparisons_, run.comparisons);
+    metrics_->Add(elements_by_backend_, elements);
+    metrics_->Observe(latency_, batch_timer.ElapsedSeconds() * 1e6);
+  }
+  if (flight_ != nullptr) {
+    flight_->Record(obs::FlightEventKind::kBatchSorted, "sort", inner_->name(),
+                    seq_, static_cast<std::int64_t>(elements),
+                    static_cast<std::int64_t>(windows));
   }
 
   if (traced) {
     const double t1 = trace_->NowMicros();
     trace_->AddSpan("sort_batch", "sort", t0, t1 - t0,
                     {{"batch", static_cast<double>(seq_)},
-                     {"windows", static_cast<double>(runs.size())},
+                     {"windows", static_cast<double>(windows)},
                      {"elements", static_cast<double>(elements)},
                      {"comparisons", static_cast<double>(run.comparisons)},
                      {"simulated_ms", run.simulated_seconds * 1e3}});

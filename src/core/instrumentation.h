@@ -14,10 +14,12 @@
 #include <span>
 #include <string>
 
+#include "common/timer.h"
 #include "core/costs.h"
 #include "core/report.h"
 #include "gpu/device.h"
 #include "hwmodel/cpu_model.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/observability.h"
 #include "obs/trace.h"
@@ -35,6 +37,8 @@ struct EstimatorMetricIds {
   obs::MetricId elements_merged = obs::kInvalidMetric;    ///< <p>.merge.elements
   obs::MetricId queries = obs::kInvalidMetric;            ///< <p>.query.count
   obs::MetricId window_elements = obs::kInvalidMetric;    ///< <p>.merge.window_elements
+  obs::MetricId merge_latency = obs::kInvalidMetric;      ///< <p>.merge.latency_us
+  obs::MetricId drain_latency = obs::kInvalidMetric;      ///< <p>.drain.latency_us
 
   /// Registers the bundle under `prefix` ("freq"/"quant"). The
   /// window-elements histogram is bucketed relative to `window_size` so a
@@ -73,15 +77,34 @@ class TracingSorter : public sort::Sorter {
   void set_last_run(const sort::SortRunInfo&) override {}
 
  private:
+  /// Shared post-call instrumentation: counters, labeled series, the latency
+  /// summary, the flight event, and the trace span with GPU sub-spans. Both
+  /// entry points call the inner sorter's OWN method first (Sort() must not
+  /// be rerouted through SortRuns(): the PBSN backend's Sort() does the
+  /// paper's four-channel split + merge, which a single-run SortRuns() call
+  /// would bypass) and then report here.
+  void FinishBatch(std::uint64_t elements, std::size_t windows,
+                   const Timer& batch_timer, const gpu::GpuStats& before,
+                   bool traced, double t0);
+
   sort::Sorter* inner_;
   const gpu::GpuDevice* device_;
   obs::MetricsRegistry* metrics_;
   obs::TraceRecorder* trace_;
+  obs::FlightRecorder* flight_;
 
   obs::MetricId batches_ = obs::kInvalidMetric;      ///< <p>.sort.batches
   obs::MetricId windows_ = obs::kInvalidMetric;      ///< <p>.sort.windows
   obs::MetricId elements_ = obs::kInvalidMetric;     ///< <p>.sort.elements
   obs::MetricId comparisons_ = obs::kInvalidMetric;  ///< <p>.sort.comparisons
+  /// <p>.sort.elements{backend=...}: the per-backend split of the element
+  /// count. The label is the wrapped sorter's name — identical for the
+  /// serial engine and every pipeline worker — so the labeled series merges
+  /// bit-identically across execution modes like the flat counters do.
+  obs::MetricId elements_by_backend_ = obs::kInvalidMetric;
+  /// <p>.sort.latency_us{backend=...}: GK-backed wall-latency summary per
+  /// SortRuns batch (wall-clock: exempt from the bit-identity contract).
+  obs::MetricId latency_ = obs::kInvalidMetric;
 
   std::uint64_t seq_ = 0;  ///< batches seen; drives trace sampling
 };

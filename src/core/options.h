@@ -124,9 +124,10 @@ struct Options {
   float expected_min_value = 0;
   float expected_max_value = 0;
 
-  /// Observability sinks (borrowed, not owned; both null by default =
-  /// observability fully disabled). The pointed-to registry/recorder must
-  /// outlive the estimator. See docs/OBSERVABILITY.md.
+  /// Observability sinks (borrowed, not owned; all three null by default =
+  /// observability fully disabled): a metrics registry, a trace recorder,
+  /// and a fault flight recorder. Every pointed-to sink must outlive the
+  /// estimator. See docs/OBSERVABILITY.md.
   obs::Observability obs;
 
   /// Fault injection and tolerance. Disabled by default (empty plan): no

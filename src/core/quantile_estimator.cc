@@ -77,11 +77,16 @@ QuantileEstimator::QuantileEstimator(const Options& options)
 
   ids_ = EstimatorMetricIds::Register(obs_.metrics, kPrefix, batcher_.window_size());
   if (obs_.trace != nullptr) obs_.trace->NameCurrentThread("ingest");
+  if (obs_.trace != nullptr && obs_.metrics != nullptr) {
+    // Span-cap overflow becomes visible as obs.trace.spans_dropped.
+    obs_.trace->BindDropCounter(obs_.metrics);
+  }
   sort_front_ = &engine_.sorter();
   if (options.fault.enabled()) {
     // Recovery wraps the raw backend; tracing (below) wraps recovery, so
     // retried sorts appear in the trace as the longer sort spans they are.
     fault_injector_ = std::make_unique<FaultInjector>(options.fault.plan, /*stream_id=*/0);
+    fault_injector_->set_flight_recorder(obs_.flight);
     if (engine_.device() != nullptr) engine_.device()->set_fault_hook(fault_injector_.get());
     if (options.fault.cpu_fallback) {
       fallback_sorter_ = std::make_unique<sort::RadixMergeSorter>(hwmodel::kPentium4_3400);
@@ -109,6 +114,7 @@ QuantileEstimator::QuantileEstimator(const Options& options)
         // 0): decorrelated fault sequences, each still reproducible.
         worker_injectors_.push_back(
             std::make_unique<FaultInjector>(options.fault.plan, i + 1));
+        worker_injectors_.back()->set_flight_recorder(obs_.flight);
         if (engine.device() != nullptr) {
           engine.device()->set_fault_hook(worker_injectors_.back().get());
         }
@@ -232,6 +238,7 @@ void QuantileEstimator::ProcessBuffered() {
   const std::uint64_t seq = drain_seq_++;
   const bool traced = obs_.trace != nullptr && obs_.trace->Sampled(seq);
   const double t0 = traced ? obs_.trace->NowMicros() : 0;
+  Timer drain_timer;
   std::size_t elements = 0;
   for (std::size_t i = 0; i < windows.size(); ++i) {
     if ((quarantine_mask >> i) & 1) {
@@ -240,6 +247,9 @@ void QuantileEstimator::ProcessBuffered() {
     }
     elements += windows[i].size();
     MergeSortedWindow(windows[i]);
+  }
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->Observe(ids_.drain_latency, drain_timer.ElapsedSeconds() * 1e6);
   }
   if (traced) {
     obs_.trace->AddSpan("drain_batch", "drain", t0, obs_.trace->NowMicros() - t0,
@@ -256,6 +266,7 @@ Status QuantileEstimator::DrainSortedBatch(std::vector<float>&& data,
   // accumulation order as serial execution, so the cost record (including
   // the floating-point simulated-seconds sums) stays bit-identical.
   costs_.sort += run;
+  Timer drain_timer;
   const std::uint64_t window_size = batcher_.window_size();
   std::size_t window_index = 0;
   for (std::size_t off = 0; off < data.size(); off += window_size, ++window_index) {
@@ -265,6 +276,9 @@ Status QuantileEstimator::DrainSortedBatch(std::vector<float>&& data,
       continue;
     }
     MergeSortedWindow(std::span<float>(data.data() + off, len));
+  }
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->Observe(ids_.drain_latency, drain_timer.ElapsedSeconds() * 1e6);
   }
   return Status::Ok();
 }
@@ -284,6 +298,7 @@ void QuantileEstimator::MergeSortedWindow(std::span<float> window) {
 
   // Rank-sample the sorted window into an (epsilon/2)-approximate summary
   // (the "histogram subset" of §3.2's quantile path).
+  Timer merge_timer;
   Timer hist_timer;
   const double target = whole_.has_value() ? options_.epsilon / 2.0
                                            : sliding_->block_epsilon();
@@ -303,6 +318,7 @@ void QuantileEstimator::MergeSortedWindow(std::span<float> window) {
     obs_.metrics->Add(ids_.windows_merged);
     obs_.metrics->Add(ids_.elements_merged, window.size());
     obs_.metrics->Record(ids_.window_elements, static_cast<double>(window.size()));
+    obs_.metrics->Observe(ids_.merge_latency, merge_timer.ElapsedSeconds() * 1e6);
   }
   if (traced) {
     obs_.trace->AddSpan("window_merge", "merge", t0, obs_.trace->NowMicros() - t0,

@@ -1,0 +1,67 @@
+#include "obs/exporter.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/prometheus.h"
+
+namespace streamgpu::obs {
+
+MetricsExporter::MetricsExporter(const MetricsRegistry* registry,
+                                 MetricsExporterOptions options)
+    : registry_(registry), options_(std::move(options)) {
+  STREAMGPU_CHECK_MSG(registry_ != nullptr, "exporter needs a registry");
+  STREAMGPU_CHECK_MSG(!options_.path.empty(), "exporter needs an output path");
+  thread_ = std::thread([this] { Loop(); });
+}
+
+MetricsExporter::~MetricsExporter() { Stop(); }
+
+void MetricsExporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Final export after the thread is gone: the published artifact reflects
+  // everything recorded before Stop() returned.
+  ExportOnce();
+}
+
+bool MetricsExporter::ExportOnce() {
+  const MetricsSnapshot snapshot = registry_->Snapshot();
+  const std::string tmp = options_.path + ".tmp";
+  bool ok = false;
+  if (std::FILE* f = std::fopen(tmp.c_str(), "w"); f != nullptr) {
+    if (options_.format == MetricsFormat::kProm) {
+      WritePrometheus(snapshot, f);
+    } else {
+      snapshot.WriteJson(f);
+    }
+    std::fclose(f);
+    ok = std::rename(tmp.c_str(), options_.path.c_str()) == 0;
+    if (!ok) std::remove(tmp.c_str());
+  }
+  (ok ? exports_ : failures_).fetch_add(1, std::memory_order_relaxed);
+  return ok;
+}
+
+void MetricsExporter::Loop() {
+  const auto period = std::chrono::duration<double>(
+      std::max(options_.period_seconds, 1e-3));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    if (cv_.wait_for(lock, period, [this] { return stop_requested_; })) break;
+    lock.unlock();
+    ExportOnce();
+    lock.lock();
+  }
+}
+
+}  // namespace streamgpu::obs

@@ -1,0 +1,81 @@
+// MetricsExporter: continuous background export of MetricsRegistry snapshots.
+//
+// A single background thread wakes every `period_seconds`, takes a snapshot
+// (safe concurrent with recording), serializes it in the configured format
+// (JSON schema or Prometheus text exposition), and publishes it with a
+// write-to-temp + atomic rename so scrapers never observe a torn file. The
+// export path is entirely off the recording hot path — workers never block
+// on the exporter.
+//
+// Lifecycle: the thread starts in the constructor and is joined by Stop()
+// (idempotent; also called from the destructor). Stop() performs one final
+// export, so the published file always reflects the registry's final state.
+
+#ifndef STREAMGPU_OBS_EXPORTER_H_
+#define STREAMGPU_OBS_EXPORTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace streamgpu::obs {
+
+/// On-disk serialization of an exported snapshot.
+enum class MetricsFormat {
+  kJson,  ///< the schema in docs/OBSERVABILITY.md (MetricsSnapshot::WriteJson)
+  kProm,  ///< Prometheus text exposition (obs/prometheus.h)
+};
+
+struct MetricsExporterOptions {
+  std::string path;              ///< required; final artifact location
+  double period_seconds = 10.0;  ///< export period; clamped to >= 1 ms
+  MetricsFormat format = MetricsFormat::kJson;
+};
+
+/// Periodic snapshot exporter. The registry must outlive the exporter.
+class MetricsExporter {
+ public:
+  MetricsExporter(const MetricsRegistry* registry, MetricsExporterOptions options);
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// Joins the background thread and writes one final export. Idempotent.
+  void Stop();
+
+  /// Snapshots and publishes immediately (also used by the periodic thread).
+  /// Returns false when the temp file cannot be written or renamed.
+  bool ExportOnce();
+
+  /// Successful / failed export counts (tests, shutdown summary).
+  std::uint64_t exports() const { return exports_.load(std::memory_order_relaxed); }
+  std::uint64_t failures() const { return failures_.load(std::memory_order_relaxed); }
+
+  const std::string& path() const { return options_.path; }
+
+ private:
+  void Loop();
+
+  const MetricsRegistry* const registry_;
+  const MetricsExporterOptions options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+
+  std::atomic<std::uint64_t> exports_{0};
+  std::atomic<std::uint64_t> failures_{0};
+
+  std::thread thread_;  // last member: starts in the constructor
+};
+
+}  // namespace streamgpu::obs
+
+#endif  // STREAMGPU_OBS_EXPORTER_H_

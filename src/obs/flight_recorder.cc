@@ -1,0 +1,115 @@
+#include "obs/flight_recorder.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/check.h"
+
+namespace streamgpu::obs {
+
+const char* FlightEventKindName(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kBackendChosen: return "backend_chosen";
+    case FlightEventKind::kBatchSubmitted: return "batch_submitted";
+    case FlightEventKind::kBatchSorted: return "batch_sorted";
+    case FlightEventKind::kBatchDrained: return "batch_drained";
+    case FlightEventKind::kQueueStall: return "queue_stall";
+    case FlightEventKind::kFaultInjected: return "fault_injected";
+    case FlightEventKind::kSortRetry: return "sort_retry";
+    case FlightEventKind::kDeviceLost: return "device_lost";
+    case FlightEventKind::kCpuFallback: return "cpu_fallback";
+    case FlightEventKind::kDegraded: return "degraded";
+    case FlightEventKind::kWindowQuarantined: return "window_quarantined";
+    case FlightEventKind::kDrainFailed: return "drain_failed";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity) {
+  STREAMGPU_CHECK_MSG(capacity > 0, "flight recorder capacity must be positive");
+  ring_.resize(capacity);
+}
+
+void FlightRecorder::set_dump_path(std::string path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dump_path_ = std::move(path);
+}
+
+void FlightRecorder::Record(FlightEventKind kind, const char* stage,
+                            const char* label, std::uint64_t seq, std::int64_t a,
+                            std::int64_t b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FlightEvent& slot = ring_[next_index_ % ring_.size()];
+  slot.index = next_index_++;
+  slot.kind = kind;
+  slot.stage = stage != nullptr ? stage : "";
+  slot.label = label != nullptr ? label : "";
+  slot.seq = seq;
+  slot.a = a;
+  slot.b = b;
+}
+
+void FlightRecorder::WriteJsonLocked(std::FILE* f, const char* reason) const {
+  std::fprintf(f,
+               "{\n  \"schema\": 1,\n  \"reason\": \"%s\",\n"
+               "  \"capacity\": %zu,\n  \"total_events\": %llu,\n"
+               "  \"events\": [",
+               reason != nullptr ? reason : "", ring_.size(),
+               static_cast<unsigned long long>(next_index_));
+  const std::uint64_t retained =
+      next_index_ < ring_.size() ? next_index_ : ring_.size();
+  for (std::uint64_t i = 0; i < retained; ++i) {
+    // Oldest first: the slot holding event (next_index_ - retained + i).
+    const std::uint64_t number = next_index_ - retained + i;
+    const FlightEvent& e = ring_[number % ring_.size()];
+    std::fprintf(f,
+                 "%s\n    {\"i\": %llu, \"kind\": \"%s\", \"stage\": \"%s\", "
+                 "\"label\": \"%s\", \"seq\": %llu, \"a\": %lld, \"b\": %lld}",
+                 i != 0 ? "," : "", static_cast<unsigned long long>(e.index),
+                 FlightEventKindName(e.kind), e.stage, e.label,
+                 static_cast<unsigned long long>(e.seq),
+                 static_cast<long long>(e.a), static_cast<long long>(e.b));
+  }
+  std::fputs(retained == 0 ? "]\n}\n" : "\n  ]\n}\n", f);
+}
+
+void FlightRecorder::WriteJson(std::FILE* f, const char* reason) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WriteJsonLocked(f, reason);
+}
+
+bool FlightRecorder::Dump(const char* reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dump_path_.empty()) return false;
+  const std::string tmp = dump_path_ + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  WriteJsonLocked(f, reason);
+  std::fclose(f);
+  if (std::rename(tmp.c_str(), dump_path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  dumps_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::uint64_t FlightRecorder::total_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_index_;
+}
+
+std::vector<FlightEvent> FlightRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t retained =
+      next_index_ < ring_.size() ? next_index_ : ring_.size();
+  std::vector<FlightEvent> out;
+  out.reserve(retained);
+  for (std::uint64_t i = 0; i < retained; ++i) {
+    const std::uint64_t number = next_index_ - retained + i;
+    out.push_back(ring_[number % ring_.size()]);
+  }
+  return out;
+}
+
+}  // namespace streamgpu::obs

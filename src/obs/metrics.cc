@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "obs/summary.h"
 
 namespace streamgpu::obs {
 
@@ -35,22 +36,108 @@ MetricId RegisterIn(std::map<std::string, MetricId>& ids, const std::string& nam
   return id;
 }
 
+bool ValidName(const std::string& name) {
+  if (name.empty()) return false;
+  return name.find_first_of("{}\"\n") == std::string::npos;
+}
+
+bool ValidLabelKey(const std::string& key) {
+  if (key.empty()) return false;
+  return key.find_first_of("={},\"\n") == std::string::npos;
+}
+
+void AppendEscapedLabelValue(std::string& out, const std::string& value) {
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+// JSON string escape for rendered metric keys (label values may contain
+// backslashes and double quotes once rendered).
+void FputsJsonEscaped(const std::string& s, std::FILE* f) {
+  for (char c : s) {
+    switch (c) {
+      case '\\': std::fputs("\\\\", f); break;
+      case '"': std::fputs("\\\"", f); break;
+      case '\n': std::fputs("\\n", f); break;
+      default: std::fputc(c, f);
+    }
+  }
+}
+
 }  // namespace
+
+std::string RenderMetricKey(const std::string& name, const MetricLabels& labels) {
+  STREAMGPU_CHECK_MSG(ValidName(name),
+                      "metric name must be non-empty and free of {}\"\\n");
+  if (labels.empty()) return name;
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = name;
+  key += '{';
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    STREAMGPU_CHECK_MSG(ValidLabelKey(sorted[i].first),
+                        "metric label key must be non-empty and free of ={},\"\\n");
+    STREAMGPU_CHECK_MSG(i == 0 || sorted[i].first != sorted[i - 1].first,
+                        "duplicate metric label key");
+    if (i != 0) key += ',';
+    key += sorted[i].first;
+    key += "=\"";
+    AppendEscapedLabelValue(key, sorted[i].second);
+    key += '"';
+  }
+  key += '}';
+  return key;
+}
+
+// Slot definition lives here so metrics.h only forward-declares
+// StreamingSummary.
+struct MetricsRegistry::SummarySlot {
+  explicit SummarySlot(double epsilon) : summary(epsilon) {}
+  std::mutex mu;
+  StreamingSummary summary;
+};
 
 MetricsRegistry::MetricsRegistry() : id_(NextRegistryId()) {}
 MetricsRegistry::~MetricsRegistry() = default;
 
 MetricId MetricsRegistry::Counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  return RegisterIn(counter_ids_, name, kMaxCounters, "counter");
+  return RegisterIn(counter_ids_, RenderMetricKey(name, {}), kMaxCounters,
+                    "counter");
+}
+
+MetricId MetricsRegistry::Counter(const std::string& name,
+                                  const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RegisterIn(counter_ids_, RenderMetricKey(name, labels), kMaxCounters,
+                    "counter");
 }
 
 MetricId MetricsRegistry::Gauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  return RegisterIn(gauge_ids_, name, kMaxGauges, "gauge");
+  return RegisterIn(gauge_ids_, RenderMetricKey(name, {}), kMaxGauges, "gauge");
+}
+
+MetricId MetricsRegistry::Gauge(const std::string& name,
+                                const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RegisterIn(gauge_ids_, RenderMetricKey(name, labels), kMaxGauges,
+                    "gauge");
 }
 
 MetricId MetricsRegistry::Histogram(const std::string& name,
+                                    std::vector<double> upper_bounds) {
+  return Histogram(name, {}, std::move(upper_bounds));
+}
+
+MetricId MetricsRegistry::Histogram(const std::string& name,
+                                    const MetricLabels& labels,
                                     std::vector<double> upper_bounds) {
   STREAMGPU_CHECK_MSG(static_cast<int>(upper_bounds.size()) <= kMaxBuckets,
                       "histogram has too many buckets");
@@ -58,8 +145,25 @@ MetricId MetricsRegistry::Histogram(const std::string& name,
                       "histogram bucket bounds must be ascending");
   std::lock_guard<std::mutex> lock(mu_);
   const auto before = histogram_ids_.size();
-  const MetricId id = RegisterIn(histogram_ids_, name, kMaxHistograms, "histogram");
+  const MetricId id = RegisterIn(histogram_ids_, RenderMetricKey(name, labels),
+                                 kMaxHistograms, "histogram");
   if (histogram_ids_.size() != before) histogram_bounds_.push_back(std::move(upper_bounds));
+  return id;
+}
+
+MetricId MetricsRegistry::Summary(const std::string& name,
+                                  const MetricLabels& labels, double epsilon) {
+  STREAMGPU_CHECK_MSG(epsilon > 0 && epsilon < 1,
+                      "summary epsilon must be in (0, 1)");
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto before = summary_ids_.size();
+  const MetricId id = RegisterIn(summary_ids_, RenderMetricKey(name, labels),
+                                 kMaxSummaries, "summary");
+  if (summary_ids_.size() != before) {
+    summary_slots_.push_back(std::make_unique<SummarySlot>(epsilon));
+    summary_ptrs_[static_cast<std::size_t>(id)].store(
+        summary_slots_.back().get(), std::memory_order_release);
+  }
   return id;
 }
 
@@ -113,13 +217,27 @@ void MetricsRegistry::Record(MetricId histogram, double value) {
     std::lock_guard<std::mutex> lock(mu_);
     const std::vector<double>& bounds =
         histogram_bounds_[static_cast<std::size_t>(histogram)];
+    // lower_bound keeps the bounds le-inclusive (a value equal to a bound
+    // belongs to that bound's bucket), matching the Prometheus `le` mapping.
     bucket = static_cast<std::size_t>(
-        std::upper_bound(bounds.begin(), bounds.end(), value) - bounds.begin());
+        std::lower_bound(bounds.begin(), bounds.end(), value) - bounds.begin());
   }
   Shard& shard = LocalShard();
   shard.hist_counts[static_cast<std::size_t>(histogram) * (kMaxBuckets + 1) + bucket]
       .fetch_add(1, std::memory_order_relaxed);
   AtomicAddDouble(shard.hist_sums[static_cast<std::size_t>(histogram)], value);
+}
+
+void MetricsRegistry::Observe(MetricId summary, double value) {
+  if (summary < 0 || !enabled()) return;
+  STREAMGPU_DCHECK(summary < kMaxSummaries);
+  // The slot pointer is published with release on registration; once set it
+  // never changes, so Observe never takes the registry mutex.
+  SummarySlot* slot = summary_ptrs_[static_cast<std::size_t>(summary)].load(
+      std::memory_order_acquire);
+  if (slot == nullptr) return;
+  std::lock_guard<std::mutex> lock(slot->mu);
+  slot->summary.Observe(value);
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
@@ -159,6 +277,24 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     for (std::uint64_t c : h.counts) h.count += c;
     snap.histograms.push_back(std::move(h));
   }
+
+  snap.summaries.reserve(summary_ids_.size());
+  for (const auto& [name, id] : summary_ids_) {
+    SummarySlot* slot = summary_slots_[static_cast<std::size_t>(id)].get();
+    MetricsSnapshot::Summary s;
+    s.name = name;
+    std::lock_guard<std::mutex> slot_lock(slot->mu);
+    s.count = slot->summary.count();
+    s.sum = slot->summary.sum();
+    s.epsilon = slot->summary.epsilon();
+    if (s.count > 0) {
+      s.quantiles.reserve(kSummaryQuantiles.size());
+      for (double phi : kSummaryQuantiles) {
+        s.quantiles.emplace_back(phi, slot->summary.Quantile(phi));
+      }
+    }
+    snap.summaries.push_back(std::move(s));
+  }
   return snap;
 }
 
@@ -168,27 +304,30 @@ std::size_t MetricsRegistry::shard_count() const {
 }
 
 void MetricsSnapshot::WriteJson(std::FILE* f) const {
-  std::fputs("{\n  \"schema\": 1,\n  \"counters\": {", f);
+  std::fputs("{\n  \"schema\": 2,\n  \"counters\": {", f);
   for (std::size_t i = 0; i < counters.size(); ++i) {
-    std::fprintf(f, "%s\n    \"%s\": %llu", i != 0 ? "," : "",
-                 counters[i].first.c_str(),
+    std::fputs(i != 0 ? ",\n    \"" : "\n    \"", f);
+    FputsJsonEscaped(counters[i].first, f);
+    std::fprintf(f, "\": %llu",
                  static_cast<unsigned long long>(counters[i].second));
   }
   std::fputs(counters.empty() ? "},\n" : "\n  },\n", f);
 
   std::fputs("  \"gauges\": {", f);
   for (std::size_t i = 0; i < gauges.size(); ++i) {
-    std::fprintf(f, "%s\n    \"%s\": %.9g", i != 0 ? "," : "",
-                 gauges[i].first.c_str(), gauges[i].second);
+    std::fputs(i != 0 ? ",\n    \"" : "\n    \"", f);
+    FputsJsonEscaped(gauges[i].first, f);
+    std::fprintf(f, "\": %.9g", gauges[i].second);
   }
   std::fputs(gauges.empty() ? "},\n" : "\n  },\n", f);
 
   std::fputs("  \"histograms\": {", f);
   for (std::size_t i = 0; i < histograms.size(); ++i) {
     const Histogram& h = histograms[i];
-    std::fprintf(f, "%s\n    \"%s\": {\n      \"count\": %llu,\n      \"sum\": %.9g,\n"
+    std::fputs(i != 0 ? ",\n    \"" : "\n    \"", f);
+    FputsJsonEscaped(h.name, f);
+    std::fprintf(f, "\": {\n      \"count\": %llu,\n      \"sum\": %.9g,\n"
                     "      \"buckets\": [",
-                 i != 0 ? "," : "", h.name.c_str(),
                  static_cast<unsigned long long>(h.count), h.sum);
     for (std::size_t b = 0; b < h.counts.size(); ++b) {
       if (b != 0) std::fputs(",", f);
@@ -203,7 +342,24 @@ void MetricsSnapshot::WriteJson(std::FILE* f) const {
     }
     std::fputs("\n      ]\n    }", f);
   }
-  std::fputs(histograms.empty() ? "}\n}\n" : "\n  }\n}\n", f);
+  std::fputs(histograms.empty() ? "},\n" : "\n  },\n", f);
+
+  std::fputs("  \"summaries\": {", f);
+  for (std::size_t i = 0; i < summaries.size(); ++i) {
+    const Summary& s = summaries[i];
+    std::fputs(i != 0 ? ",\n    \"" : "\n    \"", f);
+    FputsJsonEscaped(s.name, f);
+    std::fprintf(f, "\": {\n      \"count\": %llu,\n      \"sum\": %.9g,\n"
+                    "      \"epsilon\": %.9g,\n      \"quantiles\": [",
+                 static_cast<unsigned long long>(s.count), s.sum, s.epsilon);
+    for (std::size_t q = 0; q < s.quantiles.size(); ++q) {
+      if (q != 0) std::fputs(",", f);
+      std::fprintf(f, "\n        {\"phi\": %.9g, \"value\": %.9g}",
+                   s.quantiles[q].first, s.quantiles[q].second);
+    }
+    std::fputs(s.quantiles.empty() ? "]\n    }" : "\n      ]\n    }", f);
+  }
+  std::fputs(summaries.empty() ? "}\n}\n" : "\n  }\n}\n", f);
 }
 
 void MetricsRegistry::WriteJson(std::FILE* f) const { Snapshot().WriteJson(f); }

@@ -1,21 +1,31 @@
-// MetricsRegistry: counters, gauges, and bounded histograms with sharded
-// per-thread storage.
+// MetricsRegistry: counters, gauges, bounded histograms, and streaming
+// quantile summaries with sharded per-thread storage.
 //
 // Pipeline sort workers, the summary (drain) thread, and the ingest thread
 // all record into the same registry; each thread writes its own shard
 // (relaxed atomics on thread-private cache lines), so recording never
 // contends. Snapshot() merges the shards.
 //
+// Labels: every instrument kind can carry a low-cardinality label set
+// ({backend="radix"}). Labels are interned at registration time — the
+// (name, labels) pair is rendered to one canonical key string and mapped to
+// a dense id — so the hot path stays a single array index; a labeled Add()
+// costs exactly what an unlabeled one does. Snapshots expose the rendered
+// key (`name{k="v",...}`, keys sorted); ParseMetricKey in obs/prometheus.h
+// splits it back apart.
+//
 // Determinism contract: counters and histograms record *operation counts and
 // operand sizes* — deterministic quantities — so their merged totals are
 // bit-identical between serial and pipelined execution, like every other
-// count in the system (see docs/COST_MODEL.md). Gauges hold point-in-time
-// values (including wall-clock readings) and carry no such guarantee.
+// count in the system (see docs/COST_MODEL.md). Label values must likewise
+// be execution-mode-agnostic (a backend name, never a worker index). Gauges
+// and summaries hold point-in-time or wall-clock values and carry no such
+// guarantee.
 //
 // The registry is disabled-by-default at the wiring level (a null
 // obs::Observability::metrics pointer costs one compare per site); a wired
 // registry can additionally be muted at runtime with set_enabled(false),
-// which turns Add/Set/Record into a relaxed load + branch.
+// which turns Add/Set/Record/Observe into a relaxed load + branch.
 
 #ifndef STREAMGPU_OBS_METRICS_H_
 #define STREAMGPU_OBS_METRICS_H_
@@ -28,17 +38,33 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace streamgpu::obs {
 
 /// Index of a registered metric within its kind (counter / gauge /
-/// histogram). Negative = invalid (records are dropped).
+/// histogram / summary). Negative = invalid (records are dropped).
 using MetricId = int;
 inline constexpr MetricId kInvalidMetric = -1;
 
-/// Merged point-in-time view of a registry, ordered by metric name so the
-/// serialized form is schema-stable (tests/golden/metrics_schema.golden).
+/// Label set attached to a metric at registration. Order is irrelevant:
+/// RenderMetricKey sorts by key. Keep cardinality low — every distinct
+/// (name, labels) pair is a separate time series occupying a registry slot.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Renders (name, labels) to the canonical key `name{k="v",...}` (labels
+/// sorted by key, values escaped: backslash, double quote, newline). A metric
+/// with no labels renders to its bare name. Aborts on malformed input: empty
+/// name, name containing `{`/`}`/`"`/newline, empty or duplicate label keys,
+/// or label keys containing `=`/`,`/`{`/`}`/`"`/newline.
+std::string RenderMetricKey(const std::string& name, const MetricLabels& labels);
+
+/// Quantiles every summary exports, in ascending order.
+inline constexpr std::array<double, 3> kSummaryQuantiles = {0.5, 0.9, 0.99};
+
+/// Merged point-in-time view of a registry, ordered by rendered metric key so
+/// the serialized form is schema-stable (tests/golden/metrics_schema.golden).
 struct MetricsSnapshot {
   struct Histogram {
     std::string name;
@@ -48,17 +74,33 @@ struct MetricsSnapshot {
     double sum = 0;                     ///< sum of recorded values
   };
 
+  /// GK-sketch-backed quantile summary (obs/summary.h). `epsilon` is the
+  /// honest rank-error bound of the sketch at snapshot time: each reported
+  /// quantile value has exact rank within epsilon * count of its target.
+  struct Summary {
+    std::string name;
+    std::uint64_t count = 0;  ///< total observations
+    double sum = 0;           ///< sum of observed values
+    double epsilon = 0;       ///< current rank-error bound
+    /// (phi, value) per kSummaryQuantiles entry; empty when count == 0.
+    std::vector<std::pair<double, double>> quantiles;
+  };
+
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<Histogram> histograms;
+  std::vector<Summary> summaries;
 
   /// Serializes the snapshot as pretty-printed JSON, one key per line
   /// (docs/OBSERVABILITY.md documents the schema).
   void WriteJson(std::FILE* f) const;
 };
 
-/// Thread-safe metrics registry. Registration (by name, idempotent) is
-/// mutex-guarded and expected at setup time; recording is wait-free.
+class StreamingSummary;
+
+/// Thread-safe metrics registry. Registration (by name + labels, idempotent)
+/// is mutex-guarded and expected at setup time; recording is wait-free for
+/// counters and lock-bounded (one leaf mutex) for histograms and summaries.
 class MetricsRegistry {
  public:
   /// Fixed per-kind capacities: shards preallocate full-capacity atomic
@@ -68,6 +110,7 @@ class MetricsRegistry {
   static constexpr int kMaxGauges = 256;
   static constexpr int kMaxHistograms = 64;
   static constexpr int kMaxBuckets = 32;
+  static constexpr int kMaxSummaries = 64;
 
   MetricsRegistry();
   ~MetricsRegistry();
@@ -75,8 +118,9 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  /// Runtime guard: while disabled, Add/Set/Record are no-ops. Registration
-  /// still works, so a registry can be wired first and enabled later.
+  /// Runtime guard: while disabled, Add/Set/Record/Observe are no-ops.
+  /// Registration still works, so a registry can be wired first and enabled
+  /// later.
   void set_enabled(bool enabled) {
     enabled_.store(enabled, std::memory_order_relaxed);
   }
@@ -84,14 +128,23 @@ class MetricsRegistry {
 
   /// Registers (or looks up) a counter. Monotone uint64, sharded per thread.
   MetricId Counter(const std::string& name);
+  MetricId Counter(const std::string& name, const MetricLabels& labels);
 
   /// Registers (or looks up) a gauge. Last-written double, registry-level.
   MetricId Gauge(const std::string& name);
+  MetricId Gauge(const std::string& name, const MetricLabels& labels);
 
   /// Registers (or looks up) a bounded histogram with the given ascending
   /// bucket upper bounds (at most kMaxBuckets); values above the last bound
   /// land in an implicit +inf bucket. Re-registration ignores `upper_bounds`.
   MetricId Histogram(const std::string& name, std::vector<double> upper_bounds);
+  MetricId Histogram(const std::string& name, const MetricLabels& labels,
+                     std::vector<double> upper_bounds);
+
+  /// Registers (or looks up) a streaming quantile summary with rank-error
+  /// target `epsilon` (obs/summary.h). Re-registration ignores `epsilon`.
+  MetricId Summary(const std::string& name, const MetricLabels& labels = {},
+                   double epsilon = 0.01);
 
   /// Adds `delta` to a counter on the calling thread's shard.
   void Add(MetricId counter, std::uint64_t delta = 1);
@@ -102,7 +155,11 @@ class MetricsRegistry {
   /// Records one sample into a histogram on the calling thread's shard.
   void Record(MetricId histogram, double value);
 
-  /// Merges all shards into a name-ordered snapshot. Safe to call while
+  /// Feeds one observation into a summary (per-summary leaf mutex; intended
+  /// for per-batch/per-window latency samples, not per-element data).
+  void Observe(MetricId summary, double value);
+
+  /// Merges all shards into a key-ordered snapshot. Safe to call while
   /// other threads record (counts are merged with relaxed loads; a snapshot
   /// concurrent with recording sees each delta either included or not).
   MetricsSnapshot Snapshot() const;
@@ -127,6 +184,10 @@ class MetricsRegistry {
     Shard() : hist_counts(kMaxHistograms * (kMaxBuckets + 1)) {}
   };
 
+  // A summary slot pairs the sketch with its own leaf mutex so Observe()
+  // never contends with registration or snapshotting of other instruments.
+  struct SummarySlot;
+
   Shard& LocalShard();
 
   const std::uint64_t id_;  // process-unique; keys the thread-local shard cache
@@ -135,8 +196,14 @@ class MetricsRegistry {
   std::map<std::string, MetricId> counter_ids_;
   std::map<std::string, MetricId> gauge_ids_;
   std::map<std::string, MetricId> histogram_ids_;
+  std::map<std::string, MetricId> summary_ids_;
   std::vector<std::vector<double>> histogram_bounds_;  // by histogram id
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<SummarySlot>> summary_slots_;  // by summary id
+
+  // Published pointers to the slots above: Observe() resolves id -> slot with
+  // one acquire load, no registry mutex.
+  std::array<std::atomic<SummarySlot*>, kMaxSummaries> summary_ptrs_{};
 
   std::array<std::atomic<double>, kMaxGauges> gauges_{};
   std::atomic<bool> enabled_{true};

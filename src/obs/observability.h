@@ -1,8 +1,8 @@
 // Observability wiring point for the public API.
 //
 // Estimators (and everything they drive: the ingest pipeline, the sort
-// engines) accept an Observability value — two optional sinks — through
-// core::Options. Both pointers default to null, which is the fully disabled
+// engines) accept an Observability value — three optional sinks — through
+// core::Options. All pointers default to null, which is the fully disabled
 // configuration: instrumentation sites reduce to a single pointer compare,
 // and the hot paths allocate and lock nothing. See docs/OBSERVABILITY.md.
 
@@ -13,14 +13,19 @@ namespace streamgpu::obs {
 
 class MetricsRegistry;
 class TraceRecorder;
+class FlightRecorder;
 
-/// Optional sinks for metrics and spans. Borrowed, never owned: both objects
-/// must outlive every estimator (and pipeline thread) they are wired into.
+/// Optional sinks for metrics, spans, and flight events. Borrowed, never
+/// owned: all objects must outlive every estimator (and pipeline thread)
+/// they are wired into.
 struct Observability {
   MetricsRegistry* metrics = nullptr;
   TraceRecorder* trace = nullptr;
+  FlightRecorder* flight = nullptr;
 
-  bool any() const { return metrics != nullptr || trace != nullptr; }
+  bool any() const {
+    return metrics != nullptr || trace != nullptr || flight != nullptr;
+  }
 };
 
 }  // namespace streamgpu::obs

@@ -1,0 +1,235 @@
+#include "obs/prometheus.h"
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace streamgpu::obs {
+
+namespace {
+
+bool ValidBareName(const std::string& name) {
+  if (name.empty()) return false;
+  return name.find_first_of("{}\"\n") == std::string::npos;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void AppendEscapedLabelValue(std::string& out, const std::string& value) {
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+// Renders `labels` (+ one optional extra pair appended last, for le= /
+// quantile=) as a `{...}` block, or "" with no labels.
+std::string LabelBlock(const MetricLabels& labels, const char* extra_key = nullptr,
+                       const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key == nullptr) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    AppendEscapedLabelValue(out, value);
+    out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    AppendEscapedLabelValue(out, extra_value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+// One exposition family: a HELP/TYPE pair plus its sample lines, in
+// snapshot order.
+struct Family {
+  std::string help;
+  const char* type = "untyped";
+  std::vector<std::string> lines;
+};
+
+Family& FamilyFor(std::map<std::string, Family>& families,
+                  const std::string& output_name, const std::string& source_name,
+                  const char* kind, const char* type) {
+  Family& fam = families[output_name];
+  if (fam.help.empty()) {
+    fam.help = std::string("streamgpu ") + kind + " " + source_name;
+    fam.type = type;
+  }
+  return fam;
+}
+
+}  // namespace
+
+bool ParseMetricKey(const std::string& key, std::string* name,
+                    MetricLabels* labels) {
+  if (name == nullptr || labels == nullptr) return false;
+  labels->clear();
+  const std::size_t brace = key.find('{');
+  if (brace == std::string::npos) {
+    if (!ValidBareName(key)) return false;
+    *name = key;
+    return true;
+  }
+  if (brace == 0 || key.back() != '}') return false;
+  *name = key.substr(0, brace);
+  if (!ValidBareName(*name)) return false;
+
+  std::size_t i = brace + 1;
+  const std::size_t end = key.size() - 1;  // position of the closing '}'
+  if (i >= end) return false;              // `name{}` is never rendered
+  while (i < end) {
+    const std::size_t eq = key.find('=', i);
+    if (eq == std::string::npos || eq >= end) return false;
+    std::string label_key = key.substr(i, eq - i);
+    if (label_key.empty() ||
+        label_key.find_first_of("={},\"\n") != std::string::npos) {
+      return false;
+    }
+    if (eq + 1 >= end || key[eq + 1] != '"') return false;
+    std::string value;
+    std::size_t j = eq + 2;
+    bool closed = false;
+    while (j < end) {
+      const char c = key[j];
+      if (c == '\\') {
+        if (j + 1 >= end) return false;
+        const char esc = key[j + 1];
+        if (esc == '\\') value += '\\';
+        else if (esc == '"') value += '"';
+        else if (esc == 'n') value += '\n';
+        else return false;
+        j += 2;
+      } else if (c == '"') {
+        closed = true;
+        ++j;
+        break;
+      } else {
+        value += c;
+        ++j;
+      }
+    }
+    if (!closed) return false;
+    labels->emplace_back(std::move(label_key), std::move(value));
+    if (j < end) {
+      if (key[j] != ',') return false;
+      ++j;
+      if (j >= end) return false;  // trailing comma
+    }
+    i = j;
+  }
+  return true;
+}
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "streamgpu_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += valid ? c : '_';
+  }
+  return out;
+}
+
+void WritePrometheus(const MetricsSnapshot& snapshot, std::FILE* f) {
+  // Families keyed (and therefore emitted) by output name; sample lines keep
+  // snapshot order within each family, so the whole document is
+  // schema-stable (tests/golden/metrics_prom.golden).
+  std::map<std::string, Family> families;
+  std::string name;
+  MetricLabels labels;
+
+  for (const auto& [key, value] : snapshot.counters) {
+    if (!ParseMetricKey(key, &name, &labels)) continue;
+    const std::string fam_name = PrometheusName(name) + "_total";
+    Family& fam = FamilyFor(families, fam_name, name, "counter", "counter");
+    fam.lines.push_back(fam_name + LabelBlock(labels) + " " +
+                        std::to_string(value));
+  }
+
+  for (const auto& [key, value] : snapshot.gauges) {
+    if (!ParseMetricKey(key, &name, &labels)) continue;
+    const std::string fam_name = PrometheusName(name);
+    Family& fam = FamilyFor(families, fam_name, name, "gauge", "gauge");
+    fam.lines.push_back(fam_name + LabelBlock(labels) + " " +
+                        FormatDouble(value));
+  }
+
+  for (const MetricsSnapshot::Histogram& h : snapshot.histograms) {
+    if (!ParseMetricKey(h.name, &name, &labels)) continue;
+    const std::string fam_name = PrometheusName(name);
+    Family& fam = FamilyFor(families, fam_name, name, "histogram", "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      cumulative += h.counts[b];
+      const std::string le = b < h.upper_bounds.size()
+                                 ? FormatDouble(h.upper_bounds[b])
+                                 : std::string("+Inf");
+      fam.lines.push_back(fam_name + "_bucket" + LabelBlock(labels, "le", le) +
+                          " " + std::to_string(cumulative));
+    }
+    fam.lines.push_back(fam_name + "_sum" + LabelBlock(labels) + " " +
+                        FormatDouble(h.sum));
+    fam.lines.push_back(fam_name + "_count" + LabelBlock(labels) + " " +
+                        std::to_string(h.count));
+  }
+
+  for (const MetricsSnapshot::Summary& s : snapshot.summaries) {
+    if (!ParseMetricKey(s.name, &name, &labels)) continue;
+    const std::string fam_name = PrometheusName(name);
+    Family& fam = FamilyFor(families, fam_name, name, "summary", "summary");
+    for (const auto& [phi, value] : s.quantiles) {
+      fam.lines.push_back(fam_name +
+                          LabelBlock(labels, "quantile", FormatDouble(phi)) +
+                          " " + FormatDouble(value));
+    }
+    fam.lines.push_back(fam_name + "_sum" + LabelBlock(labels) + " " +
+                        FormatDouble(s.sum));
+    fam.lines.push_back(fam_name + "_count" + LabelBlock(labels) + " " +
+                        std::to_string(s.count));
+    // The GK rank-error bound rides along as a sibling gauge family so the
+    // documented epsilon is scrapeable, not just in the JSON export.
+    const std::string eps_name = fam_name + "_error";
+    Family& eps = FamilyFor(families, eps_name, name,
+                            "summary rank-error bound for", "gauge");
+    eps.lines.push_back(eps_name + LabelBlock(labels) + " " +
+                        FormatDouble(s.epsilon));
+  }
+
+  for (const auto& [fam_name, fam] : families) {
+    std::fprintf(f, "# HELP %s %s\n", fam_name.c_str(), fam.help.c_str());
+    std::fprintf(f, "# TYPE %s %s\n", fam_name.c_str(), fam.type);
+    for (const std::string& line : fam.lines) {
+      std::fputs(line.c_str(), f);
+      std::fputc('\n', f);
+    }
+  }
+}
+
+bool WritePrometheusFile(const MetricsSnapshot& snapshot, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  WritePrometheus(snapshot, f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace streamgpu::obs

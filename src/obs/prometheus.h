@@ -1,0 +1,49 @@
+// Prometheus text-exposition serialization of a MetricsSnapshot
+// (https://prometheus.io/docs/instrumenting/exposition_formats/, format
+// version 0.0.4), plus the inverse of RenderMetricKey so labeled series can
+// be re-split into (name, labels).
+//
+// Mapping (documented in docs/OBSERVABILITY.md):
+//   - metric names are prefixed `streamgpu_` and sanitized (every character
+//     outside [a-zA-Z0-9_:] becomes '_', so dotted names keep their shape);
+//   - counters gain the conventional `_total` suffix;
+//   - histograms emit cumulative `<name>_bucket{le="..."}` series (the
+//     implicit overflow bucket becomes le="+Inf") plus `_sum` and `_count`;
+//   - summaries emit `<name>{quantile="..."}` series per kSummaryQuantiles
+//     plus `_sum` and `_count`; the GK rank-error bound is stated in the
+//     HELP line;
+//   - label values are escaped per the exposition format (backslash, double
+//     quote, newline).
+// Output ordering is deterministic: families sorted by output name, one
+// HELP/TYPE pair per family, samples in snapshot (key-sorted) order.
+
+#ifndef STREAMGPU_OBS_PROMETHEUS_H_
+#define STREAMGPU_OBS_PROMETHEUS_H_
+
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace streamgpu::obs {
+
+/// Splits a canonical rendered key (RenderMetricKey output: `name` or
+/// `name{k="v",...}`) back into name and labels. Returns false on malformed
+/// input, leaving outputs unspecified.
+bool ParseMetricKey(const std::string& key, std::string* name,
+                    MetricLabels* labels);
+
+/// `streamgpu_` + name with every character outside [a-zA-Z0-9_:] replaced
+/// by '_'.
+std::string PrometheusName(const std::string& name);
+
+/// Serializes the snapshot in Prometheus text-exposition format.
+void WritePrometheus(const MetricsSnapshot& snapshot, std::FILE* f);
+
+/// WritePrometheus to a new file at `path`. Returns false when the file
+/// cannot be opened.
+bool WritePrometheusFile(const MetricsSnapshot& snapshot, const char* path);
+
+}  // namespace streamgpu::obs
+
+#endif  // STREAMGPU_OBS_PROMETHEUS_H_

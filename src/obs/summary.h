@@ -1,0 +1,86 @@
+// StreamingSummary: bounded-memory quantile tracking for the telemetry layer,
+// built on the project's own Greenwald-Khanna sketch (sketch/gk_summary.h).
+//
+// The system measures its own per-stage latencies with the same machinery it
+// implements for the data path: observations are buffered in small blocks,
+// each full block is condensed to a GK summary, and blocks are combined with
+// a binary-counter merge cascade (the classic mergeable-summary construction
+// — one summary per power-of-two block count, carried like binary addition).
+// Memory stays O(log(n)/epsilon) for n observations, versus the unbounded
+// vector a naive percentile tracker would keep.
+//
+// Error accounting (documented in docs/OBSERVABILITY.md): a block summary is
+// built at target_epsilon/2; each carry-merge is pruned to
+// ceil(16/target_epsilon) tuples, adding target_epsilon/32 per cascade
+// level. With L levels the bound is target_epsilon/2 + L*target_epsilon/32,
+// which stays under target_epsilon through L = 16 levels — i.e. for at least
+// block_size * 2^16 observations (~26M at the default epsilon 0.01). The
+// summary tracks the honest bound as it goes; epsilon() reports the current
+// value, and every exported quantile carries it.
+//
+// Not thread-safe: callers (MetricsRegistry's summary slots) serialize
+// externally.
+
+#ifndef STREAMGPU_OBS_SUMMARY_H_
+#define STREAMGPU_OBS_SUMMARY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/gk_summary.h"
+
+namespace streamgpu::obs {
+
+/// Streaming quantile summary with a target rank-error bound.
+class StreamingSummary {
+ public:
+  static constexpr double kDefaultEpsilon = 0.01;
+
+  explicit StreamingSummary(double target_epsilon = kDefaultEpsilon);
+
+  /// Feeds one observation.
+  void Observe(double value);
+
+  /// Value whose rank is within epsilon() * count() of ceil(phi * count()),
+  /// phi in (0, 1]. Returns 0 when empty.
+  double Quantile(double phi) const;
+
+  /// Total observations fed so far.
+  std::uint64_t count() const { return count_; }
+
+  /// Sum of all observations (exact, not sketched).
+  double sum() const { return sum_; }
+
+  /// The bound this summary was configured to stay under.
+  double target_epsilon() const { return target_epsilon_; }
+
+  /// Honest rank-error bound of the merged sketch right now
+  /// (<= target_epsilon() within the documented observation budget).
+  double epsilon() const;
+
+  /// Tuples currently held across all cascade levels plus the open buffer
+  /// (tests assert the memory bound).
+  std::size_t TupleCount() const;
+
+ private:
+  /// Condenses the open buffer into a level-0 summary and carries it up the
+  /// cascade.
+  void FlushBuffer();
+
+  /// Merges the cascade levels and the open buffer into one queryable
+  /// summary.
+  sketch::GkSummary Merged() const;
+
+  const double target_epsilon_;
+  const std::size_t block_size_;
+  const std::size_t max_tuples_;
+
+  std::vector<float> buffer_;                  ///< open block, unsorted
+  std::vector<sketch::GkSummary> levels_;      ///< cascade; empty() = vacant
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+};
+
+}  // namespace streamgpu::obs
+
+#endif  // STREAMGPU_OBS_SUMMARY_H_

@@ -51,6 +51,10 @@ void TraceRecorder::AddSpan(const char* name, const char* cat, double start_us,
   std::lock_guard<std::mutex> lock(mu_);
   if (spans_.size() >= max_spans_) {
     ++dropped_;
+    // The counter Add is registry-sharded and lock-free, so holding mu_
+    // across it cannot deadlock (the registry never calls back into the
+    // recorder).
+    if (drop_metrics_ != nullptr) drop_metrics_->Add(drop_counter_);
     return;
   }
   Span span;
@@ -72,6 +76,17 @@ std::vector<TraceRecorder::Span> TraceRecorder::snapshot() const {
 std::uint64_t TraceRecorder::dropped() const {
   std::lock_guard<std::mutex> lock(mu_);
   return dropped_;
+}
+
+void TraceRecorder::BindDropCounter(MetricsRegistry* metrics) {
+  // Register before taking mu_: Counter() takes the registry mutex, and a
+  // consistent recorder-then-registry order elsewhere would be hard to
+  // guarantee.
+  const MetricId counter =
+      metrics != nullptr ? metrics->Counter("obs.trace.spans_dropped") : kInvalidMetric;
+  std::lock_guard<std::mutex> lock(mu_);
+  drop_metrics_ = metrics;
+  drop_counter_ = counter;
 }
 
 void TraceRecorder::WriteJson(std::FILE* f) const {

@@ -26,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace streamgpu::obs {
 
 /// One numeric span argument ("args" in the trace-event format).
@@ -82,6 +84,12 @@ class TraceRecorder {
   /// Spans dropped because max_spans was reached.
   std::uint64_t dropped() const;
 
+  /// Mirrors every span-cap drop into the `obs.trace.spans_dropped` counter
+  /// of `metrics`, so a capped trace is visible from the metrics export, not
+  /// just the in-process dropped() accessor. Pass nullptr to unbind. The
+  /// registry must outlive the recorder (or the unbind).
+  void BindDropCounter(MetricsRegistry* metrics);
+
   /// Serializes the trace-event JSON. Events are sorted by (tid, start)
   /// so timestamps are monotone within each track.
   void WriteJson(std::FILE* f) const;
@@ -104,6 +112,8 @@ class TraceRecorder {
   std::vector<std::string> thread_names_;  // by tid; "" = unnamed
   int next_tid_ = 1;
   std::uint64_t dropped_ = 0;
+  MetricsRegistry* drop_metrics_ = nullptr;
+  MetricId drop_counter_ = kInvalidMetric;
 };
 
 }  // namespace streamgpu::obs

@@ -12,7 +12,8 @@ PlannedSorter::PlannedSorter(const hwmodel::SortPlanner* planner,
                              const std::string& metric_prefix)
     : planner_(planner),
       candidates_(std::move(candidates)),
-      metrics_(obs.metrics) {
+      metrics_(obs.metrics),
+      flight_(obs.flight) {
   STREAMGPU_CHECK(planner_ != nullptr);
   STREAMGPU_CHECK_MSG(!candidates_.empty(),
                       "PlannedSorter needs at least one candidate");
@@ -45,6 +46,7 @@ void PlannedSorter::SortRuns(std::span<std::span<float>> runs) {
   STREAMGPU_CHECK_MSG(runs.size() <= 64,
                       "PlannedSorter batches at most 64 runs");
   quarantine_mask_ = 0;
+  const std::uint64_t batch = batch_index_++;
   SortRunInfo total;
   if (runs.empty()) {
     last_run_ = total;
@@ -88,6 +90,12 @@ void PlannedSorter::SortRuns(std::span<std::span<float>> runs) {
     }
     if (metrics_ != nullptr && !m_chosen_.empty()) {
       metrics_->Add(m_chosen_[ci], group_.size());
+    }
+    if (flight_ != nullptr) {
+      flight_->Record(obs::FlightEventKind::kBackendChosen, "plan",
+                      hwmodel::SortBackendName(c.kind), batch,
+                      static_cast<std::int64_t>(group_.size()),
+                      static_cast<std::int64_t>(group_.front().size()));
     }
   }
   last_run_ = total;

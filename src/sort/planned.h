@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "hwmodel/sort_planner.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/observability.h"
 #include "sort/sorter.h"
@@ -75,11 +76,13 @@ class PlannedSorter final : public Sorter {
   const hwmodel::SortPlanner* const planner_;
   std::vector<Candidate> candidates_;
   obs::MetricsRegistry* const metrics_;
+  obs::FlightRecorder* const flight_;
   std::vector<obs::MetricId> m_chosen_;  // parallel to candidates_
 
   SortRunInfo last_run_;
   std::uint64_t quarantine_mask_ = 0;
   hwmodel::SortBackend last_choice_ = hwmodel::SortBackend::kCpuStdSort;
+  std::uint64_t batch_index_ = 0;  // flight-event sequence
 
   // Batch scratch: per-run candidate index, and the grouped span list handed
   // to each backend.

@@ -31,6 +31,7 @@ ResilientSorter::ResilientSorter(Sorter* inner, Sorter* fallback, gpu::GpuDevice
       hook_(hook),
       trace_(obs.trace),
       metrics_(obs.metrics),
+      flight_(obs.flight),
       options_(options) {
   STREAMGPU_CHECK(inner_ != nullptr);
   if (metrics_ != nullptr) {
@@ -115,6 +116,10 @@ void ResilientSorter::SortRuns(std::span<std::span<float>> runs) {
       // the pending runs in an undefined mix of old/new values. Restore and
       // decide: retry, degrade, or quarantine.
       ++consecutive_losses_;
+      if (flight_ != nullptr) {
+        flight_->Record(obs::FlightEventKind::kDeviceLost, "sort", inner_->name(),
+                        batch, consecutive_losses_);
+      }
       device_->Recover();
       for (std::size_t i = 0; i < runs.size(); ++i) {
         if (!failed_[i]) continue;
@@ -124,10 +129,20 @@ void ResilientSorter::SortRuns(std::span<std::span<float>> runs) {
       if (consecutive_losses_ >= options_.max_device_losses && options_.cpu_fallback &&
           fallback_ != nullptr) {
         degraded_ = true;  // the device is gone for good; this worker is CPU-only now
+        if (flight_ != nullptr) {
+          flight_->Record(obs::FlightEventKind::kDegraded, "sort", inner_->name(),
+                          batch, consecutive_losses_);
+          flight_->Dump("degraded");
+        }
         fallback_->SortRuns(pending_);
         accumulated += fallback_->last_run();
         ++stats_.cpu_fallbacks;
         if (metrics_ != nullptr) metrics_->Add(m_fallbacks_);
+        if (flight_ != nullptr) {
+          flight_->Record(obs::FlightEventKind::kCpuFallback, "sort",
+                          fallback_->name(), batch,
+                          static_cast<std::int64_t>(pending_.size()));
+        }
         break;
       }
     } else {
@@ -157,6 +172,11 @@ void ResilientSorter::SortRuns(std::span<std::span<float>> runs) {
         accumulated += fallback_->last_run();
         ++stats_.cpu_fallbacks;
         if (metrics_ != nullptr) metrics_->Add(m_fallbacks_);
+        if (flight_ != nullptr) {
+          flight_->Record(obs::FlightEventKind::kCpuFallback, "sort",
+                          fallback_->name(), batch,
+                          static_cast<std::int64_t>(pending_.size()));
+        }
       } else {
         for (std::size_t i = 0; i < runs.size(); ++i) {
           if (!failed_[i]) continue;
@@ -164,13 +184,27 @@ void ResilientSorter::SortRuns(std::span<std::span<float>> runs) {
           ++stats_.windows_quarantined;
           stats_.elements_dropped += runs[i].size();
           if (metrics_ != nullptr) metrics_->Add(m_quarantined_);
+          if (flight_ != nullptr) {
+            flight_->Record(obs::FlightEventKind::kWindowQuarantined, "sort",
+                            inner_->name(), batch, static_cast<std::int64_t>(i),
+                            static_cast<std::int64_t>(runs[i].size()));
+          }
         }
+        // The decision that motivated the recorder: a quarantined window
+        // means data was dropped, so publish the evidence trail now.
+        if (flight_ != nullptr && quarantine_mask_ != 0) flight_->Dump("quarantine");
       }
       break;
     }
     ++attempt;
     ++stats_.sort_retries;
     if (metrics_ != nullptr) metrics_->Add(m_retries_);
+    if (flight_ != nullptr) {
+      std::int64_t still_pending = 0;
+      for (const char f : failed_) still_pending += f != 0;
+      flight_->Record(obs::FlightEventKind::kSortRetry, "sort", inner_->name(),
+                      batch, attempt, still_pending);
+    }
     Backoff(attempt);
   }
 

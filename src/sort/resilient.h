@@ -25,6 +25,7 @@
 
 #include "gpu/device.h"
 #include "gpu/fault_hook.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/observability.h"
 #include "obs/trace.h"
@@ -96,6 +97,7 @@ class ResilientSorter final : public Sorter {
   gpu::DeviceFaultHook* const hook_;
   obs::TraceRecorder* const trace_;
   obs::MetricsRegistry* const metrics_;
+  obs::FlightRecorder* const flight_;
   const ResilienceOptions options_;
 
   obs::MetricId m_injected_ = obs::kInvalidMetric;

@@ -40,6 +40,7 @@ SortPipeline::SortPipeline(const PipelineConfig& config,
       drain_(std::move(drain)),
       trace_(config.trace),
       trace_label_(config.trace_label),
+      flight_(config.flight),
       drain_deadline_seconds_(config.drain_deadline_seconds),
       queue_stall_hook_(config.queue_stall_hook) {
   STREAMGPU_CHECK_MSG(window_size_ >= 1, "pipeline window_size must be >= 1");
@@ -112,6 +113,12 @@ core::Status SortPipeline::Submit(std::vector<float>&& batch) {
   slot.seq = next_submit_seq_++;
   slot.data = std::move(batch);
   slot.enqueued_at = Now();
+  if (flight_ != nullptr) {
+    // The recorder takes its own leaf mutex; holding mu_ across it is safe
+    // (the recorder never calls back into the pipeline).
+    flight_->Record(obs::FlightEventKind::kBatchSubmitted, "pipeline", "submit",
+                    slot.seq, in_flight_);
+  }
   work_ready_.notify_one();
   return core::Status::Ok();
 }
@@ -169,7 +176,13 @@ void SortPipeline::WorkerLoop(int worker_index) {
     // worker without touching the device (docs/ROBUSTNESS.md).
     if (queue_stall_hook_) {
       const unsigned stall_us = queue_stall_hook_(worker_index);
-      if (stall_us > 0) std::this_thread::sleep_for(std::chrono::microseconds(stall_us));
+      if (stall_us > 0) {
+        if (flight_ != nullptr) {
+          flight_->Record(obs::FlightEventKind::kQueueStall, "pipeline", "queue",
+                          batch.seq, stall_us, worker_index);
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(stall_us));
+      }
     }
 
     // Sort outside the lock: this is the stage that fans out across workers.
@@ -230,6 +243,11 @@ void SortPipeline::DrainLoop() {
       // The summary stage is broken; draining further batches into it would
       // compound the damage. Latch the Status and stop — Submit()/WaitIdle()
       // report it from here on.
+      if (flight_ != nullptr) {
+        flight_->Record(obs::FlightEventKind::kDrainFailed, "pipeline", "drain",
+                        seq, static_cast<std::int64_t>(batch_elements));
+        flight_->Dump("drain_failed");
+      }
       std::lock_guard<std::mutex> lock(mu_);
       failed_ = std::move(drain_status);
       slot_free_.notify_all();
@@ -243,6 +261,11 @@ void SortPipeline::DrainLoop() {
                        {"elements", static_cast<double>(batch_elements)}});
     }
 
+    if (flight_ != nullptr) {
+      // Drain is strictly ordered, so seq + 1 == batches drained so far.
+      flight_->Record(obs::FlightEventKind::kBatchDrained, "pipeline", "drain",
+                      seq, static_cast<std::int64_t>(seq + 1));
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       stats_.drain_wall_seconds += drain_wall;

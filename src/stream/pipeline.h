@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "core/status.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "sort/sorter.h"
 
@@ -71,6 +72,12 @@ struct PipelineConfig {
   /// Track-name prefix distinguishing coexisting pipelines in one trace
   /// (e.g. "freq" / "quant" for a StreamMiner).
   std::string trace_label = "pipeline";
+
+  /// Flight-event sink (borrowed; null = off). The pipeline records batch
+  /// submit/drain progress and queue stalls into the ring, and dumps it when
+  /// the drain latches its sticky failure — the artifact that makes a dead
+  /// pipeline diagnosable after the fact (docs/OBSERVABILITY.md).
+  obs::FlightRecorder* flight = nullptr;
 
   /// Maximum seconds Submit()/WaitIdle() block on the in-flight cap before
   /// returning kDeadlineExceeded instead of waiting forever (0 = no
@@ -195,6 +202,7 @@ class SortPipeline {
   const DrainFn drain_;
   obs::TraceRecorder* const trace_;
   const std::string trace_label_;
+  obs::FlightRecorder* const flight_;
   const double drain_deadline_seconds_;
   const std::function<unsigned(int)> queue_stall_hook_;
   int max_in_flight_ = 0;

@@ -1,13 +1,20 @@
 // Tests for the observability layer (src/obs/): MetricsRegistry semantics
-// (registration idempotence, sharded multi-thread recording, the runtime
-// enable guard), TraceRecorder semantics (sampling, track naming, the span
-// cap), the golden metrics-JSON schema, and trace well-formedness (balanced
-// JSON, per-track monotone timestamps).
+// (registration idempotence, labels, sharded multi-thread recording, the
+// runtime enable guard), the metric-key render/parse pair, the GK-backed
+// StreamingSummary, the Prometheus exposition writer (including its golden),
+// the background MetricsExporter, the FlightRecorder ring, TraceRecorder
+// semantics (sampling, track naming, the span cap + drop counter), the
+// golden metrics-JSON schema, and trace well-formedness.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <numeric>
+#include <random>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -15,7 +22,11 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/exporter.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/summary.h"
 #include "obs/trace.h"
 
 namespace streamgpu::obs {
@@ -128,6 +139,312 @@ TEST(MetricsSnapshotTest, JsonMatchesGoldenSchema) {
   EXPECT_EQ(ReadFile(path),
             ReadFile(std::string(STREAMGPU_TEST_GOLDEN_DIR) +
                      "/metrics_schema.golden"));
+}
+
+TEST(RenderMetricKeyTest, BareNameSortedLabelsAndEscapes) {
+  EXPECT_EQ(RenderMetricKey("sort.elements", {}), "sort.elements");
+  EXPECT_EQ(RenderMetricKey("sort.elements", {{"b", "2"}, {"a", "1"}}),
+            "sort.elements{a=\"1\",b=\"2\"}");
+  EXPECT_EQ(RenderMetricKey("m", {{"k", "a\\b\"c\nd"}}),
+            "m{k=\"a\\\\b\\\"c\\nd\"}");
+}
+
+TEST(ParseMetricKeyTest, RoundTripsRenderedKeys) {
+  const std::vector<std::pair<std::string, MetricLabels>> cases = {
+      {"freq.sort.elements", {}},
+      {"freq.sort.elements", {{"backend", "pbsn"}}},
+      {"m", {{"a", "1"}, {"b", "x y"}}},
+      {"m", {{"k", "quote\" slash\\ nl\n"}}},
+  };
+  for (const auto& [name, labels] : cases) {
+    const std::string key = RenderMetricKey(name, labels);
+    std::string parsed_name;
+    MetricLabels parsed;
+    ASSERT_TRUE(ParseMetricKey(key, &parsed_name, &parsed)) << key;
+    EXPECT_EQ(parsed_name, name);
+    EXPECT_EQ(parsed, labels) << key;
+  }
+}
+
+TEST(ParseMetricKeyTest, RejectsMalformedKeys) {
+  std::string name;
+  MetricLabels labels;
+  for (const char* bad : {"", "m{", "m{a=1}", "m{a=\"v\"", "m{a=\"v\"}x",
+                          "m{=\"v\"}", "m{a=\"v\"b=\"w\"}"}) {
+    EXPECT_FALSE(ParseMetricKey(bad, &name, &labels)) << bad;
+  }
+}
+
+TEST(MetricsRegistryTest, LabeledSeriesAreDistinctAndRenderCanonically) {
+  MetricsRegistry reg;
+  const MetricId flat = reg.Counter("sort.elements");
+  const MetricId pbsn = reg.Counter("sort.elements", {{"backend", "pbsn"}});
+  const MetricId radix = reg.Counter("sort.elements", {{"backend", "radix"}});
+  EXPECT_NE(flat, pbsn);
+  EXPECT_NE(pbsn, radix);
+  // Label order does not matter: same canonical key, same id.
+  EXPECT_EQ(reg.Counter("s", {{"a", "1"}, {"b", "2"}}),
+            reg.Counter("s", {{"b", "2"}, {"a", "1"}}));
+
+  reg.Add(flat, 10);
+  reg.Add(pbsn, 7);
+  reg.Add(radix, 3);
+  const MetricsSnapshot snap = reg.Snapshot();
+  std::map<std::string, std::uint64_t> counters(snap.counters.begin(),
+                                                snap.counters.end());
+  EXPECT_EQ(counters.at("sort.elements"), 10u);
+  EXPECT_EQ(counters.at("sort.elements{backend=\"pbsn\"}"), 7u);
+  EXPECT_EQ(counters.at("sort.elements{backend=\"radix\"}"), 3u);
+}
+
+TEST(MetricsRegistryTest, HistogramBoundaryValuesAreLeInclusive) {
+  // A value equal to an upper bound belongs to that bound's bucket, so the
+  // Prometheus cumulative le mapping is exact (le="10" includes 10.0).
+  MetricsRegistry reg;
+  const MetricId h = reg.Histogram("h", {10.0, 20.0});
+  reg.Record(h, 10.0);
+  reg.Record(h, 20.0);
+  reg.Record(h, 20.0000001);
+  const MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].counts, (std::vector<std::uint64_t>{1, 1, 1}));
+}
+
+TEST(MetricsRegistryTest, EmptyInstrumentsSerializeInBothFormats) {
+  // Registered-but-never-recorded instruments must serialize cleanly: zero
+  // counts, empty quantile list, and a Prometheus +Inf bucket equal to the
+  // (zero) _count.
+  MetricsRegistry reg;
+  reg.Counter("c");
+  reg.Gauge("g");
+  reg.Histogram("h", {1.0});
+  reg.Summary("s");
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.summaries.size(), 1u);
+  EXPECT_EQ(snap.summaries[0].count, 0u);
+  EXPECT_TRUE(snap.summaries[0].quantiles.empty());
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 0u);
+
+  const std::string json_path = TempPath("metrics_empty.json");
+  const std::string prom_path = TempPath("metrics_empty.prom");
+  ASSERT_TRUE(reg.WriteJsonFile(json_path.c_str()));
+  ASSERT_TRUE(WritePrometheusFile(snap, prom_path.c_str()));
+  const std::string prom = ReadFile(prom_path);
+  EXPECT_NE(prom.find("streamgpu_c_total 0"), std::string::npos);
+  EXPECT_NE(prom.find("streamgpu_h_bucket{le=\"+Inf\"} 0"), std::string::npos);
+  EXPECT_NE(prom.find("streamgpu_s_count 0"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationRacesSnapshotSafely) {
+  // Threads registering fresh instruments and recording through them while
+  // another thread snapshots: no torn state, no lost registrations. Run
+  // under TSan in CI.
+  MetricsRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 8;
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    while (!stop.load(std::memory_order_relaxed)) reg.Snapshot();
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&reg, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::string tag =
+            "race.t" + std::to_string(t) + ".i" + std::to_string(i);
+        reg.Add(reg.Counter(tag + ".c"), 1);
+        reg.Record(reg.Histogram(tag + ".h", {1.0, 2.0}), 1.5);
+        reg.Observe(reg.Summary(tag + ".s"), 3.0);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.size(), std::size_t{kThreads} * kPerThread);
+  EXPECT_EQ(snap.histograms.size(), std::size_t{kThreads} * kPerThread);
+  EXPECT_EQ(snap.summaries.size(), std::size_t{kThreads} * kPerThread);
+  for (const auto& [name, value] : snap.counters) EXPECT_EQ(value, 1u) << name;
+}
+
+TEST(StreamingSummaryTest, QuantilesStayWithinTheHonestBound) {
+  // Shuffled distinct integers make exact ranks trivial: value v has rank
+  // v + 1. Every queried quantile must land within epsilon() * n of its
+  // target rank, and the honest bound must respect the configured target.
+  constexpr std::uint64_t kN = 50000;
+  std::vector<double> values(kN);
+  std::iota(values.begin(), values.end(), 0.0);
+  std::mt19937 rng(7);
+  std::shuffle(values.begin(), values.end(), rng);
+
+  StreamingSummary summary(0.01);
+  for (double v : values) summary.Observe(v);
+  ASSERT_EQ(summary.count(), kN);
+  EXPECT_DOUBLE_EQ(summary.sum(), static_cast<double>(kN) * (kN - 1) / 2);
+  EXPECT_LE(summary.epsilon(), 0.01);
+  for (double phi : {0.5, 0.9, 0.99}) {
+    const double rank = summary.Quantile(phi) + 1;
+    const double target = std::ceil(phi * static_cast<double>(kN));
+    EXPECT_LE(std::abs(rank - target), summary.epsilon() * kN) << phi;
+  }
+  // The whole point: bounded memory, far below the 50k raw observations.
+  EXPECT_LT(summary.TupleCount(), 8000u);
+}
+
+TEST(StreamingSummaryTest, EmptyAndSingleObservation) {
+  StreamingSummary summary;
+  EXPECT_EQ(summary.count(), 0u);
+  EXPECT_DOUBLE_EQ(summary.Quantile(0.5), 0.0);
+  summary.Observe(42.0);
+  EXPECT_EQ(summary.count(), 1u);
+  EXPECT_DOUBLE_EQ(summary.Quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(summary.Quantile(0.99), 42.0);
+}
+
+TEST(MetricsRegistryTest, SummarySnapshotCarriesQuantilesAndEpsilon) {
+  MetricsRegistry reg;
+  const MetricId s = reg.Summary("lat", {{"backend", "pbsn"}}, 0.02);
+  EXPECT_EQ(reg.Summary("lat", {{"backend", "pbsn"}}, 0.5), s);  // idempotent
+  constexpr int kN = 1000;
+  for (int i = 1; i <= kN; ++i) reg.Observe(s, static_cast<double>(i));
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.summaries.size(), 1u);
+  const auto& sum = snap.summaries[0];
+  EXPECT_EQ(sum.name, "lat{backend=\"pbsn\"}");
+  EXPECT_EQ(sum.count, static_cast<std::uint64_t>(kN));
+  EXPECT_DOUBLE_EQ(sum.sum, kN * (kN + 1) / 2.0);
+  EXPECT_LE(sum.epsilon, 0.02);
+  ASSERT_EQ(sum.quantiles.size(), kSummaryQuantiles.size());
+  for (std::size_t i = 0; i < sum.quantiles.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sum.quantiles[i].first, kSummaryQuantiles[i]);
+    const double target = std::ceil(kSummaryQuantiles[i] * kN);
+    EXPECT_LE(std::abs(sum.quantiles[i].second - target), sum.epsilon * kN);
+  }
+}
+
+TEST(PrometheusTest, SanitizesNamesAndAddsThePrefix) {
+  EXPECT_EQ(PrometheusName("freq.sort.latency_us"),
+            "streamgpu_freq_sort_latency_us");
+  EXPECT_EQ(PrometheusName("a-b c"), "streamgpu_a_b_c");
+}
+
+TEST(PrometheusTest, ExpositionMatchesGolden) {
+  // Pins the full text-exposition mapping (prefix, _total, cumulative
+  // buckets, quantile series + the sibling _error gauge family) the same
+  // way metrics_schema.golden pins the JSON schema.
+  MetricsRegistry reg;
+  reg.Add(reg.Counter("demo.batches"), 3);
+  reg.Add(reg.Counter("sort.elements", {{"backend", "pbsn"}}), 1024);
+  reg.Add(reg.Counter("sort.elements", {{"backend", "radix"}}), 512);
+  reg.Set(reg.Gauge("demo.ratio"), 0.25);
+  const MetricId h = reg.Histogram("demo.window_elements", {64.0, 128.0, 256.0});
+  for (double v : {10.0, 64.0, 100.0, 256.0, 1000.0}) reg.Record(h, v);
+  const MetricId s = reg.Summary("demo.latency_us", {{"stage", "sort"}});
+  for (int i = 1; i <= 100; ++i) reg.Observe(s, static_cast<double>(i));
+
+  const std::string path = TempPath("metrics_prom.prom");
+  ASSERT_TRUE(WritePrometheusFile(reg.Snapshot(), path.c_str()));
+  EXPECT_EQ(ReadFile(path),
+            ReadFile(std::string(STREAMGPU_TEST_GOLDEN_DIR) +
+                     "/metrics_prom.golden"));
+}
+
+TEST(MetricsExporterTest, PublishesPeriodicallyAndOnStop) {
+  MetricsRegistry reg;
+  const MetricId c = reg.Counter("exported.count");
+  reg.Add(c, 1);
+
+  MetricsExporterOptions opt;
+  opt.path = TempPath("exported_metrics.json");
+  opt.period_seconds = 0.002;
+  MetricsExporter exporter(&reg, opt);
+  // Wait (bounded) for at least one periodic export.
+  for (int i = 0; i < 1000 && exporter.exports() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(exporter.exports(), 1u);
+
+  reg.Add(c, 41);
+  exporter.Stop();
+  exporter.Stop();  // idempotent
+  EXPECT_EQ(exporter.failures(), 0u);
+  // Stop() exports once more, so the artifact reflects the final state.
+  EXPECT_NE(ReadFile(opt.path).find("\"exported.count\": 42"),
+            std::string::npos);
+}
+
+TEST(MetricsExporterTest, PrometheusFormatRoundTrips) {
+  MetricsRegistry reg;
+  reg.Add(reg.Counter("exported.count", {{"backend", "pbsn"}}), 5);
+  MetricsExporterOptions opt;
+  opt.path = TempPath("exported_metrics.prom");
+  opt.period_seconds = 60.0;  // only the ExportOnce/Stop writes matter
+  opt.format = MetricsFormat::kProm;
+  MetricsExporter exporter(&reg, opt);
+  ASSERT_TRUE(exporter.ExportOnce());
+  exporter.Stop();
+  const std::string prom = ReadFile(opt.path);
+  EXPECT_NE(prom.find("# TYPE streamgpu_exported_count_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("streamgpu_exported_count_total{backend=\"pbsn\"} 5"),
+            std::string::npos);
+}
+
+TEST(FlightRecorderTest, RingKeepsNewestAndCountsTotal) {
+  FlightRecorder flight(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    flight.Record(FlightEventKind::kBatchSorted, "sort", "pbsn", i,
+                  static_cast<std::int64_t>(i * 100));
+  }
+  EXPECT_EQ(flight.total_events(), 10u);
+  const auto events = flight.Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().index, 6u);  // oldest retained
+  EXPECT_EQ(events.back().index, 9u);   // newest
+  EXPECT_EQ(events.back().seq, 9u);
+  EXPECT_EQ(events.back().a, 900);
+}
+
+TEST(FlightRecorderTest, DumpWithoutPathIsANoOp) {
+  FlightRecorder flight;
+  flight.Record(FlightEventKind::kDrainFailed, "pipeline", "");
+  EXPECT_FALSE(flight.Dump("whatever"));
+  EXPECT_EQ(flight.dumps(), 0u);
+}
+
+TEST(FlightRecorderTest, DumpWritesReasonAndEvents) {
+  FlightRecorder flight;
+  flight.set_dump_path(TempPath("flight_dump.json"));
+  flight.Record(FlightEventKind::kBackendChosen, "plan", "pbsn", 0, 4);
+  flight.Record(FlightEventKind::kWindowQuarantined, "sort", "pbsn", 7, 7, 1024);
+  ASSERT_TRUE(flight.Dump("test-quarantine"));
+  EXPECT_EQ(flight.dumps(), 1u);
+  const std::string dump = ReadFile(flight.dump_path());
+  EXPECT_NE(dump.find("\"reason\": \"test-quarantine\""), std::string::npos);
+  EXPECT_NE(dump.find("backend_chosen"), std::string::npos);
+  EXPECT_NE(dump.find("window_quarantined"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, SpanCapDropsMirrorIntoBoundCounter) {
+  // The spans_dropped counter makes silent trace truncation visible in the
+  // exported metrics (docs/OBSERVABILITY.md).
+  MetricsRegistry reg;
+  TraceRecorder trace(1, 2);
+  trace.BindDropCounter(&reg);
+  trace.AddSpan("a", "t", 0.0, 1.0);
+  trace.AddSpan("b", "t", 1.0, 1.0);
+  trace.AddSpan("c", "t", 2.0, 1.0);
+  trace.AddSpan("d", "t", 3.0, 1.0);
+  EXPECT_EQ(trace.dropped(), 2u);
+  const MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0],
+            (std::pair<std::string, std::uint64_t>{"obs.trace.spans_dropped", 2}));
 }
 
 TEST(TraceRecorderTest, SamplingGatesEveryKthSequence) {

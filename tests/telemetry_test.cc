@@ -1,0 +1,166 @@
+// Acceptance suite for the production-telemetry layer (docs/OBSERVABILITY.md):
+//
+//  (a) deterministic aggregation — counter and histogram merges, including
+//      the labeled {backend=...} series, are bit-identical between serial
+//      and 4-worker pipelined execution of the same stream;
+//  (b) deterministic flight dumps — a fixed-seed quarantine fault plan
+//      produces a byte-identical flight-recorder artifact across repeated
+//      serial runs, and the artifact records the quarantine itself;
+//  (c) honest percentiles — a p99 exported through the Prometheus text
+//      format lands within the documented GK rank-error bound of the exact
+//      quantile of the observed data.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <numeric>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fault.h"
+#include "core/frequency_estimator.h"
+#include "core/options.h"
+#include "core/status.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/summary.h"
+#include "stream/generator.h"
+
+namespace streamgpu::core {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::vector<float> ZipfStream(std::size_t n, unsigned seed) {
+  stream::StreamGenerator gen({.distribution = stream::Distribution::kZipf,
+                               .seed = seed,
+                               .domain_size = 300});
+  return gen.Take(n);
+}
+
+// Runs a FrequencyEstimator over `data` with `workers` sort workers and
+// returns the merged metrics snapshot.
+obs::MetricsSnapshot RunWithMetrics(const std::vector<float>& data,
+                                    int workers) {
+  obs::MetricsRegistry metrics;
+  Options opt;
+  opt.epsilon = 0.005;
+  opt.backend = Backend::kAuto;
+  opt.num_sort_workers = workers;
+  opt.obs.metrics = &metrics;
+  FrequencyEstimator fe(opt);
+  EXPECT_TRUE(fe.ObserveBatch(data).ok());
+  EXPECT_TRUE(fe.Flush().ok());
+  return metrics.Snapshot();
+}
+
+TEST(TelemetryAcceptanceTest, LabeledCountersMergeBitIdenticallyAcrossModes) {
+  // The determinism contract (obs/metrics.h): counters and histograms record
+  // operation counts and operand sizes, and label values are execution-mode
+  // agnostic, so the merged totals cannot depend on how work was sharded.
+  const auto data = ZipfStream(40000, 11);
+  const obs::MetricsSnapshot serial = RunWithMetrics(data, 1);
+  const obs::MetricsSnapshot pipelined = RunWithMetrics(data, 4);
+
+  EXPECT_EQ(serial.counters, pipelined.counters);
+  ASSERT_EQ(serial.histograms.size(), pipelined.histograms.size());
+  for (std::size_t i = 0; i < serial.histograms.size(); ++i) {
+    EXPECT_EQ(serial.histograms[i].name, pipelined.histograms[i].name);
+    EXPECT_EQ(serial.histograms[i].counts, pipelined.histograms[i].counts);
+    EXPECT_DOUBLE_EQ(serial.histograms[i].sum, pipelined.histograms[i].sum);
+  }
+
+  // The comparison must actually cover labeled series and real work.
+  bool saw_labeled = false;
+  std::uint64_t sort_elements = 0;
+  for (const auto& [key, value] : serial.counters) {
+    if (key.find("{backend=\"") != std::string::npos) saw_labeled = true;
+    if (key == "freq.sort.elements") sort_elements = value;
+  }
+  EXPECT_TRUE(saw_labeled);
+  EXPECT_GE(sort_elements, data.size());
+}
+
+TEST(TelemetryAcceptanceTest, QuarantineFlightDumpIsDeterministic) {
+  // Flight events carry logical sequence numbers, never wall clocks, so a
+  // fixed seed must reproduce the dump byte for byte (obs/flight_recorder.h).
+  const auto data = ZipfStream(20000, 7);
+  const std::string dump_path = ::testing::TempDir() + "/telemetry_flight.json";
+
+  auto run_once = [&]() {
+    obs::FlightRecorder flight;
+    flight.set_dump_path(dump_path);
+    Options opt;
+    opt.epsilon = 0.005;
+    opt.backend = Backend::kGpuPbsn;
+    opt.obs.flight = &flight;
+    opt.fault.plan = *FaultPlan::Parse("readback:bitflip:every=2", 13);
+    opt.fault.cpu_fallback = false;
+    opt.fault.max_retries = 1;
+    opt.fault.backoff_initial_us = 1;
+    opt.fault.backoff_max_us = 1;
+    FrequencyEstimator fe(opt);
+    EXPECT_TRUE(fe.ObserveBatch(data).ok());
+    EXPECT_TRUE(fe.Flush().ok());
+    EXPECT_GT(fe.fault_stats().windows_quarantined, 0u);
+    EXPECT_GE(flight.dumps(), 1u);
+    return ReadFile(dump_path);
+  };
+
+  const std::string first = run_once();
+  EXPECT_NE(first.find("\"reason\": \"quarantine\""), std::string::npos);
+  EXPECT_NE(first.find("window_quarantined"), std::string::npos);
+  EXPECT_NE(first.find("fault_injected"), std::string::npos);
+  EXPECT_EQ(first, run_once());
+}
+
+TEST(TelemetryAcceptanceTest, ExportedP99IsWithinTheDocumentedEpsilon) {
+  // Feed a known multiset, export through the Prometheus writer, parse the
+  // quantile="0.99" sample back out, and check its exact rank against the
+  // bound the export itself states (the sibling _error gauge).
+  constexpr std::uint64_t kN = 30000;
+  std::vector<double> values(kN);
+  std::iota(values.begin(), values.end(), 0.0);
+  std::mt19937 rng(29);
+  std::shuffle(values.begin(), values.end(), rng);
+
+  obs::MetricsRegistry reg;
+  const obs::MetricId s = reg.Summary("stage.latency_us");
+  for (double v : values) reg.Observe(s, v);
+
+  const std::string path = ::testing::TempDir() + "/telemetry_p99.prom";
+  ASSERT_TRUE(obs::WritePrometheusFile(reg.Snapshot(), path.c_str()));
+  const std::string prom = ReadFile(path);
+
+  auto sample_after = [&prom](const std::string& needle) {
+    const std::size_t pos = prom.find(needle);
+    EXPECT_NE(pos, std::string::npos) << needle;
+    return std::stod(prom.substr(pos + needle.size()));
+  };
+  const double p99 =
+      sample_after("\nstreamgpu_stage_latency_us{quantile=\"0.99\"} ");
+  const double epsilon = sample_after("\nstreamgpu_stage_latency_us_error ");
+  EXPECT_GT(epsilon, 0.0);
+  EXPECT_LE(epsilon, obs::StreamingSummary::kDefaultEpsilon);
+
+  // Distinct integers 0..n-1: the exact rank of value v is v + 1.
+  const double rank = p99 + 1;
+  const double target = std::ceil(0.99 * static_cast<double>(kN));
+  EXPECT_LE(std::abs(rank - target), epsilon * static_cast<double>(kN));
+}
+
+}  // namespace
+}  // namespace streamgpu::core

@@ -5,6 +5,8 @@ Usage:
   check_bench_regression.py BASELINE.json NEW_ENGINE.json [--tolerance 1.2]
   check_bench_regression.py --fig3-overhead BASELINE.json NEW_FIG3.json \\
       [--overhead-tolerance 1.02]
+  check_bench_regression.py --fig3-obs-overhead NEW_FIG3.json \\
+      [--overhead-tolerance 1.02]
   check_bench_regression.py --fig3-backends BASELINE.json NEW_FIG3.json \\
       [--min-auto-speedup 2.0]
   check_bench_regression.py --merge ENGINE.json FIG3.json [-o BENCH_sort.json]
@@ -23,6 +25,15 @@ new/baseline ratios exceeds the overhead tolerance (default 1.02 — the
 "observability hooks cost < 2% when disabled" budget from
 docs/OBSERVABILITY.md). The geometric mean across rows, rather than a
 per-row gate, absorbs single-size timing noise.
+
+Fig3-obs-overhead mode gates the ENABLED-observability cost within a single
+bench_fig3_sorting run (no baseline file needed): each row carries a paired
+best-of-N PBSN measurement with telemetry fully on (labeled counters, the GK
+latency summary, an armed flight recorder) as ``obs_rel_memcpy`` next to the
+plain ``rel_memcpy``, and the gate fails if the geometric mean of
+obs/plain across rows exceeds the overhead tolerance (default 1.02). The
+within-run pairing cancels machine speed entirely — only the telemetry
+delta remains.
 
 Fig3-backends mode validates the per-backend rows bench_fig3_sorting emits
 under each row's ``backends`` object: every backend name must be one the
@@ -178,6 +189,49 @@ def check_fig3_overhead(baseline_path, new_path, tolerance):
     return 0
 
 
+def check_fig3_obs_overhead(new_path, tolerance):
+    new = load(new_path)["fig3_sorting"]
+
+    ratios = []
+    failures = []
+    print(f"{'n':>10} {'plain':>10} {'obs':>10} {'ratio':>7}  "
+          f"(rel_memcpy, enabled-telemetry budget {tolerance:.2f}x)")
+    for row in new["rows"]:
+        n = row["n"]
+        plain = row.get("rel_memcpy")
+        obs = row.get("obs_rel_memcpy")
+        if obs is None:
+            failures.append(f"n={n}: row has no obs_rel_memcpy (bench too old?)")
+            continue
+        ratio = obs / plain if plain and plain > 0 else float("inf")
+        ratios.append(ratio)
+        print(f"{n:>10} {plain:>10.2f} {obs:>10.2f} {ratio:>6.3f}x")
+
+    if not ratios and not failures:
+        failures.append("no rows found in fig3_sorting")
+    if ratios:
+        geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        flag = " EXCEEDS BUDGET" if geomean > tolerance else ""
+        print(f"\ngeometric mean: {geomean:.3f}x "
+              f"(overhead budget {tolerance:.2f}x){flag}")
+        if geomean > tolerance:
+            failures.append(f"geomean obs/plain rel_memcpy {geomean:.3f}x > "
+                            f"{tolerance:.2f}x budget")
+
+    if failures:
+        print("\nFAIL: enabled-observability overhead gate (paired PBSN "
+              "measurements within one bench_fig3_sorting run):",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        print("\nLabeled metrics + the flight recorder must add < 2% to the "
+              "sort hot path when enabled (docs/OBSERVABILITY.md).",
+              file=sys.stderr)
+        return 1
+    print("OK: enabled-telemetry overhead within budget.")
+    return 0
+
+
 def check_fig3_backends(baseline_path, new_path, min_speedup):
     baseline = load(baseline_path)["fig3_sorting"]
     new = load(new_path)["fig3_sorting"]
@@ -240,9 +294,10 @@ def check_fig3_backends(baseline_path, new_path, min_speedup):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("inputs", nargs=2,
-                        help="baseline.json new.json (check modes) or "
-                             "engine.json fig3.json (merge mode)")
+    parser.add_argument("inputs", nargs="+",
+                        help="baseline.json new.json (two-input modes), "
+                             "engine.json fig3.json (merge mode), or a single "
+                             "fig3.json (--fig3-obs-overhead)")
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
                         help="max allowed new/baseline rel_memcpy ratio "
                              f"(default {DEFAULT_TOLERANCE})")
@@ -254,6 +309,10 @@ def main():
                         default=DEFAULT_OVERHEAD_TOLERANCE,
                         help="max allowed geomean fig3 rel_memcpy ratio "
                              f"(default {DEFAULT_OVERHEAD_TOLERANCE})")
+    parser.add_argument("--fig3-obs-overhead", action="store_true",
+                        help="gate the ENABLED-telemetry overhead from the "
+                             "paired obs_rel_memcpy/rel_memcpy rows of one "
+                             "fig3 run (single input file)")
     parser.add_argument("--fig3-backends", action="store_true",
                         help="validate per-backend fig3 rows (unknown "
                              "backends fail) and gate the auto-planner "
@@ -268,6 +327,13 @@ def main():
                         help="merge-mode output path (default BENCH_sort.json)")
     args = parser.parse_args()
 
+    if args.fig3_obs_overhead:
+        if len(args.inputs) != 1:
+            parser.error("--fig3-obs-overhead takes exactly one fig3.json")
+        return check_fig3_obs_overhead(args.inputs[0],
+                                       args.overhead_tolerance)
+    if len(args.inputs) != 2:
+        parser.error("this mode takes exactly two input files")
     if args.merge:
         return merge(args.inputs[0], args.inputs[1], args.output)
     if args.fig3_overhead:

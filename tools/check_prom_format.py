@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition file (promtool-style, stdlib only).
+
+Checks the subset of exposition format 0.0.4 rules this project emits
+(docs/OBSERVABILITY.md):
+
+  * every non-comment line parses as  name[{labels}] value
+  * metric and label names match the Prometheus grammar
+  * label values use only the three legal escapes (\\\\, \\", \\n)
+  * every sample belongs to a family announced by a # TYPE line, honoring
+    the conventional suffixes (_total for counters; _bucket/_sum/_count for
+    histograms; _sum/_count for summaries)
+  * exactly one HELP and one TYPE per family, HELP before TYPE before samples
+  * histogram buckets are cumulative, le-sorted, and end at +Inf with a
+    count equal to the family's _count sample
+  * summary quantile labels are parseable floats in [0, 1]
+  * no duplicate series (same name + label set)
+  * values parse as Go-style floats (including +Inf/-Inf/NaN)
+
+Usage: check_prom_format.py FILE [FILE...]
+Exits non-zero with a line-numbered report on the first malformed file.
+"""
+
+import math
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# An escaped label value: any run of non-special chars or a legal escape.
+LABEL_VALUE_RE = re.compile(r'^(?:[^"\\\n]|\\\\|\\"|\\n)*$')
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)"
+    r"(?: (?P<timestamp>-?\d+))?$"
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\.)*)"')
+
+
+class FormatError(Exception):
+    pass
+
+
+def parse_value(raw):
+    if raw in ("+Inf", "Inf"):
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    if raw == "NaN":
+        return math.nan
+    try:
+        return float(raw)
+    except ValueError:
+        raise FormatError(f"bad sample value {raw!r}")
+
+
+def parse_labels(raw):
+    """Parses the inside of a label block; returns a (name, value) tuple list."""
+    labels = []
+    pos = 0
+    while pos < len(raw):
+        m = LABEL_RE.match(raw, pos)
+        if m is None:
+            raise FormatError(f"bad label block at offset {pos}: {raw!r}")
+        if not LABEL_VALUE_RE.match(m.group(2)):
+            raise FormatError(f"illegal escape in label value {m.group(2)!r}")
+        labels.append((m.group(1), m.group(2)))
+        pos = m.end()
+        if pos < len(raw):
+            if raw[pos] != ",":
+                raise FormatError(f"expected ',' between labels in {raw!r}")
+            pos += 1
+    names = [n for n, _ in labels]
+    if len(names) != len(set(names)):
+        raise FormatError(f"duplicate label name in {raw!r}")
+    return labels
+
+
+def family_of(name, types):
+    """Maps a sample name to its announced family, honoring type suffixes."""
+    if name in types:
+        return name
+    for suffix in ("_bucket", "_sum", "_count", "_total"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if base in types:
+                expected = {
+                    "_total": ("counter",),
+                    "_bucket": ("histogram",),
+                    "_sum": ("histogram", "summary"),
+                    "_count": ("histogram", "summary"),
+                }[suffix]
+                if types[base] not in expected:
+                    raise FormatError(
+                        f"{name}: suffix {suffix} not valid for {types[base]} {base}"
+                    )
+                return base
+    raise FormatError(f"sample {name} has no preceding # TYPE line")
+
+
+def check_file(path):
+    types = {}          # family -> type
+    helps = set()
+    samples_seen = set()  # (name, frozenset(labels)) for duplicate detection
+    buckets = {}        # family -> list of (le, count)
+    counts = {}         # family -> _count value (unlabeled or per label set)
+    announced_after_sample = set()
+
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            try:
+                if not line.strip():
+                    continue
+                if line.startswith("# HELP "):
+                    parts = line.split(" ", 3)
+                    if len(parts) < 4:
+                        raise FormatError("HELP line needs a name and text")
+                    name = parts[2]
+                    if not METRIC_NAME_RE.match(name):
+                        raise FormatError(f"bad family name in HELP: {name!r}")
+                    if name in helps:
+                        raise FormatError(f"duplicate HELP for {name}")
+                    helps.add(name)
+                    continue
+                if line.startswith("# TYPE "):
+                    parts = line.split(" ")
+                    if len(parts) != 4:
+                        raise FormatError("TYPE line must be '# TYPE name type'")
+                    name, mtype = parts[2], parts[3]
+                    if not METRIC_NAME_RE.match(name):
+                        raise FormatError(f"bad family name in TYPE: {name!r}")
+                    if mtype not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                        raise FormatError(f"unknown metric type {mtype!r}")
+                    if name in types:
+                        raise FormatError(f"duplicate TYPE for {name}")
+                    if name in announced_after_sample:
+                        raise FormatError(f"TYPE for {name} after its samples")
+                    types[name] = mtype
+                    continue
+                if line.startswith("#"):
+                    continue  # plain comment
+
+                m = SAMPLE_RE.match(line)
+                if m is None:
+                    raise FormatError(f"unparseable sample line: {line!r}")
+                name = m.group("name")
+                value = parse_value(m.group("value"))
+                labels = parse_labels(m.group("labels")) if m.group("labels") else []
+                family = family_of(name, types)
+                announced_after_sample.add(family)
+
+                series = (name, frozenset(labels))
+                if series in samples_seen:
+                    raise FormatError(f"duplicate series {name}{dict(labels)}")
+                samples_seen.add(series)
+
+                if types[family] == "histogram" and name.endswith("_bucket"):
+                    le = dict(labels).get("le")
+                    if le is None:
+                        raise FormatError(f"{name}: histogram bucket without le label")
+                    le_value = math.inf if le == "+Inf" else parse_value(le)
+                    buckets.setdefault(family, []).append((le_value, value))
+                if name.endswith("_count") and types[family] in ("histogram", "summary"):
+                    key = frozenset(kv for kv in labels if kv[0] != "quantile")
+                    counts[(family, key)] = value
+                if types[family] == "summary" and name == family:
+                    q = dict(labels).get("quantile")
+                    if q is None:
+                        raise FormatError(f"{name}: summary sample without quantile label")
+                    qv = parse_value(q)
+                    if not (0.0 <= qv <= 1.0):
+                        raise FormatError(f"{name}: quantile {q} outside [0, 1]")
+                if types[family] == "counter" and value < 0:
+                    raise FormatError(f"{name}: negative counter value {value}")
+            except FormatError as err:
+                raise FormatError(f"{path}:{lineno}: {err}") from None
+
+    # Cross-line checks: bucket monotonicity and the +Inf == _count law.
+    for family, entries in buckets.items():
+        les = [le for le, _ in entries]
+        if les != sorted(les):
+            raise FormatError(f"{path}: {family}: buckets not in ascending le order")
+        values = [v for _, v in entries]
+        if values != sorted(values):
+            raise FormatError(f"{path}: {family}: bucket counts not cumulative")
+        if not entries or entries[-1][0] != math.inf:
+            raise FormatError(f"{path}: {family}: missing le=\"+Inf\" bucket")
+        total = counts.get((family, frozenset()))
+        if total is not None and entries[-1][1] != total:
+            raise FormatError(
+                f"{path}: {family}: +Inf bucket {entries[-1][1]} != _count {total}"
+            )
+
+    for family in types:
+        if family not in helps:
+            raise FormatError(f"{path}: family {family} has TYPE but no HELP")
+
+    return len(samples_seen)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        print("usage: check_prom_format.py FILE [FILE...]", file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            n = check_file(path)
+        except FormatError as err:
+            print(f"FAIL: {err}", file=sys.stderr)
+            return 1
+        except OSError as err:
+            print(f"FAIL: {err}", file=sys.stderr)
+            return 1
+        print(f"OK: {path}: {n} series valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -27,7 +27,18 @@
 //                          backend's precision            (default unknown)
 //
 // Observability (docs/OBSERVABILITY.md):
-//   --metrics-out PATH     write the metrics snapshot JSON to PATH
+//   --metrics-out PATH     write the metrics snapshot to PATH
+//   --metrics-format FMT   snapshot serialization: json (the documented
+//                          schema) or prom (Prometheus text exposition)
+//                          (default json)
+//   --metrics-export-every SECS
+//                          continuously re-export the snapshot to
+//                          --metrics-out every SECS seconds from a
+//                          background thread (atomic rename; scrape-safe)
+//   --flight-out PATH      arm the fault flight recorder: crash-path dumps
+//                          (quarantine, drain failure, degrade) land at
+//                          PATH; a shutdown dump is written if nothing
+//                          went wrong
 //   --trace-out PATH       write a Chrome trace-event JSON to PATH
 //                          (chrome://tracing or https://ui.perfetto.dev)
 //   --trace-sample-every K record every K-th span per stage (default 1: all)
@@ -66,7 +77,10 @@
 #include "core/frequency_estimator.h"
 #include "core/instrumentation.h"
 #include "core/quantile_estimator.h"
+#include "obs/exporter.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "obs/trace.h"
 #include "stream/generator.h"
 
@@ -90,6 +104,9 @@ struct CliOptions {
   float expect_min = 0;
   float expect_max = 0;
   std::string metrics_out;
+  std::string metrics_format = "json";
+  double metrics_export_every = 0;
+  std::string flight_out;
   std::string trace_out;
   std::uint64_t trace_sample_every = 1;
   std::string fault_plan;
@@ -108,7 +125,9 @@ struct CliOptions {
                "  --sort-backend auto|pbsn|sample|bitonic|cpu|radix|stdsort\n"
                "  --sliding W\n"
                "  --workers N --in-flight M --expect-range LO,HI\n"
-               "  --metrics-out PATH --trace-out PATH --trace-sample-every K\n"
+               "  --metrics-out PATH --metrics-format json|prom\n"
+               "  --metrics-export-every SECS --flight-out PATH\n"
+               "  --trace-out PATH --trace-sample-every K\n"
                "  --fault-plan SPEC --fault-seed SEED --fault-retries N\n"
                "  --no-cpu-fallback --drain-deadline SECS\n"
                "  --phi P1,P2,...    (quantiles)\n"
@@ -164,6 +183,18 @@ CliOptions ParseArgs(int argc, char** argv) {
       opt.expect_max = static_cast<float>(range[1]);
     } else if (flag == "--metrics-out") {
       opt.metrics_out = next();
+    } else if (flag == "--metrics-format") {
+      opt.metrics_format = next();
+      if (opt.metrics_format != "json" && opt.metrics_format != "prom") {
+        Usage("--metrics-format must be json or prom");
+      }
+    } else if (flag == "--metrics-export-every") {
+      opt.metrics_export_every = std::strtod(next().c_str(), nullptr);
+      if (opt.metrics_export_every <= 0) {
+        Usage("--metrics-export-every must be > 0 seconds");
+      }
+    } else if (flag == "--flight-out") {
+      opt.flight_out = next();
     } else if (flag == "--trace-out") {
       opt.trace_out = next();
     } else if (flag == "--trace-sample-every") {
@@ -237,23 +268,62 @@ std::vector<float> LoadStream(const CliOptions& opt) {
 struct ObsSinks {
   std::unique_ptr<obs::MetricsRegistry> metrics;
   std::unique_ptr<obs::TraceRecorder> trace;
+  std::unique_ptr<obs::FlightRecorder> flight;
+  // Declared after metrics (destruction order): the exporter's thread reads
+  // the registry until Stop().
+  std::unique_ptr<obs::MetricsExporter> exporter;
 
   explicit ObsSinks(const CliOptions& opt) {
     if (!opt.metrics_out.empty()) metrics = std::make_unique<obs::MetricsRegistry>();
     if (!opt.trace_out.empty()) {
       trace = std::make_unique<obs::TraceRecorder>(opt.trace_sample_every);
     }
+    if (!opt.flight_out.empty()) {
+      flight = std::make_unique<obs::FlightRecorder>();
+      flight->set_dump_path(opt.flight_out);
+    }
+    if (opt.metrics_export_every > 0) {
+      if (metrics == nullptr) Usage("--metrics-export-every needs --metrics-out");
+      obs::MetricsExporterOptions export_opt;
+      export_opt.path = opt.metrics_out;
+      export_opt.period_seconds = opt.metrics_export_every;
+      export_opt.format = opt.metrics_format == "prom" ? obs::MetricsFormat::kProm
+                                                       : obs::MetricsFormat::kJson;
+      exporter = std::make_unique<obs::MetricsExporter>(metrics.get(), export_opt);
+    }
   }
 
-  obs::Observability view() const { return {metrics.get(), trace.get()}; }
+  obs::Observability view() const { return {metrics.get(), trace.get(), flight.get()}; }
 
   void Write(const CliOptions& opt) const {
-    if (metrics != nullptr) {
-      if (!metrics->WriteJsonFile(opt.metrics_out.c_str())) {
+    if (exporter != nullptr) {
+      // Stop() joins the background thread and publishes one final export in
+      // the configured format, so there is nothing left to write here.
+      exporter->Stop();
+      std::fprintf(stderr, "# metrics (%s, exported %llu times) -> %s\n",
+                   opt.metrics_format.c_str(),
+                   static_cast<unsigned long long>(exporter->exports()),
+                   opt.metrics_out.c_str());
+    } else if (metrics != nullptr) {
+      const bool ok =
+          opt.metrics_format == "prom"
+              ? obs::WritePrometheusFile(metrics->Snapshot(), opt.metrics_out.c_str())
+              : metrics->WriteJsonFile(opt.metrics_out.c_str());
+      if (!ok) {
         std::fprintf(stderr, "error: cannot write %s\n", opt.metrics_out.c_str());
         std::exit(1);
       }
-      std::fprintf(stderr, "# metrics snapshot -> %s\n", opt.metrics_out.c_str());
+      std::fprintf(stderr, "# metrics snapshot (%s) -> %s\n",
+                   opt.metrics_format.c_str(), opt.metrics_out.c_str());
+    }
+    if (flight != nullptr) {
+      // Crash paths (quarantine, drain failure, degrade) dump on their own;
+      // when the run stayed clean, publish a shutdown dump so the artifact
+      // always exists for inspection.
+      if (flight->dumps() == 0) flight->Dump("shutdown");
+      std::fprintf(stderr, "# flight recorder (%llu events) -> %s\n",
+                   static_cast<unsigned long long>(flight->total_events()),
+                   opt.flight_out.c_str());
     }
     if (trace != nullptr) {
       if (!trace->WriteJsonFile(opt.trace_out.c_str())) {
