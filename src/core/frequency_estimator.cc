@@ -35,15 +35,8 @@ const Options& ValidatedOptions(const Options& options) {
 }
 
 std::uint64_t NaturalWindow(const Options& options) {
-  if (options.window_size != 0) return options.window_size;
-  if (options.sliding_window != 0) {
-    // Sliding mode chunks the stream into the block size of the
-    // block-decomposition structure.
-    return sketch::SlidingWindowFrequency(options.epsilon, options.sliding_window)
-        .block_size();
-  }
-  // Whole-history mode: the Manku-Motwani bucket width ceil(1/epsilon).
-  return static_cast<std::uint64_t>(std::ceil(1.0 / options.epsilon));
+  return NaturalFrequencyWindow(options.epsilon, options.window_size,
+                                options.sliding_window);
 }
 
 }  // namespace
@@ -73,17 +66,8 @@ FrequencyEstimator::FrequencyEstimator(const Options& options)
       engine_(options),
       // engine_ is declared (and therefore initialized) before batcher_.
       batcher_(NaturalWindow(options), engine_.batch_windows()),
+      core_(options.epsilon, batcher_.window_size(), options.sliding_window),
       cpu_model_(hwmodel::kPentium4_3400) {
-  if (options.sliding_window != 0) {
-    sliding_.emplace(options.epsilon, options.sliding_window);
-    STREAMGPU_CHECK_MSG(batcher_.window_size() <= sliding_->block_size(),
-                        "window_size must not exceed the sliding block size");
-  } else {
-    whole_.emplace(options.epsilon);
-    STREAMGPU_CHECK_MSG(batcher_.window_size() <= whole_->window_width(),
-                        "window_size must not exceed ceil(1/epsilon)");
-  }
-
   ids_ = EstimatorMetricIds::Register(obs_.metrics, kPrefix, batcher_.window_size());
   if (obs_.trace != nullptr) obs_.trace->NameCurrentThread("ingest");
   if (obs_.trace != nullptr && obs_.metrics != nullptr) {
@@ -173,9 +157,36 @@ Status FrequencyEstimator::ObserveBatch(std::span<const float> values) {
     return Status::FailedPrecondition(
         "ObserveBatch() after Flush(): the estimator is finalized and query-only");
   }
-  for (float v : values) {
-    const Status status = ObserveValue(v);
-    if (!status.ok()) return status;
+  // Bulk fast path: the lifecycle and backend checks above are hoisted out
+  // of the loop, and whole spans are copied (or binary16-quantized) straight
+  // into batch storage instead of pushing one element at a time. Batch
+  // boundaries, counters, and trace spans land exactly as the per-element
+  // path produces them.
+  const bool quantize =
+      engine_.is_gpu() && options_.gpu_format == gpu::Format::kFloat16;
+  std::size_t consumed = 0;
+  while (consumed < values.size()) {
+    if (obs_.trace != nullptr && ingest_start_us_ < 0) {
+      ingest_start_us_ = obs_.trace->NowMicros();
+    }
+    const std::span<float> slot = batcher_.Claim(values.size() - consumed);
+    if (quantize) {
+      for (std::size_t i = 0; i < slot.size(); ++i) {
+        slot[i] = gpu::QuantizeToHalf(values[consumed + i]);
+      }
+    } else {
+      std::copy_n(values.begin() + static_cast<std::ptrdiff_t>(consumed),
+                  slot.size(), slot.begin());
+    }
+    consumed += slot.size();
+    observed_ += slot.size();
+    if (obs_.metrics != nullptr) {
+      obs_.metrics->Add(ids_.elements_observed, slot.size());
+    }
+    if (batcher_.full()) {
+      const Status status = SubmitFullBatch();
+      if (!status.ok()) return status;
+    }
   }
   return Status::Ok();
 }
@@ -191,21 +202,24 @@ Status FrequencyEstimator::ObserveValue(float value) {
     // quantizes on ingestion so summaries and queries agree bit-exactly.
     value = gpu::QuantizeToHalf(value);
   }
-  if (batcher_.Push(value)) {
-    EndIngestSpan(batcher_.window_size() * engine_.batch_windows());
-    if (pipeline_ != nullptr) {
-      const Status status =
-          pipeline_->Submit(batcher_.TakeBuffer(pipeline_->AcquireBuffer()));
-      if (!status.ok()) {
-        // The pipeline is wedged or its drain died; surface the Status to
-        // the caller instead of blocking on a cap nobody will ever free
-        // (satellite bugfix — see docs/ROBUSTNESS.md).
-        if (pipeline_status_.ok()) pipeline_status_ = status;
-        return status;
-      }
-    } else {
-      ProcessBuffered();
+  if (batcher_.Push(value)) return SubmitFullBatch();
+  return Status::Ok();
+}
+
+Status FrequencyEstimator::SubmitFullBatch() {
+  EndIngestSpan(batcher_.window_size() * engine_.batch_windows());
+  if (pipeline_ != nullptr) {
+    const Status status =
+        pipeline_->Submit(batcher_.TakeBuffer(pipeline_->AcquireBuffer()));
+    if (!status.ok()) {
+      // The pipeline is wedged or its drain died; surface the Status to
+      // the caller instead of blocking on a cap nobody will ever free
+      // (satellite bugfix — see docs/ROBUSTNESS.md).
+      if (pipeline_status_.ok()) pipeline_status_ = status;
+      return status;
     }
+  } else {
+    ProcessBuffered();
   }
   return Status::Ok();
 }
@@ -299,11 +313,7 @@ Status FrequencyEstimator::DrainSortedBatch(std::vector<float>&& data,
 }
 
 void FrequencyEstimator::QuarantineWindow(std::size_t elements) {
-  // An unrecoverable window: its (restored, unsorted) data never reaches the
-  // summary. The answer stays correct over what *was* merged; ErrorBound()
-  // widens by the dropped elements so reported guarantees stay honest.
-  ++quarantined_windows_;
-  elements_dropped_ += elements;
+  core_.QuarantineWindow(elements);
 }
 
 void FrequencyEstimator::MergeSortedWindow(std::span<float> window) {
@@ -312,17 +322,7 @@ void FrequencyEstimator::MergeSortedWindow(std::span<float> window) {
   const double t0 = traced ? obs_.trace->NowMicros() : 0;
 
   Timer merge_timer;
-  Timer hist_timer;
-  const std::vector<sketch::HistogramEntry> histogram = sketch::BuildHistogram(window);
-  costs_.histogram_wall_seconds += hist_timer.ElapsedSeconds();
-  costs_.histogram_elements += window.size();
-
-  if (whole_.has_value()) {
-    whole_->AddWindowHistogram(histogram, window.size());
-  } else {
-    sliding_->AddBlockHistogram(histogram, window.size());
-  }
-  processed_ += window.size();
+  const std::size_t histogram_entries = core_.MergeSortedWindow(window);
 
   if (obs_.metrics != nullptr) {
     obs_.metrics->Add(ids_.windows_merged);
@@ -334,7 +334,7 @@ void FrequencyEstimator::MergeSortedWindow(std::span<float> window) {
     obs_.trace->AddSpan("window_merge", "merge", t0, obs_.trace->NowMicros() - t0,
                         {{"window", static_cast<double>(seq)},
                          {"elements", static_cast<double>(window.size())},
-                         {"histogram_entries", static_cast<double>(histogram.size())}});
+                         {"histogram_entries", static_cast<double>(histogram_entries)}});
   }
 }
 
@@ -351,41 +351,10 @@ void FrequencyEstimator::Sync() const {
   costs_.pipelined_batches = stats.batches;
 }
 
-std::uint64_t FrequencyEstimator::Coverage(std::uint64_t window) const {
-  if (whole_.has_value()) return processed_;
-  std::uint64_t effective =
-      window == 0 ? options_.sliding_window : std::min(window, options_.sliding_window);
-  return std::min(effective, processed_);
-}
-
-std::uint64_t FrequencyEstimator::ErrorBound() const {
-  // Whole-history: at most epsilon * N undercount. Sliding: the block
-  // decomposition guarantees epsilon * W over the full window width
-  // regardless of the queried sub-window (sketch/sliding_window.h). Every
-  // quarantined element can hide one occurrence of any item, so dropped
-  // coverage widens the bound additively rather than silently vanishing.
-  const double n = whole_.has_value() ? static_cast<double>(processed_)
-                                      : static_cast<double>(options_.sliding_window);
-  return static_cast<std::uint64_t>(std::ceil(options_.epsilon * n)) + elements_dropped_;
-}
-
 FrequencyReport FrequencyEstimator::HeavyHitters(double support,
                                                  std::uint64_t window) const {
   Sync();
-  FrequencyReport report;
-  report.support = support;
-  report.epsilon = options_.epsilon;
-  report.stream_length = processed_;
-  report.window_coverage = Coverage(window);
-  report.error_bound = ErrorBound();
-  report.windows_quarantined = quarantined_windows_;
-  report.elements_dropped = elements_dropped_;
-  const auto pairs = whole_.has_value() ? whole_->HeavyHitters(support)
-                                        : sliding_->HeavyHitters(support, window);
-  report.items.reserve(pairs.size());
-  for (const auto& [value, estimate] : pairs) {
-    report.items.push_back({value, estimate});
-  }
+  const FrequencyReport report = core_.HeavyHitters(support, window);
   if (obs_.metrics != nullptr) {
     obs_.metrics->Add(ids_.queries);
     ExportFrequencyReport(obs_.metrics, kPrefix, report);
@@ -400,8 +369,7 @@ std::uint64_t FrequencyEstimator::EstimateCount(float value, std::uint64_t windo
     // Queries live in the same quantized value universe as ingestion.
     value = gpu::QuantizeToHalf(value);
   }
-  if (whole_.has_value()) return whole_->EstimateCount(value);
-  return sliding_->EstimateCount(value, window);
+  return core_.EstimateCount(value, window);
 }
 
 FrequencyReport FrequencyEstimator::TopK(std::size_t k, std::uint64_t window) const {
@@ -415,12 +383,12 @@ FrequencyReport FrequencyEstimator::TopK(std::size_t k, std::uint64_t window) co
 
 std::uint64_t FrequencyEstimator::processed_length() const {
   Sync();
-  return processed_;
+  return core_.processed();
 }
 
 std::size_t FrequencyEstimator::summary_size() const {
   Sync();
-  return whole_.has_value() ? whole_->summary_size() : sliding_->summary_size();
+  return core_.summary_size();
 }
 
 gpu::GpuStats FrequencyEstimator::device_stats() const {
@@ -448,23 +416,24 @@ FaultStats FrequencyEstimator::fault_stats() const {
   };
   add(resilient_sorter_.get());
   for (const auto& sorter : worker_resilient_) add(sorter.get());
-  // Quarantine is taken from the estimator's drain-side counters — the same
-  // numbers the reports state — rather than the sorters' totals.
-  stats.windows_quarantined = quarantined_windows_;
-  stats.elements_dropped = elements_dropped_;
+  // Quarantine is taken from the summary core's drain-side counters — the
+  // same numbers the reports state — rather than the sorters' totals.
+  stats.windows_quarantined = core_.windows_quarantined();
+  stats.elements_dropped = core_.elements_dropped();
   return stats;
 }
 
 const PipelineCosts& FrequencyEstimator::costs() const {
   Sync();
-  if (whole_.has_value()) {
+  costs_.histogram_wall_seconds = core_.histogram_wall_seconds();
+  costs_.histogram_elements = core_.histogram_elements();
+  if (const sketch::SummaryOpCosts* ops = core_.op_costs(); ops != nullptr) {
     // The Manku-Motwani summary tracks its own merge/compress costs;
     // mirror them into the pipeline record.
-    const sketch::SummaryOpCosts& ops = whole_->op_costs();
-    costs_.merge_wall_seconds = ops.merge_seconds;
-    costs_.compress_wall_seconds = ops.compress_seconds;
-    costs_.merged_entries = ops.merged_entries;
-    costs_.compressed_entries = ops.compressed_entries;
+    costs_.merge_wall_seconds = ops->merge_seconds;
+    costs_.compress_wall_seconds = ops->compress_seconds;
+    costs_.merged_entries = ops->merged_entries;
+    costs_.compressed_entries = ops->compressed_entries;
   }
   return costs_;
 }

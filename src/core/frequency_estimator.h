@@ -20,9 +20,8 @@
 #include "core/options.h"
 #include "core/report.h"
 #include "core/status.h"
+#include "core/summary_core.h"
 #include "gpu/stats.h"
-#include "sketch/lossy_counting.h"
-#include "sketch/sliding_window.h"
 #include "sort/radix_sort.h"
 #include "sort/resilient.h"
 #include "stream/pipeline.h"
@@ -142,13 +141,16 @@ class FrequencyEstimator {
   FaultStats fault_stats() const;
 
   const Options& options() const { return options_; }
-  bool sliding() const { return sliding_.has_value(); }
+  bool sliding() const { return core_.sliding(); }
   bool pipelined() const { return pipeline_ != nullptr; }
 
  private:
-  /// Hot ingest path shared by Observe()/ObserveBatch() after the lifecycle
-  /// check.
+  /// Hot ingest path for Observe() after the lifecycle check.
   Status ObserveValue(float value);
+
+  /// Hands the completed batch to the pipeline (or processes it inline) and
+  /// latches any pipeline failure. Called exactly when the batcher fills.
+  Status SubmitFullBatch();
 
   /// Serial path: sorts the buffered windows with the backend and merges
   /// each into the summary.
@@ -160,8 +162,8 @@ class FrequencyEstimator {
   Status DrainSortedBatch(std::vector<float>&& data, const sort::SortRunInfo& run,
                           std::uint64_t quarantine_mask);
 
-  /// Accounts one unrecoverable window: not merged, not counted as
-  /// processed; widens ErrorBound() by its element count.
+  /// Accounts one unrecoverable window (widens the reported error bound);
+  /// delegates to the shared summary core.
   void QuarantineWindow(std::size_t elements);
 
   /// Reduces one sorted window to a histogram and merges it into the
@@ -173,11 +175,6 @@ class FrequencyEstimator {
   /// wait-stats in costs_. No-op in serial mode.
   void Sync() const;
 
-  /// Elements a query at `window` answers over, and the frequency error
-  /// bound the structure guarantees for it.
-  std::uint64_t Coverage(std::uint64_t window) const;
-  std::uint64_t ErrorBound() const;
-
   /// Closes the open ingest_batch span (tracing only).
   void EndIngestSpan(std::size_t elements);
 
@@ -185,12 +182,13 @@ class FrequencyEstimator {
   obs::Observability obs_;
   SortEngine engine_;
   stream::WindowBatcher batcher_;
-  std::optional<sketch::LossyCounting> whole_;
-  std::optional<sketch::SlidingWindowFrequency> sliding_;
+  /// Summary state + report construction, shared with service::StreamService
+  /// (core/summary_core.h) — the single implementation both execution paths
+  /// answer from.
+  FrequencySummaryCore core_;
   hwmodel::CpuModel cpu_model_;
   mutable PipelineCosts costs_;
   std::uint64_t observed_ = 0;
-  std::uint64_t processed_ = 0;
   bool finalized_ = false;
 
   /// Fault injection and recovery (all null / zero when Options::fault is
@@ -198,9 +196,7 @@ class FrequencyEstimator {
   std::unique_ptr<FaultInjector> fault_injector_;            ///< serial-path injector
   std::unique_ptr<sort::RadixMergeSorter> fallback_sorter_;  ///< serial CPU fallback
   std::unique_ptr<sort::ResilientSorter> resilient_sorter_;  ///< wraps engine_'s sorter
-  mutable Status pipeline_status_;         ///< first pipeline failure (sticky)
-  std::uint64_t quarantined_windows_ = 0;  ///< summary-thread written; read after Sync()
-  std::uint64_t elements_dropped_ = 0;
+  mutable Status pipeline_status_;  ///< first pipeline failure (sticky)
 
   /// Observability wiring (null ids / null decorators when disabled).
   EstimatorMetricIds ids_;

@@ -190,6 +190,8 @@ void ExportFrequencyReport(obs::MetricsRegistry* metrics, const std::string& pre
       static_cast<double>(report.windows_quarantined));
   set(".query.frequency.elements_dropped",
       static_cast<double>(report.elements_dropped));
+  set(".query.frequency.elements_shed",
+      static_cast<double>(report.elements_shed));
 }
 
 void ExportQuantileReport(obs::MetricsRegistry* metrics, const std::string& prefix,
@@ -210,6 +212,8 @@ void ExportQuantileReport(obs::MetricsRegistry* metrics, const std::string& pref
       static_cast<double>(report.windows_quarantined));
   set(".query.quantile.elements_dropped",
       static_cast<double>(report.elements_dropped));
+  set(".query.quantile.elements_shed",
+      static_cast<double>(report.elements_shed));
 }
 
 }  // namespace streamgpu::core

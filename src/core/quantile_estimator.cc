@@ -34,20 +34,8 @@ const Options& ValidatedOptions(const Options& options) {
 }
 
 std::uint64_t NaturalWindow(const Options& options) {
-  if (options.window_size != 0) return options.window_size;
-  if (options.sliding_window != 0) {
-    return sketch::SlidingWindowQuantile(options.epsilon, options.sliding_window)
-        .block_size();
-  }
-  // Whole-history mode: windows of ceil(1/epsilon) give (epsilon/2)-summaries
-  // of about 1/epsilon tuples, mirroring the frequency path's bucket width.
-  return static_cast<std::uint64_t>(std::ceil(1.0 / options.epsilon));
-}
-
-std::uint64_t ExpectedLength(const Options& options, std::uint64_t window) {
-  if (options.expected_stream_length != 0) return options.expected_stream_length;
-  // Provision generously: 2^32 windows cover any realistic session.
-  return window << 32;
+  return NaturalQuantileWindow(options.epsilon, options.window_size,
+                               options.sliding_window);
 }
 
 }  // namespace
@@ -65,16 +53,9 @@ QuantileEstimator::QuantileEstimator(const Options& options)
       engine_(options),
       // engine_ is declared (and therefore initialized) before batcher_.
       batcher_(NaturalWindow(options), engine_.batch_windows()),
+      core_(options.epsilon, batcher_.window_size(), options.sliding_window,
+            options.expected_stream_length),
       cpu_model_(hwmodel::kPentium4_3400) {
-  if (options.sliding_window != 0) {
-    sliding_.emplace(options.epsilon, options.sliding_window);
-    STREAMGPU_CHECK_MSG(batcher_.window_size() <= sliding_->block_size(),
-                        "window_size must not exceed the sliding block size");
-  } else {
-    whole_.emplace(options.epsilon, batcher_.window_size(),
-                   ExpectedLength(options, batcher_.window_size()));
-  }
-
   ids_ = EstimatorMetricIds::Register(obs_.metrics, kPrefix, batcher_.window_size());
   if (obs_.trace != nullptr) obs_.trace->NameCurrentThread("ingest");
   if (obs_.trace != nullptr && obs_.metrics != nullptr) {
@@ -164,9 +145,36 @@ Status QuantileEstimator::ObserveBatch(std::span<const float> values) {
     return Status::FailedPrecondition(
         "ObserveBatch() after Flush(): the estimator is finalized and query-only");
   }
-  for (float v : values) {
-    const Status status = ObserveValue(v);
-    if (!status.ok()) return status;
+  // Bulk fast path: the lifecycle and backend checks above are hoisted out
+  // of the loop, and whole spans are copied (or binary16-quantized) straight
+  // into batch storage instead of pushing one element at a time. Batch
+  // boundaries, counters, and trace spans land exactly as the per-element
+  // path produces them.
+  const bool quantize =
+      engine_.is_gpu() && options_.gpu_format == gpu::Format::kFloat16;
+  std::size_t consumed = 0;
+  while (consumed < values.size()) {
+    if (obs_.trace != nullptr && ingest_start_us_ < 0) {
+      ingest_start_us_ = obs_.trace->NowMicros();
+    }
+    const std::span<float> slot = batcher_.Claim(values.size() - consumed);
+    if (quantize) {
+      for (std::size_t i = 0; i < slot.size(); ++i) {
+        slot[i] = gpu::QuantizeToHalf(values[consumed + i]);
+      }
+    } else {
+      std::copy_n(values.begin() + static_cast<std::ptrdiff_t>(consumed),
+                  slot.size(), slot.begin());
+    }
+    consumed += slot.size();
+    observed_ += slot.size();
+    if (obs_.metrics != nullptr) {
+      obs_.metrics->Add(ids_.elements_observed, slot.size());
+    }
+    if (batcher_.full()) {
+      const Status status = SubmitFullBatch();
+      if (!status.ok()) return status;
+    }
   }
   return Status::Ok();
 }
@@ -180,21 +188,24 @@ Status QuantileEstimator::ObserveValue(float value) {
   if (engine_.is_gpu() && options_.gpu_format == gpu::Format::kFloat16) {
     value = gpu::QuantizeToHalf(value);
   }
-  if (batcher_.Push(value)) {
-    EndIngestSpan(batcher_.window_size() * engine_.batch_windows());
-    if (pipeline_ != nullptr) {
-      const Status status =
-          pipeline_->Submit(batcher_.TakeBuffer(pipeline_->AcquireBuffer()));
-      if (!status.ok()) {
-        // The pipeline is wedged or its drain died; surface the Status to
-        // the caller instead of blocking on a cap nobody will ever free
-        // (satellite bugfix — see docs/ROBUSTNESS.md).
-        if (pipeline_status_.ok()) pipeline_status_ = status;
-        return status;
-      }
-    } else {
-      ProcessBuffered();
+  if (batcher_.Push(value)) return SubmitFullBatch();
+  return Status::Ok();
+}
+
+Status QuantileEstimator::SubmitFullBatch() {
+  EndIngestSpan(batcher_.window_size() * engine_.batch_windows());
+  if (pipeline_ != nullptr) {
+    const Status status =
+        pipeline_->Submit(batcher_.TakeBuffer(pipeline_->AcquireBuffer()));
+    if (!status.ok()) {
+      // The pipeline is wedged or its drain died; surface the Status to
+      // the caller instead of blocking on a cap nobody will ever free
+      // (satellite bugfix — see docs/ROBUSTNESS.md).
+      if (pipeline_status_.ok()) pipeline_status_ = status;
+      return status;
     }
+  } else {
+    ProcessBuffered();
   }
   return Status::Ok();
 }
@@ -284,11 +295,7 @@ Status QuantileEstimator::DrainSortedBatch(std::vector<float>&& data,
 }
 
 void QuantileEstimator::QuarantineWindow(std::size_t elements) {
-  // An unrecoverable window: its (restored, unsorted) data never reaches the
-  // summary. The answer stays correct over what *was* merged; ErrorBound()
-  // widens by the dropped elements so reported guarantees stay honest.
-  ++quarantined_windows_;
-  elements_dropped_ += elements;
+  core_.QuarantineWindow(elements);
 }
 
 void QuantileEstimator::MergeSortedWindow(std::span<float> window) {
@@ -296,23 +303,8 @@ void QuantileEstimator::MergeSortedWindow(std::span<float> window) {
   const bool traced = obs_.trace != nullptr && obs_.trace->Sampled(seq);
   const double t0 = traced ? obs_.trace->NowMicros() : 0;
 
-  // Rank-sample the sorted window into an (epsilon/2)-approximate summary
-  // (the "histogram subset" of §3.2's quantile path).
   Timer merge_timer;
-  Timer hist_timer;
-  const double target = whole_.has_value() ? options_.epsilon / 2.0
-                                           : sliding_->block_epsilon();
-  sketch::GkSummary summary = sketch::GkSummary::FromSorted(window, target);
-  costs_.histogram_wall_seconds += hist_timer.ElapsedSeconds();
-  costs_.histogram_elements += window.size();
-  const std::size_t summary_tuples = summary.size();
-
-  if (whole_.has_value()) {
-    whole_->AddWindowSummary(std::move(summary));
-  } else {
-    sliding_->AddBlockSummary(std::move(summary));
-  }
-  processed_ += window.size();
+  const std::size_t summary_tuples = core_.MergeSortedWindow(window);
 
   if (obs_.metrics != nullptr) {
     obs_.metrics->Add(ids_.windows_merged);
@@ -341,35 +333,9 @@ void QuantileEstimator::Sync() const {
   costs_.pipelined_batches = stats.batches;
 }
 
-std::uint64_t QuantileEstimator::Coverage(std::uint64_t window) const {
-  if (whole_.has_value()) return processed_;
-  std::uint64_t effective =
-      window == 0 ? options_.sliding_window : std::min(window, options_.sliding_window);
-  return std::min(effective, processed_);
-}
-
-std::uint64_t QuantileEstimator::ErrorBound() const {
-  // Whole-history: rank error at most epsilon * N. Sliding: epsilon * W over
-  // the full window width regardless of the queried sub-window
-  // (sketch/sliding_window.h). Every quarantined element can shift any rank
-  // by one, so dropped coverage widens the bound additively rather than
-  // silently vanishing.
-  const double n = whole_.has_value() ? static_cast<double>(processed_)
-                                      : static_cast<double>(options_.sliding_window);
-  return static_cast<std::uint64_t>(std::ceil(options_.epsilon * n)) + elements_dropped_;
-}
-
 QuantileReport QuantileEstimator::Quantile(double phi, std::uint64_t window) const {
   Sync();
-  QuantileReport report;
-  report.phi = phi;
-  report.epsilon = options_.epsilon;
-  report.stream_length = processed_;
-  report.window_coverage = Coverage(window);
-  report.rank_error_bound = ErrorBound();
-  report.windows_quarantined = quarantined_windows_;
-  report.elements_dropped = elements_dropped_;
-  report.value = whole_.has_value() ? whole_->Query(phi) : sliding_->Query(phi, window);
+  const QuantileReport report = core_.Quantile(phi, window);
   if (obs_.metrics != nullptr) {
     obs_.metrics->Add(ids_.queries);
     ExportQuantileReport(obs_.metrics, kPrefix, report);
@@ -379,7 +345,7 @@ QuantileReport QuantileEstimator::Quantile(double phi, std::uint64_t window) con
 
 std::size_t QuantileEstimator::summary_size() const {
   Sync();
-  return whole_.has_value() ? whole_->TotalTuples() : sliding_->summary_size();
+  return core_.summary_size();
 }
 
 gpu::GpuStats QuantileEstimator::device_stats() const {
@@ -407,20 +373,22 @@ FaultStats QuantileEstimator::fault_stats() const {
   };
   add(resilient_sorter_.get());
   for (const auto& sorter : worker_resilient_) add(sorter.get());
-  // Quarantine is taken from the estimator's drain-side counters — the same
-  // numbers the reports state — rather than the sorters' totals.
-  stats.windows_quarantined = quarantined_windows_;
-  stats.elements_dropped = elements_dropped_;
+  // Quarantine is taken from the summary core's drain-side counters — the
+  // same numbers the reports state — rather than the sorters' totals.
+  stats.windows_quarantined = core_.windows_quarantined();
+  stats.elements_dropped = core_.elements_dropped();
   return stats;
 }
 
 const PipelineCosts& QuantileEstimator::costs() const {
   Sync();
-  if (whole_.has_value()) {
-    costs_.merge_wall_seconds = whole_->merge_seconds();
-    costs_.compress_wall_seconds = whole_->compress_seconds();
-    costs_.merged_entries = whole_->merged_tuples();
-    costs_.compressed_entries = whole_->pruned_tuples();
+  costs_.histogram_wall_seconds = core_.histogram_wall_seconds();
+  costs_.histogram_elements = core_.histogram_elements();
+  if (!core_.sliding()) {
+    costs_.merge_wall_seconds = core_.merge_seconds();
+    costs_.compress_wall_seconds = core_.compress_seconds();
+    costs_.merged_entries = core_.merged_tuples();
+    costs_.compressed_entries = core_.pruned_tuples();
   }
   return costs_;
 }

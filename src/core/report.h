@@ -50,6 +50,11 @@ struct FrequencyReport {
   /// honest. Zero whenever fault injection is off. See docs/ROBUSTNESS.md.
   std::uint64_t windows_quarantined = 0;
   std::uint64_t elements_dropped = 0;
+  /// Elements dropped by admission control before they reached a window
+  /// (service::StreamService load shedding; always zero for a dedicated
+  /// estimator). Like `elements_dropped`, already folded into `error_bound`
+  /// so the stated guarantee stays honest. See docs/SERVICE.md.
+  std::uint64_t elements_shed = 0;
 
   friend bool operator==(const FrequencyReport&, const FrequencyReport&) = default;
 };
@@ -75,6 +80,9 @@ struct QuantileReport {
   /// includes the `elements_dropped` widening. See docs/ROBUSTNESS.md.
   std::uint64_t windows_quarantined = 0;
   std::uint64_t elements_dropped = 0;
+  /// Load-shed accounting, mirroring FrequencyReport::elements_shed:
+  /// `rank_error_bound` already includes the widening. See docs/SERVICE.md.
+  std::uint64_t elements_shed = 0;
 
   friend bool operator==(const QuantileReport&, const QuantileReport&) = default;
 };

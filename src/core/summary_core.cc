@@ -1,0 +1,244 @@
+#include "core/summary_core.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "sketch/histogram.h"
+
+namespace streamgpu::core {
+
+std::uint64_t NaturalQuantileWindow(double epsilon, std::uint64_t window_size,
+                                    std::uint64_t sliding_window) {
+  if (window_size != 0) return window_size;
+  if (sliding_window != 0) {
+    return sketch::SlidingWindowQuantile(epsilon, sliding_window).block_size();
+  }
+  return static_cast<std::uint64_t>(std::ceil(1.0 / epsilon));
+}
+
+std::uint64_t NaturalFrequencyWindow(double epsilon, std::uint64_t window_size,
+                                     std::uint64_t sliding_window) {
+  if (window_size != 0) return window_size;
+  if (sliding_window != 0) {
+    return sketch::SlidingWindowFrequency(epsilon, sliding_window).block_size();
+  }
+  return static_cast<std::uint64_t>(std::ceil(1.0 / epsilon));
+}
+
+namespace {
+
+std::uint64_t ExpectedLength(std::uint64_t expected_stream_length,
+                             std::uint64_t window) {
+  if (expected_stream_length != 0) return expected_stream_length;
+  // Provision generously: 2^32 windows cover any realistic session.
+  return window << 32;
+}
+
+}  // namespace
+
+QuantileSummaryCore::QuantileSummaryCore(double epsilon,
+                                         std::uint64_t window_size,
+                                         std::uint64_t sliding_window,
+                                         std::uint64_t expected_stream_length)
+    : epsilon_(epsilon), sliding_window_(sliding_window) {
+  if (sliding_window != 0) {
+    sliding_.emplace(epsilon, sliding_window);
+    STREAMGPU_CHECK_MSG(window_size <= sliding_->block_size(),
+                        "window_size must not exceed the sliding block size");
+  } else {
+    whole_.emplace(epsilon, window_size,
+                   ExpectedLength(expected_stream_length, window_size));
+  }
+}
+
+std::size_t QuantileSummaryCore::MergeSortedWindow(std::span<const float> window) {
+  // Rank-sample the sorted window into an (epsilon/2)-approximate summary
+  // (the "histogram subset" of §3.2's quantile path).
+  Timer hist_timer;
+  const double target =
+      whole_.has_value() ? epsilon_ / 2.0 : sliding_->block_epsilon();
+  sketch::GkSummary summary = sketch::GkSummary::FromSorted(window, target);
+  histogram_wall_seconds_ += hist_timer.ElapsedSeconds();
+  histogram_elements_ += window.size();
+  const std::size_t summary_tuples = summary.size();
+
+  if (whole_.has_value()) {
+    whole_->AddWindowSummary(std::move(summary));
+  } else {
+    sliding_->AddBlockSummary(std::move(summary));
+  }
+  processed_ += window.size();
+  return summary_tuples;
+}
+
+void QuantileSummaryCore::QuarantineWindow(std::size_t elements) {
+  // An unrecoverable window: its (restored, unsorted) data never reaches the
+  // summary. The answer stays correct over what *was* merged; ErrorBound()
+  // widens by the dropped elements so reported guarantees stay honest.
+  ++windows_quarantined_;
+  elements_dropped_ += elements;
+}
+
+void QuantileSummaryCore::ShedElements(std::uint64_t elements) {
+  elements_shed_ += elements;
+}
+
+std::uint64_t QuantileSummaryCore::Coverage(std::uint64_t window) const {
+  if (whole_.has_value()) return processed_;
+  const std::uint64_t effective =
+      window == 0 ? sliding_window_ : std::min(window, sliding_window_);
+  return std::min(effective, processed_);
+}
+
+std::uint64_t QuantileSummaryCore::ErrorBound() const {
+  // Whole-history: rank error at most epsilon * N. Sliding: epsilon * W over
+  // the full window width regardless of the queried sub-window
+  // (sketch/sliding_window.h). Every quarantined or shed element can shift
+  // any rank by one, so lost coverage widens the bound additively rather
+  // than silently vanishing.
+  const double n = whole_.has_value() ? static_cast<double>(processed_)
+                                      : static_cast<double>(sliding_window_);
+  return static_cast<std::uint64_t>(std::ceil(epsilon_ * n)) +
+         elements_dropped_ + elements_shed_;
+}
+
+QuantileReport QuantileSummaryCore::Quantile(double phi,
+                                             std::uint64_t window) const {
+  QuantileReport report;
+  report.phi = phi;
+  report.epsilon = epsilon_;
+  report.stream_length = processed_;
+  report.window_coverage = Coverage(window);
+  report.rank_error_bound = ErrorBound();
+  report.windows_quarantined = windows_quarantined_;
+  report.elements_dropped = elements_dropped_;
+  report.elements_shed = elements_shed_;
+  // An empty summary answers value 0 over coverage 0 (a registered-but-idle
+  // service stream is queryable) instead of tripping the sketches' empty-
+  // query CHECKs.
+  if (processed_ != 0) {
+    report.value =
+        whole_.has_value() ? whole_->Query(phi) : sliding_->Query(phi, window);
+  }
+  return report;
+}
+
+std::size_t QuantileSummaryCore::summary_size() const {
+  return whole_.has_value() ? whole_->TotalTuples() : sliding_->summary_size();
+}
+
+double QuantileSummaryCore::merge_seconds() const {
+  return whole_.has_value() ? whole_->merge_seconds() : 0;
+}
+
+double QuantileSummaryCore::compress_seconds() const {
+  return whole_.has_value() ? whole_->compress_seconds() : 0;
+}
+
+std::uint64_t QuantileSummaryCore::merged_tuples() const {
+  return whole_.has_value() ? whole_->merged_tuples() : 0;
+}
+
+std::uint64_t QuantileSummaryCore::pruned_tuples() const {
+  return whole_.has_value() ? whole_->pruned_tuples() : 0;
+}
+
+FrequencySummaryCore::FrequencySummaryCore(double epsilon,
+                                           std::uint64_t window_size,
+                                           std::uint64_t sliding_window)
+    : epsilon_(epsilon), sliding_window_(sliding_window) {
+  if (sliding_window != 0) {
+    sliding_.emplace(epsilon, sliding_window);
+    STREAMGPU_CHECK_MSG(window_size <= sliding_->block_size(),
+                        "window_size must not exceed the sliding block size");
+  } else {
+    whole_.emplace(epsilon);
+    STREAMGPU_CHECK_MSG(window_size <= whole_->window_width(),
+                        "window_size must not exceed ceil(1/epsilon)");
+  }
+}
+
+std::size_t FrequencySummaryCore::MergeSortedWindow(std::span<const float> window) {
+  Timer hist_timer;
+  const std::vector<sketch::HistogramEntry> histogram =
+      sketch::BuildHistogram(window);
+  histogram_wall_seconds_ += hist_timer.ElapsedSeconds();
+  histogram_elements_ += window.size();
+
+  if (whole_.has_value()) {
+    whole_->AddWindowHistogram(histogram, window.size());
+  } else {
+    sliding_->AddBlockHistogram(histogram, window.size());
+  }
+  processed_ += window.size();
+  return histogram.size();
+}
+
+void FrequencySummaryCore::QuarantineWindow(std::size_t elements) {
+  ++windows_quarantined_;
+  elements_dropped_ += elements;
+}
+
+void FrequencySummaryCore::ShedElements(std::uint64_t elements) {
+  elements_shed_ += elements;
+}
+
+std::uint64_t FrequencySummaryCore::Coverage(std::uint64_t window) const {
+  if (whole_.has_value()) return processed_;
+  const std::uint64_t effective =
+      window == 0 ? sliding_window_ : std::min(window, sliding_window_);
+  return std::min(effective, processed_);
+}
+
+std::uint64_t FrequencySummaryCore::ErrorBound() const {
+  // Whole-history: at most epsilon * N undercount. Sliding: the block
+  // decomposition guarantees epsilon * W over the full window width
+  // (sketch/sliding_window.h). Quarantined or shed elements can each hide
+  // one occurrence of any item, so lost coverage widens the bound.
+  const double n = whole_.has_value() ? static_cast<double>(processed_)
+                                      : static_cast<double>(sliding_window_);
+  return static_cast<std::uint64_t>(std::ceil(epsilon_ * n)) +
+         elements_dropped_ + elements_shed_;
+}
+
+FrequencyReport FrequencySummaryCore::HeavyHitters(double support,
+                                                   std::uint64_t window) const {
+  FrequencyReport report;
+  report.support = support;
+  report.epsilon = epsilon_;
+  report.stream_length = processed_;
+  report.window_coverage = Coverage(window);
+  report.error_bound = ErrorBound();
+  report.windows_quarantined = windows_quarantined_;
+  report.elements_dropped = elements_dropped_;
+  report.elements_shed = elements_shed_;
+  if (processed_ == 0) return report;  // empty summary: no items (see Quantile)
+  const auto pairs = whole_.has_value() ? whole_->HeavyHitters(support)
+                                        : sliding_->HeavyHitters(support, window);
+  report.items.reserve(pairs.size());
+  for (const auto& [value, estimate] : pairs) {
+    report.items.push_back({value, estimate});
+  }
+  return report;
+}
+
+std::uint64_t FrequencySummaryCore::EstimateCount(float value,
+                                                  std::uint64_t window) const {
+  if (processed_ == 0) return 0;  // empty summary (see Quantile)
+  if (whole_.has_value()) return whole_->EstimateCount(value);
+  return sliding_->EstimateCount(value, window);
+}
+
+std::size_t FrequencySummaryCore::summary_size() const {
+  return whole_.has_value() ? whole_->summary_size() : sliding_->summary_size();
+}
+
+const sketch::SummaryOpCosts* FrequencySummaryCore::op_costs() const {
+  return whole_.has_value() ? &whole_->op_costs() : nullptr;
+}
+
+}  // namespace streamgpu::core

@@ -1,0 +1,156 @@
+// Per-stream summary state shared by the dedicated estimators and the
+// multi-tenant StreamService.
+//
+// FrequencyEstimator/QuantileEstimator and service::StreamService answer the
+// same queries over the same sorted-window stream; this file holds the one
+// implementation of the merge/quarantine/shed accounting and report
+// construction both sides delegate to, so a stream multiplexed through the
+// service is bit-identical to a dedicated pipeline by construction rather
+// than by parallel maintenance of two copies of the logic
+// (docs/SERVICE.md, "Bit-identity").
+//
+// The cores are single-threaded value types: the owner serializes merges,
+// sheds, and queries (the estimators via the pipeline's ordered drain
+// thread, the service via its per-shard summary lock).
+
+#ifndef STREAMGPU_CORE_SUMMARY_CORE_H_
+#define STREAMGPU_CORE_SUMMARY_CORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "core/report.h"
+#include "sketch/exponential_histogram.h"
+#include "sketch/lossy_counting.h"
+#include "sketch/sliding_window.h"
+
+namespace streamgpu::core {
+
+/// The processing-window width a quantile stream uses when Options::
+/// window_size is 0: the sliding block size in sliding mode, else
+/// ceil(1/epsilon) (windows of that width give (epsilon/2)-summaries of
+/// about 1/epsilon tuples). A non-zero `window_size` is returned unchanged.
+std::uint64_t NaturalQuantileWindow(double epsilon, std::uint64_t window_size,
+                                    std::uint64_t sliding_window);
+
+/// The frequency path's counterpart: the sliding block size in sliding
+/// mode, else the Manku-Motwani bucket width ceil(1/epsilon).
+std::uint64_t NaturalFrequencyWindow(double epsilon, std::uint64_t window_size,
+                                     std::uint64_t sliding_window);
+
+/// Whole-history / sliding-window quantile summary with quarantine and
+/// load-shed accounting. One instance per stream; merges take sorted
+/// windows (ascending bit-pattern order, any backend).
+class QuantileSummaryCore {
+ public:
+  /// `window_size` is the resolved processing window (see
+  /// NaturalQuantileWindow); `sliding_window` 0 selects whole-history mode;
+  /// `expected_stream_length` 0 provisions generously (2^32 windows).
+  QuantileSummaryCore(double epsilon, std::uint64_t window_size,
+                      std::uint64_t sliding_window,
+                      std::uint64_t expected_stream_length);
+
+  /// Rank-samples one sorted window into a GK summary and merges it.
+  /// Returns the summary's tuple count (trace metadata).
+  std::size_t MergeSortedWindow(std::span<const float> window);
+
+  /// Accounts one unrecoverable window: not merged, not counted as
+  /// processed; widens the error bound by its element count.
+  void QuarantineWindow(std::size_t elements);
+
+  /// Accounts elements dropped by admission control before they reached a
+  /// window: the bound widens exactly as it does for quarantined elements,
+  /// so the answer's stated guarantee stays honest under load shedding.
+  void ShedElements(std::uint64_t elements);
+
+  /// The phi-quantile report over everything merged so far (sliding mode:
+  /// over the most recent `window` elements; 0 = full sliding window).
+  QuantileReport Quantile(double phi, std::uint64_t window) const;
+
+  std::uint64_t processed() const { return processed_; }
+  std::size_t summary_size() const;
+  std::uint64_t windows_quarantined() const { return windows_quarantined_; }
+  std::uint64_t elements_dropped() const { return elements_dropped_; }
+  std::uint64_t elements_shed() const { return elements_shed_; }
+  bool sliding() const { return sliding_.has_value(); }
+
+  /// Summary-maintenance cost mirrors (whole-history mode; zero in sliding
+  /// mode), plus the wall time and element count of the per-window
+  /// rank-sampling step — the estimators fold these into PipelineCosts.
+  double merge_seconds() const;
+  double compress_seconds() const;
+  std::uint64_t merged_tuples() const;
+  std::uint64_t pruned_tuples() const;
+  double histogram_wall_seconds() const { return histogram_wall_seconds_; }
+  std::uint64_t histogram_elements() const { return histogram_elements_; }
+
+ private:
+  std::uint64_t Coverage(std::uint64_t window) const;
+  std::uint64_t ErrorBound() const;
+
+  double epsilon_;
+  std::uint64_t sliding_window_;
+  std::optional<sketch::EhQuantileSummary> whole_;
+  std::optional<sketch::SlidingWindowQuantile> sliding_;
+  std::uint64_t processed_ = 0;
+  std::uint64_t windows_quarantined_ = 0;
+  std::uint64_t elements_dropped_ = 0;
+  std::uint64_t elements_shed_ = 0;
+  double histogram_wall_seconds_ = 0;
+  std::uint64_t histogram_elements_ = 0;
+};
+
+/// Whole-history / sliding-window heavy-hitter summary, mirroring
+/// QuantileSummaryCore's lifecycle and accounting.
+class FrequencySummaryCore {
+ public:
+  FrequencySummaryCore(double epsilon, std::uint64_t window_size,
+                       std::uint64_t sliding_window);
+
+  /// Reduces one sorted window to a histogram and merges it. Returns the
+  /// histogram's entry count (trace metadata).
+  std::size_t MergeSortedWindow(std::span<const float> window);
+
+  void QuarantineWindow(std::size_t elements);
+  void ShedElements(std::uint64_t elements);
+
+  /// Heavy hitters above `support` (sliding mode: over the most recent
+  /// `window` elements). Support 0 returns every retained entry (top-k).
+  FrequencyReport HeavyHitters(double support, std::uint64_t window) const;
+
+  /// Estimated frequency of `value` — the caller quantizes `value` into the
+  /// stream's ingest universe first (binary16 on the GPU f16 path).
+  std::uint64_t EstimateCount(float value, std::uint64_t window) const;
+
+  std::uint64_t processed() const { return processed_; }
+  std::size_t summary_size() const;
+  std::uint64_t windows_quarantined() const { return windows_quarantined_; }
+  std::uint64_t elements_dropped() const { return elements_dropped_; }
+  std::uint64_t elements_shed() const { return elements_shed_; }
+  bool sliding() const { return sliding_.has_value(); }
+
+  /// Whole-history mode: the Manku-Motwani summary's own op costs.
+  const sketch::SummaryOpCosts* op_costs() const;
+  double histogram_wall_seconds() const { return histogram_wall_seconds_; }
+  std::uint64_t histogram_elements() const { return histogram_elements_; }
+
+ private:
+  std::uint64_t Coverage(std::uint64_t window) const;
+  std::uint64_t ErrorBound() const;
+
+  double epsilon_;
+  std::uint64_t sliding_window_;
+  std::optional<sketch::LossyCounting> whole_;
+  std::optional<sketch::SlidingWindowFrequency> sliding_;
+  std::uint64_t processed_ = 0;
+  std::uint64_t windows_quarantined_ = 0;
+  std::uint64_t elements_dropped_ = 0;
+  std::uint64_t elements_shed_ = 0;
+  double histogram_wall_seconds_ = 0;
+  std::uint64_t histogram_elements_ = 0;
+};
+
+}  // namespace streamgpu::core
+
+#endif  // STREAMGPU_CORE_SUMMARY_CORE_H_

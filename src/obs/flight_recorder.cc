@@ -21,6 +21,7 @@ const char* FlightEventKindName(FlightEventKind kind) {
     case FlightEventKind::kDegraded: return "degraded";
     case FlightEventKind::kWindowQuarantined: return "window_quarantined";
     case FlightEventKind::kDrainFailed: return "drain_failed";
+    case FlightEventKind::kLoadShed: return "load_shed";
   }
   return "unknown";
 }

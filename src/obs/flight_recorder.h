@@ -43,6 +43,7 @@ enum class FlightEventKind : std::uint8_t {
   kDegraded,           ///< permanent CPU degrade after repeated device loss
   kWindowQuarantined,  ///< window dropped; a = window index, b = elements
   kDrainFailed,        ///< pipeline drain latched its sticky failure
+  kLoadShed,           ///< service admission dropped arrivals; a = elements, b = backlog
 };
 
 const char* FlightEventKindName(FlightEventKind kind);

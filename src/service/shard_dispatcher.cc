@@ -1,0 +1,228 @@
+#include "service/shard_dispatcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace streamgpu::service {
+
+namespace {
+
+// Window-group width per SortRuns call. The Sorter contract reports
+// quarantine as a 64-bit mask over the runs of one call, so groups stay
+// within that width; the service wires no fault injection, making the mask
+// always zero (CHECKed below), but the grouping keeps the contract intact.
+constexpr std::size_t kMaxRunsPerGroup = 64;
+
+}  // namespace
+
+void AppendChunkWindows(StreamChunk& chunk, std::vector<std::span<float>>* out) {
+  const std::size_t n = chunk.data.size();
+  if (n == 0) return;  // recycled slot not used this round
+  STREAMGPU_CHECK(chunk.window_size >= 1);
+  STREAMGPU_CHECK_MSG(chunk.final_partial || n % chunk.window_size == 0,
+                      "non-finalizing chunk must hold whole windows");
+  for (std::size_t off = 0; off < n; off += chunk.window_size) {
+    const std::size_t len =
+        std::min<std::size_t>(chunk.window_size, n - off);
+    out->emplace_back(chunk.data.data() + off, len);
+  }
+}
+
+ShardDispatcher::ShardDispatcher(const Config& config,
+                                 std::vector<sort::Sorter*> sorters,
+                                 DrainFn drain)
+    : sorters_(std::move(sorters)),
+      drain_(std::move(drain)),
+      flight_(config.flight) {
+  STREAMGPU_CHECK_MSG(!sorters_.empty(), "dispatcher needs at least one sorter");
+  for (sort::Sorter* sorter : sorters_) STREAMGPU_CHECK(sorter != nullptr);
+  STREAMGPU_CHECK_MSG(static_cast<bool>(drain_), "dispatcher needs a drain callback");
+  max_in_flight_ = config.max_batches_in_flight > 0
+                       ? config.max_batches_in_flight
+                       : static_cast<int>(sorters_.size()) + 2;
+
+  pending_ring_.resize(static_cast<std::size_t>(max_in_flight_));
+  sorted_ring_.resize(static_cast<std::size_t>(max_in_flight_));
+  free_batches_.reserve(static_cast<std::size_t>(max_in_flight_) + 1);
+  window_scratch_.resize(sorters_.size());
+
+  workers_.reserve(sorters_.size());
+  for (std::size_t i = 0; i < sorters_.size(); ++i) {
+    workers_.emplace_back(&ShardDispatcher::WorkerLoop, this, static_cast<int>(i));
+  }
+  drain_thread_ = std::thread(&ShardDispatcher::DrainLoop, this);
+}
+
+ShardDispatcher::~ShardDispatcher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  // Workers finish the pending queue, the drain thread finishes the reorder
+  // buffer: destruction flushes rather than drops in-flight batches.
+  work_ready_.notify_all();
+  sorted_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  sorted_ready_.notify_all();  // workers are gone; wake the drain for its exit check
+  drain_thread_.join();
+}
+
+core::Status ShardDispatcher::Submit(ShardBatch&& batch) {
+  if (batch.elements == 0) return core::Status::Ok();
+  std::unique_lock<std::mutex> lock(mu_);
+  STREAMGPU_CHECK_MSG(!stop_, "Submit() after destruction began");
+  // A dead drain thread never frees a slot: wake on failure too, so the
+  // in-flight cap surfaces the drain's Status instead of blocking forever.
+  slot_free_.wait(lock, [&] { return !failed_.ok() || in_flight_ < max_in_flight_; });
+  if (!failed_.ok()) return failed_;
+  ++in_flight_;
+  PendingBatch& slot =
+      pending_ring_[(pending_head_ + pending_count_) % pending_ring_.size()];
+  ++pending_count_;
+  slot.seq = next_submit_seq_++;
+  slot.batch = std::move(batch);
+  if (flight_ != nullptr) {
+    flight_->Record(obs::FlightEventKind::kBatchSubmitted, "service", "submit",
+                    slot.seq, in_flight_, slot.batch.shard);
+  }
+  work_ready_.notify_one();
+  return core::Status::Ok();
+}
+
+ShardBatch ShardDispatcher::AcquireBatch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_batches_.empty()) return {};
+  ShardBatch out = std::move(free_batches_.back());
+  free_batches_.pop_back();
+  return out;
+}
+
+core::Status ShardDispatcher::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock,
+             [&] { return !failed_.ok() || next_drain_seq_ == next_submit_seq_; });
+  return failed_;
+}
+
+std::uint64_t ShardDispatcher::batches_drained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_drained_;
+}
+
+void ShardDispatcher::WorkerLoop(int worker_index) {
+  sort::Sorter* sorter = sorters_[static_cast<std::size_t>(worker_index)];
+  std::vector<std::span<float>>& windows =
+      window_scratch_[static_cast<std::size_t>(worker_index)];
+  PendingBatch pending;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [&] { return stop_ || pending_count_ != 0; });
+      if (pending_count_ == 0) return;  // stop_ set and queue drained
+      pending = std::move(pending_ring_[pending_head_]);
+      pending_head_ = (pending_head_ + 1) % pending_ring_.size();
+      --pending_count_;
+    }
+
+    // Sort outside the lock: one SortRuns call covers up to kMaxRunsPerGroup
+    // windows drawn from many streams' chunks — the amortization that makes
+    // per-stream writes cheap. Grouping is answer-neutral: every backend
+    // sorts each window to the same permutation regardless of grouping (the
+    // determinism contract in core/options.h), so a window sorted here is
+    // bit-identical to the same window sorted by a dedicated estimator.
+    ShardBatch& batch = pending.batch;
+    batch.run = sort::SortRunInfo{};
+    windows.clear();
+    for (StreamChunk& chunk : batch.chunks) AppendChunkWindows(chunk, &windows);
+    for (std::size_t off = 0; off < windows.size(); off += kMaxRunsPerGroup) {
+      const std::size_t count =
+          std::min(kMaxRunsPerGroup, windows.size() - off);
+      sorter->SortRuns(std::span<std::span<float>>(windows.data() + off, count));
+      batch.run += sorter->last_run();
+      STREAMGPU_CHECK_MSG(sorter->last_quarantine_mask() == 0,
+                          "service sorters wire no fault injection");
+    }
+    if (flight_ != nullptr) {
+      flight_->Record(obs::FlightEventKind::kBatchSorted, "service",
+                      sorter->name(), pending.seq,
+                      static_cast<std::int64_t>(batch.elements),
+                      static_cast<std::int64_t>(windows.size()));
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      SortedBatch& slot = sorted_ring_[pending.seq % sorted_ring_.size()];
+      STREAMGPU_DCHECK(!slot.occupied);
+      slot.batch = std::move(batch);
+      slot.occupied = true;
+    }
+    sorted_ready_.notify_one();
+  }
+}
+
+void ShardDispatcher::DrainLoop() {
+  SortedBatch sorted;
+  for (;;) {
+    std::uint64_t seq;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      sorted_ready_.wait(lock, [&] {
+        // Exit only once every submitted batch has been drained; workers
+        // keep feeding the reorder buffer after stop_ is set.
+        return sorted_ring_[next_drain_seq_ % sorted_ring_.size()].occupied ||
+               (stop_ && next_drain_seq_ == next_submit_seq_);
+      });
+      SortedBatch& slot = sorted_ring_[next_drain_seq_ % sorted_ring_.size()];
+      if (!slot.occupied) return;
+      seq = next_drain_seq_;
+      sorted = std::move(slot);
+      slot.occupied = false;
+    }
+
+    // Merge outside the lock, overlapping the workers' sorting of later
+    // batches. Strict submission order keeps each stream's window sequence —
+    // and thus every query answer — identical to a dedicated pipeline.
+    const std::size_t batch_elements = sorted.batch.elements;
+    ShardBatch recycled = std::move(sorted.batch);
+    core::Status drain_status = drain_(std::move(recycled));
+    if (!drain_status.ok()) {
+      if (flight_ != nullptr) {
+        flight_->Record(obs::FlightEventKind::kDrainFailed, "service", "drain",
+                        seq, static_cast<std::int64_t>(batch_elements));
+        flight_->Dump("service_drain_failed");
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      failed_ = std::move(drain_status);
+      slot_free_.notify_all();
+      idle_.notify_all();
+      return;
+    }
+    if (flight_ != nullptr) {
+      flight_->Record(obs::FlightEventKind::kBatchDrained, "service", "drain",
+                      seq, static_cast<std::int64_t>(seq + 1));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++batches_drained_;
+      ++next_drain_seq_;
+      --in_flight_;
+      // Recycle the batch storage: clear the chunks but keep their vector
+      // capacities so steady-state dispatch stops allocating.
+      if (free_batches_.size() < free_batches_.capacity()) {
+        for (StreamChunk& chunk : recycled.chunks) {
+          chunk.data.clear();
+          chunk.final_partial = false;
+        }
+        recycled.elements = 0;
+        recycled.run = sort::SortRunInfo{};
+        free_batches_.push_back(std::move(recycled));
+      }
+    }
+    slot_free_.notify_one();
+    idle_.notify_all();
+  }
+}
+
+}  // namespace streamgpu::service

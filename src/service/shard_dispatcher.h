@@ -1,0 +1,180 @@
+// ShardDispatcher: the StreamService's worker-pool executor.
+//
+// Where stream::SortPipeline carries one stream's homogeneous window-batches,
+// the dispatcher carries *shard batches*: micro-batches of per-stream chunks
+// coalesced by the service's ingest thread, each chunk holding whole windows
+// of one stream (streams in one shard may have different window widths). One
+// queue operation and one worker dispatch are thus amortized across the many
+// small per-stream writes that produced the batch — the mechanism that makes
+// aggregate ingest throughput track worker count rather than stream count
+// (docs/SERVICE.md, "Batched shard-by-key dispatch").
+//
+// Topology mirrors SortPipeline deliberately:
+//
+//   ingest thread            N sort workers               1 drain thread
+//   Submit(batch) ──queue──> SortRuns(chunk windows) ──reorder──> drain(batch)
+//
+// * Submit() blocks once `max_batches_in_flight` batches are in flight
+//   (backpressure; the service's kBlock admission policy).
+// * Each worker owns its own Sorter — one simulated GpuDevice per worker on
+//   the GPU backends, so GpuStats counting never races.
+// * A single drain thread consumes sorted batches strictly in submission
+//   order. Batches of one shard therefore drain in the order the ingest
+//   thread built them, and within a batch each chunk's windows are merged in
+//   stream order — exactly the window sequence a dedicated estimator would
+//   merge, which is what makes service answers bit-identical to a dedicated
+//   pipeline (every backend sorts a window to the same permutation
+//   regardless of how windows are grouped into SortRuns calls).
+//
+// Drained batch storage is recycled to the ingest thread through
+// AcquireBatch(), so steady-state dispatch reuses chunk vectors instead of
+// allocating per micro-batch.
+
+#ifndef STREAMGPU_SERVICE_SHARD_DISPATCHER_H_
+#define STREAMGPU_SERVICE_SHARD_DISPATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/status.h"
+#include "obs/flight_recorder.h"
+#include "sort/sorter.h"
+
+namespace streamgpu::service {
+
+/// One stream's contribution to a shard batch: whole windows of that
+/// stream, concatenated. Only a finalizing chunk (stream Flush) may end in
+/// a partial window.
+struct StreamChunk {
+  std::uint32_t stream = 0;       ///< dense stream index (service registry)
+  std::uint64_t window_size = 0;  ///< the stream's resolved window width
+  std::vector<float> data;        ///< window-aligned elements
+  bool final_partial = false;     ///< last window may be partial (finalize)
+};
+
+/// One coalesced micro-batch for one shard.
+struct ShardBatch {
+  std::uint32_t shard = 0;
+  std::vector<StreamChunk> chunks;
+  std::size_t elements = 0;    ///< sum of chunk sizes (ingest bookkeeping)
+  sort::SortRunInfo run;       ///< accumulated sort record (set by the worker)
+};
+
+/// Splits `chunk` into its window spans (the final span may be partial only
+/// for a finalizing chunk — callers CHECK otherwise). Appends to `out`;
+/// empty chunks (recycled slots not used this round) are skipped.
+void AppendChunkWindows(StreamChunk& chunk, std::vector<std::span<float>>* out);
+
+/// Worker-pool executor for shard batches: sorting fans out across workers,
+/// summary maintenance stays single-threaded and in submission order.
+///
+/// Thread contract: Submit()/AcquireBatch()/WaitIdle() must be called from
+/// one thread (the service's ingest thread). The drain callback runs on the
+/// dispatcher's drain thread; WaitIdle() establishes a happens-before with
+/// every drain completed so far. The destructor finishes all submitted work
+/// before joining.
+class ShardDispatcher {
+ public:
+  /// Consumes one sorted batch on the drain thread, strictly in submission
+  /// order. The batch is on loan: read it, but hand its storage back by
+  /// returning — the dispatcher reclaims the chunk vectors afterwards and
+  /// reissues them through AcquireBatch(). A non-OK return poisons the
+  /// dispatcher: the drain thread stops and every later Submit()/WaitIdle()
+  /// returns that Status.
+  using DrainFn = std::function<core::Status(ShardBatch&& batch)>;
+
+  struct Config {
+    /// Maximum batches admitted before Submit() blocks. 0 = workers + 2.
+    int max_batches_in_flight = 0;
+
+    /// Flight-event sink (borrowed; null = off). Batch submit/drain
+    /// progress events, and a ring dump when the drain latches a failure.
+    obs::FlightRecorder* flight = nullptr;
+  };
+
+  /// One worker thread per sorter; `sorters` are borrowed, must outlive the
+  /// dispatcher, and must each be exclusive to one worker.
+  ShardDispatcher(const Config& config, std::vector<sort::Sorter*> sorters,
+                  DrainFn drain);
+  ~ShardDispatcher();
+
+  ShardDispatcher(const ShardDispatcher&) = delete;
+  ShardDispatcher& operator=(const ShardDispatcher&) = delete;
+
+  /// Hands one shard batch to the pool. Blocks while the in-flight cap is
+  /// reached. Empty batches are ignored. Returns the drain's sticky failure
+  /// Status — without enqueuing — once the drain has failed.
+  core::Status Submit(ShardBatch&& batch);
+
+  /// Returns a drained batch's storage for reuse (chunks cleared, vector
+  /// capacities retained), or a fresh empty batch when none has been
+  /// recycled yet.
+  ShardBatch AcquireBatch();
+
+  /// Blocks until every submitted batch has been sorted and drained.
+  /// Returns the drain failure Status (sticky) if the drain thread died.
+  core::Status WaitIdle();
+
+  int num_workers() const { return static_cast<int>(sorters_.size()); }
+  int max_batches_in_flight() const { return max_in_flight_; }
+
+  /// Batches drained so far (call after WaitIdle() for a settled value).
+  std::uint64_t batches_drained() const;
+
+ private:
+  struct PendingBatch {
+    std::uint64_t seq = 0;
+    ShardBatch batch;
+  };
+  struct SortedBatch {
+    ShardBatch batch;
+    bool occupied = false;  // ring-slot validity (reorder buffer)
+  };
+
+  void WorkerLoop(int worker_index);
+  void DrainLoop();
+
+  const std::vector<sort::Sorter*> sorters_;
+  const DrainFn drain_;
+  obs::FlightRecorder* const flight_;
+  int max_in_flight_ = 0;
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_free_;     // in_flight_ dropped below the cap
+  std::condition_variable work_ready_;    // pending ring non-empty (or stopping)
+  std::condition_variable sorted_ready_;  // reorder buffer advanced (or stopping)
+  std::condition_variable idle_;          // a batch finished draining
+
+  bool stop_ = false;
+  core::Status failed_;  ///< first drain failure (sticky)
+  int in_flight_ = 0;
+  std::uint64_t next_submit_seq_ = 0;
+  std::uint64_t next_drain_seq_ = 0;
+  std::uint64_t batches_drained_ = 0;
+
+  // Submit queue: fixed ring of max_in_flight_ slots, consumed FIFO.
+  std::vector<PendingBatch> pending_ring_;
+  std::size_t pending_head_ = 0;
+  std::size_t pending_count_ = 0;
+
+  // Reorder buffer: slot seq % max_in_flight_ holds batch seq.
+  std::vector<SortedBatch> sorted_ring_;
+
+  // Storage of drained batches, recycled to the ingest thread.
+  std::vector<ShardBatch> free_batches_;
+
+  // Per-worker window-span scratch for SortRuns (reused across batches).
+  std::vector<std::vector<std::span<float>>> window_scratch_;
+
+  std::vector<std::thread> workers_;
+  std::thread drain_thread_;
+};
+
+}  // namespace streamgpu::service
+
+#endif  // STREAMGPU_SERVICE_SHARD_DISPATCHER_H_

@@ -1,0 +1,469 @@
+#include "service/stream_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "gpu/half.h"
+
+namespace streamgpu::service {
+
+namespace {
+
+constexpr std::size_t kDefaultBatchElements = std::size_t{1} << 16;
+
+// Window-group width per SortRuns call (see shard_dispatcher.cc).
+constexpr std::size_t kMaxRunsPerGroup = 64;
+
+int ResolveShards(const ServiceConfig& config) {
+  if (config.num_shards > 0) return config.num_shards;
+  return 4 * std::max(config.num_workers, 1);
+}
+
+}  // namespace
+
+core::Status ServiceConfig::Validate() const {
+  if (num_workers < 1 || num_workers > 1024) {
+    return core::Status::InvalidArgument("num_workers must be in [1, 1024]");
+  }
+  if (num_shards < 0) {
+    return core::Status::InvalidArgument("num_shards must be >= 0");
+  }
+  if (max_batches_in_flight < 0) {
+    return core::Status::InvalidArgument("max_batches_in_flight must be >= 0");
+  }
+  if (max_batches_in_flight > 0 && num_workers >= 2 &&
+      max_batches_in_flight < num_workers) {
+    return core::Status::InvalidArgument(
+        "max_batches_in_flight below num_workers starves the pool");
+  }
+  return core::Status::Ok();
+}
+
+core::StatusOr<std::unique_ptr<StreamService>> StreamService::Create(
+    const ServiceConfig& config) {
+  core::Status status = config.Validate();
+  if (!status.ok()) return status;
+  return std::make_unique<StreamService>(config);
+}
+
+StreamService::StreamService(const ServiceConfig& config)
+    : config_(config),
+      obs_(config.obs),
+      admission_(config.admission,
+                 static_cast<std::size_t>(ResolveShards(config)),
+                 config.shard_ingress_capacity) {
+  const core::Status status = config_.Validate();
+  STREAMGPU_CHECK_MSG(status.ok(), status.ToString().c_str());
+
+  batch_elements_ = config_.shard_batch_elements > 0
+                        ? config_.shard_batch_elements
+                        : kDefaultBatchElements;
+  const int shards = ResolveShards(config_);
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) shards_.push_back(std::make_unique<Shard>());
+
+  // One engine (and on GPU backends one simulated device) per worker; the
+  // per-stream fields of Options are irrelevant to engine construction.
+  core::Options engine_options;
+  engine_options.backend = config_.backend;
+  engine_options.planner = config_.planner;
+  engine_options.gpu_format = config_.gpu_format;
+  engines_ = core::MakeWorkerEngines(engine_options, config_.num_workers);
+  quantize_ = engines_[0]->is_gpu() && config_.gpu_format == gpu::Format::kFloat16;
+
+  if (obs_.metrics != nullptr) {
+    m_observed_ = obs_.metrics->Counter("service.elements_observed");
+    m_shed_ = obs_.metrics->Counter("service.elements_shed");
+    m_batches_ = obs_.metrics->Counter("service.batches_dispatched");
+    m_windows_ = obs_.metrics->Counter("service.windows_merged");
+    g_streams_ = obs_.metrics->Gauge("service.streams");
+    s_batch_query_ = obs_.metrics->Summary("service.batch_query_seconds");
+  }
+
+  if (config_.num_workers >= 2) {
+    std::vector<sort::Sorter*> sorters;
+    sorters.reserve(engines_.size());
+    for (auto& engine : engines_) sorters.push_back(&engine->sorter());
+    ShardDispatcher::Config dispatcher_config;
+    dispatcher_config.max_batches_in_flight = config_.max_batches_in_flight;
+    dispatcher_config.flight = obs_.flight;
+    dispatcher_ = std::make_unique<ShardDispatcher>(
+        dispatcher_config, std::move(sorters),
+        [this](ShardBatch&& batch) { return MergeBatch(batch); });
+  }
+}
+
+StreamService::~StreamService() = default;
+
+StreamService::StreamState* StreamService::Find(const StreamKey& key) const {
+  const auto it = index_.find(key);
+  return it == index_.end() ? nullptr : streams_[it->second].get();
+}
+
+std::pair<obs::MetricId, obs::MetricId> StreamService::TenantMetrics(
+    std::uint64_t tenant) {
+  if (obs_.metrics == nullptr) return {obs::kInvalidMetric, obs::kInvalidMetric};
+  const auto it = tenant_metrics_.find(tenant);
+  if (it != tenant_metrics_.end()) return it->second;
+  if (tenant_metrics_.size() < config_.max_tenant_metric_series) {
+    const obs::MetricLabels labels = {{"tenant", std::to_string(tenant)}};
+    const std::pair<obs::MetricId, obs::MetricId> ids = {
+        obs_.metrics->Counter("service.tenant.elements_observed", labels),
+        obs_.metrics->Counter("service.tenant.elements_shed", labels)};
+    tenant_metrics_.emplace(tenant, ids);
+    return ids;
+  }
+  // Cardinality cap reached: every further tenant shares one overflow
+  // series (the registry aborts at kMaxCounters registered series, so the
+  // cap is a correctness bound, not just hygiene).
+  if (overflow_tenant_metrics_.first == obs::kInvalidMetric) {
+    const obs::MetricLabels labels = {{"tenant", "~other"}};
+    overflow_tenant_metrics_ = {
+        obs_.metrics->Counter("service.tenant.elements_observed", labels),
+        obs_.metrics->Counter("service.tenant.elements_shed", labels)};
+  }
+  return overflow_tenant_metrics_;
+}
+
+core::Status StreamService::Register(const StreamKey& key,
+                                     const StreamConfig& config) {
+  if (index_.find(key) != index_.end()) {
+    return core::Status::FailedPrecondition("stream already registered");
+  }
+  if (!config.track_quantiles && !config.track_frequencies) {
+    return core::Status::InvalidArgument(
+        "stream must track quantiles, frequencies, or both");
+  }
+  // Reuse the estimator-agnostic validation rules (epsilon range, sliding
+  // window consistency, window_size vs block size).
+  core::Options options;
+  options.epsilon = config.epsilon;
+  options.backend = config_.backend;
+  options.planner = config_.planner;
+  options.gpu_format = config_.gpu_format;
+  options.window_size = config.window_size;
+  options.sliding_window = config.sliding_window;
+  options.expected_stream_length = config.expected_stream_length;
+  core::Status status = options.Validate();
+  if (!status.ok()) return status;
+
+  // Resolve the processing window exactly as a dedicated estimator would —
+  // the precondition for bit-identical answers.
+  std::uint64_t window =
+      config.track_quantiles
+          ? core::NaturalQuantileWindow(config.epsilon, config.window_size,
+                                        config.sliding_window)
+          : core::NaturalFrequencyWindow(config.epsilon, config.window_size,
+                                         config.sliding_window);
+  if (config.track_frequencies) {
+    const std::uint64_t frequency_window = core::NaturalFrequencyWindow(
+        config.epsilon, config.window_size, config.sliding_window);
+    if (config.track_quantiles && frequency_window != window) {
+      return core::Status::InvalidArgument(
+          "quantile and frequency processing windows differ; register two "
+          "streams");
+    }
+    window = config.track_quantiles ? window : frequency_window;
+    // Whole-history frequency rule (mirrors FrequencyEstimator::Create): a
+    // window wider than the Manku-Motwani bucket voids the error guarantee.
+    const std::uint64_t bucket =
+        core::NaturalFrequencyWindow(config.epsilon, 0, 0);
+    if (config.sliding_window == 0 && window > bucket) {
+      return core::Status::InvalidArgument(
+          "whole-history frequency window_size must not exceed ceil(1/epsilon)");
+    }
+  }
+
+  auto state = std::make_unique<StreamState>(window, key);
+  state->index = static_cast<std::uint32_t>(streams_.size());
+  state->shard = static_cast<std::uint32_t>(StreamKeyHash{}(key) % shards_.size());
+  if (config.track_quantiles) {
+    state->quantiles.emplace(config.epsilon, window, config.sliding_window,
+                             config.expected_stream_length);
+  }
+  if (config.track_frequencies) {
+    state->frequencies.emplace(config.epsilon, window, config.sliding_window);
+  }
+  const auto tenant_ids = TenantMetrics(key.tenant);
+  state->tenant_observed = tenant_ids.first;
+  state->tenant_shed = tenant_ids.second;
+
+  index_.emplace(key, state->index);
+  streams_.push_back(std::move(state));
+  stats_.streams = streams_.size();
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->Set(g_streams_, static_cast<double>(streams_.size()));
+  }
+  return core::Status::Ok();
+}
+
+core::StatusOr<std::size_t> StreamService::Append(const StreamKey& key,
+                                                  std::span<const float> values) {
+  StreamState* state = Find(key);
+  if (state == nullptr) return core::Status::InvalidArgument("unknown stream");
+  if (state->finalized) {
+    return core::Status::FailedPrecondition("stream is finalized");
+  }
+  if (values.empty()) return std::size_t{0};
+
+  const std::size_t admitted = admission_.Admit(state->shard, values.size());
+  const std::size_t dropped = values.size() - admitted;
+
+  std::size_t consumed = 0;
+  while (consumed < admitted) {
+    const std::span<float> slot = state->batcher.Claim(admitted - consumed);
+    if (quantize_) {
+      for (std::size_t i = 0; i < slot.size(); ++i) {
+        slot[i] = gpu::QuantizeToHalf(values[consumed + i]);
+      }
+    } else {
+      std::copy_n(values.begin() + static_cast<std::ptrdiff_t>(consumed),
+                  slot.size(), slot.begin());
+    }
+    consumed += slot.size();
+    if (state->batcher.full()) {
+      const core::Status status = StageWindow(*state, /*final_partial=*/false);
+      if (!status.ok()) return status;
+    }
+  }
+
+  state->observed += admitted;
+  stats_.elements_observed += admitted;
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->Add(m_observed_, admitted);
+    obs_.metrics->Add(state->tenant_observed, admitted);
+  }
+  if (dropped > 0) AccountShed(*state, dropped);
+  return admitted;
+}
+
+void StreamService::AccountShed(StreamState& state, std::size_t dropped) {
+  {
+    // Shedding is the slow path; the shard summary lock serializes the
+    // bound-widening against concurrent queries and drains.
+    std::lock_guard<std::mutex> lock(shards_[state.shard]->summary_mu);
+    if (state.quantiles) state.quantiles->ShedElements(dropped);
+    if (state.frequencies) state.frequencies->ShedElements(dropped);
+  }
+  state.shed += dropped;
+  stats_.elements_shed += dropped;
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->Add(m_shed_, dropped);
+    obs_.metrics->Add(state.tenant_shed, dropped);
+  }
+  if (obs_.flight != nullptr) {
+    obs_.flight->Record(obs::FlightEventKind::kLoadShed, "service", "admission",
+                        state.index, static_cast<std::int64_t>(dropped),
+                        static_cast<std::int64_t>(admission_.backlog(state.shard)));
+  }
+}
+
+core::Status StreamService::StageWindow(StreamState& state, bool final_partial) {
+  Shard& shard = *shards_[state.shard];
+  if (state.pending_chunk < 0) {
+    if (shard.used_chunks == shard.pending.chunks.size()) {
+      shard.pending.chunks.emplace_back();
+    }
+    StreamChunk& chunk = shard.pending.chunks[shard.used_chunks];
+    STREAMGPU_DCHECK(chunk.data.empty());
+    chunk.stream = state.index;
+    chunk.window_size = state.window_size;
+    chunk.final_partial = false;
+    state.pending_chunk = static_cast<int>(shard.used_chunks);
+    ++shard.used_chunks;
+  }
+  StreamChunk& chunk =
+      shard.pending.chunks[static_cast<std::size_t>(state.pending_chunk)];
+  const std::span<const float> elements = state.batcher.contents();
+  chunk.data.insert(chunk.data.end(), elements.begin(), elements.end());
+  if (final_partial) chunk.final_partial = true;
+  shard.pending.elements += elements.size();
+  state.batcher.Clear();
+  if (!paused_ && shard.pending.elements >= batch_elements_) {
+    return DispatchShard(state.shard);
+  }
+  return core::Status::Ok();
+}
+
+core::Status StreamService::DispatchShard(std::uint32_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  if (shard.pending.elements == 0) return core::Status::Ok();
+  shard.pending.shard = shard_index;
+  admission_.OnDispatched(shard_index, shard.pending.elements);
+  for (std::size_t c = 0; c < shard.used_chunks; ++c) {
+    streams_[shard.pending.chunks[c].stream]->pending_chunk = -1;
+  }
+  shard.used_chunks = 0;
+  ++stats_.batches_dispatched;
+  if (obs_.metrics != nullptr) obs_.metrics->Add(m_batches_);
+
+  if (dispatcher_ != nullptr) {
+    const core::Status status = dispatcher_->Submit(std::move(shard.pending));
+    shard.pending = dispatcher_->AcquireBatch();
+    return status;
+  }
+
+  // Single-worker mode: sort and merge synchronously on the ingest thread,
+  // then recycle the batch storage in place.
+  inline_scratch_.clear();
+  for (StreamChunk& chunk : shard.pending.chunks) {
+    AppendChunkWindows(chunk, &inline_scratch_);
+  }
+  sort::Sorter& sorter = engines_[0]->sorter();
+  shard.pending.run = sort::SortRunInfo{};
+  for (std::size_t off = 0; off < inline_scratch_.size();
+       off += kMaxRunsPerGroup) {
+    const std::size_t count =
+        std::min(kMaxRunsPerGroup, inline_scratch_.size() - off);
+    sorter.SortRuns(
+        std::span<std::span<float>>(inline_scratch_.data() + off, count));
+    shard.pending.run += sorter.last_run();
+    STREAMGPU_CHECK_MSG(sorter.last_quarantine_mask() == 0,
+                        "service sorters wire no fault injection");
+  }
+  const core::Status status = MergeBatch(shard.pending);
+  for (StreamChunk& chunk : shard.pending.chunks) {
+    chunk.data.clear();
+    chunk.final_partial = false;
+  }
+  shard.pending.elements = 0;
+  return status;
+}
+
+core::Status StreamService::MergeBatch(ShardBatch& batch) {
+  Shard& shard = *shards_[batch.shard];
+  std::uint64_t windows = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.summary_mu);
+    for (StreamChunk& chunk : batch.chunks) {
+      if (chunk.data.empty()) continue;
+      drain_scratch_.clear();
+      AppendChunkWindows(chunk, &drain_scratch_);
+      StreamState& state = *streams_[chunk.stream];
+      for (const std::span<float> window : drain_scratch_) {
+        if (state.quantiles) state.quantiles->MergeSortedWindow(window);
+        if (state.frequencies) state.frequencies->MergeSortedWindow(window);
+        ++windows;
+      }
+    }
+  }
+  windows_merged_.fetch_add(windows, std::memory_order_relaxed);
+  if (obs_.metrics != nullptr) obs_.metrics->Add(m_windows_, windows);
+  return core::Status::Ok();
+}
+
+core::Status StreamService::Flush(const StreamKey& key) {
+  StreamState* state = Find(key);
+  if (state == nullptr) return core::Status::InvalidArgument("unknown stream");
+  if (state->finalized) return core::Status::Ok();
+  state->finalized = true;
+  if (!state->batcher.empty()) {
+    const core::Status status = StageWindow(*state, /*final_partial=*/true);
+    if (!status.ok()) return status;
+  }
+  return DispatchShard(state->shard);
+}
+
+core::Status StreamService::FlushAll() {
+  paused_ = false;
+  for (auto& state : streams_) {
+    if (state->finalized) continue;
+    state->finalized = true;
+    if (!state->batcher.empty()) {
+      const core::Status status = StageWindow(*state, /*final_partial=*/true);
+      if (!status.ok()) return status;
+    }
+  }
+  return WaitIdle();
+}
+
+core::Status StreamService::WaitIdle() {
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    const core::Status status = DispatchShard(s);
+    if (!status.ok()) return status;
+  }
+  return dispatcher_ != nullptr ? dispatcher_->WaitIdle() : core::Status::Ok();
+}
+
+core::Status StreamService::ResumeDispatch() {
+  paused_ = false;
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s]->pending.elements >= batch_elements_) {
+      const core::Status status = DispatchShard(s);
+      if (!status.ok()) return status;
+    }
+  }
+  return core::Status::Ok();
+}
+
+core::StatusOr<core::QuantileReport> StreamService::Quantile(
+    const StreamKey& key, double phi, std::uint64_t window) const {
+  StreamState* state = Find(key);
+  if (state == nullptr) return core::Status::InvalidArgument("unknown stream");
+  if (!state->quantiles) {
+    return core::Status::InvalidArgument("stream does not track quantiles");
+  }
+  std::lock_guard<std::mutex> lock(shards_[state->shard]->summary_mu);
+  return state->quantiles->Quantile(phi, window);
+}
+
+core::StatusOr<core::FrequencyReport> StreamService::HeavyHitters(
+    const StreamKey& key, double support, std::uint64_t window) const {
+  StreamState* state = Find(key);
+  if (state == nullptr) return core::Status::InvalidArgument("unknown stream");
+  if (!state->frequencies) {
+    return core::Status::InvalidArgument("stream does not track frequencies");
+  }
+  std::lock_guard<std::mutex> lock(shards_[state->shard]->summary_mu);
+  return state->frequencies->HeavyHitters(support, window);
+}
+
+core::StatusOr<std::uint64_t> StreamService::EstimateCount(
+    const StreamKey& key, float value, std::uint64_t window) const {
+  StreamState* state = Find(key);
+  if (state == nullptr) return core::Status::InvalidArgument("unknown stream");
+  if (!state->frequencies) {
+    return core::Status::InvalidArgument("stream does not track frequencies");
+  }
+  const float probe = quantize_ ? gpu::QuantizeToHalf(value) : value;
+  std::lock_guard<std::mutex> lock(shards_[state->shard]->summary_mu);
+  return state->frequencies->EstimateCount(probe, window);
+}
+
+std::vector<core::QuantileReport> StreamService::BatchQuantiles(
+    std::span<const StreamKey> keys, double phi, std::uint64_t window) const {
+  std::vector<core::QuantileReport> out(keys.size());
+  // Bucket the answer slots by owning shard so each shard's summary lock is
+  // taken once per call, not once per stream.
+  std::vector<std::vector<std::pair<std::size_t, StreamState*>>> by_shard(
+      shards_.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    StreamState* state = Find(keys[i]);
+    STREAMGPU_CHECK_MSG(state != nullptr, "BatchQuantiles: unknown stream");
+    STREAMGPU_CHECK_MSG(state->quantiles.has_value(),
+                        "BatchQuantiles: stream does not track quantiles");
+    by_shard[state->shard].emplace_back(i, state);
+  }
+  Timer timer;
+  for (std::size_t s = 0; s < by_shard.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    std::lock_guard<std::mutex> lock(shards_[s]->summary_mu);
+    for (const auto& [slot, state] : by_shard[s]) {
+      out[slot] = state->quantiles->Quantile(phi, window);
+    }
+  }
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->Observe(s_batch_query_, timer.ElapsedSeconds());
+  }
+  return out;
+}
+
+ServiceStats StreamService::stats() const {
+  ServiceStats out = stats_;
+  out.windows_merged = windows_merged_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace streamgpu::service

@@ -1,0 +1,367 @@
+// StreamService: multi-tenant stream-mining service multiplexing up to
+// hundreds of thousands of registered streams onto ONE shared worker pool.
+//
+// The paper's estimators assume one pipeline per stream; at DSMS scale (§1:
+// "thousands of continuous queries over hundreds of data streams") that is a
+// thread pool per stream — untenable at 100k streams. The service instead
+// shards streams by key onto a fixed set of ingress shards, coalesces small
+// per-stream writes into per-shard micro-batches, and dispatches those
+// batches to a single ShardDispatcher worker pool: one queue operation and
+// one sorter invocation amortize across many streams, so aggregate ingest
+// throughput tracks the worker count, not the stream count.
+//
+// Per-stream answers stay bit-identical to a dedicated estimator pipeline:
+// both sides delegate summary maintenance to the same
+// core::{Quantile,Frequency}SummaryCore, every backend sorts a window to the
+// same permutation regardless of batching, and the dispatcher's ordered
+// drain merges each stream's windows in ingest order (docs/SERVICE.md,
+// "Bit-identity").
+//
+// Admission control (the §1 load-shedding DSMS frontend, live): each shard's
+// backlog of admitted-but-undispatched elements is bounded by
+// stream::AdmissionController. Under AdmissionPolicy::kShed, arrivals beyond
+// the cap are dropped newest-first, per-stream shed counts are surfaced in
+// reports (QuantileReport::elements_shed), and the reported error bound
+// widens by the shed count — the answer's guarantee stays honest under
+// overload, exactly like quarantined windows.
+//
+// Thread contract:
+//  * Register/Append/Flush/FlushAll/WaitIdle/Pause/Resume: one ingest thread.
+//  * Queries (Quantile/HeavyHitters/EstimateCount/BatchQuantiles) may run
+//    concurrently with Append from other threads — they briefly take the
+//    owning shard's summary lock, never stalling ingest on other shards —
+//    but not concurrently with Register (registration mutates the registry).
+//  * Query answers cover the windows drained so far; call FlushAll() +
+//    WaitIdle() first for answers over everything appended.
+
+#ifndef STREAMGPU_SERVICE_STREAM_SERVICE_H_
+#define STREAMGPU_SERVICE_STREAM_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/options.h"
+#include "core/report.h"
+#include "core/status.h"
+#include "core/summary_core.h"
+#include "obs/metrics.h"
+#include "obs/observability.h"
+#include "service/shard_dispatcher.h"
+#include "stream/dsms.h"
+#include "stream/window_buffer.h"
+
+namespace streamgpu::service {
+
+/// Identity of one registered stream: tenant plus stream id within the
+/// tenant. Tenants exist for metric labeling and reporting; isolation is
+/// per-stream.
+struct StreamKey {
+  std::uint64_t tenant = 0;
+  std::uint64_t stream = 0;
+
+  friend bool operator==(const StreamKey& a, const StreamKey& b) {
+    return a.tenant == b.tenant && a.stream == b.stream;
+  }
+};
+
+struct StreamKeyHash {
+  std::size_t operator()(const StreamKey& key) const {
+    // splitmix64 finalizer over the combined words: cheap, well-mixed, and
+    // deterministic across platforms (shard assignment must be stable).
+    std::uint64_t x = key.tenant * 0x9E3779B97F4A7C15ull ^ key.stream;
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+/// Per-stream approximation configuration — the subset of core::Options that
+/// is a property of the stream rather than of the shared execution engine.
+struct StreamConfig {
+  /// Rank / frequency error bound: at most epsilon * N.
+  double epsilon = 0.001;
+
+  /// Elements per processing window; 0 = the natural width (see
+  /// core::NaturalQuantileWindow). Must equal a dedicated estimator's
+  /// resolved window for bit-identical answers (it does by construction
+  /// when both sides use the same Options fields).
+  std::uint64_t window_size = 0;
+
+  /// Sliding-window width W; 0 = whole-history queries.
+  std::uint64_t sliding_window = 0;
+
+  /// A-priori stream length for the whole-history quantile structure; 0 =
+  /// provision generously.
+  std::uint64_t expected_stream_length = 0;
+
+  /// Which summaries to maintain. One sorted pass serves both: tracking
+  /// both costs one sort plus two merges per window.
+  bool track_quantiles = true;
+  bool track_frequencies = false;
+};
+
+/// Shared execution-engine configuration for one StreamService.
+struct ServiceConfig {
+  /// Sorting backend shared by every stream (one Sorter per worker). The
+  /// host radix/merge backend is the aggregate-throughput default; any
+  /// backend is valid — answers are backend-independent by the determinism
+  /// contract (the GPU f16 path additionally quantizes at ingest).
+  core::Backend backend = core::Backend::kCpuRadixMerge;
+
+  /// Planner knobs for Backend::kAuto.
+  core::PlannerConfig planner;
+
+  /// Texture precision for the GPU backends (kFloat16 quantizes ingest).
+  gpu::Format gpu_format = gpu::Format::kFloat16;
+
+  /// Sort workers in the shared pool. 1 = synchronous dispatch on the
+  /// ingest thread (no threads spawned); >= 2 runs the ShardDispatcher.
+  int num_workers = 1;
+
+  /// Ingress shards streams hash onto. 0 = 4 * num_workers (enough
+  /// dispatch granularity to keep every worker busy).
+  int num_shards = 0;
+
+  /// Elements a shard coalesces before dispatching one micro-batch.
+  /// 0 = 64k. Larger batches amortize more per dispatch; smaller ones
+  /// bound per-stream merge latency.
+  std::size_t shard_batch_elements = 0;
+
+  /// Dispatcher backpressure cap; 0 = num_workers + 2 batches.
+  int max_batches_in_flight = 0;
+
+  /// What Append() does when a shard's ingress backlog is full: kBlock
+  /// (default) relies on dispatcher backpressure; kShed drops the excess
+  /// and widens the affected streams' error bounds (docs/SERVICE.md).
+  stream::AdmissionPolicy admission = stream::AdmissionPolicy::kBlock;
+
+  /// Per-shard backlog cap in elements (kShed only).
+  std::size_t shard_ingress_capacity = std::size_t{1} << 20;
+
+  /// Distinct tenants given their own labeled metric series
+  /// ("service.tenant.*"{tenant="..."}); later tenants share the "~other"
+  /// series. Bounds registry slot usage (obs::MetricsRegistry::kMaxCounters
+  /// is a hard cap the registry aborts at).
+  std::size_t max_tenant_metric_series = 32;
+
+  /// Observability sinks (borrowed; null = disabled).
+  obs::Observability obs;
+
+  /// First configuration error, or OK.
+  core::Status Validate() const;
+};
+
+/// Aggregate service accounting (point-in-time; single ingest thread).
+struct ServiceStats {
+  std::uint64_t streams = 0;
+  std::uint64_t elements_observed = 0;  ///< admitted into stream staging
+  std::uint64_t elements_shed = 0;      ///< dropped by admission control
+  std::uint64_t batches_dispatched = 0;
+  std::uint64_t windows_merged = 0;
+};
+
+/// Multi-tenant stream-mining service. See the file comment for the model
+/// and docs/SERVICE.md for the full guide.
+class StreamService {
+ public:
+  /// Validated construction; the returned service is never null on ok().
+  static core::StatusOr<std::unique_ptr<StreamService>> Create(
+      const ServiceConfig& config);
+
+  /// CHECK-aborts on invalid config; prefer Create().
+  explicit StreamService(const ServiceConfig& config);
+
+  /// Finishes in-flight work, then joins the pool. Appended-but-unflushed
+  /// elements still buffered in stream staging are discarded — call
+  /// FlushAll() first when final answers matter.
+  ~StreamService();
+
+  StreamService(const StreamService&) = delete;
+  StreamService& operator=(const StreamService&) = delete;
+
+  /// Registers a stream. Returns kFailedPrecondition when the key already
+  /// exists, or the StreamConfig's validation error. Registration is cheap
+  /// (no window buffer is reserved until the first append), so hundreds of
+  /// thousands of mostly-idle streams stay in bounded memory.
+  core::Status Register(const StreamKey& key, const StreamConfig& config);
+
+  bool Contains(const StreamKey& key) const {
+    return index_.find(key) != index_.end();
+  }
+  std::size_t num_streams() const { return streams_.size(); }
+
+  /// Appends elements to one stream. Returns the number admitted (always
+  /// values.size() under kBlock; possibly fewer under kShed — the admitted
+  /// count is the exact prefix of `values` that entered the stream, so a
+  /// caller can mirror it elsewhere). Returns kInvalidArgument for an
+  /// unknown key, kFailedPrecondition after Flush(key), or the dispatcher's
+  /// sticky failure.
+  core::StatusOr<std::size_t> Append(const StreamKey& key,
+                                     std::span<const float> values);
+
+  /// Finalizes one stream: its buffered partial window is dispatched (as
+  /// the stream's final, possibly partial, window) and further appends are
+  /// rejected. Idempotent. Does not wait — call WaitIdle() before relying
+  /// on the final answer.
+  core::Status Flush(const StreamKey& key);
+
+  /// Finalizes every stream, dispatches all pending shard batches, and
+  /// waits for the pool to drain. After an OK return, every query answers
+  /// over everything ever admitted.
+  core::Status FlushAll();
+
+  /// Dispatches every pending shard batch without finalizing any stream
+  /// (partial windows stay staged), then waits for the pool to drain.
+  core::Status WaitIdle();
+
+  /// Maintenance / test control: while paused, filled shard batches
+  /// accumulate at the ingress (bounded by the admission policy) instead of
+  /// dispatching. Resume dispatches every batch that reached the dispatch
+  /// threshold while paused.
+  void PauseDispatch() { paused_ = true; }
+  core::Status ResumeDispatch();
+
+  /// The phi-quantile of one stream over the windows drained so far. The
+  /// report's error bound includes quarantine and shed widening; its
+  /// elements_shed field carries the stream's shed count explicitly.
+  /// Returns kInvalidArgument for an unknown key or a stream that does not
+  /// track quantiles.
+  core::StatusOr<core::QuantileReport> Quantile(const StreamKey& key, double phi,
+                                                std::uint64_t window = 0) const;
+
+  /// Heavy hitters of one stream (requires track_frequencies).
+  core::StatusOr<core::FrequencyReport> HeavyHitters(
+      const StreamKey& key, double support, std::uint64_t window = 0) const;
+
+  /// Estimated frequency of `value` in one stream (requires
+  /// track_frequencies). The value is quantized through binary16 first on
+  /// the GPU f16 path, mirroring ingest.
+  core::StatusOr<std::uint64_t> EstimateCount(const StreamKey& key, float value,
+                                              std::uint64_t window = 0) const;
+
+  /// Batch query: the phi-quantile of every key, in order. Groups keys by
+  /// shard and takes each shard's summary lock once, so snapshotting
+  /// thousands of reports costs one lock round per shard, not per stream.
+  /// Every key must be registered and track quantiles (CHECKed).
+  std::vector<core::QuantileReport> BatchQuantiles(
+      std::span<const StreamKey> keys, double phi,
+      std::uint64_t window = 0) const;
+
+  /// Aggregate accounting. Stable after WaitIdle()/FlushAll().
+  ServiceStats stats() const;
+
+  /// The admission controller (per-shard backlogs and shed counts).
+  const stream::AdmissionController& admission() const { return admission_; }
+
+  const ServiceConfig& config() const { return config_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  bool dispatch_paused() const { return paused_; }
+
+ private:
+  /// One registered stream. Summary cores are guarded by the owning shard's
+  /// summary lock; staging (batcher) belongs to the ingest thread.
+  struct StreamState {
+    StreamKey key;
+    std::uint32_t index = 0;
+    std::uint32_t shard = 0;
+    std::uint64_t window_size = 0;
+    stream::WindowBatcher batcher;
+    std::optional<core::QuantileSummaryCore> quantiles;
+    std::optional<core::FrequencySummaryCore> frequencies;
+    std::uint64_t observed = 0;  ///< admitted elements
+    std::uint64_t shed = 0;      ///< dropped by admission control
+    int pending_chunk = -1;      ///< index into the shard's pending chunks
+    bool finalized = false;
+    obs::MetricId tenant_observed = obs::kInvalidMetric;
+    obs::MetricId tenant_shed = obs::kInvalidMetric;
+
+    StreamState(std::uint64_t window, const StreamKey& k)
+        : key(k), window_size(window),
+          batcher(window, /*batch_windows=*/1, /*lazy_reserve=*/true) {}
+  };
+
+  /// One ingress shard: the micro-batch being coalesced (ingest thread) and
+  /// the lock serializing summary merges against queries.
+  struct Shard {
+    ShardBatch pending;
+    std::size_t used_chunks = 0;
+    mutable std::mutex summary_mu;
+  };
+
+  StreamState* Find(const StreamKey& key) const;
+
+  /// Moves the stream's completed window (or finalizing partial window)
+  /// from its staging buffer into the shard's pending chunk, dispatching
+  /// the shard when the micro-batch threshold is reached.
+  core::Status StageWindow(StreamState& state, bool final_partial);
+
+  /// Submits (or, single-worker, synchronously processes) a shard's pending
+  /// micro-batch.
+  core::Status DispatchShard(std::uint32_t shard_index);
+
+  /// Drain side: merges every chunk's windows into its stream's summary
+  /// cores under the shard's summary lock.
+  core::Status MergeBatch(ShardBatch& batch);
+
+  /// Accounts `dropped` shed elements against the stream (summary cores,
+  /// counters, flight event).
+  void AccountShed(StreamState& state, std::size_t dropped);
+
+  /// The tenant's labeled counter ids, creating them on first use (capped
+  /// at max_tenant_metric_series; overflow shares the "~other" series).
+  std::pair<obs::MetricId, obs::MetricId> TenantMetrics(std::uint64_t tenant);
+
+  ServiceConfig config_;
+  obs::Observability obs_;
+  bool quantize_ = false;  ///< GPU f16 path: quantize at ingest
+  std::size_t batch_elements_ = 0;
+
+  std::unordered_map<StreamKey, std::uint32_t, StreamKeyHash> index_;
+  std::vector<std::unique_ptr<StreamState>> streams_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  stream::AdmissionController admission_;
+  bool paused_ = false;
+
+  /// Ingest-thread accounting; windows_merged lives separately because the
+  /// drain thread increments it (relaxed atomic; exact after WaitIdle()).
+  ServiceStats stats_;
+  std::atomic<std::uint64_t> windows_merged_{0};
+
+  /// Tenant label cache: tenant id -> (observed, shed) counter ids.
+  std::unordered_map<std::uint64_t, std::pair<obs::MetricId, obs::MetricId>>
+      tenant_metrics_;
+  std::pair<obs::MetricId, obs::MetricId> overflow_tenant_metrics_{
+      obs::kInvalidMetric, obs::kInvalidMetric};
+
+  /// Service-level instruments (kInvalidMetric when metrics are unwired).
+  obs::MetricId m_observed_ = obs::kInvalidMetric;
+  obs::MetricId m_shed_ = obs::kInvalidMetric;
+  obs::MetricId m_batches_ = obs::kInvalidMetric;
+  obs::MetricId m_windows_ = obs::kInvalidMetric;
+  obs::MetricId g_streams_ = obs::kInvalidMetric;
+  obs::MetricId s_batch_query_ = obs::kInvalidMetric;
+
+  /// One engine per worker (each owning its Sorter and, on GPU backends,
+  /// its simulated device). engines_[0] serves the synchronous single-
+  /// worker mode. Declared before the dispatcher so worker threads stop
+  /// before the sorters they borrow are destroyed.
+  std::vector<std::unique_ptr<core::SortEngine>> engines_;
+  std::vector<std::span<float>> inline_scratch_;  ///< single-worker SortRuns spans
+  std::vector<std::span<float>> drain_scratch_;   ///< drain-side window splitting
+  std::unique_ptr<ShardDispatcher> dispatcher_;
+};
+
+}  // namespace streamgpu::service
+
+#endif  // STREAMGPU_SERVICE_STREAM_SERVICE_H_

@@ -83,55 +83,68 @@ std::uint64_t MergeKeyRuns(std::span<const std::span<const std::uint32_t>> runs,
     return 0;
   }
 
-  // Loser tree over run heads. `slots` holds the internal nodes (losers);
+  // True loser tree over packed (key, run) entries: key in the high 32 bits,
+  // run index low, so one uint64 compare realizes the lexicographic order —
   // ties break toward the lower run index, which keeps the merge stable and
-  // therefore deterministic for any input. Exhausted runs present an
-  // infinite sentinel; real keys equal to the sentinel still win against it
-  // via the index tiebreak only when both are sentinels, so exhausted keys
-  // use index = ways (larger than any live run).
+  // therefore deterministic for any input. Exhausted runs pack the sentinel
+  // {0xFFFFFFFF, ways}; a real 0xFFFFFFFF key from a live run (run < ways)
+  // still orders below every sentinel. Refilling walks leaf-to-root against
+  // the stored loser of each match — one load and one compare per level,
+  // half the traffic of replaying a winner tree's sibling pairs.
   std::size_t tree = 1;
   while (tree < ways) tree <<= 1;
 
-  struct Entry {
-    std::uint32_t key;
-    std::uint32_t run;  // == ways when exhausted (sentinel)
+  const auto pack = [](std::uint32_t key, std::uint32_t run) {
+    return (static_cast<std::uint64_t>(key) << 32) | run;
   };
-  std::vector<Entry> nodes(2 * tree);
-  std::vector<std::size_t> pos(ways, 0);
-  const auto ways32 = static_cast<std::uint32_t>(ways);
+  const std::uint64_t kExhausted =
+      pack(0xFFFFFFFFu, static_cast<std::uint32_t>(ways));
 
-  auto leaf_entry = [&](std::size_t r) -> Entry {
-    if (r >= ways || pos[r] >= runs[r].size()) return {0xFFFFFFFFu, ways32};
-    return {runs[r][pos[r]], static_cast<std::uint32_t>(r)};
+  // Run cursors hoisted out of the span-of-spans (one indirection per
+  // refill instead of two); padding leaves beyond `ways` stay exhausted.
+  struct RunCursor {
+    const std::uint32_t* data = nullptr;
+    std::size_t size = 0;
+    std::size_t pos = 0;
   };
-  auto less = [](const Entry& a, const Entry& b) {
-    return a.key < b.key || (a.key == b.key && a.run < b.run);
+  std::vector<RunCursor> cursor(tree);
+  for (std::size_t r = 0; r < ways; ++r) {
+    cursor[r].data = runs[r].data();
+    cursor[r].size = runs[r].size();
+  }
+  const auto leaf = [&](std::size_t r) {
+    const RunCursor& c = cursor[r];
+    return c.pos < c.size ? pack(c.data[c.pos], static_cast<std::uint32_t>(r))
+                          : kExhausted;
   };
 
+  // Build: play the bracket as a winner tree (tree - 1 counted matches),
+  // then convert the internal nodes to the losers of their matches. The
+  // top-down sweep may overwrite node i before its children: each node only
+  // reads its children's still-intact winner values, and the loser of a
+  // match is simply the larger child.
   std::uint64_t comparisons = 0;
-  for (std::size_t r = 0; r < tree; ++r) nodes[tree + r] = leaf_entry(r);
+  std::vector<std::uint64_t> nodes(2 * tree);
+  for (std::size_t r = 0; r < tree; ++r) nodes[tree + r] = leaf(r);
   for (std::size_t i = tree - 1; i >= 1; --i) {
-    const Entry& a = nodes[2 * i];
-    const Entry& b = nodes[2 * i + 1];
     ++comparisons;
-    nodes[i] = less(a, b) ? a : b;
+    nodes[i] = std::min(nodes[2 * i], nodes[2 * i + 1]);
+  }
+  std::uint64_t winner = nodes[1];
+  for (std::size_t i = 1; i < tree; ++i) {
+    nodes[i] = std::max(nodes[2 * i], nodes[2 * i + 1]);
   }
 
   for (std::size_t o = 0; o < out.size(); ++o) {
-    const Entry winner = nodes[1];
-    out[o] = winner.key;
-    const std::size_t r = winner.run;
-    ++pos[r];
-    // Replay the winner's leaf-to-root path.
-    std::size_t node = tree + r;
-    nodes[node] = leaf_entry(r);
-    while (node > 1) {
-      node >>= 1;
-      const Entry& a = nodes[2 * node];
-      const Entry& b = nodes[2 * node + 1];
+    out[o] = static_cast<std::uint32_t>(winner >> 32);
+    const auto r = static_cast<std::size_t>(winner & 0xFFFFFFFFu);
+    ++cursor[r].pos;
+    std::uint64_t contender = leaf(r);
+    for (std::size_t node = (tree + r) >> 1; node >= 1; node >>= 1) {
       ++comparisons;
-      nodes[node] = less(a, b) ? a : b;
+      if (nodes[node] < contender) std::swap(nodes[node], contender);
     }
+    winner = contender;
   }
   return comparisons;
 }

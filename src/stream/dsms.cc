@@ -9,8 +9,8 @@ namespace streamgpu::stream {
 
 DsmsSimulator::DsmsSimulator(const Config& config) : config_(config) {
   STREAMGPU_CHECK(config.arrival_rate_hz > 0);
-  STREAMGPU_CHECK(config.queue_capacity >= 1);
   STREAMGPU_CHECK(config.service_chunk >= 1);
+  STREAMGPU_CHECK(config.burst_size >= 1);
 }
 
 DsmsSimulator::Result DsmsSimulator::Run(StreamGenerator* source,
@@ -37,14 +37,29 @@ DsmsSimulator::Result DsmsSimulator::Run(StreamGenerator* source,
     }
   };
 
-  double arrival_credit = 0;  // fractional arrivals carried between steps
+  double arrival_credit = 0;       // fractional arrivals carried between steps
+  std::uint64_t burst_pending = 0;  // whole arrivals waiting for a full burst
+
+  // Arrivals are delivered only in whole bursts; the remainder waits for the
+  // next step's credit (with burst_size == 1 every whole arrival is
+  // delivered immediately, matching smooth arrivals exactly).
+  const auto deliver = [&](std::uint64_t whole) {
+    burst_pending += whole;
+    const std::uint64_t bursts = burst_pending / config_.burst_size;
+    if (bursts > 0) {
+      const std::uint64_t n = bursts * config_.burst_size;
+      burst_pending -= n;
+      admit(n);
+    }
+  };
+
   while (result.arrived < total_elements || !queue.empty()) {
     if (queue.empty()) {
       // Idle: wait for one service chunk's worth of arrivals.
       const double wait =
           static_cast<double>(config_.service_chunk) / config_.arrival_rate_hz;
       result.virtual_seconds += wait;
-      admit(config_.service_chunk);
+      deliver(config_.service_chunk);
       continue;
     }
 
@@ -62,9 +77,41 @@ DsmsSimulator::Result DsmsSimulator::Run(StreamGenerator* source,
     arrival_credit += service * config_.arrival_rate_hz;
     const auto whole = static_cast<std::uint64_t>(arrival_credit);
     arrival_credit -= static_cast<double>(whole);
-    admit(whole);
+    deliver(whole);
   }
   return result;
+}
+
+AdmissionController::AdmissionController(AdmissionPolicy policy,
+                                         std::size_t num_shards,
+                                         std::size_t capacity)
+    : policy_(policy),
+      capacity_(capacity),
+      backlog_(num_shards, 0),
+      shed_(num_shards, 0) {
+  STREAMGPU_CHECK(num_shards >= 1);
+}
+
+std::size_t AdmissionController::Admit(std::size_t shard, std::size_t incoming) {
+  STREAMGPU_CHECK(shard < backlog_.size());
+  std::size_t admitted = incoming;
+  if (policy_ == AdmissionPolicy::kShed) {
+    const std::size_t headroom =
+        backlog_[shard] < capacity_ ? capacity_ - backlog_[shard] : 0;
+    admitted = std::min(incoming, headroom);
+    const std::size_t dropped = incoming - admitted;
+    shed_[shard] += dropped;
+    total_shed_ += dropped;
+  }
+  backlog_[shard] += admitted;
+  return admitted;
+}
+
+void AdmissionController::OnDispatched(std::size_t shard, std::size_t n) {
+  STREAMGPU_CHECK(shard < backlog_.size());
+  STREAMGPU_CHECK_MSG(n <= backlog_[shard],
+                      "dispatched more than the shard's admitted backlog");
+  backlog_[shard] -= n;
 }
 
 }  // namespace streamgpu::stream

@@ -8,6 +8,7 @@
 #ifndef STREAMGPU_STREAM_WINDOW_BUFFER_H_
 #define STREAMGPU_STREAM_WINDOW_BUFFER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -20,20 +21,45 @@ namespace streamgpu::stream {
 /// batches of up to `batch_windows` (4 for the GPU path, 1 for CPU paths).
 class WindowBatcher {
  public:
-  WindowBatcher(std::uint64_t window_size, int batch_windows)
+  /// `lazy_reserve` defers the batch-capacity reservation to the first
+  /// element: a registered-but-idle stream (service::StreamService keeps up
+  /// to 100k of them) then costs an empty vector instead of a full batch
+  /// buffer. The default reserves eagerly, preserving the estimators'
+  /// allocation profile.
+  WindowBatcher(std::uint64_t window_size, int batch_windows,
+                bool lazy_reserve = false)
       : window_size_(window_size), batch_windows_(batch_windows) {
     STREAMGPU_CHECK(window_size >= 1);
     STREAMGPU_CHECK(batch_windows >= 1);
-    buffer_.reserve(window_size * static_cast<std::uint64_t>(batch_windows));
+    if (!lazy_reserve) buffer_.reserve(capacity());
   }
 
   /// Adds one element. Returns true when a full batch is ready (the caller
   /// should then consume TakeWindows()).
   bool Push(float value) {
     buffer_.push_back(value);
-    return buffer_.size() ==
-           window_size_ * static_cast<std::uint64_t>(batch_windows_);
+    return buffer_.size() == capacity();
   }
+
+  /// Bulk-ingest fast path: extends the buffer by up to `max_elements`
+  /// (bounded by the space left in the current batch) and returns the
+  /// writable span of the newly claimed slots — the caller copies (or
+  /// quantizes) stream elements straight into batch storage instead of
+  /// pushing one at a time. Check full() afterwards; steady state performs
+  /// no allocation (capacity is reserved up front, or on the first claim
+  /// when lazily constructed).
+  std::span<float> Claim(std::size_t max_elements) {
+    const std::size_t cap = capacity();
+    if (buffer_.capacity() < cap) buffer_.reserve(cap);
+    const std::size_t take = std::min(max_elements, cap - buffer_.size());
+    const std::size_t old_size = buffer_.size();
+    buffer_.resize(old_size + take);
+    return {buffer_.data() + old_size, take};
+  }
+
+  /// True when the current batch is complete (the caller should consume
+  /// Windows() or TakeBuffer()).
+  bool full() const { return buffer_.size() == capacity(); }
 
   /// Views of the buffered windows (the final one may be partial). The spans
   /// point into internal storage: consume them, then call Clear().
@@ -58,15 +84,25 @@ class WindowBatcher {
     std::vector<float> out = std::move(buffer_);
     buffer_ = std::move(replacement);
     buffer_.clear();
-    buffer_.reserve(window_size_ * static_cast<std::uint64_t>(batch_windows_));
+    buffer_.reserve(capacity());
     return out;
   }
 
   bool empty() const { return buffer_.empty(); }
+
+  /// Read-only view of the buffered elements, for callers that copy them
+  /// into other storage (service shard chunks) instead of taking the buffer.
+  std::span<const float> contents() const { return buffer_; }
+
   std::uint64_t window_size() const { return window_size_; }
+  int batch_windows() const { return batch_windows_; }
   std::size_t buffered() const { return buffer_.size(); }
 
  private:
+  std::size_t capacity() const {
+    return window_size_ * static_cast<std::uint64_t>(batch_windows_);
+  }
+
   std::uint64_t window_size_;
   int batch_windows_;
   std::vector<float> buffer_;

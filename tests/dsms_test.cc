@@ -79,6 +79,108 @@ TEST(DsmsTest, QueueCapacityBoundsBurstTolerance) {
   EXPECT_GT(run(1024), run(65536));
 }
 
+TEST(DsmsTest, ZeroCapacityQueueShedsEverything) {
+  // Degenerate but valid: nothing is ever admitted, the processor never
+  // runs, and every arrival is accounted as shed.
+  DsmsSimulator sim({.arrival_rate_hz = 1e6, .queue_capacity = 0,
+                     .service_chunk = 1024});
+  auto source = MakeSource(17);
+  std::uint64_t calls = 0;
+  const auto r = sim.Run(&source, 50000, [&](std::span<const float>) {
+    ++calls;
+    return 1e-6;
+  });
+  EXPECT_EQ(calls, 0u);
+  EXPECT_EQ(r.arrived, 50000u);
+  EXPECT_EQ(r.shed, 50000u);
+  EXPECT_EQ(r.processed, 0u);
+  EXPECT_DOUBLE_EQ(r.shed_fraction(), 1.0);
+  EXPECT_EQ(r.busy_seconds, 0.0);
+}
+
+TEST(DsmsTest, ServiceChunkLargerThanQueueDrainsWhatIsQueued) {
+  // chunk > capacity: each service step just drains the whole queue; the
+  // simulation still terminates and balances.
+  DsmsSimulator sim({.arrival_rate_hz = 1e6, .queue_capacity = 512,
+                     .service_chunk = 4096});
+  auto source = MakeSource(19);
+  std::size_t max_chunk = 0;
+  const auto r = sim.Run(&source, 100000, [&](std::span<const float> chunk) {
+    max_chunk = std::max(max_chunk, chunk.size());
+    return static_cast<double>(chunk.size()) / 5e5;
+  });
+  EXPECT_LE(max_chunk, 512u);
+  EXPECT_EQ(r.arrived, 100000u);
+  EXPECT_EQ(r.processed + r.shed, r.arrived);
+  EXPECT_GT(r.processed, 0u);
+}
+
+TEST(DsmsTest, BurstyArrivalsShedMoreThanSmoothAtSameRate) {
+  // Same average rate and the same modest overload; a burst larger than the
+  // queue overflows it on delivery, where smooth arrivals would trickle in
+  // behind the processor.
+  auto shed_with_burst = [](std::size_t burst) {
+    DsmsSimulator sim({.arrival_rate_hz = 1.2e6, .queue_capacity = 2048,
+                       .service_chunk = 512, .burst_size = burst});
+    auto source = MakeSource(23);
+    return sim.Run(&source, 300000, FixedRate(1e6)).shed;
+  };
+  EXPECT_GT(shed_with_burst(8192), shed_with_burst(1));
+}
+
+TEST(DsmsTest, ConservationHoldsAcrossEdgeConfigs) {
+  // arrived == processed + shed at completion (the queue drains before Run
+  // returns), across bursty, tiny-queue, and chunk-vs-capacity extremes.
+  const DsmsSimulator::Config configs[] = {
+      {.arrival_rate_hz = 1e6, .queue_capacity = 0, .service_chunk = 64},
+      {.arrival_rate_hz = 1e6, .queue_capacity = 1, .service_chunk = 4096},
+      {.arrival_rate_hz = 3e6, .queue_capacity = 777, .service_chunk = 4096,
+       .burst_size = 1000},
+      {.arrival_rate_hz = 1e5, .queue_capacity = 1 << 16, .service_chunk = 1,
+       .burst_size = 64},
+  };
+  for (const auto& config : configs) {
+    DsmsSimulator sim(config);
+    auto source = MakeSource(29);
+    const auto r = sim.Run(&source, 54321, FixedRate(4e5));
+    EXPECT_EQ(r.arrived, 54321u) << config.queue_capacity;
+    EXPECT_EQ(r.processed + r.shed, r.arrived) << config.queue_capacity;
+    EXPECT_GE(r.virtual_seconds, r.busy_seconds) << config.queue_capacity;
+  }
+}
+
+TEST(AdmissionControllerTest, BlockPolicyAdmitsEverything) {
+  AdmissionController ctl(AdmissionPolicy::kBlock, 4, /*capacity=*/16);
+  EXPECT_EQ(ctl.Admit(0, 1000), 1000u);
+  EXPECT_EQ(ctl.backlog(0), 1000u);
+  EXPECT_EQ(ctl.total_shed(), 0u);
+  ctl.OnDispatched(0, 1000);
+  EXPECT_EQ(ctl.backlog(0), 0u);
+}
+
+TEST(AdmissionControllerTest, ShedPolicyCapsPerShardBacklog) {
+  AdmissionController ctl(AdmissionPolicy::kShed, 2, /*capacity=*/100);
+  EXPECT_EQ(ctl.Admit(0, 60), 60u);
+  EXPECT_EQ(ctl.Admit(0, 60), 40u);  // only headroom admitted
+  EXPECT_EQ(ctl.backlog(0), 100u);
+  EXPECT_EQ(ctl.shed(0), 20u);
+  // Shard 1 has independent headroom.
+  EXPECT_EQ(ctl.Admit(1, 60), 60u);
+  EXPECT_EQ(ctl.shed(1), 0u);
+  EXPECT_EQ(ctl.total_shed(), 20u);
+  // Dispatching frees headroom again.
+  ctl.OnDispatched(0, 70);
+  EXPECT_EQ(ctl.Admit(0, 80), 70u);
+  EXPECT_EQ(ctl.total_shed(), 30u);
+}
+
+TEST(AdmissionControllerTest, ZeroCapacityShedsEveryArrival) {
+  AdmissionController ctl(AdmissionPolicy::kShed, 1, /*capacity=*/0);
+  EXPECT_EQ(ctl.Admit(0, 5000), 0u);
+  EXPECT_EQ(ctl.backlog(0), 0u);
+  EXPECT_EQ(ctl.total_shed(), 5000u);
+}
+
 TEST(DsmsTest, ProcessorSeesArrivalOrder) {
   DsmsSimulator sim({.arrival_rate_hz = 1e9, .queue_capacity = 1 << 20,
                      .service_chunk = 1000});

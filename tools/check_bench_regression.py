@@ -9,6 +9,8 @@ Usage:
       [--overhead-tolerance 1.02]
   check_bench_regression.py --fig3-backends BASELINE.json NEW_FIG3.json \\
       [--min-auto-speedup 2.0]
+  check_bench_regression.py --service BASELINE_SERVICE.json NEW_SERVICE.json \\
+      [--rel-single-floor 0.9] [--tolerance 1.2] [--latency-tolerance 2.0]
   check_bench_regression.py --merge ENGINE.json FIG3.json [-o BENCH_sort.json]
 
 Check mode compares the machine-normalized kernel ratios (``rel_memcpy`` =
@@ -44,6 +46,18 @@ cost-model planner ("auto") must beat PBSN on host ns/key by at least
 --min-auto-speedup (default 2.0 — the docs/SORT_BACKENDS.md performance
 contract for the second-generation backends).
 
+Service mode gates the multi-tenant StreamService numbers from
+bench_service against the committed BENCH_service.json baseline. The primary
+contract is machine-independent: ``rel_single`` (aggregate service ingest
+over a dedicated single-stream pipeline at the same worker count, measured
+within one run) must stay above --rel-single-floor (default 0.9 — the
+docs/SERVICE.md throughput contract) at every stream count >= 1000, and no
+row's ratio may fall below baseline / --tolerance. Registry memory
+(``bytes_per_idle_stream``, machine-stable) is gated at baseline *
+--tolerance, and the batch-query p99 call latency — a raw wall-clock number
+that does vary with the runner — only loosely at baseline *
+--latency-tolerance (default 2.0).
+
 Merge mode rebuilds the committed repo-root baseline from fresh
 bench_engine + bench_fig3_sorting JSON outputs.
 """
@@ -56,6 +70,9 @@ import sys
 DEFAULT_TOLERANCE = 1.2
 DEFAULT_OVERHEAD_TOLERANCE = 1.02
 DEFAULT_MIN_AUTO_SPEEDUP = 2.0
+DEFAULT_REL_SINGLE_FLOOR = 0.9
+DEFAULT_LATENCY_TOLERANCE = 2.0
+REL_SINGLE_FLOOR_STREAMS = 1000
 MIN_AUTO_SPEEDUP_N = 1 << 20
 
 # The closed set of backend names the planner can emit (must match
@@ -292,6 +309,64 @@ def check_fig3_backends(baseline_path, new_path, min_speedup):
     return 0
 
 
+def check_service(baseline_path, new_path, rel_floor, tolerance,
+                  latency_tolerance):
+    baseline = load(baseline_path)["service"]
+    new = load(new_path)["service"]
+
+    failures = []
+    base_rows = {row["streams"]: row for row in baseline["streams"]}
+    new_rows = {row["streams"]: row for row in new["streams"]}
+    print(f"{'streams':>10} {'baseline':>9} {'new':>9}  "
+          f"(rel_single; floor {rel_floor:.2f} at >= "
+          f"{REL_SINGLE_FLOOR_STREAMS} streams, slack {tolerance:.2f}x)")
+    for streams, base_row in sorted(base_rows.items()):
+        if streams not in new_rows:
+            failures.append(f"streams={streams}: missing from new results")
+            continue
+        b = base_row["rel_single"]
+        r = new_rows[streams]["rel_single"]
+        flags = []
+        if streams >= REL_SINGLE_FLOOR_STREAMS and r < rel_floor:
+            flags.append("BELOW FLOOR")
+            failures.append(
+                f"streams={streams}: rel_single {r:.2f} < the {rel_floor:.2f} "
+                "aggregate-throughput floor (docs/SERVICE.md)")
+        if r < b / tolerance:
+            flags.append("REGRESSED")
+            failures.append(f"streams={streams}: rel_single {b:.2f} -> "
+                            f"{r:.2f} (> {tolerance:.2f}x below baseline)")
+        print(f"{streams:>10} {b:>9.2f} {r:>9.2f}  {' '.join(flags)}")
+
+    b_mem = baseline["bytes_per_idle_stream"]
+    n_mem = new["bytes_per_idle_stream"]
+    print(f"\nbytes/idle stream: baseline {b_mem:.0f}, new {n_mem:.0f} "
+          f"(limit {b_mem * tolerance:.0f})")
+    if n_mem > b_mem * tolerance:
+        failures.append(f"bytes_per_idle_stream {b_mem:.0f} -> {n_mem:.0f} "
+                        f"(> {tolerance:.2f}x baseline)")
+
+    b_p99 = baseline["batch_p99_call_seconds"]
+    n_p99 = new["batch_p99_call_seconds"]
+    print(f"batch-query p99:   baseline {b_p99 * 1e3:.1f} ms, new "
+          f"{n_p99 * 1e3:.1f} ms (limit {b_p99 * latency_tolerance * 1e3:.1f} ms)")
+    if n_p99 > b_p99 * latency_tolerance:
+        failures.append(f"batch_p99_call_seconds {b_p99:.4f} -> {n_p99:.4f} "
+                        f"(> {latency_tolerance:.2f}x baseline)")
+
+    if failures:
+        print("\nFAIL: StreamService benchmark gate:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        print("\nIf the change is intentional, regenerate the baseline: "
+              "STREAMGPU_BENCH_JSON=BENCH_service.json "
+              "build/bench/bench_service", file=sys.stderr)
+        return 1
+    print("\nOK: service throughput, registry memory, and query latency "
+          "within tolerance.")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("inputs", nargs="+",
@@ -321,6 +396,18 @@ def main():
                         default=DEFAULT_MIN_AUTO_SPEEDUP,
                         help="required pbsn/auto ns/key ratio at n >= 1M "
                              f"(default {DEFAULT_MIN_AUTO_SPEEDUP})")
+    parser.add_argument("--service", action="store_true",
+                        help="gate bench_service results against the "
+                             "committed BENCH_service.json baseline")
+    parser.add_argument("--rel-single-floor", type=float,
+                        default=DEFAULT_REL_SINGLE_FLOOR,
+                        help="min service/dedicated ingest ratio at >= "
+                             f"{REL_SINGLE_FLOOR_STREAMS} streams "
+                             f"(default {DEFAULT_REL_SINGLE_FLOOR})")
+    parser.add_argument("--latency-tolerance", type=float,
+                        default=DEFAULT_LATENCY_TOLERANCE,
+                        help="max allowed new/baseline batch-query p99 ratio "
+                             f"(default {DEFAULT_LATENCY_TOLERANCE})")
     parser.add_argument("--merge", action="store_true",
                         help="merge engine+fig3 JSON into a new baseline")
     parser.add_argument("-o", "--output", default="BENCH_sort.json",
@@ -336,6 +423,10 @@ def main():
         parser.error("this mode takes exactly two input files")
     if args.merge:
         return merge(args.inputs[0], args.inputs[1], args.output)
+    if args.service:
+        return check_service(args.inputs[0], args.inputs[1],
+                             args.rel_single_floor, args.tolerance,
+                             args.latency_tolerance)
     if args.fig3_overhead:
         return check_fig3_overhead(args.inputs[0], args.inputs[1],
                                    args.overhead_tolerance)

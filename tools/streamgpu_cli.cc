@@ -6,6 +6,7 @@
 //   streamgpu_cli quantiles   [options] --phi 0.5,0.9,0.99
 //   streamgpu_cli frequencies [options] --support 0.01
 //   streamgpu_cli sort        [options]
+//   streamgpu_cli serve       [options] --streams 1000 --tenants 10
 //
 // Common options:
 //   --input PATH           read float values (text, one per line) from PATH
@@ -42,6 +43,13 @@
 //   --trace-out PATH       write a Chrome trace-event JSON to PATH
 //                          (chrome://tracing or https://ui.perfetto.dev)
 //   --trace-sample-every K record every K-th span per stage (default 1: all)
+//
+// Multi-tenant service (serve command only; docs/SERVICE.md):
+//   --streams N            streams multiplexed onto the worker pool
+//                          (default 1000); --n is the per-stream length
+//   --tenants T            tenants the streams are spread across (default 10)
+//   --shed-capacity CAP    enable load shedding: per-shard ingress backlog
+//                          cap in elements (default 0: block, never shed)
 //
 // Fault injection (docs/ROBUSTNESS.md):
 //   --fault-plan SPEC      deterministic fault plan, e.g.
@@ -82,6 +90,7 @@
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
 #include "obs/trace.h"
+#include "service/stream_service.h"
 #include "stream/generator.h"
 
 namespace {
@@ -114,12 +123,15 @@ struct CliOptions {
   int fault_retries = 3;
   bool cpu_fallback = true;
   double drain_deadline = 0;
+  std::uint64_t streams = 1000;
+  std::uint64_t tenants = 10;
+  std::size_t shed_capacity = 0;
 };
 
 [[noreturn]] void Usage(const char* error) {
   if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(stderr,
-               "usage: streamgpu_cli <quantiles|frequencies|sort> [options]\n"
+               "usage: streamgpu_cli <quantiles|frequencies|sort|serve> [options]\n"
                "  --input PATH | --generate uniform|zipf|sorted|network|finance\n"
                "  --n COUNT --seed SEED --epsilon EPS\n"
                "  --sort-backend auto|pbsn|sample|bitonic|cpu|radix|stdsort\n"
@@ -131,7 +143,8 @@ struct CliOptions {
                "  --fault-plan SPEC --fault-seed SEED --fault-retries N\n"
                "  --no-cpu-fallback --drain-deadline SECS\n"
                "  --phi P1,P2,...    (quantiles)\n"
-               "  --support S        (frequencies)\n");
+               "  --support S        (frequencies)\n"
+               "  --streams N --tenants T --shed-capacity CAP  (serve)\n");
   std::exit(2);
 }
 
@@ -210,6 +223,14 @@ CliOptions ParseArgs(int argc, char** argv) {
       opt.cpu_fallback = false;
     } else if (flag == "--drain-deadline") {
       opt.drain_deadline = std::strtod(next().c_str(), nullptr);
+    } else if (flag == "--streams") {
+      opt.streams = std::strtoull(next().c_str(), nullptr, 10);
+      if (opt.streams == 0) Usage("--streams must be >= 1");
+    } else if (flag == "--tenants") {
+      opt.tenants = std::strtoull(next().c_str(), nullptr, 10);
+      if (opt.tenants == 0) Usage("--tenants must be >= 1");
+    } else if (flag == "--shed-capacity") {
+      opt.shed_capacity = std::strtoull(next().c_str(), nullptr, 10);
     } else if (flag == "--phi") {
       opt.phis = ParseDoubleList(next());
     } else if (flag == "--support") {
@@ -468,6 +489,95 @@ int RunSort(const CliOptions& opt) {
   return 0;
 }
 
+int RunServe(const CliOptions& opt) {
+  const ObsSinks sinks(opt);
+  service::ServiceConfig config;
+  config.backend = ParseBackend(opt.backend);
+  config.num_workers = opt.workers;
+  config.max_batches_in_flight = opt.in_flight;
+  if (opt.shed_capacity > 0) {
+    config.admission = stream::AdmissionPolicy::kShed;
+    config.shard_ingress_capacity = opt.shed_capacity;
+  }
+  config.obs = sinks.view();
+  auto service = CreateOrDie(service::StreamService::Create(config));
+
+  service::StreamConfig stream_config;
+  stream_config.epsilon = opt.epsilon;
+  stream_config.sliding_window = opt.sliding;
+  std::vector<service::StreamKey> keys;
+  keys.reserve(opt.streams);
+  Timer register_timer;
+  for (std::uint64_t i = 0; i < opt.streams; ++i) {
+    keys.push_back({i % opt.tenants, i});
+    const core::Status status = service->Register(keys.back(), stream_config);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: register failed: %s\n", status.message().c_str());
+      std::exit(2);
+    }
+  }
+  const double register_seconds = register_timer.ElapsedSeconds();
+
+  // Round-robin ingest in small chunks: the worst case for a per-stream
+  // pipeline (tiny writes across many streams) and exactly the pattern the
+  // shard-by-key batching is built to amortize. --n is the per-stream length.
+  stream::StreamGenerator gen(
+      {.distribution = ParseDistribution(opt.distribution), .seed = opt.seed});
+  constexpr std::size_t kChunk = 64;
+  std::vector<float> chunk(kChunk);
+  std::size_t remaining_rounds = (opt.n + kChunk - 1) / kChunk;
+  Timer timer;
+  for (std::size_t round = 0; round < remaining_rounds; ++round) {
+    const std::size_t take =
+        std::min(kChunk, opt.n - round * kChunk);
+    for (const service::StreamKey& key : keys) {
+      gen.Fill(std::span<float>(chunk.data(), take));
+      const auto admitted =
+          service->Append(key, std::span<const float>(chunk.data(), take));
+      CheckStream(admitted.status(), "append");
+    }
+  }
+  CheckStream(service->FlushAll(), "flush");
+  const double ingest_seconds = timer.ElapsedSeconds();
+
+  const service::ServiceStats stats = service->stats();
+  std::printf("# %llu streams x %zu elements across %llu tenants, backend %s, workers %d\n",
+              static_cast<unsigned long long>(opt.streams), opt.n,
+              static_cast<unsigned long long>(opt.tenants), opt.backend.c_str(),
+              opt.workers);
+  std::printf("registered %llu streams in %.3f s\n",
+              static_cast<unsigned long long>(stats.streams), register_seconds);
+  std::printf("ingested   %llu elements in %.2f s (%.2f M elements/s aggregate)\n",
+              static_cast<unsigned long long>(stats.elements_observed), ingest_seconds,
+              static_cast<double>(stats.elements_observed) / ingest_seconds / 1e6);
+  std::printf("dispatched %llu shard batches (%llu windows merged, %d shards)\n",
+              static_cast<unsigned long long>(stats.batches_dispatched),
+              static_cast<unsigned long long>(stats.windows_merged),
+              service->num_shards());
+  if (stats.elements_shed != 0) {
+    std::printf("shed       %llu elements at the ingress (error bounds widened)\n",
+                static_cast<unsigned long long>(stats.elements_shed));
+  }
+
+  // Snapshot every stream with one batch query per phi.
+  Timer query_timer;
+  for (double phi : opt.phis) {
+    if (phi <= 0.0 || phi > 1.0) continue;
+    const auto reports = service->BatchQuantiles(keys, phi);
+    const service::StreamKey& probe = keys[opt.streams / 2];
+    std::printf("q%-8g %-12g (stream %llu/%llu; rank +- %llu of %llu)\n", phi,
+                reports[opt.streams / 2].value,
+                static_cast<unsigned long long>(probe.tenant),
+                static_cast<unsigned long long>(probe.stream),
+                static_cast<unsigned long long>(reports[opt.streams / 2].rank_error_bound),
+                static_cast<unsigned long long>(reports[opt.streams / 2].window_coverage));
+  }
+  std::printf("# batch queries: %zu reports in %.3f s\n",
+              opt.phis.size() * keys.size(), query_timer.ElapsedSeconds());
+  sinks.Write(opt);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -475,5 +585,6 @@ int main(int argc, char** argv) {
   if (opt.command == "quantiles") return RunQuantiles(opt);
   if (opt.command == "frequencies") return RunFrequencies(opt);
   if (opt.command == "sort") return RunSort(opt);
+  if (opt.command == "serve") return RunServe(opt);
   Usage(("unknown command " + opt.command).c_str());
 }
