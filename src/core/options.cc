@@ -50,6 +50,18 @@ Status Options::Validate() const {
         "(auto) or a value >= num_sort_workers");
   }
 
+  if (sliding_window != 0 &&
+      quantile_sketch != sketch::QuantileSketchKind::kGk) {
+    // The sliding-window structure is a GK block decomposition
+    // (sketch/sliding_window.h); the swappable backends cover whole-history
+    // mode only.
+    return Status::InvalidArgument(
+        std::string("quantile_sketch \"") +
+        sketch::QuantileSketchKindName(quantile_sketch) +
+        "\" supports whole-history mode only; sliding-window queries use the "
+        "dedicated GK block decomposition (pick \"gk\" or drop the sliding "
+        "window)");
+  }
   if (sliding_window != 0) {
     // The stream must be chunked no coarser than the block size of the
     // block-decomposition structure (epsilon*W/2), or per-block summaries

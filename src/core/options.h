@@ -9,6 +9,7 @@
 #include "core/status.h"
 #include "gpu/surface.h"
 #include "obs/observability.h"
+#include "sketch/quantile_sketch.h"
 
 namespace streamgpu::core {
 
@@ -99,6 +100,13 @@ struct Options {
   /// A-priori stream length N for the whole-history quantile structure
   /// (§5.2 assumes N known). 0 = provision generously (2^32 windows).
   std::uint64_t expected_stream_length = 0;
+
+  /// Whole-history quantile backend (sketch/quantile_sketch.h): the paper's
+  /// GK+EH structure (default), the single-element GK01 baseline, or a KLL
+  /// compactor hierarchy. Sliding-window mode keeps its dedicated GK block
+  /// decomposition, so Validate() rejects non-GK kinds combined with a
+  /// non-zero sliding_window. Ignored by the frequency estimators.
+  sketch::QuantileSketchKind quantile_sketch = sketch::QuantileSketchKind::kGk;
 
   /// Sort-worker threads per estimator. 1 = serial execution on the caller
   /// thread (the seed behavior). >= 2 enables the parallel ingest pipeline:

@@ -54,7 +54,7 @@ QuantileEstimator::QuantileEstimator(const Options& options)
       // engine_ is declared (and therefore initialized) before batcher_.
       batcher_(NaturalWindow(options), engine_.batch_windows()),
       core_(options.epsilon, batcher_.window_size(), options.sliding_window,
-            options.expected_stream_length),
+            options.expected_stream_length, options.quantile_sketch),
       cpu_model_(hwmodel::kPentium4_3400) {
   ids_ = EstimatorMetricIds::Register(obs_.metrics, kPrefix, batcher_.window_size());
   if (obs_.trace != nullptr) obs_.trace->NameCurrentThread("ingest");
@@ -341,6 +341,18 @@ QuantileReport QuantileEstimator::Quantile(double phi, std::uint64_t window) con
     ExportQuantileReport(obs_.metrics, kPrefix, report);
   }
   return report;
+}
+
+StatusOr<std::vector<std::uint8_t>> QuantileEstimator::SerializedSummary() const {
+  if (!finalized_) {
+    return Status::FailedPrecondition(
+        "shard summaries are exported from a finalized estimator; call "
+        "Flush() first so buffered windows are covered");
+  }
+  std::vector<std::uint8_t> bytes;
+  const Status status = core_.AppendWireSummary(&bytes);
+  if (!status.ok()) return status;
+  return bytes;
 }
 
 std::size_t QuantileEstimator::summary_size() const {

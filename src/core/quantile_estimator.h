@@ -84,6 +84,13 @@ class QuantileEstimator {
   /// coverage the answer is stated over.
   QuantileReport Quantile(double phi, std::uint64_t window = 0) const;
 
+  /// Serializes the mergeable shard summary as one wire envelope
+  /// (sketch/serialize.h) — the export `streamgpu_cli merge` and the shard
+  /// combiners consume. Requires a finalized estimator (call Flush() first,
+  /// so buffered windows are covered) in whole-history mode; sliding mode
+  /// is not mergeable. Fails with kFailedPrecondition otherwise.
+  StatusOr<std::vector<std::uint8_t>> SerializedSummary() const;
+
   /// Elements already folded into the summary.
   std::uint64_t processed_length() const {
     Sync();

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/timer.h"
+#include "sketch/gk_summary.h"
 #include "sketch/histogram.h"
 
 namespace streamgpu::core {
@@ -43,34 +44,40 @@ std::uint64_t ExpectedLength(std::uint64_t expected_stream_length,
 QuantileSummaryCore::QuantileSummaryCore(double epsilon,
                                          std::uint64_t window_size,
                                          std::uint64_t sliding_window,
-                                         std::uint64_t expected_stream_length)
-    : epsilon_(epsilon), sliding_window_(sliding_window) {
+                                         std::uint64_t expected_stream_length,
+                                         sketch::QuantileSketchKind kind)
+    : epsilon_(epsilon), sliding_window_(sliding_window), kind_(kind) {
   if (sliding_window != 0) {
+    STREAMGPU_CHECK_MSG(kind == sketch::QuantileSketchKind::kGk,
+                        "sliding-window mode supports the GK backend only");
     sliding_.emplace(epsilon, sliding_window);
     STREAMGPU_CHECK_MSG(window_size <= sliding_->block_size(),
                         "window_size must not exceed the sliding block size");
   } else {
-    whole_.emplace(epsilon, window_size,
-                   ExpectedLength(expected_stream_length, window_size));
+    auto sketch = sketch::QuantileSketch::Create(
+        kind, epsilon, window_size,
+        ExpectedLength(expected_stream_length, window_size));
+    STREAMGPU_CHECK_MSG(sketch.ok(), "invalid quantile sketch configuration");
+    whole_ = std::move(sketch).value();
   }
 }
 
 std::size_t QuantileSummaryCore::MergeSortedWindow(std::span<const float> window) {
-  // Rank-sample the sorted window into an (epsilon/2)-approximate summary
-  // (the "histogram subset" of §3.2's quantile path).
-  Timer hist_timer;
-  const double target =
-      whole_.has_value() ? epsilon_ / 2.0 : sliding_->block_epsilon();
-  sketch::GkSummary summary = sketch::GkSummary::FromSorted(window, target);
-  histogram_wall_seconds_ += hist_timer.ElapsedSeconds();
-  histogram_elements_ += window.size();
-  const std::size_t summary_tuples = summary.size();
-
-  if (whole_.has_value()) {
-    whole_->AddWindowSummary(std::move(summary));
+  std::size_t summary_tuples;
+  if (whole_ != nullptr) {
+    // The backend condenses the sorted window itself (GK rank-sampling — the
+    // "histogram subset" of §3.2's quantile path — or direct KLL inserts)
+    // and times the step into its summarize_seconds() mirror.
+    summary_tuples = whole_->AddSortedWindow(window);
   } else {
+    Timer hist_timer;
+    sketch::GkSummary summary =
+        sketch::GkSummary::FromSorted(window, sliding_->block_epsilon());
+    histogram_wall_seconds_ += hist_timer.ElapsedSeconds();
+    summary_tuples = summary.size();
     sliding_->AddBlockSummary(std::move(summary));
   }
+  histogram_elements_ += window.size();
   processed_ += window.size();
   return summary_tuples;
 }
@@ -88,22 +95,25 @@ void QuantileSummaryCore::ShedElements(std::uint64_t elements) {
 }
 
 std::uint64_t QuantileSummaryCore::Coverage(std::uint64_t window) const {
-  if (whole_.has_value()) return processed_;
+  if (whole_ != nullptr) return processed_;
   const std::uint64_t effective =
       window == 0 ? sliding_window_ : std::min(window, sliding_window_);
   return std::min(effective, processed_);
 }
 
 std::uint64_t QuantileSummaryCore::ErrorBound() const {
-  // Whole-history: rank error at most epsilon * N. Sliding: epsilon * W over
-  // the full window width regardless of the queried sub-window
-  // (sketch/sliding_window.h). Every quarantined or shed element can shift
-  // any rank by one, so lost coverage widens the bound additively rather
-  // than silently vanishing.
-  const double n = whole_.has_value() ? static_cast<double>(processed_)
-                                      : static_cast<double>(sliding_window_);
-  return static_cast<std::uint64_t>(std::ceil(epsilon_ * n)) +
-         elements_dropped_ + elements_shed_;
+  // Whole-history: the backend's honest bound at the current count (GK:
+  // epsilon * N; KLL: min of its tracked worst case and the stated bound).
+  // Sliding: epsilon * W over the full window width regardless of the
+  // queried sub-window (sketch/sliding_window.h). Every quarantined or shed
+  // element can shift any rank by one, so lost coverage widens the bound
+  // additively rather than silently vanishing.
+  const std::uint64_t base =
+      whole_ != nullptr
+          ? whole_->rank_error_bound()
+          : static_cast<std::uint64_t>(
+                std::ceil(epsilon_ * static_cast<double>(sliding_window_)));
+  return base + elements_dropped_ + elements_shed_;
 }
 
 QuantileReport QuantileSummaryCore::Quantile(double phi,
@@ -122,29 +132,44 @@ QuantileReport QuantileSummaryCore::Quantile(double phi,
   // query CHECKs.
   if (processed_ != 0) {
     report.value =
-        whole_.has_value() ? whole_->Query(phi) : sliding_->Query(phi, window);
+        whole_ != nullptr ? whole_->Query(phi) : sliding_->Query(phi, window);
   }
   return report;
 }
 
+Status QuantileSummaryCore::AppendWireSummary(std::vector<std::uint8_t>* out) const {
+  if (whole_ == nullptr) {
+    return Status::FailedPrecondition(
+        "sliding-window quantile summaries are not mergeable (the block "
+        "decomposition is position-dependent); shard exports require "
+        "whole-history mode");
+  }
+  return whole_->AppendWireSummary(out);
+}
+
 std::size_t QuantileSummaryCore::summary_size() const {
-  return whole_.has_value() ? whole_->TotalTuples() : sliding_->summary_size();
+  return whole_ != nullptr ? whole_->summary_size() : sliding_->summary_size();
 }
 
 double QuantileSummaryCore::merge_seconds() const {
-  return whole_.has_value() ? whole_->merge_seconds() : 0;
+  return whole_ != nullptr ? whole_->merge_seconds() : 0;
 }
 
 double QuantileSummaryCore::compress_seconds() const {
-  return whole_.has_value() ? whole_->compress_seconds() : 0;
+  return whole_ != nullptr ? whole_->compress_seconds() : 0;
 }
 
 std::uint64_t QuantileSummaryCore::merged_tuples() const {
-  return whole_.has_value() ? whole_->merged_tuples() : 0;
+  return whole_ != nullptr ? whole_->merged_tuples() : 0;
 }
 
 std::uint64_t QuantileSummaryCore::pruned_tuples() const {
-  return whole_.has_value() ? whole_->pruned_tuples() : 0;
+  return whole_ != nullptr ? whole_->pruned_tuples() : 0;
+}
+
+double QuantileSummaryCore::histogram_wall_seconds() const {
+  return whole_ != nullptr ? whole_->summarize_seconds()
+                           : histogram_wall_seconds_;
 }
 
 FrequencySummaryCore::FrequencySummaryCore(double epsilon,

@@ -17,12 +17,15 @@
 #define STREAMGPU_CORE_SUMMARY_CORE_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "core/report.h"
-#include "sketch/exponential_histogram.h"
+#include "core/status.h"
 #include "sketch/lossy_counting.h"
+#include "sketch/quantile_sketch.h"
 #include "sketch/sliding_window.h"
 
 namespace streamgpu::core {
@@ -46,13 +49,18 @@ class QuantileSummaryCore {
  public:
   /// `window_size` is the resolved processing window (see
   /// NaturalQuantileWindow); `sliding_window` 0 selects whole-history mode;
-  /// `expected_stream_length` 0 provisions generously (2^32 windows).
+  /// `expected_stream_length` 0 provisions generously (2^32 windows);
+  /// `kind` picks the whole-history backend (ignored in sliding mode, which
+  /// keeps its dedicated GK block decomposition — Options::Validate()
+  /// rejects the combination upstream).
   QuantileSummaryCore(double epsilon, std::uint64_t window_size,
                       std::uint64_t sliding_window,
-                      std::uint64_t expected_stream_length);
+                      std::uint64_t expected_stream_length,
+                      sketch::QuantileSketchKind kind =
+                          sketch::QuantileSketchKind::kGk);
 
-  /// Rank-samples one sorted window into a GK summary and merges it.
-  /// Returns the summary's tuple count (trace metadata).
+  /// Folds one sorted window into the backend sketch. Returns the condensed
+  /// per-window summary's tuple count (trace metadata).
   std::size_t MergeSortedWindow(std::span<const float> window);
 
   /// Accounts one unrecoverable window: not merged, not counted as
@@ -68,12 +76,20 @@ class QuantileSummaryCore {
   /// over the most recent `window` elements; 0 = full sliding window).
   QuantileReport Quantile(double phi, std::uint64_t window) const;
 
+  /// Serializes the whole-history backend's mergeable summary as one wire
+  /// envelope (sketch/serialize.h) appended to `out` — the shard export the
+  /// combiner and `streamgpu_cli merge` consume. Sliding mode is not
+  /// mergeable (the block decomposition is position-dependent) and fails
+  /// with kFailedPrecondition.
+  Status AppendWireSummary(std::vector<std::uint8_t>* out) const;
+
   std::uint64_t processed() const { return processed_; }
   std::size_t summary_size() const;
   std::uint64_t windows_quarantined() const { return windows_quarantined_; }
   std::uint64_t elements_dropped() const { return elements_dropped_; }
   std::uint64_t elements_shed() const { return elements_shed_; }
   bool sliding() const { return sliding_.has_value(); }
+  sketch::QuantileSketchKind kind() const { return kind_; }
 
   /// Summary-maintenance cost mirrors (whole-history mode; zero in sliding
   /// mode), plus the wall time and element count of the per-window
@@ -82,7 +98,7 @@ class QuantileSummaryCore {
   double compress_seconds() const;
   std::uint64_t merged_tuples() const;
   std::uint64_t pruned_tuples() const;
-  double histogram_wall_seconds() const { return histogram_wall_seconds_; }
+  double histogram_wall_seconds() const;
   std::uint64_t histogram_elements() const { return histogram_elements_; }
 
  private:
@@ -91,7 +107,8 @@ class QuantileSummaryCore {
 
   double epsilon_;
   std::uint64_t sliding_window_;
-  std::optional<sketch::EhQuantileSummary> whole_;
+  sketch::QuantileSketchKind kind_;
+  std::unique_ptr<sketch::QuantileSketch> whole_;
   std::optional<sketch::SlidingWindowQuantile> sliding_;
   std::uint64_t processed_ = 0;
   std::uint64_t windows_quarantined_ = 0;

@@ -22,6 +22,7 @@ const char* FlightEventKindName(FlightEventKind kind) {
     case FlightEventKind::kWindowQuarantined: return "window_quarantined";
     case FlightEventKind::kDrainFailed: return "drain_failed";
     case FlightEventKind::kLoadShed: return "load_shed";
+    case FlightEventKind::kSummaryMerged: return "summary_merged";
   }
   return "unknown";
 }

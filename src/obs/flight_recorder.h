@@ -44,6 +44,7 @@ enum class FlightEventKind : std::uint8_t {
   kWindowQuarantined,  ///< window dropped; a = window index, b = elements
   kDrainFailed,        ///< pipeline drain latched its sticky failure
   kLoadShed,           ///< service admission dropped arrivals; a = elements, b = backlog
+  kSummaryMerged,      ///< cross-shard summary merge answered; a = shards, b = coverage
 };
 
 const char* FlightEventKindName(FlightEventKind kind);

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/timer.h"
 #include "gpu/half.h"
+#include "sketch/combiner.h"
 
 namespace streamgpu::service {
 
@@ -80,6 +81,9 @@ StreamService::StreamService(const ServiceConfig& config)
     m_windows_ = obs_.metrics->Counter("service.windows_merged");
     g_streams_ = obs_.metrics->Gauge("service.streams");
     s_batch_query_ = obs_.metrics->Summary("service.batch_query_seconds");
+    m_merge_queries_ = obs_.metrics->Counter("service.merge.queries");
+    m_merge_shards_ = obs_.metrics->Counter("service.merge.shards");
+    s_merge_query_ = obs_.metrics->Summary("service.merge.query_seconds");
   }
 
   if (config_.num_workers >= 2) {
@@ -146,6 +150,7 @@ core::Status StreamService::Register(const StreamKey& key,
   options.window_size = config.window_size;
   options.sliding_window = config.sliding_window;
   options.expected_stream_length = config.expected_stream_length;
+  options.quantile_sketch = config.quantile_sketch;
   core::Status status = options.Validate();
   if (!status.ok()) return status;
 
@@ -181,7 +186,8 @@ core::Status StreamService::Register(const StreamKey& key,
   state->shard = static_cast<std::uint32_t>(StreamKeyHash{}(key) % shards_.size());
   if (config.track_quantiles) {
     state->quantiles.emplace(config.epsilon, window, config.sliding_window,
-                             config.expected_stream_length);
+                             config.expected_stream_length,
+                             config.quantile_sketch);
   }
   if (config.track_frequencies) {
     state->frequencies.emplace(config.epsilon, window, config.sliding_window);
@@ -430,6 +436,61 @@ core::StatusOr<std::uint64_t> StreamService::EstimateCount(
   const float probe = quantize_ ? gpu::QuantizeToHalf(value) : value;
   std::lock_guard<std::mutex> lock(shards_[state->shard]->summary_mu);
   return state->frequencies->EstimateCount(probe, window);
+}
+
+core::StatusOr<std::vector<std::uint8_t>> StreamService::ExportQuantileSummary(
+    const StreamKey& key) const {
+  StreamState* state = Find(key);
+  if (state == nullptr) return core::Status::InvalidArgument("unknown stream");
+  if (!state->quantiles) {
+    return core::Status::InvalidArgument("stream does not track quantiles");
+  }
+  std::vector<std::uint8_t> bytes;
+  std::lock_guard<std::mutex> lock(shards_[state->shard]->summary_mu);
+  const core::Status status = state->quantiles->AppendWireSummary(&bytes);
+  if (!status.ok()) return status;
+  return bytes;
+}
+
+core::StatusOr<core::QuantileReport> StreamService::MergedQuantile(
+    std::span<const StreamKey> keys, double phi) const {
+  if (keys.empty()) {
+    return core::Status::InvalidArgument("MergedQuantile needs at least one key");
+  }
+  Timer timer;
+  sketch::QuantileShardCombiner combiner;
+  std::uint64_t windows_quarantined = 0;
+  std::uint64_t elements_dropped = 0;
+  std::uint64_t elements_shed = 0;
+  for (const StreamKey& key : keys) {
+    core::StatusOr<std::vector<std::uint8_t>> bytes = ExportQuantileSummary(key);
+    if (!bytes.ok()) return bytes.status();
+    const core::Status status = combiner.AddShard(*bytes);
+    if (!status.ok()) return status;
+    // Lost coverage is a property of each source stream, not of its
+    // serialized summary; fold it in here so the merged bound stays honest.
+    StreamState* state = Find(key);
+    std::lock_guard<std::mutex> lock(shards_[state->shard]->summary_mu);
+    windows_quarantined += state->quantiles->windows_quarantined();
+    elements_dropped += state->quantiles->elements_dropped();
+    elements_shed += state->quantiles->elements_shed();
+  }
+  core::QuantileReport report = combiner.Quantile(phi);
+  report.windows_quarantined = windows_quarantined;
+  report.elements_dropped = elements_dropped;
+  report.elements_shed = elements_shed;
+  report.rank_error_bound += elements_dropped + elements_shed;
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->Add(m_merge_queries_);
+    obs_.metrics->Add(m_merge_shards_, keys.size());
+    obs_.metrics->Observe(s_merge_query_, timer.ElapsedSeconds());
+  }
+  if (obs_.flight != nullptr) {
+    obs_.flight->Record(obs::FlightEventKind::kSummaryMerged, "service", "merge",
+                        /*seq=*/0, static_cast<std::int64_t>(keys.size()),
+                        static_cast<std::int64_t>(report.window_coverage));
+  }
+  return report;
 }
 
 std::vector<core::QuantileReport> StreamService::BatchQuantiles(

@@ -54,6 +54,7 @@
 #include "obs/metrics.h"
 #include "obs/observability.h"
 #include "service/shard_dispatcher.h"
+#include "sketch/quantile_sketch.h"
 #include "stream/dsms.h"
 #include "stream/window_buffer.h"
 
@@ -103,6 +104,11 @@ struct StreamConfig {
   /// A-priori stream length for the whole-history quantile structure; 0 =
   /// provision generously.
   std::uint64_t expected_stream_length = 0;
+
+  /// Whole-history quantile backend (sketch/quantile_sketch.h). Non-GK
+  /// kinds are rejected when combined with a sliding window, mirroring
+  /// core::Options::Validate().
+  sketch::QuantileSketchKind quantile_sketch = sketch::QuantileSketchKind::kGk;
 
   /// Which summaries to maintain. One sorted pass serves both: tracking
   /// both costs one sort plus two merges per window.
@@ -249,6 +255,28 @@ class StreamService {
   core::StatusOr<std::uint64_t> EstimateCount(const StreamKey& key, float value,
                                               std::uint64_t window = 0) const;
 
+  /// Serializes one stream's mergeable quantile summary as a wire envelope
+  /// (sketch/serialize.h) — the shard export `streamgpu_cli merge` and the
+  /// combiners consume. Taken under the owning shard's summary lock, so it
+  /// snapshots a consistent summary concurrent with ingest; call FlushAll()
+  /// first for a summary over everything appended. Returns
+  /// kInvalidArgument for an unknown key or a stream that does not track
+  /// quantiles, kFailedPrecondition for sliding mode (not mergeable).
+  core::StatusOr<std::vector<std::uint8_t>> ExportQuantileSummary(
+      const StreamKey& key) const;
+
+  /// Cross-shard query: merges the named streams' summaries and answers the
+  /// phi-quantile over the union of their elements — the scale-out path
+  /// where one logical stream was partitioned across keys. Every stream's
+  /// quarantine/shed accounting is summed into the report, so the stated
+  /// bound stays honest over the union. The merge is performed over
+  /// serialized exports in canonical order (sketch/combiner.h), so the
+  /// answer is bit-identical regardless of key order. All streams must
+  /// track quantiles in whole-history mode with the same backend kind (and,
+  /// KLL, the same epsilon).
+  core::StatusOr<core::QuantileReport> MergedQuantile(
+      std::span<const StreamKey> keys, double phi) const;
+
   /// Batch query: the phi-quantile of every key, in order. Groups keys by
   /// shard and takes each shard's summary lock once, so snapshotting
   /// thousands of reports costs one lock round per shard, not per stream.
@@ -351,6 +379,9 @@ class StreamService {
   obs::MetricId m_windows_ = obs::kInvalidMetric;
   obs::MetricId g_streams_ = obs::kInvalidMetric;
   obs::MetricId s_batch_query_ = obs::kInvalidMetric;
+  obs::MetricId m_merge_queries_ = obs::kInvalidMetric;
+  obs::MetricId m_merge_shards_ = obs::kInvalidMetric;
+  obs::MetricId s_merge_query_ = obs::kInvalidMetric;
 
   /// One engine per worker (each owning its Sorter and, on GPU backends,
   /// its simulated device). engines_[0] serves the synchronous single-

@@ -1,0 +1,244 @@
+#include "sketch/combiner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace streamgpu::sketch {
+
+namespace {
+
+using core::Status;
+
+std::uint64_t StatedBound(double epsilon, std::uint64_t count) {
+  return static_cast<std::uint64_t>(std::ceil(epsilon * static_cast<double>(count)));
+}
+
+/// Canonical fold order: indices of `shards` sorted by serialized bytes.
+/// Any AddShard permutation of the same shard set yields this exact order,
+/// which makes the merged answer merge-order independent bit-for-bit.
+template <typename ShardT>
+std::vector<std::size_t> CanonicalOrder(const std::vector<ShardT>& shards) {
+  std::vector<std::size_t> order(shards.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&shards](std::size_t a, std::size_t b) {
+    return std::lexicographical_compare(
+        shards[a].bytes.begin(), shards[a].bytes.end(),
+        shards[b].bytes.begin(), shards[b].bytes.end());
+  });
+  return order;
+}
+
+/// The envelope prefix of `bytes` that one deserialize pass consumed.
+std::vector<std::uint8_t> ConsumedPrefix(std::span<const std::uint8_t> original,
+                                         std::span<const std::uint8_t> rest) {
+  const std::size_t consumed = original.size() - rest.size();
+  return std::vector<std::uint8_t>(original.begin(), original.begin() + consumed);
+}
+
+}  // namespace
+
+Status QuantileShardCombiner::AddShard(std::span<const std::uint8_t> bytes) {
+  core::StatusOr<SketchType> peeked = PeekSketchType(bytes);
+  if (!peeked.ok()) return peeked.status();
+  if (*peeked != SketchType::kGkSummary && *peeked != SketchType::kKll) {
+    return Status::InvalidArgument(std::string("shard holds a ") +
+                                   SketchTypeName(*peeked) +
+                                   " sketch; the quantile combiner accepts gk or kll");
+  }
+  if (type_.has_value() && *type_ != *peeked) {
+    return Status::InvalidArgument(
+        std::string("shard sketch type ") + SketchTypeName(*peeked) +
+        " differs from the previously admitted " + SketchTypeName(*type_));
+  }
+
+  std::span<const std::uint8_t> cursor = bytes;
+  if (*peeked == SketchType::kGkSummary) {
+    core::StatusOr<GkSummary> parsed = DeserializeGkSummary(&cursor);
+    if (!parsed.ok()) return parsed.status();
+    shards_.push_back({ConsumedPrefix(bytes, cursor), *std::move(parsed)});
+  } else {
+    core::StatusOr<KllSketch> parsed = DeserializeKllSketch(&cursor);
+    if (!parsed.ok()) return parsed.status();
+    if (!shards_.empty()) {
+      const double have = std::get<KllSketch>(shards_.front().parsed).epsilon();
+      if (parsed->epsilon() != have) {
+        return Status::InvalidArgument(
+            "KLL shard epsilon " + std::to_string(parsed->epsilon()) +
+            " differs from the previously admitted " + std::to_string(have) +
+            "; shards must share one capacity schedule");
+      }
+    }
+    shards_.push_back({ConsumedPrefix(bytes, cursor), *std::move(parsed)});
+  }
+  type_ = *peeked;
+  return Status::Ok();
+}
+
+std::variant<GkSummary, KllSketch> QuantileShardCombiner::Merged() const {
+  STREAMGPU_CHECK(!shards_.empty());
+  const std::vector<std::size_t> order = CanonicalOrder(shards_);
+  if (*type_ == SketchType::kGkSummary) {
+    GkSummary merged;
+    for (std::size_t i : order) {
+      merged = GkSummary::Merge(merged, std::get<GkSummary>(shards_[i].parsed));
+    }
+    return merged;
+  }
+  KllSketch merged = std::get<KllSketch>(shards_[order.front()].parsed);
+  for (std::size_t pos = 1; pos < order.size(); ++pos) {
+    const Status status =
+        merged.Merge(std::get<KllSketch>(shards_[order[pos]].parsed));
+    STREAMGPU_CHECK_MSG(status.ok(), "epsilon mismatch past AddShard validation");
+  }
+  return merged;
+}
+
+core::QuantileReport QuantileShardCombiner::Quantile(double phi) const {
+  core::QuantileReport report;
+  report.phi = phi;
+  if (shards_.empty()) return report;  // no shards: value 0 over coverage 0
+
+  const std::variant<GkSummary, KllSketch> merged = Merged();
+  if (const auto* gk = std::get_if<GkSummary>(&merged)) {
+    report.epsilon = gk->epsilon();
+    report.stream_length = gk->count();
+    report.window_coverage = gk->count();
+    report.rank_error_bound = StatedBound(gk->epsilon(), gk->count());
+    if (gk->count() != 0) report.value = gk->Query(phi);
+  } else {
+    const KllSketch& kll = std::get<KllSketch>(merged);
+    report.epsilon = kll.epsilon();
+    report.stream_length = kll.count();
+    report.window_coverage = kll.count();
+    report.rank_error_bound = kll.rank_error_bound();
+    if (kll.count() != 0) report.value = kll.Quantile(phi);
+  }
+  return report;
+}
+
+Status QuantileShardCombiner::AppendMergedSummary(std::vector<std::uint8_t>* out) const {
+  if (shards_.empty()) {
+    return Status::FailedPrecondition("no shard summaries admitted; nothing to merge");
+  }
+  const std::variant<GkSummary, KllSketch> merged = Merged();
+  if (const auto* gk = std::get_if<GkSummary>(&merged)) {
+    return SerializeSummary(*gk, out);
+  }
+  return SerializeSummary(std::get<KllSketch>(merged), out);
+}
+
+Status FrequencyShardCombiner::AddShard(std::span<const std::uint8_t> bytes) {
+  core::StatusOr<SketchType> peeked = PeekSketchType(bytes);
+  if (!peeked.ok()) return peeked.status();
+  if (*peeked != SketchType::kMisraGries && *peeked != SketchType::kCountMin) {
+    return Status::InvalidArgument(
+        std::string("shard holds a ") + SketchTypeName(*peeked) +
+        " sketch; the frequency combiner accepts misra-gries or count-min");
+  }
+  if (type_.has_value() && *type_ != *peeked) {
+    return Status::InvalidArgument(
+        std::string("shard sketch type ") + SketchTypeName(*peeked) +
+        " differs from the previously admitted " + SketchTypeName(*type_));
+  }
+
+  std::span<const std::uint8_t> cursor = bytes;
+  if (*peeked == SketchType::kMisraGries) {
+    core::StatusOr<MisraGries> parsed = DeserializeMisraGries(&cursor);
+    if (!parsed.ok()) return parsed.status();
+    if (!shards_.empty()) {
+      const double have = std::get<MisraGries>(shards_.front().parsed).epsilon();
+      if (parsed->epsilon() != have) {
+        return Status::InvalidArgument(
+            "Misra-Gries shard epsilon " + std::to_string(parsed->epsilon()) +
+            " differs from the previously admitted " + std::to_string(have) +
+            "; shards must share one counter budget");
+      }
+    }
+    shards_.push_back({ConsumedPrefix(bytes, cursor), *std::move(parsed)});
+  } else {
+    core::StatusOr<CountMinSketch> parsed = DeserializeCountMin(&cursor);
+    if (!parsed.ok()) return parsed.status();
+    if (!shards_.empty()) {
+      const auto& have = std::get<CountMinSketch>(shards_.front().parsed);
+      if (parsed->epsilon() != have.epsilon() || parsed->delta() != have.delta()) {
+        return Status::InvalidArgument(
+            "Count-Min shard parameters differ from the previously admitted "
+            "shard; shards must share one geometry");
+      }
+    }
+    shards_.push_back({ConsumedPrefix(bytes, cursor), *std::move(parsed)});
+  }
+  type_ = *peeked;
+  return Status::Ok();
+}
+
+std::variant<MisraGries, CountMinSketch> FrequencyShardCombiner::Merged() const {
+  STREAMGPU_CHECK(!shards_.empty());
+  const std::vector<std::size_t> order = CanonicalOrder(shards_);
+  if (*type_ == SketchType::kMisraGries) {
+    MisraGries merged = std::get<MisraGries>(shards_[order.front()].parsed);
+    for (std::size_t pos = 1; pos < order.size(); ++pos) {
+      const Status status =
+          merged.Merge(std::get<MisraGries>(shards_[order[pos]].parsed));
+      STREAMGPU_CHECK_MSG(status.ok(), "epsilon mismatch past AddShard validation");
+    }
+    return merged;
+  }
+  CountMinSketch merged = std::get<CountMinSketch>(shards_[order.front()].parsed);
+  for (std::size_t pos = 1; pos < order.size(); ++pos) {
+    const Status status =
+        merged.Merge(std::get<CountMinSketch>(shards_[order[pos]].parsed));
+    STREAMGPU_CHECK_MSG(status.ok(), "parameter mismatch past AddShard validation");
+  }
+  return merged;
+}
+
+core::StatusOr<core::FrequencyReport> FrequencyShardCombiner::HeavyHitters(
+    double support) const {
+  core::FrequencyReport report;
+  report.support = support;
+  if (shards_.empty()) return report;  // no shards: no items over coverage 0
+  if (*type_ == SketchType::kCountMin) {
+    return Status::FailedPrecondition(
+        "Count-Min shards cannot enumerate heavy hitters (the sketch stores "
+        "no keys); use EstimateCount, or ship Misra-Gries shards");
+  }
+  const MisraGries merged = std::get<MisraGries>(Merged());
+  report.epsilon = merged.epsilon();
+  report.stream_length = merged.stream_length();
+  report.window_coverage = merged.stream_length();
+  report.error_bound = StatedBound(merged.epsilon(), merged.stream_length());
+  for (const auto& [value, estimate] : merged.HeavyHitters(support)) {
+    report.items.push_back({value, estimate});
+  }
+  return report;
+}
+
+std::uint64_t FrequencyShardCombiner::EstimateCount(float value) const {
+  if (shards_.empty()) return 0;
+  const std::variant<MisraGries, CountMinSketch> merged = Merged();
+  if (const auto* mg = std::get_if<MisraGries>(&merged)) {
+    return mg->EstimateCount(value);
+  }
+  const std::int64_t estimate =
+      std::get<CountMinSketch>(merged).EstimateCount(value);
+  return estimate < 0 ? 0 : static_cast<std::uint64_t>(estimate);
+}
+
+Status FrequencyShardCombiner::AppendMergedSummary(std::vector<std::uint8_t>* out) const {
+  if (shards_.empty()) {
+    return Status::FailedPrecondition("no shard summaries admitted; nothing to merge");
+  }
+  const std::variant<MisraGries, CountMinSketch> merged = Merged();
+  if (const auto* mg = std::get_if<MisraGries>(&merged)) {
+    return SerializeSummary(*mg, out);
+  }
+  return SerializeSummary(std::get<CountMinSketch>(merged), out);
+}
+
+}  // namespace streamgpu::sketch

@@ -1,0 +1,117 @@
+// Shard-summary combiners: merge S serialized shard summaries
+// (sketch/serialize.h envelopes) into one global QuantileReport /
+// FrequencyReport — the scale-out path where S shards ingest independently
+// (separate processes, separate machines) and ship summaries to a combiner,
+// the sensor-network setting of [21] the source paper builds on.
+//
+// Merge-order independence: shards are folded in a CANONICAL order — sorted
+// by their serialized bytes — so any permutation of AddShard calls produces
+// a bit-identical merged answer. Combined with the per-shard determinism
+// contract (ordered drain, seeded KLL compaction), a fixed set of shard
+// files yields one exact answer regardless of merge order, worker count, or
+// sort backend (docs/SKETCHES.md, "Merge-order canonicalization").
+//
+// Error composition (proved per sketch on its Merge contract, exercised by
+// tests/combiner_test.cc): GK keeps max(epsilon_i) over the combined count;
+// KLL's tracked worst case adds and its stated epsilon carries over;
+// Misra-Gries and Count-Min keep epsilon * N_total outright. Empty shards
+// are identities; a combiner holding only empty shards (or none) answers
+// value 0 over coverage 0, matching the summary cores' empty contract.
+//
+// Single-threaded value types; callers serialize access.
+
+#ifndef STREAMGPU_SKETCH_COMBINER_H_
+#define STREAMGPU_SKETCH_COMBINER_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "core/report.h"
+#include "core/status.h"
+#include "sketch/count_min.h"
+#include "sketch/gk_summary.h"
+#include "sketch/kll.h"
+#include "sketch/misra_gries.h"
+#include "sketch/serialize.h"
+
+namespace streamgpu::sketch {
+
+/// Merges serialized quantile shard summaries (GK or KLL envelopes; the
+/// legacy GK framing is accepted through the serialize shim).
+class QuantileShardCombiner {
+ public:
+  /// Parses and admits one shard summary. Returns kInvalidArgument on a
+  /// malformed envelope, a non-quantile sketch type, a type differing from
+  /// the shards already admitted, or (KLL) an epsilon differing from
+  /// theirs.
+  core::Status AddShard(std::span<const std::uint8_t> bytes);
+
+  /// The phi-quantile over the union of every admitted shard's stream.
+  /// With no (or only empty) shards: value 0 over coverage 0.
+  core::QuantileReport Quantile(double phi) const;
+
+  /// Re-serializes the merged summary as one envelope appended to `out`
+  /// (tree-structured merges: combine combiner outputs). Fails with
+  /// kFailedPrecondition when no shard has been admitted.
+  core::Status AppendMergedSummary(std::vector<std::uint8_t>* out) const;
+
+  std::size_t shards() const { return shards_.size(); }
+
+  /// The admitted sketch type; unset before the first AddShard.
+  std::optional<SketchType> type() const { return type_; }
+
+ private:
+  struct Shard {
+    std::vector<std::uint8_t> bytes;  ///< canonical-order key
+    std::variant<GkSummary, KllSketch> parsed;
+  };
+
+  /// Folds the shards in canonical (byte-sorted) order.
+  std::variant<GkSummary, KllSketch> Merged() const;
+
+  std::optional<SketchType> type_;
+  std::vector<Shard> shards_;
+};
+
+/// Merges serialized frequency shard summaries (Misra-Gries or Count-Min
+/// envelopes).
+class FrequencyShardCombiner {
+ public:
+  /// Parses and admits one shard summary (same contract as the quantile
+  /// combiner; Count-Min additionally requires matching epsilon/delta).
+  core::Status AddShard(std::span<const std::uint8_t> bytes);
+
+  /// Heavy hitters above `support` over the union stream. Misra-Gries
+  /// shards only — Count-Min cannot enumerate its keys, so it fails with
+  /// kFailedPrecondition. With no (or only empty) shards: no items over
+  /// coverage 0.
+  core::StatusOr<core::FrequencyReport> HeavyHitters(double support) const;
+
+  /// Estimated frequency of `value` over the union stream (both types).
+  /// Returns 0 with no shards.
+  std::uint64_t EstimateCount(float value) const;
+
+  /// Re-serializes the merged summary (see QuantileShardCombiner).
+  core::Status AppendMergedSummary(std::vector<std::uint8_t>* out) const;
+
+  std::size_t shards() const { return shards_.size(); }
+  std::optional<SketchType> type() const { return type_; }
+
+ private:
+  struct Shard {
+    std::vector<std::uint8_t> bytes;
+    std::variant<MisraGries, CountMinSketch> parsed;
+  };
+
+  std::variant<MisraGries, CountMinSketch> Merged() const;
+
+  std::optional<SketchType> type_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace streamgpu::sketch
+
+#endif  // STREAMGPU_SKETCH_COMBINER_H_

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <string>
+#include <utility>
 
 #include "common/check.h"
 
@@ -54,6 +56,39 @@ std::int64_t CountMinSketch::EstimateCount(float value) const {
     best = std::min(best, counters_[row * width_ + Hash(value, row) % width_]);
   }
   return best;
+}
+
+core::Status CountMinSketch::Merge(const CountMinSketch& other) {
+  if (other.epsilon_ != epsilon_ || other.delta_ != delta_) {
+    return core::Status::InvalidArgument(
+        "cannot merge Count-Min sketches with different parameters (epsilon " +
+        std::to_string(epsilon_) + "/" + std::to_string(other.epsilon_) +
+        ", delta " + std::to_string(delta_) + "/" + std::to_string(other.delta_) +
+        "): the counter geometries and row hashes differ");
+  }
+  STREAMGPU_CHECK(other.width_ == width_ && other.depth_ == depth_);
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+  total_ += other.total_;
+  return core::Status::Ok();
+}
+
+bool CountMinSketch::FromParts(double epsilon, double delta, std::int64_t total,
+                               std::size_t width, std::size_t depth,
+                               std::vector<std::int64_t> counters,
+                               CountMinSketch* out) {
+  if (!(epsilon > 0.0 && epsilon < 1.0)) return false;
+  if (!(delta > 0.0 && delta < 1.0)) return false;
+  CountMinSketch parsed(epsilon, delta);
+  // The geometry and row hashes are pure functions of (epsilon, delta), so
+  // matching dimensions restore the exact sketch the writer held.
+  if (width != parsed.width_ || depth != parsed.depth_) return false;
+  if (counters.size() != width * depth) return false;
+  parsed.total_ = total;
+  parsed.counters_ = std::move(counters);
+  *out = std::move(parsed);
+  return true;
 }
 
 }  // namespace streamgpu::sketch

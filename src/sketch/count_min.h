@@ -16,6 +16,8 @@
 #include <span>
 #include <vector>
 
+#include "core/status.h"
+
 namespace streamgpu::sketch {
 
 /// A Count-Min sketch over float-valued stream items.
@@ -47,6 +49,28 @@ class CountMinSketch {
 
   double epsilon() const { return epsilon_; }
   double delta() const { return delta_; }
+
+  /// The raw counter array (depth x width, row-major) — the serialization
+  /// payload.
+  const std::vector<std::int64_t>& counters() const { return counters_; }
+
+  /// Folds `other` into this sketch by element-wise counter addition —
+  /// Count-Min is linear, so the merged sketch is exactly the sketch of the
+  /// concatenated streams: estimates overcount by at most
+  /// epsilon * (total_weight() + other.total_weight()) with probability
+  /// 1 - delta, the same stated bound (docs/SKETCHES.md). Requires identical
+  /// epsilon and delta (identical geometry and row hashes); returns
+  /// kInvalidArgument otherwise.
+  core::Status Merge(const CountMinSketch& other);
+
+  /// Reconstructs a sketch from its serialized components. Validates that
+  /// epsilon/delta are in (0, 1) and that width/depth/counter-count match
+  /// the geometry those parameters derive (the row hashes are a pure
+  /// function of depth, so matching geometry restores them exactly);
+  /// returns false on violation, leaving `out` untouched.
+  static bool FromParts(double epsilon, double delta, std::int64_t total,
+                        std::size_t width, std::size_t depth,
+                        std::vector<std::int64_t> counters, CountMinSketch* out);
 
  private:
   std::uint64_t Hash(float value, std::size_t row) const;

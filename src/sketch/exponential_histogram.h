@@ -57,6 +57,11 @@ class EhQuantileSummary {
   /// Tuple budget used by each combine's prune step.
   std::size_t prune_tuples() const { return prune_tuples_; }
 
+  /// The bucket summaries (index i holds bucket id i+1; empty() = vacant).
+  /// Exposed so the mergeable-summary export can flatten the histogram into
+  /// one GkSummary via repeated GkSummary::Merge (sketch/quantile_sketch.cc).
+  const std::vector<GkSummary>& buckets() const { return buckets_; }
+
   /// Merge/compress wall costs, for Fig. 6-style breakdowns.
   double merge_seconds() const { return merge_seconds_; }
   double compress_seconds() const { return compress_seconds_; }

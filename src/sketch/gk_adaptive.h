@@ -51,6 +51,11 @@ class GkAdaptive {
   /// Verifies the g + Delta invariant (used by tests).
   bool CheckInvariant() const;
 
+  /// The raw (v, g, Delta) tuples, ascending by value. Exposed so the
+  /// mergeable-summary export can convert to explicit (rmin, rmax) bounds
+  /// (rmin_i = sum of g up to i, rmax_i = rmin_i + Delta_i).
+  const std::vector<GkAdaptiveTuple>& tuples() const { return tuples_; }
+
  private:
   /// Merges tuples whose combined uncertainty fits the error budget.
   void Compress();

@@ -1,0 +1,159 @@
+// Karnin-Lang-Liberty (KLL) streaming quantile sketch — the "almost optimal"
+// compactor-hierarchy algorithm (PAPERS.md: Karnin, Lang, Liberty, FOCS'16).
+//
+// Structure: a stack of levels; an item at level h carries weight 2^h. New
+// elements enter level 0. When a level reaches its capacity it is COMPACTED:
+// the level is sorted, a coin chooses the odd- or even-indexed half, the
+// chosen half is promoted to the next level (weight doubled) and the other
+// half is discarded. Level capacities decay geometrically (ratio 2/3) from
+// the top, floored at 8, so the sketch holds O(1/epsilon) items in total.
+//
+// Determinism: the compaction coin is NOT random — it is a splitmix64 bit
+// derived from (seed, level, compaction counter), so the same insertion
+// sequence always produces the same sketch bit-for-bit. The estimators and
+// the StreamService drain windows in submission order regardless of worker
+// count, which makes KLL-backed reports bit-identical across worker counts
+// and sort backends, exactly like the GK path (docs/SKETCHES.md).
+//
+// Error accounting (the "tracked honest" bound, mirroring obs/summary.cc):
+// one compaction at level h shifts any rank estimate by at most 2^h, so the
+// sketch tracks W = sum over compactions of 2^level — a bound that holds
+// deterministically for every input. The stated epsilon (from the capacity
+// constant) is the standard KLL high-probability bound. rank_error_bound()
+// reports min(W, ceil(epsilon * count())): early in a stream W is the
+// tighter — and certain — bound; on long streams the stated epsilon takes
+// over. See docs/SKETCHES.md ("KLL error accounting") for the composition
+// proof under Merge().
+
+#ifndef STREAMGPU_SKETCH_KLL_H_
+#define STREAMGPU_SKETCH_KLL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/status.h"
+
+namespace streamgpu::sketch {
+
+/// KLL epsilon-approximate quantile sketch over float-valued streams.
+class KllSketch {
+ public:
+  /// Capacity constant: the top-level capacity is ceil(kCapacityConstant /
+  /// epsilon), sized so the observed rank error stays comfortably under the
+  /// stated epsilon (tests/quantile_sketch_test.cc sweeps this).
+  static constexpr double kCapacityConstant = 4.0;
+
+  /// Smallest per-level capacity; also the floor of the derived k.
+  static constexpr std::size_t kMinCapacity = 8;
+
+  static constexpr std::uint64_t kDefaultSeed = 0x6B6C6C736565640ULL;  // "kllseed"
+
+  /// epsilon in (0, 1): target rank-error bound as a fraction of count().
+  /// The seed drives the deterministic compaction coin; two sketches fed the
+  /// same sequence with the same seed are bit-identical.
+  explicit KllSketch(double epsilon, std::uint64_t seed = kDefaultSeed);
+
+  /// Inserts one stream element (amortized O(log(1/epsilon)) with a sort at
+  /// each compaction).
+  void Observe(float value);
+
+  /// Inserts a batch. The window being pre-sorted is not required (level-0
+  /// contents are re-sorted at compaction), but the estimator path always
+  /// feeds ascending-sorted windows.
+  void ObserveSorted(std::span<const float> window);
+
+  /// Folds `other` into this sketch: per-level concatenation followed by the
+  /// normal compaction cascade. Requires equal epsilon (equal capacity
+  /// schedules). The tracked worst-case bounds add, and the stated epsilon
+  /// bound composes: the merged sketch is epsilon-approximate for
+  /// count() + other.count() elements (docs/SKETCHES.md). Merging an empty
+  /// sketch is the identity. New compactions use THIS sketch's seed, so a
+  /// fixed fold order yields a bit-identical result (the combiner
+  /// canonicalizes shard order for order-independence).
+  core::Status Merge(const KllSketch& other);
+
+  /// Value whose rank is within rank_error_bound() of ceil(phi * count()),
+  /// phi in (0, 1]. Returns 0 on an empty sketch.
+  float Quantile(double phi) const;
+
+  /// Value answering rank `rank` (1-based, clamped to [1, count()]) within
+  /// rank_error_bound(). Returns 0 on an empty sketch.
+  float QueryRank(std::uint64_t rank) const;
+
+  /// Elements covered (total inserted weight).
+  std::uint64_t count() const { return count_; }
+
+  /// Stated rank-error bound as a fraction of count().
+  double epsilon() const { return epsilon_; }
+
+  std::uint64_t seed() const { return seed_; }
+
+  /// Items currently retained across all levels (space usage).
+  std::size_t summary_size() const;
+
+  /// Tracked deterministic worst-case rank error W = sum of 2^level over
+  /// every compaction performed (including those inside Merge). Holds for
+  /// every input with certainty, unlike the probabilistic stated epsilon.
+  std::uint64_t worst_case_rank_error() const { return worst_case_error_; }
+
+  /// Honest absolute rank-error bound at the current count:
+  /// min(worst_case_rank_error(), ceil(epsilon * count())).
+  std::uint64_t rank_error_bound() const;
+
+  /// Compactions performed so far (also the coin-sequence position; must be
+  /// preserved across serialization for bit-identical future behavior).
+  std::uint64_t compactions() const { return compactions_; }
+
+  /// Items discarded by compactions (cost mirror for the estimator's
+  /// pruned-tuples accounting).
+  std::uint64_t discarded_items() const { return discarded_items_; }
+
+  /// Wall time spent compacting (cost mirror).
+  double compress_seconds() const { return compress_seconds_; }
+
+  /// Top-level capacity k derived from epsilon.
+  std::size_t k() const { return k_; }
+
+  std::size_t num_levels() const { return levels_.size(); }
+  const std::vector<std::vector<float>>& levels() const { return levels_; }
+
+  /// Reconstructs a sketch from its serialized components. Validates that
+  /// epsilon is in (0, 1), levels fit the 2^level weight arithmetic
+  /// (< 64 levels), and the weighted item total equals `count` (the exact
+  /// weight-conservation invariant of the compaction rule); returns false on
+  /// violation, leaving `out` untouched.
+  static bool FromParts(double epsilon, std::uint64_t seed, std::uint64_t count,
+                        std::uint64_t worst_case_error, std::uint64_t compactions,
+                        std::vector<std::vector<float>> levels, KllSketch* out);
+
+ private:
+  /// Capacity of `level` given the current height: ceil-free integer decay
+  /// cap(top) = k, cap(h) = max(8, cap(h+1) * 2 / 3) — integer arithmetic so
+  /// the schedule is identical on every platform.
+  std::size_t Capacity(std::size_t level) const;
+
+  /// Compacts every over-capacity level until the hierarchy is stable.
+  void Compress();
+
+  /// Sorts and halves one full level, promoting the coin-chosen alternation
+  /// to level + 1.
+  void CompactLevel(std::size_t level);
+
+  /// The next deterministic compaction coin for `level`.
+  bool NextCoin(std::size_t level);
+
+  double epsilon_;
+  std::uint64_t seed_;
+  std::size_t k_;
+  std::uint64_t count_ = 0;
+  std::uint64_t worst_case_error_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::uint64_t discarded_items_ = 0;
+  double compress_seconds_ = 0;
+  std::vector<std::vector<float>> levels_;  ///< levels_[h]: items of weight 2^h
+};
+
+}  // namespace streamgpu::sketch
+
+#endif  // STREAMGPU_SKETCH_KLL_H_

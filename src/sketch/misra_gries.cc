@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <span>
+#include <string>
+#include <utility>
 
 #include "common/check.h"
 
@@ -55,6 +58,59 @@ std::vector<std::pair<float, std::uint64_t>> MisraGries::HeavyHitters(
     return a.first < b.first;
   });
   return out;
+}
+
+core::Status MisraGries::Merge(const MisraGries& other) {
+  if (other.epsilon_ != epsilon_) {
+    return core::Status::InvalidArgument(
+        "cannot merge Misra-Gries summaries with different epsilon (" +
+        std::to_string(epsilon_) + " vs " + std::to_string(other.epsilon_) +
+        "): the counter budgets differ");
+  }
+  for (const auto& [value, count] : other.counters_) {
+    counters_[value] += count;
+  }
+  n_ += other.n_;
+  if (counters_.size() <= max_counters_) return core::Status::Ok();
+
+  // Mergeable-summaries trim (Agarwal et al.): subtract the (k+1)-th
+  // largest count from every counter and drop the non-positive ones. At
+  // most k counters survive (everything at or below the pivot dies), and
+  // the total decrement stays within the (n1+n2)/(k+1) error budget.
+  std::vector<std::uint64_t> counts;
+  counts.reserve(counters_.size());
+  for (const auto& [value, count] : counters_) counts.push_back(count);
+  std::nth_element(counts.begin(), counts.begin() + max_counters_, counts.end(),
+                   std::greater<std::uint64_t>());
+  const std::uint64_t pivot = counts[max_counters_];
+  for (auto it = counters_.begin(); it != counters_.end();) {
+    if (it->second <= pivot) {
+      it = counters_.erase(it);
+    } else {
+      it->second -= pivot;
+      ++it;
+    }
+  }
+  return core::Status::Ok();
+}
+
+bool MisraGries::FromParts(double epsilon, std::uint64_t n,
+                           std::vector<std::pair<float, std::uint64_t>> entries,
+                           MisraGries* out) {
+  if (!(epsilon > 0.0 && epsilon < 1.0)) return false;
+  MisraGries parsed(epsilon);
+  if (entries.size() > parsed.max_counters_) return false;
+  std::uint64_t total = 0;
+  for (const auto& [value, count] : entries) {
+    if (count == 0) return false;
+    if (total + count < total) return false;  // overflow
+    total += count;
+    if (!parsed.counters_.emplace(value, count).second) return false;  // duplicate
+  }
+  if (total > n) return false;
+  parsed.n_ = n;
+  *out = std::move(parsed);
+  return true;
 }
 
 }  // namespace streamgpu::sketch

@@ -9,7 +9,10 @@
 #include <cstdint>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
+
+#include "core/status.h"
 
 namespace streamgpu::sketch {
 
@@ -44,6 +47,30 @@ class MisraGries {
   std::size_t summary_size() const { return counters_.size(); }
 
   double epsilon() const { return epsilon_; }
+
+  /// The live counters (unordered) — the serialization payload; callers
+  /// needing a stable order sort by the canonical float order.
+  const std::unordered_map<float, std::uint64_t>& counters() const {
+    return counters_;
+  }
+
+  /// Folds `other` into this summary: counters add, and if more than
+  /// ceil(1/epsilon) counters survive, the (k+1)-th largest count is
+  /// subtracted from every counter and non-positive counters are dropped
+  /// (Agarwal et al., "Mergeable Summaries"). The merged summary still
+  /// undercounts by at most epsilon * (stream_length() +
+  /// other.stream_length()) — the stated bound composes with NO error
+  /// accumulation (docs/SKETCHES.md). Requires equal epsilon (equal counter
+  /// budgets); returns kInvalidArgument otherwise.
+  core::Status Merge(const MisraGries& other);
+
+  /// Reconstructs a summary from its serialized components. Validates that
+  /// epsilon is in (0, 1), values are distinct, counts are positive and sum
+  /// to at most `n`, and the entry count fits the ceil(1/epsilon) budget;
+  /// returns false on violation, leaving `out` untouched.
+  static bool FromParts(double epsilon, std::uint64_t n,
+                        std::vector<std::pair<float, std::uint64_t>> entries,
+                        MisraGries* out);
 
  private:
   double epsilon_;

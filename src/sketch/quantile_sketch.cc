@@ -1,0 +1,213 @@
+#include "sketch/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "sketch/exponential_histogram.h"
+#include "sketch/gk_adaptive.h"
+#include "sketch/gk_summary.h"
+#include "sketch/kll.h"
+#include "sketch/serialize.h"
+
+namespace streamgpu::sketch {
+
+namespace {
+
+std::uint64_t StatedBound(double epsilon, std::uint64_t count) {
+  return static_cast<std::uint64_t>(std::ceil(epsilon * static_cast<double>(count)));
+}
+
+/// The paper's backend (§5.2): per-window GK summaries maintained in an
+/// exponential histogram. The mergeable export flattens the buckets into one
+/// GkSummary — each bucket is at most epsilon-approximate (LevelBudget), and
+/// GK MERGE preserves max(epsilon) over the combined count, so the flattened
+/// summary is epsilon-approximate for everything covered.
+class GkEhSketch final : public QuantileSketch {
+ public:
+  GkEhSketch(double epsilon, std::uint64_t window_size,
+             std::uint64_t expected_length)
+      : epsilon_(epsilon), eh_(epsilon, window_size, expected_length) {}
+
+  std::size_t AddSortedWindow(std::span<const float> window) override {
+    Timer timer;
+    GkSummary summary = GkSummary::FromSorted(window, epsilon_ / 2.0);
+    summarize_seconds_ += timer.ElapsedSeconds();
+    const std::size_t tuples = summary.size();
+    eh_.AddWindowSummary(std::move(summary));
+    return tuples;
+  }
+
+  float Query(double phi) const override { return eh_.Query(phi); }
+  std::uint64_t count() const override { return eh_.count(); }
+  std::size_t summary_size() const override { return eh_.TotalTuples(); }
+  std::uint64_t rank_error_bound() const override {
+    return StatedBound(epsilon_, eh_.count());
+  }
+
+  core::Status AppendWireSummary(std::vector<std::uint8_t>* out) const override {
+    GkSummary flat;
+    for (const GkSummary& bucket : eh_.buckets()) {
+      if (!bucket.empty()) flat = GkSummary::Merge(flat, bucket);
+    }
+    return SerializeSummary(flat, out);
+  }
+
+  QuantileSketchKind kind() const override { return QuantileSketchKind::kGk; }
+
+  double summarize_seconds() const override { return summarize_seconds_; }
+  double merge_seconds() const override { return eh_.merge_seconds(); }
+  double compress_seconds() const override { return eh_.compress_seconds(); }
+  std::uint64_t merged_tuples() const override { return eh_.merged_tuples(); }
+  std::uint64_t pruned_tuples() const override { return eh_.pruned_tuples(); }
+
+ private:
+  double epsilon_;
+  EhQuantileSummary eh_;
+  double summarize_seconds_ = 0;
+};
+
+/// The single-element GK01 baseline. Windows are fed element-wise; the
+/// mergeable export converts the (v, g, Delta) tuples to explicit rank
+/// bounds (rmin_i = sum of g up to i, rmax_i = rmin_i + Delta_i).
+class GkAdaptiveSketch final : public QuantileSketch {
+ public:
+  explicit GkAdaptiveSketch(double epsilon) : gk_(epsilon) {}
+
+  std::size_t AddSortedWindow(std::span<const float> window) override {
+    Timer timer;
+    gk_.ObserveBatch(window);
+    summarize_seconds_ += timer.ElapsedSeconds();
+    return window.size();
+  }
+
+  float Query(double phi) const override { return gk_.Quantile(phi); }
+  std::uint64_t count() const override { return gk_.stream_length(); }
+  std::size_t summary_size() const override { return gk_.summary_size(); }
+  std::uint64_t rank_error_bound() const override {
+    return StatedBound(gk_.epsilon(), gk_.stream_length());
+  }
+
+  core::Status AppendWireSummary(std::vector<std::uint8_t>* out) const override {
+    std::vector<GkTuple> tuples;
+    tuples.reserve(gk_.summary_size());
+    std::uint64_t rmin = 0;
+    std::uint64_t rmax_floor = 0;
+    for (const GkAdaptiveTuple& t : gk_.tuples()) {
+      rmin += t.g;
+      // rmax is a valid upper bound, so clamping it monotone (and within
+      // count) keeps it valid while satisfying GkSummary's invariants.
+      const std::uint64_t rmax =
+          std::min(gk_.stream_length(), std::max(rmax_floor, rmin + t.delta));
+      rmax_floor = rmax;
+      tuples.push_back({t.value, rmin, rmax});
+    }
+    GkSummary converted;
+    STREAMGPU_CHECK_MSG(GkSummary::FromParts(std::move(tuples), gk_.stream_length(),
+                                             gk_.epsilon(), &converted),
+                        "GK01 tuples violate the summary invariants");
+    return SerializeSummary(converted, out);
+  }
+
+  QuantileSketchKind kind() const override {
+    return QuantileSketchKind::kGkAdaptive;
+  }
+
+  double summarize_seconds() const override { return summarize_seconds_; }
+
+ private:
+  GkAdaptive gk_;
+  double summarize_seconds_ = 0;
+};
+
+/// The KLL compactor hierarchy (sketch/kll.h). Natively mergeable: the wire
+/// export is the sketch itself.
+class KllQuantileSketch final : public QuantileSketch {
+ public:
+  explicit KllQuantileSketch(double epsilon) : kll_(epsilon) {}
+
+  std::size_t AddSortedWindow(std::span<const float> window) override {
+    // Keep the summarize/compress mirrors disjoint: compaction time is
+    // tracked inside the sketch and subtracted from the insert wall time.
+    const double compress_before = kll_.compress_seconds();
+    Timer timer;
+    kll_.ObserveSorted(window);
+    const double elapsed = timer.ElapsedSeconds();
+    summarize_seconds_ +=
+        std::max(0.0, elapsed - (kll_.compress_seconds() - compress_before));
+    return window.size();
+  }
+
+  float Query(double phi) const override { return kll_.Quantile(phi); }
+  std::uint64_t count() const override { return kll_.count(); }
+  std::size_t summary_size() const override { return kll_.summary_size(); }
+  std::uint64_t rank_error_bound() const override {
+    return kll_.rank_error_bound();
+  }
+
+  core::Status AppendWireSummary(std::vector<std::uint8_t>* out) const override {
+    return SerializeSummary(kll_, out);
+  }
+
+  QuantileSketchKind kind() const override { return QuantileSketchKind::kKll; }
+
+  double summarize_seconds() const override { return summarize_seconds_; }
+  double compress_seconds() const override { return kll_.compress_seconds(); }
+  std::uint64_t pruned_tuples() const override { return kll_.discarded_items(); }
+
+ private:
+  KllSketch kll_;
+  double summarize_seconds_ = 0;
+};
+
+}  // namespace
+
+const char* QuantileSketchKindName(QuantileSketchKind kind) {
+  switch (kind) {
+    case QuantileSketchKind::kGk:
+      return "gk";
+    case QuantileSketchKind::kGkAdaptive:
+      return "gk-adaptive";
+    case QuantileSketchKind::kKll:
+      return "kll";
+  }
+  return "?";
+}
+
+bool ParseQuantileSketchKind(const char* name, QuantileSketchKind* kind) {
+  if (std::strcmp(name, "gk") == 0) {
+    *kind = QuantileSketchKind::kGk;
+  } else if (std::strcmp(name, "gk-adaptive") == 0) {
+    *kind = QuantileSketchKind::kGkAdaptive;
+  } else if (std::strcmp(name, "kll") == 0) {
+    *kind = QuantileSketchKind::kKll;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+core::StatusOr<std::unique_ptr<QuantileSketch>> QuantileSketch::Create(
+    QuantileSketchKind kind, double epsilon, std::uint64_t window_size,
+    std::uint64_t expected_stream_length) {
+  if (!(epsilon > 0.0 && epsilon < 1.0)) {
+    return core::Status::InvalidArgument("epsilon must be in (0, 1), got " +
+                                         std::to_string(epsilon));
+  }
+  switch (kind) {
+    case QuantileSketchKind::kGk:
+      return std::unique_ptr<QuantileSketch>(
+          new GkEhSketch(epsilon, window_size, expected_stream_length));
+    case QuantileSketchKind::kGkAdaptive:
+      return std::unique_ptr<QuantileSketch>(new GkAdaptiveSketch(epsilon));
+    case QuantileSketchKind::kKll:
+      return std::unique_ptr<QuantileSketch>(new KllQuantileSketch(epsilon));
+  }
+  return core::Status::InvalidArgument("unknown quantile sketch kind");
+}
+
+}  // namespace streamgpu::sketch

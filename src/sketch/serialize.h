@@ -1,11 +1,28 @@
-// Binary (de)serialization of the summary structures, so summaries can be
-// checkpointed, shipped between processes (the sensor-network setting
-// literally transmits them, [21]), or archived next to the stream they
-// describe.
+// Versioned, type-tagged wire format for the mergeable summaries, so shards
+// can checkpoint summaries, ship them between processes (the sensor-network
+// setting literally transmits them, [21]), and merge them into one global
+// answer (sketch/combiner.h, `streamgpu_cli merge`).
 //
-// Format: little-endian, fixed-width fields, a 4-byte magic and version per
-// structure. Deserialization validates structure invariants and returns
-// false on malformed input instead of aborting.
+// Envelope (little-endian, fixed-width fields):
+//
+//   offset  size  field
+//   0       4     magic 0x53474D53 ("SGMS")
+//   4       2     format version (currently 1)
+//   6       2     sketch-type tag (SketchType)
+//   8       8     payload length in bytes
+//   16      4     CRC-32 (IEEE, reflected) of the payload bytes
+//   20      -     payload (per-type layout, docs/SKETCHES.md)
+//
+// Every Deserialize* returns Status on malformed input — truncation, a bad
+// magic or tag, a version from the future, a corrupted checksum, a length
+// field the buffer cannot hold, or a payload violating the sketch's
+// structural invariants — and never aborts. Envelopes are self-delimiting:
+// the span cursor advances past exactly one envelope, so summaries can be
+// framed back-to-back in one buffer.
+//
+// Legacy shim (one release): DeserializeGkSummary also accepts the pre-
+// envelope "GKS1" GK framing so summaries checkpointed by the previous
+// release keep loading. SerializeSummary only ever writes the envelope.
 
 #ifndef STREAMGPU_SKETCH_SERIALIZE_H_
 #define STREAMGPU_SKETCH_SERIALIZE_H_
@@ -14,21 +31,54 @@
 #include <span>
 #include <vector>
 
+#include "core/status.h"
+#include "sketch/count_min.h"
 #include "sketch/gk_summary.h"
-#include "sketch/lossy_counting.h"
+#include "sketch/kll.h"
+#include "sketch/misra_gries.h"
 
 namespace streamgpu::sketch {
 
-/// Appends the serialized form of `summary` to `out`.
-void SerializeGkSummary(const GkSummary& summary, std::vector<std::uint8_t>* out);
+/// Envelope magic ("SGMS": StreamGpu Mergeable Summary).
+inline constexpr std::uint32_t kWireMagic = 0x53474D53;
 
-/// Parses a GkSummary from the front of `bytes`. On success stores the
-/// result, advances `bytes` past the consumed prefix, and returns true;
-/// on malformed input returns false and leaves outputs untouched.
-bool DeserializeGkSummary(std::span<const std::uint8_t>* bytes, GkSummary* summary);
+/// Current wire-format version. Readers reject anything newer.
+inline constexpr std::uint16_t kWireVersion = 1;
 
-/// Serialized size in bytes of a GkSummary with `tuples` tuples.
-std::size_t GkSummaryWireSize(std::size_t tuples);
+/// Sketch-type tag carried in the envelope.
+enum class SketchType : std::uint16_t {
+  kGkSummary = 1,
+  kKll = 2,
+  kCountMin = 3,
+  kMisraGries = 4,
+};
+
+/// Tag name for diagnostics ("gk", "kll", "count-min", "misra-gries").
+const char* SketchTypeName(SketchType type);
+
+/// Appends one enveloped summary to `out`.
+core::Status SerializeSummary(const GkSummary& summary, std::vector<std::uint8_t>* out);
+core::Status SerializeSummary(const KllSketch& sketch, std::vector<std::uint8_t>* out);
+core::Status SerializeSummary(const CountMinSketch& sketch, std::vector<std::uint8_t>* out);
+core::Status SerializeSummary(const MisraGries& sketch, std::vector<std::uint8_t>* out);
+
+/// Reads the envelope header at the front of `bytes` (without consuming it)
+/// and returns the sketch-type tag — how the combiner and `streamgpu_cli
+/// merge` dispatch on shard files. Validates magic, version, length, and
+/// checksum. Also recognizes the legacy "GKS1" framing (as kGkSummary).
+core::StatusOr<SketchType> PeekSketchType(std::span<const std::uint8_t> bytes);
+
+/// Parses one enveloped summary from the front of `bytes`, advancing the
+/// span past the consumed envelope on success. On error the span is left
+/// untouched. The typed functions additionally fail with kInvalidArgument
+/// when the envelope holds a different sketch type.
+core::StatusOr<GkSummary> DeserializeGkSummary(std::span<const std::uint8_t>* bytes);
+core::StatusOr<KllSketch> DeserializeKllSketch(std::span<const std::uint8_t>* bytes);
+core::StatusOr<CountMinSketch> DeserializeCountMin(std::span<const std::uint8_t>* bytes);
+core::StatusOr<MisraGries> DeserializeMisraGries(std::span<const std::uint8_t>* bytes);
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes` — the envelope checksum.
+std::uint32_t Crc32(std::span<const std::uint8_t> bytes);
 
 }  // namespace streamgpu::sketch
 

@@ -1,0 +1,451 @@
+// Shard-summary combiner properties (sketch/combiner.h): merge-equivalence
+// within the stated bound for S shards over adversarial distributions,
+// bit-identical answers regardless of shard admission order, empty-shard
+// identities, type/epsilon admission rules, and tree-structured re-merge via
+// the re-exported envelope.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+#include "core/status.h"
+#include "sketch/combiner.h"
+#include "sketch/count_min.h"
+#include "sketch/exact.h"
+#include "sketch/gk_summary.h"
+#include "sketch/kll.h"
+#include "sketch/misra_gries.h"
+#include "sketch/serialize.h"
+
+namespace streamgpu::sketch {
+namespace {
+
+::testing::AssertionResult RankWithin(const std::vector<float>& sorted, float value,
+                                      double target_rank, double allowed) {
+  const auto [lo0, hi0] = ExactRankRange(sorted, value);
+  const double lo = static_cast<double>(lo0) + 1;  // 1-based
+  const double hi = static_cast<double>(hi0) + 1;
+  if (lo - allowed <= target_rank && target_rank <= hi + allowed) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << "value " << value << " has rank range [" << lo << "," << hi
+         << "], target " << target_rank << " allowed +-" << allowed;
+}
+
+enum class Dist { kUniform, kZipf, kSorted, kBursty };
+
+const char* DistName(Dist d) {
+  switch (d) {
+    case Dist::kUniform: return "uniform";
+    case Dist::kZipf: return "zipf";
+    case Dist::kSorted: return "sorted";
+    case Dist::kBursty: return "bursty";
+  }
+  return "?";
+}
+
+std::vector<float> MakeStream(Dist dist, std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::vector<float> v;
+  v.reserve(n);
+  switch (dist) {
+    case Dist::kUniform: {
+      std::uniform_real_distribution<float> d(0.0f, 1e6f);
+      for (std::size_t i = 0; i < n; ++i) v.push_back(d(rng));
+      break;
+    }
+    case Dist::kZipf: {
+      // Harmonic weights over a 512-value universe: a few values dominate.
+      std::vector<double> weights(512);
+      for (std::size_t k = 0; k < weights.size(); ++k) {
+        weights[k] = 1.0 / static_cast<double>(k + 1);
+      }
+      std::discrete_distribution<int> d(weights.begin(), weights.end());
+      for (std::size_t i = 0; i < n; ++i) v.push_back(static_cast<float>(d(rng)));
+      break;
+    }
+    case Dist::kSorted: {
+      std::uniform_real_distribution<float> d(0.0f, 1e6f);
+      for (std::size_t i = 0; i < n; ++i) v.push_back(d(rng));
+      std::sort(v.begin(), v.end());
+      break;
+    }
+    case Dist::kBursty: {
+      // Runs of one repeated value interleaved with uniform noise.
+      std::uniform_real_distribution<float> d(0.0f, 1e6f);
+      std::uniform_int_distribution<int> run(1, 64);
+      while (v.size() < n) {
+        const float burst = d(rng);
+        const int len = run(rng);
+        for (int i = 0; i < len && v.size() < n; ++i) v.push_back(burst);
+        if (v.size() < n) v.push_back(d(rng));
+      }
+      break;
+    }
+  }
+  return v;
+}
+
+// Splits `data` into `shards` contiguous chunks (the scale-out partitioning:
+// each shard ingests its own substream).
+std::vector<std::vector<float>> Split(const std::vector<float>& data,
+                                      std::size_t shards) {
+  std::vector<std::vector<float>> out(shards);
+  const std::size_t chunk = (data.size() + shards - 1) / shards;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t lo = std::min(s * chunk, data.size());
+    const std::size_t hi = std::min(lo + chunk, data.size());
+    out[s].assign(data.begin() + lo, data.begin() + hi);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> GkShardBytes(const std::vector<float>& chunk, double eps) {
+  std::vector<float> sorted = chunk;
+  std::sort(sorted.begin(), sorted.end());
+  const GkSummary s = GkSummary::FromSorted(sorted, eps);
+  std::vector<std::uint8_t> bytes;
+  EXPECT_TRUE(SerializeSummary(s, &bytes).ok());
+  return bytes;
+}
+
+std::vector<std::uint8_t> KllShardBytes(const std::vector<float>& chunk, double eps) {
+  KllSketch s(eps);
+  for (float v : chunk) s.Observe(v);
+  std::vector<std::uint8_t> bytes;
+  EXPECT_TRUE(SerializeSummary(s, &bytes).ok());
+  return bytes;
+}
+
+struct CombineCase {
+  std::size_t shards;
+  Dist dist;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<CombineCase>& info) {
+  return std::string(DistName(info.param.dist)) + "_S" +
+         std::to_string(info.param.shards);
+}
+
+class CombinerProperty : public ::testing::TestWithParam<CombineCase> {};
+
+TEST_P(CombinerProperty, GkMergeMatchesUnionWithinStatedBound) {
+  const auto& p = GetParam();
+  constexpr double kEps = 0.02;
+  const auto data = MakeStream(p.dist, 20000, 7 + static_cast<unsigned>(p.shards));
+  QuantileShardCombiner combiner;
+  for (const auto& chunk : Split(data, p.shards)) {
+    ASSERT_TRUE(combiner.AddShard(GkShardBytes(chunk, kEps)).ok());
+  }
+  ASSERT_EQ(combiner.shards(), p.shards);
+
+  std::vector<float> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  for (double phi : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    const core::QuantileReport r = combiner.Quantile(phi);
+    EXPECT_EQ(r.window_coverage, data.size());
+    EXPECT_LE(r.rank_error_bound, static_cast<std::uint64_t>(
+                                      std::ceil(kEps * static_cast<double>(data.size()))));
+    const double target = std::ceil(phi * static_cast<double>(data.size()));
+    EXPECT_TRUE(RankWithin(sorted, r.value, target,
+                           static_cast<double>(r.rank_error_bound) + 1))
+        << "phi=" << phi;
+  }
+}
+
+TEST_P(CombinerProperty, KllMergeMatchesUnionWithinStatedBound) {
+  const auto& p = GetParam();
+  constexpr double kEps = 0.02;
+  const auto data = MakeStream(p.dist, 20000, 11 + static_cast<unsigned>(p.shards));
+  QuantileShardCombiner combiner;
+  for (const auto& chunk : Split(data, p.shards)) {
+    ASSERT_TRUE(combiner.AddShard(KllShardBytes(chunk, kEps)).ok());
+  }
+
+  std::vector<float> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  for (double phi : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    const core::QuantileReport r = combiner.Quantile(phi);
+    EXPECT_EQ(r.window_coverage, data.size());
+    const double target = std::ceil(phi * static_cast<double>(data.size()));
+    EXPECT_TRUE(RankWithin(sorted, r.value, target,
+                           static_cast<double>(r.rank_error_bound) + 1))
+        << "phi=" << phi;
+  }
+}
+
+TEST_P(CombinerProperty, MisraGriesMergeMatchesUnionCounts) {
+  const auto& p = GetParam();
+  constexpr double kEps = 0.01;
+  const auto data = MakeStream(p.dist, 20000, 13 + static_cast<unsigned>(p.shards));
+  FrequencyShardCombiner combiner;
+  for (const auto& chunk : Split(data, p.shards)) {
+    MisraGries mg(kEps);
+    mg.ObserveBatch(chunk);
+    std::vector<std::uint8_t> bytes;
+    ASSERT_TRUE(SerializeSummary(mg, &bytes).ok());
+    ASSERT_TRUE(combiner.AddShard(bytes).ok());
+  }
+
+  // Merged estimates undercount truth by at most the stated bound.
+  auto hh = combiner.HeavyHitters(0.05);
+  ASSERT_TRUE(hh.ok());
+  EXPECT_EQ(hh->window_coverage, data.size());
+  const std::uint64_t bound = hh->error_bound;
+  EXPECT_LE(bound, static_cast<std::uint64_t>(
+                       std::ceil(kEps * static_cast<double>(data.size()))));
+  for (const auto& item : hh->items) {
+    const std::uint64_t truth = static_cast<std::uint64_t>(
+        std::count(data.begin(), data.end(), item.value));
+    EXPECT_LE(item.estimate, truth);
+    EXPECT_GE(item.estimate + bound, truth);
+  }
+  // No false negatives: everything truly above support must be reported.
+  std::vector<float> uniq = data;
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+  const double threshold = 0.05 * static_cast<double>(data.size());
+  for (float v : uniq) {
+    const auto truth = static_cast<double>(std::count(data.begin(), data.end(), v));
+    if (truth >= threshold) {
+      EXPECT_TRUE(std::any_of(hh->items.begin(), hh->items.end(),
+                              [v](const auto& it) { return it.value == v; }))
+          << "missing heavy hitter " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardsByDistribution, CombinerProperty,
+    ::testing::Values(CombineCase{2, Dist::kUniform}, CombineCase{2, Dist::kZipf},
+                      CombineCase{2, Dist::kSorted}, CombineCase{2, Dist::kBursty},
+                      CombineCase{16, Dist::kUniform}, CombineCase{16, Dist::kZipf},
+                      CombineCase{16, Dist::kSorted}, CombineCase{16, Dist::kBursty},
+                      CombineCase{64, Dist::kUniform}, CombineCase{64, Dist::kZipf},
+                      CombineCase{64, Dist::kSorted}, CombineCase{64, Dist::kBursty}),
+    CaseName);
+
+// --- Merge-order independence: bit-identical regardless of AddShard order ---
+
+TEST(CombinerOrderTest, QuantileAnswerIsBitIdenticalUnderPermutation) {
+  constexpr double kEps = 0.02;
+  const auto data = MakeStream(Dist::kZipf, 8000, 42);
+  std::vector<std::vector<std::uint8_t>> blobs;
+  for (const auto& chunk : Split(data, 16)) {
+    blobs.push_back(KllShardBytes(chunk, kEps));
+  }
+
+  std::vector<std::size_t> order(blobs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::mt19937 rng(99);
+
+  QuantileShardCombiner first;
+  for (std::size_t i : order) ASSERT_TRUE(first.AddShard(blobs[i]).ok());
+  std::vector<std::uint8_t> first_bytes;
+  ASSERT_TRUE(first.AppendMergedSummary(&first_bytes).ok());
+
+  for (int trial = 0; trial < 4; ++trial) {
+    std::shuffle(order.begin(), order.end(), rng);
+    QuantileShardCombiner shuffled;
+    for (std::size_t i : order) ASSERT_TRUE(shuffled.AddShard(blobs[i]).ok());
+    for (double phi : {0.1, 0.5, 0.9}) {
+      EXPECT_EQ(shuffled.Quantile(phi), first.Quantile(phi)) << "phi=" << phi;
+    }
+    std::vector<std::uint8_t> bytes;
+    ASSERT_TRUE(shuffled.AppendMergedSummary(&bytes).ok());
+    EXPECT_EQ(bytes, first_bytes) << "trial " << trial;
+  }
+}
+
+TEST(CombinerOrderTest, GkAnswerIsBitIdenticalUnderPermutation) {
+  constexpr double kEps = 0.05;
+  const auto data = MakeStream(Dist::kUniform, 6000, 17);
+  std::vector<std::vector<std::uint8_t>> blobs;
+  for (const auto& chunk : Split(data, 8)) {
+    blobs.push_back(GkShardBytes(chunk, kEps));
+  }
+
+  QuantileShardCombiner forward;
+  for (const auto& b : blobs) ASSERT_TRUE(forward.AddShard(b).ok());
+  QuantileShardCombiner backward;
+  for (auto it = blobs.rbegin(); it != blobs.rend(); ++it) {
+    ASSERT_TRUE(backward.AddShard(*it).ok());
+  }
+
+  std::vector<std::uint8_t> fwd, bwd;
+  ASSERT_TRUE(forward.AppendMergedSummary(&fwd).ok());
+  ASSERT_TRUE(backward.AppendMergedSummary(&bwd).ok());
+  EXPECT_EQ(fwd, bwd);
+  EXPECT_EQ(forward.Quantile(0.5), backward.Quantile(0.5));
+}
+
+// --- Empty and degenerate shards ---
+
+TEST(CombinerEmptyTest, NoShardsAnswersCoverageZero) {
+  QuantileShardCombiner combiner;
+  const core::QuantileReport r = combiner.Quantile(0.5);
+  EXPECT_EQ(r.value, 0.0f);
+  EXPECT_EQ(r.window_coverage, 0u);
+  EXPECT_EQ(r.rank_error_bound, 0u);
+  std::vector<std::uint8_t> bytes;
+  EXPECT_EQ(combiner.AppendMergedSummary(&bytes).code(),
+            core::Status::Code::kFailedPrecondition);
+
+  FrequencyShardCombiner freq;
+  auto hh = freq.HeavyHitters(0.1);
+  ASSERT_TRUE(hh.ok());
+  EXPECT_TRUE(hh->items.empty());
+  EXPECT_EQ(hh->window_coverage, 0u);
+  EXPECT_EQ(freq.EstimateCount(1.0f), 0u);
+}
+
+TEST(CombinerEmptyTest, AllEmptyShardsAnswerCoverageZero) {
+  QuantileShardCombiner combiner;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(combiner.AddShard(KllShardBytes({}, 0.02)).ok());
+  }
+  const core::QuantileReport r = combiner.Quantile(0.5);
+  EXPECT_EQ(r.value, 0.0f);
+  EXPECT_EQ(r.window_coverage, 0u);
+}
+
+TEST(CombinerEmptyTest, EmptyShardIsMergeIdentity) {
+  constexpr double kEps = 0.02;
+  const auto data = MakeStream(Dist::kUniform, 4000, 23);
+  const auto chunks = Split(data, 4);
+
+  QuantileShardCombiner without;
+  for (const auto& c : chunks) ASSERT_TRUE(without.AddShard(KllShardBytes(c, kEps)).ok());
+  QuantileShardCombiner with;
+  for (const auto& c : chunks) ASSERT_TRUE(with.AddShard(KllShardBytes(c, kEps)).ok());
+  ASSERT_TRUE(with.AddShard(KllShardBytes({}, kEps)).ok());
+
+  EXPECT_EQ(with.Quantile(0.5).window_coverage, data.size());
+  std::vector<float> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  const core::QuantileReport r = with.Quantile(0.5);
+  EXPECT_TRUE(RankWithin(sorted, r.value, std::ceil(0.5 * sorted.size()),
+                         static_cast<double>(r.rank_error_bound) + 1));
+}
+
+// --- Admission rules ---
+
+TEST(CombinerAdmissionTest, RejectsTypeMismatch) {
+  QuantileShardCombiner combiner;
+  ASSERT_TRUE(combiner.AddShard(GkShardBytes({1, 2, 3}, 0.1)).ok());
+  const core::Status s = combiner.AddShard(KllShardBytes({1, 2, 3}, 0.1));
+  EXPECT_EQ(s.code(), core::Status::Code::kInvalidArgument);
+  EXPECT_EQ(combiner.shards(), 1u);
+}
+
+TEST(CombinerAdmissionTest, RejectsNonQuantileSketch) {
+  MisraGries mg(0.1);
+  mg.Observe(1.0f);
+  std::vector<std::uint8_t> bytes;
+  ASSERT_TRUE(SerializeSummary(mg, &bytes).ok());
+  QuantileShardCombiner combiner;
+  EXPECT_EQ(combiner.AddShard(bytes).code(), core::Status::Code::kInvalidArgument);
+
+  FrequencyShardCombiner freq;
+  EXPECT_EQ(freq.AddShard(GkShardBytes({1, 2}, 0.1)).code(),
+            core::Status::Code::kInvalidArgument);
+}
+
+TEST(CombinerAdmissionTest, RejectsKllEpsilonMismatch) {
+  QuantileShardCombiner combiner;
+  ASSERT_TRUE(combiner.AddShard(KllShardBytes({1, 2, 3}, 0.01)).ok());
+  EXPECT_EQ(combiner.AddShard(KllShardBytes({4, 5, 6}, 0.02)).code(),
+            core::Status::Code::kInvalidArgument);
+}
+
+TEST(CombinerAdmissionTest, RejectsCountMinGeometryMismatch) {
+  CountMinSketch a(0.01, 0.01);
+  a.Update(1.0f);
+  CountMinSketch b(0.02, 0.01);
+  b.Update(1.0f);
+  std::vector<std::uint8_t> ba, bb;
+  ASSERT_TRUE(SerializeSummary(a, &ba).ok());
+  ASSERT_TRUE(SerializeSummary(b, &bb).ok());
+  FrequencyShardCombiner combiner;
+  ASSERT_TRUE(combiner.AddShard(ba).ok());
+  EXPECT_EQ(combiner.AddShard(bb).code(), core::Status::Code::kInvalidArgument);
+}
+
+TEST(CombinerAdmissionTest, RejectsMalformedBytesWithoutAborting) {
+  QuantileShardCombiner combiner;
+  const std::vector<std::uint8_t> garbage{0xDE, 0xAD, 0xBE, 0xEF, 0x00};
+  EXPECT_FALSE(combiner.AddShard(garbage).ok());
+  EXPECT_EQ(combiner.shards(), 0u);
+}
+
+// --- Count-Min shards ---
+
+TEST(CombinerCountMinTest, MergedEstimatesNeverUndercount) {
+  const auto data = MakeStream(Dist::kZipf, 10000, 77);
+  FrequencyShardCombiner combiner;
+  for (const auto& chunk : Split(data, 8)) {
+    CountMinSketch cm(0.005, 0.01);
+    for (float v : chunk) cm.Update(v);
+    std::vector<std::uint8_t> bytes;
+    ASSERT_TRUE(SerializeSummary(cm, &bytes).ok());
+    ASSERT_TRUE(combiner.AddShard(bytes).ok());
+  }
+
+  // The point-query guarantee survives the element-wise merge: never an
+  // undercount, overcount at most eps * N (whp — deterministic inputs here).
+  for (float v : {0.0f, 1.0f, 2.0f, 10.0f, 100.0f}) {
+    const std::uint64_t truth = static_cast<std::uint64_t>(
+        std::count(data.begin(), data.end(), v));
+    const std::uint64_t est = combiner.EstimateCount(v);
+    EXPECT_GE(est, truth) << v;
+    EXPECT_LE(est, truth + static_cast<std::uint64_t>(
+                               std::ceil(0.005 * static_cast<double>(data.size())) * 4))
+        << v;
+  }
+  EXPECT_EQ(combiner.HeavyHitters(0.1).status().code(),
+            core::Status::Code::kFailedPrecondition);
+}
+
+// --- Tree-structured merges via the re-exported envelope ---
+
+TEST(CombinerTreeTest, TwoLevelMergeStaysWithinBound) {
+  constexpr double kEps = 0.02;
+  const auto data = MakeStream(Dist::kBursty, 16000, 5);
+  const auto chunks = Split(data, 8);
+
+  // Leaves: two combiners of four shards each; root merges their exports.
+  std::vector<std::uint8_t> left_bytes, right_bytes;
+  QuantileShardCombiner left, right;
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(left.AddShard(KllShardBytes(chunks[i], kEps)).ok());
+    ASSERT_TRUE(right.AddShard(KllShardBytes(chunks[4 + i], kEps)).ok());
+  }
+  ASSERT_TRUE(left.AppendMergedSummary(&left_bytes).ok());
+  ASSERT_TRUE(right.AppendMergedSummary(&right_bytes).ok());
+
+  QuantileShardCombiner root;
+  ASSERT_TRUE(root.AddShard(left_bytes).ok());
+  ASSERT_TRUE(root.AddShard(right_bytes).ok());
+
+  std::vector<float> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  for (double phi : {0.1, 0.5, 0.9}) {
+    const core::QuantileReport r = root.Quantile(phi);
+    EXPECT_EQ(r.window_coverage, data.size());
+    EXPECT_TRUE(RankWithin(sorted, r.value,
+                           std::ceil(phi * static_cast<double>(data.size())),
+                           static_cast<double>(r.rank_error_bound) + 1))
+        << "phi=" << phi;
+  }
+}
+
+}  // namespace
+}  // namespace streamgpu::sketch

@@ -12,6 +12,7 @@
 #include "sketch/exact.h"
 #include "sketch/exponential_histogram.h"
 #include "sketch/gk_summary.h"
+#include "sketch/kll.h"
 
 namespace streamgpu::sketch {
 namespace {
@@ -342,6 +343,166 @@ TEST(EhTest, RejectsTooCoarseWindowSummary) {
   for (std::size_t i = 0; i < w.size(); ++i) w[i] = static_cast<float>(i);
   // A 0.5-approximate summary violates the epsilon/2 requirement.
   EXPECT_DEATH(eh.AddWindowSummary(GkSummary::FromSorted(w, 0.5)), "epsilon/2");
+}
+
+// --- KllSketch ---
+
+TEST(KllTest, EmptySketchAnswersZero) {
+  KllSketch s(0.01);
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.Quantile(0.5), 0.0f);
+  EXPECT_EQ(s.QueryRank(1), 0.0f);
+  EXPECT_EQ(s.rank_error_bound(), 0u);
+  EXPECT_EQ(s.summary_size(), 0u);
+}
+
+TEST(KllTest, ExactWhileNoCompactionHasRun) {
+  KllSketch s(0.25);  // tiny k so this would compact quickly
+  std::vector<float> w{5, 1, 3, 2, 4};
+  for (float v : w) {
+    if (s.compactions() > 0) break;
+    s.Observe(v);
+  }
+  // Before the first compaction the tracked worst case is 0: answers are
+  // exact and the honest bound says so.
+  if (s.compactions() == 0) {
+    EXPECT_EQ(s.worst_case_rank_error(), 0u);
+    EXPECT_EQ(s.rank_error_bound(), 0u);
+  }
+}
+
+TEST(KllTest, AccuracyWithinStatedEpsilonAcrossSweep) {
+  for (double eps : {0.05, 0.02, 0.01}) {
+    const std::size_t n = 50000;
+    auto data = RandomValues(n, 1234);
+    KllSketch s(eps);
+    for (float v : data) s.Observe(v);
+    ASSERT_EQ(s.count(), n);
+
+    std::vector<float> sorted = data;
+    std::sort(sorted.begin(), sorted.end());
+    const double allowed = static_cast<double>(s.rank_error_bound()) + 1;
+    EXPECT_LE(s.rank_error_bound(),
+              static_cast<std::uint64_t>(std::ceil(eps * static_cast<double>(n))));
+    for (double phi : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+      const double target = std::ceil(phi * static_cast<double>(n));
+      EXPECT_TRUE(RankWithin(sorted, s.Quantile(phi), target, allowed))
+          << "eps=" << eps << " phi=" << phi;
+    }
+  }
+}
+
+TEST(KllTest, SpaceStaysSublinearAndBeatsNaive) {
+  const double eps = 0.01;
+  const std::size_t n = 200000;
+  KllSketch s(eps);
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<float> d(0.0f, 1e6f);
+  for (std::size_t i = 0; i < n; ++i) s.Observe(d(rng));
+  // O(k log(n/k)) items: k = 400 at this epsilon; the whole hierarchy must
+  // stay within a small multiple of k, far below the stream length.
+  EXPECT_LE(s.summary_size(), 8 * s.k());
+  EXPECT_LT(s.summary_size(), n / 50);
+  EXPECT_LT(s.num_levels(), 64u);
+}
+
+TEST(KllTest, DeterministicAcrossIdenticalRuns) {
+  const auto data = RandomValues(30000, 55);
+  KllSketch a(0.02), b(0.02);
+  for (float v : data) a.Observe(v);
+  for (float v : data) b.Observe(v);
+  // Same sequence + same seed: bit-identical hierarchy and coin position.
+  EXPECT_EQ(a.levels(), b.levels());
+  EXPECT_EQ(a.compactions(), b.compactions());
+  EXPECT_EQ(a.worst_case_rank_error(), b.worst_case_rank_error());
+  for (double phi : {0.1, 0.5, 0.9}) EXPECT_EQ(a.Quantile(phi), b.Quantile(phi));
+}
+
+TEST(KllTest, SeedChangesCoinSequenceButNotGuarantee) {
+  const auto data = RandomValues(20000, 56);
+  KllSketch a(0.02, 1), b(0.02, 2);
+  for (float v : data) a.Observe(v);
+  for (float v : data) b.Observe(v);
+  std::vector<float> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  for (double phi : {0.25, 0.5, 0.75}) {
+    const double target = std::ceil(phi * static_cast<double>(data.size()));
+    EXPECT_TRUE(RankWithin(sorted, a.Quantile(phi), target,
+                           static_cast<double>(a.rank_error_bound()) + 1));
+    EXPECT_TRUE(RankWithin(sorted, b.Quantile(phi), target,
+                           static_cast<double>(b.rank_error_bound()) + 1));
+  }
+}
+
+TEST(KllTest, MergeMatchesUnionAndComposesBounds) {
+  const auto left = RandomValues(15000, 60);
+  const auto right = RandomValues(25000, 61);
+  KllSketch a(0.02), b(0.02);
+  for (float v : left) a.Observe(v);
+  for (float v : right) b.Observe(v);
+  const std::uint64_t wa = a.worst_case_rank_error();
+  const std::uint64_t wb = b.worst_case_rank_error();
+
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.count(), left.size() + right.size());
+  // The tracked worst cases add (plus any compactions Merge itself runs).
+  EXPECT_GE(a.worst_case_rank_error(), wa + wb);
+
+  std::vector<float> all = left;
+  all.insert(all.end(), right.begin(), right.end());
+  std::sort(all.begin(), all.end());
+  const double allowed = static_cast<double>(a.rank_error_bound()) + 1;
+  for (double phi : {0.1, 0.5, 0.9}) {
+    const double target = std::ceil(phi * static_cast<double>(all.size()));
+    EXPECT_TRUE(RankWithin(all, a.Quantile(phi), target, allowed)) << phi;
+  }
+}
+
+TEST(KllTest, MergeRejectsEpsilonMismatchAndAcceptsEmpty) {
+  KllSketch a(0.02), mismatched(0.05), empty(0.02);
+  a.Observe(1.0f);
+  mismatched.Observe(2.0f);  // an empty sketch merges as the identity even
+                             // across epsilons; a non-empty one must not
+  EXPECT_FALSE(a.Merge(mismatched).ok());
+  const std::uint64_t before = a.count();
+  ASSERT_TRUE(a.Merge(empty).ok());
+  EXPECT_EQ(a.count(), before);
+}
+
+TEST(KllTest, WeightIsConservedAcrossCompactions) {
+  KllSketch s(0.1);
+  std::mt19937 rng(9);
+  std::uniform_real_distribution<float> d(0.0f, 1.0f);
+  for (int i = 0; i < 10000; ++i) s.Observe(d(rng));
+  std::uint64_t weighted = 0;
+  for (std::size_t h = 0; h < s.num_levels(); ++h) {
+    weighted += static_cast<std::uint64_t>(s.levels()[h].size()) << h;
+  }
+  EXPECT_EQ(weighted, s.count());
+  EXPECT_GT(s.compactions(), 0u);
+  EXPECT_GT(s.discarded_items(), 0u);
+}
+
+TEST(KllTest, SpaceIsSmallerThanChainedGkMerges) {
+  // The headline trade: KLL's compaction keeps O(k log(n/k)) items on a
+  // merge-heavy stream, while an unpruned GK merge chain grows with the
+  // number of windows folded in (one tuple per surviving input tuple).
+  const double eps = 0.005;
+  const std::size_t kWindows = 100, kWindow = 1000;
+  KllSketch kll(eps);
+  GkSummary gk;
+  std::mt19937 rng(77);
+  std::uniform_real_distribution<float> d(0.0f, 1e6f);
+  for (std::size_t b = 0; b < kWindows; ++b) {
+    std::vector<float> w(kWindow);
+    for (float& v : w) v = d(rng);
+    for (float v : w) kll.Observe(v);
+    std::sort(w.begin(), w.end());
+    gk = GkSummary::Merge(gk, GkSummary::FromSorted(w, eps));
+  }
+  EXPECT_LT(kll.summary_size(), gk.size());
+  // And the sketch itself stays within its schedule, independent of n.
+  EXPECT_LE(kll.summary_size(), 8 * kll.k());
 }
 
 }  // namespace

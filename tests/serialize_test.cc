@@ -1,10 +1,20 @@
-// Tests for summary serialization (sketch/serialize.h): round trips,
-// framing, and rejection of malformed/corrupted input.
+// Tests for the versioned summary wire format (sketch/serialize.h): per-type
+// envelope round trips (including empty summaries), back-to-back framing,
+// type dispatch via PeekSketchType, the legacy "GKS1" shim, committed golden
+// wire files (forward-compat detection), and a malformed-input corpus —
+// every rejection returns Status, never aborts.
+//
+// Regenerate the golden wire files with:
+//   STREAMGPU_REGEN_GOLDEN=1 ./serialize_test --gtest_filter='*GoldenWire*'
 
 #include "sketch/serialize.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <random>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -12,7 +22,7 @@
 namespace streamgpu::sketch {
 namespace {
 
-GkSummary MakeSummary(std::size_t n, double eps, unsigned seed) {
+GkSummary MakeGk(std::size_t n, double eps, unsigned seed) {
   std::mt19937 rng(seed);
   std::uniform_real_distribution<float> d(0.0f, 1e4f);
   std::vector<float> v(n);
@@ -21,97 +31,363 @@ GkSummary MakeSummary(std::size_t n, double eps, unsigned seed) {
   return GkSummary::FromSorted(v, eps);
 }
 
-TEST(SerializeTest, RoundTripPreservesEverything) {
-  const GkSummary original = MakeSummary(5000, 0.01, 1);
+KllSketch MakeKll(std::size_t n, double eps, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> d(-1e3f, 1e3f);
+  KllSketch sketch(eps);
+  for (std::size_t i = 0; i < n; ++i) sketch.Observe(d(rng));
+  return sketch;
+}
+
+CountMinSketch MakeCountMin(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> d(0, 99);
+  CountMinSketch sketch(0.01, 0.01);
+  for (std::size_t i = 0; i < n; ++i) {
+    sketch.Update(static_cast<float>(d(rng)));
+  }
+  return sketch;
+}
+
+MisraGries MakeMisraGries(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> d(0, 49);
+  MisraGries sketch(0.05);
+  for (std::size_t i = 0; i < n; ++i) {
+    sketch.Observe(static_cast<float>(d(rng)));
+  }
+  return sketch;
+}
+
+TEST(SerializeTest, GkRoundTripPreservesEverything) {
+  const GkSummary original = MakeGk(5000, 0.01, 1);
   std::vector<std::uint8_t> buffer;
-  SerializeGkSummary(original, &buffer);
-  EXPECT_EQ(buffer.size(), GkSummaryWireSize(original.size()));
+  ASSERT_TRUE(SerializeSummary(original, &buffer).ok());
+
+  const auto peeked = PeekSketchType(buffer);
+  ASSERT_TRUE(peeked.ok());
+  EXPECT_EQ(*peeked, SketchType::kGkSummary);
 
   std::span<const std::uint8_t> cursor = buffer;
-  GkSummary parsed;
-  ASSERT_TRUE(DeserializeGkSummary(&cursor, &parsed));
+  const auto parsed = DeserializeGkSummary(&cursor);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_TRUE(cursor.empty());
-  EXPECT_EQ(parsed.count(), original.count());
-  EXPECT_EQ(parsed.epsilon(), original.epsilon());
-  EXPECT_EQ(parsed.tuples(), original.tuples());
+  EXPECT_EQ(parsed->count(), original.count());
+  EXPECT_EQ(parsed->epsilon(), original.epsilon());
+  EXPECT_EQ(parsed->tuples(), original.tuples());
   for (double phi : {0.1, 0.5, 0.9}) {
-    EXPECT_EQ(parsed.Query(phi), original.Query(phi));
+    EXPECT_EQ(parsed->Query(phi), original.Query(phi));
   }
 }
 
-TEST(SerializeTest, EmptySummaryRoundTrips) {
-  const GkSummary empty;
+TEST(SerializeTest, KllRoundTripIsBitIdentical) {
+  const KllSketch original = MakeKll(100000, 0.01, 2);
+  ASSERT_GT(original.compactions(), 0u);
   std::vector<std::uint8_t> buffer;
-  SerializeGkSummary(empty, &buffer);
-  std::span<const std::uint8_t> cursor = buffer;
-  GkSummary parsed = MakeSummary(10, 0.1, 2);  // must be overwritten
-  ASSERT_TRUE(DeserializeGkSummary(&cursor, &parsed));
-  EXPECT_TRUE(parsed.empty());
-  EXPECT_EQ(parsed.count(), 0u);
-}
-
-TEST(SerializeTest, SequentialFraming) {
-  const GkSummary a = MakeSummary(100, 0.05, 3);
-  const GkSummary b = MakeSummary(777, 0.01, 4);
-  std::vector<std::uint8_t> buffer;
-  SerializeGkSummary(a, &buffer);
-  SerializeGkSummary(b, &buffer);
+  ASSERT_TRUE(SerializeSummary(original, &buffer).ok());
 
   std::span<const std::uint8_t> cursor = buffer;
-  GkSummary pa;
-  GkSummary pb;
-  ASSERT_TRUE(DeserializeGkSummary(&cursor, &pa));
-  ASSERT_TRUE(DeserializeGkSummary(&cursor, &pb));
+  const auto parsed = DeserializeKllSketch(&cursor);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_TRUE(cursor.empty());
-  EXPECT_EQ(pa.count(), a.count());
-  EXPECT_EQ(pb.count(), b.count());
+  EXPECT_EQ(parsed->count(), original.count());
+  EXPECT_EQ(parsed->epsilon(), original.epsilon());
+  EXPECT_EQ(parsed->seed(), original.seed());
+  EXPECT_EQ(parsed->worst_case_rank_error(), original.worst_case_rank_error());
+  EXPECT_EQ(parsed->compactions(), original.compactions());
+  EXPECT_EQ(parsed->levels(), original.levels());
+  for (double phi : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_EQ(parsed->Quantile(phi), original.Quantile(phi));
+  }
+
+  // Determinism downstream of the round trip: serializing the parsed sketch
+  // reproduces the exact bytes.
+  std::vector<std::uint8_t> again;
+  ASSERT_TRUE(SerializeSummary(*parsed, &again).ok());
+  EXPECT_EQ(again, buffer);
 }
 
-TEST(SerializeTest, RejectsBadMagicAndTruncation) {
-  const GkSummary s = MakeSummary(50, 0.1, 5);
+TEST(SerializeTest, CountMinRoundTripPreservesCounters) {
+  const CountMinSketch original = MakeCountMin(20000, 3);
   std::vector<std::uint8_t> buffer;
-  SerializeGkSummary(s, &buffer);
+  ASSERT_TRUE(SerializeSummary(original, &buffer).ok());
 
-  GkSummary parsed;
+  std::span<const std::uint8_t> cursor = buffer;
+  const auto parsed = DeserializeCountMin(&cursor);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(cursor.empty());
+  EXPECT_EQ(parsed->total_weight(), original.total_weight());
+  EXPECT_EQ(parsed->width(), original.width());
+  EXPECT_EQ(parsed->depth(), original.depth());
+  EXPECT_EQ(parsed->counters(), original.counters());
+  for (float v : {0.0f, 17.0f, 99.0f}) {
+    EXPECT_EQ(parsed->EstimateCount(v), original.EstimateCount(v));
+  }
+}
+
+TEST(SerializeTest, MisraGriesRoundTripPreservesEntries) {
+  const MisraGries original = MakeMisraGries(20000, 4);
+  std::vector<std::uint8_t> buffer;
+  ASSERT_TRUE(SerializeSummary(original, &buffer).ok());
+
+  std::span<const std::uint8_t> cursor = buffer;
+  const auto parsed = DeserializeMisraGries(&cursor);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(cursor.empty());
+  EXPECT_EQ(parsed->stream_length(), original.stream_length());
+  EXPECT_EQ(parsed->HeavyHitters(0.03), original.HeavyHitters(0.03));
+
+  // The entry list serializes in canonical value order, so equal summaries
+  // produce identical bytes regardless of hash-map iteration order.
+  std::vector<std::uint8_t> again;
+  ASSERT_TRUE(SerializeSummary(*parsed, &again).ok());
+  EXPECT_EQ(again, buffer);
+}
+
+TEST(SerializeTest, EmptySummariesRoundTrip) {
+  std::vector<std::uint8_t> buffer;
+  ASSERT_TRUE(SerializeSummary(GkSummary(), &buffer).ok());
+  ASSERT_TRUE(SerializeSummary(KllSketch(0.01), &buffer).ok());
+  ASSERT_TRUE(SerializeSummary(CountMinSketch(0.1, 0.1), &buffer).ok());
+  ASSERT_TRUE(SerializeSummary(MisraGries(0.1), &buffer).ok());
+
+  std::span<const std::uint8_t> cursor = buffer;
+  const auto gk = DeserializeGkSummary(&cursor);
+  ASSERT_TRUE(gk.ok()) << gk.status().ToString();
+  EXPECT_EQ(gk->count(), 0u);
+  const auto kll = DeserializeKllSketch(&cursor);
+  ASSERT_TRUE(kll.ok()) << kll.status().ToString();
+  EXPECT_EQ(kll->count(), 0u);
+  const auto cm = DeserializeCountMin(&cursor);
+  ASSERT_TRUE(cm.ok()) << cm.status().ToString();
+  EXPECT_EQ(cm->total_weight(), 0);
+  const auto mg = DeserializeMisraGries(&cursor);
+  ASSERT_TRUE(mg.ok()) << mg.status().ToString();
+  EXPECT_EQ(mg->stream_length(), 0u);
+  EXPECT_TRUE(cursor.empty());
+}
+
+TEST(SerializeTest, SequentialFramingAcrossTypes) {
+  const GkSummary a = MakeGk(100, 0.05, 5);
+  const KllSketch b = MakeKll(5000, 0.02, 6);
+  const MisraGries c = MakeMisraGries(1000, 7);
+  std::vector<std::uint8_t> buffer;
+  ASSERT_TRUE(SerializeSummary(a, &buffer).ok());
+  ASSERT_TRUE(SerializeSummary(b, &buffer).ok());
+  ASSERT_TRUE(SerializeSummary(c, &buffer).ok());
+
+  std::span<const std::uint8_t> cursor = buffer;
+  ASSERT_TRUE(DeserializeGkSummary(&cursor).ok());
+  EXPECT_EQ(*PeekSketchType(cursor), SketchType::kKll);
+  ASSERT_TRUE(DeserializeKllSketch(&cursor).ok());
+  EXPECT_EQ(*PeekSketchType(cursor), SketchType::kMisraGries);
+  ASSERT_TRUE(DeserializeMisraGries(&cursor).ok());
+  EXPECT_TRUE(cursor.empty());
+}
+
+TEST(SerializeTest, TypeMismatchFailsAndLeavesSpanUntouched) {
+  std::vector<std::uint8_t> buffer;
+  ASSERT_TRUE(SerializeSummary(MakeKll(1000, 0.05, 8), &buffer).ok());
+
+  std::span<const std::uint8_t> cursor = buffer;
+  const auto as_gk = DeserializeGkSummary(&cursor);
+  EXPECT_FALSE(as_gk.ok());
+  EXPECT_EQ(cursor.size(), buffer.size()) << "span must not advance on error";
+  // The right reader still succeeds afterwards.
+  EXPECT_TRUE(DeserializeKllSketch(&cursor).ok());
+}
+
+TEST(SerializeTest, MalformedCorpusReturnsStatus) {
+  std::vector<std::uint8_t> buffer;
+  ASSERT_TRUE(SerializeSummary(MakeGk(50, 0.1, 9), &buffer).ok());
+
   // Bad magic.
   {
     auto corrupted = buffer;
     corrupted[0] ^= 0xFF;
     std::span<const std::uint8_t> cursor = corrupted;
-    EXPECT_FALSE(DeserializeGkSummary(&cursor, &parsed));
+    EXPECT_FALSE(DeserializeGkSummary(&cursor).ok());
+    EXPECT_FALSE(PeekSketchType(corrupted).ok());
   }
-  // Every truncation point fails cleanly.
+  // Version from the future.
+  {
+    auto corrupted = buffer;
+    corrupted[4] = 0xFF;
+    corrupted[5] = 0xFF;
+    std::span<const std::uint8_t> cursor = corrupted;
+    const auto parsed = DeserializeGkSummary(&cursor);
+    EXPECT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.status().message().find("newer"), std::string::npos);
+  }
+  // Version 0.
+  {
+    auto corrupted = buffer;
+    corrupted[4] = 0;
+    corrupted[5] = 0;
+    std::span<const std::uint8_t> cursor = corrupted;
+    EXPECT_FALSE(DeserializeGkSummary(&cursor).ok());
+  }
+  // Unknown sketch-type tag.
+  {
+    auto corrupted = buffer;
+    corrupted[6] = 0x7F;
+    corrupted[7] = 0x7F;
+    std::span<const std::uint8_t> cursor = corrupted;
+    EXPECT_FALSE(DeserializeGkSummary(&cursor).ok());
+  }
+  // Huge length field: must fail before any allocation or payload read.
+  {
+    auto corrupted = buffer;
+    for (std::size_t i = 8; i < 16; ++i) corrupted[i] = 0xFF;
+    std::span<const std::uint8_t> cursor = corrupted;
+    EXPECT_FALSE(DeserializeGkSummary(&cursor).ok());
+  }
+  // Corrupted checksum.
+  {
+    auto corrupted = buffer;
+    corrupted[16] ^= 0x01;
+    std::span<const std::uint8_t> cursor = corrupted;
+    const auto parsed = DeserializeGkSummary(&cursor);
+    EXPECT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.status().message().find("checksum"), std::string::npos);
+  }
+  // Corrupted payload (checksum catches it).
+  {
+    auto corrupted = buffer;
+    corrupted[corrupted.size() - 1] ^= 0xFF;
+    std::span<const std::uint8_t> cursor = corrupted;
+    EXPECT_FALSE(DeserializeGkSummary(&cursor).ok());
+  }
+  // Every truncation point fails cleanly and leaves the span untouched.
   for (std::size_t cut = 0; cut < buffer.size(); cut += 3) {
     std::span<const std::uint8_t> cursor(buffer.data(), cut);
-    EXPECT_FALSE(DeserializeGkSummary(&cursor, &parsed)) << "cut=" << cut;
+    EXPECT_FALSE(DeserializeGkSummary(&cursor).ok()) << "cut=" << cut;
+    EXPECT_EQ(cursor.size(), cut);
   }
 }
 
-TEST(SerializeTest, RejectsInvariantViolations) {
-  const GkSummary s = MakeSummary(50, 0.1, 6);
+TEST(SerializeTest, MalformedKllPayloadRejected) {
   std::vector<std::uint8_t> buffer;
-  SerializeGkSummary(s, &buffer);
-  // Corrupt a tuple's rmin (first tuple field region after the header).
-  const std::size_t header = 4 + 8 + 8 + 8;
-  GkSummary parsed;
+  ASSERT_TRUE(SerializeSummary(MakeKll(50000, 0.02, 10), &buffer).ok());
+  // Blow up the count field (payload offset 16 = envelope offset 36): the
+  // weight-conservation invariant no longer holds. The checksum must be
+  // refreshed so the structural validation (not the CRC) does the rejecting.
   auto corrupted = buffer;
-  corrupted[header + sizeof(float)] = 0xFF;  // rmin low byte blown up
+  for (std::size_t i = 36; i < 44; ++i) corrupted[i] ^= 0x55;
+  std::uint32_t crc = Crc32(std::span<const std::uint8_t>(corrupted).subspan(20));
+  std::memcpy(corrupted.data() + 16, &crc, sizeof(crc));
   std::span<const std::uint8_t> cursor = corrupted;
-  EXPECT_FALSE(DeserializeGkSummary(&cursor, &parsed));
+  const auto parsed = DeserializeKllSketch(&cursor);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("invariant"), std::string::npos);
 }
 
-TEST(SerializeTest, RejectsHugeLengthField) {
-  std::vector<std::uint8_t> buffer;
-  SerializeGkSummary(MakeSummary(10, 0.1, 7), &buffer);
-  // Blow up the tuple-count field (offset 20..27) to a value the remaining
-  // bytes cannot hold; must fail without allocating.
-  for (std::size_t i = 20; i < 28; ++i) buffer[i] = 0xFF;
-  std::span<const std::uint8_t> cursor = buffer;
-  GkSummary parsed;
-  EXPECT_FALSE(DeserializeGkSummary(&cursor, &parsed));
+// Hand-built legacy "GKS1" framing (the previous release's checkpoint
+// format): the shim must keep reading it for one release.
+TEST(SerializeTest, LegacyGkShimReadsOldFraming) {
+  const GkSummary original = MakeGk(500, 0.05, 11);
+  std::vector<std::uint8_t> legacy;
+  const auto append = [&legacy](const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    legacy.insert(legacy.end(), b, b + n);
+  };
+  const std::uint32_t magic = 0x474B5331;  // "GKS1" (little-endian "1SKG")
+  const std::uint64_t count = original.count();
+  const double epsilon = original.epsilon();
+  const std::uint64_t tuples = original.size();
+  append(&magic, 4);
+  append(&count, 8);
+  append(&epsilon, 8);
+  append(&tuples, 8);
+  for (const GkTuple& t : original.tuples()) {
+    append(&t.value, 4);
+    append(&t.rmin, 8);
+    append(&t.rmax, 8);
+  }
+
+  const auto peeked = PeekSketchType(legacy);
+  ASSERT_TRUE(peeked.ok());
+  EXPECT_EQ(*peeked, SketchType::kGkSummary);
+
+  std::span<const std::uint8_t> cursor = legacy;
+  const auto parsed = DeserializeGkSummary(&cursor);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(cursor.empty());
+  EXPECT_EQ(parsed->count(), original.count());
+  EXPECT_EQ(parsed->tuples(), original.tuples());
+
+  // Truncated legacy input also fails with Status, not an abort.
+  std::span<const std::uint8_t> truncated(legacy.data(), legacy.size() / 2);
+  EXPECT_FALSE(DeserializeGkSummary(&truncated).ok());
 }
 
-TEST(FromPartsTest, ValidatesStructure) {
+// ---------------------------------------------------------------------------
+// Golden wire files: bytes written by the current writer are committed to
+// the repo; if a format change breaks reading them, released checkpoints
+// would break too — bump kWireVersion and extend the shim instead.
+
+std::string GoldenPath(const char* name) {
+  return std::string(STREAMGPU_TEST_GOLDEN_DIR) + "/" + name;
+}
+
+std::vector<std::uint8_t> ReadGolden(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+void WriteGolden(const std::string& path, std::span<const std::uint8_t> bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+TEST(SerializeTest, GoldenWireFilesStayReadable) {
+  // The generators are seeded, so the expected in-memory summaries are
+  // reproducible here; the committed bytes pin the serialized form.
+  std::vector<std::uint8_t> gk_bytes;
+  ASSERT_TRUE(SerializeSummary(MakeGk(1000, 0.02, 42), &gk_bytes).ok());
+  std::vector<std::uint8_t> kll_bytes;
+  ASSERT_TRUE(SerializeSummary(MakeKll(20000, 0.02, 42), &kll_bytes).ok());
+  std::vector<std::uint8_t> mg_bytes;
+  ASSERT_TRUE(SerializeSummary(MakeMisraGries(5000, 42), &mg_bytes).ok());
+  std::vector<std::uint8_t> cm_bytes;
+  ASSERT_TRUE(SerializeSummary(MakeCountMin(5000, 42), &cm_bytes).ok());
+
+  const struct {
+    const char* name;
+    const std::vector<std::uint8_t>* bytes;
+  } cases[] = {{"wire_gk.golden", &gk_bytes},
+               {"wire_kll.golden", &kll_bytes},
+               {"wire_misra_gries.golden", &mg_bytes},
+               {"wire_count_min.golden", &cm_bytes}};
+
+  if (std::getenv("STREAMGPU_REGEN_GOLDEN") != nullptr) {
+    for (const auto& c : cases) WriteGolden(GoldenPath(c.name), *c.bytes);
+    GTEST_SKIP() << "golden wire files regenerated";
+  }
+
+  for (const auto& c : cases) {
+    const std::vector<std::uint8_t> committed = ReadGolden(GoldenPath(c.name));
+    ASSERT_FALSE(committed.empty())
+        << c.name << " missing; regenerate with STREAMGPU_REGEN_GOLDEN=1";
+    EXPECT_EQ(committed, *c.bytes)
+        << c.name << ": the writer no longer produces the committed bytes — "
+        << "this breaks released checkpoints; bump kWireVersion and shim";
+    // And the committed bytes must stay readable.
+    EXPECT_TRUE(PeekSketchType(committed).ok()) << c.name;
+  }
+}
+
+TEST(FromPartsTest, GkValidatesStructure) {
   GkSummary out;
   // Valid.
   EXPECT_TRUE(GkSummary::FromParts({{1.0f, 1, 1}, {2.0f, 2, 3}}, 3, 0.1, &out));
@@ -127,6 +403,53 @@ TEST(FromPartsTest, ValidatesStructure) {
   EXPECT_FALSE(GkSummary::FromParts({}, 5, 0.1, &out));
   // Bad epsilon.
   EXPECT_FALSE(GkSummary::FromParts({{1.0f, 1, 1}}, 1, 1.5, &out));
+}
+
+TEST(FromPartsTest, KllValidatesWeightConservation) {
+  KllSketch out(0.5);
+  // Valid: 2 items at level 0 + 1 item at level 1 = 2 + 2 = 4 elements.
+  EXPECT_TRUE(KllSketch::FromParts(0.1, 7, 4, 1, 1,
+                                   {{1.0f, 2.0f}, {1.5f}}, &out));
+  EXPECT_EQ(out.count(), 4u);
+  EXPECT_EQ(out.seed(), 7u);
+  // Weight mismatch.
+  EXPECT_FALSE(KllSketch::FromParts(0.1, 7, 5, 1, 1,
+                                    {{1.0f, 2.0f}, {1.5f}}, &out));
+  // Empty sketch must carry no compaction history.
+  EXPECT_TRUE(KllSketch::FromParts(0.1, 7, 0, 0, 0, {{}}, &out));
+  EXPECT_FALSE(KllSketch::FromParts(0.1, 7, 0, 1, 0, {{}}, &out));
+  // Bad epsilon / no levels.
+  EXPECT_FALSE(KllSketch::FromParts(1.5, 7, 0, 0, 0, {{}}, &out));
+  EXPECT_FALSE(KllSketch::FromParts(0.1, 7, 0, 0, 0, {}, &out));
+}
+
+TEST(FromPartsTest, CountMinValidatesGeometry) {
+  CountMinSketch out(0.5, 0.5);
+  const CountMinSketch reference(0.1, 0.1);
+  std::vector<std::int64_t> counters(reference.width() * reference.depth(), 0);
+  EXPECT_TRUE(CountMinSketch::FromParts(0.1, 0.1, 0, reference.width(),
+                                        reference.depth(), counters, &out));
+  // Geometry mismatch with the epsilon/delta-derived dimensions.
+  EXPECT_FALSE(CountMinSketch::FromParts(0.1, 0.1, 0, reference.width() + 1,
+                                         reference.depth(), counters, &out));
+  // Bad parameters validated before construction (no abort).
+  EXPECT_FALSE(CountMinSketch::FromParts(1.5, 0.1, 0, reference.width(),
+                                         reference.depth(), counters, &out));
+}
+
+TEST(FromPartsTest, MisraGriesValidatesEntries) {
+  MisraGries out(0.5);
+  EXPECT_TRUE(MisraGries::FromParts(0.25, 10, {{1.0f, 4}, {2.0f, 3}}, &out));
+  EXPECT_EQ(out.EstimateCount(1.0f), 4u);
+  // Counts must be positive, within n, and values distinct.
+  EXPECT_FALSE(MisraGries::FromParts(0.25, 10, {{1.0f, 0}}, &out));
+  EXPECT_FALSE(MisraGries::FromParts(0.25, 3, {{1.0f, 4}}, &out));
+  EXPECT_FALSE(MisraGries::FromParts(0.25, 10, {{1.0f, 2}, {1.0f, 2}}, &out));
+  // More entries than the 1/epsilon counter budget.
+  EXPECT_FALSE(MisraGries::FromParts(0.5, 10,
+                                     {{1.0f, 1}, {2.0f, 1}, {3.0f, 1}}, &out));
+  // Bad epsilon validated before construction (no abort).
+  EXPECT_FALSE(MisraGries::FromParts(1.5, 10, {}, &out));
 }
 
 }  // namespace

@@ -4,7 +4,9 @@
 // shedding (where the only differences are the shed accounting and the
 // honestly widened error bound).
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <thread>
@@ -18,6 +20,8 @@
 #include "obs/metrics.h"
 #include "obs/observability.h"
 #include "service/stream_service.h"
+#include "sketch/combiner.h"
+#include "sketch/serialize.h"
 #include "stream/generator.h"
 
 namespace streamgpu::service {
@@ -438,6 +442,141 @@ TEST(StreamServiceTest, PerTenantMetricsAndServiceCounters) {
   EXPECT_EQ(other, data.size());  // tenant 3 overflowed into "~other"
   EXPECT_EQ(observed, 3 * data.size());
   EXPECT_GT(windows, 0u);
+}
+
+TEST(StreamServiceTest, MergedQuantileCoversUnionOfShardStreams) {
+  for (const auto kind : {sketch::QuantileSketchKind::kGk,
+                          sketch::QuantileSketchKind::kKll}) {
+    auto service_or = StreamService::Create({});
+    ASSERT_TRUE(service_or.ok());
+    StreamService& service = **service_or;
+
+    StreamConfig stream_config;
+    stream_config.epsilon = 0.02;
+    stream_config.quantile_sketch = kind;
+
+    // Four shard streams of one logical stream, plus a fifth registered but
+    // never fed (an empty shard must be a merge identity).
+    std::vector<StreamKey> keys;
+    std::vector<float> all;
+    for (std::uint64_t s = 0; s < 4; ++s) {
+      const StreamKey key{77, s};
+      ASSERT_TRUE(service.Register(key, stream_config).ok());
+      const auto data = MakeStream(500 + s, 5000);
+      ASSERT_TRUE(service.Append(key, data).ok());
+      all.insert(all.end(), data.begin(), data.end());
+      keys.push_back(key);
+    }
+    const StreamKey idle{77, 99};
+    ASSERT_TRUE(service.Register(idle, stream_config).ok());
+    keys.push_back(idle);
+    ASSERT_TRUE(service.FlushAll().ok());
+
+    std::sort(all.begin(), all.end());
+    for (double phi : {0.1, 0.5, 0.9}) {
+      auto merged = service.MergedQuantile(keys, phi);
+      ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+      EXPECT_EQ(merged->window_coverage, all.size());
+      EXPECT_EQ(merged->elements_shed, 0u);
+      // The merged value's rank over the union stream is within the report's
+      // own stated bound of the target rank.
+      const auto target =
+          static_cast<std::uint64_t>(std::ceil(phi * static_cast<double>(all.size())));
+      const auto lo = std::lower_bound(all.begin(), all.end(), merged->value);
+      const auto hi = std::upper_bound(all.begin(), all.end(), merged->value);
+      const double rank_lo = static_cast<double>(lo - all.begin()) + 1;
+      const double rank_hi = static_cast<double>(hi - all.begin());
+      const double allowed = static_cast<double>(merged->rank_error_bound) + 1;
+      EXPECT_GE(static_cast<double>(target), rank_lo - allowed) << "phi=" << phi;
+      EXPECT_LE(static_cast<double>(target), rank_hi + allowed) << "phi=" << phi;
+    }
+
+    // Order independence: permuted keys give a bit-identical report.
+    std::vector<StreamKey> reversed(keys.rbegin(), keys.rend());
+    auto fwd = service.MergedQuantile(keys, 0.5);
+    auto bwd = service.MergedQuantile(reversed, 0.5);
+    ASSERT_TRUE(fwd.ok());
+    ASSERT_TRUE(bwd.ok());
+    EXPECT_EQ(*fwd, *bwd);
+  }
+}
+
+TEST(StreamServiceTest, ExportedSummariesMergeOffline) {
+  // The scale-out path: export each shard stream's summary as wire bytes and
+  // merge them in a combiner outside the service, matching MergedQuantile.
+  auto service_or = StreamService::Create({});
+  ASSERT_TRUE(service_or.ok());
+  StreamService& service = **service_or;
+
+  StreamConfig stream_config;
+  stream_config.epsilon = 0.02;
+  stream_config.quantile_sketch = sketch::QuantileSketchKind::kKll;
+
+  std::vector<StreamKey> keys{{5, 0}, {5, 1}, {5, 2}};
+  for (const StreamKey& key : keys) {
+    ASSERT_TRUE(service.Register(key, stream_config).ok());
+    ASSERT_TRUE(service.Append(key, MakeStream(900 + key.stream, 4000)).ok());
+  }
+  ASSERT_TRUE(service.FlushAll().ok());
+
+  sketch::QuantileShardCombiner combiner;
+  for (const StreamKey& key : keys) {
+    auto bytes = service.ExportQuantileSummary(key);
+    ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+    ASSERT_TRUE(sketch::PeekSketchType(*bytes).ok());
+    ASSERT_TRUE(combiner.AddShard(*bytes).ok());
+  }
+  const QuantileReport offline = combiner.Quantile(0.5);
+  auto online = service.MergedQuantile(keys, 0.5);
+  ASSERT_TRUE(online.ok());
+  EXPECT_EQ(offline.value, online->value);
+  EXPECT_EQ(offline.window_coverage, online->window_coverage);
+
+  // Unknown key and a frequencies-only stream both fail cleanly.
+  EXPECT_FALSE(service.ExportQuantileSummary({5, 42}).ok());
+  StreamConfig freq_only;
+  freq_only.epsilon = 0.05;
+  freq_only.track_quantiles = false;
+  freq_only.track_frequencies = true;
+  ASSERT_TRUE(service.Register({6, 0}, freq_only).ok());
+  EXPECT_FALSE(service.ExportQuantileSummary({6, 0}).ok());
+  EXPECT_FALSE(service.MergedQuantile(std::vector<StreamKey>{}, 0.5).ok());
+}
+
+TEST(StreamServiceTest, KllBackedStreamsMatchDedicatedEstimator) {
+  // The redesigned sketch API end-to-end: a KLL-backed service stream answers
+  // bit-identically to a dedicated KLL-backed estimator fed the same prefix.
+  ServiceConfig config;
+  config.num_workers = 2;
+  auto service_or = StreamService::Create(config);
+  ASSERT_TRUE(service_or.ok());
+  StreamService& service = **service_or;
+
+  StreamConfig stream_config;
+  stream_config.epsilon = 0.01;
+  stream_config.quantile_sketch = sketch::QuantileSketchKind::kKll;
+  const StreamKey key{9, 1};
+  ASSERT_TRUE(service.Register(key, stream_config).ok());
+
+  Options opt = DedicatedOptions(config, stream_config);
+  opt.quantile_sketch = sketch::QuantileSketchKind::kKll;
+  auto dedicated = core::QuantileEstimator::Create(opt);
+  ASSERT_TRUE(dedicated.ok()) << dedicated.status().ToString();
+
+  const std::vector<float> data = MakeStream(321, 30000);
+  std::size_t admitted = 0;
+  MirrorAppend(service, key, **dedicated, data, 129, &admitted);
+  ASSERT_TRUE(service.FlushAll().ok());
+  ASSERT_TRUE((*dedicated)->Flush().ok());
+
+  for (double phi : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    auto svc = service.Quantile(key, phi);
+    ASSERT_TRUE(svc.ok());
+    const QuantileReport ref = (*dedicated)->Quantile(phi);
+    EXPECT_EQ(svc->value, ref.value) << "phi=" << phi;
+    EXPECT_EQ(svc->rank_error_bound, ref.rank_error_bound) << "phi=" << phi;
+    EXPECT_EQ(svc->window_coverage, ref.window_coverage) << "phi=" << phi;
+  }
 }
 
 }  // namespace

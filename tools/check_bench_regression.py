@@ -11,6 +11,8 @@ Usage:
       [--min-auto-speedup 2.0]
   check_bench_regression.py --service BASELINE_SERVICE.json NEW_SERVICE.json \\
       [--rel-single-floor 0.9] [--tolerance 1.2] [--latency-tolerance 2.0]
+  check_bench_regression.py --sketch BASELINE_SKETCH.json NEW_SKETCH.json \\
+      [--tolerance 1.2]
   check_bench_regression.py --merge ENGINE.json FIG3.json [-o BENCH_sort.json]
 
 Check mode compares the machine-normalized kernel ratios (``rel_memcpy`` =
@@ -57,6 +59,17 @@ row's ratio may fall below baseline / --tolerance. Registry memory
 --tolerance, and the batch-query p99 call latency — a raw wall-clock number
 that does vary with the runner — only loosely at baseline *
 --latency-tolerance (default 2.0).
+
+Sketch mode gates the quantile-sketch shootout rows bench_fig7_quantiles
+emits under ``sketch`` against the committed BENCH_sketch.json baseline.
+Both gated quantities are deterministic on any machine (the sketches are
+seeded and integer-scheduled), so the gate is tight: every row's
+``observed_rel_error`` must stay within its own ``stated_rel_error`` (the
+honest-bound contract of docs/SKETCHES.md), and ``summary_bytes`` may not
+exceed baseline * --tolerance. Raw ns/update is machine-dependent and
+reported but not gated. Every (sketch, epsilon) row in the baseline must
+still be present. Regenerate with
+``STREAMGPU_BENCH_JSON=BENCH_sketch.json build/bench/bench_fig7_quantiles``.
 
 Merge mode rebuilds the committed repo-root baseline from fresh
 bench_engine + bench_fig3_sorting JSON outputs.
@@ -367,6 +380,57 @@ def check_service(baseline_path, new_path, rel_floor, tolerance,
     return 0
 
 
+def check_sketch(baseline_path, new_path, tolerance):
+    baseline = load(baseline_path)["sketch"]
+    new = load(new_path)["sketch"]
+
+    def keyed(section):
+        return {(row["sketch"], row["epsilon"]): row for row in section["rows"]}
+
+    base_rows = keyed(baseline)
+    new_rows = keyed(new)
+
+    failures = []
+    print(f"{'sketch':<8} {'epsilon':>8} {'bytes':>8} {'limit':>8} "
+          f"{'observed':>10} {'stated':>10}  (bytes limit = baseline x "
+          f"{tolerance:.2f})")
+    for key, base_row in sorted(base_rows.items()):
+        name, eps = key
+        if key not in new_rows:
+            failures.append(f"{name}@eps={eps}: missing from new results")
+            continue
+        row = new_rows[key]
+        limit = base_row["summary_bytes"] * tolerance
+        observed = row["observed_rel_error"]
+        stated = row["stated_rel_error"]
+        flags = []
+        if row["summary_bytes"] > limit:
+            flags.append("BYTES REGRESSED")
+            failures.append(
+                f"{name}@eps={eps}: summary_bytes "
+                f"{base_row['summary_bytes']} -> {row['summary_bytes']} "
+                f"(> {tolerance:.2f}x baseline)")
+        if observed > stated:
+            flags.append("BOUND VIOLATED")
+            failures.append(
+                f"{name}@eps={eps}: observed_rel_error {observed:.5f} exceeds "
+                f"the stated bound {stated:.5f} — the honest-bound contract "
+                "is broken, not just a perf regression")
+        print(f"{name:<8} {eps:>8g} {row['summary_bytes']:>8} {limit:>8.0f} "
+              f"{observed:>10.5f} {stated:>10.5f}  {' '.join(flags)}")
+
+    if failures:
+        print("\nFAIL: quantile-sketch shootout gate:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        print("\nIf a sketch's space/accuracy trade changed intentionally, "
+              "regenerate the baseline: STREAMGPU_BENCH_JSON=BENCH_sketch.json "
+              "build/bench/bench_fig7_quantiles.", file=sys.stderr)
+        return 1
+    print("\nOK: sketch summary sizes and honest error bounds hold.")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("inputs", nargs="+",
@@ -399,6 +463,10 @@ def main():
     parser.add_argument("--service", action="store_true",
                         help="gate bench_service results against the "
                              "committed BENCH_service.json baseline")
+    parser.add_argument("--sketch", action="store_true",
+                        help="gate the bench_fig7_quantiles sketch-shootout "
+                             "rows against the committed BENCH_sketch.json "
+                             "baseline")
     parser.add_argument("--rel-single-floor", type=float,
                         default=DEFAULT_REL_SINGLE_FLOOR,
                         help="min service/dedicated ingest ratio at >= "
@@ -427,6 +495,8 @@ def main():
         return check_service(args.inputs[0], args.inputs[1],
                              args.rel_single_floor, args.tolerance,
                              args.latency_tolerance)
+    if args.sketch:
+        return check_sketch(args.inputs[0], args.inputs[1], args.tolerance)
     if args.fig3_overhead:
         return check_fig3_overhead(args.inputs[0], args.inputs[1],
                                    args.overhead_tolerance)

@@ -7,6 +7,7 @@
 //   streamgpu_cli frequencies [options] --support 0.01
 //   streamgpu_cli sort        [options]
 //   streamgpu_cli serve       [options] --streams 1000 --tenants 10
+//   streamgpu_cli merge       SHARD.bin [SHARD.bin ...] --phi 0.5 --support 0.01
 //
 // Common options:
 //   --input PATH           read float values (text, one per line) from PATH
@@ -15,6 +16,13 @@
 //   --n COUNT              generated stream length       (default 1000000)
 //   --seed SEED            generator seed                (default 1)
 //   --epsilon EPS          approximation parameter       (default 0.001)
+//   --quantile-sketch K    whole-history quantile backend: gk | gk-adaptive |
+//                          kll (default gk; docs/SKETCHES.md)
+//   --summary-out PATH     write the mergeable wire summary (sketch/serialize.h
+//                          envelope) to PATH: the quantile summary under
+//                          `quantiles`, a same-epsilon Misra-Gries summary
+//                          under `frequencies`, the merged summary under
+//                          `merge` — the shard artifact `merge` consumes
 //   --sort-backend NAME    auto | pbsn | sample | bitonic | cpu | radix |
 //                          stdsort                       (default pbsn).
 //                          "auto" runs the cost-model planner
@@ -51,6 +59,15 @@
 //   --shed-capacity CAP    enable load shedding: per-shard ingress backlog
 //                          cap in elements (default 0: block, never shed)
 //
+// Merging shard summaries (merge command only; docs/SKETCHES.md):
+//   positional arguments   shard summary files (one envelope per file, as
+//                          written by --summary-out); all shards must carry
+//                          the same sketch type. Quantile shards (gk | kll)
+//                          answer --phi; frequency shards (misra-gries |
+//                          count-min) answer --support. Shards are folded in
+//                          canonical byte order, so the merged answer is
+//                          bit-identical for any argument order.
+//
 // Fault injection (docs/ROBUSTNESS.md):
 //   --fault-plan SPEC      deterministic fault plan, e.g.
 //                          "pass:bitflip:every=5;queue:stall:p=0.01,stall_us=200"
@@ -83,6 +100,10 @@
 
 #include "common/timer.h"
 #include "core/frequency_estimator.h"
+#include "sketch/combiner.h"
+#include "sketch/misra_gries.h"
+#include "sketch/quantile_sketch.h"
+#include "sketch/serialize.h"
 #include "core/instrumentation.h"
 #include "core/quantile_estimator.h"
 #include "obs/exporter.h"
@@ -126,14 +147,19 @@ struct CliOptions {
   std::uint64_t streams = 1000;
   std::uint64_t tenants = 10;
   std::size_t shed_capacity = 0;
+  std::string quantile_sketch = "gk";
+  std::string summary_out;
+  std::vector<std::string> shard_files;  // merge command positionals
 };
 
 [[noreturn]] void Usage(const char* error) {
   if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(stderr,
                "usage: streamgpu_cli <quantiles|frequencies|sort|serve> [options]\n"
+               "       streamgpu_cli merge SHARD.bin [SHARD.bin ...] [--phi ...|--support S]\n"
                "  --input PATH | --generate uniform|zipf|sorted|network|finance\n"
                "  --n COUNT --seed SEED --epsilon EPS\n"
+               "  --quantile-sketch gk|gk-adaptive|kll --summary-out PATH\n"
                "  --sort-backend auto|pbsn|sample|bitonic|cpu|radix|stdsort\n"
                "  --sliding W\n"
                "  --workers N --in-flight M --expect-range LO,HI\n"
@@ -235,10 +261,22 @@ CliOptions ParseArgs(int argc, char** argv) {
       opt.phis = ParseDoubleList(next());
     } else if (flag == "--support") {
       opt.support = std::strtod(next().c_str(), nullptr);
+    } else if (flag == "--quantile-sketch") {
+      opt.quantile_sketch = next();
+      sketch::QuantileSketchKind kind;
+      if (!sketch::ParseQuantileSketchKind(opt.quantile_sketch.c_str(), &kind)) {
+        Usage("--quantile-sketch must be gk, gk-adaptive, or kll");
+      }
+    } else if (flag == "--summary-out") {
+      opt.summary_out = next();
     } else if (flag == "--help" || flag == "-h") {
       Usage(nullptr);
-    } else {
+    } else if (flag.size() >= 2 && flag[0] == '-' && flag[1] == '-') {
       Usage(("unknown flag " + flag).c_str());
+    } else if (opt.command == "merge") {
+      opt.shard_files.push_back(flag);
+    } else {
+      Usage(("unexpected argument " + flag).c_str());
     }
   }
   return opt;
@@ -366,6 +404,8 @@ core::Options MakeCoreOptions(const CliOptions& opt, const ObsSinks& sinks) {
   core_opt.max_windows_in_flight = opt.in_flight;
   core_opt.expected_min_value = opt.expect_min;
   core_opt.expected_max_value = opt.expect_max;
+  sketch::ParseQuantileSketchKind(opt.quantile_sketch.c_str(),
+                                  &core_opt.quantile_sketch);  // validated in ParseArgs
   core_opt.obs = sinks.view();
   if (!opt.fault_plan.empty()) {
     core::StatusOr<core::FaultPlan> plan =
@@ -399,6 +439,29 @@ void PrintFaultSummary(const CliOptions& opt, const core::FaultStats& stats) {
               static_cast<unsigned long long>(stats.elements_dropped));
 }
 
+void WriteSummaryFile(const std::string& path, std::span<const std::uint8_t> bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out ||
+      !out.write(reinterpret_cast<const char*>(bytes.data()),
+                 static_cast<std::streamsize>(bytes.size()))) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(stderr, "# mergeable summary (%zu bytes) -> %s\n", bytes.size(),
+               path.c_str());
+}
+
+std::vector<std::uint8_t> ReadSummaryFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return bytes;
+}
+
 /// Unwraps a factory result, or reports the configuration error and exits 2.
 template <typename T>
 std::unique_ptr<T> CreateOrDie(core::StatusOr<std::unique_ptr<T>> result) {
@@ -430,6 +493,15 @@ int RunQuantiles(const CliOptions& opt) {
   std::printf("# summary: %zu tuples; simulated-2005 %.1f ms; wall %.2f s\n",
               qe->summary_size(), qe->SimulatedSeconds() * 1e3, timer.ElapsedSeconds());
   PrintFaultSummary(opt, qe->fault_stats());
+  if (!opt.summary_out.empty()) {
+    const auto bytes = qe->SerializedSummary();
+    if (!bytes.ok()) {
+      std::fprintf(stderr, "error: summary export failed: %s\n",
+                   bytes.status().message().c_str());
+      std::exit(2);
+    }
+    WriteSummaryFile(opt.summary_out, *bytes);
+  }
   qe->ExportMetrics();
   sinks.Write(opt);
   return 0;
@@ -456,8 +528,87 @@ int RunFrequencies(const CliOptions& opt) {
   std::printf("# summary: %zu entries; simulated-2005 %.1f ms; wall %.2f s\n",
               fe->summary_size(), fe->SimulatedSeconds() * 1e3, timer.ElapsedSeconds());
   PrintFaultSummary(opt, fe->fault_stats());
+  if (!opt.summary_out.empty()) {
+    // The estimator's internal summary is not mergeable across the f16
+    // quantization boundary; export a same-epsilon Misra-Gries summary built
+    // from the raw stream instead — exactly what `merge` consumes.
+    sketch::MisraGries mg(opt.epsilon);
+    mg.ObserveBatch(stream);
+    std::vector<std::uint8_t> bytes;
+    const core::Status status = sketch::SerializeSummary(mg, &bytes);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: summary export failed: %s\n",
+                   status.message().c_str());
+      std::exit(2);
+    }
+    WriteSummaryFile(opt.summary_out, bytes);
+  }
   fe->ExportMetrics();
   sinks.Write(opt);
+  return 0;
+}
+
+int RunMerge(const CliOptions& opt) {
+  if (opt.shard_files.empty()) Usage("merge needs at least one shard file");
+
+  // Dispatch on the first shard's type tag; every shard must agree (the
+  // combiners enforce it).
+  const std::vector<std::uint8_t> first = ReadSummaryFile(opt.shard_files.front());
+  const auto type = sketch::PeekSketchType(first);
+  if (!type.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", opt.shard_files.front().c_str(),
+                 type.status().message().c_str());
+    std::exit(1);
+  }
+
+  const bool quantile = *type == sketch::SketchType::kGkSummary ||
+                        *type == sketch::SketchType::kKll;
+  sketch::QuantileShardCombiner quantiles;
+  sketch::FrequencyShardCombiner frequencies;
+  for (const std::string& path : opt.shard_files) {
+    const std::vector<std::uint8_t> bytes = ReadSummaryFile(path);
+    const core::Status status =
+        quantile ? quantiles.AddShard(bytes) : frequencies.AddShard(bytes);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                   status.message().c_str());
+      std::exit(1);
+    }
+  }
+
+  std::printf("# merged %zu %s shard summaries\n", opt.shard_files.size(),
+              sketch::SketchTypeName(*type));
+  std::vector<std::uint8_t> merged_bytes;
+  if (quantile) {
+    for (double phi : opt.phis) {
+      if (phi <= 0.0 || phi > 1.0) continue;
+      const core::QuantileReport report = quantiles.Quantile(phi);
+      std::printf("q%-8g %-12g (rank +- %llu of %llu)\n", phi, report.value,
+                  static_cast<unsigned long long>(report.rank_error_bound),
+                  static_cast<unsigned long long>(report.window_coverage));
+    }
+    if (!opt.summary_out.empty()) {
+      CheckStream(quantiles.AppendMergedSummary(&merged_bytes), "summary export");
+    }
+  } else {
+    const auto report = frequencies.HeavyHitters(opt.support);
+    if (!report.ok()) {
+      std::fprintf(stderr, "error: heavy hitters: %s\n",
+                   report.status().message().c_str());
+      std::exit(1);
+    }
+    for (const auto& item : report->items) {
+      std::printf("%-12g >= %llu\n", item.value,
+                  static_cast<unsigned long long>(item.estimate));
+    }
+    std::printf("# undercount bound %llu over %llu covered elements\n",
+                static_cast<unsigned long long>(report->error_bound),
+                static_cast<unsigned long long>(report->window_coverage));
+    if (!opt.summary_out.empty()) {
+      CheckStream(frequencies.AppendMergedSummary(&merged_bytes), "summary export");
+    }
+  }
+  if (!opt.summary_out.empty()) WriteSummaryFile(opt.summary_out, merged_bytes);
   return 0;
 }
 
@@ -505,6 +656,8 @@ int RunServe(const CliOptions& opt) {
   service::StreamConfig stream_config;
   stream_config.epsilon = opt.epsilon;
   stream_config.sliding_window = opt.sliding;
+  sketch::ParseQuantileSketchKind(opt.quantile_sketch.c_str(),
+                                  &stream_config.quantile_sketch);
   std::vector<service::StreamKey> keys;
   keys.reserve(opt.streams);
   Timer register_timer;
@@ -586,5 +739,6 @@ int main(int argc, char** argv) {
   if (opt.command == "frequencies") return RunFrequencies(opt);
   if (opt.command == "sort") return RunSort(opt);
   if (opt.command == "serve") return RunServe(opt);
+  if (opt.command == "merge") return RunMerge(opt);
   Usage(("unknown command " + opt.command).c_str());
 }
