@@ -21,6 +21,7 @@
 #include "core/report.h"
 #include "core/status.h"
 #include "core/summary_core.h"
+#include "durable/checkpoint.h"
 #include "gpu/stats.h"
 #include "sort/radix_sort.h"
 #include "sort/resilient.h"
@@ -111,6 +112,29 @@ class FrequencyEstimator {
   /// apart. The report's support is 0 (no threshold was applied).
   FrequencyReport TopK(std::size_t k, std::uint64_t window = 0) const;
 
+  /// Snapshots the estimator's full durable state — summary core (with its
+  /// quarantine/shed accounting), staged partial window, and watermark —
+  /// into Options::checkpoint_dir with the crash-consistent protocol of
+  /// durable/checkpoint.h. Waits for in-flight pipeline batches first, so
+  /// the snapshot is a consistent batch-boundary cut. kFailedPrecondition
+  /// without a checkpoint_dir; pipeline failures propagate. Also runs
+  /// automatically every Options::checkpoint_every_windows merged windows.
+  /// See docs/DURABILITY.md.
+  Status Checkpoint();
+
+  /// Resumes from the newest usable snapshot in options.checkpoint_dir. The
+  /// returned estimator answers exactly as the checkpointed one did;
+  /// observed_length() tells the caller which input suffix to replay.
+  /// kFailedPrecondition when the directory holds no usable checkpoint
+  /// (callers typically start fresh); kInvalidArgument when the snapshot
+  /// disagrees with `options` or is corrupt — never a crash.
+  static StatusOr<std::unique_ptr<FrequencyEstimator>> Restore(const Options& options);
+
+  /// Snapshots committed by this estimator (explicit + automatic).
+  std::uint64_t checkpoints() const {
+    return checkpoint_writer_ == nullptr ? 0 : checkpoint_writer_->commits();
+  }
+
   /// Elements already folded into the summary.
   std::uint64_t processed_length() const;
 
@@ -152,6 +176,15 @@ class FrequencyEstimator {
   /// latches any pipeline failure. Called exactly when the batcher fills.
   Status SubmitFullBatch();
 
+  /// Cadence bookkeeping after a successful batch submit: checkpoints when
+  /// checkpoint_every_windows merged windows have accumulated. Ok when no
+  /// checkpoint is due.
+  Status MaybeAutoCheckpoint();
+
+  /// Installs a validated snapshot into this freshly constructed estimator
+  /// (Restore()'s second half).
+  Status InstallSnapshot(const durable::Snapshot& snapshot);
+
   /// Serial path: sorts the buffered windows with the backend and merges
   /// each into the summary.
   void ProcessBuffered();
@@ -190,6 +223,10 @@ class FrequencyEstimator {
   mutable PipelineCosts costs_;
   std::uint64_t observed_ = 0;
   bool finalized_ = false;
+
+  /// Durable checkpointing (null when Options::checkpoint_dir is empty).
+  std::unique_ptr<durable::CheckpointWriter> checkpoint_writer_;
+  std::uint64_t windows_since_checkpoint_ = 0;
 
   /// Fault injection and recovery (all null / zero when Options::fault is
   /// disabled — the hot path then never sees them).

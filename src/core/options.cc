@@ -82,6 +82,18 @@ Status Options::Validate() const {
   // its bucket width ceil(1/epsilon) — FrequencyEstimator::Create() enforces
   // that estimator-specific rule.
 
+  if (checkpoint_every_windows != 0 && checkpoint_dir.empty()) {
+    return Status::InvalidArgument(
+        "checkpoint_every_windows requires checkpoint_dir to be set");
+  }
+  if (!checkpoint_dir.empty() && sliding_window != 0) {
+    // The sliding-window block decomposition is position-dependent and not
+    // checkpointable, mirroring the mergeable-export restriction.
+    return Status::InvalidArgument(
+        "checkpointing supports whole-history mode only; drop the sliding "
+        "window or the checkpoint directory");
+  }
+
   if (expected_min_value != 0 || expected_max_value != 0) {
     if (expected_min_value > expected_max_value) {
       return Status::InvalidArgument(

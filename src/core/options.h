@@ -4,6 +4,7 @@
 #define STREAMGPU_CORE_OPTIONS_H_
 
 #include <cstdint>
+#include <string>
 
 #include "core/fault.h"
 #include "core/status.h"
@@ -145,6 +146,19 @@ struct Options {
   /// sort::ResilientSorter with these recovery knobs. See
   /// docs/ROBUSTNESS.md.
   FaultTolerance fault;
+
+  /// Durable checkpointing (docs/DURABILITY.md). Non-empty: the estimator
+  /// snapshots its full state (summary core, staged partial window,
+  /// watermark) into this directory with the crash-consistent protocol of
+  /// durable/checkpoint.h, and *Estimator::Restore(options) resumes from the
+  /// newest usable snapshot. Whole-history mode only — Validate() rejects
+  /// the combination with a sliding window.
+  std::string checkpoint_dir;
+
+  /// Auto-checkpoint cadence: snapshot after every N merged windows (at
+  /// batch boundaries, so a checkpoint never splits a sort batch). 0 =
+  /// explicit Checkpoint() calls only. Requires checkpoint_dir.
+  std::uint64_t checkpoint_every_windows = 0;
 
   /// Checks every estimator-agnostic configuration rule and returns the
   /// first violation: epsilon outside (0, 1), num_sort_workers outside

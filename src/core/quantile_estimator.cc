@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
@@ -61,6 +62,10 @@ QuantileEstimator::QuantileEstimator(const Options& options)
   if (obs_.trace != nullptr && obs_.metrics != nullptr) {
     // Span-cap overflow becomes visible as obs.trace.spans_dropped.
     obs_.trace->BindDropCounter(obs_.metrics);
+  }
+  if (!options.checkpoint_dir.empty()) {
+    checkpoint_writer_ = std::make_unique<durable::CheckpointWriter>(options.checkpoint_dir);
+    checkpoint_writer_->SetObservability(obs_);
   }
   sort_front_ = &engine_.sorter();
   if (options.fault.enabled()) {
@@ -174,6 +179,8 @@ Status QuantileEstimator::ObserveBatch(std::span<const float> values) {
     if (batcher_.full()) {
       const Status status = SubmitFullBatch();
       if (!status.ok()) return status;
+      const Status checkpoint = MaybeAutoCheckpoint();
+      if (!checkpoint.ok()) return checkpoint;
     }
   }
   return Status::Ok();
@@ -188,7 +195,11 @@ Status QuantileEstimator::ObserveValue(float value) {
   if (engine_.is_gpu() && options_.gpu_format == gpu::Format::kFloat16) {
     value = gpu::QuantizeToHalf(value);
   }
-  if (batcher_.Push(value)) return SubmitFullBatch();
+  if (batcher_.Push(value)) {
+    const Status status = SubmitFullBatch();
+    if (!status.ok()) return status;
+    return MaybeAutoCheckpoint();
+  }
   return Status::Ok();
 }
 
@@ -341,6 +352,152 @@ QuantileReport QuantileEstimator::Quantile(double phi, std::uint64_t window) con
     ExportQuantileReport(obs_.metrics, kPrefix, report);
   }
   return report;
+}
+
+Status QuantileEstimator::MaybeAutoCheckpoint() {
+  if (options_.checkpoint_every_windows == 0) return Status::Ok();
+  windows_since_checkpoint_ += static_cast<std::uint64_t>(engine_.batch_windows());
+  if (windows_since_checkpoint_ < options_.checkpoint_every_windows) {
+    return Status::Ok();
+  }
+  return Checkpoint();
+}
+
+Status QuantileEstimator::Checkpoint() {
+  if (checkpoint_writer_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Checkpoint() requires Options::checkpoint_dir");
+  }
+  // A consistent cut: every submitted batch is merged before the snapshot,
+  // so the summary core, the staged partial window, and observed_ agree.
+  Sync();
+  if (!pipeline_status_.ok()) return pipeline_status_;
+
+  checkpoint_writer_->Begin();
+  durable::SnapshotHeader header;
+  header.mode = durable::kSnapshotModeQuantile;
+  header.kind = static_cast<std::uint16_t>(core_.kind());
+  header.epsilon = options_.epsilon;
+  header.window_size = batcher_.window_size();
+  header.aux = options_.expected_stream_length;
+  std::vector<std::uint8_t> header_payload;
+  durable::AppendSnapshotHeader(header, &header_payload);
+  checkpoint_writer_->Add(durable::RecordType::kSnapshotHeader, header_payload);
+
+  std::vector<std::uint8_t> state;
+  if (Status s = core_.AppendCheckpointState(&state); !s.ok()) return s;
+  checkpoint_writer_->Add(durable::RecordType::kQuantileState, state);
+
+  if (!batcher_.empty()) {
+    std::vector<std::uint8_t> staged;
+    durable::AppendWindowBuffer(batcher_.contents(), &staged);
+    checkpoint_writer_->Add(durable::RecordType::kWindowBuffer, staged);
+  }
+  const Status status = checkpoint_writer_->Commit(observed_);
+  if (status.ok()) windows_since_checkpoint_ = 0;
+  return status;
+}
+
+StatusOr<std::unique_ptr<QuantileEstimator>> QuantileEstimator::Restore(
+    const Options& options) {
+  Status status = options.Validate();
+  if (!status.ok()) return status;
+  if (options.checkpoint_dir.empty()) {
+    return Status::InvalidArgument("Restore() requires Options::checkpoint_dir");
+  }
+  StatusOr<durable::Snapshot> snapshot =
+      durable::LoadLatestSnapshot(options.checkpoint_dir);
+  if (!snapshot.ok()) return snapshot.status();
+  auto estimator = std::make_unique<QuantileEstimator>(options);
+  status = estimator->InstallSnapshot(snapshot.value());
+  if (!status.ok()) return status;
+  durable::RecordRestore(options.obs, snapshot.value());
+  return estimator;
+}
+
+Status QuantileEstimator::InstallSnapshot(const durable::Snapshot& snapshot) {
+  if (snapshot.records.empty()) {
+    return Status::InvalidArgument("snapshot has no records");
+  }
+  durable::SnapshotHeader header;
+  if (!durable::ReadSnapshotHeader(snapshot.records[0].payload, &header)) {
+    return Status::InvalidArgument("malformed snapshot header");
+  }
+  if (header.mode != durable::kSnapshotModeQuantile) {
+    return Status::InvalidArgument(
+        "checkpoint was written by a different subsystem (header mode " +
+        std::to_string(header.mode) + ")");
+  }
+  if (header.kind != static_cast<std::uint16_t>(core_.kind()) ||
+      header.epsilon != options_.epsilon ||
+      header.window_size != batcher_.window_size() ||
+      header.aux != options_.expected_stream_length) {
+    return Status::InvalidArgument(
+        "checkpoint configuration does not match Options (epsilon, window "
+        "size, sketch kind, and expected stream length must equal the "
+        "writer's)");
+  }
+
+  const durable::OwnedRecord* state = nullptr;
+  const durable::OwnedRecord* staged = nullptr;
+  for (std::size_t i = 1; i < snapshot.records.size(); ++i) {
+    const durable::OwnedRecord& record = snapshot.records[i];
+    switch (record.type) {
+      case durable::RecordType::kQuantileState:
+        if (state != nullptr) {
+          return Status::InvalidArgument("duplicate quantile-state record");
+        }
+        state = &record;
+        break;
+      case durable::RecordType::kWindowBuffer:
+        if (staged != nullptr) {
+          return Status::InvalidArgument("duplicate window-buffer record");
+        }
+        staged = &record;
+        break;
+      default:
+        return Status::InvalidArgument(
+            std::string("unexpected ") + durable::RecordTypeName(record.type) +
+            " record in a quantile-estimator snapshot");
+    }
+  }
+  if (state == nullptr) {
+    return Status::InvalidArgument("snapshot is missing its quantile-state record");
+  }
+  if (Status s = core_.RestoreCheckpointState(state->payload); !s.ok()) return s;
+
+  if (staged != nullptr) {
+    std::vector<float> buffered;
+    if (!durable::ReadWindowBuffer(staged->payload, &buffered)) {
+      return Status::InvalidArgument("malformed window-buffer record");
+    }
+    const std::size_t capacity =
+        batcher_.window_size() * static_cast<std::size_t>(engine_.batch_windows());
+    if (buffered.empty() || buffered.size() >= capacity) {
+      return Status::InvalidArgument(
+          "window-buffer record stages " + std::to_string(buffered.size()) +
+          " elements; a checkpoint stages between 1 and " +
+          std::to_string(capacity - 1));
+    }
+    // The staged elements were quantized at original ingest; copy them back
+    // verbatim instead of re-quantizing.
+    const std::span<float> slot = batcher_.Claim(buffered.size());
+    std::copy(buffered.begin(), buffered.end(), slot.begin());
+  }
+
+  const std::uint64_t covered = core_.processed() + core_.elements_dropped() +
+                                core_.elements_shed() + batcher_.buffered();
+  if (snapshot.watermark != covered) {
+    return Status::InvalidArgument(
+        "snapshot watermark " + std::to_string(snapshot.watermark) +
+        " does not cover the restored state (" + std::to_string(covered) + ")");
+  }
+  observed_ = snapshot.watermark;
+  if (obs_.metrics != nullptr && observed_ > 0) {
+    // Re-seed the live counter so exports stay continuous across restarts.
+    obs_.metrics->Add(ids_.elements_observed, observed_);
+  }
+  return Status::Ok();
 }
 
 StatusOr<std::vector<std::uint8_t>> QuantileEstimator::SerializedSummary() const {

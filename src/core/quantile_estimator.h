@@ -21,6 +21,7 @@
 #include "core/report.h"
 #include "core/status.h"
 #include "core/summary_core.h"
+#include "durable/checkpoint.h"
 #include "gpu/stats.h"
 #include "sort/radix_sort.h"
 #include "sort/resilient.h"
@@ -91,6 +92,29 @@ class QuantileEstimator {
   /// is not mergeable. Fails with kFailedPrecondition otherwise.
   StatusOr<std::vector<std::uint8_t>> SerializedSummary() const;
 
+  /// Snapshots the estimator's full durable state — summary core (with its
+  /// quarantine/shed accounting), staged partial window, and watermark —
+  /// into Options::checkpoint_dir with the crash-consistent protocol of
+  /// durable/checkpoint.h. Waits for in-flight pipeline batches first, so
+  /// the snapshot is a consistent batch-boundary cut. kFailedPrecondition
+  /// without a checkpoint_dir; pipeline failures propagate. Also runs
+  /// automatically every Options::checkpoint_every_windows merged windows.
+  /// See docs/DURABILITY.md.
+  Status Checkpoint();
+
+  /// Resumes from the newest usable snapshot in options.checkpoint_dir. The
+  /// returned estimator answers exactly as the checkpointed one did;
+  /// observed_length() tells the caller which input suffix to replay.
+  /// kFailedPrecondition when the directory holds no usable checkpoint
+  /// (callers typically start fresh); kInvalidArgument when the snapshot
+  /// disagrees with `options` or is corrupt — never a crash.
+  static StatusOr<std::unique_ptr<QuantileEstimator>> Restore(const Options& options);
+
+  /// Snapshots committed by this estimator (explicit + automatic).
+  std::uint64_t checkpoints() const {
+    return checkpoint_writer_ == nullptr ? 0 : checkpoint_writer_->commits();
+  }
+
   /// Elements already folded into the summary.
   std::uint64_t processed_length() const {
     Sync();
@@ -134,6 +158,15 @@ class QuantileEstimator {
   /// latches any pipeline failure. Called exactly when the batcher fills.
   Status SubmitFullBatch();
 
+  /// Cadence bookkeeping after a successful batch submit: checkpoints when
+  /// checkpoint_every_windows merged windows have accumulated. Ok when no
+  /// checkpoint is due.
+  Status MaybeAutoCheckpoint();
+
+  /// Installs a validated snapshot into this freshly constructed estimator
+  /// (Restore()'s second half).
+  Status InstallSnapshot(const durable::Snapshot& snapshot);
+
   void ProcessBuffered();
 
   /// Pipelined path: consumes one sorted batch on the summary thread, in
@@ -169,6 +202,10 @@ class QuantileEstimator {
   mutable PipelineCosts costs_;
   std::uint64_t observed_ = 0;
   bool finalized_ = false;
+
+  /// Durable checkpointing (null when Options::checkpoint_dir is empty).
+  std::unique_ptr<durable::CheckpointWriter> checkpoint_writer_;
+  std::uint64_t windows_since_checkpoint_ = 0;
 
   /// Fault injection and recovery (all null / zero when Options::fault is
   /// disabled — the hot path then never sees them).

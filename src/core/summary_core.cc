@@ -9,6 +9,7 @@
 #include "common/timer.h"
 #include "sketch/gk_summary.h"
 #include "sketch/histogram.h"
+#include "sketch/wire.h"
 
 namespace streamgpu::core {
 
@@ -46,7 +47,11 @@ QuantileSummaryCore::QuantileSummaryCore(double epsilon,
                                          std::uint64_t sliding_window,
                                          std::uint64_t expected_stream_length,
                                          sketch::QuantileSketchKind kind)
-    : epsilon_(epsilon), sliding_window_(sliding_window), kind_(kind) {
+    : epsilon_(epsilon),
+      sliding_window_(sliding_window),
+      window_size_(window_size),
+      expected_length_(ExpectedLength(expected_stream_length, window_size)),
+      kind_(kind) {
   if (sliding_window != 0) {
     STREAMGPU_CHECK_MSG(kind == sketch::QuantileSketchKind::kGk,
                         "sliding-window mode supports the GK backend only");
@@ -147,6 +152,77 @@ Status QuantileSummaryCore::AppendWireSummary(std::vector<std::uint8_t>* out) co
   return whole_->AppendWireSummary(out);
 }
 
+namespace {
+
+namespace wire = sketch::wire;
+
+/// Shared counter block leading both cores' checkpoint payloads.
+void AppendCounters(std::uint64_t processed, std::uint64_t quarantined,
+                    std::uint64_t dropped, std::uint64_t shed,
+                    std::vector<std::uint8_t>* out) {
+  wire::Append<std::uint64_t>(out, processed);
+  wire::Append<std::uint64_t>(out, quarantined);
+  wire::Append<std::uint64_t>(out, dropped);
+  wire::Append<std::uint64_t>(out, shed);
+}
+
+bool ReadCounters(std::span<const std::uint8_t>* in, std::uint64_t* processed,
+                  std::uint64_t* quarantined, std::uint64_t* dropped,
+                  std::uint64_t* shed) {
+  return wire::Read(in, processed) && wire::Read(in, quarantined) &&
+         wire::Read(in, dropped) && wire::Read(in, shed);
+}
+
+}  // namespace
+
+Status QuantileSummaryCore::AppendCheckpointState(
+    std::vector<std::uint8_t>* out) const {
+  if (whole_ == nullptr) {
+    return Status::FailedPrecondition(
+        "sliding-window quantile summaries are not checkpointable (the block "
+        "decomposition is position-dependent); durability requires "
+        "whole-history mode");
+  }
+  AppendCounters(processed_, windows_quarantined_, elements_dropped_,
+                 elements_shed_, out);
+  return whole_->AppendCheckpointState(out);
+}
+
+Status QuantileSummaryCore::RestoreCheckpointState(
+    std::span<const std::uint8_t> payload) {
+  if (whole_ == nullptr) {
+    return Status::FailedPrecondition(
+        "sliding-window quantile summaries are not restorable");
+  }
+  if (processed_ != 0 || elements_dropped_ != 0 || elements_shed_ != 0) {
+    return Status::FailedPrecondition(
+        "RestoreCheckpointState on a core that already observed data");
+  }
+  std::uint64_t processed = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t shed = 0;
+  if (!ReadCounters(&payload, &processed, &quarantined, &dropped, &shed)) {
+    return Status::InvalidArgument("truncated quantile-core checkpoint counters");
+  }
+  auto sketch = sketch::QuantileSketch::RestoreCheckpointState(
+      kind_, epsilon_, window_size_, expected_length_, payload);
+  if (!sketch.ok()) return sketch.status();
+  if (sketch.value()->count() != processed) {
+    return Status::InvalidArgument(
+        "quantile checkpoint sketch count disagrees with the processed counter");
+  }
+  whole_ = std::move(sketch).value();
+  processed_ = processed;
+  windows_quarantined_ = quarantined;
+  elements_dropped_ = dropped;
+  elements_shed_ = shed;
+  // The rank-sampling element mirror tracks processed elements exactly; the
+  // wall-clock mirrors restart at zero (they feed '#'-style cost lines only).
+  histogram_elements_ = processed;
+  return Status::Ok();
+}
+
 std::size_t QuantileSummaryCore::summary_size() const {
   return whole_ != nullptr ? whole_->summary_size() : sliding_->summary_size();
 }
@@ -210,6 +286,84 @@ void FrequencySummaryCore::QuarantineWindow(std::size_t elements) {
 
 void FrequencySummaryCore::ShedElements(std::uint64_t elements) {
   elements_shed_ += elements;
+}
+
+Status FrequencySummaryCore::AppendCheckpointState(
+    std::vector<std::uint8_t>* out) const {
+  if (!whole_.has_value()) {
+    return Status::FailedPrecondition(
+        "sliding-window frequency summaries are not checkpointable; "
+        "durability requires whole-history mode");
+  }
+  AppendCounters(processed_, windows_quarantined_, elements_dropped_,
+                 elements_shed_, out);
+  wire::Append<std::uint64_t>(out, whole_->stream_length());
+  wire::Append<std::uint64_t>(out, whole_->bucket_id());
+  wire::Append<std::uint64_t>(out, whole_->entries().size());
+  for (const sketch::LossyCounting::Entry& e : whole_->entries()) {
+    wire::Append<float>(out, e.value);
+    wire::Append<std::uint64_t>(out, e.frequency);
+    wire::Append<std::uint64_t>(out, e.delta);
+  }
+  return Status::Ok();
+}
+
+Status FrequencySummaryCore::RestoreCheckpointState(
+    std::span<const std::uint8_t> payload) {
+  if (!whole_.has_value()) {
+    return Status::FailedPrecondition(
+        "sliding-window frequency summaries are not restorable");
+  }
+  if (processed_ != 0 || elements_dropped_ != 0 || elements_shed_ != 0) {
+    return Status::FailedPrecondition(
+        "RestoreCheckpointState on a core that already observed data");
+  }
+  std::uint64_t processed = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t shed = 0;
+  if (!ReadCounters(&payload, &processed, &quarantined, &dropped, &shed)) {
+    return Status::InvalidArgument("truncated frequency-core checkpoint counters");
+  }
+  std::uint64_t n = 0;
+  std::uint64_t bucket_id = 0;
+  std::uint64_t entry_count = 0;
+  if (!wire::Read(&payload, &n) || !wire::Read(&payload, &bucket_id) ||
+      !wire::Read(&payload, &entry_count)) {
+    return Status::InvalidArgument("truncated frequency checkpoint state");
+  }
+  constexpr std::size_t kEntryBytes = sizeof(float) + 2 * sizeof(std::uint64_t);
+  if (payload.size() % kEntryBytes != 0 ||
+      payload.size() / kEntryBytes != entry_count) {
+    return Status::InvalidArgument(
+        "frequency checkpoint entry count inconsistent with payload size");
+  }
+  if (n != processed) {
+    return Status::InvalidArgument(
+        "frequency checkpoint n disagrees with the processed counter");
+  }
+  std::vector<sketch::LossyCounting::Entry> entries;
+  entries.reserve(entry_count);
+  for (std::uint64_t i = 0; i < entry_count; ++i) {
+    sketch::LossyCounting::Entry e;
+    wire::Read(&payload, &e.value);
+    wire::Read(&payload, &e.frequency);
+    wire::Read(&payload, &e.delta);
+    entries.push_back(e);
+  }
+  sketch::LossyCounting restored(epsilon_);
+  if (!sketch::LossyCounting::FromParts(epsilon_, n, bucket_id,
+                                        std::move(entries), &restored)) {
+    return Status::InvalidArgument(
+        "frequency checkpoint state violates the lossy-counting invariants");
+  }
+  whole_ = std::move(restored);
+  processed_ = processed;
+  windows_quarantined_ = quarantined;
+  elements_dropped_ = dropped;
+  elements_shed_ = shed;
+  histogram_elements_ = processed;
+  return Status::Ok();
 }
 
 std::uint64_t FrequencySummaryCore::Coverage(std::uint64_t window) const {

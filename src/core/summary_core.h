@@ -83,6 +83,20 @@ class QuantileSummaryCore {
   /// with kFailedPrecondition.
   Status AppendWireSummary(std::vector<std::uint8_t>* out) const;
 
+  /// Serializes the core's FULL durable state — the merge/quarantine/shed
+  /// counters plus the backend sketch's complete internal state (not the
+  /// condensed mergeable export) — as the payload of one kQuantileState
+  /// checkpoint record (docs/DURABILITY.md). Sliding mode is not
+  /// checkpointable (mirroring AppendWireSummary) and fails with
+  /// kFailedPrecondition.
+  Status AppendCheckpointState(std::vector<std::uint8_t>* out) const;
+
+  /// Inverse of AppendCheckpointState: installs the checkpointed state into
+  /// this freshly constructed core (processed() must still be 0). The
+  /// configuration must match the one that wrote the checkpoint. Returns
+  /// kInvalidArgument on corrupt payloads — never aborts.
+  Status RestoreCheckpointState(std::span<const std::uint8_t> payload);
+
   std::uint64_t processed() const { return processed_; }
   std::size_t summary_size() const;
   std::uint64_t windows_quarantined() const { return windows_quarantined_; }
@@ -107,6 +121,8 @@ class QuantileSummaryCore {
 
   double epsilon_;
   std::uint64_t sliding_window_;
+  std::uint64_t window_size_;      ///< resolved processing window (restore)
+  std::uint64_t expected_length_;  ///< resolved a-priori N (restore)
   sketch::QuantileSketchKind kind_;
   std::unique_ptr<sketch::QuantileSketch> whole_;
   std::optional<sketch::SlidingWindowQuantile> sliding_;
@@ -131,6 +147,15 @@ class FrequencySummaryCore {
 
   void QuarantineWindow(std::size_t elements);
   void ShedElements(std::uint64_t elements);
+
+  /// Checkpoint state, mirroring QuantileSummaryCore: the accounting
+  /// counters plus the exact Manku-Motwani summary (n, bucket id, entries)
+  /// as the payload of one kFrequencyState record. Sliding mode fails with
+  /// kFailedPrecondition.
+  Status AppendCheckpointState(std::vector<std::uint8_t>* out) const;
+
+  /// Installs checkpointed state into this fresh core (processed() == 0).
+  Status RestoreCheckpointState(std::span<const std::uint8_t> payload);
 
   /// Heavy hitters above `support` (sliding mode: over the most recent
   /// `window` elements). Support 0 returns every retained entry (top-k).

@@ -1,0 +1,408 @@
+#include "durable/checkpoint.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "sketch/serialize.h"
+#include "sketch/wire.h"
+
+namespace streamgpu::durable {
+
+namespace {
+
+namespace wire = sketch::wire;
+
+constexpr std::size_t kManifestPayloadSize = 8 + 8 + 4 + 8;
+
+std::string SnapshotFileName(std::uint64_t epoch) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "snap-%llu.ckpt",
+                static_cast<unsigned long long>(epoch));
+  return name;
+}
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+/// Writes `bytes` (or its first `limit` bytes) to `path`, fsync'ing before
+/// close. O_TRUNC when `append` is false.
+core::Status WriteFileSynced(const std::string& path,
+                             std::span<const std::uint8_t> bytes, bool append) {
+  const int flags = O_WRONLY | O_CREAT | O_CLOEXEC | (append ? O_APPEND : O_TRUNC);
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return core::Status::Internal(ErrnoMessage("open", path));
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const core::Status status = core::Status::Internal(ErrnoMessage("write", path));
+      ::close(fd);
+      return status;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const core::Status status = core::Status::Internal(ErrnoMessage("fsync", path));
+    ::close(fd);
+    return status;
+  }
+  ::close(fd);
+  return core::Status::Ok();
+}
+
+core::Status FsyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return core::Status::Internal(ErrnoMessage("open dir", dir));
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return core::Status::Internal(ErrnoMessage("fsync dir", dir));
+  return core::Status::Ok();
+}
+
+bool ReadFileBytes(const std::string& path, std::vector<std::uint8_t>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return false;
+  }
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(static_cast<std::size_t>(size));
+  const std::size_t read = size == 0 ? 0 : std::fread(out->data(), 1, out->size(), f);
+  std::fclose(f);
+  return read == out->size();
+}
+
+/// Deterministic crash injection for the kill-matrix harness: the point
+/// name and the 0-based Commit() ordinal it fires on.
+struct CrashPoint {
+  bool armed = false;
+  std::string point;
+  std::uint64_t ordinal = 0;
+};
+
+CrashPoint ParseCrashPoint() {
+  CrashPoint crash;
+  const char* env = std::getenv("STREAMGPU_DURABLE_CRASH_AT");
+  if (env == nullptr || *env == '\0') return crash;
+  const std::string spec(env);
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) return crash;
+  crash.point = spec.substr(0, colon);
+  crash.ordinal = std::strtoull(spec.c_str() + colon + 1, nullptr, 10);
+  crash.armed = true;
+  return crash;
+}
+
+/// Exit code the harness recognizes as a deliberate injected crash.
+[[noreturn]] void CrashNow() { std::_Exit(42); }
+
+}  // namespace
+
+CheckpointWriter::CheckpointWriter(std::string dir) : dir_(std::move(dir)) {
+  STREAMGPU_CHECK_MSG(!dir_.empty(), "checkpoint directory must be non-empty");
+}
+
+void CheckpointWriter::Begin() {
+  buffer_.clear();
+  pending_records_ = 0;
+}
+
+void CheckpointWriter::Add(RecordType type, std::span<const std::uint8_t> payload) {
+  STREAMGPU_CHECK_MSG(pending_records_ > 0 || type == RecordType::kSnapshotHeader,
+                      "snapshot must start with a header record");
+  AppendRecord(type, payload, &buffer_);
+  ++pending_records_;
+}
+
+core::Status CheckpointWriter::Init() {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return core::Status::Internal("create checkpoint dir " + dir_ + ": " +
+                                  ec.message());
+  }
+  // Make the reader's truncate-at-first-bad-CRC durable: a crash mid-append
+  // leaves a torn record at the manifest's tail, and entries appended after
+  // it would be invisible to every reader (which stops at the first bad
+  // record). Cut the file back to its valid prefix before appending again.
+  {
+    const std::string manifest_path = dir_ + "/" + kManifestName;
+    std::vector<std::uint8_t> bytes;
+    if (ReadFileBytes(manifest_path, &bytes)) {
+      std::span<const std::uint8_t> cursor(bytes);
+      std::size_t valid_bytes = 0;
+      while (!cursor.empty()) {
+        const std::size_t before = cursor.size();
+        auto record = ReadRecord(&cursor);
+        if (!record.ok() || record->type != RecordType::kManifestEntry ||
+            record->payload.size() != kManifestPayloadSize) {
+          break;
+        }
+        valid_bytes += before - cursor.size();
+      }
+      if (valid_bytes < bytes.size() &&
+          ::truncate(manifest_path.c_str(),
+                     static_cast<off_t>(valid_bytes)) != 0) {
+        return core::Status::Internal(ErrnoMessage("truncate", manifest_path));
+      }
+    }
+  }
+  // Resume the epoch sequence past anything a previous process committed.
+  for (const ManifestEntry& entry : ReadManifest(dir_)) {
+    next_epoch_ = std::max(next_epoch_, entry.epoch + 1);
+  }
+  // A crash between write and rename can leave stray .tmp files behind.
+  for (const auto& dirent : std::filesystem::directory_iterator(dir_, ec)) {
+    if (dirent.path().extension() == ".tmp") {
+      std::filesystem::remove(dirent.path(), ec);
+    }
+  }
+  if (obs_.metrics != nullptr) {
+    m_checkpoints_ = obs_.metrics->Counter("durable.checkpoints");
+    m_bytes_ = obs_.metrics->Counter("durable.checkpoint_bytes");
+    m_seconds_ = obs_.metrics->Summary("durable.checkpoint_seconds");
+  }
+  initialized_ = true;
+  return core::Status::Ok();
+}
+
+core::Status CheckpointWriter::Commit(std::uint64_t watermark) {
+  if (pending_records_ == 0) {
+    return core::Status::FailedPrecondition("Commit without a pending snapshot");
+  }
+  Timer timer;
+  if (!initialized_) {
+    if (core::Status s = Init(); !s.ok()) return s;
+  }
+  // Footer: body record count + watermark, so the reader can verify the
+  // snapshot is complete, not merely prefix-valid.
+  std::vector<std::uint8_t> footer;
+  wire::Append<std::uint64_t>(&footer, pending_records_);
+  wire::Append<std::uint64_t>(&footer, watermark);
+  AppendRecord(RecordType::kSnapshotFooter, footer, &buffer_);
+
+  const CrashPoint crash = ParseCrashPoint();
+  const bool crash_now = crash.armed && commits_ == crash.ordinal;
+
+  const std::uint64_t epoch = next_epoch_;
+  const std::string snap_path = dir_ + "/" + SnapshotFileName(epoch);
+  const std::string tmp_path = snap_path + ".tmp";
+
+  if (crash_now && crash.point == "snapshot-partial") {
+    (void)WriteFileSynced(tmp_path,
+                          std::span(buffer_).first(buffer_.size() / 2), false);
+    CrashNow();
+  }
+  if (core::Status s = WriteFileSynced(tmp_path, buffer_, false); !s.ok()) return s;
+  if (crash_now && crash.point == "pre-rename") CrashNow();
+  if (::rename(tmp_path.c_str(), snap_path.c_str()) != 0) {
+    return core::Status::Internal(ErrnoMessage("rename", snap_path));
+  }
+  if (core::Status s = FsyncDir(dir_); !s.ok()) return s;
+  if (crash_now && crash.point == "pre-manifest") CrashNow();
+
+  std::vector<std::uint8_t> manifest_payload;
+  wire::Append<std::uint64_t>(&manifest_payload, epoch);
+  wire::Append<std::uint64_t>(&manifest_payload, buffer_.size());
+  wire::Append<std::uint32_t>(&manifest_payload, sketch::Crc32(buffer_));
+  wire::Append<std::uint64_t>(&manifest_payload, watermark);
+  std::vector<std::uint8_t> manifest_record;
+  AppendRecord(RecordType::kManifestEntry, manifest_payload, &manifest_record);
+  const std::string manifest_path = dir_ + "/" + kManifestName;
+  if (crash_now && crash.point == "manifest-partial") {
+    (void)WriteFileSynced(
+        manifest_path, std::span(manifest_record).first(manifest_record.size() / 2),
+        true);
+    CrashNow();
+  }
+  if (core::Status s = WriteFileSynced(manifest_path, manifest_record, true);
+      !s.ok()) {
+    return s;
+  }
+
+  // Keep the previous epoch as the torn-write fallback; prune older ones.
+  if (epoch > 2) {
+    std::error_code ec;
+    for (std::uint64_t old = 1; old + 2 <= epoch; ++old) {
+      std::filesystem::remove(dir_ + "/" + SnapshotFileName(old), ec);
+    }
+  }
+
+  last_bytes_ = buffer_.size();
+  next_epoch_ = epoch + 1;
+  ++commits_;
+  Begin();
+
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->Add(m_checkpoints_);
+    obs_.metrics->Add(m_bytes_, last_bytes_);
+    obs_.metrics->Observe(m_seconds_, timer.ElapsedSeconds());
+  }
+  if (obs_.flight != nullptr) {
+    obs_.flight->Record(obs::FlightEventKind::kCheckpointWritten, "durable",
+                        "commit", epoch, static_cast<std::int64_t>(last_bytes_),
+                        static_cast<std::int64_t>(watermark));
+  }
+  return core::Status::Ok();
+}
+
+core::StatusOr<Snapshot> ParseSnapshot(std::span<const std::uint8_t> bytes) {
+  Snapshot snapshot;
+  bool footer_seen = false;
+  std::uint64_t body_records = 0;
+  while (!bytes.empty()) {
+    if (footer_seen) {
+      return core::Status::InvalidArgument("bytes after the snapshot footer");
+    }
+    auto record = ReadRecord(&bytes);
+    if (!record.ok()) return record.status();
+    switch (record->type) {
+      case RecordType::kManifestEntry:
+        return core::Status::InvalidArgument("manifest entry inside a snapshot");
+      case RecordType::kSnapshotHeader:
+        if (body_records > 0) {
+          return core::Status::InvalidArgument("duplicate snapshot header");
+        }
+        break;
+      case RecordType::kSnapshotFooter: {
+        std::span<const std::uint8_t> payload = record->payload;
+        std::uint64_t record_count = 0;
+        if (!wire::Read(&payload, &record_count) ||
+            !wire::Read(&payload, &snapshot.watermark) || !payload.empty()) {
+          return core::Status::InvalidArgument("malformed snapshot footer");
+        }
+        if (record_count != body_records) {
+          return core::Status::InvalidArgument(
+              "snapshot footer record count mismatch");
+        }
+        footer_seen = true;
+        continue;
+      }
+      default:
+        if (body_records == 0) {
+          return core::Status::InvalidArgument(
+              "snapshot does not start with a header record");
+        }
+        break;
+    }
+    snapshot.records.push_back(OwnedRecord{
+        record->type,
+        std::vector<std::uint8_t>(record->payload.begin(), record->payload.end())});
+    ++body_records;
+  }
+  if (!footer_seen) {
+    return core::Status::InvalidArgument("snapshot missing its footer record");
+  }
+  return snapshot;
+}
+
+std::vector<ManifestEntry> ReadManifest(const std::string& dir) {
+  std::vector<ManifestEntry> entries;
+  std::vector<std::uint8_t> bytes;
+  if (!ReadFileBytes(dir + "/" + kManifestName, &bytes)) return entries;
+  std::span<const std::uint8_t> cursor(bytes);
+  while (!cursor.empty()) {
+    auto record = ReadRecord(&cursor);
+    // Truncate-at-first-bad-CRC: a torn tail (or any later corruption)
+    // invalidates everything after it, never what came before.
+    if (!record.ok() || record->type != RecordType::kManifestEntry ||
+        record->payload.size() != kManifestPayloadSize) {
+      break;
+    }
+    std::span<const std::uint8_t> payload = record->payload;
+    ManifestEntry entry;
+    wire::Read(&payload, &entry.epoch);
+    wire::Read(&payload, &entry.snapshot_size);
+    wire::Read(&payload, &entry.snapshot_crc);
+    wire::Read(&payload, &entry.watermark);
+    entries.push_back(entry);
+  }
+  return entries;
+}
+
+core::StatusOr<Snapshot> LoadLatestSnapshot(const std::string& dir) {
+  const std::vector<ManifestEntry> entries = ReadManifest(dir);
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    std::vector<std::uint8_t> bytes;
+    if (!ReadFileBytes(dir + "/" + SnapshotFileName(it->epoch), &bytes)) continue;
+    if (bytes.size() != it->snapshot_size) continue;
+    if (sketch::Crc32(bytes) != it->snapshot_crc) continue;
+    auto snapshot = ParseSnapshot(bytes);
+    if (!snapshot.ok()) continue;
+    if (snapshot->watermark != it->watermark) continue;
+    snapshot->epoch = it->epoch;
+    return std::move(snapshot).value();
+  }
+  return core::Status::FailedPrecondition("no usable checkpoint in " + dir);
+}
+
+void AppendSnapshotHeader(const SnapshotHeader& header, std::vector<std::uint8_t>* out) {
+  wire::Append<std::uint16_t>(out, header.mode);
+  wire::Append<std::uint16_t>(out, header.kind);
+  wire::Append<double>(out, header.epsilon);
+  wire::Append<std::uint64_t>(out, header.window_size);
+  wire::Append<std::uint64_t>(out, header.aux);
+}
+
+bool ReadSnapshotHeader(std::span<const std::uint8_t> payload, SnapshotHeader* out) {
+  return wire::Read(&payload, &out->mode) && wire::Read(&payload, &out->kind) &&
+         wire::Read(&payload, &out->epsilon) &&
+         wire::Read(&payload, &out->window_size) &&
+         wire::Read(&payload, &out->aux) && payload.empty();
+}
+
+void AppendWindowBuffer(std::span<const float> staged, std::vector<std::uint8_t>* out) {
+  wire::Append<std::uint64_t>(out, staged.size());
+  for (const float value : staged) wire::Append<float>(out, value);
+}
+
+bool ReadWindowBuffer(std::span<const std::uint8_t> payload, std::vector<float>* out) {
+  std::uint64_t count = 0;
+  if (!wire::Read(&payload, &count)) return false;
+  if (count != payload.size() / sizeof(float) ||
+      payload.size() % sizeof(float) != 0) {
+    return false;
+  }
+  out->clear();
+  out->reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    float value = 0;
+    wire::Read(&payload, &value);
+    out->push_back(value);
+  }
+  return payload.empty();
+}
+
+void RecordRestore(const obs::Observability& obs, const Snapshot& snapshot) {
+  if (obs.metrics != nullptr) {
+    obs.metrics->Add(obs.metrics->Counter("durable.restores"));
+  }
+  if (obs.flight != nullptr) {
+    obs.flight->Record(obs::FlightEventKind::kRestored, "durable", "restore",
+                       snapshot.epoch,
+                       static_cast<std::int64_t>(snapshot.records.size()),
+                       static_cast<std::int64_t>(snapshot.watermark));
+  }
+}
+
+}  // namespace streamgpu::durable

@@ -23,6 +23,8 @@ const char* FlightEventKindName(FlightEventKind kind) {
     case FlightEventKind::kDrainFailed: return "drain_failed";
     case FlightEventKind::kLoadShed: return "load_shed";
     case FlightEventKind::kSummaryMerged: return "summary_merged";
+    case FlightEventKind::kCheckpointWritten: return "checkpoint_written";
+    case FlightEventKind::kRestored: return "restored";
   }
   return "unknown";
 }

@@ -45,6 +45,8 @@ enum class FlightEventKind : std::uint8_t {
   kDrainFailed,        ///< pipeline drain latched its sticky failure
   kLoadShed,           ///< service admission dropped arrivals; a = elements, b = backlog
   kSummaryMerged,      ///< cross-shard summary merge answered; a = shards, b = coverage
+  kCheckpointWritten,  ///< durable snapshot committed; a = bytes, b = watermark
+  kRestored,           ///< state restored from a checkpoint; a = records, b = watermark
 };
 
 const char* FlightEventKindName(FlightEventKind kind);

@@ -1,16 +1,20 @@
 #include "service/stream_service.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
 #include "common/timer.h"
 #include "gpu/half.h"
 #include "sketch/combiner.h"
+#include "sketch/wire.h"
 
 namespace streamgpu::service {
 
 namespace {
+
+namespace wire = sketch::wire;
 
 constexpr std::size_t kDefaultBatchElements = std::size_t{1} << 16;
 
@@ -182,6 +186,7 @@ core::Status StreamService::Register(const StreamKey& key,
   }
 
   auto state = std::make_unique<StreamState>(window, key);
+  state->config = config;
   state->index = static_cast<std::uint32_t>(streams_.size());
   state->shard = static_cast<std::uint32_t>(StreamKeyHash{}(key) % shards_.size());
   if (config.track_quantiles) {
@@ -519,6 +524,359 @@ std::vector<core::QuantileReport> StreamService::BatchQuantiles(
     obs_.metrics->Observe(s_batch_query_, timer.ElapsedSeconds());
   }
   return out;
+}
+
+core::Status StreamService::Checkpoint(durable::CheckpointWriter* writer) {
+  if (writer == nullptr) {
+    return core::Status::InvalidArgument("Checkpoint requires a writer");
+  }
+  // A consistent cut: every staged window is merged before the snapshot, so
+  // only per-stream partial windows (< one window each) remain in staging.
+  if (core::Status s = WaitIdle(); !s.ok()) return s;
+
+  writer->Begin();
+  durable::SnapshotHeader header;
+  header.mode = durable::kSnapshotModeService;
+  header.aux = streams_.size();
+  std::vector<std::uint8_t> payload;
+  durable::AppendSnapshotHeader(header, &payload);
+  writer->Add(durable::RecordType::kSnapshotHeader, payload);
+
+  payload.clear();
+  wire::Append<std::uint64_t>(&payload, stats_.elements_observed);
+  wire::Append<std::uint64_t>(&payload, stats_.elements_shed);
+  wire::Append<std::uint64_t>(&payload, stats_.batches_dispatched);
+  wire::Append<std::uint64_t>(&payload,
+                              windows_merged_.load(std::memory_order_relaxed));
+  writer->Add(durable::RecordType::kServiceStats, payload);
+
+  payload.clear();
+  wire::Append<std::uint64_t>(&payload, shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    wire::Append<std::uint64_t>(&payload, admission_.shed(s));
+  }
+  writer->Add(durable::RecordType::kAdmissionState, payload);
+
+  for (const auto& state : streams_) {
+    payload.clear();
+    wire::Append<std::uint64_t>(&payload, state->key.tenant);
+    wire::Append<std::uint64_t>(&payload, state->key.stream);
+    wire::Append<double>(&payload, state->config.epsilon);
+    wire::Append<std::uint64_t>(&payload, state->config.window_size);
+    wire::Append<std::uint64_t>(&payload, state->config.sliding_window);
+    wire::Append<std::uint64_t>(&payload, state->config.expected_stream_length);
+    wire::Append<std::uint16_t>(
+        &payload, static_cast<std::uint16_t>(state->config.quantile_sketch));
+    wire::Append<std::uint8_t>(&payload, state->config.track_quantiles ? 1 : 0);
+    wire::Append<std::uint8_t>(&payload, state->config.track_frequencies ? 1 : 0);
+    wire::Append<std::uint8_t>(&payload, state->finalized ? 1 : 0);
+    wire::Append<std::uint64_t>(&payload, state->observed);
+    wire::Append<std::uint64_t>(&payload, state->shed);
+    writer->Add(durable::RecordType::kStreamBegin, payload);
+
+    if (state->quantiles) {
+      payload.clear();
+      if (core::Status s = state->quantiles->AppendCheckpointState(&payload);
+          !s.ok()) {
+        return s;
+      }
+      writer->Add(durable::RecordType::kQuantileState, payload);
+    }
+    if (state->frequencies) {
+      payload.clear();
+      if (core::Status s = state->frequencies->AppendCheckpointState(&payload);
+          !s.ok()) {
+        return s;
+      }
+      writer->Add(durable::RecordType::kFrequencyState, payload);
+    }
+    if (!state->batcher.empty()) {
+      payload.clear();
+      durable::AppendWindowBuffer(state->batcher.contents(), &payload);
+      writer->Add(durable::RecordType::kWindowBuffer, payload);
+    }
+  }
+  // The watermark is everything the service ever offered admission:
+  // admitted + shed. RestoreFrom's caller replays each stream's suffix past
+  // its per-stream observed + shed counts.
+  return writer->Commit(stats_.elements_observed + stats_.elements_shed);
+}
+
+core::StatusOr<std::unique_ptr<StreamService>> StreamService::RestoreFrom(
+    const ServiceConfig& config, const std::string& dir) {
+  if (dir.empty()) {
+    return core::Status::InvalidArgument(
+        "RestoreFrom requires a checkpoint directory");
+  }
+  core::StatusOr<durable::Snapshot> snapshot = durable::LoadLatestSnapshot(dir);
+  if (!snapshot.ok()) return snapshot.status();
+  core::StatusOr<std::unique_ptr<StreamService>> service = Create(config);
+  if (!service.ok()) return service.status();
+  const core::Status status = service.value()->InstallSnapshot(snapshot.value());
+  if (!status.ok()) return status;
+  durable::RecordRestore(config.obs, snapshot.value());
+  return service;
+}
+
+core::Status StreamService::InstallSnapshot(const durable::Snapshot& snapshot) {
+  if (!streams_.empty()) {
+    return core::Status::FailedPrecondition(
+        "snapshots install into a freshly constructed service");
+  }
+  if (snapshot.records.empty()) {
+    return core::Status::InvalidArgument("snapshot has no records");
+  }
+  durable::SnapshotHeader header;
+  if (!durable::ReadSnapshotHeader(snapshot.records[0].payload, &header)) {
+    return core::Status::InvalidArgument("malformed snapshot header");
+  }
+  if (header.mode != durable::kSnapshotModeService) {
+    return core::Status::InvalidArgument(
+        "checkpoint was written by a different subsystem (header mode " +
+        std::to_string(header.mode) + ")");
+  }
+
+  ServiceStats restored_stats;
+  std::vector<std::uint64_t> shard_shed;
+  bool stats_seen = false;
+  bool admission_seen = false;
+  StreamState* current = nullptr;
+  bool have_quantile_state = false;
+  bool have_frequency_state = false;
+  bool have_window_buffer = false;
+
+  // Validates the just-finished stream group: its state records are all
+  // present and together cover exactly the recorded watermark.
+  const auto finish_stream = [&]() -> core::Status {
+    if (current == nullptr) return core::Status::Ok();
+    if (current->quantiles && !have_quantile_state) {
+      return core::Status::InvalidArgument(
+          "stream is missing its quantile-state record");
+    }
+    if (current->frequencies && !have_frequency_state) {
+      return core::Status::InvalidArgument(
+          "stream is missing its frequency-state record");
+    }
+    const std::uint64_t buffered = current->batcher.buffered();
+    if (current->finalized && buffered != 0) {
+      return core::Status::InvalidArgument(
+          "finalized stream still stages elements");
+    }
+    const auto covers = [&](const std::uint64_t processed,
+                            const std::uint64_t dropped,
+                            const std::uint64_t shed) {
+      return processed + dropped + buffered == current->observed &&
+             shed == current->shed;
+    };
+    if (current->quantiles &&
+        !covers(current->quantiles->processed(),
+                current->quantiles->elements_dropped(),
+                current->quantiles->elements_shed())) {
+      return core::Status::InvalidArgument(
+          "restored quantile state does not cover the stream's watermark");
+    }
+    if (current->frequencies &&
+        !covers(current->frequencies->processed(),
+                current->frequencies->elements_dropped(),
+                current->frequencies->elements_shed())) {
+      return core::Status::InvalidArgument(
+          "restored frequency state does not cover the stream's watermark");
+    }
+    return core::Status::Ok();
+  };
+
+  for (std::size_t i = 1; i < snapshot.records.size(); ++i) {
+    const durable::OwnedRecord& record = snapshot.records[i];
+    std::span<const std::uint8_t> payload = record.payload;
+    switch (record.type) {
+      case durable::RecordType::kServiceStats: {
+        if (stats_seen || current != nullptr) {
+          return core::Status::InvalidArgument("misplaced service-stats record");
+        }
+        if (!wire::Read(&payload, &restored_stats.elements_observed) ||
+            !wire::Read(&payload, &restored_stats.elements_shed) ||
+            !wire::Read(&payload, &restored_stats.batches_dispatched) ||
+            !wire::Read(&payload, &restored_stats.windows_merged) ||
+            !payload.empty()) {
+          return core::Status::InvalidArgument("malformed service-stats record");
+        }
+        stats_seen = true;
+        break;
+      }
+      case durable::RecordType::kAdmissionState: {
+        if (admission_seen || current != nullptr) {
+          return core::Status::InvalidArgument("misplaced admission-state record");
+        }
+        std::uint64_t count = 0;
+        if (!wire::Read(&payload, &count) || count != shards_.size()) {
+          return core::Status::InvalidArgument(
+              "admission-state shard count does not match the service "
+              "configuration");
+        }
+        shard_shed.resize(shards_.size());
+        for (std::uint64_t s = 0; s < count; ++s) {
+          if (!wire::Read(&payload, &shard_shed[s])) {
+            return core::Status::InvalidArgument(
+                "truncated admission-state record");
+          }
+        }
+        if (!payload.empty()) {
+          return core::Status::InvalidArgument(
+              "trailing bytes in admission-state record");
+        }
+        admission_seen = true;
+        break;
+      }
+      case durable::RecordType::kStreamBegin: {
+        if (core::Status s = finish_stream(); !s.ok()) return s;
+        current = nullptr;
+        StreamKey key;
+        StreamConfig config;
+        std::uint16_t kind = 0;
+        std::uint8_t track_quantiles = 0;
+        std::uint8_t track_frequencies = 0;
+        std::uint8_t finalized = 0;
+        std::uint64_t observed = 0;
+        std::uint64_t shed = 0;
+        if (!wire::Read(&payload, &key.tenant) ||
+            !wire::Read(&payload, &key.stream) ||
+            !wire::Read(&payload, &config.epsilon) ||
+            !wire::Read(&payload, &config.window_size) ||
+            !wire::Read(&payload, &config.sliding_window) ||
+            !wire::Read(&payload, &config.expected_stream_length) ||
+            !wire::Read(&payload, &kind) ||
+            !wire::Read(&payload, &track_quantiles) ||
+            !wire::Read(&payload, &track_frequencies) ||
+            !wire::Read(&payload, &finalized) ||
+            !wire::Read(&payload, &observed) ||
+            !wire::Read(&payload, &shed) || !payload.empty()) {
+          return core::Status::InvalidArgument("malformed stream record");
+        }
+        if (config.sliding_window != 0) {
+          return core::Status::InvalidArgument(
+              "snapshot holds a sliding-window stream (not checkpointable)");
+        }
+        if (kind > static_cast<std::uint16_t>(sketch::QuantileSketchKind::kKll) ||
+            track_quantiles > 1 || track_frequencies > 1 || finalized > 1) {
+          return core::Status::InvalidArgument("malformed stream record");
+        }
+        config.quantile_sketch = static_cast<sketch::QuantileSketchKind>(kind);
+        config.track_quantiles = track_quantiles != 0;
+        config.track_frequencies = track_frequencies != 0;
+        // Re-registration assigns the same index (file order is
+        // registration order) and the same shard (the hash is stable).
+        if (core::Status s = Register(key, config); !s.ok()) return s;
+        current = streams_.back().get();
+        current->observed = observed;
+        current->shed = shed;
+        current->finalized = finalized != 0;
+        have_quantile_state = false;
+        have_frequency_state = false;
+        have_window_buffer = false;
+        break;
+      }
+      case durable::RecordType::kQuantileState: {
+        if (current == nullptr || !current->quantiles || have_quantile_state) {
+          return core::Status::InvalidArgument("misplaced quantile-state record");
+        }
+        if (core::Status s = current->quantiles->RestoreCheckpointState(payload);
+            !s.ok()) {
+          return s;
+        }
+        have_quantile_state = true;
+        break;
+      }
+      case durable::RecordType::kFrequencyState: {
+        if (current == nullptr || !current->frequencies || have_frequency_state) {
+          return core::Status::InvalidArgument(
+              "misplaced frequency-state record");
+        }
+        if (core::Status s =
+                current->frequencies->RestoreCheckpointState(payload);
+            !s.ok()) {
+          return s;
+        }
+        have_frequency_state = true;
+        break;
+      }
+      case durable::RecordType::kWindowBuffer: {
+        if (current == nullptr || have_window_buffer) {
+          return core::Status::InvalidArgument("misplaced window-buffer record");
+        }
+        std::vector<float> buffered;
+        if (!durable::ReadWindowBuffer(payload, &buffered)) {
+          return core::Status::InvalidArgument("malformed window-buffer record");
+        }
+        if (buffered.empty() || buffered.size() >= current->window_size) {
+          return core::Status::InvalidArgument(
+              "window-buffer record stages " + std::to_string(buffered.size()) +
+              " elements; a service stream stages between 1 and " +
+              std::to_string(current->window_size - 1));
+        }
+        // Already quantized at original ingest; copy back verbatim.
+        const std::span<float> slot = current->batcher.Claim(buffered.size());
+        std::copy(buffered.begin(), buffered.end(), slot.begin());
+        have_window_buffer = true;
+        break;
+      }
+      default:
+        return core::Status::InvalidArgument(
+            std::string("unexpected ") + durable::RecordTypeName(record.type) +
+            " record in a service snapshot");
+    }
+  }
+  if (core::Status s = finish_stream(); !s.ok()) return s;
+  if (!stats_seen || !admission_seen) {
+    return core::Status::InvalidArgument(
+        "snapshot is missing its service accounting records");
+  }
+  if (streams_.size() != header.aux) {
+    return core::Status::InvalidArgument(
+        "snapshot header stream count does not match its stream records");
+  }
+  if (snapshot.watermark !=
+      restored_stats.elements_observed + restored_stats.elements_shed) {
+    return core::Status::InvalidArgument(
+        "snapshot watermark does not cover the restored service state");
+  }
+
+  // Reinstate admission accounting: the backlog is exactly the re-staged
+  // partial windows; shed counts come from the snapshot.
+  std::vector<std::size_t> backlog(shards_.size(), 0);
+  for (const auto& state : streams_) {
+    backlog[state->shard] += state->batcher.buffered();
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    admission_.RestoreShard(s, backlog[s], shard_shed[s]);
+  }
+
+  const std::uint64_t streams = stats_.streams;  // set by Register
+  stats_ = restored_stats;
+  stats_.streams = streams;
+  windows_merged_.store(restored_stats.windows_merged,
+                        std::memory_order_relaxed);
+
+  // Re-seed the live counters so metric exports stay continuous across
+  // restarts (gauges refresh on their own).
+  if (obs_.metrics != nullptr) {
+    if (stats_.elements_observed > 0) {
+      obs_.metrics->Add(m_observed_, stats_.elements_observed);
+    }
+    if (stats_.elements_shed > 0) obs_.metrics->Add(m_shed_, stats_.elements_shed);
+    if (stats_.batches_dispatched > 0) {
+      obs_.metrics->Add(m_batches_, stats_.batches_dispatched);
+    }
+    if (stats_.windows_merged > 0) {
+      obs_.metrics->Add(m_windows_, stats_.windows_merged);
+    }
+    for (const auto& state : streams_) {
+      if (state->observed > 0) {
+        obs_.metrics->Add(state->tenant_observed, state->observed);
+      }
+      if (state->shed > 0) obs_.metrics->Add(state->tenant_shed, state->shed);
+    }
+  }
+  return core::Status::Ok();
 }
 
 ServiceStats StreamService::stats() const {

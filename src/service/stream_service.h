@@ -51,6 +51,7 @@
 #include "core/report.h"
 #include "core/status.h"
 #include "core/summary_core.h"
+#include "durable/checkpoint.h"
 #include "obs/metrics.h"
 #include "obs/observability.h"
 #include "service/shard_dispatcher.h"
@@ -285,6 +286,38 @@ class StreamService {
       std::span<const StreamKey> keys, double phi,
       std::uint64_t window = 0) const;
 
+  /// Snapshots the whole service — every registered stream's configuration,
+  /// summary cores, staged partial window, observed/shed watermarks, plus
+  /// the admission controller's shed accounting and the aggregate stats —
+  /// into `writer` as one crash-consistent snapshot (docs/DURABILITY.md).
+  /// Waits for in-flight shard batches first (WaitIdle), so the snapshot is
+  /// a consistent cut; like Register, it must not run concurrently with
+  /// queries. Fails with kFailedPrecondition when any stream is in sliding
+  /// mode (not checkpointable).
+  core::Status Checkpoint(durable::CheckpointWriter* writer);
+
+  /// Rebuilds a service from the newest usable snapshot in `dir`:
+  /// re-registers every stream (same indices and shard assignment — both
+  /// are deterministic), reinstalls its summary cores and staged partial
+  /// windows, and reinstates shed/admission/stats accounting, so reports
+  /// and exports are bit-identical to the checkpointed service after the
+  /// caller replays each stream's un-checkpointed suffix (the elements past
+  /// observed + shed). kFailedPrecondition when `dir` holds no usable
+  /// checkpoint (callers typically start fresh); kInvalidArgument when the
+  /// snapshot is corrupt or disagrees with `config` — never a crash.
+  static core::StatusOr<std::unique_ptr<StreamService>> RestoreFrom(
+      const ServiceConfig& config, const std::string& dir);
+
+  /// Elements ever offered to one stream (admitted + shed) — the replay
+  /// cursor for durable restore: after RestoreFrom, the caller re-appends
+  /// each stream's source suffix past this point. kInvalidArgument for an
+  /// unknown key.
+  core::StatusOr<std::uint64_t> OfferedLength(const StreamKey& key) const {
+    const StreamState* state = Find(key);
+    if (state == nullptr) return core::Status::InvalidArgument("unknown stream key");
+    return state->observed + state->shed;
+  }
+
   /// Aggregate accounting. Stable after WaitIdle()/FlushAll().
   ServiceStats stats() const;
 
@@ -300,6 +333,7 @@ class StreamService {
   /// summary lock; staging (batcher) belongs to the ingest thread.
   struct StreamState {
     StreamKey key;
+    StreamConfig config;  ///< as registered (checkpoint re-registration)
     std::uint32_t index = 0;
     std::uint32_t shard = 0;
     std::uint64_t window_size = 0;
@@ -327,6 +361,10 @@ class StreamService {
   };
 
   StreamState* Find(const StreamKey& key) const;
+
+  /// Installs a validated snapshot into this freshly constructed service
+  /// (RestoreFrom()'s second half).
+  core::Status InstallSnapshot(const durable::Snapshot& snapshot);
 
   /// Moves the stream's completed window (or finalizing partial window)
   /// from its staging buffer into the shard's pending chunk, dispatching

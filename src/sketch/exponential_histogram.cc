@@ -27,6 +27,29 @@ EhQuantileSummary::EhQuantileSummary(double epsilon, std::uint64_t window_size,
   buckets_.resize(static_cast<std::size_t>(levels_) + 8);
 }
 
+bool EhQuantileSummary::FromParts(double epsilon, std::uint64_t window_size,
+                                  std::uint64_t expected_length,
+                                  std::uint64_t count,
+                                  std::vector<GkSummary> buckets,
+                                  EhQuantileSummary* out) {
+  if (!(epsilon > 0.0 && epsilon < 1.0) || window_size < 1) return false;
+  // Bucket ids grow like log2 of the window count, so even a 2^64-element
+  // history cannot legitimately occupy more than ~64 ids past the
+  // provisioned levels. Anything deeper is corrupted input.
+  EhQuantileSummary fresh(epsilon, window_size, expected_length);
+  if (buckets.size() > fresh.buckets_.size() + 64) return false;
+  std::uint64_t total = 0;
+  for (const GkSummary& bucket : buckets) total += bucket.count();
+  if (total != count) return false;
+  if (buckets.size() > fresh.buckets_.size()) fresh.buckets_.resize(buckets.size());
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    fresh.buckets_[i] = std::move(buckets[i]);
+  }
+  fresh.count_ = count;
+  *out = std::move(fresh);
+  return true;
+}
+
 double EhQuantileSummary::LevelBudget(int bucket_id) const {
   return epsilon_ / 2.0 + epsilon_ * static_cast<double>(bucket_id) /
                               (2.0 * static_cast<double>(levels_ + 1));

@@ -36,6 +36,16 @@ class EhQuantileSummary {
   /// summary (e.g. GkSummary::FromSorted(sorted_window, epsilon/2)).
   void AddWindowSummary(GkSummary window_summary);
 
+  /// Reconstructs a summary from checkpointed parts (the durability restore
+  /// path, docs/DURABILITY.md). `buckets` uses the buckets() layout: index i
+  /// holds bucket id i+1, empty() = vacant. The configuration arguments must
+  /// match the original constructor call. Validates that the bucket counts
+  /// sum to `count` and the bucket list stays within a sane cascade depth;
+  /// returns false on violation, leaving `out` untouched.
+  static bool FromParts(double epsilon, std::uint64_t window_size,
+                        std::uint64_t expected_length, std::uint64_t count,
+                        std::vector<GkSummary> buckets, EhQuantileSummary* out);
+
   /// Epsilon-approximate phi-quantile over everything inserted so far.
   float Query(double phi) const;
 

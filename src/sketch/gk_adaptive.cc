@@ -85,6 +85,22 @@ float GkAdaptive::QueryRank(std::uint64_t rank) const {
   return best_value;
 }
 
+bool GkAdaptive::FromParts(double epsilon, std::uint64_t n,
+                           std::vector<GkAdaptiveTuple> tuples, GkAdaptive* out) {
+  if (!(epsilon > 0.0 && epsilon < 1.0)) return false;
+  if ((n == 0) != tuples.empty()) return false;
+  for (std::size_t i = 0; i < tuples.size(); ++i) {
+    if (tuples[i].g == 0) return false;
+    if (i > 0 && tuples[i].value < tuples[i - 1].value) return false;
+  }
+  GkAdaptive fresh(epsilon);
+  fresh.n_ = n;
+  fresh.tuples_ = std::move(tuples);
+  if (!fresh.CheckInvariant()) return false;
+  *out = std::move(fresh);
+  return true;
+}
+
 bool GkAdaptive::CheckInvariant() const {
   const auto budget = static_cast<std::uint64_t>(2.0 * epsilon_ * static_cast<double>(n_));
   std::uint64_t total_g = 0;

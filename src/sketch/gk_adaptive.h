@@ -51,6 +51,13 @@ class GkAdaptive {
   /// Verifies the g + Delta invariant (used by tests).
   bool CheckInvariant() const;
 
+  /// Reconstructs a summary from checkpointed parts (the durability restore
+  /// path, docs/DURABILITY.md). Validates values nondecreasing, every g >= 1,
+  /// and the g + Delta invariant at stream length `n`; returns false on
+  /// violation, leaving `out` untouched.
+  static bool FromParts(double epsilon, std::uint64_t n,
+                        std::vector<GkAdaptiveTuple> tuples, GkAdaptive* out);
+
   /// The raw (v, g, Delta) tuples, ascending by value. Exposed so the
   /// mergeable-summary export can convert to explicit (rmin, rmax) bounds
   /// (rmin_i = sum of g up to i, rmax_i = rmin_i + Delta_i).

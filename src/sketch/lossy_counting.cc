@@ -13,6 +13,32 @@ LossyCounting::LossyCounting(double epsilon) : epsilon_(epsilon) {
   window_width_ = static_cast<std::uint64_t>(std::ceil(1.0 / epsilon));
 }
 
+bool LossyCounting::FromParts(double epsilon, std::uint64_t n,
+                              std::uint64_t bucket_id, std::vector<Entry> entries,
+                              LossyCounting* out) {
+  if (!(epsilon > 0.0 && epsilon < 1.0)) return false;
+  if ((n == 0) != (bucket_id == 0)) return false;
+  LossyCounting fresh(epsilon);
+  // Each bucket covers at most window_width elements, and every live entry
+  // survived the last compress (frequency + delta > bucket_id).
+  if (n > bucket_id * fresh.window_width_) return false;
+  std::uint64_t total_frequency = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    if (e.frequency == 0) return false;
+    if (e.delta >= bucket_id) return false;
+    if (e.frequency + e.delta <= bucket_id) return false;
+    if (i > 0 && !(entries[i - 1].value < e.value)) return false;
+    total_frequency += e.frequency;
+  }
+  if (total_frequency > n) return false;
+  fresh.n_ = n;
+  fresh.bucket_id_ = bucket_id;
+  fresh.entries_ = std::move(entries);
+  *out = std::move(fresh);
+  return true;
+}
+
 void LossyCounting::AddWindowHistogram(std::span<const HistogramEntry> histogram,
                                        std::uint64_t window_elements) {
   STREAMGPU_CHECK_MSG(window_elements <= window_width_,

@@ -36,10 +36,27 @@ struct SummaryOpCosts {
 /// The epsilon-approximate frequency summary.
 class LossyCounting {
  public:
+  /// One summary entry: (e, f, delta) of [32]. `frequency` is the counted
+  /// occurrences since insertion; `delta` the maximal undercount at
+  /// insertion time (current bucket id - 1). Public so the durability layer
+  /// can checkpoint and restore the exact summary (docs/DURABILITY.md).
+  struct Entry {
+    float value = 0;
+    std::uint64_t frequency = 0;
+    std::uint64_t delta = 0;
+  };
+
   /// epsilon in (0, 1). The natural window width is window_width() =
   /// ceil(1/epsilon); AddWindowHistogram expects windows of that size (a
   /// final partial window is allowed).
   explicit LossyCounting(double epsilon);
+
+  /// Reconstructs a summary from checkpointed parts (the durability restore
+  /// path). Validates values strictly ascending, frequencies >= 1, deltas
+  /// within the bucket bound, and the element/bucket accounting; returns
+  /// false on violation, leaving `out` untouched.
+  static bool FromParts(double epsilon, std::uint64_t n, std::uint64_t bucket_id,
+                        std::vector<Entry> entries, LossyCounting* out);
 
   /// Window width w = ceil(1/epsilon) the stream should be chunked into.
   std::uint64_t window_width() const { return window_width_; }
@@ -70,16 +87,14 @@ class LossyCounting {
   /// Cumulative merge/compress wall costs (Fig. 6).
   const SummaryOpCosts& op_costs() const { return op_costs_; }
 
- private:
-  /// One summary entry: (e, f, delta) of [32]. `frequency` is the counted
-  /// occurrences since insertion; `delta` the maximal undercount at
-  /// insertion time (current bucket id - 1).
-  struct Entry {
-    float value = 0;
-    std::uint64_t frequency = 0;
-    std::uint64_t delta = 0;
-  };
+  /// Windows (possibly partial) merged so far — the [32] bucket id. Part of
+  /// the checkpointed state: the compress threshold depends on it.
+  std::uint64_t bucket_id() const { return bucket_id_; }
 
+  /// The live (e, f, delta) entries, ascending by value.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
   /// Deletes entries with frequency + delta <= current bucket id.
   void Compress();
 

@@ -13,6 +13,7 @@
 #include "sketch/gk_summary.h"
 #include "sketch/kll.h"
 #include "sketch/serialize.h"
+#include "sketch/wire.h"
 
 namespace streamgpu::sketch {
 
@@ -20,6 +21,11 @@ namespace {
 
 std::uint64_t StatedBound(double epsilon, std::uint64_t count) {
   return static_cast<std::uint64_t>(std::ceil(epsilon * static_cast<double>(count)));
+}
+
+core::Status TruncatedState(const char* what) {
+  return core::Status::InvalidArgument(std::string("truncated ") + what +
+                                       " checkpoint state");
 }
 
 /// The paper's backend (§5.2): per-window GK summaries maintained in an
@@ -55,6 +61,62 @@ class GkEhSketch final : public QuantileSketch {
       if (!bucket.empty()) flat = GkSummary::Merge(flat, bucket);
     }
     return SerializeSummary(flat, out);
+  }
+
+  // Full state: the bucket cascade itself. Layout: count u64, slot count
+  // u32, then per slot a present byte followed (when present) by the
+  // bucket's nested SGMS GK envelope.
+  core::Status AppendCheckpointState(std::vector<std::uint8_t>* out) const override {
+    wire::Append<std::uint64_t>(out, eh_.count());
+    const auto& buckets = eh_.buckets();
+    wire::Append<std::uint32_t>(out, static_cast<std::uint32_t>(buckets.size()));
+    for (const GkSummary& bucket : buckets) {
+      wire::Append<std::uint8_t>(out, bucket.empty() ? 0 : 1);
+      if (!bucket.empty()) {
+        if (core::Status s = SerializeSummary(bucket, out); !s.ok()) return s;
+      }
+    }
+    return core::Status::Ok();
+  }
+
+  core::Status RestoreState(std::span<const std::uint8_t> payload,
+                            std::uint64_t window_size,
+                            std::uint64_t expected_length) {
+    std::uint64_t count = 0;
+    std::uint32_t slots = 0;
+    if (!wire::Read(&payload, &count) || !wire::Read(&payload, &slots)) {
+      return TruncatedState("gk");
+    }
+    // The cascade depth is logarithmic in the window count; reject absurd
+    // slot counts before allocating.
+    if (slots > 4096) {
+      return core::Status::InvalidArgument("gk checkpoint bucket count " +
+                                           std::to_string(slots) + " not plausible");
+    }
+    std::vector<GkSummary> buckets(slots);
+    for (std::uint32_t i = 0; i < slots; ++i) {
+      std::uint8_t present = 0;
+      if (!wire::Read(&payload, &present)) return TruncatedState("gk");
+      if (present > 1) {
+        return core::Status::InvalidArgument("gk checkpoint present flag corrupt");
+      }
+      if (present == 1) {
+        auto bucket = DeserializeGkSummary(&payload);
+        if (!bucket.ok()) return bucket.status();
+        buckets[i] = std::move(bucket).value();
+      }
+    }
+    if (!payload.empty()) {
+      return core::Status::InvalidArgument("trailing bytes after gk checkpoint state");
+    }
+    EhQuantileSummary restored(epsilon_, 1, 1);
+    if (!EhQuantileSummary::FromParts(epsilon_, window_size, expected_length,
+                                      count, std::move(buckets), &restored)) {
+      return core::Status::InvalidArgument(
+          "gk checkpoint state violates the exponential-histogram invariants");
+    }
+    eh_ = std::move(restored);
+    return core::Status::Ok();
   }
 
   QuantileSketchKind kind() const override { return QuantileSketchKind::kGk; }
@@ -113,6 +175,50 @@ class GkAdaptiveSketch final : public QuantileSketch {
     return SerializeSummary(converted, out);
   }
 
+  // Full state: n plus the raw (v, g, Delta) tuples. The compress period is
+  // a pure function of epsilon and the next compress fires on n % period, so
+  // nothing else is needed for bit-identical continuation.
+  core::Status AppendCheckpointState(std::vector<std::uint8_t>* out) const override {
+    wire::Append<std::uint64_t>(out, gk_.stream_length());
+    wire::Append<std::uint64_t>(out, static_cast<std::uint64_t>(gk_.tuples().size()));
+    for (const GkAdaptiveTuple& t : gk_.tuples()) {
+      wire::Append<float>(out, t.value);
+      wire::Append<std::uint64_t>(out, t.g);
+      wire::Append<std::uint64_t>(out, t.delta);
+    }
+    return core::Status::Ok();
+  }
+
+  core::Status RestoreState(std::span<const std::uint8_t> payload) {
+    std::uint64_t n = 0;
+    std::uint64_t tuple_count = 0;
+    if (!wire::Read(&payload, &n) || !wire::Read(&payload, &tuple_count)) {
+      return TruncatedState("gk-adaptive");
+    }
+    constexpr std::size_t kTupleBytes = sizeof(float) + 2 * sizeof(std::uint64_t);
+    if (tuple_count > n || payload.size() % kTupleBytes != 0 ||
+        payload.size() / kTupleBytes != tuple_count) {
+      return core::Status::InvalidArgument(
+          "gk-adaptive checkpoint tuple count inconsistent with payload size");
+    }
+    std::vector<GkAdaptiveTuple> tuples;
+    tuples.reserve(tuple_count);
+    for (std::uint64_t i = 0; i < tuple_count; ++i) {
+      GkAdaptiveTuple t;
+      wire::Read(&payload, &t.value);
+      wire::Read(&payload, &t.g);
+      wire::Read(&payload, &t.delta);
+      tuples.push_back(t);
+    }
+    GkAdaptive restored(gk_.epsilon());
+    if (!GkAdaptive::FromParts(gk_.epsilon(), n, std::move(tuples), &restored)) {
+      return core::Status::InvalidArgument(
+          "gk-adaptive checkpoint state violates the g + Delta invariant");
+    }
+    gk_ = std::move(restored);
+    return core::Status::Ok();
+  }
+
   QuantileSketchKind kind() const override {
     return QuantileSketchKind::kGkAdaptive;
   }
@@ -151,6 +257,27 @@ class KllQuantileSketch final : public QuantileSketch {
 
   core::Status AppendWireSummary(std::vector<std::uint8_t>* out) const override {
     return SerializeSummary(kll_, out);
+  }
+
+  // The KLL wire envelope already carries the full state — levels, seed, and
+  // the compaction counter that positions the deterministic coin sequence —
+  // so the checkpoint payload is simply the nested envelope.
+  core::Status AppendCheckpointState(std::vector<std::uint8_t>* out) const override {
+    return SerializeSummary(kll_, out);
+  }
+
+  core::Status RestoreState(std::span<const std::uint8_t> payload, double epsilon) {
+    auto restored = DeserializeKllSketch(&payload);
+    if (!restored.ok()) return restored.status();
+    if (!payload.empty()) {
+      return core::Status::InvalidArgument("trailing bytes after kll checkpoint state");
+    }
+    if (restored.value().epsilon() != epsilon) {
+      return core::Status::InvalidArgument(
+          "kll checkpoint epsilon does not match the configured epsilon");
+    }
+    kll_ = std::move(restored).value();
+    return core::Status::Ok();
   }
 
   QuantileSketchKind kind() const override { return QuantileSketchKind::kKll; }
@@ -208,6 +335,30 @@ core::StatusOr<std::unique_ptr<QuantileSketch>> QuantileSketch::Create(
       return std::unique_ptr<QuantileSketch>(new KllQuantileSketch(epsilon));
   }
   return core::Status::InvalidArgument("unknown quantile sketch kind");
+}
+
+core::StatusOr<std::unique_ptr<QuantileSketch>> QuantileSketch::RestoreCheckpointState(
+    QuantileSketchKind kind, double epsilon, std::uint64_t window_size,
+    std::uint64_t expected_stream_length, std::span<const std::uint8_t> payload) {
+  auto sketch = Create(kind, epsilon, window_size, expected_stream_length);
+  if (!sketch.ok()) return sketch.status();
+  core::Status restored = core::Status::InvalidArgument("unknown quantile sketch kind");
+  switch (kind) {
+    case QuantileSketchKind::kGk:
+      restored = static_cast<GkEhSketch*>(sketch.value().get())
+                     ->RestoreState(payload, window_size, expected_stream_length);
+      break;
+    case QuantileSketchKind::kGkAdaptive:
+      restored =
+          static_cast<GkAdaptiveSketch*>(sketch.value().get())->RestoreState(payload);
+      break;
+    case QuantileSketchKind::kKll:
+      restored = static_cast<KllQuantileSketch*>(sketch.value().get())
+                     ->RestoreState(payload, epsilon);
+      break;
+  }
+  if (!restored.ok()) return restored;
+  return std::move(sketch).value();
 }
 
 }  // namespace streamgpu::sketch

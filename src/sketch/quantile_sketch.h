@@ -72,6 +72,14 @@ class QuantileSketch {
   /// flattened GkSummary; KLL exports itself.
   virtual core::Status AppendWireSummary(std::vector<std::uint8_t>* out) const = 0;
 
+  /// Serializes the sketch's FULL internal state — unlike the mergeable
+  /// export, which may condense (GK+EH flattens its bucket cascade) — so a
+  /// restored sketch continues bit-identically from the checkpoint: GK+EH
+  /// keeps every bucket, GK01 its (v, g, Delta) tuples and n, KLL its levels
+  /// plus the compaction-coin position. Payload layouts in
+  /// docs/DURABILITY.md; consumed by RestoreCheckpointState.
+  virtual core::Status AppendCheckpointState(std::vector<std::uint8_t>* out) const = 0;
+
   virtual QuantileSketchKind kind() const = 0;
 
   /// Cost mirrors for the estimators' PipelineCosts accounting; backends
@@ -89,6 +97,15 @@ class QuantileSketch {
   static core::StatusOr<std::unique_ptr<QuantileSketch>> Create(
       QuantileSketchKind kind, double epsilon, std::uint64_t window_size,
       std::uint64_t expected_stream_length);
+
+  /// Inverse of AppendCheckpointState: reconstructs a sketch of `kind` from
+  /// one checkpointed state payload (which must span `payload` exactly). The
+  /// configuration arguments must match the original Create() call. Returns
+  /// kInvalidArgument on truncation, trailing bytes, or a payload that fails
+  /// the sketch's structural validation — never aborts on untrusted input.
+  static core::StatusOr<std::unique_ptr<QuantileSketch>> RestoreCheckpointState(
+      QuantileSketchKind kind, double epsilon, std::uint64_t window_size,
+      std::uint64_t expected_stream_length, std::span<const std::uint8_t> payload);
 };
 
 }  // namespace streamgpu::sketch

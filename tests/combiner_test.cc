@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <filesystem>
 #include <random>
 #include <span>
 #include <string>
@@ -14,8 +15,10 @@
 
 #include <gtest/gtest.h>
 
+#include "core/quantile_estimator.h"
 #include "core/report.h"
 #include "core/status.h"
+#include "stream/generator.h"
 #include "sketch/combiner.h"
 #include "sketch/count_min.h"
 #include "sketch/exact.h"
@@ -443,6 +446,62 @@ TEST(CombinerTreeTest, TwoLevelMergeStaysWithinBound) {
     EXPECT_TRUE(RankWithin(sorted, r.value,
                            std::ceil(phi * static_cast<double>(data.size())),
                            static_cast<double>(r.rank_error_bound) + 1))
+        << "phi=" << phi;
+  }
+}
+
+TEST(CombinerRestoreTest, RestoredShardMergesIdenticallyToPreCrashExport) {
+  // A shard that crashed and restored from its checkpoint must be
+  // indistinguishable downstream: its mergeable export is byte-identical to
+  // the pre-crash estimator's, so any merge containing it is bit-identical
+  // too (docs/DURABILITY.md).
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "combiner_restore";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  stream::StreamGenerator gen(
+      {.distribution = stream::Distribution::kZipf, .seed = 41});
+  const std::vector<float> shard_a = gen.Take(8000);
+  const std::vector<float> shard_b = gen.Take(8000);
+
+  core::Options opt;
+  opt.epsilon = 0.01;
+  opt.checkpoint_dir = dir.string();
+  auto original = core::QuantileEstimator::Create(opt);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE((*original)->ObserveBatch(shard_a).ok());
+  ASSERT_TRUE((*original)->Checkpoint().ok());
+  ASSERT_TRUE((*original)->Flush().ok());
+  const auto pre_crash = (*original)->SerializedSummary();
+  ASSERT_TRUE(pre_crash.ok());
+
+  auto restored = core::QuantileEstimator::Restore(opt);
+  ASSERT_TRUE(restored.ok()) << restored.status().message();
+  ASSERT_TRUE((*restored)->Flush().ok());
+  const auto post_crash = (*restored)->SerializedSummary();
+  ASSERT_TRUE(post_crash.ok());
+  EXPECT_EQ(*post_crash, *pre_crash);
+
+  // And the merge over {restored shard, healthy shard} answers exactly as
+  // the merge over {pre-crash shard, healthy shard}.
+  core::Options plain = opt;
+  plain.checkpoint_dir.clear();
+  auto other = core::QuantileEstimator::Create(plain);
+  ASSERT_TRUE(other.ok());
+  ASSERT_TRUE((*other)->ObserveBatch(shard_b).ok());
+  ASSERT_TRUE((*other)->Flush().ok());
+  const auto other_bytes = (*other)->SerializedSummary();
+  ASSERT_TRUE(other_bytes.ok());
+
+  QuantileShardCombiner with_pre_crash;
+  ASSERT_TRUE(with_pre_crash.AddShard(*pre_crash).ok());
+  ASSERT_TRUE(with_pre_crash.AddShard(*other_bytes).ok());
+  QuantileShardCombiner with_restored;
+  ASSERT_TRUE(with_restored.AddShard(*post_crash).ok());
+  ASSERT_TRUE(with_restored.AddShard(*other_bytes).ok());
+  for (double phi : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_EQ(with_restored.Quantile(phi), with_pre_crash.Quantile(phi))
         << "phi=" << phi;
   }
 }

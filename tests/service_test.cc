@@ -8,6 +8,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -15,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include "core/frequency_estimator.h"
+#include "durable/checkpoint.h"
 #include "core/options.h"
 #include "core/quantile_estimator.h"
 #include "obs/metrics.h"
@@ -576,6 +578,79 @@ TEST(StreamServiceTest, KllBackedStreamsMatchDedicatedEstimator) {
     EXPECT_EQ(svc->value, ref.value) << "phi=" << phi;
     EXPECT_EQ(svc->rank_error_bound, ref.rank_error_bound) << "phi=" << phi;
     EXPECT_EQ(svc->window_coverage, ref.window_coverage) << "phi=" << phi;
+  }
+}
+
+TEST(StreamServiceTest, RestoredServiceAnswersAndMergesIdentically) {
+  // Durable round trip (docs/DURABILITY.md): checkpoint mid-ingest, rebuild
+  // from the snapshot, replay the un-checkpointed suffix, and every answer —
+  // per-stream, merged across streams, and the serialized shard export —
+  // is bit-identical to the service that never went down.
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "service_restore_merge";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.num_shards = 2;
+  config.shard_batch_elements = 512;
+  StreamConfig stream_config;
+  stream_config.epsilon = 0.02;
+  const std::vector<StreamKey> keys = {{0, 0}, {0, 1}, {1, 2}};
+  const std::size_t kPerStream = 2000;
+  const std::size_t kCut = 1111;
+
+  auto ingest = [&](StreamService* service, std::size_t from, std::size_t to) {
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const std::vector<float> data = MakeStream(100 + i, kPerStream);
+      ASSERT_TRUE(
+          service->Append(keys[i], std::span(data).subspan(from, to - from)).ok());
+    }
+  };
+
+  auto ref = StreamService::Create(config);
+  ASSERT_TRUE(ref.ok());
+  for (const StreamKey& key : keys) {
+    ASSERT_TRUE((*ref)->Register(key, stream_config).ok());
+  }
+  ingest(ref->get(), 0, kPerStream);
+  ASSERT_TRUE((*ref)->FlushAll().ok());
+
+  {
+    auto first = StreamService::Create(config);
+    ASSERT_TRUE(first.ok());
+    for (const StreamKey& key : keys) {
+      ASSERT_TRUE((*first)->Register(key, stream_config).ok());
+    }
+    ingest(first->get(), 0, kCut);
+    durable::CheckpointWriter writer(dir.string());
+    ASSERT_TRUE((*first)->Checkpoint(&writer).ok());
+  }
+
+  auto restored = StreamService::RestoreFrom(config, dir.string());
+  ASSERT_TRUE(restored.ok()) << restored.status().message();
+  ingest(restored->get(), kCut, kPerStream);
+  ASSERT_TRUE((*restored)->FlushAll().ok());
+
+  for (const StreamKey& key : keys) {
+    const auto a = (*restored)->Quantile(key, 0.5);
+    const auto b = (*ref)->Quantile(key, 0.5);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b);
+    const auto export_a = (*restored)->ExportQuantileSummary(key);
+    const auto export_b = (*ref)->ExportQuantileSummary(key);
+    ASSERT_TRUE(export_a.ok());
+    ASSERT_TRUE(export_b.ok());
+    EXPECT_EQ(*export_a, *export_b);
+  }
+  for (double phi : {0.25, 0.5, 0.9}) {
+    const auto merged_a = (*restored)->MergedQuantile(keys, phi);
+    const auto merged_b = (*ref)->MergedQuantile(keys, phi);
+    ASSERT_TRUE(merged_a.ok());
+    ASSERT_TRUE(merged_b.ok());
+    EXPECT_EQ(*merged_a, *merged_b) << "phi=" << phi;
   }
 }
 

@@ -13,6 +13,8 @@ Usage:
       [--rel-single-floor 0.9] [--tolerance 1.2] [--latency-tolerance 2.0]
   check_bench_regression.py --sketch BASELINE_SKETCH.json NEW_SKETCH.json \\
       [--tolerance 1.2]
+  check_bench_regression.py --durable BASELINE_DURABLE.json NEW_DURABLE.json \\
+      [--overhead-limit 1.05] [--tolerance 1.2] [--latency-tolerance 2.0]
   check_bench_regression.py --merge ENGINE.json FIG3.json [-o BENCH_sort.json]
 
 Check mode compares the machine-normalized kernel ratios (``rel_memcpy`` =
@@ -71,6 +73,17 @@ reported but not gated. Every (sketch, epsilon) row in the baseline must
 still be present. Regenerate with
 ``STREAMGPU_BENCH_JSON=BENCH_sketch.json build/bench/bench_fig7_quantiles``.
 
+Durable mode gates the bench_durable numbers from docs/DURABILITY.md
+against the committed BENCH_durable.json baseline. The headline contract is
+within-run and therefore machine-independent: every ingest row the bench
+marks ``gated`` (the coarse production cadence) must keep its
+checkpointed/plain ingest ratio at or under --overhead-limit (default 1.05
+— checkpointing may cost at most 5%). Snapshot bytes are deterministic for
+the seeded stream and gated at baseline * --tolerance; restore wall-clock
+seconds vary with the runner and are gated only loosely at baseline *
+--latency-tolerance (default 2.0), with every baseline stream count
+required to stay present.
+
 Merge mode rebuilds the committed repo-root baseline from fresh
 bench_engine + bench_fig3_sorting JSON outputs.
 """
@@ -85,6 +98,7 @@ DEFAULT_OVERHEAD_TOLERANCE = 1.02
 DEFAULT_MIN_AUTO_SPEEDUP = 2.0
 DEFAULT_REL_SINGLE_FLOOR = 0.9
 DEFAULT_LATENCY_TOLERANCE = 2.0
+DEFAULT_OVERHEAD_LIMIT = 1.05
 REL_SINGLE_FLOOR_STREAMS = 1000
 MIN_AUTO_SPEEDUP_N = 1 << 20
 
@@ -431,6 +445,78 @@ def check_sketch(baseline_path, new_path, tolerance):
     return 0
 
 
+def check_durable(baseline_path, new_path, overhead_limit, tolerance,
+                  latency_tolerance):
+    baseline = load(baseline_path)["durable"]
+    new = load(new_path)["durable"]
+
+    failures = []
+    base_ingest = {row["cadence"]: row for row in baseline["ingest"]}
+    print(f"{'cadence':<8} {'commits':>8} {'overhead':>9} {'snapshot B':>12} "
+          f"{'limit B':>12}  (gated rows: overhead <= {overhead_limit:.2f}x)")
+    for row in new["ingest"]:
+        cadence = row["cadence"]
+        flags = []
+        gated = bool(row.get("gated"))
+        if gated and row["overhead"] > overhead_limit:
+            flags.append("OVERHEAD EXCEEDED")
+            failures.append(
+                f"cadence={cadence}: checkpointed/plain ingest ratio "
+                f"{row['overhead']:.3f}x > the {overhead_limit:.2f}x budget "
+                "(docs/DURABILITY.md) — a within-run ratio, so this is not "
+                "runner noise")
+        base_row = base_ingest.get(cadence)
+        limit_bytes = ""
+        if base_row is not None:
+            limit = base_row["snapshot_bytes"] * tolerance
+            limit_bytes = f"{limit:>12.0f}"
+            if row["snapshot_bytes"] > limit:
+                flags.append("BYTES REGRESSED")
+                failures.append(
+                    f"cadence={cadence}: snapshot_bytes "
+                    f"{base_row['snapshot_bytes']} -> {row['snapshot_bytes']} "
+                    f"(> {tolerance:.2f}x baseline)")
+        print(f"{cadence:<8} {row['commits']:>8} {row['overhead']:>8.3f}x "
+              f"{row['snapshot_bytes']:>12} {limit_bytes:>12}  "
+              f"{'<- gated ' if gated else ''}{' '.join(flags)}")
+    for cadence in base_ingest:
+        if cadence not in {row["cadence"] for row in new["ingest"]}:
+            failures.append(f"cadence={cadence}: missing from new results")
+
+    base_restore = {row["streams"]: row for row in baseline["restore"]}
+    new_restore = {row["streams"]: row for row in new["restore"]}
+    print(f"\n{'streams':>10} {'baseline s':>11} {'new s':>8} {'limit s':>8}  "
+          f"(restore wall-clock, loose {latency_tolerance:.1f}x)")
+    for streams, base_row in sorted(base_restore.items()):
+        if streams not in new_restore:
+            failures.append(f"streams={streams}: missing from new results")
+            continue
+        row = new_restore[streams]
+        limit = base_row["restore_seconds"] * latency_tolerance
+        flag = ""
+        if row["restore_seconds"] > limit:
+            flag = "REGRESSED"
+            failures.append(
+                f"streams={streams}: restore_seconds "
+                f"{base_row['restore_seconds']:.2f} -> "
+                f"{row['restore_seconds']:.2f} "
+                f"(> {latency_tolerance:.1f}x baseline)")
+        print(f"{streams:>10} {base_row['restore_seconds']:>11.2f} "
+              f"{row['restore_seconds']:>8.2f} {limit:>8.2f}  {flag}")
+
+    if failures:
+        print("\nFAIL: durability benchmark gate:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        print("\nIf the cost changed intentionally, regenerate the baseline: "
+              "STREAMGPU_BENCH_JSON=BENCH_durable.json "
+              "build/bench/bench_durable (Release build).", file=sys.stderr)
+        return 1
+    print("\nOK: checkpoint overhead, snapshot size, and restore time "
+          "within tolerance.")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("inputs", nargs="+",
@@ -467,6 +553,14 @@ def main():
                         help="gate the bench_fig7_quantiles sketch-shootout "
                              "rows against the committed BENCH_sketch.json "
                              "baseline")
+    parser.add_argument("--durable", action="store_true",
+                        help="gate bench_durable results (checkpoint ingest "
+                             "overhead, snapshot size, restore time) against "
+                             "the committed BENCH_durable.json baseline")
+    parser.add_argument("--overhead-limit", type=float,
+                        default=DEFAULT_OVERHEAD_LIMIT,
+                        help="max checkpointed/plain ingest ratio for gated "
+                             f"bench_durable rows (default {DEFAULT_OVERHEAD_LIMIT})")
     parser.add_argument("--rel-single-floor", type=float,
                         default=DEFAULT_REL_SINGLE_FLOOR,
                         help="min service/dedicated ingest ratio at >= "
@@ -497,6 +591,10 @@ def main():
                              args.latency_tolerance)
     if args.sketch:
         return check_sketch(args.inputs[0], args.inputs[1], args.tolerance)
+    if args.durable:
+        return check_durable(args.inputs[0], args.inputs[1],
+                             args.overhead_limit, args.tolerance,
+                             args.latency_tolerance)
     if args.fig3_overhead:
         return check_fig3_overhead(args.inputs[0], args.inputs[1],
                                    args.overhead_tolerance)

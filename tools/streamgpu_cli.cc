@@ -8,6 +8,7 @@
 //   streamgpu_cli sort        [options]
 //   streamgpu_cli serve       [options] --streams 1000 --tenants 10
 //   streamgpu_cli merge       SHARD.bin [SHARD.bin ...] --phi 0.5 --support 0.01
+//   streamgpu_cli restore     <quantiles|frequencies|serve> [options]
 //
 // Common options:
 //   --input PATH           read float values (text, one per line) from PATH
@@ -58,6 +59,11 @@
 //   --tenants T            tenants the streams are spread across (default 10)
 //   --shed-capacity CAP    enable load shedding: per-shard ingress backlog
 //                          cap in elements (default 0: block, never shed)
+//   --shard-batch N        elements a shard coalesces before dispatching one
+//                          micro-batch (default 0: 64k). Smaller batches
+//                          bound per-stream merge latency — and let
+//                          --checkpoint-every-windows fire mid-ingest on
+//                          runs smaller than the default micro-batch
 //
 // Merging shard summaries (merge command only; docs/SKETCHES.md):
 //   positional arguments   shard summary files (one envelope per file, as
@@ -67,6 +73,28 @@
 //                          count-min) answer --support. Shards are folded in
 //                          canonical byte order, so the merged answer is
 //                          bit-identical for any argument order.
+//
+// Durability (docs/DURABILITY.md):
+//   --checkpoint-dir DIR   crash-consistent checkpoint directory. With
+//                          quantiles / frequencies the estimator snapshots
+//                          into it; with serve the whole service does. The
+//                          `restore` command resumes from the newest usable
+//                          snapshot in DIR — it re-reads the same input
+//                          (identical --input or --generate/--n/--seed) and
+//                          replays only the un-checkpointed suffix, so the
+//                          report is bit-identical to an uninterrupted run.
+//                          When DIR holds no usable checkpoint, restore
+//                          starts fresh (first run after provisioning).
+//   --checkpoint-every-windows N
+//                          snapshot cadence: checkpoint after every N merged
+//                          windows (default 0: only what `restore` finds
+//                          from a previous run; estimator modes then never
+//                          checkpoint)
+//   --report-out PATH      write the deterministic report lines (quantile
+//                          answers, heavy hitters, coverage — no timings)
+//                          to PATH; the artifact tools/crash_harness.py
+//                          diffs between a killed-and-restored run and an
+//                          uninterrupted one
 //
 // Fault injection (docs/ROBUSTNESS.md):
 //   --fault-plan SPEC      deterministic fault plan, e.g.
@@ -90,6 +118,7 @@
 //       --metrics-out metrics.json --trace-out trace.json  (one command line)
 //   streamgpu_cli sort --n 262144 --sort-backend pbsn
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -100,6 +129,7 @@
 
 #include "common/timer.h"
 #include "core/frequency_estimator.h"
+#include "durable/checkpoint.h"
 #include "sketch/combiner.h"
 #include "sketch/misra_gries.h"
 #include "sketch/quantile_sketch.h"
@@ -147,8 +177,13 @@ struct CliOptions {
   std::uint64_t streams = 1000;
   std::uint64_t tenants = 10;
   std::size_t shed_capacity = 0;
+  std::size_t shard_batch = 0;
   std::string quantile_sketch = "gk";
   std::string summary_out;
+  std::string checkpoint_dir;
+  std::uint64_t checkpoint_every_windows = 0;
+  std::string report_out;
+  bool restore = false;  // `restore` command: resume `command` from a checkpoint
   std::vector<std::string> shard_files;  // merge command positionals
 };
 
@@ -157,6 +192,7 @@ struct CliOptions {
   std::fprintf(stderr,
                "usage: streamgpu_cli <quantiles|frequencies|sort|serve> [options]\n"
                "       streamgpu_cli merge SHARD.bin [SHARD.bin ...] [--phi ...|--support S]\n"
+               "       streamgpu_cli restore <quantiles|frequencies|serve> [options]\n"
                "  --input PATH | --generate uniform|zipf|sorted|network|finance\n"
                "  --n COUNT --seed SEED --epsilon EPS\n"
                "  --quantile-sketch gk|gk-adaptive|kll --summary-out PATH\n"
@@ -166,11 +202,13 @@ struct CliOptions {
                "  --metrics-out PATH --metrics-format json|prom\n"
                "  --metrics-export-every SECS --flight-out PATH\n"
                "  --trace-out PATH --trace-sample-every K\n"
+               "  --checkpoint-dir DIR --checkpoint-every-windows N\n"
+               "  --report-out PATH\n"
                "  --fault-plan SPEC --fault-seed SEED --fault-retries N\n"
                "  --no-cpu-fallback --drain-deadline SECS\n"
                "  --phi P1,P2,...    (quantiles)\n"
                "  --support S        (frequencies)\n"
-               "  --streams N --tenants T --shed-capacity CAP  (serve)\n");
+               "  --streams N --tenants T --shed-capacity CAP --shard-batch N  (serve)\n");
   std::exit(2);
 }
 
@@ -190,7 +228,18 @@ CliOptions ParseArgs(int argc, char** argv) {
   if (argc < 2) Usage("missing command");
   CliOptions opt;
   opt.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
+  int first = 2;
+  if (opt.command == "restore") {
+    if (argc < 3) Usage("restore needs a mode: quantiles | frequencies | serve");
+    opt.restore = true;
+    opt.command = argv[2];
+    if (opt.command != "quantiles" && opt.command != "frequencies" &&
+        opt.command != "serve") {
+      Usage("restore supports the quantiles, frequencies, and serve modes");
+    }
+    first = 3;
+  }
+  for (int i = first; i < argc; ++i) {
     const std::string flag = argv[i];
     const auto next = [&]() -> std::string {
       if (i + 1 >= argc) Usage(("missing value for " + flag).c_str());
@@ -257,6 +306,8 @@ CliOptions ParseArgs(int argc, char** argv) {
       if (opt.tenants == 0) Usage("--tenants must be >= 1");
     } else if (flag == "--shed-capacity") {
       opt.shed_capacity = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (flag == "--shard-batch") {
+      opt.shard_batch = std::strtoull(next().c_str(), nullptr, 10);
     } else if (flag == "--phi") {
       opt.phis = ParseDoubleList(next());
     } else if (flag == "--support") {
@@ -269,6 +320,12 @@ CliOptions ParseArgs(int argc, char** argv) {
       }
     } else if (flag == "--summary-out") {
       opt.summary_out = next();
+    } else if (flag == "--checkpoint-dir") {
+      opt.checkpoint_dir = next();
+    } else if (flag == "--checkpoint-every-windows") {
+      opt.checkpoint_every_windows = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (flag == "--report-out") {
+      opt.report_out = next();
     } else if (flag == "--help" || flag == "-h") {
       Usage(nullptr);
     } else if (flag.size() >= 2 && flag[0] == '-' && flag[1] == '-') {
@@ -278,6 +335,9 @@ CliOptions ParseArgs(int argc, char** argv) {
     } else {
       Usage(("unexpected argument " + flag).c_str());
     }
+  }
+  if (opt.restore && opt.checkpoint_dir.empty()) {
+    Usage("restore needs --checkpoint-dir");
   }
   return opt;
 }
@@ -395,6 +455,43 @@ struct ObsSinks {
   }
 };
 
+/// Routes the deterministic report lines — quantile answers, heavy hitters,
+/// coverage, never timings — to stdout and, with --report-out, to a file.
+/// The file is the artifact tools/crash_harness.py diffs byte-for-byte
+/// between a killed-and-restored run and an uninterrupted one.
+class ReportWriter {
+ public:
+  explicit ReportWriter(std::string path) : path_(std::move(path)) {}
+
+  [[gnu::format(printf, 2, 3)]] void Printf(const char* format, ...) {
+    std::va_list args;
+    va_start(args, format);
+    std::vprintf(format, args);
+    va_end(args);
+    if (path_.empty()) return;
+    char line[1024];
+    va_start(args, format);
+    std::vsnprintf(line, sizeof line, format, args);
+    va_end(args);
+    lines_ += line;
+  }
+
+  /// Publishes the collected lines to --report-out (no-op without one).
+  void Write() const {
+    if (path_.empty()) return;
+    std::ofstream out(path_, std::ios::trunc);
+    if (!out || !out.write(lines_.data(), static_cast<std::streamsize>(lines_.size()))) {
+      std::fprintf(stderr, "error: cannot write %s\n", path_.c_str());
+      std::exit(1);
+    }
+    std::fprintf(stderr, "# report -> %s\n", path_.c_str());
+  }
+
+ private:
+  std::string path_;
+  std::string lines_;
+};
+
 core::Options MakeCoreOptions(const CliOptions& opt, const ObsSinks& sinks) {
   core::Options core_opt;
   core_opt.epsilon = opt.epsilon;
@@ -416,7 +513,44 @@ core::Options MakeCoreOptions(const CliOptions& opt, const ObsSinks& sinks) {
   core_opt.fault.max_retries = opt.fault_retries;
   core_opt.fault.cpu_fallback = opt.cpu_fallback;
   core_opt.fault.drain_deadline_seconds = opt.drain_deadline;
+  core_opt.checkpoint_dir = opt.checkpoint_dir;
+  core_opt.checkpoint_every_windows = opt.checkpoint_every_windows;
   return core_opt;
+}
+
+/// Restore-command front half for the estimator modes: resumes from the
+/// newest usable snapshot, or — when the directory holds none — falls back
+/// to a fresh run (the first run after provisioning). Snapshot corruption
+/// and configuration mismatches are fatal. Returns null on the fresh-start
+/// fallback and sets *replay_from on success.
+template <typename Estimator>
+std::unique_ptr<Estimator> TryRestore(const core::Options& core_opt,
+                                      std::size_t stream_size,
+                                      std::size_t* replay_from) {
+  core::StatusOr<std::unique_ptr<Estimator>> restored = Estimator::Restore(core_opt);
+  if (!restored.ok()) {
+    if (restored.status().code() == core::Status::Code::kFailedPrecondition) {
+      std::fprintf(stderr, "# restore: %s; starting fresh\n",
+                   restored.status().message().c_str());
+      return nullptr;
+    }
+    std::fprintf(stderr, "error: restore failed: %s\n",
+                 restored.status().message().c_str());
+    std::exit(1);
+  }
+  std::unique_ptr<Estimator> estimator = std::move(restored).value();
+  const std::uint64_t observed = estimator->observed_length();
+  if (observed > stream_size) {
+    std::fprintf(stderr,
+                 "error: checkpoint watermark %llu exceeds the %zu-element input; "
+                 "restore must replay the same stream the checkpoint was cut from\n",
+                 static_cast<unsigned long long>(observed), stream_size);
+    std::exit(1);
+  }
+  *replay_from = static_cast<std::size_t>(observed);
+  std::fprintf(stderr, "# restored at watermark %llu; replaying %zu elements\n",
+               static_cast<unsigned long long>(observed), stream_size - *replay_from);
+  return estimator;
 }
 
 /// Aborts with the Status message when a stream operation failed (e.g. the
@@ -476,9 +610,17 @@ std::unique_ptr<T> CreateOrDie(core::StatusOr<std::unique_ptr<T>> result) {
 int RunQuantiles(const CliOptions& opt) {
   const auto stream = LoadStream(opt);
   const ObsSinks sinks(opt);
-  auto qe = CreateOrDie(core::QuantileEstimator::Create(MakeCoreOptions(opt, sinks)));
+  ReportWriter report_out(opt.report_out);
+  const core::Options core_opt = MakeCoreOptions(opt, sinks);
+  std::size_t replay_from = 0;
+  std::unique_ptr<core::QuantileEstimator> qe;
+  if (opt.restore) {
+    qe = TryRestore<core::QuantileEstimator>(core_opt, stream.size(), &replay_from);
+  }
+  if (qe == nullptr) qe = CreateOrDie(core::QuantileEstimator::Create(core_opt));
   Timer timer;
-  CheckStream(qe->ObserveBatch(stream), "observe");
+  CheckStream(qe->ObserveBatch(std::span<const float>(stream).subspan(replay_from)),
+              "observe");
   CheckStream(qe->Flush(), "flush");
   std::printf("# %zu values, epsilon %g, backend %s%s, workers %d\n", stream.size(),
               opt.epsilon, opt.backend.c_str(), opt.sliding != 0 ? " (sliding)" : "",
@@ -486,13 +628,18 @@ int RunQuantiles(const CliOptions& opt) {
   for (double phi : opt.phis) {
     if (phi <= 0.0 || phi > 1.0) continue;
     const core::QuantileReport report = qe->Quantile(phi);
-    std::printf("q%-8g %-12g (rank +- %llu of %llu)\n", phi, report.value,
-                static_cast<unsigned long long>(report.rank_error_bound),
-                static_cast<unsigned long long>(report.window_coverage));
+    report_out.Printf("q%-8g %-12g (rank +- %llu of %llu)\n", phi, report.value,
+                      static_cast<unsigned long long>(report.rank_error_bound),
+                      static_cast<unsigned long long>(report.window_coverage));
   }
   std::printf("# summary: %zu tuples; simulated-2005 %.1f ms; wall %.2f s\n",
               qe->summary_size(), qe->SimulatedSeconds() * 1e3, timer.ElapsedSeconds());
   PrintFaultSummary(opt, qe->fault_stats());
+  if (qe->checkpoints() != 0) {
+    std::fprintf(stderr, "# checkpoints: %llu -> %s\n",
+                 static_cast<unsigned long long>(qe->checkpoints()),
+                 opt.checkpoint_dir.c_str());
+  }
   if (!opt.summary_out.empty()) {
     const auto bytes = qe->SerializedSummary();
     if (!bytes.ok()) {
@@ -504,30 +651,44 @@ int RunQuantiles(const CliOptions& opt) {
   }
   qe->ExportMetrics();
   sinks.Write(opt);
+  report_out.Write();
   return 0;
 }
 
 int RunFrequencies(const CliOptions& opt) {
   const auto stream = LoadStream(opt);
   const ObsSinks sinks(opt);
-  auto fe = CreateOrDie(core::FrequencyEstimator::Create(MakeCoreOptions(opt, sinks)));
+  ReportWriter report_out(opt.report_out);
+  const core::Options core_opt = MakeCoreOptions(opt, sinks);
+  std::size_t replay_from = 0;
+  std::unique_ptr<core::FrequencyEstimator> fe;
+  if (opt.restore) {
+    fe = TryRestore<core::FrequencyEstimator>(core_opt, stream.size(), &replay_from);
+  }
+  if (fe == nullptr) fe = CreateOrDie(core::FrequencyEstimator::Create(core_opt));
   Timer timer;
-  CheckStream(fe->ObserveBatch(stream), "observe");
+  CheckStream(fe->ObserveBatch(std::span<const float>(stream).subspan(replay_from)),
+              "observe");
   CheckStream(fe->Flush(), "flush");
   std::printf("# %zu values, epsilon %g, support %g, backend %s%s, workers %d\n",
               stream.size(), opt.epsilon, opt.support, opt.backend.c_str(),
               opt.sliding != 0 ? " (sliding)" : "", opt.workers);
   const core::FrequencyReport report = fe->HeavyHitters(opt.support);
   for (const auto& item : report.items) {
-    std::printf("%-12g >= %llu\n", item.value,
-                static_cast<unsigned long long>(item.estimate));
+    report_out.Printf("%-12g >= %llu\n", item.value,
+                      static_cast<unsigned long long>(item.estimate));
   }
-  std::printf("# undercount bound %llu over %llu covered elements\n",
-              static_cast<unsigned long long>(report.error_bound),
-              static_cast<unsigned long long>(report.window_coverage));
+  report_out.Printf("# undercount bound %llu over %llu covered elements\n",
+                    static_cast<unsigned long long>(report.error_bound),
+                    static_cast<unsigned long long>(report.window_coverage));
   std::printf("# summary: %zu entries; simulated-2005 %.1f ms; wall %.2f s\n",
               fe->summary_size(), fe->SimulatedSeconds() * 1e3, timer.ElapsedSeconds());
   PrintFaultSummary(opt, fe->fault_stats());
+  if (fe->checkpoints() != 0) {
+    std::fprintf(stderr, "# checkpoints: %llu -> %s\n",
+                 static_cast<unsigned long long>(fe->checkpoints()),
+                 opt.checkpoint_dir.c_str());
+  }
   if (!opt.summary_out.empty()) {
     // The estimator's internal summary is not mergeable across the f16
     // quantization boundary; export a same-epsilon Misra-Gries summary built
@@ -545,6 +706,7 @@ int RunFrequencies(const CliOptions& opt) {
   }
   fe->ExportMetrics();
   sinks.Write(opt);
+  report_out.Write();
   return 0;
 }
 
@@ -642,6 +804,7 @@ int RunSort(const CliOptions& opt) {
 
 int RunServe(const CliOptions& opt) {
   const ObsSinks sinks(opt);
+  ReportWriter report_out(opt.report_out);
   service::ServiceConfig config;
   config.backend = ParseBackend(opt.backend);
   config.num_workers = opt.workers;
@@ -650,8 +813,41 @@ int RunServe(const CliOptions& opt) {
     config.admission = stream::AdmissionPolicy::kShed;
     config.shard_ingress_capacity = opt.shed_capacity;
   }
+  config.shard_batch_elements = opt.shard_batch;
   config.obs = sinks.view();
-  auto service = CreateOrDie(service::StreamService::Create(config));
+
+  // `restore serve`: rebuild the whole service from the newest usable
+  // snapshot; a directory with no usable checkpoint means the first run
+  // after provisioning, so fall back to a fresh service.
+  std::unique_ptr<service::StreamService> service;
+  bool restored = false;
+  if (opt.restore) {
+    auto result = service::StreamService::RestoreFrom(config, opt.checkpoint_dir);
+    if (result.ok()) {
+      service = std::move(result).value();
+      restored = true;
+      if (service->num_streams() != opt.streams) {
+        std::fprintf(stderr,
+                     "error: checkpoint holds %zu streams but --streams is %llu; "
+                     "restore must replay the checkpointed topology\n",
+                     service->num_streams(),
+                     static_cast<unsigned long long>(opt.streams));
+        std::exit(1);
+      }
+      std::fprintf(stderr, "# restored %zu streams from %s\n",
+                   service->num_streams(), opt.checkpoint_dir.c_str());
+    } else if (result.status().code() == core::Status::Code::kFailedPrecondition) {
+      std::fprintf(stderr, "# restore: %s; starting fresh\n",
+                   result.status().message().c_str());
+    } else {
+      std::fprintf(stderr, "error: restore failed: %s\n",
+                   result.status().message().c_str());
+      std::exit(1);
+    }
+  }
+  if (service == nullptr) {
+    service = CreateOrDie(service::StreamService::Create(config));
+  }
 
   service::StreamConfig stream_config;
   stream_config.epsilon = opt.epsilon;
@@ -663,6 +859,7 @@ int RunServe(const CliOptions& opt) {
   Timer register_timer;
   for (std::uint64_t i = 0; i < opt.streams; ++i) {
     keys.push_back({i % opt.tenants, i});
+    if (restored) continue;  // RestoreFrom re-registered the same topology
     const core::Status status = service->Register(keys.back(), stream_config);
     if (!status.ok()) {
       std::fprintf(stderr, "error: register failed: %s\n", status.message().c_str());
@@ -670,6 +867,35 @@ int RunServe(const CliOptions& opt) {
     }
   }
   const double register_seconds = register_timer.ElapsedSeconds();
+
+  // Restored streams skip everything the checkpoint already covers: the
+  // replay cursor is the per-stream offered count (admitted + shed), so the
+  // generator is drawn in the original order but only the un-checkpointed
+  // suffix is re-appended.
+  std::vector<std::uint64_t> offered(keys.size(), 0);
+  if (restored) {
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const auto cursor = service->OfferedLength(keys[i]);
+      CheckStream(cursor.status(), "restore cursor");
+      if (*cursor > opt.n) {
+        std::fprintf(stderr,
+                     "error: stream %zu checkpointed at %llu elements but --n is %zu\n",
+                     i, static_cast<unsigned long long>(*cursor), opt.n);
+        std::exit(1);
+      }
+      offered[i] = *cursor;
+    }
+  }
+
+  // Periodic service checkpoints, cut at --checkpoint-every-windows merged
+  // windows (checked between ingest rounds; Checkpoint drains in-flight
+  // batches itself, so each snapshot is a consistent cut).
+  std::unique_ptr<durable::CheckpointWriter> checkpointer;
+  if (!opt.checkpoint_dir.empty()) {
+    checkpointer = std::make_unique<durable::CheckpointWriter>(opt.checkpoint_dir);
+    checkpointer->SetObservability(sinks.view());
+  }
+  std::uint64_t checkpointed_windows = restored ? service->stats().windows_merged : 0;
 
   // Round-robin ingest in small chunks: the worst case for a per-stream
   // pipeline (tiny writes across many streams) and exactly the pattern the
@@ -683,11 +909,22 @@ int RunServe(const CliOptions& opt) {
   for (std::size_t round = 0; round < remaining_rounds; ++round) {
     const std::size_t take =
         std::min(kChunk, opt.n - round * kChunk);
-    for (const service::StreamKey& key : keys) {
+    const std::uint64_t begin = static_cast<std::uint64_t>(round) * kChunk;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
       gen.Fill(std::span<float>(chunk.data(), take));
-      const auto admitted =
-          service->Append(key, std::span<const float>(chunk.data(), take));
+      if (offered[i] >= begin + take) continue;  // checkpoint already covers it
+      const std::size_t skip =
+          offered[i] > begin ? static_cast<std::size_t>(offered[i] - begin) : 0;
+      const auto admitted = service->Append(
+          keys[i], std::span<const float>(chunk.data() + skip, take - skip));
       CheckStream(admitted.status(), "append");
+    }
+    if (checkpointer != nullptr && opt.checkpoint_every_windows > 0) {
+      const std::uint64_t merged = service->stats().windows_merged;
+      if (merged - checkpointed_windows >= opt.checkpoint_every_windows) {
+        CheckStream(service->Checkpoint(checkpointer.get()), "checkpoint");
+        checkpointed_windows = service->stats().windows_merged;
+      }
     }
   }
   CheckStream(service->FlushAll(), "flush");
@@ -708,8 +945,13 @@ int RunServe(const CliOptions& opt) {
               static_cast<unsigned long long>(stats.windows_merged),
               service->num_shards());
   if (stats.elements_shed != 0) {
-    std::printf("shed       %llu elements at the ingress (error bounds widened)\n",
-                static_cast<unsigned long long>(stats.elements_shed));
+    report_out.Printf("shed       %llu elements at the ingress (error bounds widened)\n",
+                      static_cast<unsigned long long>(stats.elements_shed));
+  }
+  if (checkpointer != nullptr && checkpointer->commits() != 0) {
+    std::fprintf(stderr, "# checkpoints: %llu -> %s\n",
+                 static_cast<unsigned long long>(checkpointer->commits()),
+                 opt.checkpoint_dir.c_str());
   }
 
   // Snapshot every stream with one batch query per phi.
@@ -718,16 +960,18 @@ int RunServe(const CliOptions& opt) {
     if (phi <= 0.0 || phi > 1.0) continue;
     const auto reports = service->BatchQuantiles(keys, phi);
     const service::StreamKey& probe = keys[opt.streams / 2];
-    std::printf("q%-8g %-12g (stream %llu/%llu; rank +- %llu of %llu)\n", phi,
-                reports[opt.streams / 2].value,
-                static_cast<unsigned long long>(probe.tenant),
-                static_cast<unsigned long long>(probe.stream),
-                static_cast<unsigned long long>(reports[opt.streams / 2].rank_error_bound),
-                static_cast<unsigned long long>(reports[opt.streams / 2].window_coverage));
+    report_out.Printf(
+        "q%-8g %-12g (stream %llu/%llu; rank +- %llu of %llu)\n", phi,
+        reports[opt.streams / 2].value,
+        static_cast<unsigned long long>(probe.tenant),
+        static_cast<unsigned long long>(probe.stream),
+        static_cast<unsigned long long>(reports[opt.streams / 2].rank_error_bound),
+        static_cast<unsigned long long>(reports[opt.streams / 2].window_coverage));
   }
   std::printf("# batch queries: %zu reports in %.3f s\n",
               opt.phis.size() * keys.size(), query_timer.ElapsedSeconds());
   sinks.Write(opt);
+  report_out.Write();
   return 0;
 }
 
